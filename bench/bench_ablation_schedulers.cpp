@@ -1,0 +1,56 @@
+// Ablation: scheduling policies. The paper's generated code relies on the
+// runtime's performance-aware dynamic scheduling (dmda-style); this bench
+// quantifies what that buys over simpler policies (eager FIFO, weighted
+// random, work stealing) on a mixed task load — heterogeneous kernels where
+// placement matters (compute-heavy GEMM blocks favour the GPU, irregular
+// SpMV chunks favour the CPUs).
+#include <cstdio>
+
+#include "apps/sgemm.hpp"
+#include "apps/sparse.hpp"
+#include "apps/spmv.hpp"
+#include "runtime/engine.hpp"
+
+using namespace peppher;
+
+namespace {
+
+double run_mixed_load(const std::string& scheduler) {
+  rt::EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.scheduler = scheduler;
+  config.use_history_models = false;  // isolate the policy itself
+  rt::Engine engine(config);
+
+  const auto gemm = apps::sgemm::make_problem(160, 160, 160);
+  const auto spmv = apps::spmv::make_problem(apps::sparse::MatrixClass::kNetwork, 0.1);
+
+  // Interleave: 6 blocked-GEMM sub-tasks and a 6-chunk hybrid SpMV, twice.
+  double total = 0.0;
+  for (int round = 0; round < 2; ++round) {
+    total += apps::sgemm::run_blocked(engine, gemm, 6).virtual_seconds;
+    total += apps::spmv::run_hybrid(engine, spmv, 6).virtual_seconds;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: scheduler policies on a mixed heterogeneous load\n");
+  std::printf("(blocked SGEMM + hybrid irregular SpMV, virtual seconds)\n\n");
+  double dmda_time = 0.0;
+  for (const char* scheduler : {"dmda", "eager", "random", "ws"}) {
+    const double t = run_mixed_load(scheduler);
+    if (std::string(scheduler) == "dmda") dmda_time = t;
+    std::printf("  %-8s %10.4f s%s\n", scheduler, t,
+                std::string(scheduler) == "dmda" ? "  (performance-aware, the TGPA policy)"
+                                                 : "");
+  }
+  std::printf(
+      "\nExpected shape: dmda wins or ties — it is the only policy that\n"
+      "accounts for expected execution time and pending data transfers\n"
+      "when placing each task.\n");
+  (void)dmda_time;
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7 reproduction: "Execution times for a Runge-Kutta ODE solver
+// (libsolve) application with 9 components and 10613 invocations" —
+// Direct-CPU vs Direct-CUDA vs Composition-Tool-CUDA over problem sizes
+// 250..1000.
+//
+// The component calls have tight data dependencies (execution is almost
+// sequential), making this the adversarial case for runtime overhead. The
+// "direct" series run the same kernels as plain function calls with
+// analytically accounted virtual time; the tool series goes through the
+// full runtime (one task per invocation). The paper's claims: (1) the tool
+// path is nearly indistinguishable from hand-written direct execution, and
+// (2) a single powerful GPU wins because data stays resident.
+#include <cstdio>
+
+#include "apps/ode.hpp"
+#include "runtime/engine.hpp"
+
+using namespace peppher;
+
+int main() {
+  std::printf(
+      "Figure 7: Runge-Kutta ODE solver, 9 components, 10613 invocations\n\n");
+  std::printf("%-6s %14s %14s %20s %10s\n", "Size", "Direct-CPU(s)",
+              "Direct-CUDA(s)", "CompositionTool-CUDA", "overhead");
+
+  const sim::MachineConfig machine = sim::MachineConfig::platform_c2050();
+  for (std::uint32_t n : {250u, 500u, 750u, 1000u}) {
+    const auto problem = apps::ode::make_problem(n, apps::ode::kPaperSteps);
+
+    const auto direct_cpu =
+        apps::ode::run_direct(problem, rt::Arch::kCpu, machine);
+    const auto direct_cuda =
+        apps::ode::run_direct(problem, rt::Arch::kCuda, machine);
+
+    rt::EngineConfig config;
+    config.machine = machine;
+    config.use_history_models = false;
+    rt::Engine engine(config);
+    const auto tool = apps::ode::run_tool(engine, problem, rt::Arch::kCuda);
+
+    std::printf("%-6u %14.3f %14.4f %20.4f %9.1f%%\n", n,
+                direct_cpu.virtual_seconds, direct_cuda.virtual_seconds,
+                tool.virtual_seconds,
+                100.0 * (tool.virtual_seconds - direct_cuda.virtual_seconds) /
+                    direct_cuda.virtual_seconds);
+    if (tool.invocations != 10613u) {
+      std::printf("  WARNING: invocation count %llu != 10613\n",
+                  static_cast<unsigned long long>(tool.invocations));
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper, log scale): Direct-CPU is ~10x above the\n"
+      "CUDA series at size 1000; the composition-tool series tracks\n"
+      "Direct-CUDA closely (low runtime overhead despite 10613 tasks).\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "apps/bfs.hpp"
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::bfs {
+
+namespace {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+/// Level-synchronous BFS (the Rodinia formulation: sweep all nodes per
+/// level; data-parallel but very irregular).
+void bfs_kernel(const std::uint32_t* rowptr, const std::uint32_t* colidx,
+                std::uint32_t* depth, std::uint32_t nnodes, std::uint32_t source,
+                rt::ExecContext* ctx) {
+  for (std::uint32_t v = 0; v < nnodes; ++v) depth[v] = kUnreached;
+  depth[source] = 0;
+  bool changed = true;
+  std::uint32_t level = 0;
+  while (changed) {
+    changed = false;
+    auto sweep = [&](std::size_t begin, std::size_t end, bool* any) {
+      for (std::size_t v = begin; v < end; ++v) {
+        if (depth[v] != level) continue;
+        for (std::uint32_t e = rowptr[v]; e < rowptr[v + 1]; ++e) {
+          const std::uint32_t w = colidx[e];
+          if (depth[w] == kUnreached) {
+            depth[w] = level + 1;
+            *any = true;
+          }
+        }
+      }
+    };
+    if (ctx != nullptr && ctx->cpu_threads() > 1) {
+      // Same-level relabeling races store the same value (level + 1), as in
+      // the Rodinia kernel; the per-chunk flags are aggregated afterwards.
+      std::vector<char> flags(static_cast<std::size_t>(ctx->cpu_threads()), 0);
+      std::atomic<std::size_t> next_flag{0};
+      ctx->parallel_for(0, nnodes, [&](std::size_t b, std::size_t e) {
+        bool any = false;
+        sweep(b, e, &any);
+        flags[next_flag.fetch_add(1) % flags.size()] |= any ? 1 : 0;
+      });
+      for (char f : flags) changed = changed || f != 0;
+    } else {
+      sweep(0, nnodes, &changed);
+    }
+    ++level;
+  }
+}
+
+void impl_body(rt::ExecContext& ctx, bool parallel) {
+  const auto& args = ctx.arg<BfsArgs>();
+  bfs_kernel(ctx.buffer_as<const std::uint32_t>(0),
+             ctx.buffer_as<const std::uint32_t>(1),
+             ctx.buffer_as<std::uint32_t>(2), args.nnodes, args.source,
+             parallel ? &ctx : nullptr);
+}
+
+sim::KernelCost bfs_cost(const std::vector<std::size_t>& bytes, const void* arg) {
+  const auto* args = static_cast<const BfsArgs*>(arg);
+  sim::KernelCost cost;
+  // Each edge is touched ~once across levels; each node a handful of times.
+  cost.flops = 2.0 * args->nedges + 4.0 * args->nnodes;
+  cost.bytes = static_cast<double>(bytes[0] + bytes[1]) +
+               8.0 * args->nnodes * sizeof(std::uint32_t);
+  cost.regularity = 0.12;  // pointer-chasing gathers/scatters
+  return cost;
+}
+
+}  // namespace
+
+void register_components() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Codelet& codelet = core::ComponentRegistry::global().get_or_create("bfs");
+    codelet.add_impl({rt::Arch::kCpu, "bfs_cpu",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &bfs_cost});
+    codelet.add_impl({rt::Arch::kCpuOmp, "bfs_openmp",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, true); },
+                      &bfs_cost});
+    codelet.add_impl({rt::Arch::kCuda, "bfs_cuda",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &bfs_cost});
+    codelet.add_impl({rt::Arch::kOpenCl, "bfs_opencl",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &bfs_cost});
+  });
+}
+
+Problem make_problem(std::uint32_t nnodes, std::uint32_t degree,
+                     std::uint64_t seed) {
+  check(nnodes > 0, "bfs: empty graph");
+  Problem p;
+  p.nnodes = nnodes;
+  p.rowptr.reserve(nnodes + 1);
+  p.rowptr.push_back(0);
+  Rng rng(seed);
+  for (std::uint32_t v = 0; v < nnodes; ++v) {
+    const std::uint32_t out = 1 + static_cast<std::uint32_t>(rng.next_below(2 * degree));
+    for (std::uint32_t e = 0; e < out; ++e) {
+      p.colidx.push_back(static_cast<std::uint32_t>(rng.next_below(nnodes)));
+    }
+    p.rowptr.push_back(static_cast<std::uint32_t>(p.colidx.size()));
+  }
+  p.source = 0;
+  return p;
+}
+
+std::vector<std::uint32_t> reference(const Problem& problem) {
+  std::vector<std::uint32_t> depth(problem.nnodes, kUnreached);
+  bfs_kernel(problem.rowptr.data(), problem.colidx.data(), depth.data(),
+             problem.nnodes, problem.source, nullptr);
+  return depth;
+}
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force) {
+  register_components();
+  rt::Codelet* codelet = core::ComponentRegistry::global().find("bfs");
+  check(codelet != nullptr, "bfs codelet missing");
+
+  RunResult result;
+  result.depth.assign(problem.nnodes, 0);
+  engine.reset_virtual_time();
+  engine.reset_transfer_stats();
+
+  auto h_rowptr = engine.register_buffer(
+      const_cast<std::uint32_t*>(problem.rowptr.data()),
+      problem.rowptr.size() * sizeof(std::uint32_t), sizeof(std::uint32_t));
+  auto h_colidx = engine.register_buffer(
+      const_cast<std::uint32_t*>(problem.colidx.data()),
+      problem.colidx.size() * sizeof(std::uint32_t), sizeof(std::uint32_t));
+  auto h_depth = engine.register_buffer(result.depth.data(),
+                                        result.depth.size() * sizeof(std::uint32_t),
+                                        sizeof(std::uint32_t));
+
+  auto args = std::make_shared<BfsArgs>();
+  args->nnodes = problem.nnodes;
+  args->nedges = static_cast<std::uint32_t>(problem.colidx.size());
+  args->source = problem.source;
+
+  rt::TaskSpec spec;
+  spec.codelet = codelet;
+  spec.operands = {{h_rowptr, rt::AccessMode::kRead},
+                   {h_colidx, rt::AccessMode::kRead},
+                   {h_depth, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  spec.forced_arch = force;
+  engine.submit(std::move(spec));
+  engine.acquire_host(h_depth, rt::AccessMode::kRead);
+  engine.wait_for_all();
+  result.virtual_seconds = engine.virtual_makespan();
+  return result;
+}
+
+}  // namespace peppher::apps::bfs

@@ -1,0 +1,48 @@
+// Breadth-first search (Rodinia "bfs"): computes the BFS depth of every
+// node of a directed graph from a source node. Highly irregular memory
+// access — the workload class where the cache-less C1060 loses to the CPU
+// while the cached C2050 stays competitive (Figure 6a vs 6b).
+//
+// Component "bfs": operands [rowptr R, colidx R, depth W], argument
+// {nnodes, nedges, source}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::bfs {
+
+struct BfsArgs {
+  std::uint32_t nnodes = 0;
+  std::uint32_t nedges = 0;
+  std::uint32_t source = 0;
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t nnodes = 0;
+  std::vector<std::uint32_t> rowptr;  ///< nnodes + 1
+  std::vector<std::uint32_t> colidx;  ///< edge targets
+  std::uint32_t source = 0;
+};
+
+/// Random graph with ~`degree` out-edges per node (deterministic in seed).
+Problem make_problem(std::uint32_t nnodes, std::uint32_t degree,
+                     std::uint64_t seed = 23);
+
+/// Serial reference (no runtime); unreachable nodes get UINT32_MAX.
+std::vector<std::uint32_t> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<std::uint32_t> depth;
+  double virtual_seconds = 0.0;
+};
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force = std::nullopt);
+
+}  // namespace peppher::apps::bfs

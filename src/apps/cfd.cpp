@@ -1,0 +1,184 @@
+#include "apps/cfd.hpp"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::cfd {
+
+namespace {
+
+/// One explicit step for a cell range: gathers the neighbours' conserved
+/// variables and applies a damped flux-exchange update (a structural
+/// simplification of Euler3D's compute_flux + time_step).
+void step_cells(const std::uint32_t* neighbors, const float* in, float* out,
+                std::uint32_t ncells, float damping, std::size_t begin,
+                std::size_t end) {
+  for (std::size_t cell = begin; cell < end; ++cell) {
+    const float* mine = in + cell * kVariables;
+    float flux[kVariables] = {0, 0, 0, 0, 0};
+    for (int nb = 0; nb < kNeighbors; ++nb) {
+      const std::uint32_t other = neighbors[cell * kNeighbors + nb];
+      const float* theirs = in + static_cast<std::size_t>(other) * kVariables;
+      // Pressure-like coupling between density and energy plus advection of
+      // momentum (arithmetic mirrors the per-face flux of the original).
+      const float dp = theirs[0] - mine[0];
+      const float de = theirs[4] - mine[4];
+      flux[0] += dp + 0.1f * de;
+      flux[1] += 0.5f * (theirs[1] - mine[1]) + 0.05f * dp;
+      flux[2] += 0.5f * (theirs[2] - mine[2]) + 0.05f * dp;
+      flux[3] += 0.5f * (theirs[3] - mine[3]) + 0.05f * dp;
+      flux[4] += de + 0.1f * dp;
+    }
+    for (int v = 0; v < kVariables; ++v) {
+      out[cell * kVariables + v] =
+          mine[v] + damping * flux[v] / static_cast<float>(kNeighbors);
+    }
+    (void)ncells;
+  }
+}
+
+/// Whole solve in one kernel (Rodinia granularity): `steps` sweeps
+/// ping-ponging between state and scratch; the result ends in the state
+/// operand.
+void impl_body(rt::ExecContext& ctx, bool parallel) {
+  const auto& args = ctx.arg<CfdArgs>();
+  const auto* neighbors = ctx.buffer_as<const std::uint32_t>(0);
+  auto* state = ctx.buffer_as<float>(1);
+  auto* scratch = ctx.buffer_as<float>(2);
+  float* in = state;
+  float* out = scratch;
+  for (int s = 0; s < args.steps; ++s) {
+    if (parallel) {
+      ctx.parallel_for(0, args.ncells, [&](std::size_t b, std::size_t e) {
+        step_cells(neighbors, in, out, args.ncells, args.damping, b, e);
+      });
+    } else {
+      step_cells(neighbors, in, out, args.ncells, args.damping, 0, args.ncells);
+    }
+    std::swap(in, out);
+  }
+  if (in != state) {
+    const std::size_t count =
+        static_cast<std::size_t>(args.ncells) * kVariables;
+    for (std::size_t i = 0; i < count; ++i) state[i] = in[i];
+  }
+}
+
+sim::KernelCost cfd_cost(const std::vector<std::size_t>& bytes, const void* arg) {
+  const auto* args = static_cast<const CfdArgs*>(arg);
+  const double cells = args->ncells;
+  sim::KernelCost cost;
+  cost.flops =
+      (cells * kNeighbors * 14.0 + cells * kVariables * 3.0) * args->steps;
+  cost.bytes = (static_cast<double>(bytes[0] + bytes[1] + bytes[2]) +
+                cells * kNeighbors * kVariables * sizeof(float) * 0.5) *
+               args->steps;
+  cost.regularity = 0.55;  // clustered indirect gathers
+  return cost;
+}
+
+}  // namespace
+
+void register_components() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Codelet& codelet =
+        core::ComponentRegistry::global().get_or_create("cfd");
+    codelet.add_impl({rt::Arch::kCpu, "cfd_cpu",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &cfd_cost});
+    codelet.add_impl({rt::Arch::kCpuOmp, "cfd_openmp",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, true); },
+                      &cfd_cost});
+    codelet.add_impl({rt::Arch::kCuda, "cfd_cuda",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &cfd_cost});
+    codelet.add_impl({rt::Arch::kOpenCl, "cfd_opencl",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &cfd_cost});
+  });
+}
+
+Problem make_problem(std::uint32_t ncells, int steps, std::uint64_t seed) {
+  check(ncells >= 8, "cfd: mesh too small");
+  Problem p;
+  p.ncells = ncells;
+  p.steps = steps;
+  p.neighbors.resize(static_cast<std::size_t>(ncells) * kNeighbors);
+  p.state.resize(static_cast<std::size_t>(ncells) * kVariables);
+  Rng rng(seed);
+  for (std::uint32_t cell = 0; cell < ncells; ++cell) {
+    for (int nb = 0; nb < kNeighbors; ++nb) {
+      // Mostly local neighbours (mesh locality) with occasional far links.
+      const std::int64_t offset =
+          static_cast<std::int64_t>(rng.next_below(16)) - 8;
+      std::int64_t other = static_cast<std::int64_t>(cell) + offset;
+      if (rng.next_double() < 0.05) {
+        other = static_cast<std::int64_t>(rng.next_below(ncells));
+      }
+      other = std::max<std::int64_t>(0, std::min<std::int64_t>(ncells - 1, other));
+      p.neighbors[static_cast<std::size_t>(cell) * kNeighbors + nb] =
+          static_cast<std::uint32_t>(other);
+    }
+  }
+  for (float& v : p.state) v = static_cast<float>(rng.uniform(0.5, 1.5));
+  return p;
+}
+
+std::vector<float> reference(const Problem& problem) {
+  std::vector<float> a = problem.state;
+  std::vector<float> b(a.size());
+  for (int s = 0; s < problem.steps; ++s) {
+    step_cells(problem.neighbors.data(), a.data(), b.data(), problem.ncells,
+               problem.damping, 0, problem.ncells);
+    std::swap(a, b);
+  }
+  return a;
+}
+
+RunResult run(rt::Engine& engine, const Problem& problem,
+              std::optional<rt::Arch> force) {
+  register_components();
+  rt::Codelet* codelet = core::ComponentRegistry::global().find("cfd");
+  check(codelet != nullptr, "cfd codelet missing");
+
+  RunResult result;
+  result.state = problem.state;
+  std::vector<float> scratch(result.state.size(), 0.0f);
+  engine.reset_virtual_time();
+  engine.reset_transfer_stats();
+
+  auto h_neighbors = engine.register_buffer(
+      const_cast<std::uint32_t*>(problem.neighbors.data()),
+      problem.neighbors.size() * sizeof(std::uint32_t), sizeof(std::uint32_t));
+  auto h_state = engine.register_buffer(result.state.data(),
+                                        result.state.size() * sizeof(float),
+                                        sizeof(float));
+  auto h_scratch = engine.register_buffer(scratch.data(),
+                                          scratch.size() * sizeof(float),
+                                          sizeof(float));
+
+  auto args = std::make_shared<CfdArgs>();
+  args->ncells = problem.ncells;
+  args->steps = problem.steps;
+  args->damping = problem.damping;
+  rt::TaskSpec spec;
+  spec.codelet = codelet;
+  spec.operands = {{h_neighbors, rt::AccessMode::kRead},
+                   {h_state, rt::AccessMode::kReadWrite},
+                   {h_scratch, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  spec.forced_arch = force;
+  engine.submit(std::move(spec));
+  engine.acquire_host(h_state, rt::AccessMode::kRead);
+  engine.wait_for_all();
+  result.virtual_seconds = engine.virtual_makespan();
+  return result;
+}
+
+}  // namespace peppher::apps::cfd

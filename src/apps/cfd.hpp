@@ -1,0 +1,51 @@
+// Computational fluid dynamics (Rodinia "cfd", Euler3D redux): explicit
+// time stepping of conserved variables on an unstructured mesh, with flux
+// contributions gathered from 4 neighbours per cell. Indirect (but
+// moderately clustered) memory access. As in Rodinia, one component
+// invocation performs the whole multi-step solve (iterations inside the
+// kernel, double-buffering against a scratch state).
+//
+// Component "cfd": operands [neighbors R, state RW, scratch W], argument
+// {ncells, steps, damping}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::cfd {
+
+inline constexpr int kNeighbors = 4;
+inline constexpr int kVariables = 5;  ///< density, 3 momentum, energy
+
+struct CfdArgs {
+  std::uint32_t ncells = 0;
+  int steps = 1;
+  float damping = 0.15f;
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t ncells = 0;
+  int steps = 3;
+  std::vector<std::uint32_t> neighbors;  ///< ncells * kNeighbors
+  std::vector<float> state;              ///< ncells * kVariables
+  float damping = 0.15f;
+};
+
+Problem make_problem(std::uint32_t ncells, int steps, std::uint64_t seed = 37);
+
+std::vector<float> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<float> state;
+  double virtual_seconds = 0.0;
+};
+
+RunResult run(rt::Engine& engine, const Problem& problem,
+              std::optional<rt::Arch> force = std::nullopt);
+
+}  // namespace peppher::apps::cfd

@@ -1,0 +1,49 @@
+// Shared helpers for the evaluation applications (the PEPPHER-ized Rodinia
+// kernels, the scientific kernels and the ODE solver of §V).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace peppher::apps {
+
+/// Order-insensitive checksum for float results (sum + sum of squares),
+/// tolerant to the re-association hybrid execution introduces.
+struct Checksum {
+  double sum = 0.0;
+  double sum_squares = 0.0;
+
+  void add(float value) noexcept {
+    sum += value;
+    sum_squares += static_cast<double>(value) * value;
+  }
+
+  /// Relative closeness of two checksums.
+  bool close_to(const Checksum& other, double rel_tol = 1e-3) const noexcept {
+    auto close = [rel_tol](double a, double b) {
+      const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+      return std::fabs(a - b) <= rel_tol * scale;
+    };
+    return close(sum, other.sum) && close(sum_squares, other.sum_squares);
+  }
+};
+
+inline Checksum checksum_of(std::span<const float> values) noexcept {
+  Checksum c;
+  for (float v : values) c.add(v);
+  return c;
+}
+
+/// Max absolute difference of two float spans (same length).
+inline double max_abs_diff(std::span<const float> a, std::span<const float> b) noexcept {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    worst = std::max(worst, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace peppher::apps

@@ -1,0 +1,102 @@
+// Table I "Direct" version of the BFS application: hand-written runtime
+// glue (task function, codelet, registration, synchronisation).
+#include "apps/drivers/drivers.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+namespace {
+
+struct DirectBfsArgs {
+  std::uint32_t nnodes;
+  std::uint32_t source;
+};
+
+void bfs_task(void** buffers, const void* arg) {
+  const auto* a = static_cast<const DirectBfsArgs*>(arg);
+  const auto* rowptr = static_cast<const std::uint32_t*>(buffers[0]);
+  const auto* colidx = static_cast<const std::uint32_t*>(buffers[1]);
+  auto* depth = static_cast<std::uint32_t*>(buffers[2]);
+  for (std::uint32_t v = 0; v < a->nnodes; ++v) depth[v] = 0xFFFFFFFFu;
+  depth[a->source] = 0;
+  bool changed = true;
+  for (std::uint32_t level = 0; changed; ++level) {
+    changed = false;
+    for (std::uint32_t v = 0; v < a->nnodes; ++v) {
+      if (depth[v] != level) continue;
+      for (std::uint32_t e = rowptr[v]; e < rowptr[v + 1]; ++e) {
+        if (depth[colidx[e]] == 0xFFFFFFFFu) {
+          depth[colidx[e]] = level + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+rt::Codelet& direct_bfs_codelet() {
+  static rt::Codelet codelet("bfs_direct");
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Implementation cpu;
+    cpu.arch = rt::Arch::kCpu;
+    cpu.name = "bfs_direct_cpu";
+    cpu.fn = core::wrap_c_task(&bfs_task);
+    codelet.add_impl(std::move(cpu));
+
+    rt::Implementation cuda;
+    cuda.arch = rt::Arch::kCuda;
+    cuda.name = "bfs_direct_cuda";
+    cuda.fn = core::wrap_c_task(&bfs_task);
+    codelet.add_impl(std::move(cuda));
+  });
+  return codelet;
+}
+
+}  // namespace
+
+double bfs_direct(const bfs::Problem& problem) {
+  rt::Engine& engine = core::engine();
+
+  std::vector<std::uint32_t> depth(problem.nnodes, 0);
+  auto h_rowptr = engine.register_buffer(
+      const_cast<std::uint32_t*>(problem.rowptr.data()),
+      problem.rowptr.size() * sizeof(std::uint32_t), sizeof(std::uint32_t));
+  auto h_colidx = engine.register_buffer(
+      const_cast<std::uint32_t*>(problem.colidx.data()),
+      problem.colidx.size() * sizeof(std::uint32_t), sizeof(std::uint32_t));
+  auto h_depth = engine.register_buffer(depth.data(),
+                                        depth.size() * sizeof(std::uint32_t),
+                                        sizeof(std::uint32_t));
+
+  auto args = std::make_shared<DirectBfsArgs>();
+  args->nnodes = problem.nnodes;
+  args->source = problem.source;
+
+  rt::TaskSpec spec;
+  spec.codelet = &direct_bfs_codelet();
+  spec.operands = {{h_rowptr, rt::AccessMode::kRead},
+                   {h_colidx, rt::AccessMode::kRead},
+                   {h_depth, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  rt::TaskPtr task = engine.submit(std::move(spec));
+  engine.wait(task);
+  engine.acquire_host(h_depth, rt::AccessMode::kRead);
+  engine.unregister(h_rowptr);
+  engine.unregister(h_colidx);
+  engine.unregister(h_depth);
+
+  double reached = 0.0;
+  for (std::uint32_t d : depth) {
+    if (d != 0xFFFFFFFFu) reached += 1.0 + d;
+  }
+  return reached;
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,40 @@
+// Table I "Tool" version of the BFS application.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+double bfs_tool(const bfs::Problem& problem) {
+  bfs::register_components();
+  rt::Engine& engine = core::engine();
+
+  cont::Vector<std::uint32_t> rowptr(&engine, problem.rowptr.size());
+  cont::Vector<std::uint32_t> colidx(&engine, problem.colidx.size());
+  cont::Vector<std::uint32_t> depth(&engine, problem.nnodes);
+  std::ranges::copy(problem.rowptr, rowptr.write_access().begin());
+  std::ranges::copy(problem.colidx, colidx.write_access().begin());
+
+  auto args = std::make_shared<bfs::BfsArgs>();
+  args->nnodes = problem.nnodes;
+  args->nedges = static_cast<std::uint32_t>(problem.colidx.size());
+  args->source = problem.source;
+
+  core::invoke("bfs",
+               {{rowptr.handle(), rt::AccessMode::kRead},
+                {colidx.handle(), rt::AccessMode::kRead},
+                {depth.handle(), rt::AccessMode::kWrite}},
+               std::shared_ptr<const void>(args, args.get()));
+
+  double reached = 0.0;
+  for (std::uint32_t d : depth.read_access()) {
+    if (d != 0xFFFFFFFFu) reached += 1.0 + d;
+  }
+  return reached;
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,55 @@
+// Table I "Direct" version of the cfd application: hand-written runtime
+// glue (buffers, registration, argument block, task, synchronisation,
+// copy-back, unregistration).
+#include "apps/drivers/drivers.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+double cfd_direct(const cfd::Problem& problem) {
+  cfd::register_components();
+  rt::Engine& engine = core::engine();
+
+  std::vector<std::uint32_t> neighbors = problem.neighbors;
+  std::vector<float> state = problem.state;
+  std::vector<float> scratch(problem.state.size(), 0.0f);
+  auto h_neighbors = engine.register_buffer(
+      neighbors.data(), neighbors.size() * sizeof(std::uint32_t),
+      sizeof(std::uint32_t));
+  auto h_state = engine.register_buffer(state.data(),
+                                        state.size() * sizeof(float),
+                                        sizeof(float));
+  auto h_scratch = engine.register_buffer(scratch.data(),
+                                          scratch.size() * sizeof(float),
+                                          sizeof(float));
+
+  auto args = std::make_shared<cfd::CfdArgs>();
+  args->ncells = problem.ncells;
+  args->steps = problem.steps;
+  args->damping = problem.damping;
+
+  rt::TaskSpec spec;
+  spec.codelet = core::ComponentRegistry::global().find("cfd");
+  spec.operands = {{h_neighbors, rt::AccessMode::kRead},
+                   {h_state, rt::AccessMode::kReadWrite},
+                   {h_scratch, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  rt::TaskPtr task = engine.submit(std::move(spec));
+  engine.wait(task);
+
+  engine.acquire_host(h_state, rt::AccessMode::kRead);
+  engine.unregister(h_neighbors);
+  engine.unregister(h_state);
+  engine.unregister(h_scratch);
+
+  double sum = 0.0;
+  for (float v : state) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,37 @@
+// Table I "Tool" version of the cfd application.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+double cfd_tool(const cfd::Problem& problem) {
+  cfd::register_components();
+  rt::Engine& engine = core::engine();
+
+  cont::Vector<std::uint32_t> neighbors(&engine, problem.neighbors.size());
+  cont::Vector<float> state(&engine, problem.state.size());
+  cont::Vector<float> scratch(&engine, problem.state.size());
+  std::ranges::copy(problem.neighbors, neighbors.write_access().begin());
+  std::ranges::copy(problem.state, state.write_access().begin());
+
+  auto args = std::make_shared<cfd::CfdArgs>();
+  args->ncells = problem.ncells;
+  args->steps = problem.steps;
+  args->damping = problem.damping;
+  core::invoke("cfd",
+               {{neighbors.handle(), rt::AccessMode::kRead},
+                {state.handle(), rt::AccessMode::kReadWrite},
+                {scratch.handle(), rt::AccessMode::kWrite}},
+               std::shared_ptr<const void>(args, args.get()));
+
+  double sum = 0.0;
+  for (float v : state.read_access()) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,30 @@
+#include "apps/drivers/drivers.hpp"
+
+namespace peppher::apps::drivers {
+
+const std::vector<DriverSources>& driver_sources() {
+  static const std::vector<DriverSources> sources = {
+      {"SpMV", "src/apps/drivers/spmv_tool.cpp",
+       "src/apps/drivers/spmv_direct.cpp"},
+      {"SGEMM", "src/apps/drivers/sgemm_tool.cpp",
+       "src/apps/drivers/sgemm_direct.cpp"},
+      {"bfs", "src/apps/drivers/bfs_tool.cpp",
+       "src/apps/drivers/bfs_direct.cpp"},
+      {"cfd", "src/apps/drivers/cfd_tool.cpp",
+       "src/apps/drivers/cfd_direct.cpp"},
+      {"hotspot", "src/apps/drivers/hotspot_tool.cpp",
+       "src/apps/drivers/hotspot_direct.cpp"},
+      {"lud", "src/apps/drivers/lud_tool.cpp",
+       "src/apps/drivers/lud_direct.cpp"},
+      {"nw", "src/apps/drivers/nw_tool.cpp", "src/apps/drivers/nw_direct.cpp"},
+      {"particlefilter", "src/apps/drivers/particlefilter_tool.cpp",
+       "src/apps/drivers/particlefilter_direct.cpp"},
+      {"pathfinder", "src/apps/drivers/pathfinder_tool.cpp",
+       "src/apps/drivers/pathfinder_direct.cpp"},
+      {"ODE Solver", "src/apps/drivers/ode_tool.cpp",
+       "src/apps/drivers/ode_direct.cpp"},
+  };
+  return sources;
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,70 @@
+// Table I driver pairs (§V-B): for every evaluation application there are
+// two functionally equivalent drivers —
+//   * <app>_tool:   the code the programmer writes when using the
+//                    composition tool (smart containers + component calls;
+//                    all runtime glue is generated), and
+//   * <app>_direct: the equivalent hand-written code directly against the
+//                    runtime system (explicit codelets, C-style task
+//                    functions, argument packing, data registration,
+//                    consistency handling).
+// The LoC benchmark (bench_table1_loc) counts the physical source lines of
+// these files; the equivalence tests check both produce the same numbers.
+//
+// All drivers use the global PEPPHER runtime: call PEPPHER_INITIALIZE()
+// first. Each returns a result checksum.
+#pragma once
+
+#include "apps/bfs.hpp"
+#include "apps/cfd.hpp"
+#include "apps/hotspot.hpp"
+#include "apps/lud.hpp"
+#include "apps/nw.hpp"
+#include "apps/ode.hpp"
+#include "apps/particlefilter.hpp"
+#include "apps/pathfinder.hpp"
+#include "apps/sgemm.hpp"
+#include "apps/spmv.hpp"
+
+namespace peppher::apps::drivers {
+
+double spmv_tool(const spmv::Problem& problem);
+double spmv_direct(const spmv::Problem& problem);
+
+double sgemm_tool(const sgemm::Problem& problem);
+double sgemm_direct(const sgemm::Problem& problem);
+
+double bfs_tool(const bfs::Problem& problem);
+double bfs_direct(const bfs::Problem& problem);
+
+double cfd_tool(const cfd::Problem& problem);
+double cfd_direct(const cfd::Problem& problem);
+
+double hotspot_tool(const hotspot::Problem& problem);
+double hotspot_direct(const hotspot::Problem& problem);
+
+double lud_tool(const lud::Problem& problem);
+double lud_direct(const lud::Problem& problem);
+
+double nw_tool(const nw::Problem& problem);
+double nw_direct(const nw::Problem& problem);
+
+double particlefilter_tool(const particlefilter::Problem& problem);
+double particlefilter_direct(const particlefilter::Problem& problem);
+
+double pathfinder_tool(const pathfinder::Problem& problem);
+double pathfinder_direct(const pathfinder::Problem& problem);
+
+double ode_tool(const ode::Problem& problem);
+double ode_direct(const ode::Problem& problem);
+
+/// Source file pair of one application's drivers, for the LoC benchmark.
+struct DriverSources {
+  const char* app;
+  const char* tool_file;    ///< repo-relative path
+  const char* direct_file;  ///< repo-relative path
+};
+
+/// All ten applications' driver sources (paths relative to the repo root).
+const std::vector<DriverSources>& driver_sources();
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,56 @@
+// Table I "Direct" version of the hotspot application: the buffers, the
+// scratch grid, the argument block, the task and all synchronisation /
+// copy-back handled explicitly against the runtime (the kernel itself is
+// shared with the component library, as in the tool version).
+#include "apps/drivers/drivers.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+double hotspot_direct(const hotspot::Problem& problem) {
+  hotspot::register_components();
+  rt::Engine& engine = core::engine();
+
+  // Manual staging buffers and registration for all three operands.
+  std::vector<float> power = problem.power;
+  std::vector<float> temp = problem.temp;
+  std::vector<float> scratch(problem.temp.size(), 0.0f);
+  auto h_power = engine.register_buffer(power.data(),
+                                        power.size() * sizeof(float),
+                                        sizeof(float));
+  auto h_temp = engine.register_buffer(temp.data(), temp.size() * sizeof(float),
+                                       sizeof(float));
+  auto h_scratch = engine.register_buffer(scratch.data(),
+                                          scratch.size() * sizeof(float),
+                                          sizeof(float));
+
+  // Manual argument packing.
+  auto args = std::make_shared<hotspot::HotspotArgs>(problem.coefficients);
+
+  // Manual task construction, submission and synchronisation.
+  rt::TaskSpec spec;
+  spec.codelet = core::ComponentRegistry::global().find("hotspot");
+  spec.operands = {{h_power, rt::AccessMode::kRead},
+                   {h_temp, rt::AccessMode::kReadWrite},
+                   {h_scratch, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  rt::TaskPtr task = engine.submit(std::move(spec));
+  engine.wait(task);
+
+  // Manual consistency: fetch the result home and release every handle.
+  engine.acquire_host(h_temp, rt::AccessMode::kRead);
+  engine.unregister(h_power);
+  engine.unregister(h_temp);
+  engine.unregister(h_scratch);
+
+  double sum = 0.0;
+  for (float v : temp) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

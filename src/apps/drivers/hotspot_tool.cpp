@@ -1,0 +1,36 @@
+// Table I "Tool" version of the hotspot application: smart containers plus
+// one coarse component call (the steps iterate inside the kernel, as in
+// Rodinia); data consistency is handled by the framework.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+double hotspot_tool(const hotspot::Problem& problem) {
+  hotspot::register_components();
+  rt::Engine& engine = core::engine();
+
+  cont::Vector<float> power(&engine, problem.power.size());
+  cont::Vector<float> temp(&engine, problem.temp.size());
+  cont::Vector<float> scratch(&engine, problem.temp.size());
+  std::ranges::copy(problem.power, power.write_access().begin());
+  std::ranges::copy(problem.temp, temp.write_access().begin());
+
+  auto args = std::make_shared<hotspot::HotspotArgs>(problem.coefficients);
+  core::invoke("hotspot",
+               {{power.handle(), rt::AccessMode::kRead},
+                {temp.handle(), rt::AccessMode::kReadWrite},
+                {scratch.handle(), rt::AccessMode::kWrite}},
+               std::shared_ptr<const void>(args, args.get()));
+
+  double sum = 0.0;
+  for (float v : temp.read_access()) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,81 @@
+// Table I "Direct" version of the lud application: hand-written runtime
+// glue, including the in-place LU task function for every backend.
+#include "apps/drivers/drivers.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+namespace {
+
+struct DirectLudArgs {
+  std::uint32_t n;
+};
+
+void lud_task(void** buffers, const void* arg) {
+  const auto* a = static_cast<const DirectLudArgs*>(arg);
+  auto* A = static_cast<float*>(buffers[0]);
+  const std::uint32_t n = a->n;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const float pivot = A[static_cast<std::size_t>(k) * n + k];
+    for (std::uint32_t i = k + 1; i < n; ++i) {
+      float* row_i = A + static_cast<std::size_t>(i) * n;
+      const float factor = row_i[k] / pivot;
+      row_i[k] = factor;
+      const float* row_k = A + static_cast<std::size_t>(k) * n;
+      for (std::uint32_t j = k + 1; j < n; ++j) row_i[j] -= factor * row_k[j];
+    }
+  }
+}
+
+rt::Codelet& direct_lud_codelet() {
+  static rt::Codelet codelet("lud_direct");
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Implementation cpu;
+    cpu.arch = rt::Arch::kCpu;
+    cpu.name = "lud_direct_cpu";
+    cpu.fn = core::wrap_c_task(&lud_task);
+    codelet.add_impl(std::move(cpu));
+
+    rt::Implementation cuda;
+    cuda.arch = rt::Arch::kCuda;
+    cuda.name = "lud_direct_cuda";
+    cuda.fn = core::wrap_c_task(&lud_task);
+    codelet.add_impl(std::move(cuda));
+  });
+  return codelet;
+}
+
+}  // namespace
+
+double lud_direct(const lud::Problem& problem) {
+  rt::Engine& engine = core::engine();
+
+  std::vector<float> A = problem.A;
+  auto h_A = engine.register_buffer(A.data(), A.size() * sizeof(float),
+                                    sizeof(float));
+
+  auto args = std::make_shared<DirectLudArgs>();
+  args->n = problem.n;
+
+  rt::TaskSpec spec;
+  spec.codelet = &direct_lud_codelet();
+  spec.operands = {{h_A, rt::AccessMode::kReadWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  rt::TaskPtr task = engine.submit(std::move(spec));
+  engine.wait(task);
+  engine.acquire_host(h_A, rt::AccessMode::kRead);
+  engine.unregister(h_A);
+
+  double sum = 0.0;
+  for (float v : A) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

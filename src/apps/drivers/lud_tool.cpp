@@ -1,0 +1,29 @@
+// Table I "Tool" version of the lud application.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+double lud_tool(const lud::Problem& problem) {
+  lud::register_components();
+  rt::Engine& engine = core::engine();
+
+  cont::Matrix<float> A(&engine, problem.n, problem.n);
+  std::ranges::copy(problem.A, A.write_access().begin());
+
+  auto args = std::make_shared<lud::LudArgs>();
+  args->n = problem.n;
+  core::invoke("lud", {{A.handle(), rt::AccessMode::kReadWrite}},
+               std::shared_ptr<const void>(args, args.get()));
+
+  double sum = 0.0;
+  for (float v : A.read_access()) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

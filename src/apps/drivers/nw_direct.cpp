@@ -1,0 +1,49 @@
+// Table I "Direct" version of the nw application: hand-written runtime
+// glue around the shared component kernel.
+#include "apps/drivers/drivers.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+double nw_direct(const nw::Problem& problem) {
+  nw::register_components();
+  rt::Engine& engine = core::engine();
+  const std::size_t dim = static_cast<std::size_t>(problem.n) + 1;
+
+  std::vector<std::int8_t> seq1 = problem.seq1;
+  std::vector<std::int8_t> seq2 = problem.seq2;
+  std::vector<std::int32_t> score(dim * dim, 0);
+  auto h_seq1 = engine.register_buffer(seq1.data(), seq1.size(),
+                                       sizeof(std::int8_t));
+  auto h_seq2 = engine.register_buffer(seq2.data(), seq2.size(),
+                                       sizeof(std::int8_t));
+  auto h_score = engine.register_buffer(score.data(),
+                                        score.size() * sizeof(std::int32_t),
+                                        sizeof(std::int32_t));
+
+  auto args = std::make_shared<nw::NwArgs>();
+  args->n = problem.n;
+  args->penalty = problem.penalty;
+
+  rt::TaskSpec spec;
+  spec.codelet = core::ComponentRegistry::global().find("nw");
+  spec.operands = {{h_seq1, rt::AccessMode::kRead},
+                   {h_seq2, rt::AccessMode::kRead},
+                   {h_score, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  rt::TaskPtr task = engine.submit(std::move(spec));
+  engine.wait(task);
+  engine.acquire_host(h_score, rt::AccessMode::kRead);
+  engine.unregister(h_seq1);
+  engine.unregister(h_seq2);
+  engine.unregister(h_score);
+
+  return static_cast<double>(score[dim * dim - 1]);
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,36 @@
+// Table I "Tool" version of the nw (Needleman-Wunsch) application.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+double nw_tool(const nw::Problem& problem) {
+  nw::register_components();
+  rt::Engine& engine = core::engine();
+  const std::size_t dim = static_cast<std::size_t>(problem.n) + 1;
+
+  cont::Vector<std::int8_t> seq1(&engine, problem.seq1.size());
+  cont::Vector<std::int8_t> seq2(&engine, problem.seq2.size());
+  cont::Matrix<std::int32_t> score(&engine, dim, dim);
+  std::ranges::copy(problem.seq1, seq1.write_access().begin());
+  std::ranges::copy(problem.seq2, seq2.write_access().begin());
+
+  auto args = std::make_shared<nw::NwArgs>();
+  args->n = problem.n;
+  args->penalty = problem.penalty;
+
+  core::invoke("nw",
+               {{seq1.handle(), rt::AccessMode::kRead},
+                {seq2.handle(), rt::AccessMode::kRead},
+                {score.handle(), rt::AccessMode::kWrite}},
+               std::shared_ptr<const void>(args, args.get()));
+
+  return static_cast<double>(score(problem.n, problem.n));
+}
+
+}  // namespace peppher::apps::drivers

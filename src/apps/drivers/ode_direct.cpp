@@ -1,0 +1,120 @@
+// Table I "Direct" version of the Runge-Kutta ODE solver: the same nine
+// component chain hand-coded against the runtime system. Every one of the
+// seven data buffers is registered manually, every one of the 9*steps task
+// submissions builds its own TaskSpec, and all synchronisation points and
+// copy-backs are explicit — the code the composition tool saves the
+// programmer from writing (the paper's largest Table I entry).
+#include "apps/drivers/drivers.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+namespace {
+
+rt::TaskPtr submit_direct(rt::Engine& engine, const char* component,
+                          std::vector<rt::TaskOperand> operands,
+                          std::uint32_t n, float h, float c1, float c2,
+                          float c3, float c4) {
+  auto args = std::make_shared<ode::OdeVecArgs>();
+  args->n = n;
+  args->h = h;
+  args->c1 = c1;
+  args->c2 = c2;
+  args->c3 = c3;
+  args->c4 = c4;
+  rt::TaskSpec spec;
+  spec.codelet = core::ComponentRegistry::global().find(component);
+  spec.operands = std::move(operands);
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  return engine.submit(std::move(spec));
+}
+
+}  // namespace
+
+double ode_direct(const ode::Problem& problem) {
+  ode::register_components();
+  rt::Engine& engine = core::engine();
+  const std::uint32_t n = problem.n;
+  const float h = problem.h;
+  using M = rt::AccessMode;
+
+  // Manual buffers and registrations for the Jacobian, the state and every
+  // stage vector.
+  std::vector<float> J = problem.jacobian;
+  std::vector<float> y = problem.y0;
+  std::vector<float> k1(n), k2(n), k3(n), k4(n), t(n);
+  float err = 0.0f;
+  auto h_J = engine.register_buffer(J.data(), J.size() * sizeof(float),
+                                    sizeof(float));
+  auto h_y = engine.register_buffer(y.data(), y.size() * sizeof(float),
+                                    sizeof(float));
+  auto h_k1 = engine.register_buffer(k1.data(), k1.size() * sizeof(float),
+                                     sizeof(float));
+  auto h_k2 = engine.register_buffer(k2.data(), k2.size() * sizeof(float),
+                                     sizeof(float));
+  auto h_k3 = engine.register_buffer(k3.data(), k3.size() * sizeof(float),
+                                     sizeof(float));
+  auto h_k4 = engine.register_buffer(k4.data(), k4.size() * sizeof(float),
+                                     sizeof(float));
+  auto h_t = engine.register_buffer(t.data(), t.size() * sizeof(float),
+                                    sizeof(float));
+  auto h_err = engine.register_buffer(&err, sizeof(float), sizeof(float));
+
+  // Manual task chain: 9 explicit submissions per integration step.
+  for (int s = 0; s < problem.steps; ++s) {
+    submit_direct(engine, "ode_rhs",
+                  {{h_J, M::kRead}, {h_y, M::kRead}, {h_k1, M::kWrite}}, n, h,
+                  0, 0, 0, 0);
+    submit_direct(engine, "ode_stage2",
+                  {{h_y, M::kRead}, {h_k1, M::kRead}, {h_t, M::kWrite}}, n, h,
+                  0.5f, 0, 0, 0);
+    submit_direct(engine, "ode_rhs",
+                  {{h_J, M::kRead}, {h_t, M::kRead}, {h_k2, M::kWrite}}, n, h,
+                  0, 0, 0, 0);
+    submit_direct(engine, "ode_stage3",
+                  {{h_y, M::kRead}, {h_k1, M::kRead}, {h_k2, M::kRead},
+                   {h_t, M::kWrite}},
+                  n, h, 0.0f, 0.5f, 0, 0);
+    submit_direct(engine, "ode_rhs",
+                  {{h_J, M::kRead}, {h_t, M::kRead}, {h_k3, M::kWrite}}, n, h,
+                  0, 0, 0, 0);
+    submit_direct(engine, "ode_stage4",
+                  {{h_y, M::kRead}, {h_k1, M::kRead}, {h_k2, M::kRead},
+                   {h_k3, M::kRead}, {h_t, M::kWrite}},
+                  n, h, 0.0f, 0.0f, 1.0f, 0);
+    submit_direct(engine, "ode_rhs",
+                  {{h_J, M::kRead}, {h_t, M::kRead}, {h_k4, M::kWrite}}, n, h,
+                  0, 0, 0, 0);
+    submit_direct(engine, "ode_combine",
+                  {{h_y, M::kReadWrite}, {h_k1, M::kRead}, {h_k2, M::kRead},
+                   {h_k3, M::kRead}, {h_k4, M::kRead}},
+                  n, h, 1.f / 6, 1.f / 3, 1.f / 3, 1.f / 6);
+    submit_direct(engine, "ode_error",
+                  {{h_k1, M::kRead}, {h_k2, M::kRead}, {h_k3, M::kRead},
+                   {h_k4, M::kRead}, {h_err, M::kWrite}},
+                  n, h, 1.f / 6 - 1, 1.f / 3, 1.f / 3, 1.f / 6);
+  }
+
+  // Manual synchronisation, copy-back and unregistration.
+  engine.wait_for_all();
+  engine.acquire_host(h_y, rt::AccessMode::kRead);
+  engine.unregister(h_J);
+  engine.unregister(h_y);
+  engine.unregister(h_k1);
+  engine.unregister(h_k2);
+  engine.unregister(h_k3);
+  engine.unregister(h_k4);
+  engine.unregister(h_t);
+  engine.unregister(h_err);
+
+  double sum = 0.0;
+  for (float v : y) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

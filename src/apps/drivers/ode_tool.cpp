@@ -1,0 +1,92 @@
+// Table I "Tool" version of the Runge-Kutta ODE solver (LibSolve): the
+// nine components chain through smart containers with asynchronous calls;
+// the framework infers all dependencies and keeps the state resident on
+// the executing device across the whole integration (§IV-H).
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+namespace {
+
+std::shared_ptr<const void> ode_args(std::uint32_t n, float h, float c1 = 0,
+                                     float c2 = 0, float c3 = 0, float c4 = 0) {
+  auto args = std::make_shared<ode::OdeVecArgs>();
+  args->n = n;
+  args->h = h;
+  args->c1 = c1;
+  args->c2 = c2;
+  args->c3 = c3;
+  args->c4 = c4;
+  return std::shared_ptr<const void>(args, args.get());
+}
+
+}  // namespace
+
+double ode_tool(const ode::Problem& problem) {
+  ode::register_components();
+  rt::Engine& engine = core::engine();
+  const std::uint32_t n = problem.n;
+  const float h = problem.h;
+  using M = rt::AccessMode;
+
+  cont::Vector<float> J(&engine, problem.jacobian.size());
+  cont::Vector<float> y(&engine, n), k1(&engine, n), k2(&engine, n);
+  cont::Vector<float> k3(&engine, n), k4(&engine, n), t(&engine, n);
+  cont::Scalar<float> err(&engine);
+  std::ranges::copy(problem.jacobian, J.write_access().begin());
+  std::ranges::copy(problem.y0, y.write_access().begin());
+
+  for (int s = 0; s < problem.steps; ++s) {
+    core::invoke_async("ode_rhs",
+                       {{J.handle(), M::kRead}, {y.handle(), M::kRead},
+                        {k1.handle(), M::kWrite}},
+                       ode_args(n, h));
+    core::invoke_async("ode_stage2",
+                       {{y.handle(), M::kRead}, {k1.handle(), M::kRead},
+                        {t.handle(), M::kWrite}},
+                       ode_args(n, h, 0.5f));
+    core::invoke_async("ode_rhs",
+                       {{J.handle(), M::kRead}, {t.handle(), M::kRead},
+                        {k2.handle(), M::kWrite}},
+                       ode_args(n, h));
+    core::invoke_async("ode_stage3",
+                       {{y.handle(), M::kRead}, {k1.handle(), M::kRead},
+                        {k2.handle(), M::kRead}, {t.handle(), M::kWrite}},
+                       ode_args(n, h, 0.0f, 0.5f));
+    core::invoke_async("ode_rhs",
+                       {{J.handle(), M::kRead}, {t.handle(), M::kRead},
+                        {k3.handle(), M::kWrite}},
+                       ode_args(n, h));
+    core::invoke_async("ode_stage4",
+                       {{y.handle(), M::kRead}, {k1.handle(), M::kRead},
+                        {k2.handle(), M::kRead}, {k3.handle(), M::kRead},
+                        {t.handle(), M::kWrite}},
+                       ode_args(n, h, 0.0f, 0.0f, 1.0f));
+    core::invoke_async("ode_rhs",
+                       {{J.handle(), M::kRead}, {t.handle(), M::kRead},
+                        {k4.handle(), M::kWrite}},
+                       ode_args(n, h));
+    core::invoke_async("ode_combine",
+                       {{y.handle(), M::kReadWrite}, {k1.handle(), M::kRead},
+                        {k2.handle(), M::kRead}, {k3.handle(), M::kRead},
+                        {k4.handle(), M::kRead}},
+                       ode_args(n, h, 1.f / 6, 1.f / 3, 1.f / 3, 1.f / 6));
+    core::invoke_async("ode_error",
+                       {{k1.handle(), M::kRead}, {k2.handle(), M::kRead},
+                        {k3.handle(), M::kRead}, {k4.handle(), M::kRead},
+                        {err.handle(), M::kWrite}},
+                       ode_args(n, h, 1.f / 6 - 1, 1.f / 3, 1.f / 3, 1.f / 6));
+  }
+
+  double sum = 0.0;
+  for (float v : y.read_access()) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

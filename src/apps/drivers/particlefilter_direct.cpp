@@ -1,0 +1,56 @@
+// Table I "Direct" version of the particlefilter application: per-frame
+// tasks, observation staging, synchronisation and consistency by hand.
+#include "apps/drivers/drivers.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+double particlefilter_direct(const particlefilter::Problem& problem) {
+  particlefilter::register_components();
+  rt::Engine& engine = core::engine();
+
+  std::vector<float> particles = problem.initial;
+  std::vector<float> observation(2, 0.0f);
+  auto h_particles = engine.register_buffer(
+      particles.data(), particles.size() * sizeof(float), sizeof(float));
+  auto h_observation = engine.register_buffer(
+      observation.data(), observation.size() * sizeof(float), sizeof(float));
+
+  for (int f = 0; f < problem.frames; ++f) {
+    // Stage the observation by hand: make the host copy authoritative
+    // before each write (the smart container does this implicitly).
+    engine.acquire_host(h_observation, rt::AccessMode::kReadWrite);
+    observation[0] = problem.observations[static_cast<std::size_t>(f) * 2];
+    observation[1] = problem.observations[static_cast<std::size_t>(f) * 2 + 1];
+
+    auto args = std::make_shared<particlefilter::PfArgs>();
+    args->nparticles = problem.nparticles;
+    args->frame = static_cast<std::uint32_t>(f);
+    args->noise = problem.noise;
+
+    rt::TaskSpec spec;
+    spec.codelet = core::ComponentRegistry::global().find("particlefilter_frame");
+    spec.operands = {{h_particles, rt::AccessMode::kReadWrite},
+                     {h_observation, rt::AccessMode::kRead}};
+    spec.arg = std::shared_ptr<const void>(args, args.get());
+    rt::TaskPtr task = engine.submit(std::move(spec));
+    engine.wait(task);
+  }
+
+  engine.acquire_host(h_particles, rt::AccessMode::kRead);
+  engine.unregister(h_particles);
+  engine.unregister(h_observation);
+
+  double xsum = 0.0;
+  for (std::uint32_t p = 0; p < problem.nparticles; ++p) {
+    xsum += particles[p * particlefilter::kStride];
+  }
+  return xsum;
+}
+
+}  // namespace peppher::apps::drivers

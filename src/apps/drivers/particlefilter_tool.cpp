@@ -1,0 +1,44 @@
+// Table I "Tool" version of the particlefilter application.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+double particlefilter_tool(const particlefilter::Problem& problem) {
+  particlefilter::register_components();
+  rt::Engine& engine = core::engine();
+
+  cont::Vector<float> particles(&engine, problem.initial.size());
+  cont::Vector<float> observation(&engine, 2);
+  std::ranges::copy(problem.initial, particles.write_access().begin());
+
+  for (int f = 0; f < problem.frames; ++f) {
+    {
+      auto obs = observation.write_access();
+      obs[0] = problem.observations[static_cast<std::size_t>(f) * 2];
+      obs[1] = problem.observations[static_cast<std::size_t>(f) * 2 + 1];
+    }
+    auto args = std::make_shared<particlefilter::PfArgs>();
+    args->nparticles = problem.nparticles;
+    args->frame = static_cast<std::uint32_t>(f);
+    args->noise = problem.noise;
+    core::invoke("particlefilter_frame",
+                 {{particles.handle(), rt::AccessMode::kReadWrite},
+                  {observation.handle(), rt::AccessMode::kRead}},
+                 std::shared_ptr<const void>(args, args.get()));
+  }
+
+  double xsum = 0.0;
+  auto view = particles.read_access();
+  for (std::uint32_t p = 0; p < problem.nparticles; ++p) {
+    xsum += view[p * particlefilter::kStride];
+  }
+  return xsum;
+}
+
+}  // namespace peppher::apps::drivers

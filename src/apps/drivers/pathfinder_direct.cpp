@@ -1,0 +1,97 @@
+// Table I "Direct" version of the pathfinder application: hand-written
+// runtime glue including the DP task function.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+namespace {
+
+struct DirectPathfinderArgs {
+  std::uint32_t rows;
+  std::uint32_t cols;
+};
+
+void pathfinder_task(void** buffers, const void* arg) {
+  const auto* a = static_cast<const DirectPathfinderArgs*>(arg);
+  const auto* grid = static_cast<const std::int32_t*>(buffers[0]);
+  auto* result = static_cast<std::int32_t*>(buffers[1]);
+  const std::uint32_t rows = a->rows;
+  const std::uint32_t cols = a->cols;
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    result[c] = grid[static_cast<std::size_t>(rows - 1) * cols + c];
+  }
+  std::vector<std::int32_t> prev(result, result + cols);
+  for (std::int64_t r = static_cast<std::int64_t>(rows) - 2; r >= 0; --r) {
+    const std::int32_t* row = grid + static_cast<std::size_t>(r) * cols;
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      std::int32_t best = prev[c];
+      if (c > 0) best = std::min(best, prev[c - 1]);
+      if (c + 1 < cols) best = std::min(best, prev[c + 1]);
+      result[c] = row[c] + best;
+    }
+    std::copy(result, result + cols, prev.begin());
+  }
+}
+
+rt::Codelet& direct_pathfinder_codelet() {
+  static rt::Codelet codelet("pathfinder_direct");
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Implementation cpu;
+    cpu.arch = rt::Arch::kCpu;
+    cpu.name = "pathfinder_direct_cpu";
+    cpu.fn = core::wrap_c_task(&pathfinder_task);
+    codelet.add_impl(std::move(cpu));
+
+    rt::Implementation cuda;
+    cuda.arch = rt::Arch::kCuda;
+    cuda.name = "pathfinder_direct_cuda";
+    cuda.fn = core::wrap_c_task(&pathfinder_task);
+    codelet.add_impl(std::move(cuda));
+  });
+  return codelet;
+}
+
+}  // namespace
+
+double pathfinder_direct(const pathfinder::Problem& problem) {
+  rt::Engine& engine = core::engine();
+
+  std::vector<std::int32_t> result(problem.cols, 0);
+  auto h_grid = engine.register_buffer(
+      const_cast<std::int32_t*>(problem.grid.data()),
+      problem.grid.size() * sizeof(std::int32_t), sizeof(std::int32_t));
+  auto h_result = engine.register_buffer(result.data(),
+                                         result.size() * sizeof(std::int32_t),
+                                         sizeof(std::int32_t));
+
+  auto args = std::make_shared<DirectPathfinderArgs>();
+  args->rows = problem.rows;
+  args->cols = problem.cols;
+
+  rt::TaskSpec spec;
+  spec.codelet = &direct_pathfinder_codelet();
+  spec.operands = {{h_grid, rt::AccessMode::kRead},
+                   {h_result, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  rt::TaskPtr task = engine.submit(std::move(spec));
+  engine.wait(task);
+  engine.acquire_host(h_result, rt::AccessMode::kRead);
+  engine.unregister(h_grid);
+  engine.unregister(h_result);
+
+  double sum = 0.0;
+  for (std::int32_t v : result) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,34 @@
+// Table I "Tool" version of the pathfinder application.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+double pathfinder_tool(const pathfinder::Problem& problem) {
+  pathfinder::register_components();
+  rt::Engine& engine = core::engine();
+
+  cont::Vector<std::int32_t> grid(&engine, problem.grid.size());
+  cont::Vector<std::int32_t> result(&engine, problem.cols);
+  std::ranges::copy(problem.grid, grid.write_access().begin());
+
+  auto args = std::make_shared<pathfinder::PathfinderArgs>();
+  args->rows = problem.rows;
+  args->cols = problem.cols;
+
+  core::invoke("pathfinder",
+               {{grid.handle(), rt::AccessMode::kRead},
+                {result.handle(), rt::AccessMode::kWrite}},
+               std::shared_ptr<const void>(args, args.get()));
+
+  double sum = 0.0;
+  for (std::int32_t v : result.read_access()) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

@@ -1,0 +1,108 @@
+// Table I "Direct" version of the SGEMM application: hand-written against
+// the runtime system. The backend task functions, argument block, data
+// registration, task plumbing and consistency handling that the tool
+// generates all have to be written manually.
+#include "apps/drivers/drivers.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::drivers {
+
+namespace {
+
+struct DirectSgemmArgs {
+  std::uint32_t m, n, k;
+  float alpha, beta;
+};
+
+// Hand-written C-style task function (the runtime's expected signature);
+// every operand and argument unpacked manually.
+void sgemm_task(void** buffers, const void* arg) {
+  const auto* a = static_cast<const DirectSgemmArgs*>(arg);
+  const auto* A = static_cast<const float*>(buffers[0]);
+  const auto* B = static_cast<const float*>(buffers[1]);
+  auto* C = static_cast<float*>(buffers[2]);
+  for (std::uint32_t i = 0; i < a->m; ++i) {
+    float* c_row = C + static_cast<std::size_t>(i) * a->n;
+    for (std::uint32_t j = 0; j < a->n; ++j) c_row[j] *= a->beta;
+    for (std::uint32_t kk = 0; kk < a->k; ++kk) {
+      const float x = a->alpha * A[static_cast<std::size_t>(i) * a->k + kk];
+      const float* b_row = B + static_cast<std::size_t>(kk) * a->n;
+      for (std::uint32_t j = 0; j < a->n; ++j) c_row[j] += x * b_row[j];
+    }
+  }
+}
+
+// Hand-written codelet: one entry per backend.
+rt::Codelet& direct_sgemm_codelet() {
+  static rt::Codelet codelet("sgemm_direct");
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Implementation cpu;
+    cpu.arch = rt::Arch::kCpu;
+    cpu.name = "sgemm_direct_cpu";
+    cpu.fn = core::wrap_c_task(&sgemm_task);
+    codelet.add_impl(std::move(cpu));
+
+    rt::Implementation omp;
+    omp.arch = rt::Arch::kCpuOmp;
+    omp.name = "sgemm_direct_openmp";
+    omp.fn = core::wrap_c_task(&sgemm_task);
+    codelet.add_impl(std::move(omp));
+
+    rt::Implementation cuda;
+    cuda.arch = rt::Arch::kCuda;
+    cuda.name = "sgemm_direct_cublas";
+    cuda.fn = core::wrap_c_task(&sgemm_task);
+    codelet.add_impl(std::move(cuda));
+  });
+  return codelet;
+}
+
+}  // namespace
+
+double sgemm_direct(const sgemm::Problem& problem) {
+  rt::Engine& engine = core::engine();
+
+  std::vector<float> A = problem.A;
+  std::vector<float> B = problem.B;
+  std::vector<float> C = problem.C;
+  auto h_A = engine.register_buffer(A.data(), A.size() * sizeof(float),
+                                    sizeof(float));
+  auto h_B = engine.register_buffer(B.data(), B.size() * sizeof(float),
+                                    sizeof(float));
+  auto h_C = engine.register_buffer(C.data(), C.size() * sizeof(float),
+                                    sizeof(float));
+
+  auto args = std::make_shared<DirectSgemmArgs>();
+  args->m = problem.m;
+  args->n = problem.n;
+  args->k = problem.k;
+  args->alpha = problem.alpha;
+  args->beta = problem.beta;
+
+  rt::TaskSpec spec;
+  spec.codelet = &direct_sgemm_codelet();
+  spec.operands = {{h_A, rt::AccessMode::kRead},
+                   {h_B, rt::AccessMode::kRead},
+                   {h_C, rt::AccessMode::kReadWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  rt::TaskPtr task = engine.submit(std::move(spec));
+  engine.wait(task);
+
+  engine.acquire_host(h_C, rt::AccessMode::kRead);
+  engine.unregister(h_A);
+  engine.unregister(h_B);
+  engine.unregister(h_C);
+
+  double sum = 0.0;
+  for (float v : C) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

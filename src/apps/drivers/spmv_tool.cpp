@@ -1,0 +1,49 @@
+// Table I "Tool" version of the SpMV application: what the application
+// programmer writes when using the PEPPHER composition tool. The wrapper
+// glue (argument packing, task creation, data registration, consistency) is
+// generated; the programmer only prepares data in smart containers and
+// calls the component.
+#include "apps/drivers/drivers.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+
+namespace peppher::apps::drivers {
+
+double spmv_tool(const spmv::Problem& problem) {
+  spmv::register_components();
+  rt::Engine& engine = core::engine();
+  const auto& A = problem.A;
+
+  cont::Vector<float> values(&engine, A.nnz());
+  cont::Vector<std::uint32_t> colidx(&engine, A.colidx.size());
+  cont::Vector<std::uint32_t> rowptr(&engine, A.rowptr.size());
+  cont::Vector<float> x(&engine, problem.x.size());
+  cont::Vector<float> y(&engine, A.nrows);
+
+  std::ranges::copy(A.values, values.write_access().begin());
+  std::ranges::copy(A.colidx, colidx.write_access().begin());
+  std::ranges::copy(A.rowptr, rowptr.write_access().begin());
+  std::ranges::copy(problem.x, x.write_access().begin());
+
+  auto args = std::make_shared<spmv::SpmvArgs>();
+  args->nrows = A.nrows;
+  args->regularity = problem.regularity();
+
+  core::invoke("spmv",
+               {{values.handle(), rt::AccessMode::kRead},
+                {colidx.handle(), rt::AccessMode::kRead},
+                {rowptr.handle(), rt::AccessMode::kRead},
+                {x.handle(), rt::AccessMode::kRead},
+                {y.handle(), rt::AccessMode::kWrite}},
+               std::shared_ptr<const void>(args, args.get()));
+
+  double sum = 0.0;
+  for (float v : y.read_access()) sum += v;
+  return sum;
+}
+
+}  // namespace peppher::apps::drivers

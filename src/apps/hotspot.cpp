@@ -1,0 +1,159 @@
+#include "apps/hotspot.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::hotspot {
+
+namespace {
+
+void stencil_rows(const float* power, const float* tin, float* tout,
+                  std::uint32_t rows, std::uint32_t cols, const HotspotArgs& a,
+                  std::size_t row_begin, std::size_t row_end) {
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t i = r * cols + c;
+      const float center = tin[i];
+      const float north = r > 0 ? tin[i - cols] : center;
+      const float south = r + 1 < rows ? tin[i + cols] : center;
+      const float west = c > 0 ? tin[i - 1] : center;
+      const float east = c + 1 < cols ? tin[i + 1] : center;
+      const float delta =
+          a.cap * (power[i] + (north + south - 2.0f * center) / a.ry +
+                   (east + west - 2.0f * center) / a.rx +
+                   (a.ambient - center) / a.rz);
+      tout[i] = center + delta;
+    }
+  }
+}
+
+/// Whole simulation in one kernel (Rodinia granularity): `steps` stencil
+/// sweeps ping-ponging between the temperature grid and the scratch grid;
+/// the final state always ends up in the temperature operand.
+void impl_body(rt::ExecContext& ctx, bool parallel) {
+  const auto& args = ctx.arg<HotspotArgs>();
+  const auto* power = ctx.buffer_as<const float>(0);
+  auto* temp = ctx.buffer_as<float>(1);
+  auto* scratch = ctx.buffer_as<float>(2);
+  float* in = temp;
+  float* out = scratch;
+  for (int s = 0; s < args.steps; ++s) {
+    if (parallel) {
+      ctx.parallel_for(0, args.rows, [&](std::size_t b, std::size_t e) {
+        stencil_rows(power, in, out, args.rows, args.cols, args, b, e);
+      });
+    } else {
+      stencil_rows(power, in, out, args.rows, args.cols, args, 0, args.rows);
+    }
+    std::swap(in, out);
+  }
+  if (in != temp) {
+    const std::size_t cells = static_cast<std::size_t>(args.rows) * args.cols;
+    for (std::size_t i = 0; i < cells; ++i) temp[i] = in[i];
+  }
+}
+
+sim::KernelCost hotspot_cost(const std::vector<std::size_t>& bytes,
+                             const void* arg) {
+  const auto* args = static_cast<const HotspotArgs*>(arg);
+  const double cells = static_cast<double>(args->rows) * args->cols;
+  sim::KernelCost cost;
+  cost.flops = 12.0 * cells * args->steps;
+  cost.bytes =
+      static_cast<double>(bytes[0] + bytes[1] + bytes[2]) * args->steps;
+  cost.regularity = 0.95;  // near-perfect streaming
+  return cost;
+}
+
+}  // namespace
+
+void register_components() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Codelet& codelet =
+        core::ComponentRegistry::global().get_or_create("hotspot");
+    codelet.add_impl({rt::Arch::kCpu, "hotspot_cpu",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &hotspot_cost});
+    codelet.add_impl({rt::Arch::kCpuOmp, "hotspot_openmp",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, true); },
+                      &hotspot_cost});
+    codelet.add_impl({rt::Arch::kCuda, "hotspot_cuda",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &hotspot_cost});
+    codelet.add_impl({rt::Arch::kOpenCl, "hotspot_opencl",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &hotspot_cost});
+  });
+}
+
+Problem make_problem(std::uint32_t rows, std::uint32_t cols, int steps,
+                     std::uint64_t seed) {
+  Problem p;
+  p.rows = rows;
+  p.cols = cols;
+  p.steps = steps;
+  p.power.resize(static_cast<std::size_t>(rows) * cols);
+  p.temp.resize(p.power.size());
+  Rng rng(seed);
+  for (float& v : p.power) v = static_cast<float>(rng.uniform(0.0, 0.5));
+  for (float& v : p.temp) v = static_cast<float>(rng.uniform(70.0, 90.0));
+  p.coefficients.rows = rows;
+  p.coefficients.cols = cols;
+  p.coefficients.steps = steps;
+  return p;
+}
+
+std::vector<float> reference(const Problem& problem) {
+  std::vector<float> a = problem.temp;
+  std::vector<float> b(a.size());
+  for (int s = 0; s < problem.steps; ++s) {
+    stencil_rows(problem.power.data(), a.data(), b.data(), problem.rows,
+                 problem.cols, problem.coefficients, 0, problem.rows);
+    std::swap(a, b);
+  }
+  return a;
+}
+
+RunResult run(rt::Engine& engine, const Problem& problem,
+              std::optional<rt::Arch> force) {
+  register_components();
+  rt::Codelet* codelet = core::ComponentRegistry::global().find("hotspot");
+  check(codelet != nullptr, "hotspot codelet missing");
+
+  RunResult result;
+  result.temp = problem.temp;
+  std::vector<float> scratch(result.temp.size(), 0.0f);
+  engine.reset_virtual_time();
+  engine.reset_transfer_stats();
+
+  auto h_power = engine.register_buffer(
+      const_cast<float*>(problem.power.data()),
+      problem.power.size() * sizeof(float), sizeof(float));
+  auto h_temp = engine.register_buffer(result.temp.data(),
+                                       result.temp.size() * sizeof(float),
+                                       sizeof(float));
+  auto h_scratch = engine.register_buffer(scratch.data(),
+                                          scratch.size() * sizeof(float),
+                                          sizeof(float));
+
+  auto args = std::make_shared<HotspotArgs>(problem.coefficients);
+  rt::TaskSpec spec;
+  spec.codelet = codelet;
+  spec.operands = {{h_power, rt::AccessMode::kRead},
+                   {h_temp, rt::AccessMode::kReadWrite},
+                   {h_scratch, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  spec.forced_arch = force;
+  engine.submit(std::move(spec));
+  engine.acquire_host(h_temp, rt::AccessMode::kRead);
+  engine.wait_for_all();
+  result.virtual_seconds = engine.virtual_makespan();
+  return result;
+}
+
+}  // namespace peppher::apps::hotspot

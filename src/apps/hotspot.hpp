@@ -1,0 +1,57 @@
+// Thermal simulation (Rodinia "hotspot"): iterative 2-D stencil updating a
+// chip temperature grid from a power-density grid. Regular streaming
+// access, GPU-friendly at size. As in Rodinia, one component invocation
+// performs the whole multi-step simulation (the steps iterate inside the
+// kernel, double-buffering against a scratch grid) — PEPPHER components are
+// coarse-grained.
+//
+// Component "hotspot": operands [power R, temp RW, scratch W], argument
+// {rows, cols, steps, physical coefficients}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::hotspot {
+
+struct HotspotArgs {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  int steps = 1;          ///< simulation steps per invocation
+  float cap = 0.5f;       ///< thermal capacitance coefficient
+  float rx = 1.0f;        ///< lateral resistance
+  float ry = 1.0f;
+  float rz = 4.0f;        ///< vertical resistance to ambient
+  float ambient = 80.0f;  ///< ambient temperature
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  int steps = 4;
+  std::vector<float> power;
+  std::vector<float> temp;
+  HotspotArgs coefficients;
+};
+
+Problem make_problem(std::uint32_t rows, std::uint32_t cols, int steps,
+                     std::uint64_t seed = 31);
+
+/// Serial reference: `steps` stencil steps without the runtime.
+std::vector<float> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<float> temp;
+  double virtual_seconds = 0.0;
+};
+
+/// Runs all steps as chained component invocations.
+RunResult run(rt::Engine& engine, const Problem& problem,
+              std::optional<rt::Arch> force = std::nullopt);
+
+}  // namespace peppher::apps::hotspot

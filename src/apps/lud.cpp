@@ -1,0 +1,125 @@
+#include "apps/lud.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::lud {
+
+namespace {
+
+/// Right-looking in-place LU without pivoting. The parallel variant splits
+/// the trailing-matrix update of each elimination step.
+void lu_kernel(float* A, std::uint32_t n, rt::ExecContext* ctx) {
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const float pivot = A[static_cast<std::size_t>(k) * n + k];
+    auto update_rows = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        float* row_i = A + i * n;
+        const float factor = row_i[k] / pivot;
+        row_i[k] = factor;
+        const float* row_k = A + static_cast<std::size_t>(k) * n;
+        for (std::uint32_t j = k + 1; j < n; ++j) {
+          row_i[j] -= factor * row_k[j];
+        }
+      }
+    };
+    if (ctx != nullptr && ctx->cpu_threads() > 1 && n - k > 64) {
+      ctx->parallel_for(k + 1, n, update_rows);
+    } else {
+      update_rows(k + 1, n);
+    }
+  }
+}
+
+void impl_body(rt::ExecContext& ctx, bool parallel) {
+  const auto& args = ctx.arg<LudArgs>();
+  lu_kernel(ctx.buffer_as<float>(0), args.n, parallel ? &ctx : nullptr);
+}
+
+sim::KernelCost lud_cost(const std::vector<std::size_t>& bytes, const void* arg) {
+  const auto* args = static_cast<const LudArgs*>(arg);
+  const double n = args->n;
+  sim::KernelCost cost;
+  cost.flops = (2.0 / 3.0) * n * n * n;
+  // The trailing matrix is re-read every elimination step; only a fraction
+  // stays in cache, so traffic is several multiples of the matrix size.
+  cost.bytes = static_cast<double>(bytes[0]) * 10.0;
+  cost.regularity = 0.80;
+  return cost;
+}
+
+}  // namespace
+
+void register_components() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Codelet& codelet = core::ComponentRegistry::global().get_or_create("lud");
+    codelet.add_impl({rt::Arch::kCpu, "lud_cpu",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &lud_cost});
+    codelet.add_impl({rt::Arch::kCpuOmp, "lud_openmp",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, true); },
+                      &lud_cost});
+    codelet.add_impl({rt::Arch::kCuda, "lud_cuda",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &lud_cost});
+    codelet.add_impl({rt::Arch::kOpenCl, "lud_opencl",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &lud_cost});
+  });
+}
+
+Problem make_problem(std::uint32_t n, std::uint64_t seed) {
+  Problem p;
+  p.n = n;
+  p.A.resize(static_cast<std::size_t>(n) * n);
+  Rng rng(seed);
+  for (float& v : p.A) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  // Diagonal dominance keeps pivoting unnecessary and values bounded.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    p.A[static_cast<std::size_t>(i) * n + i] += static_cast<float>(n);
+  }
+  return p;
+}
+
+std::vector<float> reference(const Problem& problem) {
+  std::vector<float> A = problem.A;
+  lu_kernel(A.data(), problem.n, nullptr);
+  return A;
+}
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force) {
+  register_components();
+  rt::Codelet* codelet = core::ComponentRegistry::global().find("lud");
+  check(codelet != nullptr, "lud codelet missing");
+
+  RunResult result;
+  result.A = problem.A;
+  engine.reset_virtual_time();
+  engine.reset_transfer_stats();
+
+  auto h_A = engine.register_buffer(result.A.data(),
+                                    result.A.size() * sizeof(float),
+                                    sizeof(float));
+
+  auto args = std::make_shared<LudArgs>();
+  args->n = problem.n;
+
+  rt::TaskSpec spec;
+  spec.codelet = codelet;
+  spec.operands = {{h_A, rt::AccessMode::kReadWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  spec.forced_arch = force;
+  engine.submit(std::move(spec));
+  engine.acquire_host(h_A, rt::AccessMode::kRead);
+  engine.wait_for_all();
+  result.virtual_seconds = engine.virtual_makespan();
+  return result;
+}
+
+}  // namespace peppher::apps::lud

@@ -1,0 +1,39 @@
+// LU decomposition (Rodinia "lud"): in-place, no pivoting, on a dense
+// square matrix. Compute-heavy with decreasing parallelism per elimination
+// step.
+//
+// Component "lud": operands [A RW], argument {n}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::lud {
+
+struct LudArgs {
+  std::uint32_t n = 0;
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t n = 0;
+  std::vector<float> A;  ///< n x n row-major, diagonally dominant
+};
+
+Problem make_problem(std::uint32_t n, std::uint64_t seed = 41);
+
+std::vector<float> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<float> A;
+  double virtual_seconds = 0.0;
+};
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force = std::nullopt);
+
+}  // namespace peppher::apps::lud

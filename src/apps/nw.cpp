@@ -1,0 +1,153 @@
+#include "apps/nw.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::nw {
+
+namespace {
+
+/// BLOSUM-flavoured match score for two 2-bit symbols.
+inline std::int32_t match_score(std::int8_t a, std::int8_t b) noexcept {
+  return a == b ? 3 : -1;
+}
+
+/// Anti-diagonal wavefront fill. The parallel variant splits each
+/// anti-diagonal across threads (cells on one diagonal are independent).
+void nw_kernel(const std::int8_t* seq1, const std::int8_t* seq2,
+               std::int32_t* score, std::uint32_t n, int penalty,
+               rt::ExecContext* ctx) {
+  const std::size_t dim = static_cast<std::size_t>(n) + 1;
+  for (std::size_t i = 0; i < dim; ++i) {
+    score[i * dim] = -static_cast<std::int32_t>(i) * penalty;
+    score[i] = -static_cast<std::int32_t>(i) * penalty;
+  }
+  auto fill_cell = [&](std::size_t i, std::size_t j) {
+    const std::int32_t diag =
+        score[(i - 1) * dim + (j - 1)] + match_score(seq1[i - 1], seq2[j - 1]);
+    const std::int32_t up = score[(i - 1) * dim + j] - penalty;
+    const std::int32_t left = score[i * dim + (j - 1)] - penalty;
+    score[i * dim + j] = std::max({diag, up, left});
+  };
+  // Anti-diagonal d covers cells (i, d - i + 2) with 1 <= i <= n.
+  for (std::size_t d = 2; d <= 2 * static_cast<std::size_t>(n); ++d) {
+    const std::size_t i_lo = d > static_cast<std::size_t>(n) + 1
+                                 ? d - n
+                                 : 1;
+    const std::size_t i_hi = std::min<std::size_t>(n, d - 1);
+    if (i_lo > i_hi) continue;
+    auto sweep = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fill_cell(i, d - i);
+    };
+    if (ctx != nullptr && ctx->cpu_threads() > 1 && i_hi - i_lo > 256) {
+      ctx->parallel_for(i_lo, i_hi + 1, sweep);
+    } else {
+      sweep(i_lo, i_hi + 1);
+    }
+  }
+}
+
+void impl_body(rt::ExecContext& ctx, bool parallel) {
+  const auto& args = ctx.arg<NwArgs>();
+  nw_kernel(ctx.buffer_as<const std::int8_t>(0),
+            ctx.buffer_as<const std::int8_t>(1), ctx.buffer_as<std::int32_t>(2),
+            args.n, args.penalty, parallel ? &ctx : nullptr);
+}
+
+sim::KernelCost nw_cost(const std::vector<std::size_t>& bytes, const void* arg) {
+  const auto* args = static_cast<const NwArgs*>(arg);
+  const double cells = static_cast<double>(args->n) * args->n;
+  sim::KernelCost cost;
+  cost.flops = 6.0 * cells;
+  cost.bytes = static_cast<double>(bytes[2]) * 3.0 +
+               static_cast<double>(bytes[0] + bytes[1]);
+  cost.regularity = 0.70;  // wavefront: strided but predictable
+  return cost;
+}
+
+}  // namespace
+
+void register_components() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Codelet& codelet = core::ComponentRegistry::global().get_or_create("nw");
+    codelet.add_impl({rt::Arch::kCpu, "nw_cpu",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &nw_cost});
+    codelet.add_impl({rt::Arch::kCpuOmp, "nw_openmp",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, true); },
+                      &nw_cost});
+    codelet.add_impl({rt::Arch::kCuda, "nw_cuda",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &nw_cost});
+    codelet.add_impl({rt::Arch::kOpenCl, "nw_opencl",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &nw_cost});
+  });
+}
+
+Problem make_problem(std::uint32_t n, std::uint64_t seed) {
+  Problem p;
+  p.n = n;
+  p.seq1.resize(n);
+  p.seq2.resize(n);
+  Rng rng(seed);
+  for (std::int8_t& s : p.seq1) s = static_cast<std::int8_t>(rng.next_below(4));
+  for (std::int8_t& s : p.seq2) s = static_cast<std::int8_t>(rng.next_below(4));
+  return p;
+}
+
+std::vector<std::int32_t> reference(const Problem& problem) {
+  const std::size_t dim = static_cast<std::size_t>(problem.n) + 1;
+  std::vector<std::int32_t> score(dim * dim, 0);
+  nw_kernel(problem.seq1.data(), problem.seq2.data(), score.data(), problem.n,
+            problem.penalty, nullptr);
+  return score;
+}
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force) {
+  register_components();
+  rt::Codelet* codelet = core::ComponentRegistry::global().find("nw");
+  check(codelet != nullptr, "nw codelet missing");
+
+  const std::size_t dim = static_cast<std::size_t>(problem.n) + 1;
+  RunResult result;
+  result.score.assign(dim * dim, 0);
+  engine.reset_virtual_time();
+  engine.reset_transfer_stats();
+
+  auto h_seq1 = engine.register_buffer(
+      const_cast<std::int8_t*>(problem.seq1.data()), problem.seq1.size(),
+      sizeof(std::int8_t));
+  auto h_seq2 = engine.register_buffer(
+      const_cast<std::int8_t*>(problem.seq2.data()), problem.seq2.size(),
+      sizeof(std::int8_t));
+  auto h_score = engine.register_buffer(result.score.data(),
+                                        result.score.size() * sizeof(std::int32_t),
+                                        sizeof(std::int32_t));
+
+  auto args = std::make_shared<NwArgs>();
+  args->n = problem.n;
+  args->penalty = problem.penalty;
+
+  rt::TaskSpec spec;
+  spec.codelet = codelet;
+  spec.operands = {{h_seq1, rt::AccessMode::kRead},
+                   {h_seq2, rt::AccessMode::kRead},
+                   {h_score, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  spec.forced_arch = force;
+  engine.submit(std::move(spec));
+  engine.acquire_host(h_score, rt::AccessMode::kRead);
+  engine.wait_for_all();
+  result.virtual_seconds = engine.virtual_makespan();
+  return result;
+}
+
+}  // namespace peppher::apps::nw

@@ -1,0 +1,44 @@
+// Needleman-Wunsch sequence alignment (Rodinia "nw"): fills the dynamic-
+// programming score matrix for two sequences with a linear gap penalty.
+// Wavefront (anti-diagonal) parallelism.
+//
+// Component "nw": operands [seq1 R, seq2 R, score RW], argument {n,
+// penalty}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::nw {
+
+struct NwArgs {
+  std::uint32_t n = 0;  ///< sequence length (score matrix is (n+1)^2)
+  int penalty = 1;
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t n = 0;
+  int penalty = 1;
+  std::vector<std::int8_t> seq1;  ///< n symbols in [0, 4)
+  std::vector<std::int8_t> seq2;
+};
+
+Problem make_problem(std::uint32_t n, std::uint64_t seed = 43);
+
+/// Reference DP matrix ((n+1)^2 ints).
+std::vector<std::int32_t> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<std::int32_t> score;
+  double virtual_seconds = 0.0;
+};
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force = std::nullopt);
+
+}  // namespace peppher::apps::nw

@@ -1,0 +1,75 @@
+// Runge-Kutta ODE solver, modelled on the LibSolve library's embedded RK
+// solvers (Korch & Rauber [12]) that the paper PEPPHER-izes (§V, Figure 7).
+//
+// The system integrated is y' = J*y with a dense Jacobian J (LibSolve's
+// dense test problems; the O(n^2) right-hand side is what makes the GPU
+// profitable at n <= 1000 — see DESIGN.md). One classical RK4 step with an
+// embedded error estimate issues 9 component invocations:
+//   rhs(k1), stage2, rhs(k2), stage3, rhs(k3), stage4, rhs(k4), combine,
+//   error
+// and the solver uses 9 distinct components overall:
+//   ode_init, ode_rhs, ode_stage2, ode_stage3, ode_stage4, ode_combine,
+//   ode_error, ode_scale, ode_copy
+// With the paper's configuration of 1179 steps this gives exactly
+//   2 + 9 * 1179 = 10613 component invocations to 9 components,
+// matching §V-E. Component calls chain through one y vector, so execution
+// is almost sequential — the adversarial case for runtime overhead that
+// Figure 7 measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::ode {
+
+/// Steps that give the paper's 10613 invocations.
+inline constexpr int kPaperSteps = 1179;
+
+struct OdeVecArgs {
+  std::uint32_t n = 0;
+  float h = 0.0f;
+  float c1 = 0.0f, c2 = 0.0f, c3 = 0.0f, c4 = 0.0f;
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t n = 0;       ///< system size (paper sweeps 250..1000)
+  int steps = kPaperSteps;
+  float h = 1e-3f;
+  std::vector<float> jacobian;  ///< n x n, scaled for stability
+  std::vector<float> y0;
+};
+
+Problem make_problem(std::uint32_t n, int steps = kPaperSteps,
+                     std::uint64_t seed = 59);
+
+/// Serial reference (no runtime): final y.
+std::vector<float> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<float> y;
+  float last_error = 0.0f;
+  double virtual_seconds = 0.0;
+  std::uint64_t invocations = 0;
+  rt::TransferStats transfers;
+};
+
+/// Solver through the PEPPHER runtime (the composition-tool path of
+/// Figure 7). `force` = kCpu reproduces "Direct - CPU"-shaped execution via
+/// the runtime; kCuda is the "Composition Tool - CUDA" series.
+RunResult run_tool(rt::Engine& engine, const Problem& problem,
+                   std::optional<rt::Arch> force = std::nullopt);
+
+/// Hand-written solver without any runtime: plain function calls on host
+/// arrays (the "Direct" baselines of Figure 7). Virtual time is accounted
+/// analytically with the same device cost models: one up-front transfer of
+/// J and y for the CUDA case, per-kernel roofline execution costs, one
+/// result copy-back.
+RunResult run_direct(const Problem& problem, rt::Arch arch,
+                     const sim::MachineConfig& machine);
+
+}  // namespace peppher::apps::ode

@@ -1,0 +1,215 @@
+#include "apps/particlefilter.hpp"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::particlefilter {
+
+namespace {
+
+/// Deterministic per-particle pseudo-noise (same on every device — the
+/// filter must be reproducible regardless of where a frame executes).
+inline float hash_noise(std::uint32_t frame, std::uint32_t particle,
+                        std::uint32_t lane) noexcept {
+  std::uint32_t h = frame * 2654435761u ^ particle * 2246822519u ^
+                    lane * 3266489917u;
+  h ^= h >> 15;
+  h *= 2654435761u;
+  h ^= h >> 13;
+  return (static_cast<float>(h & 0xFFFFFF) / static_cast<float>(0xFFFFFF)) -
+         0.5f;
+}
+
+/// One frame: propagate -> weight -> normalise -> systematic resample.
+void frame_kernel(float* particles, const float* observation,
+                  std::uint32_t nparticles, std::uint32_t frame, float noise,
+                  rt::ExecContext* ctx) {
+  auto propagate_weight = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t p = begin; p < end; ++p) {
+      float* particle = particles + p * kStride;
+      particle[0] += noise * hash_noise(frame, static_cast<std::uint32_t>(p), 0);
+      particle[1] += noise * hash_noise(frame, static_cast<std::uint32_t>(p), 1);
+      const float dx = particle[0] - observation[0];
+      const float dy = particle[1] - observation[1];
+      particle[2] = std::exp(-(dx * dx + dy * dy));
+    }
+  };
+  if (ctx != nullptr && ctx->cpu_threads() > 1) {
+    ctx->parallel_for(0, nparticles, propagate_weight);
+  } else {
+    propagate_weight(0, nparticles);
+  }
+
+  // Normalise (serial reduction).
+  double total = 0.0;
+  for (std::uint32_t p = 0; p < nparticles; ++p) {
+    total += particles[p * kStride + 2];
+  }
+  const float inv = total > 0.0 ? static_cast<float>(1.0 / total)
+                                : 1.0f / static_cast<float>(nparticles);
+  for (std::uint32_t p = 0; p < nparticles; ++p) {
+    particles[p * kStride + 2] *= inv;
+  }
+
+  // Systematic resampling into a scratch copy.
+  std::vector<float> resampled(static_cast<std::size_t>(nparticles) * kStride);
+  const float step = 1.0f / static_cast<float>(nparticles);
+  float u = step * 0.5f;
+  float cumulative = particles[2];
+  std::uint32_t src = 0;
+  for (std::uint32_t p = 0; p < nparticles; ++p) {
+    while (cumulative < u && src + 1 < nparticles) {
+      ++src;
+      cumulative += particles[src * kStride + 2];
+    }
+    resampled[p * kStride + 0] = particles[src * kStride + 0];
+    resampled[p * kStride + 1] = particles[src * kStride + 1];
+    resampled[p * kStride + 2] = step;
+    u += step;
+  }
+  std::copy(resampled.begin(), resampled.end(), particles);
+}
+
+void impl_body(rt::ExecContext& ctx, bool parallel) {
+  const auto& args = ctx.arg<PfArgs>();
+  frame_kernel(ctx.buffer_as<float>(0), ctx.buffer_as<const float>(1),
+               args.nparticles, args.frame, args.noise,
+               parallel ? &ctx : nullptr);
+}
+
+sim::KernelCost pf_cost(const std::vector<std::size_t>& bytes, const void* arg) {
+  const auto* args = static_cast<const PfArgs*>(arg);
+  const double np = args->nparticles;
+  sim::KernelCost cost;
+  cost.flops = np * 60.0;  // exp-dominated weighting + resampling walk
+  cost.bytes = static_cast<double>(bytes[0]) * 4.0;
+  cost.regularity = 0.50;  // resampling gathers are data-dependent
+  return cost;
+}
+
+}  // namespace
+
+void register_components() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Codelet& codelet =
+        core::ComponentRegistry::global().get_or_create("particlefilter_frame");
+    codelet.add_impl({rt::Arch::kCpu, "particlefilter_cpu",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &pf_cost});
+    codelet.add_impl({rt::Arch::kCpuOmp, "particlefilter_openmp",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, true); },
+                      &pf_cost});
+    codelet.add_impl({rt::Arch::kCuda, "particlefilter_cuda",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &pf_cost});
+    codelet.add_impl({rt::Arch::kOpenCl, "particlefilter_opencl",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &pf_cost});
+  });
+}
+
+Problem make_problem(std::uint32_t nparticles, int frames, std::uint64_t seed) {
+  Problem p;
+  p.nparticles = nparticles;
+  p.frames = frames;
+  p.initial.resize(static_cast<std::size_t>(nparticles) * kStride);
+  Rng rng(seed);
+  for (std::uint32_t i = 0; i < nparticles; ++i) {
+    p.initial[i * kStride + 0] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    p.initial[i * kStride + 1] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    p.initial[i * kStride + 2] = 1.0f / static_cast<float>(nparticles);
+  }
+  p.observations.resize(static_cast<std::size_t>(frames) * 2);
+  for (int f = 0; f < frames; ++f) {
+    // The target walks along a slow spiral.
+    p.observations[static_cast<std::size_t>(f) * 2 + 0] =
+        0.5f * std::cos(0.3f * static_cast<float>(f));
+    p.observations[static_cast<std::size_t>(f) * 2 + 1] =
+        0.5f * std::sin(0.3f * static_cast<float>(f));
+  }
+  return p;
+}
+
+namespace {
+
+std::vector<float> estimate(const float* particles, std::uint32_t nparticles) {
+  double x = 0.0, y = 0.0, w = 0.0;
+  for (std::uint32_t p = 0; p < nparticles; ++p) {
+    const float weight = particles[p * kStride + 2];
+    x += static_cast<double>(particles[p * kStride + 0]) * weight;
+    y += static_cast<double>(particles[p * kStride + 1]) * weight;
+    w += weight;
+  }
+  const double inv = w > 0.0 ? 1.0 / w : 0.0;
+  return {static_cast<float>(x * inv), static_cast<float>(y * inv)};
+}
+
+}  // namespace
+
+std::vector<float> reference(const Problem& problem) {
+  std::vector<float> particles = problem.initial;
+  std::vector<float> estimates;
+  for (int f = 0; f < problem.frames; ++f) {
+    frame_kernel(particles.data(),
+                 problem.observations.data() + static_cast<std::size_t>(f) * 2,
+                 problem.nparticles, static_cast<std::uint32_t>(f),
+                 problem.noise, nullptr);
+    const std::vector<float> e = estimate(particles.data(), problem.nparticles);
+    estimates.insert(estimates.end(), e.begin(), e.end());
+  }
+  return estimates;
+}
+
+RunResult run(rt::Engine& engine, const Problem& problem,
+              std::optional<rt::Arch> force) {
+  register_components();
+  rt::Codelet* codelet =
+      core::ComponentRegistry::global().find("particlefilter_frame");
+  check(codelet != nullptr, "particlefilter codelet missing");
+
+  RunResult result;
+  std::vector<float> particles = problem.initial;
+  engine.reset_virtual_time();
+  engine.reset_transfer_stats();
+
+  auto h_particles = engine.register_buffer(
+      particles.data(), particles.size() * sizeof(float), sizeof(float));
+
+  for (int f = 0; f < problem.frames; ++f) {
+    auto args = std::make_shared<PfArgs>();
+    args->nparticles = problem.nparticles;
+    args->frame = static_cast<std::uint32_t>(f);
+    args->noise = problem.noise;
+
+    // The observation for this frame is passed as an offset within the
+    // observations buffer via a per-frame transient handle.
+    auto h_frame_obs = engine.register_buffer(
+        const_cast<float*>(problem.observations.data()) +
+            static_cast<std::size_t>(f) * 2,
+        2 * sizeof(float), sizeof(float));
+
+    rt::TaskSpec spec;
+    spec.codelet = codelet;
+    spec.operands = {{h_particles, rt::AccessMode::kReadWrite},
+                     {h_frame_obs, rt::AccessMode::kRead}};
+    spec.arg = std::shared_ptr<const void>(args, args.get());
+    spec.forced_arch = force;
+    spec.name = "pf_frame" + std::to_string(f);
+    engine.submit(std::move(spec));
+
+    engine.acquire_host(h_particles, rt::AccessMode::kRead);
+    const std::vector<float> e = estimate(particles.data(), problem.nparticles);
+    result.estimates.insert(result.estimates.end(), e.begin(), e.end());
+  }
+  engine.wait_for_all();
+  result.virtual_seconds = engine.virtual_makespan();
+  return result;
+}
+
+}  // namespace peppher::apps::particlefilter

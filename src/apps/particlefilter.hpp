@@ -1,0 +1,51 @@
+// Particle filter (Rodinia "particlefilter"): tracks a synthetic 2-D
+// target; each video frame is one component invocation that propagates the
+// particles, weights them against the observation, normalises and
+// resamples (systematic resampling). Mixed regular/irregular access.
+//
+// Component "particlefilter_frame": operands [particles RW, observation R],
+// argument {nparticles, frame}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::particlefilter {
+
+/// Particle layout: x, y, weight (stride 3 floats).
+inline constexpr int kStride = 3;
+
+struct PfArgs {
+  std::uint32_t nparticles = 0;
+  std::uint32_t frame = 0;
+  float noise = 0.25f;
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t nparticles = 0;
+  int frames = 4;
+  std::vector<float> initial;       ///< nparticles * kStride
+  std::vector<float> observations;  ///< frames * 2 (x, y per frame)
+  float noise = 0.25f;
+};
+
+Problem make_problem(std::uint32_t nparticles, int frames,
+                     std::uint64_t seed = 53);
+
+/// Reference: estimated (x, y) trajectory, 2 floats per frame.
+std::vector<float> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<float> estimates;  ///< 2 floats per frame
+  double virtual_seconds = 0.0;
+};
+
+RunResult run(rt::Engine& engine, const Problem& problem,
+              std::optional<rt::Arch> force = std::nullopt);
+
+}  // namespace peppher::apps::particlefilter

@@ -1,0 +1,136 @@
+#include "apps/pathfinder.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::pathfinder {
+
+namespace {
+
+void dp_kernel(const std::int32_t* grid, std::int32_t* result,
+               std::uint32_t rows, std::uint32_t cols, rt::ExecContext* ctx) {
+  // result starts as the bottom row; walk upwards.
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    result[c] = grid[static_cast<std::size_t>(rows - 1) * cols + c];
+  }
+  std::vector<std::int32_t> prev(result, result + cols);
+  for (std::int64_t r = static_cast<std::int64_t>(rows) - 2; r >= 0; --r) {
+    const std::int32_t* row = grid + static_cast<std::size_t>(r) * cols;
+    auto sweep = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t c = begin; c < end; ++c) {
+        std::int32_t best = prev[c];
+        if (c > 0) best = std::min(best, prev[c - 1]);
+        if (c + 1 < cols) best = std::min(best, prev[c + 1]);
+        result[c] = row[c] + best;
+      }
+    };
+    if (ctx != nullptr && ctx->cpu_threads() > 1 && cols > 4096) {
+      ctx->parallel_for(0, cols, sweep);
+    } else {
+      sweep(0, cols);
+    }
+    std::copy(result, result + cols, prev.begin());
+  }
+}
+
+void impl_body(rt::ExecContext& ctx, bool parallel) {
+  const auto& args = ctx.arg<PathfinderArgs>();
+  dp_kernel(ctx.buffer_as<const std::int32_t>(0), ctx.buffer_as<std::int32_t>(1),
+            args.rows, args.cols, parallel ? &ctx : nullptr);
+}
+
+sim::KernelCost pathfinder_cost(const std::vector<std::size_t>& bytes,
+                                const void* arg) {
+  const auto* args = static_cast<const PathfinderArgs*>(arg);
+  const double cells = static_cast<double>(args->rows) * args->cols;
+  sim::KernelCost cost;
+  cost.flops = 4.0 * cells;
+  cost.bytes = static_cast<double>(bytes[0]) +
+               3.0 * static_cast<double>(args->rows) * args->cols *
+                   sizeof(std::int32_t) * 0.25;
+  cost.regularity = 0.92;
+  return cost;
+}
+
+}  // namespace
+
+void register_components() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Codelet& codelet =
+        core::ComponentRegistry::global().get_or_create("pathfinder");
+    codelet.add_impl({rt::Arch::kCpu, "pathfinder_cpu",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &pathfinder_cost});
+    codelet.add_impl({rt::Arch::kCpuOmp, "pathfinder_openmp",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, true); },
+                      &pathfinder_cost});
+    codelet.add_impl({rt::Arch::kCuda, "pathfinder_cuda",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &pathfinder_cost});
+    codelet.add_impl({rt::Arch::kOpenCl, "pathfinder_opencl",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &pathfinder_cost});
+  });
+}
+
+Problem make_problem(std::uint32_t rows, std::uint32_t cols, std::uint64_t seed) {
+  Problem p;
+  p.rows = rows;
+  p.cols = cols;
+  p.grid.resize(static_cast<std::size_t>(rows) * cols);
+  Rng rng(seed);
+  for (std::int32_t& v : p.grid) {
+    v = static_cast<std::int32_t>(rng.next_below(10));
+  }
+  return p;
+}
+
+std::vector<std::int32_t> reference(const Problem& problem) {
+  std::vector<std::int32_t> result(problem.cols, 0);
+  dp_kernel(problem.grid.data(), result.data(), problem.rows, problem.cols,
+            nullptr);
+  return result;
+}
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force) {
+  register_components();
+  rt::Codelet* codelet = core::ComponentRegistry::global().find("pathfinder");
+  check(codelet != nullptr, "pathfinder codelet missing");
+
+  RunResult result;
+  result.result.assign(problem.cols, 0);
+  engine.reset_virtual_time();
+  engine.reset_transfer_stats();
+
+  auto h_grid = engine.register_buffer(
+      const_cast<std::int32_t*>(problem.grid.data()),
+      problem.grid.size() * sizeof(std::int32_t), sizeof(std::int32_t));
+  auto h_result = engine.register_buffer(
+      result.result.data(), result.result.size() * sizeof(std::int32_t),
+      sizeof(std::int32_t));
+
+  auto args = std::make_shared<PathfinderArgs>();
+  args->rows = problem.rows;
+  args->cols = problem.cols;
+
+  rt::TaskSpec spec;
+  spec.codelet = codelet;
+  spec.operands = {{h_grid, rt::AccessMode::kRead},
+                   {h_result, rt::AccessMode::kWrite}};
+  spec.arg = std::shared_ptr<const void>(args, args.get());
+  spec.forced_arch = force;
+  engine.submit(std::move(spec));
+  engine.acquire_host(h_result, rt::AccessMode::kRead);
+  engine.wait_for_all();
+  result.virtual_seconds = engine.virtual_makespan();
+  return result;
+}
+
+}  // namespace peppher::apps::pathfinder

@@ -1,0 +1,44 @@
+// Grid shortest path (Rodinia "pathfinder"): bottom-up dynamic programming
+// over a rows x cols cost grid; each step a row is combined with the
+// minimum of its three lower neighbours. Regular streaming access.
+//
+// Component "pathfinder": operands [grid R, result RW], argument
+// {rows, cols}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::pathfinder {
+
+struct PathfinderArgs {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::int32_t> grid;  ///< rows x cols costs
+};
+
+Problem make_problem(std::uint32_t rows, std::uint32_t cols,
+                     std::uint64_t seed = 47);
+
+/// Reference final DP row (cols entries).
+std::vector<std::int32_t> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<std::int32_t> result;
+  double virtual_seconds = 0.0;
+};
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force = std::nullopt);
+
+}  // namespace peppher::apps::pathfinder

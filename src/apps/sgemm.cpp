@@ -1,0 +1,182 @@
+#include "apps/sgemm.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "core/peppher.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::sgemm {
+
+namespace {
+
+/// Row-range SGEMM kernel (ikj loop order for cache-friendly streaming).
+void gemm_rows(const float* A, const float* B, float* C, std::uint32_t n,
+               std::uint32_t k, float alpha, float beta, std::size_t row_begin,
+               std::size_t row_end) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* c_row = C + i * n;
+    if (beta == 0.0f) {
+      for (std::uint32_t j = 0; j < n; ++j) c_row[j] = 0.0f;
+    } else {
+      for (std::uint32_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+    const float* a_row = A + i * k;
+    for (std::uint32_t kk = 0; kk < k; ++kk) {
+      const float a = alpha * a_row[kk];
+      const float* b_row = B + static_cast<std::size_t>(kk) * n;
+      for (std::uint32_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+}
+
+void impl_body(rt::ExecContext& ctx, bool parallel) {
+  const auto& args = ctx.arg<SgemmArgs>();
+  const auto* A = ctx.buffer_as<const float>(0);
+  const auto* B = ctx.buffer_as<const float>(1);
+  auto* C = ctx.buffer_as<float>(2);
+  if (parallel) {
+    ctx.parallel_for(0, args.m, [&](std::size_t begin, std::size_t end) {
+      gemm_rows(A, B, C, args.n, args.k, args.alpha, args.beta, begin, end);
+    });
+  } else {
+    gemm_rows(A, B, C, args.n, args.k, args.alpha, args.beta, 0, args.m);
+  }
+}
+
+sim::KernelCost sgemm_cost(const std::vector<std::size_t>& bytes, const void* arg) {
+  const auto* args = static_cast<const SgemmArgs*>(arg);
+  sim::KernelCost cost;
+  cost.flops = 2.0 * args->m * args->n * args->k;
+  cost.bytes = static_cast<double>(bytes[0] + bytes[1] + 2 * bytes[2]);
+  cost.regularity = 1.0;  // perfectly streaming
+  return cost;
+}
+
+}  // namespace
+
+void register_components() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    rt::Codelet& codelet =
+        core::ComponentRegistry::global().get_or_create("sgemm");
+    codelet.add_impl({rt::Arch::kCpu, "sgemm_cpu",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &sgemm_cost});
+    codelet.add_impl({rt::Arch::kCpuOmp, "sgemm_openmp",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, true); },
+                      &sgemm_cost});
+    // CUBLAS sgemm stand-in on the simulated device.
+    codelet.add_impl({rt::Arch::kCuda, "sgemm_cublas",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &sgemm_cost});
+    codelet.add_impl({rt::Arch::kOpenCl, "sgemm_opencl",
+                      [](rt::ExecContext& ctx) { impl_body(ctx, false); },
+                      &sgemm_cost});
+  });
+}
+
+Problem make_problem(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                     std::uint64_t seed) {
+  Problem p;
+  p.m = m;
+  p.n = n;
+  p.k = k;
+  p.alpha = 1.0f;
+  p.beta = 0.0f;
+  p.A.resize(static_cast<std::size_t>(m) * k);
+  p.B.resize(static_cast<std::size_t>(k) * n);
+  p.C.resize(static_cast<std::size_t>(m) * n, 0.0f);
+  Rng rng(seed);
+  for (float& v : p.A) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (float& v : p.B) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return p;
+}
+
+std::vector<float> reference(const Problem& problem) {
+  std::vector<float> C = problem.C;
+  gemm_rows(problem.A.data(), problem.B.data(), C.data(), problem.n, problem.k,
+            problem.alpha, problem.beta, 0, problem.m);
+  return C;
+}
+
+namespace {
+
+RunResult run_impl(rt::Engine& engine, const Problem& problem,
+                   std::optional<rt::Arch> force, int blocks) {
+  register_components();
+  rt::Codelet* codelet = core::ComponentRegistry::global().find("sgemm");
+  check(codelet != nullptr, "sgemm codelet missing");
+  check(blocks > 0, "sgemm blocks must be positive");
+
+  RunResult result;
+  result.C = problem.C;
+  engine.reset_transfer_stats();
+  engine.reset_virtual_time();
+
+  auto h_A_full = engine.register_buffer(
+      const_cast<float*>(problem.A.data()), problem.A.size() * sizeof(float),
+      sizeof(float));
+  auto h_B = engine.register_buffer(const_cast<float*>(problem.B.data()),
+                                    problem.B.size() * sizeof(float),
+                                    sizeof(float));
+
+  const std::uint32_t rows_per_block =
+      (problem.m + static_cast<std::uint32_t>(blocks) - 1) /
+      static_cast<std::uint32_t>(blocks);
+  std::vector<rt::DataHandlePtr> c_handles;
+  for (std::uint32_t r0 = 0; r0 < problem.m; r0 += rows_per_block) {
+    const std::uint32_t r1 = std::min(problem.m, r0 + rows_per_block);
+    auto args = std::make_shared<SgemmArgs>();
+    args->m = r1 - r0;
+    args->n = problem.n;
+    args->k = problem.k;
+    args->alpha = problem.alpha;
+    args->beta = problem.beta;
+
+    rt::DataHandlePtr h_A =
+        blocks == 1 ? h_A_full
+                    : engine.register_buffer(
+                          const_cast<float*>(problem.A.data()) +
+                              static_cast<std::size_t>(r0) * problem.k,
+                          static_cast<std::size_t>(r1 - r0) * problem.k *
+                              sizeof(float),
+                          sizeof(float));
+    auto h_C = engine.register_buffer(
+        result.C.data() + static_cast<std::size_t>(r0) * problem.n,
+        static_cast<std::size_t>(r1 - r0) * problem.n * sizeof(float),
+        sizeof(float));
+    c_handles.push_back(h_C);
+
+    rt::TaskSpec spec;
+    spec.codelet = codelet;
+    spec.operands = {{h_A, rt::AccessMode::kRead},
+                     {h_B, rt::AccessMode::kRead},
+                     {h_C, rt::AccessMode::kReadWrite}};
+    spec.arg = std::shared_ptr<const void>(args, args.get());
+    spec.forced_arch = force;
+    engine.submit(std::move(spec));
+  }
+
+  for (const auto& h_C : c_handles) {
+    engine.acquire_host(h_C, rt::AccessMode::kRead);
+  }
+  engine.wait_for_all();
+  result.virtual_seconds = engine.virtual_makespan();
+  result.transfers = engine.transfer_stats();
+  return result;
+}
+
+}  // namespace
+
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force) {
+  return run_impl(engine, problem, force, 1);
+}
+
+RunResult run_blocked(rt::Engine& engine, const Problem& problem, int blocks) {
+  return run_impl(engine, problem, std::nullopt, blocks);
+}
+
+}  // namespace peppher::apps::sgemm

@@ -1,0 +1,56 @@
+// Dense single-precision matrix-matrix multiplication (SGEMM), one of the
+// paper's two scientific kernels: C = alpha*A*B + beta*C.
+//
+// Component "sgemm": operands [A R, B R, C RW], argument {m, n, k, alpha,
+// beta}. Variants: serial CPU, OpenMP multicore, CUBLAS-like CUDA. Also
+// exposes a row-blocked multi-task run (intra-component parallelism,
+// §IV-F: a single invocation mapped to several runtime sub-tasks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::sgemm {
+
+struct SgemmArgs {
+  std::uint32_t m = 0;  ///< rows of A and C
+  std::uint32_t n = 0;  ///< cols of B and C
+  std::uint32_t k = 0;  ///< cols of A / rows of B
+  float alpha = 1.0f;
+  float beta = 0.0f;
+};
+
+void register_components();
+
+struct Problem {
+  std::uint32_t m = 0, n = 0, k = 0;
+  float alpha = 1.0f, beta = 0.0f;
+  std::vector<float> A;  ///< m x k, row-major
+  std::vector<float> B;  ///< k x n, row-major
+  std::vector<float> C;  ///< m x n, row-major (input for beta != 0)
+};
+
+Problem make_problem(std::uint32_t m, std::uint32_t n, std::uint32_t k,
+                     std::uint64_t seed = 11);
+
+/// Serial reference (no runtime).
+std::vector<float> reference(const Problem& problem);
+
+struct RunResult {
+  std::vector<float> C;
+  double virtual_seconds = 0.0;
+  rt::TransferStats transfers;
+};
+
+/// One sgemm component invocation. `force` pins the architecture.
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force = std::nullopt);
+
+/// Blocked execution: C's rows are split into `blocks` row blocks; each
+/// block is one sub-task reading all of B (hybrid CPU+GPU capable).
+RunResult run_blocked(rt::Engine& engine, const Problem& problem, int blocks);
+
+}  // namespace peppher::apps::sgemm

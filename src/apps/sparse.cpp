@@ -1,0 +1,167 @@
+#include "apps/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::apps::sparse {
+
+namespace {
+
+/// Builds a CSR matrix from per-row column sets.
+CsrMatrix from_rows(std::uint32_t nrows, std::uint32_t ncols,
+                    std::vector<std::vector<std::uint32_t>> rows, Rng& rng) {
+  CsrMatrix m;
+  m.nrows = nrows;
+  m.ncols = ncols;
+  m.rowptr.reserve(nrows + 1);
+  m.rowptr.push_back(0);
+  std::size_t nnz = 0;
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    nnz += row.size();
+    m.rowptr.push_back(static_cast<std::uint32_t>(nnz));
+    for (std::uint32_t col : row) {
+      m.colidx.push_back(col);
+      m.values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  return m;
+}
+
+/// Banded matrix: `band` nonzeros per row centred on the diagonal — the
+/// regular, GPU-friendly structure of FEM / Harwell-Boeing matrices.
+CsrMatrix generate_banded(std::size_t target_nnz, std::uint32_t band, Rng& rng) {
+  const std::uint32_t nrows =
+      static_cast<std::uint32_t>(std::max<std::size_t>(8, target_nnz / band));
+  std::vector<std::vector<std::uint32_t>> rows(nrows);
+  for (std::uint32_t r = 0; r < nrows; ++r) {
+    const std::int64_t half = band / 2;
+    for (std::int64_t offset = -half;
+         offset < static_cast<std::int64_t>(band) - half; ++offset) {
+      const std::int64_t c = static_cast<std::int64_t>(r) + offset;
+      if (c >= 0 && c < static_cast<std::int64_t>(nrows)) {
+        rows[r].push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+  }
+  return from_rows(nrows, nrows, std::move(rows), rng);
+}
+
+/// Power-law matrix: row lengths follow an approximate Zipf distribution —
+/// the skewed structure of network matrices that hurts GPUs without caches.
+CsrMatrix generate_power_law(std::size_t target_nnz, double exponent, Rng& rng) {
+  // Average degree ~8 => nrows = nnz / 8.
+  const std::uint32_t nrows =
+      static_cast<std::uint32_t>(std::max<std::size_t>(16, target_nnz / 8));
+  std::vector<std::vector<std::uint32_t>> rows(nrows);
+  std::size_t placed = 0;
+  for (std::uint32_t r = 0; r < nrows && placed < target_nnz; ++r) {
+    // Zipf-ish degree: few huge rows, many tiny ones.
+    const double u = rng.next_double();
+    const std::size_t degree = static_cast<std::size_t>(
+        std::min<double>(2.0 + 6.0 * std::pow(u, -1.0 / exponent), 4096.0));
+    for (std::size_t k = 0; k < degree && placed < target_nnz; ++k) {
+      // Preferential attachment flavour: half the edges go to low ids.
+      const std::uint32_t c =
+          rng.next_double() < 0.5
+              ? static_cast<std::uint32_t>(rng.next_below(nrows / 16 + 1))
+              : static_cast<std::uint32_t>(rng.next_below(nrows));
+      rows[r].push_back(c);
+      ++placed;
+    }
+  }
+  return from_rows(nrows, nrows, std::move(rows), rng);
+}
+
+/// Block matrix: dense row blocks on the diagonal (QP / chemistry flavour).
+CsrMatrix generate_blocks(std::size_t target_nnz, std::uint32_t block, Rng& rng) {
+  const std::size_t per_block = static_cast<std::size_t>(block) * block;
+  const std::size_t nblocks = std::max<std::size_t>(1, target_nnz / per_block);
+  const std::uint32_t nrows = static_cast<std::uint32_t>(nblocks * block);
+  std::vector<std::vector<std::uint32_t>> rows(nrows);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::uint32_t base = static_cast<std::uint32_t>(b * block);
+    for (std::uint32_t i = 0; i < block; ++i) {
+      for (std::uint32_t j = 0; j < block; ++j) {
+        rows[base + i].push_back(base + j);
+      }
+    }
+  }
+  return from_rows(nrows, nrows, std::move(rows), rng);
+}
+
+/// Banded with a few dense rows (circuit-simulation flavour: supply rails
+/// touch almost everything).
+CsrMatrix generate_circuit(std::size_t target_nnz, Rng& rng) {
+  CsrMatrix banded = generate_banded(target_nnz * 9 / 10, 6, rng);
+  // Add ~nrows/2000 dense-ish rows worth of extra entries spread randomly.
+  std::vector<std::vector<std::uint32_t>> rows(banded.nrows);
+  for (std::uint32_t r = 0; r < banded.nrows; ++r) {
+    for (std::uint32_t k = banded.rowptr[r]; k < banded.rowptr[r + 1]; ++k) {
+      rows[r].push_back(banded.colidx[k]);
+    }
+  }
+  const std::size_t extra = target_nnz - banded.nnz();
+  const std::size_t dense_rows = std::max<std::size_t>(1, banded.nrows / 2000);
+  for (std::size_t d = 0; d < dense_rows; ++d) {
+    const std::uint32_t r =
+        static_cast<std::uint32_t>(rng.next_below(banded.nrows));
+    const std::size_t count = extra / dense_rows;
+    for (std::size_t k = 0; k < count; ++k) {
+      rows[r].push_back(static_cast<std::uint32_t>(rng.next_below(banded.nrows)));
+    }
+  }
+  return from_rows(banded.nrows, banded.ncols, std::move(rows), rng);
+}
+
+}  // namespace
+
+const std::vector<MatrixSpec>& uf_matrix_table() {
+  static const std::vector<MatrixSpec> table = {
+      {MatrixClass::kStructural, "Structural", "Structural problem", 2'700'000},
+      {MatrixClass::kHB, "HB", "Harwell-Boeing", 219'800},
+      {MatrixClass::kConvex, "Convex", "Convex QP", 900'000},
+      {MatrixClass::kSimulation, "Simulation", "Circuit simulation", 4'600'000},
+      {MatrixClass::kNetwork, "Network", "Power network", 565'000},
+      {MatrixClass::kChemistry, "Chemistry", "Quantum chemistry", 758'000},
+  };
+  return table;
+}
+
+CsrMatrix generate(MatrixClass matrix_class, double scale, std::uint64_t seed) {
+  check(scale > 0.0 && scale <= 1.0, "sparse scale must be in (0, 1]");
+  std::size_t target = 0;
+  for (const MatrixSpec& spec : uf_matrix_table()) {
+    if (spec.matrix_class == matrix_class) target = spec.target_nnz;
+  }
+  check(target > 0, "unknown matrix class");
+  target = std::max<std::size_t>(64, static_cast<std::size_t>(target * scale));
+  Rng rng(seed ^ (static_cast<std::uint64_t>(matrix_class) << 32));
+  switch (matrix_class) {
+    case MatrixClass::kStructural: return generate_banded(target, 27, rng);
+    case MatrixClass::kHB: return generate_banded(target, 11, rng);
+    case MatrixClass::kConvex: return generate_blocks(target, 24, rng);
+    case MatrixClass::kSimulation: return generate_circuit(target, rng);
+    case MatrixClass::kNetwork: return generate_power_law(target, 1.6, rng);
+    case MatrixClass::kChemistry: return generate_blocks(target, 48, rng);
+  }
+  throw Error(ErrorCode::kInternal, "unreachable matrix class");
+}
+
+double row_skew(const CsrMatrix& matrix) {
+  if (matrix.nrows == 0 || matrix.nnz() == 0) return 0.0;
+  const double mean = static_cast<double>(matrix.nnz()) / matrix.nrows;
+  double deviation = 0.0;
+  for (std::uint32_t r = 0; r < matrix.nrows; ++r) {
+    const double len = matrix.rowptr[r + 1] - matrix.rowptr[r];
+    deviation += std::fabs(len - mean);
+  }
+  return deviation / (static_cast<double>(matrix.nrows) * std::max(mean, 1.0));
+}
+
+}  // namespace peppher::apps::sparse

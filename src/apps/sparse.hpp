@@ -1,0 +1,55 @@
+// Synthetic sparse-matrix workload generator standing in for the University
+// of Florida collection matrices of the paper's Figure 5 / §V-A table
+// (proprietary download; see DESIGN.md §2 for the substitution rationale).
+// Each generator matches the published kind and non-zero count and mimics
+// the structural class that matters for SpMV behaviour: bandedness /
+// rows-per-nnz regularity (GPU-friendliness) vs power-law skew.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace peppher::apps::sparse {
+
+/// CSR matrix with 32-bit indices (single-precision values, as CUSP uses).
+struct CsrMatrix {
+  std::uint32_t nrows = 0;
+  std::uint32_t ncols = 0;
+  std::vector<float> values;
+  std::vector<std::uint32_t> colidx;
+  std::vector<std::uint32_t> rowptr;  ///< nrows + 1 entries
+
+  std::size_t nnz() const noexcept { return values.size(); }
+};
+
+/// The six matrix classes of the paper's §V-A table.
+enum class MatrixClass {
+  kStructural,  ///< structural FEM problem, 2.7M nnz, banded
+  kHB,          ///< Harwell-Boeing, 219.8K nnz, small banded
+  kConvex,      ///< convex QP, 0.9M nnz, block structure
+  kSimulation,  ///< circuit simulation, 4.6M nnz, mostly banded + dense rows
+  kNetwork,     ///< power network, 565K nnz, power-law degrees
+  kChemistry,   ///< quantum chemistry, 758K nnz, dense-ish row blocks
+};
+
+struct MatrixSpec {
+  MatrixClass matrix_class;
+  std::string short_name;  ///< "Structural", "HB", ...
+  std::string kind;        ///< the table's Kind column
+  std::size_t target_nnz;  ///< the table's Non-zeros column
+};
+
+/// The paper's table of six matrices (in its order).
+const std::vector<MatrixSpec>& uf_matrix_table();
+
+/// Generates a matrix of the given class. `scale` shrinks the target nnz
+/// (tests use small scales; benchmarks use 1.0). Deterministic in `seed`.
+CsrMatrix generate(MatrixClass matrix_class, double scale = 1.0,
+                   std::uint64_t seed = 7);
+
+/// Mean fraction of row-length deviation (0 = perfectly uniform rows, 1 =
+/// extremely skewed); proxy for how GPU-friendly the matrix is.
+double row_skew(const CsrMatrix& matrix);
+
+}  // namespace peppher::apps::sparse

@@ -1,0 +1,63 @@
+// Sparse matrix-vector multiplication (CSR), the paper's running example
+// (§V-A) and the Figure 5 hybrid-execution workload.
+//
+// Component "spmv": operands [values R, colidx R, rowptr R, x R, y W],
+// argument {nrows, regularity hint}. Variants: serial CPU, OpenMP-style
+// multicore CPU, and a CUSP-like CUDA kernel (simulated device).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "apps/sparse.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::spmv {
+
+/// Task-argument block of the spmv component.
+struct SpmvArgs {
+  std::uint32_t nrows = 0;
+  float regularity = 0.5f;  ///< access-pattern hint for the cost model
+};
+
+/// Registers the spmv component (all three variants with cost hints) with
+/// the global component registry. Idempotent.
+void register_components();
+
+/// A ready-to-run problem instance.
+struct Problem {
+  sparse::CsrMatrix A;
+  std::vector<float> x;
+
+  /// Cost-model regularity derived from the matrix's row skew.
+  float regularity() const;
+};
+
+Problem make_problem(sparse::MatrixClass matrix_class, double scale,
+                     std::uint64_t seed = 7);
+
+/// Serial reference y = A*x with no runtime involvement.
+std::vector<float> reference(const Problem& problem);
+
+/// Result of a runtime-backed run.
+struct RunResult {
+  std::vector<float> y;
+  double virtual_seconds = 0.0;       ///< makespan incl. result copy-back
+  rt::TransferStats transfers;        ///< PCIe traffic of the run
+};
+
+/// One spmv component invocation on the whole matrix. `force` pins the
+/// architecture (user-guided static composition): kCuda reproduces the
+/// "direct CUDA" baseline of Figure 5 (all data over PCIe), kCpuOmp the
+/// OpenMP baseline; nullopt lets the scheduler decide.
+RunResult run_single(rt::Engine& engine, const Problem& problem,
+                     std::optional<rt::Arch> force = std::nullopt);
+
+/// Hybrid execution (§V-C): rows are split into `chunks` nnz-balanced
+/// blocks, one task per block; the performance-aware scheduler distributes
+/// them over all CPU cores and the GPU, which divides both the computation
+/// and the PCIe traffic.
+RunResult run_hybrid(rt::Engine& engine, const Problem& problem, int chunks);
+
+}  // namespace peppher::apps::spmv

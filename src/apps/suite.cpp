@@ -1,0 +1,123 @@
+#include "apps/suite.hpp"
+
+#include <numeric>
+
+#include "apps/bfs.hpp"
+#include "apps/cfd.hpp"
+#include "apps/common.hpp"
+#include "apps/hotspot.hpp"
+#include "apps/lud.hpp"
+#include "apps/nw.hpp"
+#include "apps/ode.hpp"
+#include "apps/particlefilter.hpp"
+#include "apps/pathfinder.hpp"
+#include "apps/sgemm.hpp"
+
+namespace peppher::apps {
+
+namespace {
+
+double sum_of(const std::vector<float>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double sum_of(const std::vector<std::int32_t>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double sum_of(const std::vector<std::uint32_t>& v) {
+  double s = 0.0;
+  for (std::uint32_t x : v) {
+    if (x != 0xFFFFFFFFu) s += x;
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::vector<SuiteApp>& figure6_suite() {
+  static const std::vector<SuiteApp> suite = {
+      {"bfs",
+       {40'000, 80'000, 160'000},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         auto p = bfs::make_problem(static_cast<std::uint32_t>(size), 8,
+                                    static_cast<std::uint64_t>(size));
+         auto r = bfs::run_single(e, p, force);
+         return SuiteRunResult{sum_of(r.depth), r.virtual_seconds};
+       }},
+      {"cfd",
+       {50'000, 100'000, 200'000},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         auto p = cfd::make_problem(static_cast<std::uint32_t>(size), 3,
+                                    static_cast<std::uint64_t>(size));
+         auto r = cfd::run(e, p, force);
+         return SuiteRunResult{sum_of(r.state), r.virtual_seconds};
+       }},
+      {"hotspot",
+       {256, 384, 512},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         auto p = hotspot::make_problem(static_cast<std::uint32_t>(size),
+                                        static_cast<std::uint32_t>(size), 4,
+                                        static_cast<std::uint64_t>(size));
+         auto r = hotspot::run(e, p, force);
+         return SuiteRunResult{sum_of(r.temp), r.virtual_seconds};
+       }},
+      {"libsolve",
+       // The paper sweeps system sizes 250..1000 (Figure 7); stay in that
+       // range (fewer steps than the paper's 1179 to keep the sweep fast).
+       {256, 512, 768},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         // 120 steps: enough for the within-run adaptation to amortise (the
+         // paper's libsolve runs 1179 steps).
+         auto p = ode::make_problem(static_cast<std::uint32_t>(size), 120,
+                                    static_cast<std::uint64_t>(size));
+         auto r = ode::run_tool(e, p, force);
+         return SuiteRunResult{sum_of(r.y), r.virtual_seconds};
+       }},
+      {"lud",
+       {192, 256, 384},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         auto p = lud::make_problem(static_cast<std::uint32_t>(size),
+                                    static_cast<std::uint64_t>(size));
+         auto r = lud::run_single(e, p, force);
+         return SuiteRunResult{sum_of(r.A), r.virtual_seconds};
+       }},
+      {"nw",
+       {512, 768, 1024},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         auto p = nw::make_problem(static_cast<std::uint32_t>(size),
+                                   static_cast<std::uint64_t>(size));
+         auto r = nw::run_single(e, p, force);
+         return SuiteRunResult{sum_of(r.score), r.virtual_seconds};
+       }},
+      {"particlefilter",
+       {50'000, 100'000, 200'000},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         auto p = particlefilter::make_problem(static_cast<std::uint32_t>(size),
+                                               4, static_cast<std::uint64_t>(size));
+         auto r = particlefilter::run(e, p, force);
+         return SuiteRunResult{sum_of(r.estimates), r.virtual_seconds};
+       }},
+      {"pathfinder",
+       {1'000, 2'000, 4'000},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         auto p = pathfinder::make_problem(static_cast<std::uint32_t>(size), 512,
+                                           static_cast<std::uint64_t>(size));
+         auto r = pathfinder::run_single(e, p, force);
+         return SuiteRunResult{sum_of(r.result), r.virtual_seconds};
+       }},
+      {"sgemm",
+       {128, 192, 256},
+       [](rt::Engine& e, int size, std::optional<rt::Arch> force) {
+         auto p = sgemm::make_problem(static_cast<std::uint32_t>(size),
+                                      static_cast<std::uint32_t>(size),
+                                      static_cast<std::uint32_t>(size),
+                                      static_cast<std::uint64_t>(size));
+         auto r = sgemm::run_single(e, p, force);
+         return SuiteRunResult{sum_of(r.C), r.virtual_seconds};
+       }},
+  };
+  return suite;
+}
+
+}  // namespace peppher::apps

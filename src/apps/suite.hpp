@@ -1,0 +1,39 @@
+// The Figure 6 application suite: a uniform, type-erased view of the nine
+// evaluation applications (Rodinia kernels + libsolve + sgemm), each
+// runnable at a set of problem sizes with a forced architecture (OpenMP /
+// CUDA baselines) or with free performance-aware dynamic selection (TGPA).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace peppher::apps {
+
+/// Uniform result of one suite-application run.
+struct SuiteRunResult {
+  double checksum = 0.0;         ///< result digest (correctness telltale)
+  double virtual_seconds = 0.0;  ///< makespan incl. transfers
+};
+
+struct SuiteApp {
+  std::string name;
+
+  /// The problem-size sweep ("execution time is averaged over different
+  /// problem sizes", §V-D). Sizes are app-specific magnitudes.
+  std::vector<int> sizes;
+
+  /// Runs the app at sweep size `size`; `force` = kCpuOmp / kCuda for the
+  /// static baselines, nullopt for dynamic (TGPA) selection.
+  std::function<SuiteRunResult(rt::Engine&, int size,
+                               std::optional<rt::Arch> force)>
+      run;
+};
+
+/// All nine Figure 6 applications, in the figure's order.
+const std::vector<SuiteApp>& figure6_suite();
+
+}  // namespace peppher::apps

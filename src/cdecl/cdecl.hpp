@@ -1,0 +1,74 @@
+// Mini C/C++ function-declaration parser behind the composition tool's
+// "utility mode" (§IV-I of the paper): given a header with a method
+// declaration, the tool generates skeleton XML descriptors and
+// implementation files, inferring data access patterns from 'const' and
+// pass-by-reference/pointer semantics and detecting template parameters.
+//
+// Supported grammar (a practical subset of C/C++ declarations):
+//   [template<typename T, ...>] ret-type name '(' param (',' param)* ')' ';'
+// where types may combine const, builtin multi-word types (unsigned long,
+// ...), struct/class tags, qualified names (a::b), template instances
+// (Vector<float>), pointers (incl. multi-level) and lvalue references.
+// Array suffixes on parameters (float x[]) are normalised to pointers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace peppher::cdecl_parser {
+
+/// Access pattern inferred for a parameter — maps onto PEPPHER descriptor
+/// accessMode and onto runtime access modes.
+enum class Access {
+  kRead,       ///< by-value, or const pointer/reference
+  kWrite,      ///< annotated "out" naming convention (out_*, *_out)
+  kReadWrite,  ///< non-const pointer/reference
+};
+
+std::string to_string(Access access);
+
+/// A parsed C/C++ type.
+struct Type {
+  std::string base;          ///< e.g. "float", "unsigned long", "Vector<float>"
+  bool is_const = false;     ///< top-level const on the pointee/value
+  int pointer_depth = 0;     ///< number of '*'
+  bool is_reference = false; ///< trailing '&'
+
+  /// Re-renders the type as C++ source ("const float*", "Vector<T>&").
+  std::string spelling() const;
+
+  /// True if the parameter aliases caller memory (pointer or reference).
+  bool is_indirect() const noexcept { return pointer_depth > 0 || is_reference; }
+};
+
+/// One function parameter.
+struct Param {
+  Type type;
+  std::string name;  ///< may be synthesised ("arg0") if omitted in the source
+
+  /// Access inferred per the paper: const/value -> read; "out"-named
+  /// non-const indirection -> write; other non-const indirection ->
+  /// readwrite.
+  Access inferred_access() const;
+};
+
+/// A parsed function declaration.
+struct FunctionDecl {
+  std::string name;
+  Type return_type;
+  std::vector<Param> params;
+  std::vector<std::string> template_params;  ///< e.g. {"T"} for template<typename T>
+
+  bool is_generic() const noexcept { return !template_params.empty(); }
+};
+
+/// Parses a single function declaration. Throws ParseError on malformed
+/// input.
+FunctionDecl parse_declaration(std::string_view source);
+
+/// Parses every function declaration found in a header-like text, skipping
+/// comments, preprocessor lines, and using/namespace boilerplate.
+std::vector<FunctionDecl> parse_header(std::string_view source);
+
+}  // namespace peppher::cdecl_parser

@@ -1,0 +1,46 @@
+// Generic component expansion (§IV-B): interfaces may be generic in static
+// entities such as element types (C++-template style); the composition tool
+// resolves genericity statically by expansion, creating one concrete
+// component per requested type binding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compose/ir.hpp"
+
+namespace peppher::compose {
+
+/// One concrete binding of all template parameters of an interface,
+/// e.g. {{"T","float"}}.
+using Binding = std::vector<std::pair<std::string, std::string>>;
+
+/// Mangles a bound type into an identifier fragment: "unsigned long" ->
+/// "unsigned_long", "std::pair<int,int>" -> "std_pair_int_int_".
+std::string mangle_type(std::string_view type);
+
+/// Replaces whole-word occurrences of template parameter names in a C++
+/// type spelling ("Vector<T>&" with T=float -> "Vector<float>&").
+std::string substitute_type(std::string_view type, const Binding& binding);
+
+/// Expands every generic component in the tree using the recipe's bindings:
+/// each combination of values instantiates one concrete component named
+/// "<interface>_<mangled types>" whose params/variants have the template
+/// parameters substituted; the generic component itself is removed.
+/// Generic components with no applicable binding are reported (and removed,
+/// since they cannot be compiled). Returns a report of the instantiations.
+std::vector<std::string> expand_generics(ComponentTree& tree);
+
+/// Tunable-parameter expansion — the paper's §IV-B future-work item,
+/// implemented here: a variant that exposes tunable parameters (e.g. a
+/// block size with values 64,128,256) is expanded into one variant per
+/// value combination, each named "<variant>__<tunable><value>...", with a
+/// -D<TUNABLE>=<value> define appended to its compile options. The
+/// expanded variants become alternative choices for composition (selected
+/// statically via dispatch tables or dynamically by the runtime's history
+/// models, like any other variant). The original multi-valued variant is
+/// replaced. Variants without tunables pass through unchanged. Returns a
+/// report of the instantiations.
+std::vector<std::string> expand_tunables(ComponentTree& tree);
+
+}  // namespace peppher::compose

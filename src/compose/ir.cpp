@@ -1,0 +1,276 @@
+#include "compose/ir.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace peppher::compose {
+
+namespace {
+
+/// Architectures that exist on the machine.
+std::set<rt::Arch> machine_archs(const sim::MachineConfig& machine) {
+  std::set<rt::Arch> archs;
+  if (machine.cpu_cores > 0) {
+    archs.insert(rt::Arch::kCpu);
+    archs.insert(rt::Arch::kCpuOmp);
+  }
+  for (const auto& accel : machine.accelerators) {
+    archs.insert(accel.device_class == sim::DeviceClass::kOpenClGpu
+                     ? rt::Arch::kOpenCl
+                     : rt::Arch::kCuda);
+  }
+  return archs;
+}
+
+ComponentTree build_tree_impl(const desc::Repository& repo,
+                              const std::vector<std::string>& roots,
+                              desc::MainDescriptor main, Recipe recipe) {
+  // Merge main-descriptor composition switches into the recipe (explicit
+  // recipe entries win: the command line overrides the descriptor).
+  for (const std::string& name : main.disabled_impls) {
+    recipe.disable_impls.push_back(name);
+  }
+  if (!recipe.use_history_models.has_value()) {
+    recipe.use_history_models = main.use_history_models;
+  }
+  if (!recipe.scheduler.has_value() && !main.scheduler.empty()) {
+    recipe.scheduler = main.scheduler;
+  }
+
+  // Reachability: roots plus everything required transitively.
+  std::set<std::string> reachable;
+  std::vector<std::string> frontier = roots;
+  while (!frontier.empty()) {
+    const std::string name = frontier.back();
+    frontier.pop_back();
+    if (!reachable.insert(name).second) continue;
+    if (repo.find_interface(name) == nullptr) {
+      throw Error(ErrorCode::kNotFound,
+                  "interface '" + name + "' is not in the repository");
+    }
+    for (const desc::ImplementationDescriptor* impl :
+         repo.implementations_of(name)) {
+      for (const std::string& req : impl->required_interfaces) {
+        frontier.push_back(req);
+      }
+    }
+  }
+
+  const std::set<rt::Arch> archs = machine_archs(recipe.machine);
+
+  // Source files in implementation descriptors are relative to the
+  // descriptor's own directory; the generated Makefile runs from the
+  // application root (where the main descriptor lives), so re-anchor them.
+  const std::filesystem::path app_root = repo.origin_of(main.name);
+  auto reanchor_sources = [&](desc::ImplementationDescriptor& impl) {
+    const std::filesystem::path origin = repo.origin_of(impl.name);
+    if (origin.empty()) return;
+    std::filesystem::path rel = app_root.empty()
+                                    ? origin
+                                    : origin.lexically_relative(app_root);
+    if (rel.empty() || rel == ".") return;
+    for (std::string& source : impl.sources) {
+      source = (rel / source).lexically_normal().string();
+    }
+  };
+
+  ComponentTree tree;
+  tree.main = std::move(main);
+  tree.recipe = std::move(recipe);
+  for (const desc::InterfaceDescriptor* iface : repo.interfaces_bottom_up()) {
+    if (reachable.count(iface->name) == 0) continue;
+    ComponentNode node;
+    node.interface = *iface;
+    for (const desc::ImplementationDescriptor* impl :
+         repo.implementations_of(iface->name)) {
+      VariantNode variant;
+      variant.descriptor = *impl;
+      reanchor_sources(variant.descriptor);
+      if (archs.count(impl->arch()) == 0) {
+        variant.enabled = false;
+        variant.disabled_reason = "architecture '" + impl->language +
+                                  "' not present on target machine '" +
+                                  tree.recipe.machine.name + "'";
+      }
+      node.variants.push_back(std::move(variant));
+    }
+    tree.components.push_back(std::move(node));
+  }
+  return tree;
+}
+
+}  // namespace
+
+std::vector<const VariantNode*> ComponentNode::enabled_variants() const {
+  std::vector<const VariantNode*> out;
+  for (const VariantNode& variant : variants) {
+    if (variant.enabled) out.push_back(&variant);
+  }
+  return out;
+}
+
+bool ComponentNode::composable() const {
+  return std::any_of(variants.begin(), variants.end(),
+                     [](const VariantNode& v) { return v.enabled; });
+}
+
+ComponentNode* ComponentTree::find(const std::string& interface_name) {
+  for (ComponentNode& node : components) {
+    if (node.interface.name == interface_name) return &node;
+  }
+  return nullptr;
+}
+
+const ComponentNode* ComponentTree::find(const std::string& interface_name) const {
+  for (const ComponentNode& node : components) {
+    if (node.interface.name == interface_name) return &node;
+  }
+  return nullptr;
+}
+
+ComponentTree build_tree(const desc::Repository& repo, Recipe recipe) {
+  const desc::MainDescriptor* main = repo.main_module();
+  if (main == nullptr) {
+    throw Error(ErrorCode::kInvalidState,
+                "repository has no main-module descriptor");
+  }
+  std::vector<std::string> roots = main->uses;
+  if (roots.empty()) {
+    // Nothing declared: compose every interface in the repository.
+    for (const desc::InterfaceDescriptor* iface : repo.interfaces()) {
+      roots.push_back(iface->name);
+    }
+  }
+  return build_tree_impl(repo, roots, *main, std::move(recipe));
+}
+
+ComponentTree build_tree_for_interfaces(const desc::Repository& repo,
+                                        const std::vector<std::string>& interfaces,
+                                        Recipe recipe) {
+  desc::MainDescriptor main;
+  main.name = "library";
+  return build_tree_impl(repo, interfaces, std::move(main), std::move(recipe));
+}
+
+std::string describe(const ComponentTree& tree) {
+  std::ostringstream out;
+  out << "component tree for application '" << tree.main.name << "' on '"
+      << tree.recipe.machine.name << "' (goal " << tree.main.optimization_goal
+      << ", scheduler " << tree.recipe.scheduler.value_or("dmda")
+      << ", history "
+      << (tree.recipe.use_history_models.value_or(true) ? "on" : "off")
+      << ")\n";
+  for (const ComponentNode& node : tree.components) {
+    out << "  component " << node.interface.name;
+    if (!node.expanded_from.empty()) {
+      out << " (expanded from " << node.expanded_from << ")";
+    }
+    out << "\n    " << node.interface.prototype() << "\n";
+    for (const VariantNode& variant : node.variants) {
+      out << "    " << (variant.enabled ? "[x] " : "[ ] ")
+          << variant.descriptor.name << " (" << variant.descriptor.language
+          << ")";
+      if (!variant.descriptor.sources.empty()) {
+        out << " <- " << strings::join(variant.descriptor.sources, ", ");
+      }
+      if (!variant.enabled) out << "  -- " << variant.disabled_reason;
+      out << "\n";
+    }
+  }
+  return std::move(out).str();
+}
+
+rt::EngineConfig engine_config(const ComponentTree& tree) {
+  rt::EngineConfig config;
+  config.machine = tree.recipe.machine;
+  if (tree.recipe.scheduler.has_value()) {
+    config.scheduler = *tree.recipe.scheduler;
+  }
+  config.use_history_models = tree.recipe.use_history_models.value_or(true);
+  const std::string goal = strings::to_lower(tree.main.optimization_goal);
+  config.objective = goal == "energy" ? rt::Objective::kEnergy
+                                      : rt::Objective::kTime;
+  return config;
+}
+
+std::vector<std::string> apply_static_narrowing(ComponentTree& tree) {
+  std::vector<std::string> report;
+  for (ComponentNode& node : tree.components) {
+    for (VariantNode& variant : node.variants) {
+      if (!variant.enabled) continue;
+      // disableImpls: match on variant name or architecture name.
+      for (const std::string& disabled : tree.recipe.disable_impls) {
+        const std::string needle = strings::to_lower(strings::trim(disabled));
+        const bool name_match =
+            strings::to_lower(variant.descriptor.name) == needle;
+        bool arch_match = false;
+        try {
+          arch_match = rt::parse_arch(needle) == variant.arch();
+        } catch (const Error&) {
+          arch_match = false;
+        }
+        if (name_match || arch_match) {
+          variant.enabled = false;
+          variant.disabled_reason = "disabled by disableImpls='" + disabled + "'";
+          report.push_back("component '" + node.interface.name + "': variant '" +
+                           variant.descriptor.name + "' " + variant.disabled_reason);
+          break;
+        }
+      }
+      if (!variant.enabled) continue;
+      // Resource requirements (§II): a variant demanding more memory than
+      // its execution unit provides can never run there.
+      {
+        double available_mb = 0.0;
+        switch (variant.arch()) {
+          case rt::Arch::kCpu:
+          case rt::Arch::kCpuOmp:
+            available_mb = tree.recipe.machine.cpu_core.memory_mb;
+            break;
+          case rt::Arch::kCuda:
+          case rt::Arch::kOpenCl:
+            for (const auto& accel : tree.recipe.machine.accelerators) {
+              available_mb = std::max(available_mb, accel.memory_mb);
+            }
+            break;
+        }
+        if (variant.descriptor.min_memory_mb > available_mb) {
+          variant.enabled = false;
+          variant.disabled_reason =
+              "requires " + std::to_string(variant.descriptor.min_memory_mb) +
+              " MB but the execution unit has " + std::to_string(available_mb) +
+              " MB";
+          report.push_back("component '" + node.interface.name + "': variant '" +
+                           variant.descriptor.name + "' " +
+                           variant.disabled_reason);
+          continue;
+        }
+      }
+      // Statically decidable selectability constraints: a constraint whose
+      // admissible range is empty can never be selected.
+      for (const desc::ConstraintDesc& constraint : variant.descriptor.constraints) {
+        if (constraint.min && constraint.max && *constraint.min > *constraint.max) {
+          variant.enabled = false;
+          variant.disabled_reason = "constraint on '" + constraint.param +
+                                    "' admits no value";
+          report.push_back("component '" + node.interface.name + "': variant '" +
+                           variant.descriptor.name + "' " + variant.disabled_reason);
+          break;
+        }
+      }
+    }
+    if (!node.composable()) {
+      throw Error(ErrorCode::kInvalidState,
+                  "static composition left component '" + node.interface.name +
+                      "' with no enabled implementation variant");
+    }
+  }
+  return report;
+}
+
+}  // namespace peppher::compose

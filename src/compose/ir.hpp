@@ -1,0 +1,115 @@
+// The composition tool's intermediate representation (the "component tree"
+// of Figure 2): a processed view of the repository's descriptors for one
+// application, decoupled from the XML schema, carrying both descriptor
+// information and composition-time decisions (the composition recipe).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "descriptor/descriptor.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/types.hpp"
+#include "sim/device.hpp"
+
+namespace peppher::compose {
+
+/// Composition-time inputs that are not in the descriptors (command-line
+/// switches and target machine): the "composition recipe".
+struct Recipe {
+  /// Target machine; decides which variants are usable at all.
+  sim::MachineConfig machine = sim::MachineConfig::platform_c2050();
+
+  /// User-guided static narrowing: names/architectures to disable
+  /// (the disableImpls switch, §IV-A).
+  std::vector<std::string> disable_impls;
+
+  /// The useHistoryModels flag (§IV-G); merged with the main descriptor.
+  std::optional<bool> use_history_models;
+
+  /// Scheduler override.
+  std::optional<std::string> scheduler;
+
+  /// Generic-component bindings, e.g. {"T" -> {"float","double"}}: each
+  /// combination instantiates a concrete component (§IV-B).
+  std::vector<std::pair<std::string, std::vector<std::string>>> bindings;
+
+  /// Expand multi-valued tunable parameters into one variant per value
+  /// combination (the paper's §IV-B future-work feature).
+  bool expand_tunables = false;
+
+  /// Output directory for generated code.
+  std::string output_dir = "peppher-generated";
+};
+
+/// One implementation variant inside the IR.
+struct VariantNode {
+  desc::ImplementationDescriptor descriptor;  ///< owned copy (expansion mutates)
+  bool enabled = true;
+  std::string disabled_reason;  ///< why static composition removed it
+
+  rt::Arch arch() const { return descriptor.arch(); }
+};
+
+/// One component (interface + its variants) inside the IR.
+struct ComponentNode {
+  desc::InterfaceDescriptor interface;  ///< owned copy (expansion mutates)
+  std::vector<VariantNode> variants;
+
+  /// For components created by generic expansion: the source interface and
+  /// the applied binding ("sort" + "T=float").
+  std::string expanded_from;
+  std::vector<std::pair<std::string, std::string>> binding;
+
+  /// Enabled variants only.
+  std::vector<const VariantNode*> enabled_variants() const;
+
+  /// True if at least one enabled variant remains.
+  bool composable() const;
+};
+
+/// The component tree: all components reachable from the main module, in
+/// bottom-up (requirements-first) order, plus application-level settings.
+struct ComponentTree {
+  std::vector<ComponentNode> components;
+  desc::MainDescriptor main;
+  Recipe recipe;
+
+  ComponentNode* find(const std::string& interface_name);
+  const ComponentNode* find(const std::string& interface_name) const;
+};
+
+/// Builds the IR from a repository (pass 1 of the tool, §III):
+///  * explores interfaces bottom-up in the required-interfaces relation,
+///    restricted to those reachable from the main module's `uses` (all
+///    interfaces when the main module lists none);
+///  * keeps only variants whose architecture exists on the target machine;
+///  * merges the main descriptor's composition switches into the recipe.
+/// Throws Error(kInvalidState) if the repository has no main module (use
+/// build_tree_for_interfaces for library-style composition).
+ComponentTree build_tree(const desc::Repository& repo, Recipe recipe);
+
+/// Same, but for an explicit interface set and no main module.
+ComponentTree build_tree_for_interfaces(const desc::Repository& repo,
+                                        const std::vector<std::string>& interfaces,
+                                        Recipe recipe);
+
+/// Static composition pass (§IV-A): applies disableImpls narrowing and the
+/// variants' own selectability constraints that are statically decidable.
+/// Returns a human-readable report of what was narrowed. Throws
+/// Error(kInvalidState) if a component ends up with no enabled variant.
+std::vector<std::string> apply_static_narrowing(ComponentTree& tree);
+
+/// Human-readable dump of the component tree (the `compose -dumpIR`
+/// output): per component its interface signature, and per variant its
+/// architecture, sources, enablement and the reason it was disabled.
+std::string describe(const ComponentTree& tree);
+
+/// The runtime configuration an application composed from this tree should
+/// start with: the recipe's machine, the (merged) scheduler and
+/// useHistoryModels switches, and the main descriptor's optimization goal
+/// ("exec_time" -> time, "energy" -> energy).
+rt::EngineConfig engine_config(const ComponentTree& tree);
+
+}  // namespace peppher::compose

@@ -1,0 +1,47 @@
+// Utility mode (§IV-I, Figure 4): `compose -generateCompFiles=spmv.h`
+// generates the basic skeleton of the XML descriptors and C/C++ source
+// files needed to write PEPPHER components from a plain C/C++ method
+// declaration. The generator detects template parameters and suggests data
+// access modes by analysing 'const' and pass-by-reference semantics of the
+// function arguments; it also guesses size expressions for raw-pointer
+// operands from integer parameters so the descriptors are immediately
+// usable (the programmer verifies and fills in the rest).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cdecl/cdecl.hpp"
+#include "compose/codegen.hpp"
+#include "descriptor/descriptor.hpp"
+
+namespace peppher::compose {
+
+struct SkeletonOptions {
+  /// Backends to scaffold (subdirectory per backend, paper §IV-C layout).
+  std::vector<std::string> backends = {"cpu", "openmp", "cuda"};
+
+  /// Also emit a main.xml skeleton for the application module.
+  bool emit_main = true;
+};
+
+/// Maps one parsed declaration to an interface descriptor (access modes
+/// inferred per the paper; size expressions guessed heuristically).
+desc::InterfaceDescriptor interface_from_declaration(
+    const cdecl_parser::FunctionDecl& decl);
+
+/// Generates the full skeleton file set for every declaration in
+/// `header_text`: per component a directory "<name>/" with the interface
+/// descriptor and one "<backend>/<name>_<backend>.{xml,cpp|cu}" pair per
+/// backend, plus (optionally) a main.xml. Paths are relative.
+CodegenResult generate_skeleton(std::string_view header_text,
+                                const SkeletonOptions& options = {});
+
+/// Convenience: parse `header_path` and write the skeleton under
+/// `output_dir`.
+CodegenResult generate_skeleton_from_file(const std::filesystem::path& header_path,
+                                          const std::filesystem::path& output_dir,
+                                          const SkeletonOptions& options = {});
+
+}  // namespace peppher::compose

@@ -1,0 +1,189 @@
+#include "core/peppher.hpp"
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace peppher::core {
+namespace {
+
+std::mutex g_engine_mutex;
+std::unique_ptr<rt::Engine> g_engine;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// runtime lifetime
+// ---------------------------------------------------------------------------
+
+void initialize(rt::EngineConfig config) {
+  std::lock_guard<std::mutex> lock(g_engine_mutex);
+  if (g_engine != nullptr) {
+    throw Error(ErrorCode::kInvalidState, "PEPPHER runtime already initialized");
+  }
+  g_engine = std::make_unique<rt::Engine>(std::move(config));
+}
+
+void shutdown() {
+  std::lock_guard<std::mutex> lock(g_engine_mutex);
+  g_engine.reset();
+}
+
+bool initialized() noexcept {
+  std::lock_guard<std::mutex> lock(g_engine_mutex);
+  return g_engine != nullptr;
+}
+
+rt::Engine& engine() {
+  std::lock_guard<std::mutex> lock(g_engine_mutex);
+  if (g_engine == nullptr) {
+    throw Error(ErrorCode::kInvalidState,
+                "PEPPHER runtime not initialized; call PEPPHER_INITIALIZE()");
+  }
+  return *g_engine;
+}
+
+// ---------------------------------------------------------------------------
+// component registry
+// ---------------------------------------------------------------------------
+
+rt::Codelet& ComponentRegistry::get_or_create(const std::string& component) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = codelets_[component];
+  if (slot == nullptr) slot = std::make_unique<rt::Codelet>(component);
+  return *slot;
+}
+
+rt::Codelet* ComponentRegistry::find(const std::string& component) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = codelets_.find(component);
+  return it == codelets_.end() ? nullptr : it->second.get();
+}
+
+int ComponentRegistry::disable_impls(const std::string& what) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int disabled = 0;
+  for (auto& [name, codelet] : codelets_) {
+    disabled += codelet->disable_impls(what);
+  }
+  return disabled;
+}
+
+void ComponentRegistry::enable_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, codelet] : codelets_) codelet->enable_all();
+}
+
+std::vector<std::string> ComponentRegistry::component_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(codelets_.size());
+  for (const auto& [name, codelet] : codelets_) out.push_back(name);
+  return out;
+}
+
+ComponentRegistry& ComponentRegistry::global() {
+  static ComponentRegistry registry;
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// invocation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+rt::TaskSpec make_spec(const std::string& component,
+                       std::vector<CallOperand> operands,
+                       std::shared_ptr<const void> arg, const CallOptions& options,
+                       bool synchronous) {
+  rt::Codelet* codelet = ComponentRegistry::global().find(component);
+  if (codelet == nullptr) {
+    throw Error(ErrorCode::kNotFound,
+                "component '" + component + "' is not registered");
+  }
+  rt::TaskSpec spec;
+  spec.codelet = codelet;
+  spec.operands.reserve(operands.size());
+  for (CallOperand& op : operands) {
+    spec.operands.push_back(rt::TaskOperand{std::move(op.handle), op.mode});
+  }
+  spec.arg = std::move(arg);
+  spec.priority = options.priority;
+  spec.forced_arch = options.forced_arch;
+  spec.forced_worker = options.forced_worker;
+  spec.synchronous = synchronous;
+  spec.name = component;
+  return spec;
+}
+
+}  // namespace
+
+rt::TaskPtr invoke_async(const std::string& component,
+                         std::vector<CallOperand> operands,
+                         std::shared_ptr<const void> arg, CallOptions options) {
+  return engine().submit(
+      make_spec(component, std::move(operands), std::move(arg), options,
+                /*synchronous=*/false));
+}
+
+void invoke(const std::string& component, std::vector<CallOperand> operands,
+            std::shared_ptr<const void> arg, CallOptions options) {
+  engine().submit(make_spec(component, std::move(operands), std::move(arg),
+                            options, /*synchronous=*/true));
+}
+
+// ---------------------------------------------------------------------------
+// TransientOperands
+// ---------------------------------------------------------------------------
+
+TransientOperands::~TransientOperands() {
+  // Copy everything back to main memory before control returns to the
+  // application (the conservative consistency rule for raw pointers).
+  if (!initialized()) return;
+  for (const CallOperand& op : operands_) {
+    try {
+      engine().unregister(op.handle);
+    } catch (...) {
+      // Destructor must not throw.
+    }
+  }
+}
+
+void TransientOperands::add(void* ptr, std::size_t elements,
+                            std::size_t element_size, rt::AccessMode mode) {
+  rt::DataHandlePtr handle =
+      engine().register_buffer(ptr, elements * element_size, element_size);
+  operands_.push_back(CallOperand{std::move(handle), mode});
+}
+
+// ---------------------------------------------------------------------------
+// C-style backend adaptation
+// ---------------------------------------------------------------------------
+
+rt::ImplFn wrap_c_task(void (*task_fn)(void** buffers, const void* arg)) {
+  check(task_fn != nullptr, "wrap_c_task: null task function");
+  return [task_fn](rt::ExecContext& ctx) {
+    std::vector<void*> buffers(ctx.buffer_count());
+    for (std::size_t i = 0; i < buffers.size(); ++i) buffers[i] = ctx.buffer(i);
+    task_fn(buffers.data(), ctx.raw_arg());
+  };
+}
+
+bool register_backend(const std::string& component, rt::Arch arch,
+                      const std::string& variant_name,
+                      void (*task_fn)(void** buffers, const void* arg),
+                      rt::CostFn cost, rt::SelectFn selectable) {
+  rt::Codelet& codelet = ComponentRegistry::global().get_or_create(component);
+  rt::Implementation impl;
+  impl.arch = arch;
+  impl.name = variant_name;
+  impl.fn = wrap_c_task(task_fn);
+  impl.cost = std::move(cost);
+  impl.selectable = std::move(selectable);
+  codelet.add_impl(std::move(impl));
+  log::debug("core", "registered backend '{}' ({}) for component '{}'",
+             variant_name, rt::to_string(arch), component);
+  return true;
+}
+
+}  // namespace peppher::core

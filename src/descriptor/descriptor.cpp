@@ -1,0 +1,568 @@
+#include "descriptor/descriptor.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/strings.hpp"
+
+namespace peppher::desc {
+
+namespace {
+
+bool parse_bool(std::string_view text, bool fallback) {
+  const std::string lower = strings::to_lower(strings::trim(text));
+  if (lower == "true" || lower == "1" || lower == "yes") return true;
+  if (lower == "false" || lower == "0" || lower == "no") return false;
+  return fallback;
+}
+
+std::optional<double> optional_attr_double(const xml::Element& element,
+                                           std::string_view key) {
+  if (auto raw = element.attribute(key)) return strings::to_double(*raw);
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParamDesc / InterfaceDescriptor
+// ---------------------------------------------------------------------------
+
+bool ParamDesc::is_operand() const noexcept {
+  // Pointers and smart containers carry payload data; references to
+  // containers likewise. Value parameters are call context / argument blob.
+  if (type.find('*') != std::string::npos) return true;
+  return is_container();
+}
+
+bool ParamDesc::is_container() const noexcept {
+  return type.find("Vector<") != std::string::npos ||
+         type.find("Matrix<") != std::string::npos ||
+         type.find("Scalar<") != std::string::npos;
+}
+
+std::string ParamDesc::element_type() const {
+  if (is_container()) {
+    const std::size_t open = type.find('<');
+    const std::size_t close = type.rfind('>');
+    if (open != std::string::npos && close != std::string::npos && close > open) {
+      return std::string(strings::trim(type.substr(open + 1, close - open - 1)));
+    }
+    return "";
+  }
+  if (type.find('*') != std::string::npos) {
+    std::string base = type.substr(0, type.find('*'));
+    base = strings::replace_all(base, "const", "");
+    return std::string(strings::trim(base));
+  }
+  return "";
+}
+
+InterfaceDescriptor InterfaceDescriptor::from_xml(const xml::Element& element) {
+  if (element.name() != "peppher-interface") {
+    throw ParseError("expected <peppher-interface>, found <" + element.name() + ">");
+  }
+  InterfaceDescriptor out;
+  out.name = element.required_attribute("name");
+  const xml::Element& function = element.required_child("function");
+  out.return_type = function.attribute("returnType").value_or("void");
+  for (const xml::Element* param : function.children("param")) {
+    ParamDesc p;
+    p.name = param->required_attribute("name");
+    p.type = param->required_attribute("type");
+    p.access = rt::parse_access_mode(
+        param->attribute("accessMode").value_or("read"));
+    p.size_expr = param->attribute("size").value_or("");
+    out.params.push_back(std::move(p));
+  }
+  for (const xml::Element* tp : element.children("templateParam")) {
+    out.template_params.push_back(tp->required_attribute("name"));
+  }
+  if (const xml::Element* metrics = element.child("performanceMetrics")) {
+    for (const xml::Element* metric : metrics->children("metric")) {
+      out.performance_metrics.push_back(metric->required_attribute("name"));
+    }
+  }
+  if (const xml::Element* context = element.child("contextParams")) {
+    for (const xml::Element* cp : context->children("contextParam")) {
+      ContextParamDesc c;
+      c.name = cp->required_attribute("name");
+      c.min = optional_attr_double(*cp, "min");
+      c.max = optional_attr_double(*cp, "max");
+      out.context_params.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<xml::Element> InterfaceDescriptor::to_xml() const {
+  auto root = std::make_unique<xml::Element>("peppher-interface");
+  root->set_attribute("name", name);
+  xml::Element& function = root->append_child("function");
+  function.set_attribute("returnType", return_type);
+  for (const ParamDesc& p : params) {
+    xml::Element& param = function.append_child("param");
+    param.set_attribute("name", p.name);
+    param.set_attribute("type", p.type);
+    param.set_attribute("accessMode", rt::to_string(p.access));
+    if (!p.size_expr.empty()) param.set_attribute("size", p.size_expr);
+  }
+  for (const std::string& tp : template_params) {
+    root->append_child("templateParam").set_attribute("name", tp);
+  }
+  if (!performance_metrics.empty()) {
+    xml::Element& metrics = root->append_child("performanceMetrics");
+    for (const std::string& m : performance_metrics) {
+      metrics.append_child("metric").set_attribute("name", m);
+    }
+  }
+  if (!context_params.empty()) {
+    xml::Element& context = root->append_child("contextParams");
+    for (const ContextParamDesc& c : context_params) {
+      xml::Element& cp = context.append_child("contextParam");
+      cp.set_attribute("name", c.name);
+      if (c.min) cp.set_attribute("min", std::to_string(*c.min));
+      if (c.max) cp.set_attribute("max", std::to_string(*c.max));
+    }
+  }
+  return root;
+}
+
+std::string InterfaceDescriptor::prototype() const {
+  std::string out;
+  if (is_generic()) {
+    out += "template <";
+    for (std::size_t i = 0; i < template_params.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "typename " + template_params[i];
+    }
+    out += ">\n";
+  }
+  out += return_type + " " + name + "(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += params[i].type + " " + params[i].name;
+  }
+  out += ");";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ImplementationDescriptor
+// ---------------------------------------------------------------------------
+
+ImplementationDescriptor ImplementationDescriptor::from_xml(
+    const xml::Element& element) {
+  if (element.name() != "peppher-implementation") {
+    throw ParseError("expected <peppher-implementation>, found <" +
+                     element.name() + ">");
+  }
+  ImplementationDescriptor out;
+  out.name = element.required_attribute("name");
+  out.interface_name = element.required_attribute("interface");
+  const xml::Element& platform = element.required_child("platform");
+  out.language = platform.required_attribute("language");
+  out.target_platform = platform.attribute("target").value_or("");
+  if (const xml::Element* sources = element.child("sources")) {
+    for (const xml::Element* source : sources->children("source")) {
+      out.sources.push_back(source->required_attribute("file"));
+    }
+  }
+  if (const xml::Element* compilation = element.child("compilation")) {
+    out.compile_command = compilation->attribute("command").value_or("");
+    out.compile_options = compilation->attribute("options").value_or("");
+  }
+  if (const xml::Element* requires_elem = element.child("requires")) {
+    for (const xml::Element* iface : requires_elem->children("interface")) {
+      out.required_interfaces.push_back(iface->required_attribute("name"));
+    }
+  }
+  if (const xml::Element* resources = element.child("resources")) {
+    out.min_memory_mb =
+        optional_attr_double(*resources, "minMemoryMB").value_or(0.0);
+    out.max_memory_mb =
+        optional_attr_double(*resources, "maxMemoryMB").value_or(0.0);
+  }
+  if (const xml::Element* prediction = element.child("prediction")) {
+    out.prediction_function = prediction->required_attribute("function");
+  }
+  if (const xml::Element* tunables = element.child("tunables")) {
+    for (const xml::Element* tunable : tunables->children("tunable")) {
+      TunableDesc t;
+      t.name = tunable->required_attribute("name");
+      for (std::string& v :
+           strings::split(tunable->attribute("values").value_or(""), ',')) {
+        std::string trimmed(strings::trim(v));
+        if (!trimmed.empty()) t.values.push_back(std::move(trimmed));
+      }
+      t.default_value = tunable->attribute("default").value_or(
+          t.values.empty() ? "" : t.values.front());
+      out.tunables.push_back(std::move(t));
+    }
+  }
+  if (const xml::Element* constraints = element.child("constraints")) {
+    for (const xml::Element* constraint : constraints->children("constraint")) {
+      ConstraintDesc c;
+      c.param = constraint->required_attribute("param");
+      c.min = optional_attr_double(*constraint, "min");
+      c.max = optional_attr_double(*constraint, "max");
+      out.constraints.push_back(std::move(c));
+    }
+  }
+  // Validates the language eagerly so errors point at the descriptor.
+  (void)out.arch();
+  return out;
+}
+
+std::unique_ptr<xml::Element> ImplementationDescriptor::to_xml() const {
+  auto root = std::make_unique<xml::Element>("peppher-implementation");
+  root->set_attribute("name", name);
+  root->set_attribute("interface", interface_name);
+  xml::Element& platform = root->append_child("platform");
+  platform.set_attribute("language", language);
+  if (!target_platform.empty()) platform.set_attribute("target", target_platform);
+  if (!sources.empty()) {
+    xml::Element& src = root->append_child("sources");
+    for (const std::string& file : sources) {
+      src.append_child("source").set_attribute("file", file);
+    }
+  }
+  if (!compile_command.empty() || !compile_options.empty()) {
+    xml::Element& compilation = root->append_child("compilation");
+    compilation.set_attribute("command", compile_command);
+    compilation.set_attribute("options", compile_options);
+  }
+  if (!required_interfaces.empty()) {
+    xml::Element& req = root->append_child("requires");
+    for (const std::string& iface : required_interfaces) {
+      req.append_child("interface").set_attribute("name", iface);
+    }
+  }
+  if (min_memory_mb > 0.0 || max_memory_mb > 0.0) {
+    xml::Element& resources = root->append_child("resources");
+    resources.set_attribute("minMemoryMB", std::to_string(min_memory_mb));
+    resources.set_attribute("maxMemoryMB", std::to_string(max_memory_mb));
+  }
+  if (prediction_function) {
+    root->append_child("prediction").set_attribute("function", *prediction_function);
+  }
+  if (!tunables.empty()) {
+    xml::Element& tuns = root->append_child("tunables");
+    for (const TunableDesc& t : tunables) {
+      xml::Element& tunable = tuns.append_child("tunable");
+      tunable.set_attribute("name", t.name);
+      tunable.set_attribute("values", strings::join(t.values, ","));
+      if (!t.default_value.empty()) {
+        tunable.set_attribute("default", t.default_value);
+      }
+    }
+  }
+  if (!constraints.empty()) {
+    xml::Element& cons = root->append_child("constraints");
+    for (const ConstraintDesc& c : constraints) {
+      xml::Element& constraint = cons.append_child("constraint");
+      constraint.set_attribute("param", c.param);
+      if (c.min) constraint.set_attribute("min", std::to_string(*c.min));
+      if (c.max) constraint.set_attribute("max", std::to_string(*c.max));
+    }
+  }
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// PlatformDescriptor
+// ---------------------------------------------------------------------------
+
+PlatformDescriptor PlatformDescriptor::from_xml(const xml::Element& element) {
+  if (element.name() != "peppher-platform") {
+    throw ParseError("expected <peppher-platform>, found <" + element.name() + ">");
+  }
+  PlatformDescriptor out;
+  out.name = element.required_attribute("name");
+  out.kind = element.attribute("kind").value_or("cpu");
+  for (const xml::Element* property : element.children("property")) {
+    out.properties[property->required_attribute("name")] =
+        property->required_attribute("value");
+  }
+  return out;
+}
+
+std::optional<double> PlatformDescriptor::numeric_property(
+    const std::string& key) const {
+  auto it = properties.find(key);
+  if (it == properties.end()) return std::nullopt;
+  return strings::to_double(it->second);
+}
+
+std::unique_ptr<xml::Element> PlatformDescriptor::to_xml() const {
+  auto root = std::make_unique<xml::Element>("peppher-platform");
+  root->set_attribute("name", name);
+  root->set_attribute("kind", kind);
+  for (const auto& [key, value] : properties) {
+    xml::Element& property = root->append_child("property");
+    property.set_attribute("name", key);
+    property.set_attribute("value", value);
+  }
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// MainDescriptor
+// ---------------------------------------------------------------------------
+
+MainDescriptor MainDescriptor::from_xml(const xml::Element& element) {
+  if (element.name() != "peppher-main") {
+    throw ParseError("expected <peppher-main>, found <" + element.name() + ">");
+  }
+  MainDescriptor out;
+  out.name = element.required_attribute("name");
+  out.source = element.attribute("source").value_or("main.cpp");
+  if (const xml::Element* target = element.child("target")) {
+    out.target_platform = target->attribute("platform").value_or("");
+  }
+  if (const xml::Element* goal = element.child("goal")) {
+    out.optimization_goal = goal->attribute("metric").value_or("exec_time");
+  }
+  for (const xml::Element* uses : element.children("uses")) {
+    out.uses.push_back(uses->required_attribute("interface"));
+  }
+  if (const xml::Element* composition = element.child("composition")) {
+    out.use_history_models = parse_bool(
+        composition->attribute("useHistoryModels").value_or("true"), true);
+    out.scheduler = composition->attribute("scheduler").value_or("dmda");
+    for (const xml::Element* disable : composition->children("disableImpls")) {
+      out.disabled_impls.push_back(disable->required_attribute("name"));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<xml::Element> MainDescriptor::to_xml() const {
+  auto root = std::make_unique<xml::Element>("peppher-main");
+  root->set_attribute("name", name);
+  root->set_attribute("source", source);
+  if (!target_platform.empty()) {
+    root->append_child("target").set_attribute("platform", target_platform);
+  }
+  root->append_child("goal").set_attribute("metric", optimization_goal);
+  for (const std::string& iface : uses) {
+    root->append_child("uses").set_attribute("interface", iface);
+  }
+  xml::Element& composition = root->append_child("composition");
+  composition.set_attribute("useHistoryModels",
+                            use_history_models ? "true" : "false");
+  composition.set_attribute("scheduler", scheduler);
+  for (const std::string& impl : disabled_impls) {
+    composition.append_child("disableImpls").set_attribute("name", impl);
+  }
+  return root;
+}
+
+// ---------------------------------------------------------------------------
+// Repository
+// ---------------------------------------------------------------------------
+
+void Repository::scan(const std::filesystem::path& root) {
+  for (const auto& path : fs::list_files_recursive(root, ".xml")) {
+    load_file(path);
+  }
+}
+
+void Repository::load_file(const std::filesystem::path& path) {
+  load_text(fs::read_file(path), path.parent_path());
+}
+
+void Repository::load_text(std::string_view text,
+                           const std::filesystem::path& origin) {
+  const xml::Document doc = xml::parse(text);
+  const std::string& root = doc.root->name();
+  if (root == "peppher-interface") {
+    InterfaceDescriptor d = InterfaceDescriptor::from_xml(*doc.root);
+    origins_[d.name] = origin;
+    add(std::move(d));
+  } else if (root == "peppher-implementation") {
+    ImplementationDescriptor d = ImplementationDescriptor::from_xml(*doc.root);
+    origins_[d.name] = origin;
+    add(std::move(d));
+  } else if (root == "peppher-platform") {
+    PlatformDescriptor d = PlatformDescriptor::from_xml(*doc.root);
+    origins_[d.name] = origin;
+    add(std::move(d));
+  } else if (root == "peppher-main") {
+    MainDescriptor d = MainDescriptor::from_xml(*doc.root);
+    origins_[d.name] = origin;
+    add(std::move(d));
+  }
+  // Unknown root elements are ignored: repositories may hold other XML.
+}
+
+void Repository::add(InterfaceDescriptor interface_desc) {
+  const std::string name = interface_desc.name;
+  if (interfaces_.find(name) == interfaces_.end()) {
+    interface_order_.push_back(name);
+  }
+  interfaces_[name] = std::move(interface_desc);
+}
+
+void Repository::add(ImplementationDescriptor impl_desc) {
+  const std::string name = impl_desc.name;
+  if (implementations_.find(name) == implementations_.end()) {
+    implementation_order_.push_back(name);
+  }
+  implementations_[name] = std::move(impl_desc);
+}
+
+void Repository::add(PlatformDescriptor platform_desc) {
+  platforms_[platform_desc.name] = std::move(platform_desc);
+}
+
+void Repository::add(MainDescriptor main_desc) { main_ = std::move(main_desc); }
+
+const InterfaceDescriptor* Repository::find_interface(const std::string& name) const {
+  auto it = interfaces_.find(name);
+  return it == interfaces_.end() ? nullptr : &it->second;
+}
+
+const ImplementationDescriptor* Repository::find_implementation(
+    const std::string& name) const {
+  auto it = implementations_.find(name);
+  return it == implementations_.end() ? nullptr : &it->second;
+}
+
+const PlatformDescriptor* Repository::find_platform(const std::string& name) const {
+  auto it = platforms_.find(name);
+  return it == platforms_.end() ? nullptr : &it->second;
+}
+
+const MainDescriptor* Repository::main_module() const {
+  return main_.has_value() ? &*main_ : nullptr;
+}
+
+std::vector<const ImplementationDescriptor*> Repository::implementations_of(
+    const std::string& interface_name) const {
+  std::vector<const ImplementationDescriptor*> out;
+  for (const std::string& name : implementation_order_) {
+    const ImplementationDescriptor& impl = implementations_.at(name);
+    if (impl.interface_name == interface_name) out.push_back(&impl);
+  }
+  return out;
+}
+
+std::vector<const InterfaceDescriptor*> Repository::interfaces() const {
+  std::vector<const InterfaceDescriptor*> out;
+  for (const std::string& name : interface_order_) {
+    out.push_back(&interfaces_.at(name));
+  }
+  return out;
+}
+
+std::vector<const PlatformDescriptor*> Repository::platforms() const {
+  std::vector<const PlatformDescriptor*> out;
+  out.reserve(platforms_.size());
+  for (const auto& [name, platform] : platforms_) out.push_back(&platform);
+  return out;
+}
+
+std::filesystem::path Repository::origin_of(const std::string& descriptor_name) const {
+  auto it = origins_.find(descriptor_name);
+  return it == origins_.end() ? std::filesystem::path() : it->second;
+}
+
+std::vector<const InterfaceDescriptor*> Repository::interfaces_bottom_up() const {
+  // Build interface -> required interfaces (union over that interface's
+  // implementations), then topologically sort dependencies-first.
+  std::map<std::string, std::set<std::string>> requires_map;
+  for (const std::string& name : interface_order_) {
+    requires_map[name] = {};
+  }
+  for (const std::string& impl_name : implementation_order_) {
+    const ImplementationDescriptor& impl = implementations_.at(impl_name);
+    auto it = requires_map.find(impl.interface_name);
+    if (it == requires_map.end()) continue;
+    for (const std::string& req : impl.required_interfaces) {
+      if (requires_map.count(req) != 0) it->second.insert(req);
+    }
+  }
+
+  std::vector<const InterfaceDescriptor*> out;
+  std::set<std::string> emitted;
+  std::set<std::string> visiting;
+  // Depth-first emit of requirements before dependents (deterministic:
+  // follows load order).
+  std::function<void(const std::string&)> visit = [&](const std::string& name) {
+    if (emitted.count(name) != 0) return;
+    if (!visiting.insert(name).second) {
+      throw Error(ErrorCode::kInvalidState,
+                  "cycle in required-interfaces relation involving '" + name + "'");
+    }
+    for (const std::string& req : requires_map.at(name)) visit(req);
+    visiting.erase(name);
+    emitted.insert(name);
+    out.push_back(&interfaces_.at(name));
+  };
+  for (const std::string& name : interface_order_) visit(name);
+  return out;
+}
+
+std::vector<std::string> Repository::validate() const {
+  std::vector<std::string> problems;
+  for (const std::string& impl_name : implementation_order_) {
+    const ImplementationDescriptor& impl = implementations_.at(impl_name);
+    if (interfaces_.count(impl.interface_name) == 0) {
+      problems.push_back("implementation '" + impl.name +
+                         "' provides unknown interface '" + impl.interface_name + "'");
+    }
+    for (const std::string& req : impl.required_interfaces) {
+      if (interfaces_.count(req) == 0) {
+        problems.push_back("implementation '" + impl.name +
+                           "' requires unknown interface '" + req + "'");
+      }
+    }
+    if (!impl.target_platform.empty() &&
+        platforms_.count(impl.target_platform) == 0) {
+      problems.push_back("implementation '" + impl.name +
+                         "' targets unknown platform '" + impl.target_platform + "'");
+    }
+    for (const ConstraintDesc& constraint : impl.constraints) {
+      const InterfaceDescriptor* iface = find_interface(impl.interface_name);
+      if (iface == nullptr) continue;
+      const bool known =
+          std::any_of(iface->context_params.begin(), iface->context_params.end(),
+                      [&](const ContextParamDesc& c) { return c.name == constraint.param; }) ||
+          std::any_of(iface->params.begin(), iface->params.end(),
+                      [&](const ParamDesc& p) { return p.name == constraint.param; });
+      if (!known) {
+        problems.push_back("implementation '" + impl.name +
+                           "' constrains unknown parameter '" + constraint.param + "'");
+      }
+    }
+  }
+  for (const std::string& iface_name : interface_order_) {
+    if (implementations_of(iface_name).empty()) {
+      problems.push_back("interface '" + iface_name +
+                         "' has no implementation variants");
+    }
+    // The runtime's performance models provide average execution time; any
+    // other requested metric has no provider in this framework.
+    for (const std::string& metric : interfaces_.at(iface_name).performance_metrics) {
+      if (metric != "avg_exec_time") {
+        problems.push_back("interface '" + iface_name +
+                           "' requests unsupported performance metric '" +
+                           metric + "'");
+      }
+    }
+  }
+  if (main_.has_value()) {
+    for (const std::string& used : main_->uses) {
+      if (interfaces_.count(used) == 0) {
+        problems.push_back("main module uses unknown interface '" + used + "'");
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace peppher::desc

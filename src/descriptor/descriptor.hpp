@@ -1,0 +1,238 @@
+// PEPPHER XML descriptor types (§II of the paper): interfaces,
+// implementation variants, platforms, and the application main module — plus
+// the repository that stores them and lets the composition tool explore
+// components bottom-up.
+//
+// Descriptors are XML documents (non-intrusive annotation: the paper prefers
+// external XML over pragmas for separation of concerns). The schema used
+// here:
+//
+//   <peppher-interface name="spmv">
+//     <function returnType="void">
+//       <param name="values" type="const float*" accessMode="read"/>
+//       ...
+//     </function>
+//     <templateParam name="T"/>                       (generic interfaces)
+//     <performanceMetrics><metric name="avg_exec_time"/></performanceMetrics>
+//     <contextParams><contextParam name="nnz" min="0" max="1e9"/></contextParams>
+//   </peppher-interface>
+//
+//   <peppher-implementation name="spmv_cusp" interface="spmv">
+//     <platform language="cuda" target="TeslaC2050"/>
+//     <sources><source file="cuda/spmv_cusp.cu"/></sources>
+//     <compilation command="nvcc" options="-O3 -arch=sm_20"/>
+//     <requires><interface name="reduce"/></requires>
+//     <resources minMemoryMB="1" maxMemoryMB="2048"/>
+//     <prediction function="spmv_cusp_predict"/>
+//     <tunables><tunable name="block_size" values="64,128,256" default="128"/></tunables>
+//     <constraints><constraint param="nnz" min="1024"/></constraints>
+//   </peppher-implementation>
+//
+//   <peppher-platform name="TeslaC2050" kind="cuda">
+//     <property name="peak_gflops" value="1030"/> ...
+//   </peppher-platform>
+//
+//   <peppher-main name="spmv_app" source="main.cpp">
+//     <target platform="xeon-e5520+c2050"/>
+//     <goal metric="exec_time"/>
+//     <uses interface="spmv"/>
+//     <composition useHistoryModels="true" scheduler="dmda">
+//       <disableImpls name="spmv_slow"/>
+//     </composition>
+//   </peppher-main>
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "xml/xml.hpp"
+
+namespace peppher::desc {
+
+/// One parameter of an interface function.
+struct ParamDesc {
+  std::string name;
+  std::string type;  ///< C++ spelling, e.g. "const float*"
+  rt::AccessMode access = rt::AccessMode::kRead;
+
+  /// For raw-pointer operands: element count as a C++ expression over the
+  /// interface's integer parameters (e.g. "nnz" or "nrows*ncols"). The
+  /// entry-wrapper generator uses it to register the memory with the
+  /// runtime. Smart-container operands carry their own size; value
+  /// parameters leave it empty.
+  std::string size_expr;
+
+  /// Operand parameters (pointers / smart containers) become runtime data
+  /// handles; value parameters are packed into the task argument blob.
+  bool is_operand() const noexcept;
+
+  /// True if this operand is a smart container (Vector/Matrix/Scalar).
+  bool is_container() const noexcept;
+
+  /// Element type of an operand ("float" for "const float*" and for
+  /// "Vector<float>&"); empty for value parameters.
+  std::string element_type() const;
+};
+
+/// A call-context property that may influence variant selection (§III).
+struct ContextParamDesc {
+  std::string name;
+  std::optional<double> min;
+  std::optional<double> max;
+};
+
+/// A PEPPHER interface descriptor.
+struct InterfaceDescriptor {
+  std::string name;
+  std::string return_type = "void";
+  std::vector<ParamDesc> params;
+  std::vector<std::string> template_params;       ///< generic interfaces
+  std::vector<std::string> performance_metrics;   ///< e.g. "avg_exec_time"
+  std::vector<ContextParamDesc> context_params;
+
+  bool is_generic() const noexcept { return !template_params.empty(); }
+
+  static InterfaceDescriptor from_xml(const xml::Element& element);
+  std::unique_ptr<xml::Element> to_xml() const;
+
+  /// The C/C++ prototype this interface declares ("void spmv(...);").
+  std::string prototype() const;
+};
+
+/// An exposed tunable parameter of an implementation variant.
+struct TunableDesc {
+  std::string name;
+  std::vector<std::string> values;
+  std::string default_value;
+};
+
+/// A selectability constraint on a context parameter (§II: "additional
+/// constraints for component selectability, e.g. parameter ranges").
+struct ConstraintDesc {
+  std::string param;
+  std::optional<double> min;
+  std::optional<double> max;
+
+  bool admits(double value) const noexcept {
+    return (!min || value >= *min) && (!max || value <= *max);
+  }
+};
+
+/// A PEPPHER implementation-variant descriptor.
+struct ImplementationDescriptor {
+  std::string name;
+  std::string interface_name;
+  std::string language;         ///< "cpu", "openmp", "cuda", "opencl"
+  std::string target_platform;  ///< platform descriptor name (may be empty)
+  std::vector<std::string> sources;
+  std::string compile_command;
+  std::string compile_options;
+  std::vector<std::string> required_interfaces;
+  std::optional<std::string> prediction_function;
+  std::vector<TunableDesc> tunables;
+  std::vector<ConstraintDesc> constraints;
+  double min_memory_mb = 0.0;
+  double max_memory_mb = 0.0;
+
+  /// The runtime architecture this variant executes on.
+  rt::Arch arch() const { return rt::parse_arch(language); }
+
+  static ImplementationDescriptor from_xml(const xml::Element& element);
+  std::unique_ptr<xml::Element> to_xml() const;
+};
+
+/// A platform descriptor (Sandrieser et al. [6]): free-form properties
+/// looked up by the composition tool and component developers.
+struct PlatformDescriptor {
+  std::string name;
+  std::string kind;  ///< "cpu", "cuda", "opencl"
+  std::map<std::string, std::string> properties;
+
+  std::optional<double> numeric_property(const std::string& key) const;
+
+  static PlatformDescriptor from_xml(const xml::Element& element);
+  std::unique_ptr<xml::Element> to_xml() const;
+};
+
+/// The application main-module descriptor.
+struct MainDescriptor {
+  std::string name;
+  std::string source;           ///< main translation unit, e.g. "main.cpp"
+  std::string target_platform;  ///< machine name, e.g. "xeon-e5520+c2050"
+  std::string optimization_goal = "exec_time";
+  std::vector<std::string> uses;  ///< interfaces invoked from main
+  bool use_history_models = true;
+  std::string scheduler = "dmda";
+  std::vector<std::string> disabled_impls;  ///< user-guided static narrowing
+
+  static MainDescriptor from_xml(const xml::Element& element);
+  std::unique_ptr<xml::Element> to_xml() const;
+};
+
+/// The interfaces/components/platforms repository (§II): stores descriptors
+/// and lets the composition tool navigate the directory structure and locate
+/// files automatically (§IV-C "global registry").
+class Repository {
+ public:
+  // -- population ------------------------------------------------------------
+
+  /// Recursively loads every *.xml under `root`, dispatching on the root
+  /// element name; files with unknown root elements are ignored. Remembers
+  /// the directory each descriptor came from (for locating sources).
+  void scan(const std::filesystem::path& root);
+
+  /// Parses one descriptor file.
+  void load_file(const std::filesystem::path& path);
+
+  /// Parses descriptor text (dispatching on the root element).
+  void load_text(std::string_view text, const std::filesystem::path& origin = {});
+
+  void add(InterfaceDescriptor interface_desc);
+  void add(ImplementationDescriptor impl_desc);
+  void add(PlatformDescriptor platform_desc);
+  void add(MainDescriptor main_desc);
+
+  // -- lookup ------------------------------------------------------------------
+
+  const InterfaceDescriptor* find_interface(const std::string& name) const;
+  const ImplementationDescriptor* find_implementation(const std::string& name) const;
+  const PlatformDescriptor* find_platform(const std::string& name) const;
+  const MainDescriptor* main_module() const;
+
+  /// Implementation variants of `interface_name`, in load order.
+  std::vector<const ImplementationDescriptor*> implementations_of(
+      const std::string& interface_name) const;
+
+  std::vector<const InterfaceDescriptor*> interfaces() const;
+  std::vector<const PlatformDescriptor*> platforms() const;
+
+  /// Directory the named descriptor was loaded from (empty if added
+  /// programmatically).
+  std::filesystem::path origin_of(const std::string& descriptor_name) const;
+
+  /// Interfaces sorted bottom-up in the components' required-interfaces
+  /// relation lifted to interfaces (§III: the tool processes interfaces "in
+  /// reverse order of their components' required interfaces relation").
+  /// Throws Error(kInvalidState) on a dependency cycle.
+  std::vector<const InterfaceDescriptor*> interfaces_bottom_up() const;
+
+  /// Consistency diagnostics: dangling interface references, variant name
+  /// clashes, empty interfaces, unknown platforms. Empty means consistent.
+  std::vector<std::string> validate() const;
+
+ private:
+  std::map<std::string, InterfaceDescriptor> interfaces_;
+  std::vector<std::string> interface_order_;
+  std::map<std::string, ImplementationDescriptor> implementations_;
+  std::vector<std::string> implementation_order_;
+  std::map<std::string, PlatformDescriptor> platforms_;
+  std::optional<MainDescriptor> main_;
+  std::map<std::string, std::filesystem::path> origins_;
+};
+
+}  // namespace peppher::desc

@@ -1,0 +1,729 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace peppher::rt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Profile of the combined all-CPU-cores worker: linear scaling with a
+/// fork-join efficiency factor, socket bandwidth = per-core share x cores.
+sim::DeviceProfile combined_cpu_profile(const sim::DeviceProfile& core, int cores) {
+  sim::DeviceProfile p = core;
+  p.name = core.name + "-x" + std::to_string(cores);
+  const double parallel_efficiency = 0.90;
+  p.peak_gflops = core.peak_gflops * cores * parallel_efficiency;
+  p.mem_bandwidth_gbs = core.mem_bandwidth_gbs * cores;
+  p.launch_overhead_us = 2.0;  // thread-team fork/join
+  p.busy_watts = core.busy_watts * cores;
+  return p;
+}
+
+Arch accelerator_arch(const sim::DeviceProfile& profile) {
+  return profile.device_class == sim::DeviceClass::kOpenClGpu ? Arch::kOpenCl
+                                                              : Arch::kCuda;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// construction / teardown
+// ---------------------------------------------------------------------------
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)),
+      cpu_count_(config_.machine.cpu_cores),
+      data_(1 + static_cast<int>(config_.machine.accelerators.size()),
+            config_.machine.link),
+      rng_(config_.seed) {
+  check(cpu_count_ >= 0, "negative CPU core count");
+  check(cpu_count_ > 0 || !config_.machine.accelerators.empty(),
+        "machine has no execution units");
+
+  WorkerId next_id = 0;
+  for (int c = 0; c < cpu_count_; ++c) {
+    WorkerDesc desc;
+    desc.id = next_id++;
+    desc.archs = {Arch::kCpu};
+    desc.node = kHostNode;
+    desc.profile = config_.machine.cpu_core;
+    descs_.push_back(desc);
+  }
+  if (cpu_count_ > 0) {
+    WorkerDesc desc;
+    desc.id = next_id++;
+    desc.archs = {Arch::kCpuOmp};
+    desc.node = kHostNode;
+    desc.profile = combined_cpu_profile(config_.machine.cpu_core, cpu_count_);
+    desc.is_combined_cpu = true;
+    descs_.push_back(desc);
+  }
+  for (std::size_t a = 0; a < config_.machine.accelerators.size(); ++a) {
+    WorkerDesc desc;
+    desc.id = next_id++;
+    desc.archs = {accelerator_arch(config_.machine.accelerators[a])};
+    desc.node = static_cast<MemoryNodeId>(1 + a);
+    desc.profile = config_.machine.accelerators[a];
+    descs_.push_back(desc);
+  }
+
+  SchedEnv env;
+  env.workers = &descs_;
+  env.worker_ready_at = [this](WorkerId id) { return worker_ready_at_locked(id); };
+  env.eligible = [this](const Task& t, WorkerId id) { return worker_eligible(t, id); };
+  env.estimate_completion = [this](const Task& t, WorkerId id) {
+    return estimate_completion(t, id);
+  };
+  env.estimate_work = [this](const Task& t, WorkerId id) {
+    return estimate_work(t, id);
+  };
+  env.sample_count = [this](const Task& t, WorkerId id) {
+    return exploration_sample_count(t, id);
+  };
+  env.calibration_min = config_.calibration_samples;
+  env.rng = &rng_;
+  scheduler_ = make_scheduler(config_.scheduler, std::move(env));
+
+  // Device memory capacities from the profiles (§IV-D eviction).
+  for (std::size_t a = 0; a < config_.machine.accelerators.size(); ++a) {
+    data_.set_node_capacity(
+        static_cast<MemoryNodeId>(1 + a),
+        static_cast<std::size_t>(config_.machine.accelerators[a].memory_mb *
+                                 1024.0 * 1024.0));
+  }
+
+  if (!config_.sampling_dir.empty()) perf_.load(config_.sampling_dir);
+
+  workers_.reserve(descs_.size());
+  for (const auto& desc : descs_) {
+    auto worker = std::make_unique<Worker>();
+    worker->desc = desc;
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    const WorkerId id = worker->desc.id;
+    worker->thread = std::thread([this, id] { worker_main(id); });
+  }
+  log::debug("runtime", "engine started: {} workers on '{}', scheduler '{}'",
+             descs_.size(), config_.machine.name, config_.scheduler);
+}
+
+Engine::~Engine() {
+  try {
+    wait_for_all();
+  } catch (...) {
+    // Destructor must not throw; drain what we can.
+  }
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  if (!config_.sampling_dir.empty()) {
+    try {
+      perf_.save(config_.sampling_dir);
+    } catch (const Error& e) {
+      log::warn("runtime", "could not persist performance models: {}", e.what());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// data interface
+// ---------------------------------------------------------------------------
+
+DataHandlePtr Engine::register_buffer(void* host_ptr, std::size_t bytes,
+                                      std::size_t element_size) {
+  return data_.register_buffer(host_ptr, bytes, element_size);
+}
+
+void Engine::acquire_host(const DataHandlePtr& handle, AccessMode mode) {
+  check(handle != nullptr, "acquire_host: null handle");
+  std::vector<TaskPtr> pending;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    if (handle->last_writer != nullptr &&
+        handle->last_writer->state != TaskState::kDone) {
+      pending.push_back(handle->last_writer);
+    }
+    if (mode != AccessMode::kRead) {
+      for (const auto& reader : handle->readers_since_last_write) {
+        if (reader->state != TaskState::kDone) pending.push_back(reader);
+      }
+    }
+  }
+  for (const auto& task : pending) wait(task);
+
+  VirtualTime ready = 0.0;
+  handle->acquire(kHostNode, mode, &ready);
+  if (mode != AccessMode::kRead) {
+    handle->mark_written(kHostNode, ready);
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    handle->last_writer.reset();
+    handle->readers_since_last_write.clear();
+  }
+}
+
+void Engine::unregister(const DataHandlePtr& handle) {
+  acquire_host(handle, AccessMode::kReadWrite);
+}
+
+bool Engine::prefetch(const DataHandlePtr& handle, MemoryNodeId node) {
+  check(handle != nullptr, "prefetch: null handle");
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    if (handle->last_writer != nullptr &&
+        handle->last_writer->state != TaskState::kDone) {
+      return false;  // data still being produced; fetching now would race
+    }
+  }
+  if (handle->is_partitioned() || handle->detached()) return false;
+  handle->acquire(node, AccessMode::kRead, nullptr);
+  handle->release(node);  // a prefetch warms the replica but does not pin it
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// submission & dependency inference
+// ---------------------------------------------------------------------------
+
+TaskPtr Engine::submit(TaskSpec spec) {
+  check(spec.codelet != nullptr, "submit: null codelet");
+  if (!spec.codelet->has_enabled_impl()) {
+    throw Error(ErrorCode::kInvalidState,
+                "codelet '" + spec.codelet->name() +
+                    "' has no enabled implementation variant");
+  }
+  for (const auto& op : spec.operands) {
+    check(op.handle != nullptr, "submit: null operand handle");
+    if (op.handle->is_partitioned()) {
+      throw Error(ErrorCode::kInvalidState,
+                  "operand handle is partitioned; use the sub-handles");
+    }
+    if (op.handle->detached()) {
+      throw Error(ErrorCode::kInvalidState, "operand sub-handle was unpartitioned");
+    }
+  }
+  if (spec.name.empty()) spec.name = spec.codelet->name();
+  const bool synchronous = spec.synchronous;
+
+  TaskPtr task;
+  std::vector<TaskPtr> cancelled_at_submit;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    task = std::make_shared<Task>(std::move(spec), next_sequence_++);
+
+    // Someone must be able to run it.
+    bool runnable = false;
+    for (const auto& desc : descs_) {
+      if (worker_eligible(*task, desc.id)) {
+        runnable = true;
+        break;
+      }
+    }
+    if (!runnable) {
+      --next_sequence_;
+      throw Error(ErrorCode::kUnsupported,
+                  "no worker on machine '" + config_.machine.name +
+                      "' can execute codelet '" + task->spec.codelet->name() + "'");
+    }
+
+    // Implicit dependencies: sequential consistency per handle.
+    std::unordered_set<Task*> seen;
+    auto add_dependency = [&](const TaskPtr& pred) {
+      if (pred == nullptr || pred.get() == task.get()) return;
+      if (!seen.insert(pred.get()).second) return;
+      if (pred->state == TaskState::kDone) {
+        task->max_pred_end = std::max(task->max_pred_end, pred->vend);
+        if (pred->failed() && !task->failed()) {
+          // Depending on data whose producer already failed cancels this
+          // task too (same rule as live failure propagation).
+          try {
+            throw Error(ErrorCode::kInvalidState, "predecessor task '" +
+                                                      pred->spec.name +
+                                                      "' failed");
+          } catch (...) {
+            task->error = std::current_exception();
+          }
+        }
+      } else {
+        pred->successors.push_back(task);
+        ++task->unmet_dependencies;
+      }
+    };
+    for (const auto& op : task->spec.operands) {
+      if (op.mode == AccessMode::kRead) {
+        add_dependency(op.handle->last_writer);
+        op.handle->readers_since_last_write.push_back(task);
+      } else {
+        add_dependency(op.handle->last_writer);
+        for (const auto& reader : op.handle->readers_since_last_write) {
+          add_dependency(reader);
+        }
+        op.handle->readers_since_last_write.clear();
+        op.handle->last_writer = task;
+      }
+    }
+
+    ++inflight_;
+    if (task->unmet_dependencies == 0) {
+      if (task->failed()) {
+        complete_locked(task, cancelled_at_submit);  // cancelled before running
+      } else {
+        task->state = TaskState::kReady;
+        scheduler_->push(task);
+      }
+    }
+  }
+  work_cv_.notify_all();
+  if (!cancelled_at_submit.empty()) {
+    for (const TaskPtr& done : cancelled_at_submit) {
+      if (done->spec.on_complete) done->spec.on_complete(*done);
+    }
+    {
+      std::lock_guard<std::mutex> lock(graph_mutex_);
+      inflight_ -= cancelled_at_submit.size();
+    }
+    work_cv_.notify_all();
+  }
+
+  if (synchronous) wait(task);
+  return task;
+}
+
+void Engine::wait(const TaskPtr& task) {
+  check(task != nullptr, "wait: null task");
+  std::unique_lock<std::mutex> lock(graph_mutex_);
+  work_cv_.wait(lock, [&] { return task->state == TaskState::kDone; });
+  if (task->error != nullptr) {
+    std::rethrow_exception(task->error);
+  }
+}
+
+void Engine::wait_for_all() {
+  std::unique_lock<std::mutex> lock(graph_mutex_);
+  work_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// worker loop & execution
+// ---------------------------------------------------------------------------
+
+void Engine::worker_main(WorkerId id) {
+  Worker& worker = *workers_[static_cast<std::size_t>(id)];
+  std::unique_lock<std::mutex> lock(graph_mutex_);
+  while (true) {
+    TaskPtr task = scheduler_->pop(id);
+    if (task != nullptr) {
+      task->state = TaskState::kRunning;
+      lock.unlock();
+      execute(task, worker);
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+void Engine::execute(const TaskPtr& task, Worker& worker) {
+  const Implementation* impl = select_impl(*task, worker.desc);
+  check(impl != nullptr, "scheduler routed a task to an incapable worker");
+
+  // The combined-CPU worker needs all cores; per-core workers share them.
+  std::unique_lock<std::shared_mutex> exclusive_cores;
+  std::shared_lock<std::shared_mutex> shared_cores;
+  if (worker.desc.is_combined_cpu) {
+    exclusive_cores = std::unique_lock<std::shared_mutex>(cpu_group_mutex_);
+  } else if (worker.desc.node == kHostNode) {
+    shared_cores = std::shared_lock<std::shared_mutex>(cpu_group_mutex_);
+  }
+
+  // Make every operand coherent on this worker's memory node.
+  const std::size_t n_ops = task->spec.operands.size();
+  std::vector<void*> buffers(n_ops);
+  std::vector<std::size_t> buffer_bytes(n_ops);
+  std::vector<std::size_t> element_sizes(n_ops);
+  VirtualTime data_ready = 0.0;
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const TaskOperand& op = task->spec.operands[i];
+    VirtualTime ready = 0.0;
+    buffers[i] = op.handle->acquire(worker.desc.node, op.mode, &ready);
+    data_ready = std::max(data_ready, ready);
+    buffer_bytes[i] = op.handle->bytes();
+    element_sizes[i] = op.handle->element_size();
+  }
+
+  // Really run the kernel (numerics), measuring wall time as the fallback
+  // virtual cost when no cost hint exists.
+  ExecContext ctx(impl->arch, worker.desc.id,
+                  worker.desc.is_combined_cpu ? cpu_count_ : 1, buffers,
+                  buffer_bytes, element_sizes, task->spec.arg.get());
+  const auto wall_start = std::chrono::steady_clock::now();
+  try {
+    impl->fn(ctx);
+  } catch (...) {
+    // A failing variant must not take the worker down: the task completes
+    // as failed, waiters observe the error, successors are cancelled.
+    task->error = std::current_exception();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+
+  double exec_seconds = wall_seconds;
+  if (impl->cost && !task->failed()) {
+    exec_seconds =
+        sim::execution_seconds(worker.desc.profile, impl->cost(buffer_bytes,
+                                                               task->spec.arg.get()));
+  }
+
+  const std::uint64_t footprint = task_footprint(*task);
+  const std::size_t total_bytes = task_total_bytes(*task);
+  std::vector<TaskPtr> completed_now;
+
+  // Completion: advance virtual clocks, refresh replica timestamps, record
+  // history, release successors.
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    VirtualTime worker_free = worker.vtime;
+    if (worker.desc.is_combined_cpu) {
+      worker_free = worker_ready_at_locked(worker.desc.id);
+    }
+    task->vstart = std::max({worker_free, task->max_pred_end, data_ready});
+    task->vend = task->vstart + exec_seconds;
+    task->exec_seconds = exec_seconds;
+    task->executed_on = worker.desc.id;
+    task->executed_arch = impl->arch;
+    task->executed_impl = impl->name;
+
+    worker.vtime = task->vend;
+    if (worker.desc.is_combined_cpu) {
+      for (auto& other : workers_) {
+        if (!other->desc.is_combined_cpu && other->desc.node == kHostNode &&
+            other->desc.archs.front() == Arch::kCpu) {
+          other->vtime = std::max(other->vtime, task->vend);
+        }
+      }
+    }
+    worker.stats.tasks_executed++;
+    worker.stats.busy_vtime += exec_seconds;
+    worker.stats.energy_joules += exec_seconds * worker.desc.profile.busy_watts;
+    makespan_ = std::max(makespan_, task->vend);
+    arch_counts_[static_cast<std::size_t>(impl->arch)]++;
+
+    for (const auto& op : task->spec.operands) {
+      if (op.mode != AccessMode::kRead) {
+        // For failed tasks the written data is undefined, but the replica
+        // bookkeeping must stay consistent.
+        op.handle->mark_written(worker.desc.node, task->vend);
+      }
+      // Unpin: the replica stays resident (§IV-H) but becomes evictable.
+      op.handle->release(worker.desc.node);
+    }
+
+    if (!task->failed()) {
+      perf_.record(task->spec.codelet->name(), impl->arch, footprint,
+                   total_bytes, exec_seconds);
+    }
+
+    if (config_.enable_trace) {
+      TaskRecord record;
+      record.sequence = task->sequence;
+      record.name = task->spec.name;
+      record.impl = impl->name;
+      record.arch = impl->arch;
+      record.worker = worker.desc.id;
+      record.vstart = task->vstart;
+      record.vend = task->vend;
+      tracer_.record(std::move(record));
+    }
+
+    complete_locked(task, completed_now);
+  }
+  work_cv_.notify_all();
+  for (const TaskPtr& done : completed_now) {
+    if (done->spec.on_complete) {
+      done->spec.on_complete(*done);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    inflight_ -= completed_now.size();
+  }
+  work_cv_.notify_all();
+}
+
+void Engine::complete_locked(const TaskPtr& task,
+                             std::vector<TaskPtr>& completed) {
+  // Finalizes a finished (or failed) task and releases its successors;
+  // successors of a failed task fail transitively without running.
+  // Caller holds graph_mutex_; completion callbacks of everything appended
+  // to `completed` are the caller's job (they must run outside the lock).
+  std::vector<TaskPtr> finishing{task};
+  while (!finishing.empty()) {
+    TaskPtr current = std::move(finishing.back());
+    finishing.pop_back();
+    current->state = TaskState::kDone;
+    completed.push_back(current);
+    // inflight_ is decremented by the caller only after the completion
+    // callbacks ran, so wait_for_all() implies all callbacks finished.
+    for (const auto& successor : current->successors) {
+      successor->max_pred_end =
+          std::max(successor->max_pred_end, current->vend);
+      if (current->failed() && !successor->failed()) {
+        try {
+          throw Error(ErrorCode::kInvalidState,
+                      "predecessor task '" + current->spec.name + "' failed");
+        } catch (...) {
+          successor->error = std::current_exception();
+        }
+      }
+      if (--successor->unmet_dependencies == 0 &&
+          successor->state == TaskState::kBlocked) {
+        if (successor->failed()) {
+          finishing.push_back(successor);  // cancel: complete without running
+        } else {
+          successor->state = TaskState::kReady;
+          scheduler_->push(successor);
+        }
+      }
+    }
+    current->successors.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// scheduling services
+// ---------------------------------------------------------------------------
+
+const Implementation* Engine::select_impl(const Task& task,
+                                          const WorkerDesc& worker) const {
+  for (Arch arch : worker.archs) {
+    if (task.spec.forced_arch.has_value() && *task.spec.forced_arch != arch) {
+      continue;
+    }
+    for (const Implementation& impl : task.spec.codelet->impls()) {
+      if (!impl.enabled || impl.arch != arch) continue;
+      if (impl.selectable) {
+        // Call-context selectability (§II): parameter-range constraints.
+        std::vector<std::size_t> bytes;
+        bytes.reserve(task.spec.operands.size());
+        for (const auto& op : task.spec.operands) {
+          bytes.push_back(op.handle->bytes());
+        }
+        if (!impl.selectable(bytes, task.spec.arg.get())) continue;
+      }
+      return &impl;
+    }
+  }
+  return nullptr;
+}
+
+bool Engine::worker_eligible(const Task& task, WorkerId id) const {
+  if (task.spec.forced_worker.has_value() && *task.spec.forced_worker != id) {
+    return false;
+  }
+  return select_impl(task, descs_[static_cast<std::size_t>(id)]) != nullptr;
+}
+
+VirtualTime Engine::worker_ready_at_locked(WorkerId id) const {
+  const Worker& worker = *workers_[static_cast<std::size_t>(id)];
+  VirtualTime ready = worker.vtime;
+  if (worker.desc.is_combined_cpu) {
+    // The combined worker also waits for every per-core CPU worker.
+    for (const auto& other : workers_) {
+      if (other->desc.node == kHostNode) ready = std::max(ready, other->vtime);
+    }
+  } else if (worker.desc.node == kHostNode) {
+    // Per-core workers wait for any combined-CPU execution.
+    for (const auto& other : workers_) {
+      if (other->desc.is_combined_cpu) ready = std::max(ready, other->vtime);
+    }
+  }
+  return ready;
+}
+
+double Engine::estimate_exec_seconds(const Task& task, const WorkerDesc& worker,
+                                     const Implementation& impl) const {
+  const std::string& codelet = task.spec.codelet->name();
+  if (config_.use_history_models) {
+    const std::uint64_t footprint = task_footprint(task);
+    if (perf_.sample_count(codelet, impl.arch, footprint) >=
+        static_cast<std::uint64_t>(config_.calibration_samples)) {
+      if (auto expected = perf_.expected(codelet, impl.arch, footprint)) {
+        return *expected;
+      }
+    }
+    if (auto regressed =
+            perf_.regression_estimate(codelet, impl.arch, task_total_bytes(task))) {
+      return *regressed;
+    }
+  }
+  if (impl.cost) {
+    std::vector<std::size_t> bytes;
+    bytes.reserve(task.spec.operands.size());
+    for (const auto& op : task.spec.operands) bytes.push_back(op.handle->bytes());
+    return sim::execution_seconds(worker.profile,
+                                  impl.cost(bytes, task.spec.arg.get()));
+  }
+  return 1e-3;  // nothing known: a neutral guess
+}
+
+double Engine::estimate_completion(const Task& task, WorkerId id) const {
+  if (!worker_eligible(task, id)) return kInf;
+  const WorkerDesc& worker = descs_[static_cast<std::size_t>(id)];
+  const Implementation* impl = select_impl(task, worker);
+  check(impl != nullptr, "eligible worker without implementation");
+  double fetch = 0.0;
+  for (const auto& op : task.spec.operands) {
+    fetch += op.handle->estimate_fetch_seconds(worker.node, op.mode);
+  }
+  const double exec = estimate_exec_seconds(task, worker, *impl);
+  if (config_.objective == Objective::kEnergy) {
+    // Energy score: joules for the execution plus the transfer (the PCIe
+    // link drawn at a nominal 10 W). Worker readiness is irrelevant —
+    // energy is additive, not overlappable.
+    return exec * worker.profile.busy_watts + fetch * 10.0;
+  }
+  // The task cannot start before its predecessors finished, no matter how
+  // idle a worker is — without this bound, tightly chained task graphs
+  // ping-pong to whichever worker's clock lags behind.
+  const double start =
+      std::max(worker_ready_at_locked(id), task.max_pred_end);
+  return start + fetch + exec;
+}
+
+double Engine::estimate_work(const Task& task, WorkerId id) const {
+  if (!worker_eligible(task, id)) return kInf;
+  const WorkerDesc& worker = descs_[static_cast<std::size_t>(id)];
+  const Implementation* impl = select_impl(task, worker);
+  check(impl != nullptr, "eligible worker without implementation");
+  double fetch = 0.0;
+  for (const auto& op : task.spec.operands) {
+    fetch += op.handle->estimate_fetch_seconds(worker.node, op.mode);
+  }
+  const double exec = estimate_exec_seconds(task, worker, *impl);
+  if (config_.objective == Objective::kEnergy) {
+    return exec * worker.profile.busy_watts + fetch * 10.0;
+  }
+  return fetch + exec;
+}
+
+std::uint64_t Engine::exploration_sample_count(const Task& task, WorkerId id) const {
+  constexpr std::uint64_t kNoExploration = std::numeric_limits<std::uint64_t>::max();
+  if (!config_.use_history_models) return kNoExploration;
+  if (!worker_eligible(task, id)) return kNoExploration;
+  const WorkerDesc& worker = descs_[static_cast<std::size_t>(id)];
+  const Implementation* impl = select_impl(task, worker);
+  const std::string& codelet = task.spec.codelet->name();
+  // A variant with a usable regression fit does not need per-size
+  // recalibration.
+  if (perf_.regression_estimate(codelet, impl->arch, task_total_bytes(task))) {
+    const std::uint64_t exact =
+        perf_.sample_count(codelet, impl->arch, task_footprint(task));
+    if (exact == 0) return kNoExploration;
+  }
+  return perf_.sample_count(codelet, impl->arch, task_footprint(task));
+}
+
+std::uint64_t Engine::task_footprint(const Task& task) {
+  std::vector<std::size_t> bytes;
+  bytes.reserve(task.spec.operands.size());
+  for (const auto& op : task.spec.operands) bytes.push_back(op.handle->bytes());
+  return footprint_of(bytes);
+}
+
+std::size_t Engine::task_total_bytes(const Task& task) {
+  std::size_t total = 0;
+  for (const auto& op : task.spec.operands) total += op.handle->bytes();
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// introspection & time control
+// ---------------------------------------------------------------------------
+
+VirtualTime Engine::virtual_makespan() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return makespan_;
+}
+
+double Engine::energy_joules() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  double total = 0.0;
+  for (const auto& worker : workers_) total += worker->stats.energy_joules;
+  return total;
+}
+
+void Engine::reset_virtual_time() {
+  std::unique_lock<std::mutex> lock(graph_mutex_);
+  // Quiesce first: resetting clocks under running tasks would corrupt the
+  // timeline. (Completion bookkeeping may lag wait() by a callback, so
+  // draining here instead of throwing keeps the API race-free.)
+  work_cv_.wait(lock, [&] { return inflight_ == 0; });
+  for (auto& worker : workers_) worker->vtime = 0.0;
+  makespan_ = 0.0;
+  data_.reset_virtual_time();
+}
+
+WorkerStats Engine::worker_stats(WorkerId id) const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  check(id >= 0 && id < static_cast<WorkerId>(workers_.size()),
+        "worker_stats: bad worker id");
+  return workers_[static_cast<std::size_t>(id)]->stats;
+}
+
+std::array<std::uint64_t, kArchCount> Engine::arch_task_counts() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return arch_counts_;
+}
+
+std::uint64_t Engine::tasks_submitted() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return next_sequence_;
+}
+
+std::string Engine::summary() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  std::ostringstream out;
+  out.precision(6);
+  out << "machine '" << config_.machine.name << "', scheduler '"
+      << config_.scheduler << "', " << next_sequence_ << " tasks, makespan "
+      << makespan_ << " s virtual\n";
+  for (const auto& worker : workers_) {
+    const double busy = worker->stats.busy_vtime;
+    const double utilisation = makespan_ > 0.0 ? 100.0 * busy / makespan_ : 0.0;
+    out << "  worker " << worker->desc.id << " (" << worker->desc.profile.name
+        << (worker->desc.is_combined_cpu ? ", combined" : "") << "): "
+        << worker->stats.tasks_executed << " tasks, " << busy << " s busy ("
+        << static_cast<int>(utilisation) << "%)\n";
+  }
+  out << "  tasks by architecture:";
+  for (int a = 0; a < kArchCount; ++a) {
+    out << " " << to_string(static_cast<Arch>(a)) << "="
+        << arch_counts_[static_cast<std::size_t>(a)];
+  }
+  const TransferStats transfers = data_.stats();
+  out << "\n  PCIe: " << transfers.host_to_device_count << " h2d ("
+      << transfers.host_to_device_bytes << " B), "
+      << transfers.device_to_host_count << " d2h ("
+      << transfers.device_to_host_bytes << " B)";
+  double energy = 0.0;
+  for (const auto& worker : workers_) energy += worker->stats.energy_joules;
+  out << "\n  energy: " << energy << " J (virtual)\n";
+  return std::move(out).str();
+}
+
+}  // namespace peppher::rt

@@ -1,0 +1,230 @@
+// The PEPPHER runtime engine — this reproduction's stand-in for StarPU.
+//
+// One Engine owns: worker threads (one per CPU core, one combined
+// all-CPU-cores worker for OpenMP-style parallel variants, one per simulated
+// accelerator), the data manager (coherent handles over host + device memory
+// nodes), the scheduler, and the performance-model registry.
+//
+// Component invocations become Tasks. Dependencies between tasks are
+// inferred implicitly from the access modes of shared data handles, giving
+// sequential consistency in submission order per handle (reads may run
+// concurrently; writes order against everything), exactly the mechanism the
+// paper's §IV-E inter-component-parallelism discussion relies on.
+//
+// Time model: tasks really execute on worker threads (numerics are real);
+// the engine additionally advances *virtual* clocks using the sim cost
+// models, and all performance accounting (history models, scheduling
+// estimates, makespan) is in virtual time. See DESIGN.md §5.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/codelet.hpp"
+#include "runtime/memory.hpp"
+#include "runtime/perfmodel.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+#include "runtime/trace.hpp"
+#include "runtime/types.hpp"
+#include "sim/device.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::rt {
+
+/// What the performance-aware scheduler optimizes — the application
+/// descriptor's "overall optimization goal" (§II).
+enum class Objective {
+  kTime,    ///< minimize predicted completion time (default)
+  kEnergy,  ///< minimize predicted energy (execution + transfer joules)
+};
+
+/// Engine construction parameters.
+struct EngineConfig {
+  /// Machine to run on (CPU cores + simulated accelerators).
+  sim::MachineConfig machine = sim::MachineConfig::platform_c2050();
+
+  /// Scheduling policy: "eager", "random", "ws" or "dmda" (default; the
+  /// performance-aware policy the paper's TGPA code uses).
+  std::string scheduler = "dmda";
+
+  /// The paper's useHistoryModels flag: when true the dmda scheduler uses
+  /// recorded execution history (with forced exploration while
+  /// uncalibrated); when false it consults the variants' cost hints
+  /// directly.
+  bool use_history_models = true;
+
+  /// Samples per (variant, footprint) before history is trusted.
+  int calibration_samples = 2;
+
+  /// Directory for persisted performance models (StarPU's sampling dir);
+  /// empty disables persistence.
+  std::filesystem::path sampling_dir;
+
+  /// Seed for the randomized scheduler.
+  std::uint64_t seed = 42;
+
+  /// Record a TaskRecord per execution (see runtime/trace.hpp); exportable
+  /// as chrome://tracing JSON or a text Gantt chart via Engine::trace().
+  bool enable_trace = false;
+
+  /// The scheduler's optimization goal (the main descriptor's <goal>).
+  Objective objective = Objective::kTime;
+};
+
+/// Aggregate per-worker execution counters.
+struct WorkerStats {
+  std::uint64_t tasks_executed = 0;
+  double busy_vtime = 0.0;      ///< virtual seconds spent executing
+  double energy_joules = 0.0;   ///< busy time x the device's power draw
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // -- data registration (used by the smart containers) ---------------------
+
+  /// Registers `bytes` of application memory with element granularity
+  /// `element_size`. The data becomes managed: tasks may create replicas on
+  /// any memory node; use acquire_host() before touching it from the
+  /// application.
+  DataHandlePtr register_buffer(void* host_ptr, std::size_t bytes,
+                                std::size_t element_size);
+
+  /// Application-side access to registered data: blocks until conflicting
+  /// in-flight tasks complete, then makes the host replica valid (fetching
+  /// from a device if needed). Write modes invalidate device copies.
+  void acquire_host(const DataHandlePtr& handle, AccessMode mode);
+
+  /// Synchronises the handle to the host and forgets its dependency state;
+  /// the memory is the application's again (StarPU's data unregister).
+  void unregister(const DataHandlePtr& handle);
+
+  // -- task submission -------------------------------------------------------
+
+  /// Submits a task. Asynchronous unless spec.synchronous; returns the task
+  /// for wait()/inspection. Throws if the codelet has no enabled variant
+  /// runnable on this machine.
+  TaskPtr submit(TaskSpec spec);
+
+  /// Blocks until `task` completes. If the task's implementation threw (or
+  /// a predecessor failed, cancelling it), the stored exception is rethrown
+  /// here — a failing variant never takes a worker thread down.
+  void wait(const TaskPtr& task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_for_all();
+
+  // -- performance interface -------------------------------------------------
+
+  PerfRegistry& perf() noexcept { return perf_; }
+
+  /// Latest task-completion virtual time observed (the virtual makespan).
+  VirtualTime virtual_makespan() const;
+
+  /// Total energy spent executing tasks so far (joules, virtual), summed
+  /// over all workers.
+  double energy_joules() const;
+
+  /// Resets all virtual clocks and the makespan, draining any in-flight
+  /// tasks first. Freshly registered handles start at virtual time zero,
+  /// so benchmarks should re-register data after the reset. Must not be
+  /// called from a task body or completion callback.
+  void reset_virtual_time();
+
+  TransferStats transfer_stats() const { return data_.stats(); }
+  void reset_transfer_stats() { data_.reset_stats(); }
+
+  /// The execution trace (empty unless config.enable_trace).
+  Tracer& trace() noexcept { return tracer_; }
+
+  /// Hint: make `handle` valid on `node` ahead of time so a task scheduled
+  /// there finds its data resident (StarPU's data prefetch). Skipped
+  /// silently if the handle still has in-flight writers. Returns true if a
+  /// replica is valid on the node afterwards.
+  bool prefetch(const DataHandlePtr& handle, MemoryNodeId node);
+
+  // -- introspection ----------------------------------------------------------
+
+  const EngineConfig& config() const noexcept { return config_; }
+  const std::vector<WorkerDesc>& workers() const noexcept { return descs_; }
+  int cpu_worker_count() const noexcept { return cpu_count_; }
+  int accelerator_count() const noexcept {
+    return static_cast<int>(config_.machine.accelerators.size());
+  }
+  WorkerStats worker_stats(WorkerId id) const;
+  std::array<std::uint64_t, kArchCount> arch_task_counts() const;
+  std::uint64_t tasks_submitted() const;
+
+  /// Human-readable execution summary: per-worker task counts and busy
+  /// virtual time (utilisation against the makespan), per-architecture task
+  /// counts, PCIe traffic.
+  std::string summary() const;
+
+ private:
+  struct Worker {
+    WorkerDesc desc;
+    std::thread thread;
+    VirtualTime vtime = 0.0;  ///< guarded by graph_mutex_
+    WorkerStats stats;        ///< guarded by graph_mutex_
+  };
+
+  void worker_main(WorkerId id);
+  void execute(const TaskPtr& task, Worker& worker);
+  void complete_locked(const TaskPtr& task, std::vector<TaskPtr>& completed);
+
+  /// Enabled implementation the worker would run for this task (respecting
+  /// forced_arch), or nullptr.
+  const Implementation* select_impl(const Task& task,
+                                    const WorkerDesc& worker) const;
+
+  bool worker_eligible(const Task& task, WorkerId id) const;
+  VirtualTime worker_ready_at_locked(WorkerId id) const;
+  double estimate_exec_seconds(const Task& task, const WorkerDesc& worker,
+                               const Implementation& impl) const;
+  double estimate_completion(const Task& task, WorkerId id) const;
+  double estimate_work(const Task& task, WorkerId id) const;
+  std::uint64_t exploration_sample_count(const Task& task, WorkerId id) const;
+
+  static std::uint64_t task_footprint(const Task& task);
+  static std::size_t task_total_bytes(const Task& task);
+
+  EngineConfig config_;
+  int cpu_count_;
+  DataManager data_;
+  PerfRegistry perf_;
+  Rng rng_;
+  Tracer tracer_;
+
+  std::vector<WorkerDesc> descs_;  ///< immutable after construction
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// Serialises real execution of the combined-CPU worker against the
+  /// per-core CPU workers (they share the same physical cores).
+  std::shared_mutex cpu_group_mutex_;
+
+  /// Protects the task graph, scheduler, worker vtimes/stats and makespan.
+  mutable std::mutex graph_mutex_;
+  std::condition_variable work_cv_;
+  std::unique_ptr<Scheduler> scheduler_;
+  bool stopping_ = false;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t inflight_ = 0;
+  VirtualTime makespan_ = 0.0;
+  std::array<std::uint64_t, kArchCount> arch_counts_{};
+};
+
+}  // namespace peppher::rt

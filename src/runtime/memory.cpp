@@ -1,0 +1,434 @@
+#include "runtime/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace peppher::rt {
+
+std::string to_string(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kInvalid: return "invalid";
+    case ReplicaState::kShared: return "shared";
+    case ReplicaState::kOwned: return "owned";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// DataHandle
+// ---------------------------------------------------------------------------
+
+DataHandle::DataHandle(DataManager* manager, void* host_ptr, std::size_t bytes,
+                       std::size_t element_size)
+    : manager_(manager),
+      host_ptr_(host_ptr),
+      bytes_(bytes),
+      element_size_(element_size),
+      replicas_(static_cast<std::size_t>(manager->node_count())) {
+  check(bytes > 0, "cannot register an empty buffer");
+  check(element_size > 0 && bytes % element_size == 0,
+        "buffer size must be a multiple of the element size");
+  replicas_[kHostNode].ptr = host_ptr_;
+  replicas_[kHostNode].state = ReplicaState::kOwned;
+}
+
+DataHandle::~DataHandle() {
+  // Return any live device allocations to the manager's accounting.
+  for (std::size_t n = 1; n < replicas_.size(); ++n) {
+    if (replicas_[n].storage != nullptr) {
+      manager_->on_free(static_cast<MemoryNodeId>(n), bytes_);
+    }
+  }
+}
+
+bool DataHandle::is_partitioned() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(children_.begin(), children_.end(),
+                     [](const std::weak_ptr<DataHandle>& c) { return !c.expired(); });
+}
+
+bool DataHandle::detached() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return detached_;
+}
+
+void DataHandle::ensure_allocated(MemoryNodeId node) {
+  Replica& replica = replicas_[static_cast<std::size_t>(node)];
+  if (replica.ptr != nullptr) return;
+  check(node != kHostNode, "host replica must always have a pointer");
+  // Account the allocation first: under memory pressure the manager evicts
+  // other handles' unpinned replicas from this node to make room.
+  manager_->on_allocate(node, bytes_, shared_from_this());
+  replica.storage = std::make_unique<std::byte[]>(bytes_);
+  replica.ptr = replica.storage.get();
+}
+
+void* DataHandle::replica_ptr(MemoryNodeId node) {
+  ensure_allocated(node);
+  return replicas_[static_cast<std::size_t>(node)].ptr;
+}
+
+VirtualTime DataHandle::copy_replica(MemoryNodeId from, MemoryNodeId to) {
+  check(from != to, "copy_replica: source equals destination");
+  Replica& src = replicas_[static_cast<std::size_t>(from)];
+  check(src.state != ReplicaState::kInvalid, "copy_replica: invalid source");
+
+  // Device-to-device goes through the host (classic pre-peer-to-peer PCIe),
+  // leaving a shared host copy behind.
+  if (from != kHostNode && to != kHostNode) {
+    VirtualTime via = copy_replica(from, kHostNode);
+    Replica& host = replicas_[kHostNode];
+    host.state = ReplicaState::kShared;
+    host.valid_at = via;
+    return copy_replica(kHostNode, to);
+  }
+
+  ensure_allocated(to);
+  Replica& dst = replicas_[static_cast<std::size_t>(to)];
+  std::memcpy(dst.ptr, src.ptr, bytes_);
+  manager_->record_transfer(from, to, bytes_);
+  dst.valid_at = manager_->charge_link(bytes_, src.valid_at);
+  return dst.valid_at;
+}
+
+void* DataHandle::acquire(MemoryNodeId node, AccessMode mode,
+                          VirtualTime* data_ready) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (detached_) {
+    throw Error(ErrorCode::kInvalidState,
+                "access to a sub-handle after unpartition()");
+  }
+  for (const auto& weak_child : children_) {
+    if (!weak_child.expired()) {
+      throw Error(ErrorCode::kInvalidState,
+                  "access to a partitioned handle before unpartition()");
+    }
+  }
+  check(node >= 0 && node < static_cast<int>(replicas_.size()),
+        "acquire: bad memory node");
+  Replica& replica = replicas_[static_cast<std::size_t>(node)];
+  VirtualTime ready = 0.0;
+
+  const bool needs_fetch = mode != AccessMode::kWrite;
+  if (needs_fetch && replica.state == ReplicaState::kInvalid) {
+    // Find a source: prefer host, else first valid node.
+    MemoryNodeId source = -1;
+    if (replicas_[kHostNode].state != ReplicaState::kInvalid) {
+      source = kHostNode;
+    } else {
+      for (std::size_t n = 0; n < replicas_.size(); ++n) {
+        if (replicas_[n].state != ReplicaState::kInvalid) {
+          source = static_cast<MemoryNodeId>(n);
+          break;
+        }
+      }
+    }
+    check(source >= 0, "no valid replica anywhere (coherence broken)");
+    ready = copy_replica(source, node);
+    replica.state = ReplicaState::kShared;
+    Replica& src = replicas_[static_cast<std::size_t>(source)];
+    if (src.state == ReplicaState::kOwned) src.state = ReplicaState::kShared;
+  } else if (needs_fetch) {
+    ready = replica.valid_at;
+  } else {
+    ensure_allocated(node);
+  }
+
+  if (mode == AccessMode::kWrite || mode == AccessMode::kReadWrite) {
+    for (std::size_t n = 0; n < replicas_.size(); ++n) {
+      if (static_cast<MemoryNodeId>(n) != node) {
+        replicas_[n].state = ReplicaState::kInvalid;
+      }
+    }
+    replica.state = ReplicaState::kOwned;
+  } else {
+    ++read_uses_;
+  }
+
+  if (node != kHostNode) ++replica.pins;  // released by release(node)
+  if (data_ready != nullptr) *data_ready = ready;
+  return replica.ptr;
+}
+
+void DataHandle::release(MemoryNodeId node) {
+  if (node == kHostNode) return;  // host replicas are never evicted
+  std::lock_guard<std::mutex> lock(mutex_);
+  Replica& replica = replicas_[static_cast<std::size_t>(node)];
+  check(replica.pins > 0, "release without matching acquire");
+  --replica.pins;
+}
+
+bool DataHandle::try_evict(MemoryNodeId node) {
+  if (node == kHostNode) return false;
+  // try_lock breaks the symmetric-eviction deadlock: two handles allocating
+  // concurrently can never wait on each other.
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  Replica& replica = replicas_[static_cast<std::size_t>(node)];
+  if (replica.storage == nullptr || replica.pins > 0) return false;
+  for (const auto& weak_child : children_) {
+    if (!weak_child.expired()) return false;  // parent blocked by partition
+  }
+  if (replica.state == ReplicaState::kOwned && !detached_) {
+    // Sole valid copy: flush it home before dropping it (§IV-D: future use
+    // "would require re-allocation" — and a fresh transfer).
+    copy_replica(node, kHostNode);
+    replicas_[kHostNode].state = ReplicaState::kOwned;
+  }
+  replica.state = ReplicaState::kInvalid;
+  replica.storage.reset();
+  replica.ptr = nullptr;
+  manager_->on_free(node, bytes_);
+  manager_->record_eviction();
+  return true;
+}
+
+void DataHandle::mark_written(MemoryNodeId node, VirtualTime vend) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Replica& replica = replicas_[static_cast<std::size_t>(node)];
+  check(replica.state == ReplicaState::kOwned,
+        "mark_written on a non-owned replica");
+  replica.valid_at = vend;
+}
+
+double DataHandle::estimate_fetch_seconds(MemoryNodeId node,
+                                          AccessMode mode) const {
+  if (mode == AccessMode::kWrite) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Replica& replica = replicas_[static_cast<std::size_t>(node)];
+  if (replica.state != ReplicaState::kInvalid) return 0.0;
+  // Device destination with only a device source needs two hops.
+  bool host_valid = replicas_[kHostNode].state != ReplicaState::kInvalid;
+  int hops = (node != kHostNode && !host_valid) ? 2
+             : (node == kHostNode && host_valid) ? 0
+                                                 : 1;
+  if (node == kHostNode && !host_valid) hops = 1;
+  const double latency = manager_->estimate_link_seconds(0);
+  double bandwidth_part =
+      manager_->estimate_link_seconds(bytes_) - latency;
+  if (mode == AccessMode::kRead && read_uses_ > 1) {
+    // Amortise a reusable read-only transfer's *volume* over its observed
+    // reuse (see the header comment); the per-transfer link latency is
+    // always paid in full — otherwise chained fine-grained tasks would
+    // rate a ping-pong placement as free.
+    bandwidth_part /= static_cast<double>(std::min<std::uint64_t>(read_uses_, 64));
+  }
+  return static_cast<double>(hops) * (latency + bandwidth_part);
+}
+
+std::uint64_t DataHandle::read_uses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return read_uses_;
+}
+
+MemoryNodeId DataHandle::preferred_source() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (replicas_[kHostNode].state != ReplicaState::kInvalid) return kHostNode;
+  for (std::size_t n = 0; n < replicas_.size(); ++n) {
+    if (replicas_[n].state != ReplicaState::kInvalid) {
+      return static_cast<MemoryNodeId>(n);
+    }
+  }
+  return kHostNode;
+}
+
+ReplicaState DataHandle::replica_state(MemoryNodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_[static_cast<std::size_t>(node)].state;
+}
+
+std::vector<DataHandlePtr> DataHandle::partition(std::size_t parts) {
+  check(parts > 0, "partition: parts must be positive");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (parent_ != nullptr) {
+    throw Error(ErrorCode::kUnsupported, "nested partitioning is not supported");
+  }
+  for (const auto& weak_child : children_) {
+    if (!weak_child.expired()) {
+      throw Error(ErrorCode::kInvalidState, "handle is already partitioned");
+    }
+  }
+  const std::size_t element_count = elements();
+  if (parts > element_count) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "cannot partition " + std::to_string(element_count) +
+                    " elements into " + std::to_string(parts) + " parts");
+  }
+
+  // Make the host copy authoritative, then drop device replicas: children
+  // alias host memory, so stale device copies of the parent must not linger.
+  if (replicas_[kHostNode].state == ReplicaState::kInvalid) {
+    for (std::size_t n = 1; n < replicas_.size(); ++n) {
+      if (replicas_[n].state != ReplicaState::kInvalid) {
+        copy_replica(static_cast<MemoryNodeId>(n), kHostNode);
+        break;
+      }
+    }
+  }
+  for (std::size_t n = 1; n < replicas_.size(); ++n) {
+    replicas_[n].state = ReplicaState::kInvalid;
+  }
+  replicas_[kHostNode].state = ReplicaState::kOwned;
+
+  std::vector<DataHandlePtr> out;
+  children_.clear();
+  const std::size_t base = element_count / parts;
+  const std::size_t extra = element_count % parts;
+  std::size_t offset_elems = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::size_t count = base + (i < extra ? 1 : 0);
+    const std::size_t offset_bytes = offset_elems * element_size_;
+    auto child = DataHandlePtr(new DataHandle(
+        manager_, static_cast<std::byte*>(host_ptr_) + offset_bytes,
+        count * element_size_, element_size_));
+    child->parent_ = this;
+    child->parent_offset_bytes_ = offset_bytes;
+    children_.push_back(child);
+    out.push_back(std::move(child));
+    offset_elems += count;
+  }
+  return out;
+}
+
+void DataHandle::unpartition() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& weak_child : children_) {
+    DataHandlePtr child = weak_child.lock();
+    if (child == nullptr) continue;
+    std::lock_guard<std::mutex> child_lock(child->mutex_);
+    if (child->replicas_[kHostNode].state == ReplicaState::kInvalid) {
+      for (std::size_t n = 1; n < child->replicas_.size(); ++n) {
+        if (child->replicas_[n].state != ReplicaState::kInvalid) {
+          child->copy_replica(static_cast<MemoryNodeId>(n), kHostNode);
+          break;
+        }
+      }
+    }
+    child->detached_ = true;
+  }
+  children_.clear();
+  for (std::size_t n = 1; n < replicas_.size(); ++n) {
+    replicas_[n].state = ReplicaState::kInvalid;
+  }
+  replicas_[kHostNode].state = ReplicaState::kOwned;
+}
+
+// ---------------------------------------------------------------------------
+// DataManager
+// ---------------------------------------------------------------------------
+
+DataManager::DataManager(int node_count, sim::LinkProfile link)
+    : node_count_(node_count),
+      link_(link),
+      capacities_(static_cast<std::size_t>(node_count), 0),
+      allocated_(static_cast<std::size_t>(node_count), 0) {
+  check(node_count >= 1, "need at least the host memory node");
+}
+
+void DataManager::set_node_capacity(MemoryNodeId node, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check(node > 0 && node < node_count_, "set_node_capacity: bad device node");
+  capacities_[static_cast<std::size_t>(node)] = bytes;
+}
+
+std::size_t DataManager::node_allocated(MemoryNodeId node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocated_[static_cast<std::size_t>(node)];
+}
+
+void DataManager::on_allocate(MemoryNodeId node, std::size_t bytes,
+                              const std::shared_ptr<DataHandle>& owner) {
+  std::vector<std::shared_ptr<DataHandle>> candidates;
+  std::size_t capacity = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto n = static_cast<std::size_t>(node);
+    allocated_[n] += bytes;
+    // Opportunistic cleanup of expired entries.
+    std::erase_if(resident_handles_,
+                  [](const std::weak_ptr<DataHandle>& w) { return w.expired(); });
+    resident_handles_.push_back(owner);
+    capacity = capacities_[n];
+    if (capacity == 0 || allocated_[n] <= capacity) return;
+    for (const auto& weak : resident_handles_) {
+      std::shared_ptr<DataHandle> handle = weak.lock();
+      if (handle != nullptr && handle != owner) {
+        candidates.push_back(std::move(handle));
+      }
+    }
+  }
+  // Evict (outside the manager lock: eviction flushes may charge the link)
+  // oldest-resident first until the node fits again.
+  for (const auto& candidate : candidates) {
+    if (node_allocated(node) <= capacity) return;
+    candidate->try_evict(node);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (allocated_[static_cast<std::size_t>(node)] > capacity) {
+    ++stats_.overcommits;
+    log::warn("runtime",
+              "device node {} overcommitted: {} bytes allocated, capacity {}",
+              node, allocated_[static_cast<std::size_t>(node)], capacity);
+  }
+}
+
+void DataManager::on_free(MemoryNodeId node, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& allocated = allocated_[static_cast<std::size_t>(node)];
+  check(allocated >= bytes, "device allocation accounting underflow");
+  allocated -= bytes;
+}
+
+void DataManager::record_eviction() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.evictions;
+}
+
+DataHandlePtr DataManager::register_buffer(void* host_ptr, std::size_t bytes,
+                                           std::size_t element_size) {
+  check(host_ptr != nullptr, "register_buffer: null pointer");
+  return DataHandlePtr(new DataHandle(this, host_ptr, bytes, element_size));
+}
+
+VirtualTime DataManager::charge_link(std::size_t bytes, VirtualTime ready) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const VirtualTime start = std::max(link_free_at_, ready);
+  link_free_at_ = start + sim::transfer_seconds(link_, bytes);
+  return link_free_at_;
+}
+
+double DataManager::estimate_link_seconds(std::size_t bytes) const {
+  return sim::transfer_seconds(link_, bytes);
+}
+
+TransferStats DataManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void DataManager::record_transfer(MemoryNodeId from, MemoryNodeId to,
+                                  std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (from == kHostNode && to != kHostNode) {
+    ++stats_.host_to_device_count;
+    stats_.host_to_device_bytes += bytes;
+  } else if (from != kHostNode && to == kHostNode) {
+    ++stats_.device_to_host_count;
+    stats_.device_to_host_bytes += bytes;
+  }
+}
+
+void DataManager::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = TransferStats{};
+}
+
+void DataManager::reset_virtual_time() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_free_at_ = 0.0;
+}
+
+}  // namespace peppher::rt

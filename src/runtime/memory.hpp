@@ -1,0 +1,237 @@
+// Data management of the PEPPHER runtime: registered data handles with
+// MSI-style coherence over multiple memory nodes (host RAM + one node per
+// simulated accelerator), lazy transfers over a contended PCIe link, and
+// StarPU-style partitioning into sub-handles for hybrid execution.
+//
+// This is the machinery behind the paper's "smart containers" discussion
+// (§IV-D/E/H and Figure 3): multiple copies of the same data may exist on
+// different memory units; transfers are delayed until actually necessary;
+// copies are invalidated, not discarded, on writes elsewhere.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "sim/device.hpp"
+
+namespace peppher::rt {
+
+class Task;
+class DataManager;
+
+/// Coherence state of one replica of a handle's data on one memory node.
+enum class ReplicaState : std::uint8_t {
+  kInvalid,  ///< no valid copy on this node
+  kShared,   ///< valid copy, other valid copies may exist
+  kOwned,    ///< the only valid copy (was modified here)
+};
+
+std::string to_string(ReplicaState state);
+
+/// Counters for the data-traffic measurements of Figure 5 and the smart
+/// container ablation (2-copies-vs-7 example of Figure 3).
+struct TransferStats {
+  std::uint64_t host_to_device_count = 0;
+  std::uint64_t device_to_host_count = 0;
+  std::uint64_t host_to_device_bytes = 0;
+  std::uint64_t device_to_host_bytes = 0;
+  std::uint64_t evictions = 0;    ///< device replicas dropped under pressure
+  std::uint64_t overcommits = 0;  ///< allocations exceeding device capacity
+
+  std::uint64_t total_count() const noexcept {
+    return host_to_device_count + device_to_host_count;
+  }
+  std::uint64_t total_bytes() const noexcept {
+    return host_to_device_bytes + device_to_host_bytes;
+  }
+};
+
+/// A registered piece of application data. Created through
+/// DataManager::register_buffer (never directly); always lives in a
+/// shared_ptr because tasks keep operands alive.
+class DataHandle : public std::enable_shared_from_this<DataHandle> {
+ public:
+  ~DataHandle();
+
+  DataHandle(const DataHandle&) = delete;
+  DataHandle& operator=(const DataHandle&) = delete;
+
+  std::size_t bytes() const noexcept { return bytes_; }
+  std::size_t element_size() const noexcept { return element_size_; }
+  std::size_t elements() const noexcept { return bytes_ / element_size_; }
+
+  /// True for a sub-handle created by partition().
+  bool is_child() const noexcept { return parent_ != nullptr; }
+  /// True while this handle has live children (it must not be accessed).
+  bool is_partitioned() const noexcept;
+
+  /// True for a sub-handle whose parent was unpartitioned (permanently
+  /// unusable).
+  bool detached() const noexcept;
+
+  /// Ensures a valid replica on `node` for the given access and returns its
+  /// pointer. Performs any needed allocation and (real) copy, updates MSI
+  /// states, charges the transfer to the PCIe link in virtual time, and
+  /// returns via `data_ready` the virtual time at which the data is valid
+  /// on `node`. Device replicas are *pinned* until release(node) — pinned
+  /// replicas are never evicted under memory pressure. Thread safe per
+  /// handle.
+  void* acquire(MemoryNodeId node, AccessMode mode, VirtualTime* data_ready);
+
+  /// Unpins the replica on `node` (one release per acquire). The data stays
+  /// resident (§IV-H) but becomes evictable if the device runs short of
+  /// memory (§IV-D).
+  void release(MemoryNodeId node);
+
+  /// Tries to drop this handle's replica on `node` to free device memory:
+  /// fails if the replica is pinned, invalid, host-side, or this handle is
+  /// busy. An Owned replica is flushed to the host first. Called by the
+  /// DataManager under memory pressure.
+  bool try_evict(MemoryNodeId node);
+
+  /// Records that a task finished writing this handle on `node` at virtual
+  /// time `vend` (refreshes the replica's validity timestamp).
+  void mark_written(MemoryNodeId node, VirtualTime vend);
+
+  /// Estimated seconds of transfer needed to make the data valid on `node`
+  /// for `mode`, *without* changing any state. Used by the dmda scheduler.
+  ///
+  /// Read-only operands amortise: a handle that has been read by many tasks
+  /// is expected to be read by many more, so its one-time transfer cost is
+  /// divided by the observed reuse (capped). This is what lets greedy
+  /// per-task scheduling eventually move a heavily reused read-only operand
+  /// (e.g. the ODE solver's Jacobian, §IV-H) to the device where its
+  /// consumers run fastest, instead of being stuck behind a transfer bill
+  /// no single task can justify.
+  double estimate_fetch_seconds(MemoryNodeId node, AccessMode mode) const;
+
+  /// Number of task executions that read this handle (kRead mode).
+  std::uint64_t read_uses() const;
+
+  /// Where a valid replica currently lives (host preferred); kHostNode if
+  /// the handle was never touched.
+  MemoryNodeId preferred_source() const;
+
+  ReplicaState replica_state(MemoryNodeId node) const;
+
+  // -- partitioning (hybrid execution, §IV-F) -------------------------------
+
+  /// Splits the handle into `parts` contiguous element-aligned children that
+  /// alias the same host memory. The parent is unusable until
+  /// unpartition(). Children must not outlive the parent.
+  std::vector<std::shared_ptr<DataHandle>> partition(std::size_t parts);
+
+  /// Gathers children back: flushes each child to host and revalidates the
+  /// parent. All child handles become permanently invalid.
+  void unpartition();
+
+  // -- dependency metadata (used by the Engine under its submission lock) ---
+
+  std::shared_ptr<Task> last_writer;
+  std::vector<std::shared_ptr<Task>> readers_since_last_write;
+
+ private:
+  friend class DataManager;
+  DataHandle(DataManager* manager, void* host_ptr, std::size_t bytes,
+             std::size_t element_size);
+
+  struct Replica {
+    ReplicaState state = ReplicaState::kInvalid;
+    std::unique_ptr<std::byte[]> storage;  ///< device nodes only
+    void* ptr = nullptr;
+    VirtualTime valid_at = 0.0;
+    int pins = 0;  ///< active acquires; pinned replicas are not evictable
+  };
+
+  /// Copies `bytes_` from the replica on `from` to the one on `to`;
+  /// allocates the destination if needed; accounts virtual link time.
+  /// Caller holds mutex_. Returns the vtime at which the copy is complete.
+  VirtualTime copy_replica(MemoryNodeId from, MemoryNodeId to);
+
+  void* replica_ptr(MemoryNodeId node);
+  void ensure_allocated(MemoryNodeId node);
+
+  DataManager* manager_;
+  void* host_ptr_;
+  std::size_t bytes_;
+  std::size_t element_size_;
+
+  mutable std::mutex mutex_;
+  std::vector<Replica> replicas_;  ///< indexed by MemoryNodeId
+
+  std::uint64_t read_uses_ = 0;  ///< guarded by mutex_
+
+  DataHandle* parent_ = nullptr;
+  std::size_t parent_offset_bytes_ = 0;
+  std::vector<std::weak_ptr<DataHandle>> children_;
+  bool detached_ = false;  ///< set on children after unpartition()
+};
+
+using DataHandlePtr = std::shared_ptr<DataHandle>;
+
+/// Owns the memory-node table, the PCIe link clock and the transfer
+/// statistics. One per Engine.
+class DataManager {
+ public:
+  /// @param node_count host + one per accelerator.
+  DataManager(int node_count, sim::LinkProfile link);
+
+  /// Registers application memory of `bytes` bytes (element granularity
+  /// `element_size`, used by partitioning). The host replica starts Owned:
+  /// freshly registered data is valid on the host, nowhere else.
+  DataHandlePtr register_buffer(void* host_ptr, std::size_t bytes,
+                                std::size_t element_size);
+
+  int node_count() const noexcept { return node_count_; }
+
+  /// Sets a device node's memory capacity in bytes (0 = unlimited, the
+  /// default). Allocations beyond the capacity trigger eviction of
+  /// unpinned replicas of other handles; if nothing is evictable the
+  /// allocation overcommits (counted in stats).
+  void set_node_capacity(MemoryNodeId node, std::size_t bytes);
+
+  std::size_t node_allocated(MemoryNodeId node) const;
+
+  /// Allocation accounting + eviction, called by handles when they allocate
+  /// or free a device replica of `bytes` bytes.
+  void on_allocate(MemoryNodeId node, std::size_t bytes,
+                   const std::shared_ptr<DataHandle>& owner);
+  void on_free(MemoryNodeId node, std::size_t bytes);
+  void record_eviction();
+
+  const sim::LinkProfile& link() const noexcept { return link_; }
+
+  /// Advances the shared link clock by a transfer of `bytes` starting no
+  /// earlier than `ready`; returns completion vtime.
+  VirtualTime charge_link(std::size_t bytes, VirtualTime ready);
+
+  /// Estimate of the same, without advancing the clock.
+  double estimate_link_seconds(std::size_t bytes) const;
+
+  TransferStats stats() const;
+  void record_transfer(MemoryNodeId from, MemoryNodeId to, std::size_t bytes);
+  void reset_stats();
+
+  /// Resets the link virtual clock (benchmark repetition).
+  void reset_virtual_time();
+
+ private:
+  int node_count_;
+  sim::LinkProfile link_;
+
+  mutable std::mutex mutex_;
+  VirtualTime link_free_at_ = 0.0;
+  TransferStats stats_;
+  std::vector<std::size_t> capacities_;  ///< per node; 0 = unlimited
+  std::vector<std::size_t> allocated_;   ///< per node
+  /// Handles with live device allocations, in rough allocation order (the
+  /// eviction scan order — oldest allocations are tried first). Weak: a
+  /// dying handle frees its allocations itself.
+  std::vector<std::weak_ptr<DataHandle>> resident_handles_;
+};
+
+}  // namespace peppher::rt

@@ -1,0 +1,246 @@
+#include "runtime/perfmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/strings.hpp"
+
+namespace peppher::rt {
+
+// ---------------------------------------------------------------------------
+// SampleStats
+// ---------------------------------------------------------------------------
+
+void SampleStats::add(double value) noexcept {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  const double delta = value - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (value - mean);
+}
+
+double SampleStats::variance() const noexcept {
+  return count > 1 ? m2 / static_cast<double>(count - 1) : 0.0;
+}
+
+double SampleStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+// ---------------------------------------------------------------------------
+// footprint
+// ---------------------------------------------------------------------------
+
+std::uint64_t footprint_of(const std::vector<std::size_t>& operand_bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (i * 8)) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (std::size_t bytes : operand_bytes) mix(bytes);
+  return hash;
+}
+
+// ---------------------------------------------------------------------------
+// HistoryModel
+// ---------------------------------------------------------------------------
+
+void HistoryModel::record(std::uint64_t footprint, std::size_t total_bytes,
+                          double seconds) {
+  Entry& entry = entries_[footprint];
+  entry.total_bytes = total_bytes;
+  entry.stats.add(seconds);
+}
+
+std::optional<double> HistoryModel::expected(std::uint64_t footprint) const {
+  auto it = entries_.find(footprint);
+  if (it == entries_.end() || it->second.stats.count == 0) return std::nullopt;
+  return it->second.stats.mean;
+}
+
+std::uint64_t HistoryModel::sample_count(std::uint64_t footprint) const {
+  auto it = entries_.find(footprint);
+  return it == entries_.end() ? 0 : it->second.stats.count;
+}
+
+std::optional<double> HistoryModel::regression_estimate(
+    std::size_t total_bytes) const {
+  // Collect distinct (bytes, mean) pairs with positive values.
+  std::map<std::size_t, double> points;
+  for (const auto& [footprint, entry] : entries_) {
+    (void)footprint;
+    if (entry.total_bytes > 0 && entry.stats.mean > 0.0) {
+      points[entry.total_bytes] = entry.stats.mean;
+    }
+  }
+  if (points.size() < 4) return std::nullopt;
+  // Least squares on log(time) = log(a) + b * log(bytes).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(points.size());
+  for (const auto& [bytes, mean] : points) {
+    const double x = std::log(static_cast<double>(bytes));
+    const double y = std::log(mean);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return std::nullopt;
+  double b = (n * sxy - sx * sy) / denom;
+  b = std::clamp(b, 0.0, 3.0);  // physical exponents only
+  const double log_a = (sy - b * sx) / n;
+  return std::exp(log_a + b * std::log(static_cast<double>(total_bytes)));
+}
+
+std::pair<std::size_t, std::size_t> HistoryModel::bytes_range() const {
+  std::pair<std::size_t, std::size_t> range{0, 0};
+  bool first = true;
+  for (const auto& [footprint, entry] : entries_) {
+    (void)footprint;
+    if (first) {
+      range = {entry.total_bytes, entry.total_bytes};
+      first = false;
+    } else {
+      range.first = std::min(range.first, entry.total_bytes);
+      range.second = std::max(range.second, entry.total_bytes);
+    }
+  }
+  return range;
+}
+
+std::uint64_t HistoryModel::total_samples() const {
+  std::uint64_t total = 0;
+  for (const auto& [footprint, entry] : entries_) {
+    (void)footprint;
+    total += entry.stats.count;
+  }
+  return total;
+}
+
+std::string HistoryModel::serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& [footprint, entry] : entries_) {
+    out << footprint << ' ' << entry.total_bytes << ' ' << entry.stats.count
+        << ' ' << entry.stats.mean << ' ' << entry.stats.m2 << ' '
+        << entry.stats.min << ' ' << entry.stats.max << '\n';
+  }
+  return std::move(out).str();
+}
+
+void HistoryModel::deserialize(std::string_view text) {
+  entries_.clear();
+  for (const std::string& line : strings::split(text, '\n')) {
+    const auto fields = strings::split_whitespace(line);
+    if (fields.empty()) continue;
+    if (fields.size() != 7) {
+      throw ParseError("bad performance-model line: '" + line + "'");
+    }
+    Entry entry;
+    std::uint64_t footprint =
+        static_cast<std::uint64_t>(strings::to_int(fields[0]).value_or(-1));
+    entry.total_bytes =
+        static_cast<std::size_t>(strings::to_int(fields[1]).value_or(0));
+    entry.stats.count =
+        static_cast<std::uint64_t>(strings::to_int(fields[2]).value_or(0));
+    entry.stats.mean = strings::to_double(fields[3]).value_or(0.0);
+    entry.stats.m2 = strings::to_double(fields[4]).value_or(0.0);
+    entry.stats.min = strings::to_double(fields[5]).value_or(0.0);
+    entry.stats.max = strings::to_double(fields[6]).value_or(0.0);
+    entries_[footprint] = entry;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PerfRegistry
+// ---------------------------------------------------------------------------
+
+void PerfRegistry::record(const std::string& codelet, Arch arch,
+                          std::uint64_t footprint, std::size_t total_bytes,
+                          double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[{codelet, static_cast<int>(arch)}].record(footprint, total_bytes,
+                                                    seconds);
+}
+
+std::optional<double> PerfRegistry::expected(const std::string& codelet, Arch arch,
+                                             std::uint64_t footprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find({codelet, static_cast<int>(arch)});
+  if (it == models_.end()) return std::nullopt;
+  return it->second.expected(footprint);
+}
+
+std::uint64_t PerfRegistry::sample_count(const std::string& codelet, Arch arch,
+                                         std::uint64_t footprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find({codelet, static_cast<int>(arch)});
+  return it == models_.end() ? 0 : it->second.sample_count(footprint);
+}
+
+std::optional<double> PerfRegistry::regression_estimate(
+    const std::string& codelet, Arch arch, std::size_t total_bytes) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find({codelet, static_cast<int>(arch)});
+  if (it == models_.end()) return std::nullopt;
+  return it->second.regression_estimate(total_bytes);
+}
+
+void PerfRegistry::save(const std::filesystem::path& dir) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fs::make_dirs(dir);
+  for (const auto& [key, model] : models_) {
+    const std::string filename =
+        key.first + "." + to_string(static_cast<Arch>(key.second)) + ".model";
+    fs::write_file(dir / filename, model.serialize());
+  }
+}
+
+void PerfRegistry::load(const std::filesystem::path& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& path : fs::list_files(dir, ".model")) {
+    const std::string stem = path.stem().string();  // "<codelet>.<arch>"
+    const std::size_t dot = stem.rfind('.');
+    if (dot == std::string::npos) continue;
+    const std::string codelet = stem.substr(0, dot);
+    Arch arch;
+    try {
+      arch = parse_arch(stem.substr(dot + 1));
+    } catch (const Error&) {
+      continue;  // not one of ours
+    }
+    models_[{codelet, static_cast<int>(arch)}].deserialize(fs::read_file(path));
+  }
+}
+
+void PerfRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_.clear();
+}
+
+std::vector<PerfRegistry::ModelInfo> PerfRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelInfo> out;
+  out.reserve(models_.size());
+  for (const auto& [key, model] : models_) {
+    ModelInfo info;
+    info.codelet = key.first;
+    info.arch = static_cast<Arch>(key.second);
+    info.entries = model.entry_count();
+    info.samples = model.total_samples();
+    std::tie(info.min_bytes, info.max_bytes) = model.bytes_range();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace peppher::rt

@@ -1,0 +1,128 @@
+// History-based performance models — the "execution-history-based
+// performance information" the PEPPHER runtime layer uses for
+// performance-aware dynamic composition (§I, §V-D of the paper).
+//
+// Like StarPU's models: execution times are recorded per (codelet,
+// architecture, input footprint); the dmda scheduler asks for the expected
+// time of a candidate (worker, variant) pair. An exact footprint match uses
+// the recorded mean; an unseen footprint falls back to a power-law
+// regression over recorded sizes; with too little data the model reports
+// "uncalibrated", which the scheduler resolves by forced exploration.
+// Models persist to a sampling directory between runs, like StarPU's
+// ~/.starpu/sampling.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace peppher::rt {
+
+/// Welford online mean/variance accumulator.
+struct SampleStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void add(double value) noexcept;
+  double variance() const noexcept;
+  double stddev() const noexcept;
+};
+
+/// Stable footprint of a task's operand sizes (order-sensitive FNV-1a), the
+/// history-table key.
+std::uint64_t footprint_of(const std::vector<std::size_t>& operand_bytes) noexcept;
+
+/// Execution-time history of one (codelet, architecture) pair.
+class HistoryModel {
+ public:
+  /// Records one measured execution of `seconds` for the given footprint.
+  void record(std::uint64_t footprint, std::size_t total_bytes, double seconds);
+
+  /// Mean of the recorded samples for this exact footprint, if any.
+  std::optional<double> expected(std::uint64_t footprint) const;
+
+  /// Number of samples recorded for this exact footprint.
+  std::uint64_t sample_count(std::uint64_t footprint) const;
+
+  /// Power-law estimate time = a * bytes^b fitted over all footprints with
+  /// at least one sample. Requires >= 4 distinct footprint sizes; nullopt
+  /// otherwise.
+  std::optional<double> regression_estimate(std::size_t total_bytes) const;
+
+  /// Number of distinct footprints recorded.
+  std::size_t entry_count() const { return entries_.size(); }
+
+  /// Smallest and largest recorded operand footprint in bytes ({0,0} when
+  /// empty).
+  std::pair<std::size_t, std::size_t> bytes_range() const;
+
+  /// Total samples across all footprints.
+  std::uint64_t total_samples() const;
+
+  /// Plain-text serialisation: one "footprint bytes count mean m2 min max"
+  /// line per entry.
+  std::string serialize() const;
+  void deserialize(std::string_view text);
+
+ private:
+  struct Entry {
+    std::size_t total_bytes = 0;
+    SampleStats stats;
+  };
+  std::map<std::uint64_t, Entry> entries_;
+};
+
+/// Thread-safe registry of history models keyed by codelet name and
+/// architecture. One per Engine.
+class PerfRegistry {
+ public:
+  void record(const std::string& codelet, Arch arch, std::uint64_t footprint,
+              std::size_t total_bytes, double seconds);
+
+  std::optional<double> expected(const std::string& codelet, Arch arch,
+                                 std::uint64_t footprint) const;
+
+  std::uint64_t sample_count(const std::string& codelet, Arch arch,
+                             std::uint64_t footprint) const;
+
+  std::optional<double> regression_estimate(const std::string& codelet, Arch arch,
+                                            std::size_t total_bytes) const;
+
+  /// Writes one "<codelet>.<arch>.model" file per model under `dir`.
+  void save(const std::filesystem::path& dir) const;
+
+  /// Loads every model file under `dir` (missing dir is fine: cold start).
+  void load(const std::filesystem::path& dir);
+
+  /// Drops all recorded history (benchmark isolation).
+  void clear();
+
+  /// Summary row of one stored model (for offline reporting).
+  struct ModelInfo {
+    std::string codelet;
+    Arch arch = Arch::kCpu;
+    std::size_t entries = 0;
+    std::uint64_t samples = 0;
+    std::size_t min_bytes = 0;
+    std::size_t max_bytes = 0;
+  };
+
+  /// Summaries of every stored model, sorted by codelet then architecture.
+  std::vector<ModelInfo> list() const;
+
+ private:
+  using Key = std::pair<std::string, int>;
+  mutable std::mutex mutex_;
+  std::map<Key, HistoryModel> models_;
+};
+
+}  // namespace peppher::rt

@@ -1,0 +1,283 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace peppher::rt {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Base with the common queue-per-worker plumbing.
+class PerWorkerQueues {
+ protected:
+  explicit PerWorkerQueues(std::size_t worker_count) : queues_(worker_count) {}
+
+  std::vector<std::deque<TaskPtr>> queues_;
+
+  std::size_t total_queued() const {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Eager: one central FIFO; each worker takes the first task it can run.
+// Highest priority wins, submission order breaks ties.
+// ---------------------------------------------------------------------------
+class EagerScheduler final : public Scheduler {
+ public:
+  explicit EagerScheduler(SchedEnv env) : env_(std::move(env)) {}
+
+  void push(const TaskPtr& task) override { queue_.push_back(task); }
+
+  TaskPtr pop(WorkerId worker) override {
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!env_.eligible(**it, worker)) continue;
+      if (best == queue_.end() ||
+          (*it)->spec.priority > (*best)->spec.priority) {
+        best = it;
+      }
+    }
+    if (best == queue_.end()) return nullptr;
+    TaskPtr task = *best;
+    queue_.erase(best);
+    return task;
+  }
+
+  std::size_t queued() const override { return queue_.size(); }
+  const std::string& name() const override { return name_; }
+
+ private:
+  SchedEnv env_;
+  std::deque<TaskPtr> queue_;
+  std::string name_ = "eager";
+};
+
+// ---------------------------------------------------------------------------
+// Random: push-time assignment to an eligible worker chosen with probability
+// proportional to its peak GFLOP/s (StarPU's weighted-random policy).
+// ---------------------------------------------------------------------------
+class RandomScheduler final : public Scheduler,
+                              private PerWorkerQueues {
+ public:
+  explicit RandomScheduler(SchedEnv env)
+      : PerWorkerQueues(env.workers->size()), env_(std::move(env)) {}
+
+  void push(const TaskPtr& task) override {
+    double total_weight = 0.0;
+    for (const auto& w : *env_.workers) {
+      if (env_.eligible(*task, w.id)) total_weight += w.profile.peak_gflops;
+    }
+    check(total_weight > 0.0, "task has no eligible worker");
+    double pick = env_.rng->uniform(0.0, total_weight);
+    for (const auto& w : *env_.workers) {
+      if (!env_.eligible(*task, w.id)) continue;
+      pick -= w.profile.peak_gflops;
+      if (pick <= 0.0) {
+        queues_[static_cast<std::size_t>(w.id)].push_back(task);
+        return;
+      }
+    }
+    // Floating-point tail: put it on the last eligible worker.
+    for (auto it = env_.workers->rbegin(); it != env_.workers->rend(); ++it) {
+      if (env_.eligible(*task, it->id)) {
+        queues_[static_cast<std::size_t>(it->id)].push_back(task);
+        return;
+      }
+    }
+  }
+
+  TaskPtr pop(WorkerId worker) override {
+    auto& q = queues_[static_cast<std::size_t>(worker)];
+    if (q.empty()) return nullptr;
+    TaskPtr task = q.front();
+    q.pop_front();
+    return task;
+  }
+
+  std::size_t queued() const override { return total_queued(); }
+  const std::string& name() const override { return name_; }
+
+ private:
+  SchedEnv env_;
+  std::string name_ = "random";
+};
+
+// ---------------------------------------------------------------------------
+// Work stealing: push to the shortest eligible queue; workers pop their own
+// back (LIFO) and steal the front of the longest victim queue.
+// ---------------------------------------------------------------------------
+class WorkStealingScheduler final : public Scheduler,
+                                    private PerWorkerQueues {
+ public:
+  explicit WorkStealingScheduler(SchedEnv env)
+      : PerWorkerQueues(env.workers->size()), env_(std::move(env)) {}
+
+  void push(const TaskPtr& task) override {
+    WorkerId target = -1;
+    std::size_t best_len = 0;
+    for (const auto& w : *env_.workers) {
+      if (!env_.eligible(*task, w.id)) continue;
+      const std::size_t len = queues_[static_cast<std::size_t>(w.id)].size();
+      if (target < 0 || len < best_len) {
+        target = w.id;
+        best_len = len;
+      }
+    }
+    check(target >= 0, "task has no eligible worker");
+    queues_[static_cast<std::size_t>(target)].push_back(task);
+  }
+
+  TaskPtr pop(WorkerId worker) override {
+    auto& own = queues_[static_cast<std::size_t>(worker)];
+    if (!own.empty()) {
+      TaskPtr task = own.back();
+      own.pop_back();
+      return task;
+    }
+    // Steal: scan victims from the longest queue down, taking the oldest
+    // task the thief can actually execute.
+    std::vector<std::size_t> victims;
+    for (std::size_t v = 0; v < queues_.size(); ++v) {
+      if (static_cast<WorkerId>(v) != worker && !queues_[v].empty()) {
+        victims.push_back(v);
+      }
+    }
+    std::sort(victims.begin(), victims.end(), [this](std::size_t a, std::size_t b) {
+      return queues_[a].size() > queues_[b].size();
+    });
+    for (std::size_t v : victims) {
+      auto& q = queues_[v];
+      for (auto it = q.begin(); it != q.end(); ++it) {
+        if (env_.eligible(**it, worker)) {
+          TaskPtr task = *it;
+          q.erase(it);
+          return task;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t queued() const override { return total_queued(); }
+  const std::string& name() const override { return name_; }
+
+ private:
+  SchedEnv env_;
+  std::string name_ = "ws";
+};
+
+// ---------------------------------------------------------------------------
+// Dmda: performance-aware, data-aware list scheduling (the TGPA policy).
+// ---------------------------------------------------------------------------
+class DmdaScheduler final : public Scheduler {
+ public:
+  explicit DmdaScheduler(SchedEnv env)
+      : env_(std::move(env)),
+        queues_(env_.workers->size()),
+        pending_work_(env_.workers->size(), 0.0) {}
+
+  void push(const TaskPtr& task) override {
+    // Calibration phase: while any eligible variant has fewer than
+    // calibration_min recorded samples for this footprint, force it to run
+    // so the history model learns about it (StarPU does the same).
+    WorkerId explore = -1;
+    std::uint64_t explore_count = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& w : *env_.workers) {
+      const std::uint64_t count = env_.sample_count(*task, w.id);
+      if (count < static_cast<std::uint64_t>(env_.calibration_min) &&
+          count < explore_count) {
+        explore = w.id;
+        explore_count = count;
+      }
+    }
+    if (explore >= 0) {
+      enqueue(explore, task);
+      return;
+    }
+
+    // Steady state: minimise predicted completion time, counting both the
+    // worker's virtual-clock readiness and the expected duration of tasks
+    // already queued on it but not yet started (StarPU dmda's expected-end
+    // accounting).
+    WorkerId best = -1;
+    double best_completion = kInf;
+    for (const auto& w : *env_.workers) {
+      const double completion =
+          env_.estimate_completion(*task, w.id) +
+          pending_work_[static_cast<std::size_t>(w.id)];
+      if (completion < best_completion) {
+        best = w.id;
+        best_completion = completion;
+      }
+    }
+    check(best >= 0, "task has no eligible worker");
+    enqueue(best, task);
+  }
+
+  TaskPtr pop(WorkerId worker) override {
+    auto& q = queues_[static_cast<std::size_t>(worker)];
+    if (q.empty()) return nullptr;
+    Entry entry = q.front();
+    q.pop_front();
+    pending_work_[static_cast<std::size_t>(worker)] =
+        std::max(0.0, pending_work_[static_cast<std::size_t>(worker)] - entry.work);
+    return entry.task;
+  }
+
+  std::size_t queued() const override {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
+  const std::string& name() const override { return name_; }
+
+ private:
+  struct Entry {
+    TaskPtr task;
+    double work = 0.0;
+  };
+
+  void enqueue(WorkerId worker, const TaskPtr& task) {
+    double work = env_.estimate_work(*task, worker);
+    if (!std::isfinite(work)) work = 0.0;
+    auto& q = queues_[static_cast<std::size_t>(worker)];
+    // Priority-ordered insertion (stable: FIFO among equal priorities).
+    auto it = q.end();
+    while (it != q.begin() &&
+           std::prev(it)->task->spec.priority < task->spec.priority) {
+      --it;
+    }
+    q.insert(it, Entry{task, work});
+    pending_work_[static_cast<std::size_t>(worker)] += work;
+  }
+
+  SchedEnv env_;
+  std::vector<std::deque<Entry>> queues_;
+  std::vector<double> pending_work_;
+  std::string name_ = "dmda";
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name, SchedEnv env) {
+  check(env.workers != nullptr && !env.workers->empty(),
+        "scheduler needs a worker table");
+  if (name == "eager") return std::make_unique<EagerScheduler>(std::move(env));
+  if (name == "random") return std::make_unique<RandomScheduler>(std::move(env));
+  if (name == "ws") return std::make_unique<WorkStealingScheduler>(std::move(env));
+  if (name == "dmda") return std::make_unique<DmdaScheduler>(std::move(env));
+  throw Error(ErrorCode::kInvalidArgument, "unknown scheduler '" + name + "'");
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"eager", "random", "ws", "dmda"};
+}
+
+}  // namespace peppher::rt

@@ -1,0 +1,91 @@
+// Pluggable task schedulers. The default is "dmda" (deque model data aware),
+// the StarPU policy family the paper's tool-generated performance-aware code
+// (TGPA) relies on: it estimates each candidate worker's completion time as
+//   worker-ready time + pending data-transfer time + expected execution time
+// with expected execution time coming from the history-based performance
+// models, and falls back to forced exploration while a variant is
+// uncalibrated.
+//
+// All scheduler methods are invoked by the Engine under its graph mutex, so
+// implementations need no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/task.hpp"
+#include "runtime/types.hpp"
+#include "sim/device.hpp"
+#include "support/rng.hpp"
+
+namespace peppher::rt {
+
+/// Static description of one worker, visible to schedulers.
+struct WorkerDesc {
+  WorkerId id = -1;
+  std::vector<Arch> archs;   ///< architectures this worker can execute
+  MemoryNodeId node = kHostNode;
+  sim::DeviceProfile profile;
+  bool is_combined_cpu = false;  ///< the all-CPU-cores parallel worker
+};
+
+/// Services the Engine provides to scheduler policies.
+struct SchedEnv {
+  const std::vector<WorkerDesc>* workers = nullptr;
+
+  /// Virtual time at which the worker becomes free.
+  std::function<VirtualTime(WorkerId)> worker_ready_at;
+
+  /// True if the worker has an enabled implementation for the task
+  /// (respecting forced_arch / forced_worker).
+  std::function<bool(const Task&, WorkerId)> eligible;
+
+  /// Predicted completion vtime of the task on the worker (ready + transfer
+  /// + expected execution); +infinity if ineligible.
+  std::function<double(const Task&, WorkerId)> estimate_completion;
+
+  /// Just the work part (transfer + expected execution) without the
+  /// worker-ready time; +infinity if ineligible. dmda accumulates this per
+  /// worker to account for tasks that are queued but not yet started.
+  std::function<double(const Task&, WorkerId)> estimate_work;
+
+  /// History sample count for (task footprint, worker's variant); used for
+  /// the calibration/exploration phase. Returns UINT64_MAX if ineligible or
+  /// if exploration is unnecessary (history models disabled).
+  std::function<std::uint64_t(const Task&, WorkerId)> sample_count;
+
+  int calibration_min = 2;  ///< samples needed before a variant is trusted
+  Rng* rng = nullptr;
+};
+
+/// Scheduler interface (no locking needed; see file comment).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Accepts a task that has become ready (dependencies satisfied).
+  virtual void push(const TaskPtr& task) = 0;
+
+  /// Next task for `worker`, or nullptr if none available to it.
+  virtual TaskPtr pop(WorkerId worker) = 0;
+
+  /// Total tasks currently queued (diagnostics).
+  virtual std::size_t queued() const = 0;
+
+  /// Policy name ("eager", "dmda", ...).
+  virtual const std::string& name() const = 0;
+};
+
+/// Creates a scheduler by policy name: "eager", "random", "ws"
+/// (work-stealing) or "dmda". Throws Error(kInvalidArgument) on unknown
+/// names.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name, SchedEnv env);
+
+/// Names accepted by make_scheduler, for help text and parameter sweeps.
+std::vector<std::string> scheduler_names();
+
+}  // namespace peppher::rt

@@ -1,0 +1,97 @@
+// Tasks: one component invocation translated by a generated entry-wrapper
+// into a unit of work for the runtime. Tasks are stateless (the paper §II);
+// the data they operate on is carried by DataHandles.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/codelet.hpp"
+#include "runtime/memory.hpp"
+#include "runtime/types.hpp"
+
+namespace peppher::rt {
+
+/// One data operand of a task.
+struct TaskOperand {
+  DataHandlePtr handle;
+  AccessMode mode = AccessMode::kRead;
+};
+
+enum class TaskState : std::uint8_t {
+  kBlocked,  ///< waiting on data dependencies
+  kReady,    ///< in a scheduler queue
+  kRunning,
+  kDone,     ///< finished (successfully, or failed — see Task::error)
+};
+
+/// What a caller fills in to submit a task; everything else is derived.
+struct TaskSpec {
+  const Codelet* codelet = nullptr;
+  std::vector<TaskOperand> operands;
+
+  /// Type-erased argument blob passed to the implementation; the shared_ptr
+  /// keeps it alive until the task finishes.
+  std::shared_ptr<const void> arg;
+
+  int priority = 0;
+  std::string name;  ///< label for logs; defaults to the codelet name
+
+  /// User-guided static composition: restrict execution to one architecture
+  /// (the entry-wrapper sets this when the descriptor pins a platform).
+  std::optional<Arch> forced_arch;
+  /// Pin to one specific worker (used by the "direct" baselines).
+  std::optional<WorkerId> forced_worker;
+
+  /// Synchronous submission: submit() blocks until the task completes.
+  bool synchronous = false;
+
+  /// Invoked once after the task completes (successfully or failed), from
+  /// the completing worker thread, outside engine locks. Must not block on
+  /// other tasks of the same engine.
+  std::function<void(const Task&)> on_complete;
+};
+
+/// A submitted task. Owned via shared_ptr by the engine, scheduler queues,
+/// and dependency edges.
+class Task {
+ public:
+  explicit Task(TaskSpec spec, std::uint64_t sequence)
+      : spec(std::move(spec)), sequence(sequence) {}
+
+  TaskSpec spec;
+  const std::uint64_t sequence;  ///< submission order, for determinism
+
+  // -- dependency bookkeeping (all guarded by the Engine's graph mutex) -----
+  int unmet_dependencies = 0;
+  std::vector<std::shared_ptr<Task>> successors;
+  VirtualTime max_pred_end = 0.0;  ///< latest vend among finished predecessors
+
+  // -- execution results ----------------------------------------------------
+  TaskState state = TaskState::kBlocked;
+
+  /// Set if the implementation threw or a predecessor failed; rethrown by
+  /// Engine::wait(). Failed tasks complete (waiters wake) but their
+  /// successors are failed transitively without running.
+  std::exception_ptr error;
+
+  bool failed() const noexcept { return error != nullptr; }
+  WorkerId executed_on = -1;
+  Arch executed_arch = Arch::kCpu;
+  std::string executed_impl;
+  VirtualTime vstart = 0.0;
+  VirtualTime vend = 0.0;
+  double exec_seconds = 0.0;  ///< virtual execution time (excl. transfers)
+};
+
+using TaskPtr = std::shared_ptr<Task>;
+
+}  // namespace peppher::rt

@@ -1,0 +1,85 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace peppher::rt {
+
+void Tracer::record(TaskRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<TaskRecord> Tracer::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TaskRecord> snapshot = records();
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "[\n";
+  bool first = true;
+  for (const TaskRecord& r : snapshot) {
+    if (!first) out << ",\n";
+    first = false;
+    // "X" = complete event; ts/dur in microseconds.
+    out << "  {\"name\": \"" << strings::replace_all(r.name, "\"", "'")
+        << "\", \"cat\": \"" << to_string(r.arch)
+        << "\", \"ph\": \"X\", \"ts\": " << r.vstart * 1e6
+        << ", \"dur\": " << (r.vend - r.vstart) * 1e6
+        << ", \"pid\": 1, \"tid\": " << r.worker << ", \"args\": {\"impl\": \""
+        << strings::replace_all(r.impl, "\"", "'") << "\", \"sequence\": "
+        << r.sequence << "}}";
+  }
+  out << "\n]\n";
+  return std::move(out).str();
+}
+
+std::string Tracer::to_text_gantt(int columns) const {
+  const std::vector<TaskRecord> snapshot = records();
+  if (snapshot.empty() || columns <= 0) return "";
+  double makespan = 0.0;
+  std::map<WorkerId, std::string> rows;
+  for (const TaskRecord& r : snapshot) {
+    makespan = std::max(makespan, r.vend);
+    rows.emplace(r.worker, std::string());
+  }
+  if (makespan <= 0.0) return "";
+  for (auto& [worker, row] : rows) {
+    row.assign(static_cast<std::size_t>(columns), '.');
+  }
+  for (const TaskRecord& r : snapshot) {
+    std::string& row = rows[r.worker];
+    const auto col = [&](double t) {
+      return std::min<std::size_t>(
+          static_cast<std::size_t>(columns) - 1,
+          static_cast<std::size_t>(t / makespan * columns));
+    };
+    const char mark = r.name.empty() ? '#' : r.name[0];
+    for (std::size_t c = col(r.vstart); c <= col(r.vend); ++c) row[c] = mark;
+  }
+  std::ostringstream out;
+  out << "virtual makespan: " << makespan << " s\n";
+  for (const auto& [worker, row] : rows) {
+    out << "worker " << worker << " |" << row << "|\n";
+  }
+  return std::move(out).str();
+}
+
+}  // namespace peppher::rt

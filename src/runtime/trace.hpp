@@ -1,0 +1,56 @@
+// Execution tracing: a per-task record of what ran where and when (virtual
+// time), exportable as a chrome://tracing JSON file or a text Gantt chart.
+// StarPU ships the equivalent FxT/Vite tracing; here it doubles as the
+// ground truth for the virtual-time consistency tests and as a debugging
+// aid for scheduling decisions.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace peppher::rt {
+
+/// One completed task execution.
+struct TaskRecord {
+  std::uint64_t sequence = 0;   ///< submission order
+  std::string name;             ///< task/component name
+  std::string impl;             ///< chosen variant
+  Arch arch = Arch::kCpu;
+  WorkerId worker = -1;
+  VirtualTime vstart = 0.0;
+  VirtualTime vend = 0.0;
+};
+
+/// Thread-safe trace collector (attached to an Engine when
+/// EngineConfig::enable_trace is set).
+class Tracer {
+ public:
+  void record(TaskRecord record);
+
+  /// Snapshot of all records so far, in completion order.
+  std::vector<TaskRecord> records() const;
+
+  /// Drops all records (benchmark repetition).
+  void clear();
+
+  std::size_t size() const;
+
+  /// chrome://tracing ("Trace Event Format") JSON: one complete event per
+  /// task, one row per worker; durations in microseconds of virtual time.
+  std::string to_chrome_json() const;
+
+  /// Quick text Gantt chart: one line per worker, `columns` characters wide
+  /// over [0, makespan]. Each task paints its span with the first letter of
+  /// its name; idle time is '.'.
+  std::string to_text_gantt(int columns = 80) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TaskRecord> records_;
+};
+
+}  // namespace peppher::rt

@@ -1,0 +1,52 @@
+#include "runtime/types.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace peppher::rt {
+
+std::string to_string(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kRead: return "read";
+    case AccessMode::kWrite: return "write";
+    case AccessMode::kReadWrite: return "readwrite";
+  }
+  return "readwrite";
+}
+
+AccessMode parse_access_mode(std::string_view text) {
+  const std::string lower = strings::to_lower(strings::trim(text));
+  if (lower == "read" || lower == "r" || lower == "in") return AccessMode::kRead;
+  if (lower == "write" || lower == "w" || lower == "out") return AccessMode::kWrite;
+  if (lower == "readwrite" || lower == "rw" || lower == "inout") {
+    return AccessMode::kReadWrite;
+  }
+  throw Error(ErrorCode::kInvalidArgument,
+              "unknown access mode '" + std::string(text) + "'");
+}
+
+std::string to_string(Arch arch) {
+  switch (arch) {
+    case Arch::kCpu: return "cpu";
+    case Arch::kCpuOmp: return "openmp";
+    case Arch::kCuda: return "cuda";
+    case Arch::kOpenCl: return "opencl";
+  }
+  return "unknown";
+}
+
+Arch parse_arch(std::string_view text) {
+  const std::string lower = strings::to_lower(strings::trim(text));
+  if (lower == "cpu" || lower == "c" || lower == "c++" || lower == "sequential") {
+    return Arch::kCpu;
+  }
+  if (lower == "openmp" || lower == "omp" || lower == "cpu/openmp") {
+    return Arch::kCpuOmp;
+  }
+  if (lower == "cuda" || lower == "gpu") return Arch::kCuda;
+  if (lower == "opencl" || lower == "ocl") return Arch::kOpenCl;
+  throw Error(ErrorCode::kInvalidArgument,
+              "unknown architecture '" + std::string(text) + "'");
+}
+
+}  // namespace peppher::rt

@@ -1,0 +1,54 @@
+// Shared vocabulary types of the PEPPHER runtime system (the StarPU-like
+// task runtime the composition tool targets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace peppher::rt {
+
+/// How a task accesses one of its data operands. Matches both StarPU access
+/// modes and the accessMode field of PEPPHER interface descriptors.
+enum class AccessMode {
+  kRead,       ///< operand is only read
+  kWrite,      ///< operand is fully overwritten (no fetch needed)
+  kReadWrite,  ///< operand is read and modified
+};
+
+std::string to_string(AccessMode mode);
+
+/// Parses "read"/"write"/"readwrite" (case-insensitive); throws on others.
+AccessMode parse_access_mode(std::string_view text);
+
+/// Execution architecture an implementation variant targets. kCpuOmp is a
+/// multi-core CPU variant that occupies *all* CPU workers of the machine (a
+/// StarPU "parallel task"); kCpu is a single-core variant, which is what
+/// partitioned hybrid execution schedules per chunk.
+enum class Arch : std::uint8_t {
+  kCpu = 0,
+  kCpuOmp = 1,
+  kCuda = 2,
+  kOpenCl = 3,
+};
+
+inline constexpr int kArchCount = 4;
+
+std::string to_string(Arch arch);
+
+/// Parses "cpu"/"openmp"/"cuda"/"opencl" (descriptor platform names).
+Arch parse_arch(std::string_view text);
+
+/// Identifies a memory space. Node 0 is always host RAM; accelerator nodes
+/// follow in device order.
+using MemoryNodeId = int;
+inline constexpr MemoryNodeId kHostNode = 0;
+
+/// Identifies a worker (one per CPU core, one combined-CPU worker, one per
+/// accelerator).
+using WorkerId = int;
+
+/// Virtual time in seconds (see src/sim: virtual time is what the
+/// performance models and figure benchmarks operate on).
+using VirtualTime = double;
+
+}  // namespace peppher::rt

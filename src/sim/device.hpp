@@ -1,0 +1,110 @@
+// Device simulation substrate.
+//
+// The paper evaluates on real GPUs (NVIDIA Tesla C2050 / C1060) driven by
+// StarPU. This reproduction has no GPU, so accelerators are *simulated*:
+// each simulated device has its own memory space (separate host allocations
+// standing in for device memory, so coherence and transfers are real code
+// paths) and a roofline execution-cost model that converts a kernel's
+// declared work (flops, bytes, access regularity) into *virtual seconds*.
+// Virtual time drives the performance models, the locality-aware scheduler
+// and every figure benchmark; numerics always come from really executing the
+// kernel on a worker thread.
+//
+// Profile parameters follow the devices' public spec sheets:
+//   * Xeon E5520 core: 2.27 GHz Nehalem, SSE 4-wide SP FMA-less
+//   * Tesla C2050 (Fermi): 1.03 TFLOP/s SP, 144 GB/s, L1/L2 caches
+//   * Tesla C1060 (GT200): 933 GFLOP/s SP, 102 GB/s, no cache hierarchy
+// The cache difference is modelled as the achievable-bandwidth fraction for
+// irregular access patterns — exactly the property Figure 6(a) vs 6(b) of
+// the paper turns on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace peppher::sim {
+
+/// Broad device class, mirroring the platform kinds of PEPPHER descriptors.
+enum class DeviceClass { kCpuCore, kCudaGpu, kOpenClGpu };
+
+std::string to_string(DeviceClass device_class);
+
+/// Performance profile of one execution unit (a CPU core or a whole GPU).
+struct DeviceProfile {
+  std::string name;
+  DeviceClass device_class = DeviceClass::kCpuCore;
+
+  double peak_gflops = 1.0;         ///< single-precision peak of the unit
+  double compute_efficiency = 0.5;  ///< fraction of peak typical kernels reach
+  double mem_bandwidth_gbs = 10.0;  ///< streaming bandwidth (GB/s)
+  double irregular_bw_fraction = 0.3;  ///< achievable BW fraction at regularity 0
+  double launch_overhead_us = 1.0;  ///< fixed per-kernel launch cost
+  double memory_mb = 4096.0;        ///< memory capacity of the unit's node
+  double busy_watts = 50.0;         ///< draw while executing (energy model)
+
+  // -- canned profiles used by the reproduction ----------------------------
+
+  /// One core of the paper's Intel Xeon E5520 @ 2.27 GHz host.
+  static DeviceProfile xeon_e5520_core();
+  /// NVIDIA Tesla C2050 (Fermi, with L1/L2 cache) — Figure 6(a) platform.
+  static DeviceProfile tesla_c2050();
+  /// NVIDIA Tesla C1060 (GT200, no cache) — Figure 6(b) platform.
+  static DeviceProfile tesla_c1060();
+  /// A generic mid-range OpenCL accelerator (the PEPPHER component model
+  /// treats OpenCL as a first-class backend; §IV-C lists it alongside CUDA).
+  static DeviceProfile generic_opencl_gpu();
+};
+
+/// Work declared by a kernel for one execution: the roofline inputs.
+struct KernelCost {
+  double flops = 0.0;      ///< floating-point operations
+  double bytes = 0.0;      ///< DRAM traffic (bytes moved)
+  double regularity = 1.0; ///< 1 = perfectly streaming, 0 = fully irregular
+
+  KernelCost scaled(double factor) const {
+    return KernelCost{flops * factor, bytes * factor, regularity};
+  }
+};
+
+/// Roofline execution time of `cost` on `device`, in (virtual) seconds:
+///   overhead + max(flops / achieved_flops, bytes / achieved_bandwidth)
+/// where achieved bandwidth degrades linearly from full (regularity 1) to
+/// `irregular_bw_fraction` (regularity 0).
+double execution_seconds(const DeviceProfile& device, const KernelCost& cost);
+
+/// An interconnect between two memory spaces (PCIe in this reproduction).
+struct LinkProfile {
+  double latency_us = 10.0;
+  double bandwidth_gbs = 8.0;
+
+  /// PCIe 2.0 x16 as on the paper's evaluation hosts.
+  static LinkProfile pcie2_x16();
+};
+
+/// Time to move `bytes` across `link`, in (virtual) seconds.
+double transfer_seconds(const LinkProfile& link, std::size_t bytes);
+
+/// Machine description: N identical CPU cores plus zero or more accelerators
+/// reached over a shared link. Mirrors the paper's two evaluation platforms.
+struct MachineConfig {
+  std::string name;
+  int cpu_cores = 4;
+  DeviceProfile cpu_core = DeviceProfile::xeon_e5520_core();
+  std::vector<DeviceProfile> accelerators;
+  LinkProfile link = LinkProfile::pcie2_x16();
+
+  /// The paper's main platform: 4 Xeon E5520 cores + Tesla C2050.
+  static MachineConfig platform_c2050();
+  /// The secondary platform: same CPUs + lower-end Tesla C1060.
+  static MachineConfig platform_c1060();
+  /// Same CPUs + a generic OpenCL accelerator.
+  static MachineConfig platform_opencl();
+  /// Multi-GPU platform: same CPUs + two Tesla C2050s sharing the PCIe
+  /// link (the component model's multi-GPU case; abstract of the paper).
+  static MachineConfig platform_dual_c2050();
+  /// CPU-only machine (useful for tests).
+  static MachineConfig cpu_only(int cores = 4);
+};
+
+}  // namespace peppher::sim

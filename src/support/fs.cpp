@@ -1,0 +1,95 @@
+#include "support/fs.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace peppher::fs {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error(ErrorCode::kIoError, "cannot open file for reading: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw Error(ErrorCode::kIoError, "read failure on: " + path.string());
+  }
+  return std::move(buffer).str();
+}
+
+void write_file(const std::filesystem::path& path, std::string_view content) {
+  if (path.has_parent_path()) make_dirs(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw Error(ErrorCode::kIoError, "cannot open file for writing: " + path.string());
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) {
+    throw Error(ErrorCode::kIoError, "write failure on: " + path.string());
+  }
+}
+
+void make_dirs(const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    throw Error(ErrorCode::kIoError,
+                "cannot create directory " + path.string() + ": " + ec.message());
+  }
+}
+
+namespace {
+std::vector<std::filesystem::path> collect(const std::filesystem::path& dir,
+                                           std::string_view suffix, bool recursive) {
+  std::vector<std::filesystem::path> out;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return out;
+  auto matches = [&](const std::filesystem::directory_entry& entry) {
+    return entry.is_regular_file() &&
+           (suffix.empty() || strings::ends_with(entry.path().string(), suffix));
+  };
+  if (recursive) {
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+      if (matches(entry)) out.push_back(entry.path());
+    }
+  } else {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (matches(entry)) out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+std::vector<std::filesystem::path> list_files(const std::filesystem::path& dir,
+                                              std::string_view suffix) {
+  return collect(dir, suffix, /*recursive=*/false);
+}
+
+std::vector<std::filesystem::path> list_files_recursive(
+    const std::filesystem::path& dir, std::string_view suffix) {
+  return collect(dir, suffix, /*recursive=*/true);
+}
+
+std::size_t count_source_lines(const std::filesystem::path& path) {
+  const std::string text = read_file(path);
+  std::size_t lines = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (!strings::trim(std::string_view(text).substr(start, end - start)).empty()) {
+      ++lines;
+    }
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace peppher::fs

@@ -1,0 +1,59 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace peppher::log {
+namespace {
+
+Level parse_env_level() {
+  const char* env = std::getenv("PEPPHER_LOG");
+  if (env == nullptr) return Level::kWarn;
+  std::string_view v(env);
+  if (v == "trace") return Level::kTrace;
+  if (v == "debug") return Level::kDebug;
+  if (v == "info") return Level::kInfo;
+  if (v == "warn") return Level::kWarn;
+  if (v == "error") return Level::kError;
+  if (v == "off") return Level::kOff;
+  return Level::kWarn;
+}
+
+std::atomic<Level>& threshold_storage() {
+  static std::atomic<Level> level{parse_env_level()};
+  return level;
+}
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level threshold() noexcept { return threshold_storage().load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) noexcept {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+void write(Level level, std::string_view component, std::string_view message) {
+  if (level < threshold()) return;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[peppher %.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(level).size()), level_name(level).data(),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace peppher::log

@@ -1,0 +1,85 @@
+// Minimal thread-safe logging used across the runtime and the composition
+// tool. Controlled by the PEPPHER_LOG environment variable
+// (trace|debug|info|warn|error, default warn) or programmatically.
+//
+// Messages use "{}" placeholders filled left to right (a tiny subset of
+// std::format, which this toolchain does not ship).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace peppher::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current global threshold; messages below it are dropped.
+Level threshold() noexcept;
+
+/// Overrides the threshold (also overrides PEPPHER_LOG).
+void set_threshold(Level level) noexcept;
+
+/// Emits one line to stderr if `level >= threshold()`. Thread safe.
+void write(Level level, std::string_view component, std::string_view message);
+
+namespace detail {
+
+inline void format_into(std::ostringstream& out, std::string_view fmt) {
+  out << fmt;
+}
+
+template <typename First, typename... Rest>
+void format_into(std::ostringstream& out, std::string_view fmt, First&& first,
+                 Rest&&... rest) {
+  const std::size_t slot = fmt.find("{}");
+  if (slot == std::string_view::npos) {
+    out << fmt;
+    return;
+  }
+  out << fmt.substr(0, slot) << first;
+  format_into(out, fmt.substr(slot + 2), std::forward<Rest>(rest)...);
+}
+
+template <typename... Args>
+std::string format(std::string_view fmt, Args&&... args) {
+  std::ostringstream out;
+  format_into(out, fmt, std::forward<Args>(args)...);
+  return std::move(out).str();
+}
+
+}  // namespace detail
+
+/// Convenience wrappers; `component` tags the subsystem ("runtime",
+/// "compose", ...).
+template <typename... Args>
+void trace(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (threshold() <= Level::kTrace)
+    write(Level::kTrace, component, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void debug(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (threshold() <= Level::kDebug)
+    write(Level::kDebug, component, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void info(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (threshold() <= Level::kInfo)
+    write(Level::kInfo, component, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void warn(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (threshold() <= Level::kWarn)
+    write(Level::kWarn, component, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void error(std::string_view component, std::string_view fmt, Args&&... args) {
+  if (threshold() <= Level::kError)
+    write(Level::kError, component, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+}  // namespace peppher::log

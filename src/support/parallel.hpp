@@ -1,0 +1,48 @@
+// Tiny fork-join helper used by the "OpenMP" implementation variants of the
+// evaluation kernels. The paper's OpenMP variants are multi-core CPU codes;
+// this reproduction implements them with std::thread so no OpenMP runtime
+// dependency is needed (see DESIGN.md §6).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace peppher {
+
+/// Runs `body(chunk_begin, chunk_end)` over [begin, end) split into at most
+/// `threads` contiguous chunks, each on its own thread. With threads <= 1 or
+/// a tiny range the body runs inline. `body` must be safe to run
+/// concurrently on disjoint chunks.
+inline void parallel_for(int threads, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  const std::size_t max_chunks = std::max<std::size_t>(1, static_cast<std::size_t>(threads));
+  const std::size_t chunks = std::min(max_chunks, count);
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(chunks - 1);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::size_t cursor = begin;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    const std::size_t chunk_begin = cursor;
+    const std::size_t chunk_end = cursor + len;
+    cursor = chunk_end;
+    if (i + 1 == chunks) {
+      body(chunk_begin, chunk_end);  // run the last chunk inline
+    } else {
+      pool.emplace_back([&body, chunk_begin, chunk_end] { body(chunk_begin, chunk_end); });
+    }
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace peppher

@@ -1,0 +1,49 @@
+// Small string utilities used by the XML parser, the declaration parser and
+// descriptor handling. All functions are pure and allocation-explicit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peppher::strings {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on `separator`; empty fields are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Splits on any ASCII whitespace run; empty fields are dropped.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// True if `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Replaces every occurrence of `from` (must be non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// Parses a whole string as a long; nullopt on any trailing garbage.
+std::optional<long long> to_int(std::string_view text) noexcept;
+
+/// Parses a whole string as a double; nullopt on any trailing garbage.
+std::optional<double> to_double(std::string_view text) noexcept;
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view text);
+
+/// True if `text` is a valid C identifier ([A-Za-z_][A-Za-z0-9_]*).
+bool is_identifier(std::string_view text) noexcept;
+
+/// Indents every line of `text` by `spaces` spaces (used by code generation).
+std::string indent(std::string_view text, int spaces);
+
+}  // namespace peppher::strings

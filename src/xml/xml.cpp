@@ -1,0 +1,402 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/strings.hpp"
+
+namespace peppher::xml {
+
+// ---------------------------------------------------------------------------
+// Element
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> Element::attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+const std::string& Element::required_attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  throw Error(ErrorCode::kNotFound,
+              "element <" + name_ + "> lacks required attribute '" +
+                  std::string(key) + "'");
+}
+
+void Element::set_attribute(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::string(key), std::string(value));
+}
+
+Element& Element::append_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::append_child(std::unique_ptr<Element> child) {
+  check(child != nullptr, "append_child: null subtree");
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::child(std::string_view name) const noexcept {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::child(std::string_view name) noexcept {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+const Element& Element::required_child(std::string_view name) const {
+  const Element* c = child(name);
+  if (c == nullptr) {
+    throw Error(ErrorCode::kNotFound, "element <" + name_ +
+                                          "> lacks required child <" +
+                                          std::string(name) + ">");
+  }
+  return *c;
+}
+
+std::vector<const Element*> Element::children(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const Element* Element::find_path(std::string_view path) const noexcept {
+  const Element* cur = this;
+  size_t start = 0;
+  while (cur != nullptr && start <= path.size()) {
+    size_t end = path.find('/', start);
+    std::string_view hop =
+        path.substr(start, end == std::string_view::npos ? path.size() - start
+                                                         : end - start);
+    if (!hop.empty()) cur = cur->child(hop);
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return cur;
+}
+
+std::string Element::child_text(std::string_view name, std::string_view fallback) const {
+  const Element* c = child(name);
+  return c != nullptr ? c->text() : std::string(fallback);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Document parse_document() {
+    Document doc;
+    skip_misc(&doc.declaration);
+    if (at_end()) throw err("document has no root element");
+    doc.root = parse_element();
+    skip_misc(nullptr);
+    if (!at_end()) throw err("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+
+  [[nodiscard]] ParseError err(const std::string& message) const {
+    return ParseError(message, "line " + std::to_string(line_));
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return at_end() ? '\0' : text_[pos_]; }
+  char peek_at(size_t offset) const noexcept {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+
+  char advance() {
+    char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (at_end() || peek() != c) {
+      throw err(std::string("expected '") + c + "'");
+    }
+    advance();
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    for (size_t i = 0; i < literal.size(); ++i) advance();
+    return true;
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+  }
+
+  /// Skips whitespace, comments and (outside elements) the XML declaration.
+  void skip_misc(std::string* declaration) {
+    while (true) {
+      skip_whitespace();
+      if (consume_literal("<!--")) {
+        skip_until("-->");
+      } else if (declaration != nullptr && consume_literal("<?xml")) {
+        size_t start = pos_;
+        skip_until("?>");
+        *declaration = std::string(
+            strings::trim(text_.substr(start, pos_ - 2 - start)));
+        declaration = nullptr;  // only one declaration allowed
+      } else if (consume_literal("<!DOCTYPE")) {
+        skip_until(">");  // tolerated and ignored
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_until(std::string_view terminator) {
+    while (!at_end()) {
+      if (consume_literal(terminator)) return;
+      advance();
+    }
+    throw err("unterminated construct; expected '" + std::string(terminator) + "'");
+  }
+
+  static bool is_name_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+           c == '.' || c == ':';
+  }
+
+  std::string parse_name() {
+    size_t start = pos_;
+    while (!at_end() && is_name_char(peek())) advance();
+    if (pos_ == start) throw err("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) throw err("unterminated entity reference");
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "amp") out += '&';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else if (!entity.empty() && entity[0] == '#') {
+        long long code = 0;
+        bool ok = false;
+        if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+          code = std::strtoll(std::string(entity.substr(2)).c_str(), nullptr, 16);
+          ok = entity.size() > 2;
+        } else if (auto v = strings::to_int(entity.substr(1))) {
+          code = *v;
+          ok = true;
+        }
+        if (!ok || code <= 0 || code > 0x10FFFF) throw err("bad character reference");
+        // Encode as UTF-8.
+        auto emit = [&out](long long c) {
+          if (c < 0x80) {
+            out += static_cast<char>(c);
+          } else if (c < 0x800) {
+            out += static_cast<char>(0xC0 | (c >> 6));
+            out += static_cast<char>(0x80 | (c & 0x3F));
+          } else if (c < 0x10000) {
+            out += static_cast<char>(0xE0 | (c >> 12));
+            out += static_cast<char>(0x80 | ((c >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (c & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (c >> 18));
+            out += static_cast<char>(0x80 | ((c >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((c >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (c & 0x3F));
+          }
+        };
+        emit(code);
+      } else {
+        throw err("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    if (peek() != '"' && peek() != '\'') throw err("expected quoted attribute value");
+    char quote = advance();
+    size_t start = pos_;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '<') throw err("'<' not allowed in attribute value");
+      advance();
+    }
+    if (at_end()) throw err("unterminated attribute value");
+    std::string value = decode_entities(text_.substr(start, pos_ - start));
+    advance();  // closing quote
+    return value;
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    expect('<');
+    auto element = std::make_unique<Element>(parse_name());
+    // Attributes.
+    while (true) {
+      skip_whitespace();
+      if (at_end()) throw err("unterminated start tag <" + element->name() + ">");
+      if (peek() == '/' || peek() == '>') break;
+      std::string key = parse_name();
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      if (element->attribute(key).has_value()) {
+        throw err("duplicate attribute '" + key + "'");
+      }
+      element->set_attribute(key, parse_attribute_value());
+    }
+    if (peek() == '/') {
+      advance();
+      expect('>');
+      return element;  // self-closing
+    }
+    expect('>');
+    // Content.
+    std::string text;
+    while (true) {
+      if (at_end()) throw err("unterminated element <" + element->name() + ">");
+      if (peek() == '<') {
+        if (peek_at(1) == '/') {
+          consume_literal("</");
+          std::string closing = parse_name();
+          if (closing != element->name()) {
+            throw err("mismatched closing tag </" + closing + "> for <" +
+                      element->name() + ">");
+          }
+          skip_whitespace();
+          expect('>');
+          break;
+        }
+        if (consume_literal("<!--")) {
+          skip_until("-->");
+          continue;
+        }
+        if (consume_literal("<![CDATA[")) {
+          size_t start = pos_;
+          skip_until("]]>");
+          text += text_.substr(start, pos_ - 3 - start);
+          continue;
+        }
+        element->append_child(parse_element());
+      } else {
+        size_t start = pos_;
+        while (!at_end() && peek() != '<') advance();
+        text += decode_entities(text_.substr(start, pos_ - start));
+      }
+    }
+    element->set_text(std::string(strings::trim(text)));
+    return element;
+  }
+};
+
+void serialize_into(const Element& element, std::string& out, int depth,
+                    bool pretty) {
+  const std::string pad = pretty ? std::string(static_cast<size_t>(depth) * 2, ' ')
+                                 : std::string();
+  out += pad;
+  out += '<';
+  out += element.name();
+  for (const auto& [k, v] : element.attributes()) {
+    out += ' ';
+    out += k;
+    out += "=\"";
+    out += escape(v);
+    out += '"';
+  }
+  const bool has_children = element.child_count() > 0;
+  const bool has_text = !element.text().empty();
+  if (!has_children && !has_text) {
+    out += "/>";
+    if (pretty) out += '\n';
+    return;
+  }
+  out += '>';
+  if (has_text) out += escape(element.text());
+  if (has_children) {
+    if (pretty) out += '\n';
+    for (const auto& child : element.all_children()) {
+      serialize_into(*child, out, depth + 1, pretty);
+    }
+    out += pad;
+  }
+  out += "</";
+  out += element.name();
+  out += '>';
+  if (pretty) out += '\n';
+}
+
+}  // namespace
+
+Document parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Document parse_file(const std::string& path) {
+  try {
+    return parse(fs::read_file(path));
+  } catch (const ParseError& e) {
+    throw ParseError(std::string(e.what()), path);
+  }
+}
+
+std::string serialize(const Element& root, bool include_declaration) {
+  std::string out;
+  if (include_declaration) out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  serialize_into(root, out, 0, /*pretty=*/true);
+  return out;
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace peppher::xml

@@ -1,0 +1,111 @@
+// From-scratch XML DOM parser/serialiser — the substrate beneath all PEPPHER
+// descriptors (interface, implementation, platform, main-module).
+//
+// Supported subset (everything the PEPPHER descriptor formats need):
+//   * elements with attributes, nesting, and mixed text content
+//   * XML declaration (<?xml ... ?>), comments, CDATA sections
+//   * the five predefined entities plus decimal/hex character references
+// Not supported: DTDs, namespaces-as-semantics (prefixes are kept verbatim
+// in names), processing instructions other than the declaration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace peppher::xml {
+
+/// One XML element. Children are owned; text content is the concatenation of
+/// the element's text nodes (interleaving order with child elements is not
+/// preserved — descriptors never rely on mixed content ordering).
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Concatenated character data directly inside this element, whitespace
+  /// trimmed at both ends.
+  const std::string& text() const noexcept { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // -- attributes (insertion-ordered) --------------------------------------
+
+  /// Value of attribute `key`, or nullopt.
+  std::optional<std::string> attribute(std::string_view key) const;
+
+  /// Value of attribute `key`; throws Error(kNotFound) if absent.
+  const std::string& required_attribute(std::string_view key) const;
+
+  /// Sets (or overwrites) an attribute.
+  void set_attribute(std::string_view key, std::string_view value);
+
+  /// All attributes in document order.
+  const std::vector<std::pair<std::string, std::string>>& attributes() const noexcept {
+    return attributes_;
+  }
+
+  // -- children -------------------------------------------------------------
+
+  /// Appends a child element and returns a reference to it.
+  Element& append_child(std::string name);
+
+  /// Appends an already-built subtree.
+  Element& append_child(std::unique_ptr<Element> child);
+
+  /// First child with the given name, or nullptr.
+  const Element* child(std::string_view name) const noexcept;
+  Element* child(std::string_view name) noexcept;
+
+  /// First child with the given name; throws Error(kNotFound) if absent.
+  const Element& required_child(std::string_view name) const;
+
+  /// All children with the given name, in document order.
+  std::vector<const Element*> children(std::string_view name) const;
+
+  /// All children, in document order.
+  const std::vector<std::unique_ptr<Element>>& all_children() const noexcept {
+    return children_;
+  }
+
+  /// Descends a '/'-separated path of child names ("ports/port"); returns
+  /// nullptr if any hop is missing. Follows first matches only.
+  const Element* find_path(std::string_view path) const noexcept;
+
+  /// Text of the first child named `name`, or `fallback`.
+  std::string child_text(std::string_view name, std::string_view fallback = "") const;
+
+  /// Number of direct children.
+  std::size_t child_count() const noexcept { return children_.size(); }
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// A parsed document: the root element plus the declaration, if present.
+struct Document {
+  std::unique_ptr<Element> root;
+  std::string declaration;  ///< raw content of <?xml ... ?>, may be empty
+};
+
+/// Parses XML text. Throws ParseError (with a line number) on malformed
+/// input.
+Document parse(std::string_view text);
+
+/// Parses the file at `path`.
+Document parse_file(const std::string& path);
+
+/// Serialises an element tree with 2-space indentation. Text-only elements
+/// are emitted on one line.
+std::string serialize(const Element& root, bool include_declaration = true);
+
+/// Escapes the five predefined entities in character data / attributes.
+std::string escape(std::string_view raw);
+
+}  // namespace peppher::xml

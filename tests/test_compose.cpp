@@ -1,0 +1,351 @@
+// Composition-tool IR tests: tree building, bottom-up exploration,
+// machine-based filtering, user-guided static narrowing and generic
+// component expansion.
+#include <gtest/gtest.h>
+
+#include "compose/expand.hpp"
+#include "compose/ir.hpp"
+#include "support/error.hpp"
+
+namespace peppher::compose {
+namespace {
+
+desc::Repository make_repo() {
+  desc::Repository repo;
+  repo.load_text(R"(<peppher-interface name="spmv">
+      <function returnType="void">
+        <param name="y" type="float*" accessMode="write" size="n"/>
+        <param name="n" type="int" accessMode="read"/>
+      </function>
+    </peppher-interface>)");
+  repo.load_text(R"(<peppher-implementation name="spmv_cpu" interface="spmv">
+      <platform language="cpu"/></peppher-implementation>)");
+  repo.load_text(R"(<peppher-implementation name="spmv_omp" interface="spmv">
+      <platform language="openmp"/></peppher-implementation>)");
+  repo.load_text(R"(<peppher-implementation name="spmv_cusp" interface="spmv">
+      <platform language="cuda"/></peppher-implementation>)");
+  repo.load_text(R"(<peppher-implementation name="spmv_ocl" interface="spmv">
+      <platform language="opencl"/></peppher-implementation>)");
+  repo.load_text(R"(<peppher-main name="app" source="main.cpp">
+      <uses interface="spmv"/>
+    </peppher-main>)");
+  return repo;
+}
+
+TEST(ComposeIr, BuildsTreeFromMainUses) {
+  const desc::Repository repo = make_repo();
+  const ComponentTree tree = build_tree(repo, Recipe{});
+  ASSERT_EQ(tree.components.size(), 1u);
+  EXPECT_EQ(tree.components[0].interface.name, "spmv");
+  EXPECT_EQ(tree.components[0].variants.size(), 4u);
+  EXPECT_EQ(tree.main.name, "app");
+}
+
+TEST(ComposeIr, MachineFiltersUnavailableArchitectures) {
+  const desc::Repository repo = make_repo();
+  const ComponentTree tree = build_tree(repo, Recipe{});  // c2050: no OpenCL
+  const ComponentNode& node = tree.components[0];
+  EXPECT_EQ(node.enabled_variants().size(), 3u);
+  for (const VariantNode& v : node.variants) {
+    if (v.descriptor.name == "spmv_ocl") {
+      EXPECT_FALSE(v.enabled);
+      EXPECT_NE(v.disabled_reason.find("not present"), std::string::npos);
+    }
+  }
+}
+
+TEST(ComposeIr, CpuOnlyMachineDisablesCuda) {
+  const desc::Repository repo = make_repo();
+  Recipe recipe;
+  recipe.machine = sim::MachineConfig::cpu_only();
+  const ComponentTree tree = build_tree(repo, recipe);
+  const auto enabled = tree.components[0].enabled_variants();
+  ASSERT_EQ(enabled.size(), 2u);  // cpu + openmp
+  for (const VariantNode* v : enabled) {
+    EXPECT_TRUE(v->arch() == rt::Arch::kCpu || v->arch() == rt::Arch::kCpuOmp);
+  }
+}
+
+TEST(ComposeIr, MissingMainThrows) {
+  desc::Repository repo;
+  EXPECT_THROW(build_tree(repo, Recipe{}), Error);
+}
+
+TEST(ComposeIr, UnknownUsedInterfaceThrows) {
+  desc::Repository repo;
+  repo.load_text(R"(<peppher-main name="app">
+      <uses interface="ghost"/></peppher-main>)");
+  EXPECT_THROW(build_tree(repo, Recipe{}), Error);
+}
+
+TEST(ComposeIr, RequiredInterfacesArePulledInBottomUp) {
+  desc::Repository repo = make_repo();
+  repo.load_text(R"(<peppher-interface name="reduce">
+      <function returnType="void"/></peppher-interface>)");
+  repo.load_text(R"(<peppher-implementation name="reduce_cpu" interface="reduce">
+      <platform language="cpu"/></peppher-implementation>)");
+  repo.load_text(R"(<peppher-implementation name="spmv_fancy" interface="spmv">
+      <platform language="cpu"/>
+      <requires><interface name="reduce"/></requires>
+    </peppher-implementation>)");
+  const ComponentTree tree = build_tree(repo, Recipe{});
+  ASSERT_EQ(tree.components.size(), 2u);
+  EXPECT_EQ(tree.components[0].interface.name, "reduce");  // requirement first
+  EXPECT_EQ(tree.components[1].interface.name, "spmv");
+}
+
+TEST(ComposeIr, MainDescriptorSwitchesMergeIntoRecipe) {
+  desc::Repository repo = make_repo();
+  repo.load_text(R"(<peppher-main name="app">
+      <uses interface="spmv"/>
+      <composition useHistoryModels="false" scheduler="eager">
+        <disableImpls name="spmv_cpu"/>
+      </composition>
+    </peppher-main>)");
+  const ComponentTree tree = build_tree(repo, Recipe{});
+  EXPECT_EQ(tree.recipe.use_history_models, false);
+  EXPECT_EQ(tree.recipe.scheduler.value(), "eager");
+  ASSERT_EQ(tree.recipe.disable_impls.size(), 1u);
+  EXPECT_EQ(tree.recipe.disable_impls[0], "spmv_cpu");
+}
+
+TEST(ComposeIr, RecipeOverridesMainDescriptor) {
+  desc::Repository repo = make_repo();
+  repo.load_text(R"(<peppher-main name="app">
+      <uses interface="spmv"/>
+      <composition useHistoryModels="false" scheduler="eager"/>
+    </peppher-main>)");
+  Recipe recipe;
+  recipe.use_history_models = true;
+  recipe.scheduler = "dmda";
+  const ComponentTree tree = build_tree(repo, recipe);
+  EXPECT_EQ(tree.recipe.use_history_models, true);
+  EXPECT_EQ(tree.recipe.scheduler.value(), "dmda");
+}
+
+// -- static narrowing ------------------------------------------------------------
+
+TEST(StaticNarrowing, DisableImplsByName) {
+  const desc::Repository repo = make_repo();
+  Recipe recipe;
+  recipe.disable_impls = {"spmv_cpu"};
+  ComponentTree tree = build_tree(repo, recipe);
+  const auto report = apply_static_narrowing(tree);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(tree.components[0].enabled_variants().size(), 2u);
+}
+
+TEST(StaticNarrowing, DisableImplsByArchitecture) {
+  const desc::Repository repo = make_repo();
+  Recipe recipe;
+  recipe.disable_impls = {"cuda"};
+  ComponentTree tree = build_tree(repo, recipe);
+  apply_static_narrowing(tree);
+  for (const VariantNode* v : tree.components[0].enabled_variants()) {
+    EXPECT_NE(v->arch(), rt::Arch::kCuda);
+  }
+}
+
+TEST(StaticNarrowing, DisablingEverythingThrows) {
+  const desc::Repository repo = make_repo();
+  Recipe recipe;
+  recipe.disable_impls = {"cpu", "openmp", "cuda", "opencl"};
+  ComponentTree tree = build_tree(repo, recipe);
+  EXPECT_THROW(apply_static_narrowing(tree), Error);
+}
+
+TEST(StaticNarrowing, ImpossibleConstraintDisablesVariant) {
+  desc::Repository repo = make_repo();
+  repo.load_text(R"(<peppher-implementation name="spmv_never" interface="spmv">
+      <platform language="cpu"/>
+      <constraints><constraint param="n" min="10" max="5"/></constraints>
+    </peppher-implementation>)");
+  ComponentTree tree = build_tree(repo, Recipe{});
+  apply_static_narrowing(tree);
+  for (const VariantNode& v : tree.components[0].variants) {
+    if (v.descriptor.name == "spmv_never") {
+      EXPECT_FALSE(v.enabled);
+    }
+  }
+}
+
+TEST(ComposeIr, DescribePrintsTreeAndDisablement) {
+  const desc::Repository repo = make_repo();
+  Recipe recipe;
+  recipe.disable_impls = {"spmv_cpu"};
+  ComponentTree tree = build_tree(repo, recipe);
+  apply_static_narrowing(tree);
+  const std::string text = describe(tree);
+  EXPECT_NE(text.find("component tree for application 'app'"), std::string::npos);
+  EXPECT_NE(text.find("void spmv("), std::string::npos);
+  EXPECT_NE(text.find("[ ] spmv_cpu"), std::string::npos);
+  EXPECT_NE(text.find("[x] spmv_omp"), std::string::npos);
+  EXPECT_NE(text.find("not present on target machine"), std::string::npos);
+}
+
+TEST(ComposeIr, LibraryModeComposesWithoutMainModule) {
+  desc::Repository repo = make_repo();
+  const ComponentTree tree =
+      build_tree_for_interfaces(repo, {"spmv"}, Recipe{});
+  ASSERT_EQ(tree.components.size(), 1u);
+  EXPECT_EQ(tree.main.name, "library");
+  // And it is code-generatable like any application tree.
+  // (The spmv interface here has a size attribute on its operand.)
+}
+
+// -- generic expansion -------------------------------------------------------------
+
+desc::Repository make_generic_repo() {
+  desc::Repository repo;
+  repo.load_text(R"(<peppher-interface name="sort">
+      <function returnType="void">
+        <param name="data" type="Vector&lt;T&gt;&amp;" accessMode="readwrite"/>
+        <param name="n" type="T" accessMode="read"/>
+      </function>
+      <templateParam name="T"/>
+    </peppher-interface>)");
+  repo.load_text(R"(<peppher-implementation name="sort_cpu" interface="sort">
+      <platform language="cpu"/></peppher-implementation>)");
+  repo.load_text(R"(<peppher-main name="app">
+      <uses interface="sort"/></peppher-main>)");
+  return repo;
+}
+
+TEST(Expansion, InstantiatesOneComponentPerBinding) {
+  const desc::Repository repo = make_generic_repo();
+  Recipe recipe;
+  recipe.bindings = {{"T", {"float", "double"}}};
+  ComponentTree tree = build_tree(repo, recipe);
+  const auto report = expand_generics(tree);
+  ASSERT_EQ(tree.components.size(), 2u);
+  EXPECT_EQ(tree.components[0].interface.name, "sort_float");
+  EXPECT_EQ(tree.components[1].interface.name, "sort_double");
+  EXPECT_EQ(tree.components[0].interface.params[0].type, "Vector<float>&");
+  EXPECT_EQ(tree.components[0].interface.params[1].type, "float");
+  EXPECT_FALSE(tree.components[0].interface.is_generic());
+  EXPECT_EQ(tree.components[0].variants[0].descriptor.name, "sort_cpu_float");
+  EXPECT_EQ(tree.components[0].expanded_from, "sort");
+  EXPECT_EQ(report.size(), 2u);
+}
+
+TEST(Expansion, UnboundGenericIsRemovedWithReport) {
+  const desc::Repository repo = make_generic_repo();
+  ComponentTree tree = build_tree(repo, Recipe{});
+  const auto report = expand_generics(tree);
+  EXPECT_TRUE(tree.components.empty());
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_NE(report[0].find("no type binding"), std::string::npos);
+}
+
+TEST(Expansion, NonGenericComponentsPassThrough) {
+  const desc::Repository repo = make_repo();
+  ComponentTree tree = build_tree(repo, Recipe{});
+  expand_generics(tree);
+  ASSERT_EQ(tree.components.size(), 1u);
+  EXPECT_EQ(tree.components[0].interface.name, "spmv");
+}
+
+TEST(Expansion, MangleType) {
+  EXPECT_EQ(mangle_type("float"), "float");
+  EXPECT_EQ(mangle_type("unsigned long"), "unsigned_long");
+  EXPECT_EQ(mangle_type("std::pair<int, int>"), "std_pair_int_int");
+}
+
+TEST(Expansion, SubstituteTypeIsWordAware) {
+  const Binding binding = {{"T", "float"}};
+  EXPECT_EQ(substitute_type("Vector<T>&", binding), "Vector<float>&");
+  EXPECT_EQ(substitute_type("T*", binding), "float*");
+  // 'T' inside identifiers must not be replaced.
+  EXPECT_EQ(substitute_type("MyType<T>", binding), "MyType<float>");
+  EXPECT_EQ(substitute_type("TT", binding), "TT");
+}
+
+// -- tunable expansion (the paper's §IV-B future-work feature) -----------------
+
+TEST(TunableExpansion, OneVariantPerValueCombination) {
+  desc::Repository repo = make_repo();
+  repo.load_text(R"(<peppher-implementation name="spmv_tiled" interface="spmv">
+      <platform language="cuda"/>
+      <compilation command="nvcc" options="-O3"/>
+      <tunables>
+        <tunable name="block_size" values="64,128" default="128"/>
+        <tunable name="unroll" values="1,4"/>
+      </tunables>
+    </peppher-implementation>)");
+  ComponentTree tree = build_tree(repo, Recipe{});
+  const auto report = expand_tunables(tree);
+  EXPECT_EQ(report.size(), 4u);  // 2 x 2 combinations
+
+  std::vector<std::string> names;
+  for (const VariantNode& v : tree.components[0].variants) {
+    names.push_back(v.descriptor.name);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "spmv_tiled__block_size_64__unroll_1"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "spmv_tiled__block_size_128__unroll_4"),
+            names.end());
+  // Untuned variants pass through unchanged.
+  EXPECT_NE(std::find(names.begin(), names.end(), "spmv_cpu"), names.end());
+  // The original multi-valued variant is gone.
+  EXPECT_EQ(std::find(names.begin(), names.end(), "spmv_tiled"), names.end());
+}
+
+TEST(TunableExpansion, InstancesGetBindingDefines) {
+  desc::Repository repo = make_repo();
+  repo.load_text(R"(<peppher-implementation name="spmv_tiled" interface="spmv">
+      <platform language="cuda"/>
+      <compilation command="nvcc" options="-O3"/>
+      <tunables><tunable name="block_size" values="64,128"/></tunables>
+    </peppher-implementation>)");
+  ComponentTree tree = build_tree(repo, Recipe{});
+  expand_tunables(tree);
+  bool found = false;
+  for (const VariantNode& v : tree.components[0].variants) {
+    if (v.descriptor.name == "spmv_tiled__block_size_64") {
+      found = true;
+      EXPECT_NE(v.descriptor.compile_options.find("-DBLOCK_SIZE=64"),
+                std::string::npos);
+      EXPECT_NE(v.descriptor.compile_options.find(
+                    "-DPEPPHER_IMPL_NAME=spmv_tiled__block_size_64"),
+                std::string::npos);
+      EXPECT_TRUE(v.descriptor.tunables.empty());  // fully bound
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TunableExpansion, NoTunablesIsIdentity) {
+  const desc::Repository repo = make_repo();
+  ComponentTree tree = build_tree(repo, Recipe{});
+  const std::size_t before = tree.components[0].variants.size();
+  EXPECT_TRUE(expand_tunables(tree).empty());
+  EXPECT_EQ(tree.components[0].variants.size(), before);
+}
+
+TEST(Expansion, MultiParameterCartesianProduct) {
+  desc::Repository repo;
+  repo.load_text(R"(<peppher-interface name="conv">
+      <function returnType="void">
+        <param name="a" type="A*" accessMode="read" size="1"/>
+        <param name="b" type="B*" accessMode="write" size="1"/>
+      </function>
+      <templateParam name="A"/>
+      <templateParam name="B"/>
+    </peppher-interface>)");
+  repo.load_text(R"(<peppher-implementation name="conv_cpu" interface="conv">
+      <platform language="cpu"/></peppher-implementation>)");
+  repo.load_text(R"(<peppher-main name="app"><uses interface="conv"/></peppher-main>)");
+  Recipe recipe;
+  recipe.bindings = {{"A", {"float", "double"}}, {"B", {"int"}}};
+  ComponentTree tree = build_tree(repo, recipe);
+  expand_generics(tree);
+  ASSERT_EQ(tree.components.size(), 2u);
+  EXPECT_EQ(tree.components[0].interface.name, "conv_float_int");
+  EXPECT_EQ(tree.components[1].interface.name, "conv_double_int");
+  EXPECT_EQ(tree.components[1].interface.params[0].type, "double*");
+}
+
+}  // namespace
+}  // namespace peppher::compose

@@ -1,0 +1,216 @@
+// Smart-container tests: plain-container behaviour outside PEPPHER, lazy
+// coherence with proxy-based read/write detection, implicit blocking on
+// in-flight tasks, and row-block partitioning.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "containers/containers.hpp"
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::cont {
+namespace {
+
+rt::EngineConfig test_config() {
+  rt::EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.use_history_models = false;
+  return config;
+}
+
+/// Doubles operand 0 in place.
+rt::Codelet make_double_codelet(rt::Arch arch) {
+  rt::Codelet codelet("cont_double");
+  rt::Implementation impl;
+  impl.arch = arch;
+  impl.name = "cont_double";
+  impl.fn = [](rt::ExecContext& ctx) {
+    auto* data = ctx.buffer_as<float>(0);
+    // Iterate floats regardless of the handle's element granularity (row
+    // blocks have row-sized elements).
+    for (std::size_t i = 0; i < ctx.buffer_bytes(0) / sizeof(float); ++i) {
+      data[i] *= 2.0f;
+    }
+  };
+  codelet.add_impl(std::move(impl));
+  return codelet;
+}
+
+// -- unmanaged: regular C++ containers (the paper: "function as regular C++
+// containers outside the PEPPHER context") ------------------------------------
+
+TEST(VectorContainer, UnmanagedActsAsPlainContainer) {
+  Vector<float> v(8, 1.5f);
+  EXPECT_EQ(v.size(), 8u);
+  EXPECT_FLOAT_EQ(v[3], 1.5f);
+  v[3] = 4.0f;
+  EXPECT_FLOAT_EQ(v[3], 4.0f);
+  EXPECT_FALSE(v.managed());
+}
+
+TEST(MatrixContainer, UnmanagedIndexing) {
+  Matrix<int> m(3, 4, 7);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  m(2, 3) = 9;
+  EXPECT_EQ(m(2, 3), 9);
+  EXPECT_EQ(m(0, 0), 7);
+}
+
+TEST(ScalarContainer, UnmanagedGetSet) {
+  Scalar<double> s(2.5);
+  EXPECT_DOUBLE_EQ(s.get(), 2.5);
+  s.set(3.5);
+  EXPECT_DOUBLE_EQ(s.get(), 3.5);
+}
+
+TEST(VectorContainer, OutOfRangeThrows) {
+  Vector<float> v(4);
+  EXPECT_THROW(v[4], Error);
+  Matrix<float> m(2, 2);
+  EXPECT_THROW(m(2, 0), Error);
+}
+
+// -- managed -------------------------------------------------------------------
+
+TEST(VectorContainer, TaskResultVisibleThroughProxyRead) {
+  rt::Engine engine(test_config());
+  Vector<float> v(&engine, 32, 1.0f);
+  rt::Codelet codelet = make_double_codelet(rt::Arch::kCuda);
+
+  rt::TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{v.handle(), rt::AccessMode::kReadWrite}};
+  engine.submit(std::move(spec));
+  // No explicit wait: the element read must block and fetch from the GPU.
+  EXPECT_FLOAT_EQ(v[0], 2.0f);
+  EXPECT_FLOAT_EQ(v[31], 2.0f);
+}
+
+TEST(VectorContainer, ReadAccessKeepsDeviceCopyValid) {
+  rt::Engine engine(test_config());
+  Vector<float> v(&engine, 64, 1.0f);
+  rt::Codelet codelet = make_double_codelet(rt::Arch::kCuda);
+
+  auto run_task = [&] {
+    rt::TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{v.handle(), rt::AccessMode::kReadWrite}};
+    spec.synchronous = true;
+    engine.submit(std::move(spec));
+  };
+  run_task();
+  engine.reset_transfer_stats();
+  (void)v.read_access();  // d2h copy (1 transfer)
+  (void)v.read_access();  // cached, no transfer
+  const float x = v[5];   // proxy read, still cached
+  EXPECT_FLOAT_EQ(x, 2.0f);
+  EXPECT_EQ(engine.transfer_stats().total_count(), 1u);
+
+  // A second task on the GPU can reuse the device copy (reads only happened
+  // since): no new h2d transfer for the fetch, device copy was never
+  // invalidated.
+  run_task();
+  engine.acquire_host(v.handle(), rt::AccessMode::kRead);
+  EXPECT_EQ(engine.transfer_stats().host_to_device_count, 0u);
+}
+
+TEST(VectorContainer, ProxyWriteInvalidatesDeviceCopy) {
+  rt::Engine engine(test_config());
+  Vector<float> v(&engine, 16, 1.0f);
+  rt::Codelet codelet = make_double_codelet(rt::Arch::kCuda);
+  rt::TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{v.handle(), rt::AccessMode::kReadWrite}};
+  spec.synchronous = true;
+  engine.submit(std::move(spec));
+
+  v[0] = 100.0f;  // write access: fetches, then invalidates the GPU copy
+  engine.reset_transfer_stats();
+
+  rt::TaskSpec spec2;
+  spec2.codelet = &codelet;
+  spec2.operands = {{v.handle(), rt::AccessMode::kReadWrite}};
+  spec2.synchronous = true;
+  engine.submit(std::move(spec2));
+  // The fresh host write must flow to the device again.
+  EXPECT_EQ(engine.transfer_stats().host_to_device_count, 1u);
+  EXPECT_FLOAT_EQ(v[0], 200.0f);
+}
+
+TEST(VectorContainer, CompoundAssignmentThroughProxy) {
+  rt::Engine engine(test_config());
+  Vector<float> v(&engine, 4, 10.0f);
+  v[1] += 5.0f;
+  v[2] *= 3.0f;
+  EXPECT_FLOAT_EQ(v[1], 15.0f);
+  EXPECT_FLOAT_EQ(v[2], 30.0f);
+}
+
+TEST(MatrixContainer, ManagedTaskRoundTrip) {
+  rt::Engine engine(test_config());
+  Matrix<float> m(&engine, 8, 8, 1.0f);
+  rt::Codelet codelet = make_double_codelet(rt::Arch::kCpu);
+  rt::TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{m.handle(), rt::AccessMode::kReadWrite}};
+  spec.synchronous = true;
+  engine.submit(std::move(spec));
+  EXPECT_FLOAT_EQ(m(7, 7), 2.0f);
+}
+
+TEST(MatrixContainer, RowBlockPartitioning) {
+  rt::Engine engine(test_config());
+  Matrix<float> m(&engine, 6, 4, 0.0f);
+  {
+    auto view = m.write_access();
+    std::iota(view.begin(), view.end(), 0.0f);
+  }
+  auto blocks = m.partition_rows(3);
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0]->elements(), 2u);  // 2 rows each, element = row
+  EXPECT_EQ(blocks[0]->bytes(), 2u * 4u * sizeof(float));
+
+  rt::Codelet codelet = make_double_codelet(rt::Arch::kCuda);
+  for (auto& block : blocks) {
+    rt::TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{block, rt::AccessMode::kReadWrite}};
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  m.unpartition_rows();
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(5, 3), 46.0f);  // 23 * 2
+}
+
+TEST(ScalarContainer, ManagedReduction) {
+  rt::Engine engine(test_config());
+  Vector<float> v(&engine, 100, 1.0f);
+  Scalar<float> total(&engine);
+
+  rt::Codelet codelet("sum");
+  rt::Implementation impl;
+  impl.arch = rt::Arch::kCuda;
+  impl.name = "sum_cuda";
+  impl.fn = [](rt::ExecContext& ctx) {
+    const auto* in = ctx.buffer_as<const float>(0);
+    auto* out = ctx.buffer_as<float>(1);
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < ctx.elements(0); ++i) acc += in[i];
+    out[0] = acc;
+  };
+  codelet.add_impl(std::move(impl));
+
+  rt::TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{v.handle(), rt::AccessMode::kRead},
+                   {total.handle(), rt::AccessMode::kWrite}};
+  engine.submit(std::move(spec));
+  EXPECT_FLOAT_EQ(total.get(), 100.0f);  // blocks + fetches implicitly
+}
+
+}  // namespace
+}  // namespace peppher::cont

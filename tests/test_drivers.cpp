@@ -1,0 +1,114 @@
+// Table I driver-pair equivalence: for every application, the tool version
+// and the hand-written direct version must compute the same checksum (they
+// are the same program written two ways), and all driver source files must
+// exist for the LoC benchmark.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "apps/drivers/drivers.hpp"
+#include "core/peppher.hpp"
+#include "support/fs.hpp"
+
+namespace peppher::apps::drivers {
+namespace {
+
+class DriversTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    if (!core::initialized()) {
+      rt::EngineConfig config;
+      config.machine = sim::MachineConfig::platform_c2050();
+      config.machine.cpu_cores = 2;
+      config.use_history_models = false;
+      core::initialize(config);
+    }
+  }
+
+  static void expect_close(double a, double b, double rel = 1e-3) {
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    EXPECT_NEAR(a, b, rel * scale);
+  }
+};
+
+TEST_F(DriversTest, SpmvToolEqualsDirect) {
+  const auto problem = spmv::make_problem(sparse::MatrixClass::kHB, 0.02);
+  expect_close(spmv_tool(problem), spmv_direct(problem));
+}
+
+TEST_F(DriversTest, SgemmToolEqualsDirect) {
+  const auto problem = sgemm::make_problem(20, 24, 28);
+  expect_close(sgemm_tool(problem), sgemm_direct(problem));
+}
+
+TEST_F(DriversTest, BfsToolEqualsDirect) {
+  const auto problem = bfs::make_problem(1500, 4);
+  expect_close(bfs_tool(problem), bfs_direct(problem));
+}
+
+TEST_F(DriversTest, CfdToolEqualsDirect) {
+  const auto problem = cfd::make_problem(400, 3);
+  expect_close(cfd_tool(problem), cfd_direct(problem));
+}
+
+TEST_F(DriversTest, HotspotToolEqualsDirect) {
+  const auto problem = hotspot::make_problem(20, 20, 4);
+  expect_close(hotspot_tool(problem), hotspot_direct(problem));
+}
+
+TEST_F(DriversTest, LudToolEqualsDirect) {
+  const auto problem = lud::make_problem(32);
+  expect_close(lud_tool(problem), lud_direct(problem));
+}
+
+TEST_F(DriversTest, NwToolEqualsDirect) {
+  const auto problem = nw::make_problem(64);
+  expect_close(nw_tool(problem), nw_direct(problem));
+}
+
+TEST_F(DriversTest, ParticlefilterToolEqualsDirect) {
+  const auto problem = particlefilter::make_problem(256, 3);
+  expect_close(particlefilter_tool(problem), particlefilter_direct(problem));
+}
+
+TEST_F(DriversTest, PathfinderToolEqualsDirect) {
+  const auto problem = pathfinder::make_problem(30, 40);
+  expect_close(pathfinder_tool(problem), pathfinder_direct(problem));
+}
+
+TEST_F(DriversTest, OdeToolEqualsDirect) {
+  const auto problem = ode::make_problem(16, 8);
+  expect_close(ode_tool(problem), ode_direct(problem));
+}
+
+TEST_F(DriversTest, ToolVersionsMatchKernelReferences) {
+  // The tool drivers must also agree with the no-runtime references.
+  const auto spmv_problem = spmv::make_problem(sparse::MatrixClass::kConvex, 0.01);
+  double expected = 0.0;
+  for (float v : spmv::reference(spmv_problem)) expected += v;
+  expect_close(spmv_tool(spmv_problem), expected);
+
+  const auto sgemm_problem = sgemm::make_problem(16, 16, 16);
+  expected = 0.0;
+  for (float v : sgemm::reference(sgemm_problem)) expected += v;
+  expect_close(sgemm_tool(sgemm_problem), expected);
+}
+
+TEST(DriverSourcesTable, AllFilesExistAndToolIsSmaller) {
+  const std::filesystem::path root(PEPPHER_SOURCE_ROOT);
+  for (const DriverSources& app : driver_sources()) {
+    const auto tool_path = root / app.tool_file;
+    const auto direct_path = root / app.direct_file;
+    ASSERT_TRUE(std::filesystem::exists(tool_path)) << app.tool_file;
+    ASSERT_TRUE(std::filesystem::exists(direct_path)) << app.direct_file;
+    const std::size_t tool_loc = fs::count_source_lines(tool_path);
+    const std::size_t direct_loc = fs::count_source_lines(direct_path);
+    // The paper's Table I result: the tool version always needs fewer lines.
+    EXPECT_LT(tool_loc, direct_loc) << app.app;
+  }
+  EXPECT_EQ(driver_sources().size(), 10u);  // all ten Table I applications
+}
+
+}  // namespace
+}  // namespace peppher::apps::drivers

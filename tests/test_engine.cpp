@@ -1,0 +1,349 @@
+// Engine tests: task execution, implicit dependency inference, forced
+// architectures, virtual time accounting, combined-CPU parallel tasks,
+// waiting semantics and error cases.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "runtime/engine.hpp"
+#include "sim/device.hpp"
+#include "support/error.hpp"
+
+namespace peppher::rt {
+namespace {
+
+EngineConfig small_config(const std::string& scheduler = "dmda") {
+  EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.scheduler = scheduler;
+  config.use_history_models = false;  // deterministic: cost-model driven
+  return config;
+}
+
+/// Codelet that doubles every float of its single RW operand.
+Codelet make_double_codelet(Arch arch = Arch::kCpu) {
+  Codelet codelet("double");
+  Implementation impl;
+  impl.arch = arch;
+  impl.name = "double_" + to_string(arch);
+  impl.fn = [](ExecContext& ctx) {
+    auto* data = ctx.buffer_as<float>(0);
+    for (std::size_t i = 0; i < ctx.elements(0); ++i) data[i] *= 2.0f;
+  };
+  impl.cost = [](const std::vector<std::size_t>& bytes, const void*) {
+    return sim::KernelCost{static_cast<double>(bytes[0]),
+                           static_cast<double>(bytes[0]), 1.0};
+  };
+  codelet.add_impl(std::move(impl));
+  return codelet;
+}
+
+TEST(Engine, ExecutesSimpleTask) {
+  Engine engine(small_config());
+  std::vector<float> data(64, 1.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  Codelet codelet = make_double_codelet();
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  TaskPtr task = engine.submit(std::move(spec));
+  engine.wait(task);
+  EXPECT_EQ(task->state, TaskState::kDone);
+  engine.acquire_host(handle, AccessMode::kRead);
+  for (float v : data) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(Engine, SynchronousSubmission) {
+  Engine engine(small_config());
+  std::vector<float> data(16, 3.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  Codelet codelet = make_double_codelet();
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  spec.synchronous = true;
+  TaskPtr task = engine.submit(std::move(spec));
+  EXPECT_EQ(task->state, TaskState::kDone);
+}
+
+TEST(Engine, ChainedRWTasksExecuteInOrder) {
+  Engine engine(small_config());
+  std::vector<float> data(8, 1.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  Codelet codelet = make_double_codelet();
+  for (int i = 0; i < 6; ++i) {
+    TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, AccessMode::kReadWrite}};
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  engine.acquire_host(handle, AccessMode::kRead);
+  for (float v : data) EXPECT_FLOAT_EQ(v, 64.0f);  // 2^6
+}
+
+TEST(Engine, ReadersRunAfterWriterAndSeeItsData) {
+  Engine engine(small_config());
+  std::vector<float> src(32, 1.0f);
+  std::vector<float> sums(4, 0.0f);
+  auto h_src = engine.register_buffer(src.data(), src.size() * sizeof(float),
+                                      sizeof(float));
+
+  Codelet writer = make_double_codelet();
+  {
+    TaskSpec spec;
+    spec.codelet = &writer;
+    spec.operands = {{h_src, AccessMode::kReadWrite}};
+    engine.submit(std::move(spec));
+  }
+
+  Codelet reader("sum_into");
+  Implementation impl;
+  impl.arch = Arch::kCpu;
+  impl.name = "sum_into_cpu";
+  impl.fn = [](ExecContext& ctx) {
+    const auto* in = ctx.buffer_as<const float>(0);
+    auto* out = ctx.buffer_as<float>(1);
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < ctx.elements(0); ++i) acc += in[i];
+    out[0] = acc;
+  };
+  reader.add_impl(std::move(impl));
+
+  std::vector<DataHandlePtr> out_handles;
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    auto h_out = engine.register_buffer(&sums[i], sizeof(float), sizeof(float));
+    out_handles.push_back(h_out);
+    TaskSpec spec;
+    spec.codelet = &reader;
+    spec.operands = {{h_src, AccessMode::kRead}, {h_out, AccessMode::kWrite}};
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  for (auto& h : out_handles) engine.acquire_host(h, AccessMode::kRead);
+  for (float s : sums) EXPECT_FLOAT_EQ(s, 64.0f);  // 32 * 2.0
+}
+
+TEST(Engine, ForcedArchIsRespected) {
+  Engine engine(small_config());
+  Codelet codelet("multi");
+  for (Arch arch : {Arch::kCpu, Arch::kCpuOmp, Arch::kCuda}) {
+    Implementation impl;
+    impl.arch = arch;
+    impl.name = "multi_" + to_string(arch);
+    impl.fn = [](ExecContext&) {};
+    codelet.add_impl(std::move(impl));
+  }
+  std::vector<float> data(4, 0.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  for (Arch arch : {Arch::kCpu, Arch::kCpuOmp, Arch::kCuda}) {
+    TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, AccessMode::kReadWrite}};
+    spec.forced_arch = arch;
+    TaskPtr task = engine.submit(std::move(spec));
+    engine.wait(task);
+    EXPECT_EQ(task->executed_arch, arch);
+  }
+}
+
+TEST(Engine, ForcedArchWithoutImplThrows) {
+  Engine engine(small_config());
+  Codelet codelet = make_double_codelet(Arch::kCpu);
+  std::vector<float> data(4, 0.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  spec.forced_arch = Arch::kCuda;
+  EXPECT_THROW(engine.submit(std::move(spec)), Error);
+}
+
+TEST(Engine, CudaOnlyCodeletOnCpuOnlyMachineThrows) {
+  EngineConfig config;
+  config.machine = sim::MachineConfig::cpu_only(2);
+  Engine engine(config);
+  Codelet codelet = make_double_codelet(Arch::kCuda);
+  std::vector<float> data(4, 0.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  EXPECT_THROW(engine.submit(std::move(spec)), Error);
+}
+
+TEST(Engine, DisabledCodeletThrows) {
+  Engine engine(small_config());
+  Codelet codelet = make_double_codelet();
+  codelet.disable_impls("cpu");
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  EXPECT_THROW(engine.submit(std::move(spec)), Error);
+}
+
+TEST(Engine, VirtualTimeAdvancesAndResets) {
+  Engine engine(small_config());
+  EXPECT_DOUBLE_EQ(engine.virtual_makespan(), 0.0);
+  std::vector<float> data(1024, 1.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  Codelet codelet = make_double_codelet();
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  spec.synchronous = true;
+  engine.submit(std::move(spec));
+  EXPECT_GT(engine.virtual_makespan(), 0.0);
+  engine.reset_virtual_time();
+  EXPECT_DOUBLE_EQ(engine.virtual_makespan(), 0.0);
+}
+
+TEST(Engine, SequentialTasksAccumulateVirtualTime) {
+  Engine engine(small_config());
+  std::vector<float> data(4096, 1.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  Codelet codelet = make_double_codelet();
+  double previous = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, AccessMode::kReadWrite}};
+    spec.synchronous = true;
+    TaskPtr task = engine.submit(std::move(spec));
+    EXPECT_GE(task->vstart, previous);
+    EXPECT_GT(task->vend, task->vstart);
+    previous = task->vend;
+  }
+}
+
+TEST(Engine, CombinedCpuWorkerGetsAllThreads) {
+  Engine engine(small_config());
+  Codelet codelet("width_probe");
+  Implementation impl;
+  impl.arch = Arch::kCpuOmp;
+  impl.name = "probe_omp";
+  std::atomic<int> seen_threads{0};
+  impl.fn = [&seen_threads](ExecContext& ctx) {
+    seen_threads = ctx.cpu_threads();
+  };
+  codelet.add_impl(std::move(impl));
+  std::vector<float> data(4, 0.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  spec.synchronous = true;
+  engine.submit(std::move(spec));
+  EXPECT_EQ(seen_threads.load(), 2);  // machine has 2 CPU cores
+}
+
+TEST(Engine, ArchTaskCountsTrackExecution) {
+  Engine engine(small_config());
+  Codelet codelet = make_double_codelet(Arch::kCpu);
+  std::vector<float> data(4, 0.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, AccessMode::kReadWrite}};
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  const auto counts = engine.arch_task_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(Arch::kCpu)], 3u);
+  EXPECT_EQ(engine.tasks_submitted(), 3u);
+}
+
+TEST(Engine, WorkerTopologyMatchesMachine) {
+  Engine engine(small_config());
+  // 2 CPU cores + 1 combined + 1 GPU.
+  EXPECT_EQ(engine.workers().size(), 4u);
+  EXPECT_EQ(engine.cpu_worker_count(), 2);
+  EXPECT_EQ(engine.accelerator_count(), 1);
+  int combined = 0, gpus = 0;
+  for (const auto& w : engine.workers()) {
+    if (w.is_combined_cpu) ++combined;
+    if (w.node != kHostNode) ++gpus;
+  }
+  EXPECT_EQ(combined, 1);
+  EXPECT_EQ(gpus, 1);
+}
+
+TEST(Engine, AcquireHostBlocksUntilWriterFinishes) {
+  Engine engine(small_config());
+  std::vector<float> data(256, 1.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  Codelet codelet = make_double_codelet();
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, AccessMode::kReadWrite}};
+    engine.submit(std::move(spec));
+  }
+  // No explicit wait: acquire_host must block until all three finished.
+  engine.acquire_host(handle, AccessMode::kRead);
+  for (float v : data) EXPECT_FLOAT_EQ(v, 8.0f);
+}
+
+TEST(Engine, EagerRandomWsSchedulersAllRunTasks) {
+  for (const std::string scheduler : {"eager", "random", "ws"}) {
+    Engine engine(small_config(scheduler));
+    std::vector<float> data(64, 1.0f);
+    auto handle = engine.register_buffer(data.data(),
+                                         data.size() * sizeof(float),
+                                         sizeof(float));
+    Codelet codelet = make_double_codelet();
+    for (int i = 0; i < 8; ++i) {
+      TaskSpec spec;
+      spec.codelet = &codelet;
+      spec.operands = {{handle, AccessMode::kReadWrite}};
+      engine.submit(std::move(spec));
+    }
+    engine.wait_for_all();
+    engine.acquire_host(handle, AccessMode::kRead);
+    EXPECT_FLOAT_EQ(data[0], 256.0f) << scheduler;  // 2^8
+  }
+}
+
+TEST(Engine, UnknownSchedulerThrows) {
+  EngineConfig config = small_config("definitely_not_a_scheduler");
+  EXPECT_THROW(Engine engine(config), Error);
+}
+
+TEST(Engine, IndependentReadTasksMayRunOnDifferentWorkers) {
+  // 4 independent read-only tasks over the same handle must all execute.
+  Engine engine(small_config("ws"));
+  std::vector<float> data(1024, 1.0f);
+  auto h_in = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                     sizeof(float));
+  Codelet codelet("reader");
+  Implementation impl;
+  impl.arch = Arch::kCpu;
+  impl.name = "reader_cpu";
+  std::atomic<int> executed{0};
+  impl.fn = [&executed](ExecContext&) { executed++; };
+  codelet.add_impl(std::move(impl));
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{h_in, AccessMode::kRead}};
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  EXPECT_EQ(executed.load(), 4);
+}
+
+}  // namespace
+}  // namespace peppher::rt

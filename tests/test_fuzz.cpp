@@ -1,0 +1,132 @@
+// Robustness fuzzing (deterministic, seed-parameterised): the XML parser
+// and the C-declaration parser must either succeed or throw ParseError on
+// arbitrary mutated input — never crash, hang or corrupt memory.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cdecl/cdecl.hpp"
+#include "descriptor/descriptor.hpp"
+#include "runtime/perfmodel.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "xml/xml.hpp"
+
+namespace peppher {
+namespace {
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+/// Applies `count` random byte mutations (replace / insert / delete).
+std::string mutate(std::string text, Rng& rng, int count) {
+  const std::string alphabet = "<>/=\"'&;abcXY _\n\t#?!-[]";
+  for (int i = 0; i < count && !text.empty(); ++i) {
+    const std::size_t pos = rng.next_below(text.size());
+    switch (rng.next_below(3)) {
+      case 0:
+        text[pos] = alphabet[rng.next_below(alphabet.size())];
+        break;
+      case 1:
+        text.insert(pos, 1, alphabet[rng.next_below(alphabet.size())]);
+        break;
+      default:
+        text.erase(pos, 1);
+        break;
+    }
+  }
+  return text;
+}
+
+const char* const kSeedXml = R"(<peppher-implementation name="spmv_cusp" interface="spmv">
+  <platform language="cuda" target="TeslaC2050"/>
+  <sources><source file="cuda/spmv_cusp.cu"/></sources>
+  <compilation command="nvcc" options="-O3 -arch=sm_20"/>
+  <tunables><tunable name="bs" values="64,128" default="128"/></tunables>
+  <constraints><constraint param="nnz" min="1024"/></constraints>
+</peppher-implementation>)";
+
+TEST_P(FuzzSeed, XmlParserNeverCrashesOnMutatedDescriptors) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    const std::string mutated =
+        mutate(kSeedXml, rng, 1 + static_cast<int>(rng.next_below(12)));
+    try {
+      const xml::Document doc = xml::parse(mutated);
+      // Parsed: the tree must be internally consistent enough to serialise
+      // and reparse.
+      const std::string text = xml::serialize(*doc.root);
+      EXPECT_NO_THROW(xml::parse(text)) << mutated;
+    } catch (const ParseError&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST_P(FuzzSeed, DescriptorLoaderNeverCrashesOnMutatedInput) {
+  Rng rng(GetParam() * 31);
+  for (int round = 0; round < 200; ++round) {
+    const std::string mutated =
+        mutate(kSeedXml, rng, 1 + static_cast<int>(rng.next_below(10)));
+    desc::Repository repo;
+    try {
+      repo.load_text(mutated);
+    } catch (const Error&) {
+      // ParseError / kNotFound / kInvalidArgument are all acceptable.
+    }
+  }
+}
+
+const char* const kSeedDecl =
+    "template <typename T> void spmv(const float* values, int nnz, "
+    "Vector<T>& x, float* y, size_t n);";
+
+TEST_P(FuzzSeed, CdeclParserNeverCrashesOnMutatedDeclarations) {
+  Rng rng(GetParam() * 47);
+  for (int round = 0; round < 300; ++round) {
+    const std::string mutated =
+        mutate(kSeedDecl, rng, 1 + static_cast<int>(rng.next_below(8)));
+    try {
+      const auto decl = cdecl_parser::parse_declaration(mutated);
+      EXPECT_FALSE(decl.name.empty());
+    } catch (const ParseError&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST_P(FuzzSeed, HeaderScannerToleratesArbitraryText) {
+  Rng rng(GetParam() * 89);
+  std::string blob;
+  for (int i = 0; i < 600; ++i) {
+    blob += static_cast<char>(32 + rng.next_below(95));
+    if (rng.next_double() < 0.05) blob += '\n';
+  }
+  // parse_header skips everything it cannot parse; it must simply return.
+  EXPECT_NO_THROW({ (void)cdecl_parser::parse_header(blob); });
+}
+
+TEST_P(FuzzSeed, PerfModelDeserializeRejectsMutations) {
+  Rng rng(GetParam() * 131);
+  rt::HistoryModel seed_model;
+  seed_model.record(42, 4096, 0.5);
+  seed_model.record(77, 65536, 1.5);
+  const std::string serialized = seed_model.serialize();
+  for (int round = 0; round < 200; ++round) {
+    const std::string mutated =
+        mutate(serialized, rng, 1 + static_cast<int>(rng.next_below(6)));
+    rt::HistoryModel model;
+    try {
+      model.deserialize(mutated);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace peppher

@@ -1,0 +1,259 @@
+// Cross-module integration tests: hybrid execution, dynamic
+// performance-aware selection (the TGPA behaviour of Figure 6), repetitive
+// execution data residency (§IV-H), inter-component parallelism (§IV-E),
+// and the Figure 5/7 mechanisms at test scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/common.hpp"
+#include "apps/ode.hpp"
+#include "apps/sgemm.hpp"
+#include "apps/sparse.hpp"
+#include "apps/spmv.hpp"
+#include "apps/suite.hpp"
+#include "core/peppher.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher {
+namespace {
+
+rt::EngineConfig machine_config(sim::MachineConfig machine,
+                                bool history = false) {
+  rt::EngineConfig config;
+  config.machine = std::move(machine);
+  config.use_history_models = history;
+  return config;
+}
+
+// -- hybrid execution (Figure 5 mechanism) -------------------------------------
+
+TEST(Hybrid, SpmvHybridMatchesReference) {
+  rt::Engine engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto problem = apps::spmv::make_problem(apps::sparse::MatrixClass::kStructural, 0.02);
+  const auto expected = apps::spmv::reference(problem);
+  const auto result = apps::spmv::run_hybrid(engine, problem, 6);
+  EXPECT_LT(apps::max_abs_diff(result.y, expected), 1e-4);
+}
+
+TEST(Hybrid, HybridBeatsGpuOnlyInVirtualTime) {
+  // The Figure 5 headline: splitting the work reduces both computation and
+  // PCIe traffic, so hybrid beats direct-CUDA.
+  const auto problem = apps::spmv::make_problem(apps::sparse::MatrixClass::kStructural, 0.1);
+  rt::Engine gpu_engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto gpu_only =
+      apps::spmv::run_single(gpu_engine, problem, rt::Arch::kCuda);
+  rt::Engine hybrid_engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto hybrid = apps::spmv::run_hybrid(hybrid_engine, problem, 10);
+  EXPECT_LT(hybrid.virtual_seconds, gpu_only.virtual_seconds);
+}
+
+TEST(Hybrid, HybridMovesFewerBytesToTheGpu) {
+  const auto problem = apps::spmv::make_problem(apps::sparse::MatrixClass::kConvex, 0.05);
+  rt::Engine gpu_engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto gpu_only =
+      apps::spmv::run_single(gpu_engine, problem, rt::Arch::kCuda);
+  rt::Engine hybrid_engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto hybrid = apps::spmv::run_hybrid(hybrid_engine, problem, 10);
+  EXPECT_LT(hybrid.transfers.host_to_device_bytes,
+            gpu_only.transfers.host_to_device_bytes);
+}
+
+TEST(Hybrid, BlockedSgemmIsCorrectUnderDynamicPlacement) {
+  rt::Engine engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto problem = apps::sgemm::make_problem(64, 48, 32);
+  const auto expected = apps::sgemm::reference(problem);
+  const auto result = apps::sgemm::run_blocked(engine, problem, 8);
+  EXPECT_LT(apps::max_abs_diff(result.C, expected), 1e-3);
+}
+
+TEST(Hybrid, SpmvChunksSpreadAcrossCpuAndGpu) {
+  // Bandwidth-bound SpMV with a big PCIe bill: rational placement spreads
+  // the chunks across CPU cores *and* the GPU (Figure 5's hybrid mode),
+  // unlike compute-bound GEMM where the GPU dominates outright.
+  rt::Engine engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto problem =
+      apps::spmv::make_problem(apps::sparse::MatrixClass::kStructural, 0.2);
+  apps::spmv::run_hybrid(engine, problem, 12);
+  const auto counts = engine.arch_task_counts();
+  EXPECT_GT(counts[static_cast<std::size_t>(rt::Arch::kCpu)] +
+                counts[static_cast<std::size_t>(rt::Arch::kCpuOmp)],
+            0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(rt::Arch::kCuda)], 0u);
+}
+
+// -- dynamic performance-aware selection (Figure 6 mechanism) --------------------
+
+TEST(DynamicSelection, TracksBestVariantPerPlatform) {
+  // Compute-heavy regular kernel: GPU should win on both platforms.
+  const auto problem = apps::sgemm::make_problem(96, 96, 96);
+  for (const auto& machine : {sim::MachineConfig::platform_c2050(),
+                              sim::MachineConfig::platform_c1060()}) {
+    rt::Engine engine(machine_config(machine));
+    const auto omp = apps::sgemm::run_single(engine, problem, rt::Arch::kCpuOmp);
+    const auto cuda = apps::sgemm::run_single(engine, problem, rt::Arch::kCuda);
+    const auto dynamic = apps::sgemm::run_single(engine, problem);
+    const double best = std::min(omp.virtual_seconds, cuda.virtual_seconds);
+    // TGPA must be within a small factor of the best static choice.
+    EXPECT_LT(dynamic.virtual_seconds, best * 1.25) << machine.name;
+  }
+}
+
+TEST(DynamicSelection, IrregularWorkloadPicksCpuOnC1060) {
+  // The Figure 6(b) adaptation: on the cache-less C1060, an irregular
+  // workload must not be placed on the GPU by the cost-aware scheduler.
+  const auto problem = apps::spmv::make_problem(apps::sparse::MatrixClass::kNetwork, 0.2);
+  rt::Engine engine(machine_config(sim::MachineConfig::platform_c1060()));
+  const auto omp = apps::spmv::run_single(engine, problem, rt::Arch::kCpuOmp);
+  const auto cuda = apps::spmv::run_single(engine, problem, rt::Arch::kCuda);
+  EXPECT_LT(omp.virtual_seconds, cuda.virtual_seconds);
+  const auto dynamic = apps::spmv::run_single(engine, problem);
+  EXPECT_LE(dynamic.virtual_seconds, omp.virtual_seconds * 1.25);
+}
+
+TEST(DynamicSelection, HistoryModelsConvergeAfterCalibration) {
+  // With history models on, the first runs explore; later runs must settle
+  // on the fast variant.
+  rt::EngineConfig config =
+      machine_config(sim::MachineConfig::platform_c2050(), /*history=*/true);
+  config.calibration_samples = 2;
+  rt::Engine engine(config);
+  const auto problem = apps::sgemm::make_problem(96, 96, 96);
+  apps::sgemm::RunResult last;
+  for (int round = 0; round < 8; ++round) {
+    last = apps::sgemm::run_single(engine, problem);
+  }
+  const auto cuda = apps::sgemm::run_single(engine, problem, rt::Arch::kCuda);
+  EXPECT_LT(last.virtual_seconds, cuda.virtual_seconds * 1.5);
+  // The history should now know both variants at this footprint.
+  EXPECT_GT(engine.perf().sample_count(
+                "sgemm", rt::Arch::kCuda,
+                rt::footprint_of({problem.A.size() * 4, problem.B.size() * 4,
+                                  problem.C.size() * 4})),
+            0u);
+}
+
+// -- repetitive execution & residency (§IV-H) -----------------------------------
+
+TEST(Residency, RepeatedGpuInvocationsTransferInputsOnlyOnce) {
+  rt::Engine engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto problem = apps::ode::make_problem(32, 25);
+  const auto result = apps::ode::run_tool(engine, problem, rt::Arch::kCuda);
+  // J (the big operand) must cross PCIe exactly once even though it is read
+  // by 100 rhs tasks; stage vectors stay resident.
+  const std::uint64_t jacobian_bytes = problem.jacobian.size() * sizeof(float);
+  EXPECT_LT(result.transfers.host_to_device_bytes, jacobian_bytes * 1.5);
+  EXPECT_LT(result.transfers.device_to_host_count, 4u);
+}
+
+// -- runtime overhead (Figure 7 mechanism) ----------------------------------------
+
+TEST(Overhead, ToolPathCloseToDirectPathInVirtualTime) {
+  rt::Engine engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto problem = apps::ode::make_problem(64, 30);
+  const auto tool = apps::ode::run_tool(engine, problem, rt::Arch::kCuda);
+  const auto direct = apps::ode::run_direct(problem, rt::Arch::kCuda,
+                                            sim::MachineConfig::platform_c2050());
+  // Virtual time of the runtime path must be within ~30% of the
+  // hand-written sequence (the tight-dependency adversarial case).
+  EXPECT_LT(tool.virtual_seconds, direct.virtual_seconds * 1.3);
+  EXPECT_GT(tool.virtual_seconds, direct.virtual_seconds * 0.5);
+}
+
+TEST(Overhead, GpuBeatsSerialCpuOnOdeAtPaperSizes)
+{
+  const auto problem = apps::ode::make_problem(250, 12);
+  const auto cpu = apps::ode::run_direct(problem, rt::Arch::kCpu,
+                                         sim::MachineConfig::platform_c2050());
+  const auto cuda = apps::ode::run_direct(problem, rt::Arch::kCuda,
+                                          sim::MachineConfig::platform_c2050());
+  EXPECT_GT(cpu.virtual_seconds, cuda.virtual_seconds * 2.0);
+}
+
+// -- inter-component parallelism (§IV-E) -------------------------------------------
+
+TEST(InterComponent, IndependentCallsOverlapInVirtualTime) {
+  rt::Engine engine(machine_config(sim::MachineConfig::platform_c2050()));
+  // Two independent sgemm invocations on disjoint data: the makespan must
+  // be clearly less than the sum of the two serialized makespans.
+  const auto p1 = apps::sgemm::make_problem(96, 96, 96, 1);
+  const auto p2 = apps::sgemm::make_problem(96, 96, 96, 2);
+  const double t1 = apps::sgemm::run_single(engine, p1, rt::Arch::kCuda).virtual_seconds;
+  const double t2 = apps::sgemm::run_single(engine, p2, rt::Arch::kCpuOmp).virtual_seconds;
+
+  // Now submit both without forcing, interleaved, in one virtual epoch.
+  apps::sgemm::register_components();
+  rt::Codelet* codelet = core::ComponentRegistry::global().find("sgemm");
+  engine.reset_virtual_time();
+  std::vector<float> c1(p1.C.size(), 0.0f), c2(p2.C.size(), 0.0f);
+  auto submit_one = [&](const apps::sgemm::Problem& p, std::vector<float>& c) {
+    auto h_a = engine.register_buffer(const_cast<float*>(p.A.data()),
+                                      p.A.size() * 4, 4);
+    auto h_b = engine.register_buffer(const_cast<float*>(p.B.data()),
+                                      p.B.size() * 4, 4);
+    auto h_c = engine.register_buffer(c.data(), c.size() * 4, 4);
+    auto args = std::make_shared<apps::sgemm::SgemmArgs>();
+    args->m = p.m;
+    args->n = p.n;
+    args->k = p.k;
+    args->alpha = p.alpha;
+    args->beta = p.beta;
+    rt::TaskSpec spec;
+    spec.codelet = codelet;
+    spec.operands = {{h_a, rt::AccessMode::kRead},
+                     {h_b, rt::AccessMode::kRead},
+                     {h_c, rt::AccessMode::kReadWrite}};
+    spec.arg = std::shared_ptr<const void>(args, args.get());
+    engine.submit(std::move(spec));
+  };
+  submit_one(p1, c1);
+  submit_one(p2, c2);
+  engine.wait_for_all();
+  EXPECT_LT(engine.virtual_makespan(), (t1 + t2) * 0.95);
+}
+
+// -- the Figure 6 headline as a regression guard ---------------------------------
+
+TEST(Figure6Guard, TgpaTracksBestVariantOnSmallSuiteApps) {
+  // A cut-down version of bench_fig6: on the smallest sweep size of three
+  // cheap suite apps, converged TGPA must be within 30% of the best static
+  // variant. Guards the reproduction's headline result against scheduler
+  // regressions.
+  const auto& suite = apps::figure6_suite();
+  for (const std::string name : {"bfs", "pathfinder", "sgemm"}) {
+    const auto it = std::find_if(suite.begin(), suite.end(),
+                                 [&](const auto& app) { return app.name == name; });
+    ASSERT_NE(it, suite.end());
+    const int size = it->sizes.front();
+
+    rt::EngineConfig forced_config =
+        machine_config(sim::MachineConfig::platform_c2050());
+    rt::Engine forced(forced_config);
+    const double omp = it->run(forced, size, rt::Arch::kCpuOmp).virtual_seconds;
+    const double cuda = it->run(forced, size, rt::Arch::kCuda).virtual_seconds;
+
+    rt::EngineConfig dyn_config =
+        machine_config(sim::MachineConfig::platform_c2050(), /*history=*/true);
+    dyn_config.calibration_samples = 1;
+    rt::Engine dynamic(dyn_config);
+    apps::SuiteRunResult result;
+    for (int round = 0; round < 6; ++round) {
+      result = it->run(dynamic, size, std::nullopt);
+    }
+    EXPECT_LT(result.virtual_seconds, std::min(omp, cuda) * 1.3) << name;
+  }
+}
+
+TEST(EngineSummary, ReportsWorkersArchesAndTraffic) {
+  rt::Engine engine(machine_config(sim::MachineConfig::platform_c2050()));
+  const auto problem = apps::sgemm::make_problem(48, 48, 48);
+  apps::sgemm::run_single(engine, problem, rt::Arch::kCuda);
+  const std::string summary = engine.summary();
+  EXPECT_NE(summary.find("xeon-e5520+c2050"), std::string::npos);
+  EXPECT_NE(summary.find("TeslaC2050"), std::string::npos);
+  EXPECT_NE(summary.find("cuda=1"), std::string::npos);
+  EXPECT_NE(summary.find("h2d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace peppher

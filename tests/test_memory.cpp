@@ -1,0 +1,350 @@
+// Data-management tests: MSI coherence across memory nodes, transfer
+// accounting, partitioning, and the paper's Figure 3 scenario (2 copy
+// operations instead of 7 thanks to lazy smart-container coherence).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "runtime/engine.hpp"
+#include "runtime/memory.hpp"
+#include "support/error.hpp"
+
+namespace peppher::rt {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+ protected:
+  MemoryTest() : manager_(3, sim::LinkProfile::pcie2_x16()) {}  // host + 2 GPUs
+
+  DataManager manager_;
+};
+
+TEST_F(MemoryTest, FreshHandleIsOwnedOnHost) {
+  std::vector<float> data(16, 1.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  EXPECT_EQ(h->replica_state(kHostNode), ReplicaState::kOwned);
+  EXPECT_EQ(h->replica_state(1), ReplicaState::kInvalid);
+  EXPECT_EQ(h->bytes(), 64u);
+  EXPECT_EQ(h->elements(), 16u);
+}
+
+TEST_F(MemoryTest, ReadAcquireCopiesAndShares) {
+  std::vector<float> data(16);
+  std::iota(data.begin(), data.end(), 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  VirtualTime ready = -1.0;
+  auto* device_ptr = static_cast<float*>(h->acquire(1, AccessMode::kRead, &ready));
+  EXPECT_GT(ready, 0.0);  // a transfer happened
+  EXPECT_EQ(h->replica_state(kHostNode), ReplicaState::kShared);
+  EXPECT_EQ(h->replica_state(1), ReplicaState::kShared);
+  for (int i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(device_ptr[i], data[i]);
+  EXPECT_EQ(manager_.stats().host_to_device_count, 1u);
+}
+
+TEST_F(MemoryTest, SecondReadAcquireIsFree) {
+  std::vector<float> data(16, 2.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  h->acquire(1, AccessMode::kRead, nullptr);
+  const auto before = manager_.stats().total_count();
+  VirtualTime ready = -1.0;
+  h->acquire(1, AccessMode::kRead, &ready);
+  EXPECT_EQ(manager_.stats().total_count(), before);
+}
+
+TEST_F(MemoryTest, WriteAcquireInvalidatesOthersWithoutTransfer) {
+  std::vector<float> data(16, 3.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  h->acquire(1, AccessMode::kWrite, nullptr);
+  EXPECT_EQ(manager_.stats().total_count(), 0u);  // W needs no fetch
+  EXPECT_EQ(h->replica_state(1), ReplicaState::kOwned);
+  EXPECT_EQ(h->replica_state(kHostNode), ReplicaState::kInvalid);
+}
+
+TEST_F(MemoryTest, ReadWriteFetchesThenOwns) {
+  std::vector<float> data(16, 4.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto* ptr = static_cast<float*>(h->acquire(1, AccessMode::kReadWrite, nullptr));
+  EXPECT_FLOAT_EQ(ptr[0], 4.0f);
+  EXPECT_EQ(h->replica_state(1), ReplicaState::kOwned);
+  EXPECT_EQ(h->replica_state(kHostNode), ReplicaState::kInvalid);
+  EXPECT_EQ(manager_.stats().host_to_device_count, 1u);
+}
+
+TEST_F(MemoryTest, ModifiedDeviceDataFlowsBackToHost) {
+  std::vector<float> data(8, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto* device = static_cast<float*>(h->acquire(1, AccessMode::kWrite, nullptr));
+  for (int i = 0; i < 8; ++i) device[i] = 9.0f;
+  h->mark_written(1, 1.0);
+  h->acquire(kHostNode, AccessMode::kRead, nullptr);
+  for (float v : data) EXPECT_FLOAT_EQ(v, 9.0f);
+  EXPECT_EQ(manager_.stats().device_to_host_count, 1u);
+}
+
+TEST_F(MemoryTest, DeviceToDeviceGoesThroughHost) {
+  std::vector<float> data(8, 1.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto* d1 = static_cast<float*>(h->acquire(1, AccessMode::kReadWrite, nullptr));
+  d1[0] = 42.0f;
+  h->mark_written(1, 1.0);
+  auto* d2 = static_cast<float*>(h->acquire(2, AccessMode::kRead, nullptr));
+  EXPECT_FLOAT_EQ(d2[0], 42.0f);
+  // One d2h (to host) + one h2d (to device 2).
+  EXPECT_EQ(manager_.stats().device_to_host_count, 1u);
+  EXPECT_EQ(manager_.stats().host_to_device_count, 2u);  // incl. first RW fetch
+}
+
+// The Figure 3 walk-through: 4 component calls on the GPU + 2 application
+// accesses => exactly 2 copy operations (not 7).
+TEST_F(MemoryTest, Figure3ScenarioNeedsOnlyTwoCopies) {
+  std::vector<float> v0(1024, 0.0f);
+  auto h = manager_.register_buffer(v0.data(), v0.size() * sizeof(float),
+                                    sizeof(float));
+  manager_.reset_stats();
+
+  // line 4: comp1(v0, write) on GPU — allocation only, no copy.
+  auto* d = static_cast<float*>(h->acquire(1, AccessMode::kWrite, nullptr));
+  for (int i = 0; i < 1024; ++i) d[i] = 1.0f;
+  h->mark_written(1, 1.0);
+
+  // line 6: application reads an element — first copy (device -> host).
+  h->acquire(kHostNode, AccessMode::kRead, nullptr);
+  EXPECT_FLOAT_EQ(v0[7], 1.0f);
+
+  // line 8: comp2(v0, readwrite) on GPU — device copy still valid, no copy.
+  d = static_cast<float*>(h->acquire(1, AccessMode::kReadWrite, nullptr));
+  for (int i = 0; i < 1024; ++i) d[i] += 1.0f;
+  h->mark_written(1, 2.0);
+
+  // lines 10, 12: comp3/comp4 read on GPU — no copies.
+  h->acquire(1, AccessMode::kRead, nullptr);
+  h->acquire(1, AccessMode::kRead, nullptr);
+
+  // line 14: application writes — second copy (device -> host), then the
+  // device replica is outdated.
+  h->acquire(kHostNode, AccessMode::kReadWrite, nullptr);
+  EXPECT_FLOAT_EQ(v0[7], 2.0f);
+  v0[7] = 5.0f;
+
+  EXPECT_EQ(manager_.stats().total_count(), 2u);
+  EXPECT_EQ(manager_.stats().device_to_host_count, 2u);
+  EXPECT_EQ(h->replica_state(1), ReplicaState::kInvalid);
+}
+
+// -- estimates -----------------------------------------------------------------
+
+TEST_F(MemoryTest, FetchEstimateMatchesLinkModel) {
+  std::vector<float> data(1 << 20, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  const double est = h->estimate_fetch_seconds(1, AccessMode::kRead);
+  EXPECT_NEAR(est, manager_.estimate_link_seconds(h->bytes()), 1e-12);
+  EXPECT_DOUBLE_EQ(h->estimate_fetch_seconds(1, AccessMode::kWrite), 0.0);
+  EXPECT_DOUBLE_EQ(h->estimate_fetch_seconds(kHostNode, AccessMode::kRead), 0.0);
+}
+
+TEST_F(MemoryTest, LinkContentionSerialisesTransfers) {
+  const VirtualTime end1 = manager_.charge_link(8 << 20, 0.0);
+  const VirtualTime end2 = manager_.charge_link(8 << 20, 0.0);
+  EXPECT_GT(end2, end1);
+  EXPECT_NEAR(end2, 2.0 * end1, end1 * 0.01 + 2e-5);
+}
+
+// -- partitioning ---------------------------------------------------------------
+
+TEST_F(MemoryTest, PartitionSplitsElementsContiguously) {
+  std::vector<float> data(10);
+  std::iota(data.begin(), data.end(), 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto children = h->partition(3);
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0]->elements(), 4u);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(children[1]->elements(), 3u);
+  EXPECT_EQ(children[2]->elements(), 3u);
+  EXPECT_TRUE(h->is_partitioned());
+
+  auto* c1 = static_cast<float*>(children[1]->acquire(kHostNode,
+                                                      AccessMode::kRead, nullptr));
+  EXPECT_FLOAT_EQ(c1[0], 4.0f);  // second block starts at element 4
+}
+
+TEST_F(MemoryTest, ParentUnusableWhilePartitioned) {
+  std::vector<float> data(8, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto children = h->partition(2);
+  EXPECT_THROW(h->acquire(kHostNode, AccessMode::kRead, nullptr), Error);
+  EXPECT_THROW(h->partition(2), Error);
+}
+
+TEST_F(MemoryTest, UnpartitionGathersChildDeviceData) {
+  std::vector<float> data(8, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto children = h->partition(2);
+  // Child 0 modified on device 1; child 1 modified on device 2.
+  for (std::size_t c = 0; c < 2; ++c) {
+    auto* p = static_cast<float*>(
+        children[c]->acquire(static_cast<MemoryNodeId>(c + 1),
+                             AccessMode::kWrite, nullptr));
+    for (std::size_t i = 0; i < children[c]->elements(); ++i) {
+      p[i] = static_cast<float>(c + 1);
+    }
+    children[c]->mark_written(static_cast<MemoryNodeId>(c + 1), 1.0);
+  }
+  h->unpartition();
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(data[i], 1.0f);
+  for (int i = 4; i < 8; ++i) EXPECT_FLOAT_EQ(data[i], 2.0f);
+  // Children are dead now.
+  EXPECT_THROW(children[0]->acquire(kHostNode, AccessMode::kRead, nullptr), Error);
+  // Parent works again.
+  EXPECT_NO_THROW(h->acquire(kHostNode, AccessMode::kRead, nullptr));
+}
+
+TEST_F(MemoryTest, PartitionMoreThanElementsThrows) {
+  std::vector<float> data(2, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  EXPECT_THROW(h->partition(5), Error);
+  EXPECT_THROW(h->partition(0), Error);
+}
+
+TEST_F(MemoryTest, NestedPartitionUnsupported) {
+  std::vector<float> data(8, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto children = h->partition(2);
+  EXPECT_THROW(children[0]->partition(2), Error);
+}
+
+TEST_F(MemoryTest, RegisterRejectsBadArguments) {
+  std::vector<float> data(4, 0.0f);
+  EXPECT_THROW(manager_.register_buffer(nullptr, 16, 4), Error);
+  EXPECT_THROW(manager_.register_buffer(data.data(), 0, 4), Error);
+  EXPECT_THROW(manager_.register_buffer(data.data(), 15, 4), Error);  // not multiple
+}
+
+// -- device memory capacity & eviction (§IV-D) ---------------------------------
+
+class EvictionTest : public ::testing::Test {
+ protected:
+  EvictionTest() : manager_(2, sim::LinkProfile::pcie2_x16()) {
+    manager_.set_node_capacity(1, 1024);  // tiny device: 1 KiB
+  }
+
+  DataHandlePtr make_handle(std::vector<float>& storage, std::size_t floats) {
+    storage.assign(floats, 1.0f);
+    return manager_.register_buffer(storage.data(), floats * sizeof(float),
+                                    sizeof(float));
+  }
+
+  DataManager manager_;
+};
+
+TEST_F(EvictionTest, UnpinnedReplicaIsEvictedUnderPressure) {
+  std::vector<float> a_data, b_data;
+  auto a = make_handle(a_data, 128);  // 512 B
+  auto b = make_handle(b_data, 128);  // 512 B
+
+  a->acquire(1, AccessMode::kRead, nullptr);
+  a->release(1);
+  EXPECT_EQ(manager_.node_allocated(1), 512u);
+
+  b->acquire(1, AccessMode::kRead, nullptr);
+  b->release(1);
+  EXPECT_EQ(manager_.node_allocated(1), 1024u);  // exactly at capacity
+
+  // A third 512 B allocation must evict the oldest resident (a).
+  std::vector<float> c_data;
+  auto c = make_handle(c_data, 128);
+  c->acquire(1, AccessMode::kRead, nullptr);
+  c->release(1);
+  EXPECT_EQ(manager_.node_allocated(1), 1024u);
+  EXPECT_EQ(a->replica_state(1), ReplicaState::kInvalid);
+  EXPECT_EQ(b->replica_state(1), ReplicaState::kShared);
+  EXPECT_EQ(manager_.stats().evictions, 1u);
+  EXPECT_EQ(manager_.stats().overcommits, 0u);
+}
+
+TEST_F(EvictionTest, PinnedReplicasAreNeverEvicted) {
+  std::vector<float> a_data, b_data;
+  auto a = make_handle(a_data, 192);  // 768 B, stays pinned
+  auto b = make_handle(b_data, 128);  // 512 B -> exceeds capacity
+  a->acquire(1, AccessMode::kRead, nullptr);  // no release: pinned
+  b->acquire(1, AccessMode::kRead, nullptr);
+  EXPECT_EQ(a->replica_state(1), ReplicaState::kShared);  // survived
+  EXPECT_EQ(manager_.stats().evictions, 0u);
+  EXPECT_EQ(manager_.stats().overcommits, 1u);  // nothing evictable
+  EXPECT_GT(manager_.node_allocated(1), 1024u);
+  a->release(1);
+  b->release(1);
+}
+
+TEST_F(EvictionTest, OwnedReplicaIsFlushedHomeBeforeEviction) {
+  std::vector<float> a_data, b_data;
+  auto a = make_handle(a_data, 192);
+  auto* device = static_cast<float*>(a->acquire(1, AccessMode::kWrite, nullptr));
+  for (int i = 0; i < 192; ++i) device[i] = 7.0f;
+  a->mark_written(1, 1.0);
+  a->release(1);
+
+  // Pressure from a second handle evicts a's Owned replica: the data must
+  // land back on the host, not be lost.
+  auto b = make_handle(b_data, 128);
+  b->acquire(1, AccessMode::kRead, nullptr);
+  b->release(1);
+  EXPECT_EQ(a->replica_state(1), ReplicaState::kInvalid);
+  EXPECT_EQ(a->replica_state(kHostNode), ReplicaState::kOwned);
+  for (float v : a_data) ASSERT_FLOAT_EQ(v, 7.0f);
+  EXPECT_EQ(manager_.stats().evictions, 1u);
+}
+
+TEST_F(EvictionTest, EvictedDataIsRefetchedOnNextUse) {
+  std::vector<float> a_data, b_data;
+  auto a = make_handle(a_data, 192);
+  a->acquire(1, AccessMode::kRead, nullptr);
+  a->release(1);
+  auto b = make_handle(b_data, 192);
+  b->acquire(1, AccessMode::kRead, nullptr);
+  b->release(1);
+  ASSERT_EQ(a->replica_state(1), ReplicaState::kInvalid);  // evicted
+  // Re-acquiring re-allocates and re-transfers (the §IV-D caveat).
+  const auto before = manager_.stats().host_to_device_count;
+  auto* ptr = static_cast<float*>(a->acquire(1, AccessMode::kRead, nullptr));
+  EXPECT_FLOAT_EQ(ptr[0], 1.0f);
+  EXPECT_EQ(manager_.stats().host_to_device_count, before + 1);
+  a->release(1);
+}
+
+TEST_F(EvictionTest, DyingHandleReturnsItsAllocation) {
+  std::vector<float> a_data;
+  {
+    auto a = make_handle(a_data, 128);
+    a->acquire(1, AccessMode::kRead, nullptr);
+    a->release(1);
+    EXPECT_EQ(manager_.node_allocated(1), 512u);
+  }
+  EXPECT_EQ(manager_.node_allocated(1), 0u);
+}
+
+TEST_F(MemoryTest, StatsTrackBytes) {
+  std::vector<float> data(256, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  h->acquire(1, AccessMode::kRead, nullptr);
+  EXPECT_EQ(manager_.stats().host_to_device_bytes, 1024u);
+  manager_.reset_stats();
+  EXPECT_EQ(manager_.stats().total_count(), 0u);
+}
+
+}  // namespace
+}  // namespace peppher::rt

@@ -1,0 +1,212 @@
+// Direct unit tests of the scheduler policies against a mock environment
+// (the engine-level behaviour is covered in test_engine.cpp; these pin down
+// each policy's decision rule in isolation).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "runtime/scheduler.hpp"
+#include "support/error.hpp"
+
+namespace peppher::rt {
+namespace {
+
+/// Mock world: 3 workers — two CPU cores and one GPU. Task eligibility and
+/// per-worker estimates are table-driven.
+class SchedulerUnit : public ::testing::Test {
+ protected:
+  SchedulerUnit() {
+    for (int i = 0; i < 3; ++i) {
+      WorkerDesc desc;
+      desc.id = i;
+      desc.archs = {i < 2 ? Arch::kCpu : Arch::kCuda};
+      desc.node = i < 2 ? kHostNode : 1;
+      desc.profile = i < 2 ? sim::DeviceProfile::xeon_e5520_core()
+                           : sim::DeviceProfile::tesla_c2050();
+      workers_.push_back(desc);
+    }
+    codelet_.add_impl({Arch::kCpu, "u_cpu", [](ExecContext&) {}, nullptr});
+    codelet_.add_impl({Arch::kCuda, "u_cuda", [](ExecContext&) {}, nullptr});
+
+    env_.workers = &workers_;
+    env_.rng = &rng_;
+    env_.calibration_min = 2;
+    env_.worker_ready_at = [this](WorkerId id) {
+      return ready_[static_cast<std::size_t>(id)];
+    };
+    env_.eligible = [this](const Task& task, WorkerId id) {
+      if (cpu_only_task_ && id == 2) return false;
+      (void)task;
+      return true;
+    };
+    env_.estimate_completion = [this](const Task& task, WorkerId id) {
+      if (!env_.eligible(task, id)) {
+        return std::numeric_limits<double>::infinity();
+      }
+      return ready_[static_cast<std::size_t>(id)] +
+             work_[static_cast<std::size_t>(id)];
+    };
+    env_.estimate_work = [this](const Task& task, WorkerId id) {
+      if (!env_.eligible(task, id)) {
+        return std::numeric_limits<double>::infinity();
+      }
+      return work_[static_cast<std::size_t>(id)];
+    };
+    env_.sample_count = [this](const Task&, WorkerId id) {
+      return samples_[static_cast<std::size_t>(id)];
+    };
+  }
+
+  TaskPtr make_task(int priority = 0) {
+    TaskSpec spec;
+    spec.codelet = &codelet_;
+    spec.priority = priority;
+    return std::make_shared<Task>(std::move(spec), next_seq_++);
+  }
+
+  std::vector<WorkerDesc> workers_;
+  Codelet codelet_{"unit"};
+  Rng rng_{7};
+  SchedEnv env_;
+  std::vector<double> ready_{0.0, 0.0, 0.0};
+  std::vector<double> work_{1.0, 1.0, 1.0};
+  std::vector<std::uint64_t> samples_{100, 100, 100};  // calibrated
+  bool cpu_only_task_ = false;
+  std::uint64_t next_seq_ = 0;
+};
+
+TEST_F(SchedulerUnit, FactoryKnowsAllPolicies) {
+  for (const std::string& name : scheduler_names()) {
+    auto scheduler = make_scheduler(name, env_);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), name);
+    EXPECT_EQ(scheduler->queued(), 0u);
+  }
+  EXPECT_THROW(make_scheduler("nope", env_), Error);
+}
+
+TEST_F(SchedulerUnit, EagerIsFifoAcrossWorkers) {
+  auto scheduler = make_scheduler("eager", env_);
+  auto t1 = make_task();
+  auto t2 = make_task();
+  scheduler->push(t1);
+  scheduler->push(t2);
+  EXPECT_EQ(scheduler->pop(2), t1);  // any worker takes the oldest
+  EXPECT_EQ(scheduler->pop(0), t2);
+  EXPECT_EQ(scheduler->pop(1), nullptr);
+}
+
+TEST_F(SchedulerUnit, EagerPrefersHigherPriority) {
+  auto scheduler = make_scheduler("eager", env_);
+  auto low = make_task(0);
+  auto high = make_task(5);
+  scheduler->push(low);
+  scheduler->push(high);
+  EXPECT_EQ(scheduler->pop(0), high);
+  EXPECT_EQ(scheduler->pop(0), low);
+}
+
+TEST_F(SchedulerUnit, EagerSkipsIneligibleWorker) {
+  auto scheduler = make_scheduler("eager", env_);
+  cpu_only_task_ = true;
+  auto task = make_task();
+  scheduler->push(task);
+  EXPECT_EQ(scheduler->pop(2), nullptr);  // GPU cannot take it
+  EXPECT_EQ(scheduler->pop(1), task);
+}
+
+TEST_F(SchedulerUnit, DmdaPicksMinimalCompletion) {
+  auto scheduler = make_scheduler("dmda", env_);
+  ready_ = {10.0, 5.0, 20.0};
+  work_ = {1.0, 1.0, 1.0};
+  auto task = make_task();
+  scheduler->push(task);
+  EXPECT_EQ(scheduler->pop(1), task);  // worker 1: completion 6.0
+  EXPECT_EQ(scheduler->pop(0), nullptr);
+  EXPECT_EQ(scheduler->pop(2), nullptr);
+}
+
+TEST_F(SchedulerUnit, DmdaCountsQueuedWorkNotYetStarted) {
+  auto scheduler = make_scheduler("dmda", env_);
+  ready_ = {0.0, 100.0, 100.0};
+  work_ = {10.0, 10.0, 10.0};
+  // Twelve tasks pushed before any pops: with pending-work accounting they
+  // cannot all pile up on worker 0.
+  for (int i = 0; i < 12; ++i) scheduler->push(make_task());
+  int on_worker0 = 0;
+  while (scheduler->pop(0) != nullptr) ++on_worker0;
+  EXPECT_LT(on_worker0, 12);
+  EXPECT_GT(on_worker0, 0);
+}
+
+TEST_F(SchedulerUnit, DmdaExploresUncalibratedVariantsFirst) {
+  auto scheduler = make_scheduler("dmda", env_);
+  samples_ = {100, 100, 0};  // GPU variant never sampled
+  ready_ = {0.0, 0.0, 1000.0};  // and apparently terrible
+  auto task = make_task();
+  scheduler->push(task);
+  EXPECT_EQ(scheduler->pop(2), task);  // exploration overrides estimates
+}
+
+TEST_F(SchedulerUnit, DmdaStopsExploringAtCalibrationMin) {
+  auto scheduler = make_scheduler("dmda", env_);
+  samples_ = {2, 2, 2};  // exactly calibration_min
+  ready_ = {1.0, 3.0, 2.0};
+  auto task = make_task();
+  scheduler->push(task);
+  EXPECT_EQ(scheduler->pop(0), task);  // min completion, no exploration
+}
+
+TEST_F(SchedulerUnit, WorkStealingStealsOldestFromBusiest) {
+  auto scheduler = make_scheduler("ws", env_);
+  // All tasks land on worker 0 (shortest queue first fills round-robin-ish;
+  // force determinism by checking relative behaviour instead).
+  std::vector<TaskPtr> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(make_task());
+    scheduler->push(tasks.back());
+  }
+  EXPECT_EQ(scheduler->queued(), 6u);
+  // A worker with an empty queue can steal.
+  int drained = 0;
+  for (int w = 0; w < 3; ++w) {
+    while (scheduler->pop(w) != nullptr) ++drained;
+  }
+  EXPECT_EQ(drained, 6);
+  EXPECT_EQ(scheduler->queued(), 0u);
+}
+
+TEST_F(SchedulerUnit, WorkStealingThiefRespectsEligibility) {
+  auto scheduler = make_scheduler("ws", env_);
+  cpu_only_task_ = true;
+  auto task = make_task();
+  scheduler->push(task);
+  EXPECT_EQ(scheduler->pop(2), nullptr);  // thief GPU can't take it
+  TaskPtr got = scheduler->pop(0);
+  if (got == nullptr) got = scheduler->pop(1);
+  EXPECT_EQ(got, task);
+}
+
+TEST_F(SchedulerUnit, RandomDistributesByWeight) {
+  auto scheduler = make_scheduler("random", env_);
+  // GPU peak GFLOPS dwarfs the CPU cores: with 200 pushes the GPU queue
+  // must receive the overwhelming majority.
+  for (int i = 0; i < 200; ++i) scheduler->push(make_task());
+  int gpu = 0;
+  while (scheduler->pop(2) != nullptr) ++gpu;
+  EXPECT_GT(gpu, 150);
+}
+
+TEST_F(SchedulerUnit, RandomHonoursEligibility) {
+  auto scheduler = make_scheduler("random", env_);
+  cpu_only_task_ = true;
+  for (int i = 0; i < 50; ++i) scheduler->push(make_task());
+  EXPECT_EQ(scheduler->pop(2), nullptr);
+  int cpu = 0;
+  while (scheduler->pop(0) != nullptr) ++cpu;
+  while (scheduler->pop(1) != nullptr) ++cpu;
+  EXPECT_EQ(cpu, 50);
+}
+
+}  // namespace
+}  // namespace peppher::rt

@@ -1,0 +1,112 @@
+// Device-simulation tests: roofline model behaviour, device profiles and
+// the properties the evaluation depends on (C2050 vs C1060 irregularity
+// behaviour, PCIe costs).
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "support/error.hpp"
+
+namespace peppher::sim {
+namespace {
+
+TEST(Roofline, LaunchOverheadDominatesTinyKernels) {
+  const DeviceProfile gpu = DeviceProfile::tesla_c2050();
+  const double t = execution_seconds(gpu, {100.0, 100.0, 1.0});
+  EXPECT_NEAR(t, gpu.launch_overhead_us * 1e-6, 1e-7);
+}
+
+TEST(Roofline, ComputeBoundScalesWithFlops) {
+  const DeviceProfile gpu = DeviceProfile::tesla_c2050();
+  const KernelCost small{1e9, 1e3, 1.0};
+  const KernelCost big{4e9, 1e3, 1.0};
+  const double overhead = gpu.launch_overhead_us * 1e-6;
+  EXPECT_NEAR((execution_seconds(gpu, big) - overhead) /
+                  (execution_seconds(gpu, small) - overhead),
+              4.0, 0.01);
+}
+
+TEST(Roofline, MemoryBoundScalesWithBytes) {
+  const DeviceProfile cpu = DeviceProfile::xeon_e5520_core();
+  const KernelCost small{10.0, 1e8, 1.0};
+  const KernelCost big{10.0, 3e8, 1.0};
+  const double overhead = cpu.launch_overhead_us * 1e-6;
+  EXPECT_NEAR((execution_seconds(cpu, big) - overhead) /
+                  (execution_seconds(cpu, small) - overhead),
+              3.0, 0.01);
+}
+
+TEST(Roofline, IrregularityDegradesBandwidth) {
+  const DeviceProfile gpu = DeviceProfile::tesla_c1060();
+  const KernelCost streaming{1.0, 1e8, 1.0};
+  const KernelCost irregular{1.0, 1e8, 0.0};
+  EXPECT_GT(execution_seconds(gpu, irregular),
+            5.0 * execution_seconds(gpu, streaming));
+}
+
+TEST(Roofline, RegularityIsClamped) {
+  const DeviceProfile gpu = DeviceProfile::tesla_c2050();
+  EXPECT_DOUBLE_EQ(execution_seconds(gpu, {1.0, 1e8, 2.0}),
+                   execution_seconds(gpu, {1.0, 1e8, 1.0}));
+  EXPECT_DOUBLE_EQ(execution_seconds(gpu, {1.0, 1e8, -1.0}),
+                   execution_seconds(gpu, {1.0, 1e8, 0.0}));
+}
+
+TEST(Roofline, NegativeCostRejected) {
+  const DeviceProfile cpu = DeviceProfile::xeon_e5520_core();
+  EXPECT_THROW(execution_seconds(cpu, {-1.0, 0.0, 1.0}), Error);
+}
+
+// The Figure 6 platform-adaptation property: on irregular workloads the
+// cache-less C1060 is slower than 4 CPU cores, while the cached C2050 wins.
+TEST(Profiles, IrregularWorkloadFlipsWinnerBetweenPlatforms) {
+  const KernelCost irregular{1e8, 2e8, 0.1};
+  DeviceProfile cpu_combined = DeviceProfile::xeon_e5520_core();
+  cpu_combined.peak_gflops *= 4 * 0.9;
+  cpu_combined.mem_bandwidth_gbs *= 4;
+
+  const double t_cpu = execution_seconds(cpu_combined, irregular);
+  const double t_c2050 = execution_seconds(DeviceProfile::tesla_c2050(), irregular);
+  const double t_c1060 = execution_seconds(DeviceProfile::tesla_c1060(), irregular);
+  EXPECT_LT(t_c2050, t_cpu);  // cached GPU still wins
+  EXPECT_GT(t_c1060, t_cpu);  // cache-less GPU loses
+}
+
+TEST(Profiles, RegularComputeHeavyWorkloadFavorsBothGpus) {
+  const KernelCost gemm{2e9, 4e7, 1.0};
+  DeviceProfile cpu_combined = DeviceProfile::xeon_e5520_core();
+  cpu_combined.peak_gflops *= 4 * 0.9;
+  cpu_combined.mem_bandwidth_gbs *= 4;
+  const double t_cpu = execution_seconds(cpu_combined, gemm);
+  EXPECT_LT(execution_seconds(DeviceProfile::tesla_c2050(), gemm), t_cpu);
+  EXPECT_LT(execution_seconds(DeviceProfile::tesla_c1060(), gemm), t_cpu);
+}
+
+TEST(Link, TransferCombinesLatencyAndBandwidth) {
+  const LinkProfile link = LinkProfile::pcie2_x16();
+  EXPECT_NEAR(transfer_seconds(link, 0), 10e-6, 1e-9);
+  // 8 GB over 8 GB/s = 1 s.
+  EXPECT_NEAR(transfer_seconds(link, 8ull << 30), 1.0 + 10e-6, 0.08);
+}
+
+TEST(Machine, PresetsDescribeThePaperPlatforms) {
+  const MachineConfig main_platform = MachineConfig::platform_c2050();
+  EXPECT_EQ(main_platform.cpu_cores, 4);
+  ASSERT_EQ(main_platform.accelerators.size(), 1u);
+  EXPECT_EQ(main_platform.accelerators[0].name, "TeslaC2050");
+
+  const MachineConfig second = MachineConfig::platform_c1060();
+  EXPECT_EQ(second.accelerators[0].name, "TeslaC1060");
+
+  const MachineConfig cpu = MachineConfig::cpu_only(8);
+  EXPECT_EQ(cpu.cpu_cores, 8);
+  EXPECT_TRUE(cpu.accelerators.empty());
+}
+
+TEST(DeviceClassNames, RoundTrip) {
+  EXPECT_EQ(to_string(DeviceClass::kCpuCore), "cpu");
+  EXPECT_EQ(to_string(DeviceClass::kCudaGpu), "cuda");
+  EXPECT_EQ(to_string(DeviceClass::kOpenClGpu), "opencl");
+}
+
+}  // namespace
+}  // namespace peppher::sim

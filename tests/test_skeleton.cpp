@@ -1,0 +1,152 @@
+// Utility-mode (skeleton generation) tests — the paper's Figure 4 flow:
+// from a C/C++ header to a component directory tree with pre-filled XML
+// descriptors and implementation stubs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "compose/skeleton.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "xml/xml.hpp"
+
+namespace peppher::compose {
+namespace {
+
+const char* const kSpmvHeader =
+    "void spmv(float* values, int nnz, int nrows, int ncols, int first, "
+    "size_t* colidxs, size_t* rowPtr, float* x, float* y);";
+
+TEST(Skeleton, InterfaceFromDeclarationInfersAccessModes) {
+  const auto decl = cdecl_parser::parse_declaration(
+      "void f(const float* in, float* out_y, int n);");
+  const desc::InterfaceDescriptor iface = interface_from_declaration(decl);
+  EXPECT_EQ(iface.name, "f");
+  EXPECT_EQ(iface.params[0].access, rt::AccessMode::kRead);
+  EXPECT_EQ(iface.params[1].access, rt::AccessMode::kWrite);
+  EXPECT_EQ(iface.params[2].access, rt::AccessMode::kRead);
+  // n is an integer value parameter => suggested as context parameter.
+  ASSERT_EQ(iface.context_params.size(), 1u);
+  EXPECT_EQ(iface.context_params[0].name, "n");
+}
+
+TEST(Skeleton, SizeExpressionGuessing) {
+  const auto decl = cdecl_parser::parse_declaration(
+      "void g(float* data, int ndata, float* aux, int aux_count);");
+  const desc::InterfaceDescriptor iface = interface_from_declaration(decl);
+  EXPECT_EQ(iface.params[0].size_expr, "ndata");      // n<name> convention
+  EXPECT_EQ(iface.params[2].size_expr, "aux_count");  // <name>_count convention
+}
+
+TEST(Skeleton, SizeGuessFallsBackToFirstInteger) {
+  const auto decl = cdecl_parser::parse_declaration("void h(float* p, int m);");
+  const desc::InterfaceDescriptor iface = interface_from_declaration(decl);
+  EXPECT_EQ(iface.params[0].size_expr, "m");
+}
+
+TEST(Skeleton, NoIntegerParamsGuessesOne) {
+  const auto decl = cdecl_parser::parse_declaration("void h(float* p);");
+  const desc::InterfaceDescriptor iface = interface_from_declaration(decl);
+  EXPECT_EQ(iface.params[0].size_expr, "1");
+}
+
+TEST(Skeleton, GeneratesFigure4FileLayout) {
+  const CodegenResult result = generate_skeleton(kSpmvHeader);
+  std::set<std::string> paths;
+  for (const GeneratedFile& f : result.files) paths.insert(f.path);
+  // The paper's "After" directory tree.
+  EXPECT_TRUE(paths.count("spmv/spmv.xml"));
+  EXPECT_TRUE(paths.count("spmv/cpu/spmv_cpu.xml"));
+  EXPECT_TRUE(paths.count("spmv/cpu/spmv_cpu.cpp"));
+  EXPECT_TRUE(paths.count("spmv/openmp/spmv_openmp.xml"));
+  EXPECT_TRUE(paths.count("spmv/openmp/spmv_openmp.cpp"));
+  EXPECT_TRUE(paths.count("spmv/cuda/spmv_cuda.xml"));
+  EXPECT_TRUE(paths.count("spmv/cuda/spmv_cuda.cu"));
+  EXPECT_TRUE(paths.count("main.xml"));
+}
+
+TEST(Skeleton, GeneratedDescriptorsParseBack) {
+  const CodegenResult result = generate_skeleton(kSpmvHeader);
+  for (const GeneratedFile& f : result.files) {
+    if (f.path.find(".xml") == std::string::npos) continue;
+    const xml::Document doc = xml::parse(f.content);
+    if (f.path == "spmv/spmv.xml") {
+      const auto iface = desc::InterfaceDescriptor::from_xml(*doc.root);
+      EXPECT_EQ(iface.name, "spmv");
+      EXPECT_EQ(iface.params.size(), 9u);
+      // 'const'/pointer analysis: non-const pointers default to readwrite.
+      EXPECT_EQ(iface.params[0].access, rt::AccessMode::kReadWrite);
+    } else if (f.path == "spmv/cuda/spmv_cuda.xml") {
+      const auto impl = desc::ImplementationDescriptor::from_xml(*doc.root);
+      EXPECT_EQ(impl.interface_name, "spmv");
+      EXPECT_EQ(impl.arch(), rt::Arch::kCuda);
+      EXPECT_EQ(impl.compile_command, "nvcc");
+    } else if (f.path == "main.xml") {
+      const auto main = desc::MainDescriptor::from_xml(*doc.root);
+      EXPECT_EQ(main.uses.size(), 1u);
+    }
+  }
+}
+
+TEST(Skeleton, ImplementationStubsHaveLoweredSignature) {
+  const CodegenResult result = generate_skeleton(kSpmvHeader);
+  for (const GeneratedFile& f : result.files) {
+    if (f.path == "spmv/cpu/spmv_cpu.cpp") {
+      EXPECT_NE(f.content.find("void spmv_cpu(float* values"), std::string::npos);
+      EXPECT_NE(f.content.find("TODO"), std::string::npos);
+    }
+  }
+}
+
+TEST(Skeleton, DetectsTemplateParameters) {
+  const CodegenResult result = generate_skeleton(
+      "template <typename T> void sort(T* data, size_t n);");
+  for (const GeneratedFile& f : result.files) {
+    if (f.path == "sort/sort.xml") {
+      const auto iface =
+          desc::InterfaceDescriptor::from_xml(*xml::parse(f.content).root);
+      ASSERT_EQ(iface.template_params.size(), 1u);
+      EXPECT_EQ(iface.template_params[0], "T");
+    }
+    if (f.path == "sort/cpu/sort_cpu.cpp") {
+      EXPECT_NE(f.content.find("template <typename T>"), std::string::npos);
+    }
+  }
+}
+
+TEST(Skeleton, MultipleDeclarationsMakeMultipleComponents) {
+  const CodegenResult result = generate_skeleton(
+      "void a(int n);\nvoid b(float* x, int n);", SkeletonOptions{{"cpu"}, true});
+  std::set<std::string> paths;
+  for (const GeneratedFile& f : result.files) paths.insert(f.path);
+  EXPECT_TRUE(paths.count("a/a.xml"));
+  EXPECT_TRUE(paths.count("b/b.xml"));
+}
+
+TEST(Skeleton, CustomBackendList) {
+  const CodegenResult result = generate_skeleton(
+      "void k(int n);", SkeletonOptions{{"cpu", "opencl"}, false});
+  std::set<std::string> paths;
+  for (const GeneratedFile& f : result.files) paths.insert(f.path);
+  EXPECT_TRUE(paths.count("k/opencl/k_opencl.xml"));
+  EXPECT_FALSE(paths.count("k/cuda/k_cuda.xml"));
+  EXPECT_FALSE(paths.count("main.xml"));
+}
+
+TEST(Skeleton, EmptyHeaderThrows) {
+  EXPECT_THROW(generate_skeleton("// nothing\n"), Error);
+}
+
+TEST(Skeleton, WritesFilesToDisk) {
+  const auto dir = std::filesystem::temp_directory_path() / "peppher_skel_test";
+  std::filesystem::remove_all(dir);
+  fs::write_file(dir / "spmv.h", kSpmvHeader);
+  generate_skeleton_from_file(dir / "spmv.h", dir);
+  EXPECT_TRUE(std::filesystem::exists(dir / "spmv" / "spmv.xml"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "spmv" / "cuda" / "spmv_cuda.cu"));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace peppher::compose

@@ -1,0 +1,261 @@
+// Tests for the support substrate: strings, RNG, filesystem helpers,
+// concurrent queues, error types and the parallel_for helper.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/parallel.hpp"
+#include "support/queues.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace peppher {
+namespace {
+
+// ---------------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(strings::trim("  hello \t\n"), "hello");
+  EXPECT_EQ(strings::trim(""), "");
+  EXPECT_EQ(strings::trim("   "), "");
+  EXPECT_EQ(strings::trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = strings::split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  const auto parts = strings::split_whitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(strings::join(parts, "::"), "x::y::z");
+  EXPECT_EQ(strings::join({}, ","), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(strings::starts_with("peppher.h", "pep"));
+  EXPECT_FALSE(strings::starts_with("pe", "pep"));
+  EXPECT_TRUE(strings::ends_with("main.xml", ".xml"));
+  EXPECT_FALSE(strings::ends_with("xml", ".xml"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(strings::replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(strings::replace_all("abc", "x", "y"), "abc");
+  EXPECT_EQ(strings::replace_all("", "a", "b"), "");
+}
+
+TEST(Strings, ToIntRejectsTrailingGarbage) {
+  EXPECT_EQ(strings::to_int("42").value(), 42);
+  EXPECT_EQ(strings::to_int("  -7 ").value(), -7);
+  EXPECT_FALSE(strings::to_int("42x").has_value());
+  EXPECT_FALSE(strings::to_int("").has_value());
+}
+
+TEST(Strings, ToDouble) {
+  EXPECT_DOUBLE_EQ(strings::to_double("2.5").value(), 2.5);
+  EXPECT_FALSE(strings::to_double("2.5.1").has_value());
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(strings::is_identifier("_x9"));
+  EXPECT_FALSE(strings::is_identifier("9x"));
+  EXPECT_FALSE(strings::is_identifier(""));
+  EXPECT_FALSE(strings::is_identifier("a-b"));
+}
+
+TEST(Strings, IndentSkipsEmptyLines) {
+  EXPECT_EQ(strings::indent("a\n\nb", 2), "  a\n\n  b");
+}
+
+// ---------------------------------------------------------------------------
+// rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // law of large numbers
+}
+
+TEST(Rng, NormalRoughlyCentred) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / 10000.0, 5.0, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// fs
+// ---------------------------------------------------------------------------
+
+TEST(Fs, WriteReadRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "peppher_fs_test";
+  const auto file = dir / "sub" / "data.txt";
+  fs::write_file(file, "hello\nworld");
+  EXPECT_EQ(fs::read_file(file), "hello\nworld");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fs, ReadMissingFileThrows) {
+  EXPECT_THROW(fs::read_file("/definitely/not/here.txt"), Error);
+}
+
+TEST(Fs, ListFilesFiltersAndSorts) {
+  const auto dir = std::filesystem::temp_directory_path() / "peppher_ls_test";
+  fs::write_file(dir / "b.xml", "x");
+  fs::write_file(dir / "a.xml", "x");
+  fs::write_file(dir / "c.txt", "x");
+  const auto xmls = fs::list_files(dir, ".xml");
+  ASSERT_EQ(xmls.size(), 2u);
+  EXPECT_EQ(xmls[0].filename(), "a.xml");
+  EXPECT_EQ(xmls[1].filename(), "b.xml");
+  EXPECT_EQ(fs::list_files(dir).size(), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fs, CountSourceLinesIgnoresBlanks) {
+  const auto dir = std::filesystem::temp_directory_path() / "peppher_loc_test";
+  fs::write_file(dir / "f.cpp", "int x;\n\n  \nint y;\n");
+  EXPECT_EQ(fs::count_source_lines(dir / "f.cpp"), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// error
+// ---------------------------------------------------------------------------
+
+TEST(ErrorType, CarriesCodeAndMessage) {
+  const Error e(ErrorCode::kNotFound, "widget");
+  EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+  EXPECT_NE(std::string(e.what()).find("widget"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("not_found"), std::string::npos);
+}
+
+TEST(ErrorType, CheckThrowsOnFalse) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  EXPECT_THROW(check(false, "boom"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// queues
+// ---------------------------------------------------------------------------
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, CloseWakesConsumers) {
+  BlockingQueue<int> q;
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  q.close();
+  consumer.join();
+  EXPECT_FALSE(q.push(1));
+}
+
+TEST(BlockingQueue, DrainsAfterClose) {
+  BlockingQueue<int> q;
+  q.push(42);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 42);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(WorkStealingDeque, OwnerLifoThiefFifo) {
+  WorkStealingDeque<int> d;
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.steal().value(), 1);  // oldest
+  EXPECT_EQ(d.pop().value(), 3);    // newest
+  EXPECT_EQ(d.pop().value(), 2);
+  EXPECT_FALSE(d.pop().has_value());
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(4, 0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int calls = 0;
+  parallel_for(4, 5, 5, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(4, 5, 6, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 5u);
+    EXPECT_EQ(e, 6u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  std::vector<int> hits(3, 0);
+  parallel_for(16, 0, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace peppher

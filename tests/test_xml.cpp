@@ -1,0 +1,164 @@
+// XML parser/serialiser tests, including error reporting and round-trips.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "xml/xml.hpp"
+
+namespace peppher::xml {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  const Document doc = parse("<root/>");
+  EXPECT_EQ(doc.root->name(), "root");
+  EXPECT_EQ(doc.root->child_count(), 0u);
+}
+
+TEST(Xml, ParsesAttributes) {
+  const Document doc = parse(R"(<a x="1" y='two'/>)");
+  EXPECT_EQ(doc.root->attribute("x").value(), "1");
+  EXPECT_EQ(doc.root->attribute("y").value(), "two");
+  EXPECT_FALSE(doc.root->attribute("z").has_value());
+}
+
+TEST(Xml, RequiredAttributeThrowsWhenMissing) {
+  const Document doc = parse("<a x=\"1\"/>");
+  EXPECT_EQ(doc.root->required_attribute("x"), "1");
+  EXPECT_THROW(doc.root->required_attribute("nope"), Error);
+}
+
+TEST(Xml, ParsesNestedChildrenInOrder) {
+  const Document doc = parse("<r><a/><b/><a/></r>");
+  EXPECT_EQ(doc.root->child_count(), 3u);
+  EXPECT_EQ(doc.root->children("a").size(), 2u);
+  EXPECT_EQ(doc.root->all_children()[1]->name(), "b");
+}
+
+TEST(Xml, ParsesTextContentTrimmed) {
+  const Document doc = parse("<r>  hello world \n</r>");
+  EXPECT_EQ(doc.root->text(), "hello world");
+}
+
+TEST(Xml, DecodesEntities) {
+  const Document doc = parse("<r a=\"&lt;&gt;&amp;&quot;&apos;\">&#65;&#x42;</r>");
+  EXPECT_EQ(doc.root->attribute("a").value(), "<>&\"'");
+  EXPECT_EQ(doc.root->text(), "AB");
+}
+
+TEST(Xml, DecodesMultibyteCharacterReference) {
+  const Document doc = parse("<r>&#x20AC;</r>");  // euro sign
+  EXPECT_EQ(doc.root->text(), "\xE2\x82\xAC");
+}
+
+TEST(Xml, SkipsCommentsAndDeclaration) {
+  const Document doc = parse(
+      "<?xml version=\"1.0\"?><!-- hi --><r><!-- inner --><a/></r>");
+  EXPECT_EQ(doc.declaration, "version=\"1.0\"");
+  EXPECT_EQ(doc.root->child_count(), 1u);
+}
+
+TEST(Xml, ParsesCdata) {
+  const Document doc = parse("<r><![CDATA[a < b && c]]></r>");
+  EXPECT_EQ(doc.root->text(), "a < b && c");
+}
+
+TEST(Xml, FindPathWalksHierarchy) {
+  const Document doc = parse("<r><a><b><c x=\"1\"/></b></a></r>");
+  const Element* c = doc.root->find_path("a/b/c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->attribute("x").value(), "1");
+  EXPECT_EQ(doc.root->find_path("a/nope"), nullptr);
+}
+
+TEST(Xml, ChildTextFallback) {
+  const Document doc = parse("<r><k>v</k></r>");
+  EXPECT_EQ(doc.root->child_text("k"), "v");
+  EXPECT_EQ(doc.root->child_text("missing", "dflt"), "dflt");
+}
+
+// -- error cases -------------------------------------------------------------
+
+TEST(Xml, RejectsMismatchedTags) {
+  EXPECT_THROW(parse("<a></b>"), ParseError);
+}
+
+TEST(Xml, RejectsUnterminatedElement) {
+  EXPECT_THROW(parse("<a><b></b>"), ParseError);
+}
+
+TEST(Xml, RejectsDuplicateAttribute) {
+  EXPECT_THROW(parse("<a x=\"1\" x=\"2\"/>"), ParseError);
+}
+
+TEST(Xml, RejectsUnknownEntity) {
+  EXPECT_THROW(parse("<a>&nope;</a>"), ParseError);
+}
+
+TEST(Xml, RejectsEmptyDocument) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("   \n "), ParseError);
+}
+
+TEST(Xml, RejectsTrailingContent) {
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+}
+
+TEST(Xml, ErrorMentionsLineNumber) {
+  try {
+    parse("<a>\n\n<b></c></a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+// -- building & serialisation -------------------------------------------------
+
+TEST(Xml, BuildAndSerialize) {
+  Element root("peppher-interface");
+  root.set_attribute("name", "spmv");
+  Element& fn = root.append_child("function");
+  fn.set_attribute("returnType", "void");
+  fn.append_child("param").set_attribute("name", "x");
+  const std::string text = serialize(root);
+  EXPECT_NE(text.find("<?xml"), std::string::npos);
+  EXPECT_NE(text.find("<peppher-interface name=\"spmv\">"), std::string::npos);
+  EXPECT_NE(text.find("<param name=\"x\"/>"), std::string::npos);
+}
+
+TEST(Xml, SerializeEscapesSpecials) {
+  Element root("r");
+  root.set_attribute("a", "x<y&\"z\"");
+  root.set_text("1 < 2");
+  const std::string text = serialize(root, false);
+  EXPECT_NE(text.find("x&lt;y&amp;&quot;z&quot;"), std::string::npos);
+  EXPECT_NE(text.find("1 &lt; 2"), std::string::npos);
+}
+
+TEST(Xml, RoundTripPreservesStructure) {
+  const std::string original =
+      "<r a=\"1\"><x b=\"&amp;2\"><y/></x><x/>some text</r>";
+  const Document doc1 = parse(original);
+  const std::string text = serialize(*doc1.root);
+  const Document doc2 = parse(text);
+  EXPECT_EQ(doc2.root->name(), "r");
+  EXPECT_EQ(doc2.root->attribute("a").value(), "1");
+  EXPECT_EQ(doc2.root->children("x").size(), 2u);
+  EXPECT_EQ(doc2.root->children("x")[0]->attribute("b").value(), "&2");
+  EXPECT_EQ(doc2.root->text(), "some text");
+}
+
+TEST(Xml, SetAttributeOverwrites) {
+  Element e("a");
+  e.set_attribute("k", "1");
+  e.set_attribute("k", "2");
+  EXPECT_EQ(e.attribute("k").value(), "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+}
+
+TEST(Xml, ToleratesDoctype) {
+  const Document doc = parse("<!DOCTYPE whatever><r/>");
+  EXPECT_EQ(doc.root->name(), "r");
+}
+
+}  // namespace
+}  // namespace peppher::xml

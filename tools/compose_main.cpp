@@ -1,0 +1,18 @@
+// The `compose` command-line tool (see src/compose/tool.hpp for the
+// interface and switches).
+#include <iostream>
+
+#include "compose/tool.hpp"
+#include "support/error.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const peppher::compose::ToolOptions options =
+        peppher::compose::parse_arguments(args);
+    return peppher::compose::run_tool(options, std::cout, std::cerr);
+  } catch (const peppher::Error& e) {
+    std::cerr << "compose: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,123 @@
+// peppher-report: offline analysis of a performance-model sampling
+// directory (the "performance data repository" of §III step 2).
+//
+//   peppher-report <sampling-dir>                      list stored models
+//   peppher-report <sampling-dir> --component=<name>   per-arch regression
+//                       [--sizes=1024,65536,...]        predictions (and the
+//                                                       expected winner) at
+//                                                       the given footprints
+//
+// Use it after training runs (an Engine with sampling_dir set persists its
+// history on shutdown) to inspect what the models learned and where the
+// variant crossovers fall, without re-running anything.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/perfmodel.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+using namespace peppher;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: peppher-report <sampling-dir> [--component=<name>] "
+               "[--sizes=<bytes>[,<bytes>...]]\n");
+  return 1;
+}
+
+void list_models(const rt::PerfRegistry& registry) {
+  const auto models = registry.list();
+  if (models.empty()) {
+    std::printf("no performance models stored\n");
+    return;
+  }
+  std::printf("%-24s %-8s %8s %9s %12s %12s\n", "component", "arch", "entries",
+              "samples", "min bytes", "max bytes");
+  for (const auto& info : models) {
+    std::printf("%-24s %-8s %8zu %9llu %12zu %12zu\n", info.codelet.c_str(),
+                rt::to_string(info.arch).c_str(), info.entries,
+                static_cast<unsigned long long>(info.samples), info.min_bytes,
+                info.max_bytes);
+  }
+}
+
+void predict_component(const rt::PerfRegistry& registry,
+                       const std::string& component,
+                       const std::vector<std::size_t>& sizes) {
+  std::printf("regression predictions for component '%s'\n", component.c_str());
+  std::printf("%-12s", "bytes");
+  const rt::Arch archs[] = {rt::Arch::kCpu, rt::Arch::kCpuOmp, rt::Arch::kCuda,
+                            rt::Arch::kOpenCl};
+  for (rt::Arch arch : archs) {
+    std::printf(" %12s", rt::to_string(arch).c_str());
+  }
+  std::printf(" %10s\n", "winner");
+  for (std::size_t bytes : sizes) {
+    std::printf("%-12zu", bytes);
+    std::optional<double> best;
+    rt::Arch best_arch = rt::Arch::kCpu;
+    for (rt::Arch arch : archs) {
+      const auto estimate = registry.regression_estimate(component, arch, bytes);
+      if (estimate.has_value()) {
+        std::printf(" %12.3e", *estimate);
+        if (!best.has_value() || *estimate < *best) {
+          best = estimate;
+          best_arch = arch;
+        }
+      } else {
+        std::printf(" %12s", "-");
+      }
+    }
+    std::printf(" %10s\n",
+                best.has_value() ? rt::to_string(best_arch).c_str() : "-");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string component;
+  std::vector<std::size_t> sizes = {1024,      16384,    262144,
+                                    4194304,   67108864, 1073741824};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (strings::starts_with(arg, "--component=")) {
+      component = arg.substr(12);
+    } else if (strings::starts_with(arg, "--sizes=")) {
+      sizes.clear();
+      for (const std::string& field : strings::split(arg.substr(8), ',')) {
+        if (auto value = strings::to_int(field)) {
+          sizes.push_back(static_cast<std::size_t>(*value));
+        }
+      }
+      if (sizes.empty()) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (dir.empty()) return usage();
+
+  try {
+    rt::PerfRegistry registry;
+    registry.load(dir);
+    if (component.empty()) {
+      list_models(registry);
+    } else {
+      predict_component(registry, component, sizes);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "peppher-report: %s\n", e.what());
+    return 1;
+  }
+}
