@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_calibration.cpp" "CMakeFiles/bench_ablation_calibration.dir/bench/bench_ablation_calibration.cpp.o" "gcc" "CMakeFiles/bench_ablation_calibration.dir/bench/bench_ablation_calibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/peppher_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/peppher_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/peppher_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peppher_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/peppher_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_containers.dir/bench/bench_ablation_containers.cpp.o"
+  "CMakeFiles/bench_ablation_containers.dir/bench/bench_ablation_containers.cpp.o.d"
+  "bench/bench_ablation_containers"
+  "bench/bench_ablation_containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_spmv_hybrid.dir/bench/bench_fig5_spmv_hybrid.cpp.o"
+  "CMakeFiles/bench_fig5_spmv_hybrid.dir/bench/bench_fig5_spmv_hybrid.cpp.o.d"
+  "bench/bench_fig5_spmv_hybrid"
+  "bench/bench_fig5_spmv_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_spmv_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

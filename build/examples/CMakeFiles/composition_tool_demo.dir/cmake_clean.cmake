@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composition_tool_demo.dir/composition_tool_demo.cpp.o"
+  "CMakeFiles/composition_tool_demo.dir/composition_tool_demo.cpp.o.d"
+  "composition_tool_demo"
+  "composition_tool_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composition_tool_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

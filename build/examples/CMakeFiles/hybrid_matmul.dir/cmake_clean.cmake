@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_matmul.dir/hybrid_matmul.cpp.o"
+  "CMakeFiles/hybrid_matmul.dir/hybrid_matmul.cpp.o.d"
+  "hybrid_matmul"
+  "hybrid_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

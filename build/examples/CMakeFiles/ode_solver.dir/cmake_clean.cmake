@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_solver.dir/ode_solver.cpp.o"
+  "CMakeFiles/ode_solver.dir/ode_solver.cpp.o.d"
+  "ode_solver"
+  "ode_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_pipeline.dir/skeleton_pipeline.cpp.o"
+  "CMakeFiles/skeleton_pipeline.dir/skeleton_pipeline.cpp.o.d"
+  "skeleton_pipeline"
+  "skeleton_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_pipeline.dir/spmv_pipeline.cpp.o"
+  "CMakeFiles/spmv_pipeline.dir/spmv_pipeline.cpp.o.d"
+  "spmv_pipeline"
+  "spmv_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("xml")
+subdirs("cdecl")
+subdirs("sim")
+subdirs("runtime")
+subdirs("containers")
+subdirs("descriptor")
+subdirs("compose")
+subdirs("core")
+subdirs("lib")
+subdirs("apps")

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cpp" "src/apps/CMakeFiles/peppher_apps.dir/bfs.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/bfs.cpp.o.d"
+  "/root/repo/src/apps/cfd.cpp" "src/apps/CMakeFiles/peppher_apps.dir/cfd.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/cfd.cpp.o.d"
+  "/root/repo/src/apps/drivers/bfs_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/bfs_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/bfs_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/bfs_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/bfs_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/bfs_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/cfd_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/cfd_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/cfd_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/cfd_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/cfd_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/cfd_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/drivers.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/drivers.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/drivers.cpp.o.d"
+  "/root/repo/src/apps/drivers/hotspot_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/hotspot_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/hotspot_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/hotspot_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/hotspot_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/hotspot_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/lud_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/lud_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/lud_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/lud_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/lud_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/lud_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/nw_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/nw_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/nw_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/nw_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/nw_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/nw_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/ode_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/ode_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/ode_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/ode_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/ode_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/ode_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/particlefilter_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/particlefilter_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/particlefilter_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/particlefilter_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/particlefilter_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/particlefilter_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/pathfinder_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/pathfinder_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/pathfinder_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/pathfinder_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/pathfinder_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/pathfinder_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/sgemm_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/sgemm_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/sgemm_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/sgemm_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/sgemm_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/sgemm_tool.cpp.o.d"
+  "/root/repo/src/apps/drivers/spmv_direct.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/spmv_direct.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/spmv_direct.cpp.o.d"
+  "/root/repo/src/apps/drivers/spmv_tool.cpp" "src/apps/CMakeFiles/peppher_apps.dir/drivers/spmv_tool.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/drivers/spmv_tool.cpp.o.d"
+  "/root/repo/src/apps/hotspot.cpp" "src/apps/CMakeFiles/peppher_apps.dir/hotspot.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/hotspot.cpp.o.d"
+  "/root/repo/src/apps/lud.cpp" "src/apps/CMakeFiles/peppher_apps.dir/lud.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/lud.cpp.o.d"
+  "/root/repo/src/apps/nw.cpp" "src/apps/CMakeFiles/peppher_apps.dir/nw.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/nw.cpp.o.d"
+  "/root/repo/src/apps/ode.cpp" "src/apps/CMakeFiles/peppher_apps.dir/ode.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/ode.cpp.o.d"
+  "/root/repo/src/apps/particlefilter.cpp" "src/apps/CMakeFiles/peppher_apps.dir/particlefilter.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/particlefilter.cpp.o.d"
+  "/root/repo/src/apps/pathfinder.cpp" "src/apps/CMakeFiles/peppher_apps.dir/pathfinder.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/pathfinder.cpp.o.d"
+  "/root/repo/src/apps/sgemm.cpp" "src/apps/CMakeFiles/peppher_apps.dir/sgemm.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/sgemm.cpp.o.d"
+  "/root/repo/src/apps/sparse.cpp" "src/apps/CMakeFiles/peppher_apps.dir/sparse.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/sparse.cpp.o.d"
+  "/root/repo/src/apps/spmv.cpp" "src/apps/CMakeFiles/peppher_apps.dir/spmv.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/spmv.cpp.o.d"
+  "/root/repo/src/apps/suite.cpp" "src/apps/CMakeFiles/peppher_apps.dir/suite.cpp.o" "gcc" "src/apps/CMakeFiles/peppher_apps.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/peppher_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/peppher_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peppher_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/peppher_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_cdecl.dir/cdecl.cpp.o"
+  "CMakeFiles/peppher_cdecl.dir/cdecl.cpp.o.d"
+  "libpeppher_cdecl.a"
+  "libpeppher_cdecl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_cdecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compose/codegen.cpp" "src/compose/CMakeFiles/peppher_compose.dir/codegen.cpp.o" "gcc" "src/compose/CMakeFiles/peppher_compose.dir/codegen.cpp.o.d"
+  "/root/repo/src/compose/dispatch.cpp" "src/compose/CMakeFiles/peppher_compose.dir/dispatch.cpp.o" "gcc" "src/compose/CMakeFiles/peppher_compose.dir/dispatch.cpp.o.d"
+  "/root/repo/src/compose/expand.cpp" "src/compose/CMakeFiles/peppher_compose.dir/expand.cpp.o" "gcc" "src/compose/CMakeFiles/peppher_compose.dir/expand.cpp.o.d"
+  "/root/repo/src/compose/ir.cpp" "src/compose/CMakeFiles/peppher_compose.dir/ir.cpp.o" "gcc" "src/compose/CMakeFiles/peppher_compose.dir/ir.cpp.o.d"
+  "/root/repo/src/compose/skeleton.cpp" "src/compose/CMakeFiles/peppher_compose.dir/skeleton.cpp.o" "gcc" "src/compose/CMakeFiles/peppher_compose.dir/skeleton.cpp.o.d"
+  "/root/repo/src/compose/tool.cpp" "src/compose/CMakeFiles/peppher_compose.dir/tool.cpp.o" "gcc" "src/compose/CMakeFiles/peppher_compose.dir/tool.cpp.o.d"
+  "/root/repo/src/compose/training.cpp" "src/compose/CMakeFiles/peppher_compose.dir/training.cpp.o" "gcc" "src/compose/CMakeFiles/peppher_compose.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/descriptor/CMakeFiles/peppher_descriptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdecl/CMakeFiles/peppher_cdecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/peppher_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/peppher_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peppher_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/peppher_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_compose.dir/codegen.cpp.o"
+  "CMakeFiles/peppher_compose.dir/codegen.cpp.o.d"
+  "CMakeFiles/peppher_compose.dir/dispatch.cpp.o"
+  "CMakeFiles/peppher_compose.dir/dispatch.cpp.o.d"
+  "CMakeFiles/peppher_compose.dir/expand.cpp.o"
+  "CMakeFiles/peppher_compose.dir/expand.cpp.o.d"
+  "CMakeFiles/peppher_compose.dir/ir.cpp.o"
+  "CMakeFiles/peppher_compose.dir/ir.cpp.o.d"
+  "CMakeFiles/peppher_compose.dir/skeleton.cpp.o"
+  "CMakeFiles/peppher_compose.dir/skeleton.cpp.o.d"
+  "CMakeFiles/peppher_compose.dir/tool.cpp.o"
+  "CMakeFiles/peppher_compose.dir/tool.cpp.o.d"
+  "CMakeFiles/peppher_compose.dir/training.cpp.o"
+  "CMakeFiles/peppher_compose.dir/training.cpp.o.d"
+  "libpeppher_compose.a"
+  "libpeppher_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_core.dir/peppher.cpp.o"
+  "CMakeFiles/peppher_core.dir/peppher.cpp.o.d"
+  "libpeppher_core.a"
+  "libpeppher_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_descriptor.dir/descriptor.cpp.o"
+  "CMakeFiles/peppher_descriptor.dir/descriptor.cpp.o.d"
+  "libpeppher_descriptor.a"
+  "libpeppher_descriptor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_descriptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

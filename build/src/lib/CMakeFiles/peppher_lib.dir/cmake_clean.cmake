@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_lib.dir/skeletons.cpp.o"
+  "CMakeFiles/peppher_lib.dir/skeletons.cpp.o.d"
+  "libpeppher_lib.a"
+  "libpeppher_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

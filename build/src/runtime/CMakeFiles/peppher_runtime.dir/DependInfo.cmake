@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/codelet.cpp" "src/runtime/CMakeFiles/peppher_runtime.dir/codelet.cpp.o" "gcc" "src/runtime/CMakeFiles/peppher_runtime.dir/codelet.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/peppher_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/peppher_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/memory.cpp" "src/runtime/CMakeFiles/peppher_runtime.dir/memory.cpp.o" "gcc" "src/runtime/CMakeFiles/peppher_runtime.dir/memory.cpp.o.d"
+  "/root/repo/src/runtime/perfmodel.cpp" "src/runtime/CMakeFiles/peppher_runtime.dir/perfmodel.cpp.o" "gcc" "src/runtime/CMakeFiles/peppher_runtime.dir/perfmodel.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/peppher_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/peppher_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/runtime/CMakeFiles/peppher_runtime.dir/trace.cpp.o" "gcc" "src/runtime/CMakeFiles/peppher_runtime.dir/trace.cpp.o.d"
+  "/root/repo/src/runtime/types.cpp" "src/runtime/CMakeFiles/peppher_runtime.dir/types.cpp.o" "gcc" "src/runtime/CMakeFiles/peppher_runtime.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/peppher_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peppher_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

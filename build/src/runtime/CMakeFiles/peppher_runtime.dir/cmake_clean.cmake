@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_runtime.dir/codelet.cpp.o"
+  "CMakeFiles/peppher_runtime.dir/codelet.cpp.o.d"
+  "CMakeFiles/peppher_runtime.dir/engine.cpp.o"
+  "CMakeFiles/peppher_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/peppher_runtime.dir/memory.cpp.o"
+  "CMakeFiles/peppher_runtime.dir/memory.cpp.o.d"
+  "CMakeFiles/peppher_runtime.dir/perfmodel.cpp.o"
+  "CMakeFiles/peppher_runtime.dir/perfmodel.cpp.o.d"
+  "CMakeFiles/peppher_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/peppher_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/peppher_runtime.dir/trace.cpp.o"
+  "CMakeFiles/peppher_runtime.dir/trace.cpp.o.d"
+  "CMakeFiles/peppher_runtime.dir/types.cpp.o"
+  "CMakeFiles/peppher_runtime.dir/types.cpp.o.d"
+  "libpeppher_runtime.a"
+  "libpeppher_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

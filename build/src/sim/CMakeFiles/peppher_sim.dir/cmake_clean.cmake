@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_sim.dir/device.cpp.o"
+  "CMakeFiles/peppher_sim.dir/device.cpp.o.d"
+  "libpeppher_sim.a"
+  "libpeppher_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpeppher_sim.a"
+)

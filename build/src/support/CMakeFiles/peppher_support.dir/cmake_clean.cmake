@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_support.dir/error.cpp.o"
+  "CMakeFiles/peppher_support.dir/error.cpp.o.d"
+  "CMakeFiles/peppher_support.dir/fs.cpp.o"
+  "CMakeFiles/peppher_support.dir/fs.cpp.o.d"
+  "CMakeFiles/peppher_support.dir/log.cpp.o"
+  "CMakeFiles/peppher_support.dir/log.cpp.o.d"
+  "CMakeFiles/peppher_support.dir/rng.cpp.o"
+  "CMakeFiles/peppher_support.dir/rng.cpp.o.d"
+  "CMakeFiles/peppher_support.dir/strings.cpp.o"
+  "CMakeFiles/peppher_support.dir/strings.cpp.o.d"
+  "libpeppher_support.a"
+  "libpeppher_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher_xml.dir/xml.cpp.o"
+  "CMakeFiles/peppher_xml.dir/xml.cpp.o.d"
+  "libpeppher_xml.a"
+  "libpeppher_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdecl.dir/test_cdecl.cpp.o"
+  "CMakeFiles/test_cdecl.dir/test_cdecl.cpp.o.d"
+  "test_cdecl"
+  "test_cdecl.pdb"
+  "test_cdecl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

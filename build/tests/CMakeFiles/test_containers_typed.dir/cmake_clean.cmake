@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_containers_typed.dir/test_containers_typed.cpp.o"
+  "CMakeFiles/test_containers_typed.dir/test_containers_typed.cpp.o.d"
+  "test_containers_typed"
+  "test_containers_typed.pdb"
+  "test_containers_typed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_containers_typed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_containers_typed.
+# This may be replaced when dependencies are built.

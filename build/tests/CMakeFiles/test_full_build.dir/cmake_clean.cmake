@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_build.dir/test_full_build.cpp.o"
+  "CMakeFiles/test_full_build.dir/test_full_build.cpp.o.d"
+  "test_full_build"
+  "test_full_build.pdb"
+  "test_full_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_runtime_extras.cpp" "tests/CMakeFiles/test_runtime_extras.dir/test_runtime_extras.cpp.o" "gcc" "tests/CMakeFiles/test_runtime_extras.dir/test_runtime_extras.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/peppher_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/compose/CMakeFiles/peppher_compose.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/peppher_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/peppher_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/descriptor/CMakeFiles/peppher_descriptor.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/peppher_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdecl/CMakeFiles/peppher_cdecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/peppher_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/peppher_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/peppher_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_unit.dir/test_scheduler_unit.cpp.o"
+  "CMakeFiles/test_scheduler_unit.dir/test_scheduler_unit.cpp.o.d"
+  "test_scheduler_unit"
+  "test_scheduler_unit.pdb"
+  "test_scheduler_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

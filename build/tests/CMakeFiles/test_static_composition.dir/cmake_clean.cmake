@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_composition.dir/test_static_composition.cpp.o"
+  "CMakeFiles/test_static_composition.dir/test_static_composition.cpp.o.d"
+  "test_static_composition"
+  "test_static_composition.pdb"
+  "test_static_composition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose.dir/compose_main.cpp.o"
+  "CMakeFiles/compose.dir/compose_main.cpp.o.d"
+  "compose"
+  "compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

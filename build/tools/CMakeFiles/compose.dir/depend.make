@@ -1,0 +1,2 @@
+# Empty dependencies file for compose.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peppher-report.dir/report_main.cpp.o"
+  "CMakeFiles/peppher-report.dir/report_main.cpp.o.d"
+  "peppher-report"
+  "peppher-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peppher-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
