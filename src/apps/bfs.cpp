@@ -26,21 +26,26 @@ void bfs_kernel(const std::uint32_t* rowptr, const std::uint32_t* colidx,
   std::uint32_t level = 0;
   while (changed) {
     changed = false;
+    // Concurrent sweep chunks may relabel the same node; every racing
+    // writer stores the same value (level + 1), as in the Rodinia kernel,
+    // but the accesses must still be atomic to be defined behavior.
     auto sweep = [&](std::size_t begin, std::size_t end, bool* any) {
       for (std::size_t v = begin; v < end; ++v) {
-        if (depth[v] != level) continue;
+        if (std::atomic_ref(depth[v]).load(std::memory_order_relaxed) !=
+            level) {
+          continue;
+        }
         for (std::uint32_t e = rowptr[v]; e < rowptr[v + 1]; ++e) {
-          const std::uint32_t w = colidx[e];
-          if (depth[w] == kUnreached) {
-            depth[w] = level + 1;
+          std::atomic_ref<std::uint32_t> dw(depth[colidx[e]]);
+          if (dw.load(std::memory_order_relaxed) == kUnreached) {
+            dw.store(level + 1, std::memory_order_relaxed);
             *any = true;
           }
         }
       }
     };
     if (ctx != nullptr && ctx->cpu_threads() > 1) {
-      // Same-level relabeling races store the same value (level + 1), as in
-      // the Rodinia kernel; the per-chunk flags are aggregated afterwards.
+      // The per-chunk flags are aggregated after the join.
       std::vector<char> flags(static_cast<std::size_t>(ctx->cpu_threads()), 0);
       std::atomic<std::size_t> next_flag{0};
       ctx->parallel_for(0, nnodes, [&](std::size_t b, std::size_t e) {

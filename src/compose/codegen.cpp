@@ -487,7 +487,7 @@ std::string generate_makefile(const ComponentTree& tree) {
   out << "OBJS = " << strings::join(objects, " ") << "\n\n";
   out << "all: " << app << "\n\n";
   out << app << ": $(OBJS)\n";
-  out << "\t$(CXX) -o $@ $(OBJS) $(PEPPHER_LIBS)\n\n";
+  out << "\t$(CXX) $(CXXFLAGS) -o $@ $(OBJS) $(PEPPHER_LIBS)\n\n";
   out << rules.str();
   out << "clean:\n\trm -f $(OBJS) " << app << "\n";
   return std::move(out).str();

@@ -411,6 +411,8 @@ void Repository::add(ImplementationDescriptor impl_desc) {
   const std::string name = impl_desc.name;
   if (implementations_.find(name) == implementations_.end()) {
     implementation_order_.push_back(name);
+  } else {
+    duplicate_implementations_.insert(name);
   }
   implementations_[name] = std::move(impl_desc);
 }
@@ -509,6 +511,10 @@ std::vector<const InterfaceDescriptor*> Repository::interfaces_bottom_up() const
 
 std::vector<std::string> Repository::validate() const {
   std::vector<std::string> problems;
+  for (const std::string& name : duplicate_implementations_) {
+    problems.push_back("implementation name clash: '" + name +
+                       "' defined more than once (latest definition wins)");
+  }
   for (const std::string& impl_name : implementation_order_) {
     const ImplementationDescriptor& impl = implementations_.at(impl_name);
     if (interfaces_.count(impl.interface_name) == 0) {

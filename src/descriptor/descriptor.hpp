@@ -46,6 +46,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -230,6 +231,9 @@ class Repository {
   std::vector<std::string> interface_order_;
   std::map<std::string, ImplementationDescriptor> implementations_;
   std::vector<std::string> implementation_order_;
+  /// Implementation names registered more than once (later wins); reported
+  /// by validate().
+  std::set<std::string> duplicate_implementations_;
   std::map<std::string, PlatformDescriptor> platforms_;
   std::optional<MainDescriptor> main_;
   std::map<std::string, std::filesystem::path> origins_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <limits>
 #include <sstream>
 #include <unordered_set>
@@ -73,6 +74,28 @@ Engine::Engine(EngineConfig config)
     desc.node = static_cast<MemoryNodeId>(1 + a);
     desc.profile = config_.machine.accelerators[a];
     descs_.push_back(desc);
+  }
+
+  blacklisted_.assign(descs_.size(), 0);
+
+  // Fault injectors (one per accelerator with a non-empty plan). The
+  // transfer hook must be in place before worker threads exist.
+  injectors_.resize(config_.machine.accelerators.size());
+  bool any_faults = false;
+  for (std::size_t a = 0; a < config_.machine.accelerators.size(); ++a) {
+    if (a < config_.accelerator_faults.size() &&
+        config_.accelerator_faults[a].any()) {
+      injectors_[a] = std::make_unique<sim::FaultInjector>(
+          config_.accelerator_faults[a],
+          config_.seed ^ (0x9E3779B97F4A7C15ULL * (a + 1)));
+      any_faults = true;
+    }
+  }
+  if (any_faults) {
+    data_.set_transfer_fault_hook(
+        [this](MemoryNodeId from, MemoryNodeId to, std::size_t bytes) {
+          on_transfer_attempt(from, to, bytes);
+        });
   }
 
   SchedEnv env;
@@ -223,16 +246,11 @@ TaskPtr Engine::submit(TaskSpec spec) {
   {
     std::lock_guard<std::mutex> lock(graph_mutex_);
     task = std::make_shared<Task>(std::move(spec), next_sequence_++);
+    task->retries_left = task->spec.max_retries >= 0 ? task->spec.max_retries
+                                                     : config_.max_retries;
 
     // Someone must be able to run it.
-    bool runnable = false;
-    for (const auto& desc : descs_) {
-      if (worker_eligible(*task, desc.id)) {
-        runnable = true;
-        break;
-      }
-    }
-    if (!runnable) {
+    if (!has_eligible_worker_locked(*task)) {
       --next_sequence_;
       throw Error(ErrorCode::kUnsupported,
                   "no worker on machine '" + config_.machine.name +
@@ -340,6 +358,7 @@ void Engine::worker_main(WorkerId id) {
 void Engine::execute(const TaskPtr& task, Worker& worker) {
   const Implementation* impl = select_impl(*task, worker.desc);
   check(impl != nullptr, "scheduler routed a task to an incapable worker");
+  sim::FaultInjector* injector = injector_for_node(worker.desc.node);
 
   // The combined-CPU worker needs all cores; per-core workers share them.
   std::unique_lock<std::shared_mutex> exclusive_cores;
@@ -350,40 +369,73 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
     shared_cores = std::shared_lock<std::shared_mutex>(cpu_group_mutex_);
   }
 
-  // Make every operand coherent on this worker's memory node.
+  // Make every operand coherent on this worker's memory node. A transfer
+  // fault (injected or real) fails the attempt, not the worker thread; only
+  // the operands actually acquired are released afterwards.
   const std::size_t n_ops = task->spec.operands.size();
   std::vector<void*> buffers(n_ops);
   std::vector<std::size_t> buffer_bytes(n_ops);
   std::vector<std::size_t> element_sizes(n_ops);
   VirtualTime data_ready = 0.0;
-  for (std::size_t i = 0; i < n_ops; ++i) {
-    const TaskOperand& op = task->spec.operands[i];
-    VirtualTime ready = 0.0;
-    buffers[i] = op.handle->acquire(worker.desc.node, op.mode, &ready);
-    data_ready = std::max(data_ready, ready);
-    buffer_bytes[i] = op.handle->bytes();
-    element_sizes[i] = op.handle->element_size();
+  std::size_t acquired = 0;
+  try {
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      const TaskOperand& op = task->spec.operands[i];
+      VirtualTime ready = 0.0;
+      buffers[i] = op.handle->acquire(worker.desc.node, op.mode, &ready);
+      ++acquired;
+      data_ready = std::max(data_ready, ready);
+      buffer_bytes[i] = op.handle->bytes();
+      element_sizes[i] = op.handle->element_size();
+    }
+  } catch (...) {
+    task->error = std::current_exception();
+  }
+
+  // Snapshot read-write pre-images while a retry is still possible: the
+  // write-mode acquire above invalidated every other replica, so a failed
+  // kernel would leave the only "valid" copy holding garbage. (kWrite
+  // operands are fully overwritten, kRead ones unmodified — no snapshot.)
+  std::vector<std::pair<std::size_t, std::vector<std::byte>>> rw_preimages;
+  if (!task->failed() && task->retries_left > 0) {
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      if (task->spec.operands[i].mode != AccessMode::kReadWrite) continue;
+      const auto* p = static_cast<const std::byte*>(buffers[i]);
+      rw_preimages.emplace_back(i,
+                                std::vector<std::byte>(p, p + buffer_bytes[i]));
+    }
   }
 
   // Really run the kernel (numerics), measuring wall time as the fallback
   // virtual cost when no cost hint exists.
-  ExecContext ctx(impl->arch, worker.desc.id,
-                  worker.desc.is_combined_cpu ? cpu_count_ : 1, buffers,
-                  buffer_bytes, element_sizes, task->spec.arg.get());
-  const auto wall_start = std::chrono::steady_clock::now();
-  try {
-    impl->fn(ctx);
-  } catch (...) {
-    // A failing variant must not take the worker down: the task completes
-    // as failed, waiters observe the error, successors are cancelled.
-    task->error = std::current_exception();
+  bool injected_kernel_fault = false;
+  double wall_seconds = 0.0;
+  if (!task->failed()) {
+    ExecContext ctx(impl->arch, worker.desc.id,
+                    worker.desc.is_combined_cpu ? cpu_count_ : 1, buffers,
+                    buffer_bytes, element_sizes, task->spec.arg.get());
+    const auto wall_start = std::chrono::steady_clock::now();
+    try {
+      if (injector != nullptr && injector->next_kernel_fails()) {
+        injected_kernel_fault = true;
+        throw Error(ErrorCode::kIoError,
+                    "injected transient kernel fault on '" +
+                        worker.desc.profile.name + "'");
+      }
+      impl->fn(ctx);
+    } catch (...) {
+      // A failing variant must not take the worker down: the task completes
+      // as failed (or is retried), waiters observe the final outcome.
+      task->error = std::current_exception();
+    }
+    const auto wall_end = std::chrono::steady_clock::now();
+    wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
   }
-  const auto wall_end = std::chrono::steady_clock::now();
-  const double wall_seconds =
-      std::chrono::duration<double>(wall_end - wall_start).count();
 
   double exec_seconds = wall_seconds;
-  if (impl->cost && !task->failed()) {
+  // An injected transient fault still charges the cost model: the device
+  // spent the kernel's time before the failure was noticed.
+  if (impl->cost && (!task->failed() || injected_kernel_fault)) {
     exec_seconds =
         sim::execution_seconds(worker.desc.profile, impl->cost(buffer_bytes,
                                                                task->spec.arg.get()));
@@ -394,15 +446,32 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
   std::vector<TaskPtr> completed_now;
 
   // Completion: advance virtual clocks, refresh replica timestamps, record
-  // history, release successors.
+  // history, then either re-push the task for a retry or release successors.
   {
     std::lock_guard<std::mutex> lock(graph_mutex_);
+    const int attempt_index = task->attempts;
     VirtualTime worker_free = worker.vtime;
     if (worker.desc.is_combined_cpu) {
       worker_free = worker_ready_at_locked(worker.desc.id);
     }
     task->vstart = std::max({worker_free, task->max_pred_end, data_ready});
     task->vend = task->vstart + exec_seconds;
+
+    // A device scheduled to die at virtual time T kills the attempt that
+    // crosses T (its result would never have made it back).
+    if (injector != nullptr && !task->failed() &&
+        injector->plan().die_at_vtime > 0.0 &&
+        task->vend >= injector->plan().die_at_vtime) {
+      try {
+        throw Error(ErrorCode::kIoError,
+                    "device '" + worker.desc.profile.name +
+                        "' died at virtual time " +
+                        std::to_string(injector->plan().die_at_vtime));
+      } catch (...) {
+        task->error = std::current_exception();
+      }
+    }
+
     task->exec_seconds = exec_seconds;
     task->executed_on = worker.desc.id;
     task->executed_arch = impl->arch;
@@ -417,16 +486,55 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
         }
       }
     }
-    worker.stats.tasks_executed++;
+    if (task->failed()) {
+      worker.stats.failed_attempts++;
+      fault_stats_.failed_attempts++;
+      if (injected_kernel_fault) fault_stats_.injected_kernel_faults++;
+    } else {
+      worker.stats.tasks_executed++;
+      arch_counts_[static_cast<std::size_t>(impl->arch)]++;
+    }
     worker.stats.busy_vtime += exec_seconds;
     worker.stats.energy_joules += exec_seconds * worker.desc.profile.busy_watts;
     makespan_ = std::max(makespan_, task->vend);
-    arch_counts_[static_cast<std::size_t>(impl->arch)]++;
 
-    for (const auto& op : task->spec.operands) {
+    // Device life cycle: successful kernels feed die_after_tasks; a dead
+    // device is blacklisted once and its queued tasks drain back.
+    if (injector != nullptr) {
+      if (!task->failed()) injector->record_kernel_success();
+      if (!blacklisted_[static_cast<std::size_t>(worker.desc.id)] &&
+          injector->death_due(worker.vtime)) {
+        blacklist_worker_locked(worker, completed_now);
+      }
+    }
+
+    // Retry decision: exclude the failing architecture, then re-push if an
+    // eligible variant remains and the retry budget allows.
+    bool retrying = false;
+    if (task->failed()) {
+      if (!task->first_failed_arch) task->first_failed_arch = impl->arch;
+      task->excluded_archs |= arch_bit(impl->arch);
+      ++task->attempts;
+      if (task->retries_left > 0 && has_eligible_worker_locked(*task)) {
+        --task->retries_left;
+        fault_stats_.retries++;
+        retrying = true;
+      }
+    }
+
+    // Restore read-write pre-images before unpinning so the retry attempt
+    // reads the data the failed attempt saw.
+    if (retrying) {
+      for (const auto& [i, preimage] : rw_preimages) {
+        std::memcpy(buffers[i], preimage.data(), preimage.size());
+      }
+    }
+
+    for (std::size_t i = 0; i < acquired; ++i) {
+      const TaskOperand& op = task->spec.operands[i];
       if (op.mode != AccessMode::kRead) {
-        // For failed tasks the written data is undefined, but the replica
-        // bookkeeping must stay consistent.
+        // For terminally failed tasks the written data is undefined, but
+        // the replica bookkeeping must stay consistent.
         op.handle->mark_written(worker.desc.node, task->vend);
       }
       // Unpin: the replica stays resident (§IV-H) but becomes evictable.
@@ -447,10 +555,18 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
       record.worker = worker.desc.id;
       record.vstart = task->vstart;
       record.vend = task->vend;
+      record.attempt = attempt_index;
+      record.failed = task->failed();
       tracer_.record(std::move(record));
     }
 
-    complete_locked(task, completed_now);
+    if (retrying) {
+      task->error = nullptr;
+      task->state = TaskState::kReady;
+      scheduler_->push(task);
+    } else {
+      complete_locked(task, completed_now);
+    }
   }
   work_cv_.notify_all();
   for (const TaskPtr& done : completed_now) {
@@ -477,6 +593,12 @@ void Engine::complete_locked(const TaskPtr& task,
     finishing.pop_back();
     current->state = TaskState::kDone;
     completed.push_back(current);
+    if (current->failed()) {
+      fault_stats_.tasks_failed++;
+    } else if (current->attempts > 0 && current->first_failed_arch &&
+               current->executed_arch != *current->first_failed_arch) {
+      fault_stats_.fallbacks++;
+    }
     // inflight_ is decremented by the caller only after the completion
     // callbacks ran, so wait_for_all() implies all callbacks finished.
     for (const auto& successor : current->successors) {
@@ -494,6 +616,18 @@ void Engine::complete_locked(const TaskPtr& task,
           successor->state == TaskState::kBlocked) {
         if (successor->failed()) {
           finishing.push_back(successor);  // cancel: complete without running
+        } else if (!has_eligible_worker_locked(*successor)) {
+          // A device death since submission can strand a ready successor
+          // (e.g. forced to the dead worker); fail it instead of pushing a
+          // task no one may pop.
+          try {
+            throw Error(ErrorCode::kUnsupported,
+                        "task '" + successor->spec.name +
+                            "' has no eligible worker left (device died)");
+          } catch (...) {
+            successor->error = std::current_exception();
+          }
+          finishing.push_back(successor);
         } else {
           successor->state = TaskState::kReady;
           scheduler_->push(successor);
@@ -514,6 +648,9 @@ const Implementation* Engine::select_impl(const Task& task,
     if (task.spec.forced_arch.has_value() && *task.spec.forced_arch != arch) {
       continue;
     }
+    // Architectures whose variant already failed this task are never
+    // retried (the retry policy walks down the remaining variants).
+    if (task.excluded_archs & arch_bit(arch)) continue;
     for (const Implementation& impl : task.spec.codelet->impls()) {
       if (!impl.enabled || impl.arch != arch) continue;
       if (impl.selectable) {
@@ -532,10 +669,63 @@ const Implementation* Engine::select_impl(const Task& task,
 }
 
 bool Engine::worker_eligible(const Task& task, WorkerId id) const {
+  if (blacklisted_[static_cast<std::size_t>(id)]) return false;
   if (task.spec.forced_worker.has_value() && *task.spec.forced_worker != id) {
     return false;
   }
   return select_impl(task, descs_[static_cast<std::size_t>(id)]) != nullptr;
+}
+
+bool Engine::has_eligible_worker_locked(const Task& task) const {
+  for (const auto& desc : descs_) {
+    if (worker_eligible(task, desc.id)) return true;
+  }
+  return false;
+}
+
+sim::FaultInjector* Engine::injector_for_node(MemoryNodeId node) const {
+  if (node <= kHostNode) return nullptr;
+  const auto idx = static_cast<std::size_t>(node - 1);
+  return idx < injectors_.size() ? injectors_[idx].get() : nullptr;
+}
+
+void Engine::on_transfer_attempt(MemoryNodeId from, MemoryNodeId to,
+                                 std::size_t bytes) {
+  // Called under the handle's mutex: graph_mutex_ is off limits here (the
+  // completion path locks them in the opposite order), hence the atomic.
+  for (MemoryNodeId node : {from, to}) {
+    sim::FaultInjector* injector = injector_for_node(node);
+    if (injector != nullptr && injector->next_transfer_fails()) {
+      injected_transfer_faults_.fetch_add(1, std::memory_order_relaxed);
+      throw Error(ErrorCode::kIoError,
+                  "injected transfer fault on hop " + std::to_string(from) +
+                      "->" + std::to_string(to) + " (" +
+                      std::to_string(bytes) + " B)");
+    }
+  }
+}
+
+void Engine::blacklist_worker_locked(Worker& worker,
+                                     std::vector<TaskPtr>& completed) {
+  blacklisted_[static_cast<std::size_t>(worker.desc.id)] = 1;
+  fault_stats_.workers_blacklisted++;
+  log::warn("runtime", "worker {} ('{}') died; blacklisting and draining",
+            worker.desc.id, worker.desc.profile.name);
+  for (const TaskPtr& orphan : scheduler_->drain(worker.desc.id)) {
+    if (has_eligible_worker_locked(*orphan)) {
+      scheduler_->push(orphan);
+    } else {
+      try {
+        throw Error(ErrorCode::kUnsupported,
+                    "task '" + orphan->spec.name +
+                        "' lost its last eligible worker (device '" +
+                        worker.desc.profile.name + "' died)");
+      } catch (...) {
+        orphan->error = std::current_exception();
+      }
+      complete_locked(orphan, completed);
+    }
+  }
 }
 
 VirtualTime Engine::worker_ready_at_locked(WorkerId id) const {
@@ -695,6 +885,21 @@ std::uint64_t Engine::tasks_submitted() const {
   return next_sequence_;
 }
 
+FaultStats Engine::fault_stats() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  FaultStats stats = fault_stats_;
+  stats.injected_transfer_faults =
+      injected_transfer_faults_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool Engine::worker_blacklisted(WorkerId id) const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  check(id >= 0 && id < static_cast<WorkerId>(blacklisted_.size()),
+        "worker_blacklisted: bad worker id");
+  return blacklisted_[static_cast<std::size_t>(id)] != 0;
+}
+
 std::string Engine::summary() const {
   std::lock_guard<std::mutex> lock(graph_mutex_);
   std::ostringstream out;
@@ -706,9 +911,15 @@ std::string Engine::summary() const {
     const double busy = worker->stats.busy_vtime;
     const double utilisation = makespan_ > 0.0 ? 100.0 * busy / makespan_ : 0.0;
     out << "  worker " << worker->desc.id << " (" << worker->desc.profile.name
-        << (worker->desc.is_combined_cpu ? ", combined" : "") << "): "
-        << worker->stats.tasks_executed << " tasks, " << busy << " s busy ("
-        << static_cast<int>(utilisation) << "%)\n";
+        << (worker->desc.is_combined_cpu ? ", combined" : "")
+        << (blacklisted_[static_cast<std::size_t>(worker->desc.id)] ? ", dead"
+                                                                    : "")
+        << "): " << worker->stats.tasks_executed << " tasks, " << busy
+        << " s busy (" << static_cast<int>(utilisation) << "%)";
+    if (worker->stats.failed_attempts > 0) {
+      out << ", " << worker->stats.failed_attempts << " failed attempts";
+    }
+    out << "\n";
   }
   out << "  tasks by architecture:";
   for (int a = 0; a < kArchCount; ++a) {
@@ -720,6 +931,14 @@ std::string Engine::summary() const {
       << transfers.host_to_device_bytes << " B), "
       << transfers.device_to_host_count << " d2h ("
       << transfers.device_to_host_bytes << " B)";
+  out << "\n  faults: " << fault_stats_.injected_kernel_faults
+      << " injected kernel, "
+      << injected_transfer_faults_.load(std::memory_order_relaxed)
+      << " injected transfer; " << fault_stats_.failed_attempts
+      << " failed attempts, " << fault_stats_.retries << " retries, "
+      << fault_stats_.fallbacks << " fallbacks, " << fault_stats_.tasks_failed
+      << " tasks failed, " << fault_stats_.workers_blacklisted
+      << " workers blacklisted";
   double energy = 0.0;
   for (const auto& worker : workers_) energy += worker->stats.energy_joules;
   out << "\n  energy: " << energy << " J (virtual)\n";

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -78,13 +79,38 @@ struct EngineConfig {
 
   /// The scheduler's optimization goal (the main descriptor's <goal>).
   Objective objective = Objective::kTime;
+
+  /// Fault-injection plans, index-aligned with machine.accelerators (missing
+  /// or all-zero entries mean that device never fails). See sim::FaultPlan.
+  std::vector<sim::FaultPlan> accelerator_faults;
+
+  /// How many times a task may be retried on an alternative variant after a
+  /// failed execution attempt (injected or real). Each failed attempt
+  /// excludes the failing architecture, so retries walk down the eligible
+  /// variants with the CPU serial variant as the last resort; a task only
+  /// fails terminally (cancelling its successors) when no eligible variant
+  /// remains. 0 disables retries: the first failure is terminal, which is
+  /// the pre-fault-tolerance behavior.
+  int max_retries = 2;
 };
 
 /// Aggregate per-worker execution counters.
 struct WorkerStats {
-  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_executed = 0;   ///< successful executions
+  std::uint64_t failed_attempts = 0;  ///< executions that ended in an error
   double busy_vtime = 0.0;      ///< virtual seconds spent executing
   double energy_joules = 0.0;   ///< busy time x the device's power draw
+};
+
+/// Engine-wide fault-tolerance counters (see docs/runtime.md).
+struct FaultStats {
+  std::uint64_t injected_kernel_faults = 0;    ///< transient kernel faults injected
+  std::uint64_t injected_transfer_faults = 0;  ///< transfer faults injected
+  std::uint64_t failed_attempts = 0;  ///< execution attempts that failed (any cause)
+  std::uint64_t retries = 0;          ///< failed attempts re-pushed to the scheduler
+  std::uint64_t fallbacks = 0;  ///< tasks that completed on another arch after a failure
+  std::uint64_t tasks_failed = 0;  ///< tasks completed with an error (incl. cancelled)
+  std::uint64_t workers_blacklisted = 0;  ///< workers removed after device death
 };
 
 class Engine {
@@ -169,6 +195,12 @@ class Engine {
   std::array<std::uint64_t, kArchCount> arch_task_counts() const;
   std::uint64_t tasks_submitted() const;
 
+  /// Fault-injection / retry / blacklist counters.
+  FaultStats fault_stats() const;
+
+  /// True once `id` was blacklisted after its simulated device died.
+  bool worker_blacklisted(WorkerId id) const;
+
   /// Human-readable execution summary: per-worker task counts and busy
   /// virtual time (utilisation against the makespan), per-architecture task
   /// counts, PCIe traffic.
@@ -185,6 +217,23 @@ class Engine {
   void worker_main(WorkerId id);
   void execute(const TaskPtr& task, Worker& worker);
   void complete_locked(const TaskPtr& task, std::vector<TaskPtr>& completed);
+
+  /// Injector of the accelerator backing `node`, or nullptr (host node,
+  /// no fault plan).
+  sim::FaultInjector* injector_for_node(MemoryNodeId node) const;
+
+  /// DataManager transfer hook: draws transfer-fault decisions for the
+  /// device endpoint(s) of a copy; throws Error(kIoError) on a fault.
+  /// Runs under the handle's mutex — must not take graph_mutex_.
+  void on_transfer_attempt(MemoryNodeId from, MemoryNodeId to,
+                           std::size_t bytes);
+
+  bool has_eligible_worker_locked(const Task& task) const;
+
+  /// Marks `worker` dead, drains its scheduler queue and re-pushes what can
+  /// still run elsewhere; tasks with no eligible worker left complete as
+  /// failed (appended to `completed` for the caller's callbacks).
+  void blacklist_worker_locked(Worker& worker, std::vector<TaskPtr>& completed);
 
   /// Enabled implementation the worker would run for this task (respecting
   /// forced_arch), or nullptr.
@@ -212,6 +261,15 @@ class Engine {
   std::vector<WorkerDesc> descs_;  ///< immutable after construction
   std::vector<std::unique_ptr<Worker>> workers_;
 
+  /// One fault injector per accelerator (nullptr = fault-free device).
+  /// Immutable after construction; the injectors themselves are thread safe.
+  std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
+
+  /// Transfer faults are counted here instead of fault_stats_ because the
+  /// transfer hook runs under handle mutexes, where graph_mutex_ is off
+  /// limits (lock order).
+  std::atomic<std::uint64_t> injected_transfer_faults_{0};
+
   /// Serialises real execution of the combined-CPU worker against the
   /// per-core CPU workers (they share the same physical cores).
   std::shared_mutex cpu_group_mutex_;
@@ -225,6 +283,8 @@ class Engine {
   std::uint64_t inflight_ = 0;
   VirtualTime makespan_ = 0.0;
   std::array<std::uint64_t, kArchCount> arch_counts_{};
+  std::vector<char> blacklisted_;  ///< per worker; guarded by graph_mutex_
+  FaultStats fault_stats_;  ///< guarded by graph_mutex_ (transfer faults aside)
 };
 
 }  // namespace peppher::rt

@@ -86,6 +86,10 @@ VirtualTime DataHandle::copy_replica(MemoryNodeId from, MemoryNodeId to) {
     return copy_replica(kHostNode, to);
   }
 
+  // Fault injection: a failing hop aborts before any state changes, so the
+  // coherence picture stays exactly as it was.
+  manager_->notify_transfer_attempt(from, to, bytes_);
+
   ensure_allocated(to);
   Replica& dst = replicas_[static_cast<std::size_t>(to)];
   std::memcpy(dst.ptr, src.ptr, bytes_);

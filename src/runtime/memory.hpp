@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -216,12 +217,27 @@ class DataManager {
   void record_transfer(MemoryNodeId from, MemoryNodeId to, std::size_t bytes);
   void reset_stats();
 
+  /// Fault-injection hook, invoked once per single-hop replica copy before
+  /// any state changes; may throw to simulate a failed transfer. Called
+  /// under the handle's mutex, so the hook must not take engine locks. Set
+  /// once by the Engine before worker threads start.
+  using TransferHook =
+      std::function<void(MemoryNodeId from, MemoryNodeId to, std::size_t bytes)>;
+  void set_transfer_fault_hook(TransferHook hook) {
+    transfer_hook_ = std::move(hook);
+  }
+  void notify_transfer_attempt(MemoryNodeId from, MemoryNodeId to,
+                               std::size_t bytes) const {
+    if (transfer_hook_) transfer_hook_(from, to, bytes);
+  }
+
   /// Resets the link virtual clock (benchmark repetition).
   void reset_virtual_time();
 
  private:
   int node_count_;
   sim::LinkProfile link_;
+  TransferHook transfer_hook_;  ///< immutable once workers run
 
   mutable std::mutex mutex_;
   VirtualTime link_free_at_ = 0.0;

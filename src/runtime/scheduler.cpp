@@ -23,6 +23,14 @@ class PerWorkerQueues {
     for (const auto& q : queues_) n += q.size();
     return n;
   }
+
+  /// Empties one worker's queue (drain() of the per-worker-queue policies).
+  std::vector<TaskPtr> take_queue(WorkerId worker) {
+    auto& q = queues_[static_cast<std::size_t>(worker)];
+    std::vector<TaskPtr> out(q.begin(), q.end());
+    q.clear();
+    return out;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -48,6 +56,28 @@ class EagerScheduler final : public Scheduler {
     TaskPtr task = *best;
     queue_.erase(best);
     return task;
+  }
+
+  std::vector<TaskPtr> drain(WorkerId) override {
+    // Central queue: nothing is bound to the dead worker, but tasks that
+    // just lost their only capable worker would otherwise sit forever.
+    std::vector<TaskPtr> out;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      bool runnable = false;
+      for (const auto& w : *env_.workers) {
+        if (env_.eligible(**it, w.id)) {
+          runnable = true;
+          break;
+        }
+      }
+      if (runnable) {
+        ++it;
+      } else {
+        out.push_back(*it);
+        it = queue_.erase(it);
+      }
+    }
+    return out;
   }
 
   std::size_t queued() const override { return queue_.size(); }
@@ -99,6 +129,10 @@ class RandomScheduler final : public Scheduler,
     TaskPtr task = q.front();
     q.pop_front();
     return task;
+  }
+
+  std::vector<TaskPtr> drain(WorkerId dead_worker) override {
+    return take_queue(dead_worker);
   }
 
   std::size_t queued() const override { return total_queued(); }
@@ -165,6 +199,10 @@ class WorkStealingScheduler final : public Scheduler,
     return nullptr;
   }
 
+  std::vector<TaskPtr> drain(WorkerId dead_worker) override {
+    return take_queue(dead_worker);
+  }
+
   std::size_t queued() const override { return total_queued(); }
   const std::string& name() const override { return name_; }
 
@@ -229,6 +267,16 @@ class DmdaScheduler final : public Scheduler {
     pending_work_[static_cast<std::size_t>(worker)] =
         std::max(0.0, pending_work_[static_cast<std::size_t>(worker)] - entry.work);
     return entry.task;
+  }
+
+  std::vector<TaskPtr> drain(WorkerId dead_worker) override {
+    auto& q = queues_[static_cast<std::size_t>(dead_worker)];
+    std::vector<TaskPtr> out;
+    out.reserve(q.size());
+    for (auto& entry : q) out.push_back(std::move(entry.task));
+    q.clear();
+    pending_work_[static_cast<std::size_t>(dead_worker)] = 0.0;
+    return out;
   }
 
   std::size_t queued() const override {

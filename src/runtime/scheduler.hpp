@@ -73,6 +73,12 @@ class Scheduler {
   /// Next task for `worker`, or nullptr if none available to it.
   virtual TaskPtr pop(WorkerId worker) = 0;
 
+  /// Removes and returns the tasks stranded by the death of `dead_worker`:
+  /// everything queued on that worker plus (for centrally queued policies)
+  /// tasks with no eligible worker left. The engine re-pushes the ones that
+  /// are still runnable elsewhere and terminally fails the rest.
+  virtual std::vector<TaskPtr> drain(WorkerId dead_worker) = 0;
+
   /// Total tasks currently queued (diagnostics).
   virtual std::size_t queued() const = 0;
 

@@ -54,6 +54,10 @@ struct TaskSpec {
   /// Synchronous submission: submit() blocks until the task completes.
   bool synchronous = false;
 
+  /// Per-task override of EngineConfig::max_retries (-1 = engine default,
+  /// 0 = fail fast on the first failed attempt).
+  int max_retries = -1;
+
   /// Invoked once after the task completes (successfully or failed), from
   /// the completing worker thread, outside engine locks. Must not block on
   /// other tasks of the same engine.
@@ -74,6 +78,19 @@ class Task {
   int unmet_dependencies = 0;
   std::vector<std::shared_ptr<Task>> successors;
   VirtualTime max_pred_end = 0.0;  ///< latest vend among finished predecessors
+
+  // -- retry bookkeeping (guarded by the Engine's graph mutex) --------------
+
+  /// Retries still allowed after a failed attempt (initialised from the
+  /// spec/engine policy at submission).
+  int retries_left = 0;
+  /// Failed execution attempts so far (a successful task that needed one
+  /// retry finishes with attempts == 1).
+  int attempts = 0;
+  /// Architectures whose variant already failed this task; never retried.
+  ArchMask excluded_archs = 0;
+  /// Architecture of the first failed attempt (fallback accounting).
+  std::optional<Arch> first_failed_arch;
 
   // -- execution results ----------------------------------------------------
   TaskState state = TaskState::kBlocked;

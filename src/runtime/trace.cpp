@@ -45,7 +45,8 @@ std::string Tracer::to_chrome_json() const {
         << ", \"dur\": " << (r.vend - r.vstart) * 1e6
         << ", \"pid\": 1, \"tid\": " << r.worker << ", \"args\": {\"impl\": \""
         << strings::replace_all(r.impl, "\"", "'") << "\", \"sequence\": "
-        << r.sequence << "}}";
+        << r.sequence << ", \"attempt\": " << r.attempt << ", \"failed\": "
+        << (r.failed ? "true" : "false") << "}}";
   }
   out << "\n]\n";
   return std::move(out).str();
@@ -71,7 +72,7 @@ std::string Tracer::to_text_gantt(int columns) const {
           static_cast<std::size_t>(columns) - 1,
           static_cast<std::size_t>(t / makespan * columns));
     };
-    const char mark = r.name.empty() ? '#' : r.name[0];
+    const char mark = r.failed ? 'x' : (r.name.empty() ? '#' : r.name[0]);
     for (std::size_t c = col(r.vstart); c <= col(r.vend); ++c) row[c] = mark;
   }
   std::ostringstream out;

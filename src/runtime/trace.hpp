@@ -14,7 +14,9 @@
 
 namespace peppher::rt {
 
-/// One completed task execution.
+/// One task execution attempt. A task retried after a failed attempt emits
+/// several records: one per failed attempt (failed = true) plus the final
+/// one (its `attempt` index counts the preceding failures).
 struct TaskRecord {
   std::uint64_t sequence = 0;   ///< submission order
   std::string name;             ///< task/component name
@@ -23,6 +25,8 @@ struct TaskRecord {
   WorkerId worker = -1;
   VirtualTime vstart = 0.0;
   VirtualTime vend = 0.0;
+  int attempt = 0;              ///< 0 = first attempt, n = n-th retry
+  bool failed = false;          ///< this attempt ended in an error
 };
 
 /// Thread-safe trace collector (attached to an Engine when

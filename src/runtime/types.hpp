@@ -38,6 +38,14 @@ std::string to_string(Arch arch);
 /// Parses "cpu"/"openmp"/"cuda"/"opencl" (descriptor platform names).
 Arch parse_arch(std::string_view text);
 
+/// Bitmask over Arch values; used by the retry machinery to exclude
+/// architectures whose variant already failed a task.
+using ArchMask = std::uint32_t;
+
+inline constexpr ArchMask arch_bit(Arch arch) noexcept {
+  return ArchMask{1} << static_cast<unsigned>(arch);
+}
+
 /// Identifies a memory space. Node 0 is always host RAM; accelerator nodes
 /// follow in device order.
 using MemoryNodeId = int;

@@ -98,6 +98,39 @@ double execution_seconds(const DeviceProfile& device, const KernelCost& cost) {
   return device.launch_overhead_us * 1e-6 + std::max(compute_time, memory_time);
 }
 
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t salt)
+    : plan_(plan), rng_(plan.seed ^ salt ^ 0xD6E8FEB86659FD93ULL) {}
+
+bool FaultInjector::next_kernel_fails() {
+  if (plan_.kernel_failure_rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.next_double() < plan_.kernel_failure_rate;
+}
+
+bool FaultInjector::next_transfer_fails() {
+  if (plan_.transfer_failure_rate <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rng_.next_double() < plan_.transfer_failure_rate;
+}
+
+void FaultInjector::record_kernel_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++kernel_successes_;
+}
+
+std::uint64_t FaultInjector::kernel_successes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kernel_successes_;
+}
+
+bool FaultInjector::death_due(double device_vtime) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plan_.die_after_tasks > 0 && kernel_successes_ >= plan_.die_after_tasks) {
+    return true;
+  }
+  return plan_.die_at_vtime > 0.0 && device_vtime >= plan_.die_at_vtime;
+}
+
 LinkProfile LinkProfile::pcie2_x16() { return LinkProfile{10.0, 8.0}; }
 
 double transfer_seconds(const LinkProfile& link, std::size_t bytes) {

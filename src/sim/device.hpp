@@ -20,8 +20,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/rng.hpp"
 
 namespace peppher::sim {
 
@@ -84,6 +88,55 @@ struct LinkProfile {
 
 /// Time to move `bytes` across `link`, in (virtual) seconds.
 double transfer_seconds(const LinkProfile& link, std::size_t bytes);
+
+/// Seeded, deterministic fault specification for one simulated device.
+/// Attached per accelerator via EngineConfig::accelerator_faults; the engine
+/// exercises it from the execution and transfer paths so the runtime's retry
+/// / fallback / blacklisting machinery can be tested reproducibly.
+struct FaultPlan {
+  double kernel_failure_rate = 0.0;    ///< P(one kernel attempt fails transiently)
+  double transfer_failure_rate = 0.0;  ///< P(one PCIe hop touching the device fails)
+  std::uint64_t die_after_tasks = 0;   ///< hard death after N successful kernels (0 = never)
+  double die_at_vtime = 0.0;           ///< hard death at this virtual time (0 = never)
+  std::uint64_t seed = 0;              ///< fault-stream seed (mixed with the engine seed)
+
+  /// True if the plan injects anything at all.
+  bool any() const noexcept {
+    return kernel_failure_rate > 0.0 || transfer_failure_rate > 0.0 ||
+           die_after_tasks > 0 || die_at_vtime > 0.0;
+  }
+};
+
+/// Draws one device's fault decisions in execution order. Deterministic for
+/// a fixed (plan, salt) and a fixed sequence of draws; thread safe because
+/// kernel draws come from the device's worker thread while transfer draws
+/// can come from any thread staging data to or from the device's node.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t salt);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// Draws the next transient-kernel-failure decision.
+  bool next_kernel_fails();
+
+  /// Draws the next transfer-failure decision.
+  bool next_transfer_fails();
+
+  /// Records one successful kernel execution (feeds die_after_tasks).
+  void record_kernel_success();
+  std::uint64_t kernel_successes() const;
+
+  /// True once the device's hard-death condition holds: die_after_tasks
+  /// successful kernels executed, or the device clock reached die_at_vtime.
+  bool death_due(double device_vtime) const;
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::uint64_t kernel_successes_ = 0;
+};
 
 /// Machine description: N identical CPU cores plus zero or more accelerators
 /// reached over a shared link. Mirrors the paper's two evaluation platforms.

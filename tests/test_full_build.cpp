@@ -45,6 +45,28 @@ class FullBuild : public ::testing::Test {
     return rc;
   }
 
+  /// The make invocation pointing the generated Makefile at this
+  /// repository's headers and libraries. When the test binary itself is a
+  /// sanitized build the generated application links against instrumented
+  /// static libraries, so the sanitizer flag must ride along in CXXFLAGS.
+  std::string make_command() const {
+    const std::string src_root = std::string(PEPPHER_SOURCE_ROOT) + "/src";
+    const std::string bin_root(PEPPHER_BINARY_ROOT);
+    std::string cxxflags =
+        "-O1 -std=c++20 -I" + dir_.string() + " -I" + src_root;
+    const std::string sanitize(PEPPHER_SANITIZE_FLAG);
+    if (!sanitize.empty()) cxxflags += " " + sanitize;
+    std::string libs;
+    for (const char* lib : {"core", "runtime", "sim", "support"}) {
+      libs += " -L" + bin_root + "/src/" + lib;
+    }
+    libs +=
+        " -lpeppher_core -lpeppher_runtime -lpeppher_sim -lpeppher_support "
+        "-lpthread";
+    return "make -C " + dir_.string() + " CXXFLAGS=\"" + cxxflags +
+           "\" PEPPHER_LIBS=\"" + libs + "\"";
+  }
+
   std::filesystem::path dir_;
 };
 
@@ -88,20 +110,8 @@ TEST_F(FullBuild, GeneratedApplicationBuildsAndRuns) {
   ASSERT_TRUE(std::filesystem::exists(dir_ / "Makefile"));
   ASSERT_TRUE(std::filesystem::exists(dir_ / "peppher.h"));
 
-  const std::string src_root = std::string(PEPPHER_SOURCE_ROOT) + "/src";
-  const std::string bin_root(PEPPHER_BINARY_ROOT);
-  std::string libs;
-  for (const char* lib : {"core", "runtime", "sim", "support"}) {
-    libs += " -L" + bin_root + "/src/" + lib;
-  }
-  libs +=
-      " -lpeppher_core -lpeppher_runtime -lpeppher_sim -lpeppher_support "
-      "-lpthread";
-  const std::string make_command =
-      "make -C " + dir_.string() + " CXXFLAGS=\"-O1 -std=c++20 -I" +
-      dir_.string() + " -I" + src_root + "\" PEPPHER_LIBS=\"" + libs + "\"";
   std::string log;
-  ASSERT_EQ(shell(make_command, &log), 0) << log;
+  ASSERT_EQ(shell(make_command(), &log), 0) << log;
   ASSERT_TRUE(std::filesystem::exists(dir_ / "saxpy_app"));
 
   // -- 5. run it: y = 2 + 3*1 = 5 per element, 256 elements -------------------
@@ -142,22 +152,8 @@ TEST_F(FullBuild, ContainerComponentWithAsyncWrapper) {
                  "}\n");
   ASSERT_EQ(run_compose({(dir_ / "main.xml").string(), "-machine=cpu"}), 0);
 
-  const std::string src_root = std::string(PEPPHER_SOURCE_ROOT) + "/src";
-  const std::string bin_root(PEPPHER_BINARY_ROOT);
-  std::string libs;
-  for (const char* lib : {"core", "runtime", "sim", "support"}) {
-    libs += " -L" + bin_root + "/src/" + lib;
-  }
-  libs +=
-      " -lpeppher_core -lpeppher_runtime -lpeppher_sim -lpeppher_support "
-      "-lpthread";
   std::string log;
-  ASSERT_EQ(shell("make -C " + dir_.string() + " CXXFLAGS=\"-O1 -std=c++20 -I" +
-                      dir_.string() + " -I" + src_root + "\" PEPPHER_LIBS=\"" +
-                      libs + "\"",
-                  &log),
-            0)
-      << log;
+  ASSERT_EQ(shell(make_command(), &log), 0) << log;
   ASSERT_EQ(shell((dir_ / "vscale_app").string(), &log), 0) << log;
   EXPECT_NE(log.find("v0=8.0"), std::string::npos) << log;  // 1 * 2 * 4
 }
@@ -190,22 +186,8 @@ TEST_F(FullBuild, DisabledVariantNeverRuns) {
             0);
   // The openmp variant's source was never written: only composition-time
   // narrowing keeps the build working.
-  const std::string src_root = std::string(PEPPHER_SOURCE_ROOT) + "/src";
-  const std::string bin_root(PEPPHER_BINARY_ROOT);
-  std::string libs;
-  for (const char* lib : {"core", "runtime", "sim", "support"}) {
-    libs += " -L" + bin_root + "/src/" + lib;
-  }
-  libs +=
-      " -lpeppher_core -lpeppher_runtime -lpeppher_sim -lpeppher_support "
-      "-lpthread";
   std::string log;
-  ASSERT_EQ(shell("make -C " + dir_.string() + " CXXFLAGS=\"-O1 -std=c++20 -I" +
-                      dir_.string() + " -I" + src_root + "\" PEPPHER_LIBS=\"" +
-                      libs + "\"",
-                  &log),
-            0)
-      << log;
+  ASSERT_EQ(shell(make_command(), &log), 0) << log;
   ASSERT_EQ(shell((dir_ / "scale_app").string(), &log), 0) << log;
   EXPECT_NE(log.find("v0=4.0"), std::string::npos) << log;
 }

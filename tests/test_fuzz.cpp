@@ -111,6 +111,63 @@ TEST_P(FuzzSeed, HeaderScannerToleratesArbitraryText) {
   EXPECT_NO_THROW({ (void)cdecl_parser::parse_header(blob); });
 }
 
+// ---------------------------------------------------------------------------
+// Targeted malformed-descriptor cases (not random mutations): inputs a user
+// plausibly produces by hand that must yield diagnostics, never crashes.
+// ---------------------------------------------------------------------------
+
+TEST(MalformedDescriptors, TruncatedInputNeverCrashesTheLoader) {
+  const std::string seed = kSeedXml;
+  // Every prefix, including ones that cut an attribute or tag name in half.
+  for (std::size_t len = 0; len <= seed.size(); ++len) {
+    desc::Repository repo;
+    try {
+      repo.load_text(seed.substr(0, len));
+    } catch (const Error&) {
+      // ParseError etc. are fine; crashing or hanging is not.
+    }
+  }
+}
+
+TEST(MalformedDescriptors, DuplicateImplementationNamesAreDiagnosed) {
+  desc::Repository repo;
+  repo.load_text(R"(<peppher-interface name="spmv">
+      <function returnType="void">
+        <param name="y" type="float*" accessMode="write" size="n"/>
+      </function></peppher-interface>)");
+  repo.load_text(R"(<peppher-implementation name="twin" interface="spmv">
+      <platform language="cpu"/></peppher-implementation>)");
+  repo.load_text(R"(<peppher-implementation name="twin" interface="spmv">
+      <platform language="openmp"/></peppher-implementation>)");
+  const auto problems = repo.validate();
+  bool clash_reported = false;
+  for (const std::string& p : problems) {
+    if (p.find("twin") != std::string::npos) clash_reported = true;
+  }
+  EXPECT_TRUE(clash_reported);
+  // Lookup must still resolve to exactly one of the two, not crash.
+  EXPECT_NE(repo.find_implementation("twin"), nullptr);
+}
+
+TEST(MalformedDescriptors, InvalidArchStringsAreRejectedAtLoad) {
+  // The loader validates the platform language eagerly so the error points
+  // at the offending descriptor instead of surfacing at composition time.
+  // (parse_arch trims/lowercases, so "CUDA " or "c++" are legal aliases;
+  // these are the genuinely unknown ones.)
+  for (const char* bogus : {"fortran", "", "x86_64", "cuda9", "open cl"}) {
+    desc::Repository repo;
+    EXPECT_THROW(
+        repo.load_text(std::string(
+                           R"(<peppher-implementation name="i" interface="f">
+          <platform language=")") +
+                       bogus + R"("/></peppher-implementation>)"),
+        Error)
+        << "language '" << bogus << "'";
+    // The rejected descriptor must not be half-registered.
+    EXPECT_EQ(repo.find_implementation("i"), nullptr);
+  }
+}
+
 TEST_P(FuzzSeed, PerfModelDeserializeRejectsMutations) {
   Rng rng(GetParam() * 131);
   rt::HistoryModel seed_model;
