@@ -1,0 +1,238 @@
+#include "analyze/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace peppher::diag {
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+std::string SourceLocation::to_string() const {
+  if (!file.empty()) {
+    std::string out = file;
+    if (line > 0) {
+      out += ":" + std::to_string(line);
+      if (column > 0) out += ":" + std::to_string(column);
+    }
+    return out;
+  }
+  if (line > 0) {
+    std::string out = "line " + std::to_string(line);
+    if (column > 0) out += ", column " + std::to_string(column);
+    return out;
+  }
+  return "";
+}
+
+std::string Diagnostic::format() const {
+  std::string out;
+  const std::string where = location.to_string();
+  if (!where.empty()) out += where + ": ";
+  out += std::string(to_string(severity)) + ": " + message + " [" + code + "]";
+  return out;
+}
+
+void DiagnosticBag::add(std::string code, Severity severity,
+                        std::string message, SourceLocation location) {
+  diagnostics_.push_back(Diagnostic{std::move(code), severity,
+                                    std::move(message), std::move(location)});
+}
+
+void DiagnosticBag::merge(std::vector<Diagnostic> other) {
+  for (Diagnostic& d : other) diagnostics_.push_back(std::move(d));
+}
+
+void DiagnosticBag::sort() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.location.file != b.location.file) {
+                       return a.location.file < b.location.file;
+                     }
+                     if (a.location.line != b.location.line) {
+                       return a.location.line < b.location.line;
+                     }
+                     if (a.location.column != b.location.column) {
+                       return a.location.column < b.location.column;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+std::size_t DiagnosticBag::count(Severity severity) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool DiagnosticBag::fails(bool werror) const noexcept {
+  if (has_errors()) return true;
+  return werror && count(Severity::kWarning) > 0;
+}
+
+std::string DiagnosticBag::format_text() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.format();
+    out += '\n';
+  }
+  if (!diagnostics_.empty()) {
+    out += std::to_string(count(Severity::kError)) + " error(s), " +
+           std::to_string(count(Severity::kWarning)) + " warning(s), " +
+           std::to_string(count(Severity::kNote)) + " note(s)\n";
+  }
+  return out;
+}
+
+std::string DiagnosticBag::format_json() const {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    out += "  {\"code\": \"" + json_escape(d.code) + "\", \"severity\": \"" +
+           std::string(to_string(d.severity)) + "\", \"message\": \"" +
+           json_escape(d.message) + "\", \"file\": \"" +
+           json_escape(d.location.file) +
+           "\", \"line\": " + std::to_string(d.location.line) +
+           ", \"column\": " + std::to_string(d.location.column) + "}";
+    if (i + 1 < diagnostics_.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string DiagnosticBag::format_sarif() const {
+  // SARIF severity levels: note | warning | error.
+  std::string out;
+  out += "{\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"peppher-lint\",\n";
+  out += "          \"informationUri\": \"https://www.peppher.eu/\",\n";
+  out += "          \"rules\": [\n";
+  const std::vector<CodeInfo>& codes = all_codes();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out += "            {\"id\": \"" + std::string(codes[i].code) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(codes[i].summary) + "\"}}";
+    if (i + 1 < codes.size()) out += ',';
+    out += '\n';
+  }
+  out += "          ]\n        }\n      },\n";
+  out += "      \"results\": [\n";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    out += "        {\"ruleId\": \"" + json_escape(d.code) +
+           "\", \"level\": \"" + std::string(to_string(d.severity)) +
+           "\", \"message\": {\"text\": \"" + json_escape(d.message) + "\"}";
+    if (d.location.known()) {
+      out += ", \"locations\": [{\"physicalLocation\": {";
+      out += "\"artifactLocation\": {\"uri\": \"" +
+             json_escape(d.location.file) + "\"}";
+      if (d.location.line > 0) {
+        out += ", \"region\": {\"startLine\": " +
+               std::to_string(d.location.line);
+        if (d.location.column > 0) {
+          out += ", \"startColumn\": " + std::to_string(d.location.column);
+        }
+        out += "}";
+      }
+      out += "}}]";
+    }
+    out += "}";
+    if (i + 1 < diagnostics_.size()) out += ',';
+    out += '\n';
+  }
+  out += "      ]\n    }\n  ]\n}\n";
+  return out;
+}
+
+const std::vector<CodeInfo>& all_codes() {
+  static const std::vector<CodeInfo> kCodes = {
+      {"PL000", "descriptor file failed to parse"},
+      {"PL001", "implementation signature arity differs from the interface"},
+      {"PL002", "implementation parameter type differs from the interface"},
+      {"PL003", "implementation is const-qualified against a written operand"},
+      {"PL004", "access mode declares a write through a const type"},
+      {"PL005", "operand declared read-only but typed mutable"},
+      {"PL006", "no declaration of the variant found in its sources"},
+      {"PL007", "implementation source file not found"},
+      {"PL008", "non-operand (value) parameter declared writable"},
+      {"PL010", "implementation language conflicts with its target platform kind"},
+      {"PL011", "no platform descriptor provides the variant's backend"},
+      {"PL012", "component has no viable implementation variant left"},
+      {"PL013", "main module targets an unknown platform"},
+      {"PL020", "dispatch table selects an unknown implementation variant"},
+      {"PL021", "dispatch table selects a variant of another interface"},
+      {"PL022", "dispatch entry unreachable (non-ascending upper bound)"},
+      {"PL023", "dispatch table not compacted (adjacent equal choices)"},
+      {"PL024", "dispatch entry architecture disagrees with the variant"},
+      {"PL025", "dispatch table matches no interface in the repository"},
+      {"PL026", "dispatch table selects a disabled variant"},
+      {"PL027", "dispatch table is empty (training produced no data)"},
+      {"PL030", "one call binds the same data twice with a write (aliasing)"},
+      {"PL031", "read/write race: concurrent reads hide a mutable access"},
+      {"PL032", "write/write race: concurrent reads both hide writes"},
+      {"PL033", "container overwritten before any read (dead write)"},
+      {"PL034", "call names an unknown interface"},
+      {"PL035", "call argument names an unknown parameter"},
+      {"PL036", "call leaves an operand parameter unbound"},
+      {"PL040", "implementation name defined more than once"},
+      {"PL041", "implementation provides an unknown interface"},
+      {"PL042", "implementation requires an unknown interface"},
+      {"PL043", "implementation targets an unknown platform"},
+      {"PL044", "constraint references an undeclared parameter"},
+      {"PL045", "interface has no implementation variants"},
+      {"PL046", "interface requests an unsupported performance metric"},
+      {"PL047", "main module uses an unknown interface"},
+      {"PL048", "disableImpls names neither an implementation nor an architecture"},
+      {"PL050", "interface declares duplicate parameter names"},
+      {"PL051", "size expression references an undeclared parameter"},
+  };
+  return kCodes;
+}
+
+std::string_view code_summary(std::string_view code) {
+  for (const CodeInfo& info : all_codes()) {
+    if (info.code == code) return info.summary;
+  }
+  return "";
+}
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace peppher::diag

@@ -1,0 +1,76 @@
+// peppher-lint: static diagnostics over a component repository and a main
+// module, run before code generation ("Optimized Composition", Kessler &
+// Dastgeer arXiv:1405.2915: composition correctness is checked at the
+// metadata level, before variant selection).
+//
+// Four check families, on top of the repository's own structural
+// diagnostics (Repository::diagnose, PL04x/PL05x):
+//
+//   * signature cross-checks (PL001..PL008): every implementation's C
+//     signature — parsed from its source files with the cdecl parser — is
+//     compared against the interface descriptor's lowered signature (arity,
+//     types, const/pointer qualifiers), and the declared access modes are
+//     checked against the parameter types' constness;
+//   * platform feasibility (PL010..PL013): variants whose backend no
+//     platform descriptor (or target machine) provides, and components left
+//     with zero viable variants after disableImpls narrowing;
+//   * dispatch-table coverage (PL020..PL027): "<interface>.dispatch" files
+//     next to the descriptors are checked for unknown/disabled variants,
+//     unreachable entries, stale architectures and empty (untrained) tables;
+//   * task-graph hazard analysis (PL030..PL036): the main module's declared
+//     <calls> sequence is executed symbolically; write/write and read/write
+//     conflicts that the declared access modes would let the runtime
+//     schedule concurrently are reported, as are aliasing binds and dead
+//     writes.
+//
+// The compose pipeline runs the same checks (compose/tool.cpp), so
+// `compose_main` fails fast with the same messages as `peppher-lint`.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "analyze/diagnostics.hpp"
+#include "descriptor/descriptor.hpp"
+#include "sim/device.hpp"
+
+namespace peppher::analyze {
+
+struct LintOptions {
+  /// Additional user-guided narrowing (the compose -disableImpls switch):
+  /// implementation names or architecture names.
+  std::vector<std::string> disable_impls;
+
+  /// When set, platform feasibility also counts the machine's devices as
+  /// providers of their architectures (compose passes the recipe machine).
+  std::optional<sim::MachineConfig> machine;
+
+  /// Parse implementation sources with the cdecl parser and cross-check
+  /// signatures. Disable for descriptor-only linting.
+  bool check_sources = true;
+
+  /// Directory scanned for "<interface>.dispatch" files (set by lint_path;
+  /// empty skips the dispatch checks).
+  std::filesystem::path root;
+};
+
+/// Runs every check over an already-loaded repository. The result is sorted
+/// by location (DiagnosticBag::sort).
+diag::DiagnosticBag run_lint(const desc::Repository& repo,
+                             const LintOptions& options = {});
+
+/// Loads descriptors from `path` (a directory, or one descriptor file whose
+/// directory is scanned alongside) and lints them. Files that fail to parse
+/// become PL000 diagnostics instead of aborting the run.
+diag::DiagnosticBag lint_path(const std::filesystem::path& path,
+                              const LintOptions& options = {});
+
+/// The lowered C signature the composition tool expects an implementation
+/// of `interface` to define (mirrors compose/codegen lowering: smart
+/// containers become element pointer + extent parameters). Exposed for the
+/// signature checks and tests.
+std::string expected_impl_signature(const desc::InterfaceDescriptor& interface,
+                                    const std::string& function_name);
+
+}  // namespace peppher::analyze

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "analyze/lint.hpp"
 #include "compose/codegen.hpp"
 #include "compose/expand.hpp"
 #include "support/error.hpp"
@@ -61,6 +62,8 @@ std::string usage() {
          "  -dumpIR\n"
          "  -outdir=<dir>\n"
          "  -backends=<cpu,openmp,cuda>\n"
+         "  -lint\n"
+         "  -werror\n"
          "  -verbose\n";
 }
 
@@ -109,6 +112,10 @@ ToolOptions parse_arguments(const std::vector<std::string>& args) {
       }
     } else if (arg == "-expandTunables" || arg == "--expandTunables") {
       options.recipe.expand_tunables = true;
+    } else if (arg == "-lint" || arg == "--lint") {
+      options.lint_only = true;
+    } else if (arg == "-werror" || arg == "--werror") {
+      options.werror = true;
     } else if (arg == "-dumpIR" || arg == "--dumpIR") {
       options.dump_ir = true;
     } else if (arg == "-verbose" || arg == "--verbose") {
@@ -160,8 +167,25 @@ int run_tool(const ToolOptions& options, std::ostream& out, std::ostream& err) {
                                               : main_path.parent_path().string());
     // Ensure the main descriptor itself is loaded even if outside the tree.
     repo.load_file(main_path);
-    for (const std::string& problem : repo.validate()) {
-      err << "warning: " << problem << "\n";
+
+    // Static checks (peppher-lint) before any code generation: the same
+    // engine the standalone `peppher-lint` tool runs, so composition fails
+    // fast with identical messages.
+    analyze::LintOptions lint_options;
+    lint_options.disable_impls = options.recipe.disable_impls;
+    lint_options.machine = options.recipe.machine;
+    lint_options.root = main_path.parent_path().empty()
+                            ? std::filesystem::path(".")
+                            : main_path.parent_path();
+    const diag::DiagnosticBag lint = analyze::run_lint(repo, lint_options);
+    if (!lint.empty()) err << lint.format_text();
+    if (lint.fails(options.werror)) {
+      err << "compose: static checks failed; no code generated\n";
+      return 1;
+    }
+    if (options.lint_only) {
+      out << "lint: " << lint.diagnostics().size() << " diagnostic(s), 0 fatal\n";
+      return 0;
     }
 
     ComponentTree tree = build_tree(repo, options.recipe);

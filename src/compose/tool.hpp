@@ -12,7 +12,13 @@
 //   -expandTunables                   variant per tunable-value combination
 //   -outdir=<dir>                     output directory for generated files
 //   -backends=<cpu,openmp,cuda>       utility mode: backends to scaffold
+//   -lint                             run the static checks, skip codegen
+//   -werror                           lint warnings abort composition too
 //   -verbose                          print per-step reports
+//
+// Build mode always runs the peppher-lint static checks (src/analyze)
+// before code generation and aborts on error-severity diagnostics, so
+// `compose main.xml` fails fast with the same messages as `peppher-lint`.
 //
 // The driver is a library function so tests can exercise it without
 // spawning processes; tools/compose_main.cpp is a thin wrapper.
@@ -34,7 +40,9 @@ struct ToolOptions {
   Recipe recipe;
   SkeletonOptions skeleton;
   bool verbose = false;
-  bool dump_ir = false;  ///< print the component tree after the IR passes
+  bool dump_ir = false;    ///< print the component tree after the IR passes
+  bool lint_only = false;  ///< -lint: stop after the static checks
+  bool werror = false;     ///< -werror: warnings abort composition too
 };
 
 /// Parses argv-style arguments (without argv[0]). Throws

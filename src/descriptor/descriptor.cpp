@@ -1,6 +1,7 @@
 #include "descriptor/descriptor.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <functional>
 #include <set>
 
@@ -23,6 +24,33 @@ std::optional<double> optional_attr_double(const xml::Element& element,
                                            std::string_view key) {
   if (auto raw = element.attribute(key)) return strings::to_double(*raw);
   return std::nullopt;
+}
+
+diag::SourceLocation loc_of(const xml::Element& element) {
+  return diag::SourceLocation{"", element.line(), element.column()};
+}
+
+/// C-like identifiers appearing in a size expression ("nrows*ncols" ->
+/// {"nrows","ncols"}); "sizeof" is not reported.
+std::vector<std::string> identifiers_in(std::string_view expr) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    const char c = expr[i];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < expr.size() &&
+             (std::isalnum(static_cast<unsigned char>(expr[i])) ||
+              expr[i] == '_')) {
+        ++i;
+      }
+      std::string ident(expr.substr(start, i - start));
+      if (ident != "sizeof") out.push_back(std::move(ident));
+    } else {
+      ++i;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -67,10 +95,12 @@ InterfaceDescriptor InterfaceDescriptor::from_xml(const xml::Element& element) {
   }
   InterfaceDescriptor out;
   out.name = element.required_attribute("name");
+  out.loc = loc_of(element);
   const xml::Element& function = element.required_child("function");
   out.return_type = function.attribute("returnType").value_or("void");
   for (const xml::Element* param : function.children("param")) {
     ParamDesc p;
+    p.loc = loc_of(*param);
     p.name = param->required_attribute("name");
     p.type = param->required_attribute("type");
     p.access = rt::parse_access_mode(
@@ -163,6 +193,7 @@ ImplementationDescriptor ImplementationDescriptor::from_xml(
   ImplementationDescriptor out;
   out.name = element.required_attribute("name");
   out.interface_name = element.required_attribute("interface");
+  out.loc = loc_of(element);
   const xml::Element& platform = element.required_child("platform");
   out.language = platform.required_attribute("language");
   out.target_platform = platform.attribute("target").value_or("");
@@ -206,6 +237,7 @@ ImplementationDescriptor ImplementationDescriptor::from_xml(
   if (const xml::Element* constraints = element.child("constraints")) {
     for (const xml::Element* constraint : constraints->children("constraint")) {
       ConstraintDesc c;
+      c.loc = loc_of(*constraint);
       c.param = constraint->required_attribute("param");
       c.min = optional_attr_double(*constraint, "min");
       c.max = optional_attr_double(*constraint, "max");
@@ -283,6 +315,7 @@ PlatformDescriptor PlatformDescriptor::from_xml(const xml::Element& element) {
   PlatformDescriptor out;
   out.name = element.required_attribute("name");
   out.kind = element.attribute("kind").value_or("cpu");
+  out.loc = loc_of(element);
   for (const xml::Element* property : element.children("property")) {
     out.properties[property->required_attribute("name")] =
         property->required_attribute("value");
@@ -320,6 +353,7 @@ MainDescriptor MainDescriptor::from_xml(const xml::Element& element) {
   MainDescriptor out;
   out.name = element.required_attribute("name");
   out.source = element.attribute("source").value_or("main.cpp");
+  out.loc = loc_of(element);
   if (const xml::Element* target = element.child("target")) {
     out.target_platform = target->attribute("platform").value_or("");
   }
@@ -328,6 +362,21 @@ MainDescriptor MainDescriptor::from_xml(const xml::Element& element) {
   }
   for (const xml::Element* uses : element.children("uses")) {
     out.uses.push_back(uses->required_attribute("interface"));
+  }
+  if (const xml::Element* calls = element.child("calls")) {
+    for (const xml::Element* call : calls->children("call")) {
+      CallDesc c;
+      c.interface_name = call->required_attribute("interface");
+      c.loc = loc_of(*call);
+      for (const xml::Element* arg : call->children("arg")) {
+        CallArgDesc a;
+        a.param = arg->required_attribute("param");
+        a.data = arg->required_attribute("data");
+        a.loc = loc_of(*arg);
+        c.args.push_back(std::move(a));
+      }
+      out.calls.push_back(std::move(c));
+    }
   }
   if (const xml::Element* composition = element.child("composition")) {
     out.use_history_models = parse_bool(
@@ -351,6 +400,18 @@ std::unique_ptr<xml::Element> MainDescriptor::to_xml() const {
   for (const std::string& iface : uses) {
     root->append_child("uses").set_attribute("interface", iface);
   }
+  if (!calls.empty()) {
+    xml::Element& calls_elem = root->append_child("calls");
+    for (const CallDesc& c : calls) {
+      xml::Element& call = calls_elem.append_child("call");
+      call.set_attribute("interface", c.interface_name);
+      for (const CallArgDesc& a : c.args) {
+        xml::Element& arg = call.append_child("arg");
+        arg.set_attribute("param", a.param);
+        arg.set_attribute("data", a.data);
+      }
+    }
+  }
   xml::Element& composition = root->append_child("composition");
   composition.set_attribute("useHistoryModels",
                             use_history_models ? "true" : "false");
@@ -372,27 +433,38 @@ void Repository::scan(const std::filesystem::path& root) {
 }
 
 void Repository::load_file(const std::filesystem::path& path) {
-  load_text(fs::read_file(path), path.parent_path());
+  load_text(fs::read_file(path), path.parent_path(), path.string());
 }
 
 void Repository::load_text(std::string_view text,
-                           const std::filesystem::path& origin) {
+                           const std::filesystem::path& origin,
+                           const std::string& source_file) {
   const xml::Document doc = xml::parse(text);
   const std::string& root = doc.root->name();
   if (root == "peppher-interface") {
     InterfaceDescriptor d = InterfaceDescriptor::from_xml(*doc.root);
+    d.loc.file = source_file;
+    for (ParamDesc& p : d.params) p.loc.file = source_file;
     origins_[d.name] = origin;
     add(std::move(d));
   } else if (root == "peppher-implementation") {
     ImplementationDescriptor d = ImplementationDescriptor::from_xml(*doc.root);
+    d.loc.file = source_file;
+    for (ConstraintDesc& c : d.constraints) c.loc.file = source_file;
     origins_[d.name] = origin;
     add(std::move(d));
   } else if (root == "peppher-platform") {
     PlatformDescriptor d = PlatformDescriptor::from_xml(*doc.root);
+    d.loc.file = source_file;
     origins_[d.name] = origin;
     add(std::move(d));
   } else if (root == "peppher-main") {
     MainDescriptor d = MainDescriptor::from_xml(*doc.root);
+    d.loc.file = source_file;
+    for (CallDesc& c : d.calls) {
+      c.loc.file = source_file;
+      for (CallArgDesc& a : c.args) a.loc.file = source_file;
+    }
     origins_[d.name] = origin;
     add(std::move(d));
   }
@@ -509,28 +581,37 @@ std::vector<const InterfaceDescriptor*> Repository::interfaces_bottom_up() const
   return out;
 }
 
-std::vector<std::string> Repository::validate() const {
-  std::vector<std::string> problems;
+std::vector<diag::Diagnostic> Repository::diagnose() const {
+  using diag::Severity;
+  diag::DiagnosticBag bag;
   for (const std::string& name : duplicate_implementations_) {
-    problems.push_back("implementation name clash: '" + name +
-                       "' defined more than once (latest definition wins)");
+    bag.add("PL040", Severity::kWarning,
+            "implementation name clash: '" + name +
+                "' defined more than once (latest definition wins)",
+            implementations_.at(name).loc);
   }
   for (const std::string& impl_name : implementation_order_) {
     const ImplementationDescriptor& impl = implementations_.at(impl_name);
     if (interfaces_.count(impl.interface_name) == 0) {
-      problems.push_back("implementation '" + impl.name +
-                         "' provides unknown interface '" + impl.interface_name + "'");
+      bag.add("PL041", Severity::kError,
+              "implementation '" + impl.name + "' provides unknown interface '" +
+                  impl.interface_name + "'",
+              impl.loc);
     }
     for (const std::string& req : impl.required_interfaces) {
       if (interfaces_.count(req) == 0) {
-        problems.push_back("implementation '" + impl.name +
-                           "' requires unknown interface '" + req + "'");
+        bag.add("PL042", Severity::kError,
+                "implementation '" + impl.name + "' requires unknown interface '" +
+                    req + "'",
+                impl.loc);
       }
     }
     if (!impl.target_platform.empty() &&
         platforms_.count(impl.target_platform) == 0) {
-      problems.push_back("implementation '" + impl.name +
-                         "' targets unknown platform '" + impl.target_platform + "'");
+      bag.add("PL043", Severity::kError,
+              "implementation '" + impl.name + "' targets unknown platform '" +
+                  impl.target_platform + "'",
+              impl.loc);
     }
     for (const ConstraintDesc& constraint : impl.constraints) {
       const InterfaceDescriptor* iface = find_interface(impl.interface_name);
@@ -541,33 +622,80 @@ std::vector<std::string> Repository::validate() const {
           std::any_of(iface->params.begin(), iface->params.end(),
                       [&](const ParamDesc& p) { return p.name == constraint.param; });
       if (!known) {
-        problems.push_back("implementation '" + impl.name +
-                           "' constrains unknown parameter '" + constraint.param + "'");
+        bag.add("PL044", Severity::kError,
+                "implementation '" + impl.name + "' constrains unknown parameter '" +
+                    constraint.param + "'",
+                constraint.loc.known() ? constraint.loc : impl.loc);
       }
     }
   }
   for (const std::string& iface_name : interface_order_) {
+    const InterfaceDescriptor& iface = interfaces_.at(iface_name);
     if (implementations_of(iface_name).empty()) {
-      problems.push_back("interface '" + iface_name +
-                         "' has no implementation variants");
+      bag.add("PL045", Severity::kWarning,
+              "interface '" + iface_name + "' has no implementation variants",
+              iface.loc);
     }
     // The runtime's performance models provide average execution time; any
     // other requested metric has no provider in this framework.
-    for (const std::string& metric : interfaces_.at(iface_name).performance_metrics) {
+    for (const std::string& metric : iface.performance_metrics) {
       if (metric != "avg_exec_time") {
-        problems.push_back("interface '" + iface_name +
-                           "' requests unsupported performance metric '" +
-                           metric + "'");
+        bag.add("PL046", Severity::kWarning,
+                "interface '" + iface_name +
+                    "' requests unsupported performance metric '" + metric + "'",
+                iface.loc);
+      }
+    }
+    std::set<std::string> seen_params;
+    for (const ParamDesc& p : iface.params) {
+      if (!seen_params.insert(p.name).second) {
+        bag.add("PL050", Severity::kError,
+                "interface '" + iface_name + "' declares parameter '" + p.name +
+                    "' more than once",
+                p.loc.known() ? p.loc : iface.loc);
+      }
+    }
+    for (const ParamDesc& p : iface.params) {
+      for (const std::string& ident : identifiers_in(p.size_expr)) {
+        if (seen_params.count(ident) == 0) {
+          bag.add("PL051", Severity::kError,
+                  "size expression '" + p.size_expr + "' of parameter '" +
+                      p.name + "' in interface '" + iface_name +
+                      "' references undeclared parameter '" + ident + "'",
+                  p.loc.known() ? p.loc : iface.loc);
+        }
       }
     }
   }
   if (main_.has_value()) {
     for (const std::string& used : main_->uses) {
       if (interfaces_.count(used) == 0) {
-        problems.push_back("main module uses unknown interface '" + used + "'");
+        bag.add("PL047", Severity::kError,
+                "main module uses unknown interface '" + used + "'", main_->loc);
+      }
+    }
+    for (const std::string& disabled : main_->disabled_impls) {
+      bool is_arch = true;
+      try {
+        (void)rt::parse_arch(disabled);
+      } catch (const Error&) {
+        is_arch = false;
+      }
+      if (!is_arch && implementations_.count(disabled) == 0) {
+        bag.add("PL048", Severity::kWarning,
+                "disableImpls names '" + disabled +
+                    "', which is neither an implementation nor an architecture",
+                main_->loc);
       }
     }
   }
+  bag.sort();
+  return bag.diagnostics();
+}
+
+std::vector<std::string> Repository::validate() const {
+  std::vector<std::string> problems;
+  for (const diag::Diagnostic& d : diagnose()) problems.push_back(d.format());
   return problems;
 }
 

@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostics.hpp"
 #include "runtime/types.hpp"
 #include "xml/xml.hpp"
 
@@ -60,6 +61,7 @@ struct ParamDesc {
   std::string name;
   std::string type;  ///< C++ spelling, e.g. "const float*"
   rt::AccessMode access = rt::AccessMode::kRead;
+  diag::SourceLocation loc;  ///< the <param> element in the descriptor file
 
   /// For raw-pointer operands: element count as a C++ expression over the
   /// interface's integer parameters (e.g. "nnz" or "nrows*ncols"). The
@@ -91,6 +93,7 @@ struct ContextParamDesc {
 struct InterfaceDescriptor {
   std::string name;
   std::string return_type = "void";
+  diag::SourceLocation loc;  ///< the root element in the descriptor file
   std::vector<ParamDesc> params;
   std::vector<std::string> template_params;       ///< generic interfaces
   std::vector<std::string> performance_metrics;   ///< e.g. "avg_exec_time"
@@ -118,6 +121,7 @@ struct ConstraintDesc {
   std::string param;
   std::optional<double> min;
   std::optional<double> max;
+  diag::SourceLocation loc;  ///< the <constraint> element
 
   bool admits(double value) const noexcept {
     return (!min || value >= *min) && (!max || value <= *max);
@@ -128,6 +132,7 @@ struct ConstraintDesc {
 struct ImplementationDescriptor {
   std::string name;
   std::string interface_name;
+  diag::SourceLocation loc;  ///< the root element in the descriptor file
   std::string language;         ///< "cpu", "openmp", "cuda", "opencl"
   std::string target_platform;  ///< platform descriptor name (may be empty)
   std::vector<std::string> sources;
@@ -152,6 +157,7 @@ struct ImplementationDescriptor {
 struct PlatformDescriptor {
   std::string name;
   std::string kind;  ///< "cpu", "cuda", "opencl"
+  diag::SourceLocation loc;  ///< the root element in the descriptor file
   std::map<std::string, std::string> properties;
 
   std::optional<double> numeric_property(const std::string& key) const;
@@ -160,13 +166,40 @@ struct PlatformDescriptor {
   std::unique_ptr<xml::Element> to_xml() const;
 };
 
+/// One argument binding of a declared component call: binds interface
+/// parameter `param` to the application-level data container `data`.
+struct CallArgDesc {
+  std::string param;
+  std::string data;
+  diag::SourceLocation loc;  ///< the <arg> element
+};
+
+/// One component call of the main module's declared call sequence:
+///
+///   <calls>
+///     <call interface="spmv">
+///       <arg param="values" data="A"/> <arg param="y" data="y"/> ...
+///     </call>
+///   </calls>
+///
+/// The sequence is optional; when present, the lint hazard analysis
+/// symbolically executes it and reports data races the declared access
+/// modes would let the runtime schedule concurrently.
+struct CallDesc {
+  std::string interface_name;
+  std::vector<CallArgDesc> args;
+  diag::SourceLocation loc;  ///< the <call> element
+};
+
 /// The application main-module descriptor.
 struct MainDescriptor {
   std::string name;
   std::string source;           ///< main translation unit, e.g. "main.cpp"
+  diag::SourceLocation loc;     ///< the root element in the descriptor file
   std::string target_platform;  ///< machine name, e.g. "xeon-e5520+c2050"
   std::string optimization_goal = "exec_time";
   std::vector<std::string> uses;  ///< interfaces invoked from main
+  std::vector<CallDesc> calls;    ///< declared call sequence (may be empty)
   bool use_history_models = true;
   std::string scheduler = "dmda";
   std::vector<std::string> disabled_impls;  ///< user-guided static narrowing
@@ -190,8 +223,11 @@ class Repository {
   /// Parses one descriptor file.
   void load_file(const std::filesystem::path& path);
 
-  /// Parses descriptor text (dispatching on the root element).
-  void load_text(std::string_view text, const std::filesystem::path& origin = {});
+  /// Parses descriptor text (dispatching on the root element). `origin` is
+  /// the directory sources are resolved against; `source_file` names the
+  /// file for diagnostics locations (both may be empty for in-memory text).
+  void load_text(std::string_view text, const std::filesystem::path& origin = {},
+                 const std::string& source_file = {});
 
   void add(InterfaceDescriptor interface_desc);
   void add(ImplementationDescriptor impl_desc);
@@ -223,7 +259,13 @@ class Repository {
   std::vector<const InterfaceDescriptor*> interfaces_bottom_up() const;
 
   /// Consistency diagnostics: dangling interface references, variant name
-  /// clashes, empty interfaces, unknown platforms. Empty means consistent.
+  /// clashes, empty interfaces, unknown platforms, undeclared parameters in
+  /// constraints and size expressions. Diagnostics carry stable PL04x/PL05x
+  /// codes and point at the offending descriptor element. Empty means
+  /// consistent.
+  std::vector<diag::Diagnostic> diagnose() const;
+
+  /// diagnose(), rendered one line per problem (legacy convenience).
   std::vector<std::string> validate() const;
 
  private:

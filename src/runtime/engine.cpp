@@ -238,6 +238,23 @@ TaskPtr Engine::submit(TaskSpec spec) {
       throw Error(ErrorCode::kInvalidState, "operand sub-handle was unpartitioned");
     }
   }
+  if (config_.hazard_checks) {
+    for (std::size_t i = 0; i < spec.operands.size(); ++i) {
+      for (std::size_t j = i + 1; j < spec.operands.size(); ++j) {
+        const auto& a = spec.operands[i];
+        const auto& b = spec.operands[j];
+        if (a.handle == b.handle &&
+            (a.mode != AccessMode::kRead || b.mode != AccessMode::kRead)) {
+          throw Error(ErrorCode::kInvalidState,
+                      "hazard check [PL030]: task '" + spec.codelet->name() +
+                          "' binds the same data handle to operands " +
+                          std::to_string(i) + " and " + std::to_string(j) +
+                          " with a write access mode; aliased operands of "
+                          "one task are executed without mutual ordering");
+        }
+      }
+    }
+  }
   if (spec.name.empty()) spec.name = spec.codelet->name();
   const bool synchronous = spec.synchronous;
 

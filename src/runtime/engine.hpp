@@ -92,6 +92,13 @@ struct EngineConfig {
   /// remains. 0 disables retries: the first failure is terminal, which is
   /// the pre-fault-tolerance behavior.
   int max_retries = 2;
+
+  /// Debug counterpart of the static lint check PL030: submit() rejects a
+  /// task that binds the same data handle through several operands when any
+  /// of those bindings writes — the runtime orders tasks per handle, not
+  /// operands within one task, so such aliasing is a data race. Off by
+  /// default (matches StarPU, which leaves intra-task aliasing undefined).
+  bool hazard_checks = false;
 };
 
 /// Aggregate per-worker execution counters.

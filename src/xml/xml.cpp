@@ -125,9 +125,14 @@ class Parser {
   std::string_view text_;
   size_t pos_ = 0;
   int line_ = 1;
+  size_t line_start_ = 0;  ///< pos_ of the first character of the current line
+
+  /// 1-based column of the next character to be consumed.
+  int column() const noexcept { return static_cast<int>(pos_ - line_start_) + 1; }
 
   [[nodiscard]] ParseError err(const std::string& message) const {
-    return ParseError(message, "line " + std::to_string(line_));
+    return ParseError(message, "line " + std::to_string(line_) + ", column " +
+                                   std::to_string(column()));
   }
 
   bool at_end() const noexcept { return pos_ >= text_.size(); }
@@ -138,7 +143,10 @@ class Parser {
 
   char advance() {
     char c = text_[pos_++];
-    if (c == '\n') ++line_;
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
     return c;
   }
 
@@ -268,8 +276,11 @@ class Parser {
   }
 
   std::unique_ptr<Element> parse_element() {
+    const int start_line = line_;
+    const int start_column = column();
     expect('<');
     auto element = std::make_unique<Element>(parse_name());
+    element->set_source_location(start_line, start_column);
     // Attributes.
     while (true) {
       skip_whitespace();

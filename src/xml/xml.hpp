@@ -27,6 +27,18 @@ class Element {
   const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  // -- source location ------------------------------------------------------
+
+  /// 1-based line/column of the element's '<' in the parsed text; 0 when the
+  /// element was built programmatically. Diagnostics use these to point at
+  /// the offending spot of a descriptor file.
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+  void set_source_location(int line, int column) noexcept {
+    line_ = line;
+    column_ = column;
+  }
+
   /// Concatenated character data directly inside this element, whitespace
   /// trimmed at both ends.
   const std::string& text() const noexcept { return text_; }
@@ -83,6 +95,8 @@ class Element {
 
  private:
   std::string name_;
+  int line_ = 0;
+  int column_ = 0;
   std::string text_;
   std::vector<std::pair<std::string, std::string>> attributes_;
   std::vector<std::unique_ptr<Element>> children_;

@@ -1,0 +1,714 @@
+// peppher-lint tests: seeded malformed fixtures with golden diagnostics
+// (stable PL0xx codes plus line/column locations), output-format validity,
+// lint-clean negative tests over generated skeleton sets, and the runtime's
+// debug hazard check (EngineConfig::hazard_checks).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/lint.hpp"
+#include "compose/skeleton.hpp"
+#include "compose/tool.hpp"
+#include "runtime/engine.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/strings.hpp"
+#include "xml/xml.hpp"
+
+namespace peppher {
+namespace {
+
+using analyze::LintOptions;
+using diag::Diagnostic;
+using diag::DiagnosticBag;
+using diag::Severity;
+
+// ---------------------------------------------------------------------------
+// Fixture: a temp directory of descriptor files, linted via lint_path.
+// ---------------------------------------------------------------------------
+
+// A consistent single-component repository the malformed fixtures perturb:
+// axpy with one CPU variant whose source matches the lowered signature.
+constexpr const char* kAxpyInterface =
+    "<peppher-interface name=\"axpy\">\n"
+    "  <function returnType=\"void\">\n"
+    "    <param name=\"n\" type=\"int\" accessMode=\"read\"/>\n"
+    "    <param name=\"a\" type=\"float\" accessMode=\"read\"/>\n"
+    "    <param name=\"x\" type=\"const float*\" accessMode=\"read\" size=\"n\"/>\n"
+    "    <param name=\"y\" type=\"float*\" accessMode=\"readwrite\" size=\"n\"/>\n"
+    "  </function>\n"
+    "</peppher-interface>\n";
+
+constexpr const char* kAxpyImpl =
+    "<peppher-implementation name=\"axpy_cpu\" interface=\"axpy\">\n"
+    "  <platform language=\"cpu\"/>\n"
+    "  <sources><source file=\"axpy_cpu.cpp\"/></sources>\n"
+    "</peppher-implementation>\n";
+
+constexpr const char* kAxpySource =
+    "void axpy_cpu(int n, float a, const float* x, float* y);\n";
+
+constexpr const char* kAxpyMain =
+    "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+    "  <uses interface=\"axpy\"/>\n"
+    "</peppher-main>\n";
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "peppher_lint_test";
+    std::filesystem::remove_all(dir_);
+    fs::make_dirs(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void write(const std::string& relative, const std::string& content) {
+    fs::write_file(dir_ / relative, content);
+  }
+
+  void write_clean_axpy() {
+    write("axpy.xml", kAxpyInterface);
+    write("axpy_cpu.xml", kAxpyImpl);
+    write("axpy_cpu.cpp", kAxpySource);
+    write("main.xml", kAxpyMain);
+  }
+
+  DiagnosticBag lint(const LintOptions& options = {}) {
+    return analyze::lint_path(dir_, options);
+  }
+
+  static const Diagnostic* find(const DiagnosticBag& bag,
+                                const std::string& code) {
+    for (const Diagnostic& d : bag.diagnostics()) {
+      if (d.code == code) return &d;
+    }
+    return nullptr;
+  }
+
+  static std::vector<std::string> codes(const DiagnosticBag& bag) {
+    std::vector<std::string> out;
+    for (const Diagnostic& d : bag.diagnostics()) out.push_back(d.code);
+    return out;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Negative tests: consistent repositories lint clean.
+// ---------------------------------------------------------------------------
+
+TEST_F(LintTest, CleanRepositoryHasNoDiagnostics) {
+  write_clean_axpy();
+  const DiagnosticBag bag = lint();
+  EXPECT_TRUE(bag.empty()) << bag.format_text();
+}
+
+TEST_F(LintTest, GeneratedSkeletonSetLintsClean) {
+  fs::write_file(dir_ / "spmv.h",
+                 "void spmv(const float* values, int nnz, int nrows, "
+                 "const float* x, float* y);");
+  compose::generate_skeleton_from_file(dir_ / "spmv.h", dir_, {});
+  const DiagnosticBag bag = lint();
+  EXPECT_FALSE(bag.has_errors()) << bag.format_text();
+}
+
+TEST_F(LintTest, ComposeToolLintModeAcceptsCleanSkeletonSet) {
+  fs::write_file(dir_ / "spmv.h",
+                 "void spmv(const float* values, int nnz, int nrows, "
+                 "const float* x, float* y);");
+  compose::generate_skeleton_from_file(dir_ / "spmv.h", dir_, {});
+  std::ostringstream out, err;
+  const compose::ToolOptions options = compose::parse_arguments(
+      {(dir_ / "main.xml").string(), "-lint", "-werror"});
+  EXPECT_TRUE(options.lint_only);
+  EXPECT_TRUE(options.werror);
+  EXPECT_EQ(compose::run_tool(options, out, err), 0) << err.str();
+}
+
+// ---------------------------------------------------------------------------
+// Seeded malformed fixtures, one PL0xx family at a time.
+// ---------------------------------------------------------------------------
+
+TEST_F(LintTest, UnparseableDescriptorIsPL000) {
+  write_clean_axpy();
+  write("broken.xml", "<peppher-interface name=\"oops\"");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL000");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->location.file.find("broken.xml"), std::string::npos);
+}
+
+TEST_F(LintTest, ArityMismatchIsPL001) {
+  write_clean_axpy();
+  write("axpy_cpu.cpp", "void axpy_cpu(int n, float a, const float* x);\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL001");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("3 parameter(s)"), std::string::npos);
+  EXPECT_NE(d->message.find("lowers to 4"), std::string::npos);
+}
+
+TEST_F(LintTest, TypeMismatchIsPL002WithImplLocation) {
+  write_clean_axpy();
+  write("axpy_cpu.cpp", "void axpy_cpu(int n, float a, const float* x, double* y);\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL002");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  // The diagnostic points at the implementation's root element: line 1,
+  // column 1 of axpy_cpu.xml.
+  EXPECT_NE(d->location.file.find("axpy_cpu.xml"), std::string::npos);
+  EXPECT_EQ(d->location.line, 1);
+  EXPECT_EQ(d->location.column, 1);
+  EXPECT_NE(d->message.find("'double*'"), std::string::npos);
+  EXPECT_NE(d->message.find("'float*'"), std::string::npos);
+}
+
+TEST_F(LintTest, ConstParamDeclaredWritableIsPL003) {
+  write_clean_axpy();
+  // The variant takes y as const although the interface declares readwrite.
+  write("axpy_cpu.cpp",
+        "void axpy_cpu(int n, float a, const float* x, const float* y);\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL003");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("cannot write"), std::string::npos);
+}
+
+TEST_F(LintTest, WriteAccessThroughConstTypeIsPL004WithParamLocation) {
+  write("bad.xml",
+        "<peppher-interface name=\"bad\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"out\" type=\"const float*\" accessMode=\"write\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL004");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  // Golden rendering, including the <param> element's exact line/column.
+  EXPECT_EQ(d->format(),
+            (dir_ / "bad.xml").string() +
+                ":3:5: error: parameter 'out' of interface 'bad' declares "
+                "access mode 'write' but its type 'const float*' is const "
+                "[PL004]");
+}
+
+TEST_F(LintTest, ReadAccessThroughMutablePointerIsPL005) {
+  write("leaky.xml",
+        "<peppher-interface name=\"leaky\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"p\" type=\"float*\" accessMode=\"read\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL005");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->location.line, 3);
+}
+
+TEST_F(LintTest, MissingSourceFileIsPL007) {
+  write_clean_axpy();
+  std::filesystem::remove(dir_ / "axpy_cpu.cpp");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL007");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST_F(LintTest, WritableValueParameterIsPL008) {
+  write("valw.xml",
+        "<peppher-interface name=\"valw\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"n\" type=\"int\" accessMode=\"write\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL008");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST_F(LintTest, LanguagePlatformKindConflictIsPL010) {
+  write_clean_axpy();
+  write("host.xml", "<peppher-platform name=\"host\" kind=\"cpu\"/>\n");
+  write("axpy_cuda.xml",
+        "<peppher-implementation name=\"axpy_cuda\" interface=\"axpy\">\n"
+        "  <platform language=\"cuda\" target=\"host\"/>\n"
+        "</peppher-implementation>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL010");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST_F(LintTest, UnprovidedBackendIsPL011Warning) {
+  write_clean_axpy();
+  write("host.xml", "<peppher-platform name=\"host\" kind=\"cpu\"/>\n");
+  write("axpy_cuda.xml",
+        "<peppher-implementation name=\"axpy_cuda\" interface=\"axpy\">\n"
+        "  <platform language=\"cuda\"/>\n"
+        "</peppher-implementation>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL011");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  // Warnings fail only under --werror.
+  EXPECT_FALSE(bag.fails(false));
+  EXPECT_TRUE(bag.fails(true));
+}
+
+TEST_F(LintTest, AllVariantsDisabledIsPL012) {
+  write_clean_axpy();
+  LintOptions options;
+  options.disable_impls = {"axpy_cpu"};
+  const DiagnosticBag bag = lint(options);
+  const Diagnostic* d = find(bag, "PL012");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("no viable implementation"), std::string::npos);
+}
+
+TEST_F(LintTest, UnknownMainTargetPlatformIsPL013) {
+  write_clean_axpy();
+  write("host.xml", "<peppher-platform name=\"host\" kind=\"cpu\"/>\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <target platform=\"warehouse\"/>\n"
+        "  <uses interface=\"axpy\"/>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL013");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST_F(LintTest, DispatchTableProblemsArePL02x) {
+  write_clean_axpy();
+  // Unknown variant, descending bound, duplicate adjacent entries, and a
+  // stale recorded architecture — one table seeding four findings.
+  write("axpy.dispatch",
+        "1024 axpy_ghost\n"
+        "512 axpy_cpu\n"
+        "2048 axpy_cpu\n"
+        "4096 axpy_cpu cuda\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* unknown = find(bag, "PL020");
+  ASSERT_NE(unknown, nullptr) << bag.format_text();
+  EXPECT_EQ(unknown->severity, Severity::kError);
+  EXPECT_EQ(unknown->location.line, 1);
+  const Diagnostic* unreachable = find(bag, "PL022");
+  ASSERT_NE(unreachable, nullptr);
+  EXPECT_EQ(unreachable->location.line, 2);
+  const Diagnostic* duplicate = find(bag, "PL023");
+  ASSERT_NE(duplicate, nullptr);
+  EXPECT_EQ(duplicate->severity, Severity::kWarning);
+  const Diagnostic* stale = find(bag, "PL024");
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->location.line, 4);
+}
+
+TEST_F(LintTest, OrphanAndEmptyDispatchTablesArePL025AndPL027) {
+  write_clean_axpy();
+  write("nothing.dispatch", "# trained, but matches no interface\n");
+  const DiagnosticBag bag = lint();
+  EXPECT_NE(find(bag, "PL025"), nullptr) << bag.format_text();
+  EXPECT_NE(find(bag, "PL027"), nullptr) << bag.format_text();
+}
+
+TEST_F(LintTest, DisabledVariantInDispatchTableIsPL026) {
+  write_clean_axpy();
+  write("axpy.dispatch", "1024 axpy_cpu\n");
+  LintOptions options;
+  options.disable_impls = {"axpy_cpu"};
+  const DiagnosticBag bag = lint(options);
+  const Diagnostic* d = find(bag, "PL026");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_NE(d->message.find("unreachable"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph hazard analysis over the main module's <calls> sequence.
+// ---------------------------------------------------------------------------
+
+TEST_F(LintTest, AliasedWriteBindingIsPL030) {
+  write_clean_axpy();
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"axpy\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"axpy\">\n"
+        "      <arg param=\"x\" data=\"D\"/>\n"
+        "      <arg param=\"y\" data=\"D\"/>\n"
+        "    </call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL030");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->location.line, 4);  // the <call> element
+}
+
+TEST_F(LintTest, HiddenWriteRacingAReaderIsPL031) {
+  // p is declared read but its type is mutable: the runtime would schedule
+  // both calls concurrently although call #1 may write.
+  write("scan.xml",
+        "<peppher-interface name=\"scan\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"p\" type=\"float*\" accessMode=\"read\" size=\"1\"/>\n"
+        "    <param name=\"q\" type=\"const float*\" accessMode=\"read\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"scan\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"scan\">\n"
+        "      <arg param=\"p\" data=\"D\"/>\n"
+        "      <arg param=\"q\" data=\"E\"/>\n"
+        "    </call>\n"
+        "    <call interface=\"scan\">\n"
+        "      <arg param=\"p\" data=\"F\"/>\n"
+        "      <arg param=\"q\" data=\"D\"/>\n"
+        "    </call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL031");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("read/write race on container 'D'"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, TwoHiddenWritersArePL032) {
+  write("scan.xml",
+        "<peppher-interface name=\"scan\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"p\" type=\"float*\" accessMode=\"read\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"scan\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"scan\"><arg param=\"p\" data=\"D\"/></call>\n"
+        "    <call interface=\"scan\"><arg param=\"p\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL032");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("write/write race"), std::string::npos);
+}
+
+TEST_F(LintTest, OverwrittenUnreadResultIsPL033) {
+  write("init.xml",
+        "<peppher-interface name=\"init\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"o\" type=\"float*\" accessMode=\"write\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"init\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"init\"><arg param=\"o\" data=\"D\"/></call>\n"
+        "    <call interface=\"init\"><arg param=\"o\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL033");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("dead write"), std::string::npos);
+  EXPECT_EQ(d->location.line, 5);  // the second <call>
+}
+
+TEST_F(LintTest, CallToUnknownInterfaceIsPL034) {
+  write_clean_axpy();
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"axpy\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"warp\"><arg param=\"p\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL034");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST_F(LintTest, BindingUnknownParameterIsPL035) {
+  write_clean_axpy();
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"axpy\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"axpy\">\n"
+        "      <arg param=\"x\" data=\"D\"/>\n"
+        "      <arg param=\"zeta\" data=\"E\"/>\n"
+        "      <arg param=\"y\" data=\"F\"/>\n"
+        "    </call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL035");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->location.line, 6);  // the <arg> element
+}
+
+TEST_F(LintTest, UnboundOperandParameterIsPL036) {
+  write_clean_axpy();
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"axpy\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"axpy\"><arg param=\"x\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL036");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("'y'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Repository-structural diagnostics surface through the same engine.
+// ---------------------------------------------------------------------------
+
+TEST_F(LintTest, DanglingInterfaceReferenceIsPL041) {
+  write("ghost_impl.xml",
+        "<peppher-implementation name=\"ghost_cpu\" interface=\"ghost\">\n"
+        "  <platform language=\"cpu\"/>\n"
+        "</peppher-implementation>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL041");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->location.line, 1);
+}
+
+TEST_F(LintTest, UndeclaredSizeExpressionParameterIsPL051) {
+  write("sized.xml",
+        "<peppher-interface name=\"sized\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"v\" type=\"const float*\" accessMode=\"read\" size=\"count\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL051");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_NE(d->message.find("'count'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Output formats.
+// ---------------------------------------------------------------------------
+
+TEST_F(LintTest, TextOutputEndsWithSummaryLine) {
+  write_clean_axpy();
+  write("axpy_cpu.cpp", "void axpy_cpu(int n);\n");
+  const std::string text = lint().format_text();
+  EXPECT_NE(text.find("[PL001]"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s), 0 note(s)"),
+            std::string::npos);
+}
+
+TEST_F(LintTest, JsonOutputCarriesAllFields) {
+  write_clean_axpy();
+  write("axpy_cpu.cpp", "void axpy_cpu(int n);\n");
+  const std::string json(strings::trim(lint().format_json()));
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"code\": \"PL001\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+}
+
+TEST_F(LintTest, SarifOutputIsWellFormed) {
+  write_clean_axpy();
+  write("axpy_cpu.cpp", "void axpy_cpu(int n);\n");
+  const std::string sarif = lint().format_sarif();
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"peppher-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"PL001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"results\""), std::string::npos);
+  // Every brace closes (cheap structural sanity; the rule registry and the
+  // result serialisation share the escaping helper).
+  EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '{'),
+            std::count(sarif.begin(), sarif.end(), '}'));
+}
+
+TEST_F(LintTest, DiagnosticsAreSortedByLocation) {
+  write_clean_axpy();
+  write("axpy.dispatch",
+        "1024 axpy_ghost\n"
+        "512 axpy_phantom\n");
+  const DiagnosticBag bag = lint();
+  const std::vector<std::string> got = codes(bag);
+  ASSERT_GE(got.size(), 3u) << bag.format_text();
+  // Same file: line 1 (PL020) before line 2 (PL020 then PL022 by code).
+  EXPECT_EQ(bag.diagnostics()[0].location.line, 1);
+  EXPECT_LE(bag.diagnostics()[0].location.line,
+            bag.diagnostics()[1].location.line);
+}
+
+// ---------------------------------------------------------------------------
+// Lowered-signature helper.
+// ---------------------------------------------------------------------------
+
+TEST(ExpectedImplSignature, LowersContainersLikeTheCodeGenerator) {
+  desc::InterfaceDescriptor iface;
+  iface.name = "mix";
+  iface.params = {
+      {"n", "int", rt::AccessMode::kRead, {}, ""},
+      {"v", "Vector<float>&", rt::AccessMode::kReadWrite, {}, ""},
+      {"m", "const Matrix<double>&", rt::AccessMode::kRead, {}, ""},
+      {"s", "Scalar<float>&", rt::AccessMode::kWrite, {}, ""},
+      {"raw", "const int*", rt::AccessMode::kRead, {}, "n"},
+  };
+  EXPECT_EQ(analyze::expected_impl_signature(iface, "mix_cpu"),
+            "void mix_cpu(int n, float* v, std::size_t v_count, "
+            "double* m, std::size_t m_rows, std::size_t m_cols, "
+            "float* s, const int* raw)");
+}
+
+// ---------------------------------------------------------------------------
+// XML line/column tracking (satellite: xml.cpp records source locations).
+// ---------------------------------------------------------------------------
+
+TEST(XmlLocations, ElementsRememberLineAndColumn) {
+  const xml::Document doc = xml::parse(
+      "<root>\n"
+      "  <child attr=\"1\"/>\n"
+      "  <other>\n"
+      "    <nested/>\n"
+      "  </other>\n"
+      "</root>\n");
+  EXPECT_EQ(doc.root->line(), 1);
+  EXPECT_EQ(doc.root->column(), 1);
+  const xml::Element* child = doc.root->child("child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->line(), 2);
+  EXPECT_EQ(child->column(), 3);
+  const xml::Element* nested = doc.root->child("other")->child("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->line(), 4);
+  EXPECT_EQ(nested->column(), 5);
+}
+
+TEST(XmlLocations, ParseErrorsReportLineAndColumn) {
+  try {
+    xml::parse("<root>\n  <broken\n</root>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line"), std::string::npos) << what;
+    EXPECT_NE(what.find("column"), std::string::npos) << what;
+  }
+}
+
+TEST(XmlLocations, LocationsFlowIntoDescriptors) {
+  desc::Repository repo;
+  repo.load_text(kAxpyInterface, {}, "axpy.xml");
+  const desc::InterfaceDescriptor* iface = repo.find_interface("axpy");
+  ASSERT_NE(iface, nullptr);
+  EXPECT_EQ(iface->loc.file, "axpy.xml");
+  EXPECT_EQ(iface->loc.line, 1);
+  ASSERT_EQ(iface->params.size(), 4u);
+  EXPECT_EQ(iface->params[0].loc.line, 3);
+  EXPECT_EQ(iface->params[3].loc.line, 6);
+  EXPECT_EQ(iface->params[0].loc.column, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime debug hazard check (EngineConfig::hazard_checks): the dynamic
+// counterpart of PL030.
+// ---------------------------------------------------------------------------
+
+rt::Codelet make_noop_codelet() {
+  rt::Codelet codelet("noop");
+  rt::Implementation impl;
+  impl.arch = rt::Arch::kCpu;
+  impl.name = "noop_cpu";
+  impl.fn = [](rt::ExecContext&) {};
+  impl.cost = [](const std::vector<std::size_t>&, const void*) {
+    return sim::KernelCost{1.0, 1.0, 1.0};
+  };
+  codelet.add_impl(std::move(impl));
+  return codelet;
+}
+
+TEST(EngineHazardChecks, RejectsAliasedWriteOperands) {
+  rt::EngineConfig config;
+  config.machine = sim::MachineConfig::cpu_only(2);
+  config.hazard_checks = true;
+  rt::Engine engine(config);
+  std::vector<float> data(16, 0.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  rt::Codelet codelet = make_noop_codelet();
+  rt::TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, rt::AccessMode::kRead},
+                   {handle, rt::AccessMode::kWrite}};
+  try {
+    engine.submit(std::move(spec));
+    FAIL() << "expected the hazard check to reject the task";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("PL030"), std::string::npos);
+  }
+}
+
+TEST(EngineHazardChecks, AllowsAliasedReadsAndStaysOffByDefault) {
+  {
+    rt::EngineConfig config;
+    config.machine = sim::MachineConfig::cpu_only(2);
+    config.hazard_checks = true;
+    rt::Engine engine(config);
+    std::vector<float> data(16, 0.0f);
+    auto handle = engine.register_buffer(
+        data.data(), data.size() * sizeof(float), sizeof(float));
+    rt::Codelet codelet = make_noop_codelet();
+    rt::TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, rt::AccessMode::kRead},
+                     {handle, rt::AccessMode::kRead}};
+    rt::TaskPtr task = engine.submit(std::move(spec));
+    engine.wait(task);
+    EXPECT_EQ(task->state, rt::TaskState::kDone);
+  }
+  {
+    rt::EngineConfig config;  // hazard_checks defaults to false
+    config.machine = sim::MachineConfig::cpu_only(2);
+    rt::Engine engine(config);
+    std::vector<float> data(16, 0.0f);
+    auto handle = engine.register_buffer(
+        data.data(), data.size() * sizeof(float), sizeof(float));
+    rt::Codelet codelet = make_noop_codelet();
+    rt::TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, rt::AccessMode::kRead},
+                     {handle, rt::AccessMode::kWrite}};
+    rt::TaskPtr task = engine.submit(std::move(spec));
+    engine.wait(task);
+    EXPECT_EQ(task->state, rt::TaskState::kDone);
+  }
+}
+
+}  // namespace
+}  // namespace peppher

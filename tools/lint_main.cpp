@@ -1,0 +1,133 @@
+// peppher-lint: standalone driver for the static-analysis subsystem
+// (src/analyze). Lints component repositories and main modules without
+// composing them:
+//
+//   peppher-lint <dir-or-descriptor.xml>... [switches]
+//
+// Switches:
+//   --format=text|json|sarif   output renderer (default text, to stdout)
+//   --werror                   warnings fail the run too
+//   --machine=<c2050|c1060|opencl|cpu>
+//                              count the preset machine's devices as backend
+//                              providers for the feasibility checks
+//   --disableImpls=<name|arch>[,...]
+//                              same narrowing switch the compose tool takes
+//   --no-sources               skip parsing implementation sources (descriptor
+//                              and hazard checks only)
+//
+// Exit status: 0 clean (or findings below the failure threshold), 1 fatal
+// findings, 2 usage error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/lint.hpp"
+#include "sim/device.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace peppher;
+
+int usage(std::ostream& out) {
+  out << "usage: peppher-lint <dir-or-descriptor.xml>... [switches]\n"
+         "  --format=text|json|sarif\n"
+         "  --werror\n"
+         "  --machine=<c2050|c1060|opencl|cpu>\n"
+         "  --disableImpls=<name|arch>[,...]\n"
+         "  --no-sources\n";
+  return 2;
+}
+
+bool match_switch(const std::string& arg, std::string_view key,
+                  std::string* value) {
+  std::string_view body(arg);
+  if (!strings::starts_with(body, "-")) return false;
+  body.remove_prefix(1);
+  if (strings::starts_with(body, "-")) body.remove_prefix(1);
+  if (!strings::starts_with(body, key)) return false;
+  body.remove_prefix(key.size());
+  if (body.empty()) {
+    value->clear();
+    return true;
+  }
+  if (body.front() != '=') return false;
+  *value = std::string(body.substr(1));
+  return true;
+}
+
+sim::MachineConfig machine_preset(const std::string& name) {
+  if (name == "c2050") return sim::MachineConfig::platform_c2050();
+  if (name == "c1060") return sim::MachineConfig::platform_c1060();
+  if (name == "opencl") return sim::MachineConfig::platform_opencl();
+  if (name == "cpu") return sim::MachineConfig::cpu_only();
+  throw Error(ErrorCode::kInvalidArgument,
+              "unknown machine preset '" + name + "' (c2050|c1060|opencl|cpu)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  analyze::LintOptions options;
+  std::string format = "text";
+  bool werror = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "-h" || arg == "-help" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "-werror" || arg == "--werror") {
+      werror = true;
+    } else if (arg == "-no-sources" || arg == "--no-sources") {
+      options.check_sources = false;
+    } else if (match_switch(arg, "format", &value)) {
+      if (value != "text" && value != "json" && value != "sarif") {
+        std::cerr << "peppher-lint: unknown format '" << value << "'\n";
+        return usage(std::cerr);
+      }
+      format = value;
+    } else if (match_switch(arg, "machine", &value)) {
+      try {
+        options.machine = machine_preset(value);
+      } catch (const Error& e) {
+        std::cerr << "peppher-lint: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (match_switch(arg, "disableImpls", &value)) {
+      for (std::string& name : strings::split(value, ',')) {
+        std::string trimmed(strings::trim(name));
+        if (!trimmed.empty()) options.disable_impls.push_back(trimmed);
+      }
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "peppher-lint: unknown switch '" << arg << "'\n";
+      return usage(std::cerr);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(std::cerr);
+
+  diag::DiagnosticBag bag;
+  for (const std::string& path : paths) {
+    if (!std::filesystem::exists(path)) {
+      std::cerr << "peppher-lint: no such file or directory: '" << path
+                << "'\n";
+      return 2;
+    }
+    bag.merge(analyze::lint_path(path, options).diagnostics());
+  }
+  bag.sort();
+
+  if (format == "json") {
+    std::cout << bag.format_json() << "\n";
+  } else if (format == "sarif") {
+    std::cout << bag.format_sarif() << "\n";
+  } else if (!bag.empty()) {
+    std::cout << bag.format_text();
+  }
+  return bag.fails(werror) ? 1 : 0;
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Static-analysis smoke run, wired into ctest as `tools_lint_smoke`:
+#
+#   1. generates a skeleton component set with `compose -generateCompFiles`
+#      and checks it lints clean under `peppher-lint --werror`;
+#   2. seeds a signature fault into the generated sources and checks the
+#      lint catches it (stable code PL002, non-zero exit);
+#   3. checks the JSON and SARIF renderers emit parseable output;
+#   4. if clang-tidy is installed and the build exported
+#      compile_commands.json, runs it over src/analyze with the repo's
+#      .clang-tidy configuration (advisory: failures are reported but do
+#      not fail the smoke run, since the installed clang-tidy version
+#      varies).
+#
+# Usage: tools/run_lint.sh [compose-binary] [peppher-lint-binary]
+# Defaults assume the standard build tree: build/tools/{compose,peppher-lint}.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+compose_bin="${1:-${repo_root}/build/tools/compose}"
+lint_bin="${2:-${repo_root}/build/tools/peppher-lint}"
+
+for bin in "${compose_bin}" "${lint_bin}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "run_lint.sh: missing binary '${bin}' (build the project first)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/peppher_lint_smoke.XXXXXX")"
+trap 'rm -rf "${workdir}"' EXIT
+
+echo "== generating a skeleton component set"
+cat > "${workdir}/spmv.h" <<'EOF'
+void spmv(const float* values, const int* colidx, const int* rowptr,
+          float* y, const float* x, int nrows);
+EOF
+"${compose_bin}" "-generateCompFiles=${workdir}/spmv.h" "-outdir=${workdir}" \
+  > /dev/null
+
+echo "== clean set must pass peppher-lint --werror"
+"${lint_bin}" --werror "${workdir}"
+
+echo "== seeded signature fault must be caught as PL002"
+sed -i 's/float\* y/double* y/' "${workdir}/spmv/cpu/spmv_cpu.cpp"
+if "${lint_bin}" "${workdir}" > "${workdir}/findings.txt"; then
+  echo "run_lint.sh: lint accepted a broken signature" >&2
+  cat "${workdir}/findings.txt" >&2
+  exit 1
+fi
+grep -q "PL002" "${workdir}/findings.txt"
+
+echo "== JSON and SARIF outputs must be valid"
+# The tool exits 1 while findings are present; only the output is under test.
+"${lint_bin}" --format=json "${workdir}" > "${workdir}/out.json" || true
+"${lint_bin}" --format=sarif "${workdir}" > "${workdir}/out.sarif" || true
+if command -v python3 > /dev/null; then
+  python3 -m json.tool < "${workdir}/out.json" > /dev/null
+  python3 -m json.tool < "${workdir}/out.sarif" > /dev/null
+else
+  grep -q "PL002" "${workdir}/out.json"
+  grep -q "2.1.0" "${workdir}/out.sarif"
+fi
+
+if command -v clang-tidy > /dev/null; then
+  compile_db=""
+  for candidate in "${repo_root}/build" "${repo_root}"/build-*; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      compile_db="${candidate}"
+      break
+    fi
+  done
+  if [[ -n "${compile_db}" ]]; then
+    echo "== clang-tidy over src/analyze (advisory)"
+    clang-tidy -p "${compile_db}" "${repo_root}"/src/analyze/*.cpp \
+      || echo "run_lint.sh: clang-tidy reported findings (advisory only)"
+  else
+    echo "== clang-tidy found but no compile_commands.json; skipping"
+  fi
+else
+  echo "== clang-tidy not installed; skipping"
+fi
+
+echo "== lint smoke run passed"

@@ -1,42 +1,11 @@
 #!/usr/bin/env bash
-# Builds the project with ThreadSanitizer (PEPPHER_SANITIZE=thread) in a
-# separate build tree and runs the test suite under it. Usage:
+# Thin compatibility wrapper: the sanitizer runner lives in
+# tools/run_sanitizers.sh and also covers address/undefined. This keeps the
+# historical interface working:
 #
 #   tools/run_tsan.sh [build-dir] [-- extra ctest args]
-#
-# Examples:
-#   tools/run_tsan.sh                      # build-tsan, full suite
-#   tools/run_tsan.sh build-tsan -- -R engine   # only tests matching 'engine'
-#
-# The same script works for the other sanitizers:
 #   PEPPHER_SANITIZE=address tools/run_tsan.sh build-asan
 set -euo pipefail
 
-repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-sanitizer="${PEPPHER_SANITIZE:-thread}"
-
-build_dir="${repo_root}/build-tsan"
-if [[ $# -gt 0 && "$1" != "--" ]]; then
-  build_dir="$1"
-  [[ "${build_dir}" = /* ]] || build_dir="${repo_root}/${build_dir}"
-  shift
-fi
-[[ "${1:-}" == "--" ]] && shift
-extra_ctest_args=("$@")
-
-echo "== configuring ${build_dir} with PEPPHER_SANITIZE=${sanitizer}"
-cmake -S "${repo_root}" -B "${build_dir}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DPEPPHER_SANITIZE="${sanitizer}" >/dev/null
-
-echo "== building"
-cmake --build "${build_dir}" -j "$(nproc)"
-
-# halt_on_error makes a race fail the offending test instead of only
-# printing a report; second_deadlock_stack improves lock-order reports.
-export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
-
-echo "== running tests under ${sanitizer} sanitizer"
-# Sanitized binaries are several times slower: scale the per-test timeout.
-ctest --test-dir "${build_dir}" --output-on-failure --timeout 1500 \
-  "${extra_ctest_args[@]}"
+exec "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/run_sanitizers.sh" \
+  "${PEPPHER_SANITIZE:-thread}" "$@"
