@@ -229,8 +229,16 @@ RunResult run_hybrid(rt::Engine& engine, const Problem& problem, int chunks) {
     engine.submit(std::move(spec));
   }
 
-  for (const auto& h_y : y_handles) {
-    engine.acquire_host(h_y, rt::AccessMode::kRead);
+  try {
+    for (const auto& h_y : y_handles) {
+      engine.acquire_host(h_y, rt::AccessMode::kRead);
+    }
+  } catch (...) {
+    // A chunk failed terminally: sibling chunks may still be executing and
+    // they read chunk_rowptrs, which dies when this frame unwinds. Drain
+    // the engine before letting the error escape.
+    engine.wait_for_all();
+    throw;
   }
   engine.wait_for_all();
   result.virtual_seconds = engine.virtual_makespan();

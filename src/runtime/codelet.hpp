@@ -17,17 +17,25 @@ namespace peppher::rt {
 /// Everything an implementation function can see while executing: its
 /// operand buffers (already coherent on the executing memory node), the raw
 /// argument blob, and the parallel width granted to it.
+///
+/// Holds *references* to the operand vectors (the engine reuses per-worker
+/// scratch buffers across executions so the task hot path stays
+/// allocation-free); the vectors must outlive the context, which a kernel
+/// body never observes — the context only lives for the duration of one
+/// Implementation::fn call.
 class ExecContext {
  public:
   ExecContext(Arch arch, WorkerId worker, int cpu_threads,
-              std::vector<void*> buffers, std::vector<std::size_t> buffer_bytes,
-              std::vector<std::size_t> buffer_element_sizes, const void* arg)
+              const std::vector<void*>& buffers,
+              const std::vector<std::size_t>& buffer_bytes,
+              const std::vector<std::size_t>& buffer_element_sizes,
+              const void* arg)
       : arch_(arch),
         worker_(worker),
         cpu_threads_(cpu_threads),
-        buffers_(std::move(buffers)),
-        buffer_bytes_(std::move(buffer_bytes)),
-        buffer_element_sizes_(std::move(buffer_element_sizes)),
+        buffers_(buffers),
+        buffer_bytes_(buffer_bytes),
+        buffer_element_sizes_(buffer_element_sizes),
         arg_(arg) {}
 
   Arch arch() const noexcept { return arch_; }
@@ -74,9 +82,9 @@ class ExecContext {
   Arch arch_;
   WorkerId worker_;
   int cpu_threads_;
-  std::vector<void*> buffers_;
-  std::vector<std::size_t> buffer_bytes_;
-  std::vector<std::size_t> buffer_element_sizes_;
+  const std::vector<void*>& buffers_;
+  const std::vector<std::size_t>& buffer_bytes_;
+  const std::vector<std::size_t>& buffer_element_sizes_;
   const void* arg_;
 };
 

@@ -5,7 +5,6 @@
 #include <cstring>
 #include <limits>
 #include <sstream>
-#include <unordered_set>
 
 #include "support/error.hpp"
 #include "support/log.hpp"
@@ -32,6 +31,28 @@ Arch accelerator_arch(const sim::DeviceProfile& profile) {
   return profile.device_class == sim::DeviceClass::kOpenClGpu ? Arch::kOpenCl
                                                               : Arch::kCuda;
 }
+
+/// CAS-max for the atomic virtual clocks (fetch_max exists only for
+/// integral atomics).
+void atomic_max(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// CAS add for the atomic double accumulators (busy time, energy).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Id of the worker this thread runs, -1 on application threads — lets the
+/// dispatch path skip the wakeup when the dispatching worker itself will
+/// pick the task up (see Engine::wake_workers).
+thread_local WorkerId t_worker_id = -1;
 
 }  // namespace
 
@@ -65,6 +86,7 @@ Engine::Engine(EngineConfig config)
     desc.node = kHostNode;
     desc.profile = combined_cpu_profile(config_.machine.cpu_core, cpu_count_);
     desc.is_combined_cpu = true;
+    combined_index_ = static_cast<int>(descs_.size());
     descs_.push_back(desc);
   }
   for (std::size_t a = 0; a < config_.machine.accelerators.size(); ++a) {
@@ -76,7 +98,7 @@ Engine::Engine(EngineConfig config)
     descs_.push_back(desc);
   }
 
-  blacklisted_.assign(descs_.size(), 0);
+  blacklisted_ = std::make_unique<std::atomic<bool>[]>(descs_.size());
 
   // Fault injectors (one per accelerator with a non-empty plan). The
   // transfer hook must be in place before worker threads exist.
@@ -100,7 +122,7 @@ Engine::Engine(EngineConfig config)
 
   SchedEnv env;
   env.workers = &descs_;
-  env.worker_ready_at = [this](WorkerId id) { return worker_ready_at_locked(id); };
+  env.worker_ready_at = [this](WorkerId id) { return worker_ready_at(id); };
   env.eligible = [this](const Task& t, WorkerId id) { return worker_eligible(t, id); };
   env.estimate_completion = [this](const Task& t, WorkerId id) {
     return estimate_completion(t, id);
@@ -145,11 +167,8 @@ Engine::~Engine() {
   } catch (...) {
     // Destructor must not throw; drain what we can.
   }
-  {
-    std::lock_guard<std::mutex> lock(graph_mutex_);
-    stopping_ = true;
-  }
-  work_cv_.notify_all();
+  stopping_.store(true, std::memory_order_seq_cst);
+  for (auto& worker : workers_) worker->slot.poke();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
   }
@@ -258,27 +277,77 @@ TaskPtr Engine::submit(TaskSpec spec) {
   if (spec.name.empty()) spec.name = spec.codelet->name();
   const bool synchronous = spec.synchronous;
 
-  TaskPtr task;
+  // Hot-path caches: operand sizes, footprint, and the per-architecture
+  // variant resolution (first enabled + selectable implementation per
+  // arch). Computed once here so every scheduling estimate afterwards is
+  // allocation-free and never re-evaluates selectability predicates.
+  std::vector<std::size_t> operand_bytes;
+  operand_bytes.reserve(spec.operands.size());
+  std::size_t total_bytes = 0;
+  for (const auto& op : spec.operands) {
+    operand_bytes.push_back(op.handle->bytes());
+    total_bytes += op.handle->bytes();
+  }
+  std::array<const Implementation*, kArchCount> impls{};
+  for (const Implementation& impl : spec.codelet->impls()) {
+    if (!impl.enabled) continue;
+    const Implementation*& slot = impls[static_cast<std::size_t>(impl.arch)];
+    if (slot != nullptr) continue;
+    if (impl.selectable && !impl.selectable(operand_bytes, spec.arg.get())) {
+      continue;  // call-context selectability (§II): parameter ranges
+    }
+    slot = &impl;
+  }
+
+  // Someone must be able to run it — checked before the sequence number is
+  // allocated so a rejected submission does not consume one.
+  bool runnable = false;
+  for (const auto& desc : descs_) {
+    if (blacklisted_[static_cast<std::size_t>(desc.id)].load(
+            std::memory_order_acquire)) {
+      continue;
+    }
+    if (spec.forced_worker.has_value() && *spec.forced_worker != desc.id) {
+      continue;
+    }
+    for (Arch arch : desc.archs) {
+      if (spec.forced_arch.has_value() && *spec.forced_arch != arch) continue;
+      if (impls[static_cast<std::size_t>(arch)] != nullptr) {
+        runnable = true;
+        break;
+      }
+    }
+    if (runnable) break;
+  }
+  if (!runnable) {
+    throw Error(ErrorCode::kUnsupported,
+                "no worker on machine '" + config_.machine.name +
+                    "' can execute codelet '" + spec.codelet->name() + "'");
+  }
+
+  TaskPtr task = std::make_shared<Task>(
+      std::move(spec), next_sequence_.fetch_add(1, std::memory_order_relaxed));
+  task->retries_left = task->spec.max_retries >= 0 ? task->spec.max_retries
+                                                   : config_.max_retries;
+  task->operand_bytes = std::move(operand_bytes);
+  task->footprint = footprint_of(task->operand_bytes);
+  task->total_bytes = total_bytes;
+  task->impl_for_arch = impls;
+
+  bool dispatch = false;
   std::vector<TaskPtr> cancelled_at_submit;
+  std::vector<TaskPtr> ready_at_submit;
+  inflight_.fetch_add(1, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(graph_mutex_);
-    task = std::make_shared<Task>(std::move(spec), next_sequence_++);
-    task->retries_left = task->spec.max_retries >= 0 ? task->spec.max_retries
-                                                     : config_.max_retries;
 
-    // Someone must be able to run it.
-    if (!has_eligible_worker_locked(*task)) {
-      --next_sequence_;
-      throw Error(ErrorCode::kUnsupported,
-                  "no worker on machine '" + config_.machine.name +
-                      "' can execute codelet '" + task->spec.codelet->name() + "'");
-    }
-
-    // Implicit dependencies: sequential consistency per handle.
-    std::unordered_set<Task*> seen;
+    // Implicit dependencies: sequential consistency per handle. Duplicate
+    // edges (the same predecessor through several operands) are detected
+    // via the predecessor's linking_successor marker — no per-submit set.
     auto add_dependency = [&](const TaskPtr& pred) {
       if (pred == nullptr || pred.get() == task.get()) return;
-      if (!seen.insert(pred.get()).second) return;
+      if (pred->linking_successor == task->sequence) return;
+      pred->linking_successor = task->sequence;
       if (pred->state == TaskState::kDone) {
         task->max_pred_end = std::max(task->max_pred_end, pred->vend);
         if (pred->failed() && !task->failed()) {
@@ -311,44 +380,85 @@ TaskPtr Engine::submit(TaskSpec spec) {
       }
     }
 
-    ++inflight_;
     if (task->unmet_dependencies == 0) {
       if (task->failed()) {
-        complete_locked(task, cancelled_at_submit);  // cancelled before running
+        complete_locked(task, cancelled_at_submit, ready_at_submit);
       } else {
-        task->state = TaskState::kReady;
-        scheduler_->push(task);
+        dispatch = true;
       }
     }
   }
-  work_cv_.notify_all();
+  if (dispatch) dispatch_ready(task);
+  for (const TaskPtr& ready : ready_at_submit) dispatch_ready(ready);
   if (!cancelled_at_submit.empty()) {
+    notify_task_done();
     for (const TaskPtr& done : cancelled_at_submit) {
       if (done->spec.on_complete) done->spec.on_complete(*done);
     }
-    {
-      std::lock_guard<std::mutex> lock(graph_mutex_);
-      inflight_ -= cancelled_at_submit.size();
-    }
-    work_cv_.notify_all();
+    inflight_.fetch_sub(cancelled_at_submit.size(), std::memory_order_seq_cst);
+    notify_idle();
   }
 
   if (synchronous) wait(task);
   return task;
 }
 
+// ---------------------------------------------------------------------------
+// waiting
+//
+// Waiters never touch graph_mutex_: they register in waiters_ (seq_cst),
+// then sleep on done_cv_ re-checking an atomic predicate (task state /
+// inflight count). Completers store the predicate's state (seq_cst), then
+// read waiters_; the seq_cst total order guarantees either the completer
+// sees the registration (and notifies under done_mutex_, which cannot race
+// past a waiter that is between predicate check and sleep) or the waiter's
+// predicate load sees the store and never blocks.
+// ---------------------------------------------------------------------------
+
 void Engine::wait(const TaskPtr& task) {
   check(task != nullptr, "wait: null task");
-  std::unique_lock<std::mutex> lock(graph_mutex_);
-  work_cv_.wait(lock, [&] { return task->state == TaskState::kDone; });
+  if (task->state.load(std::memory_order_seq_cst) != TaskState::kDone) {
+    task_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      done_cv_.wait(lock, [&] {
+        return task->state.load(std::memory_order_seq_cst) == TaskState::kDone;
+      });
+    }
+    task_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
   if (task->error != nullptr) {
     std::rethrow_exception(task->error);
   }
 }
 
 void Engine::wait_for_all() {
-  std::unique_lock<std::mutex> lock(graph_mutex_);
-  work_cv_.wait(lock, [&] { return inflight_ == 0; });
+  if (inflight_.load(std::memory_order_seq_cst) == 0) return;
+  all_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock, [&] {
+      return inflight_.load(std::memory_order_seq_cst) == 0;
+    });
+  }
+  all_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void Engine::notify_task_done() {
+  if (task_waiters_.load(std::memory_order_seq_cst) == 0) return;
+  { std::lock_guard<std::mutex> lock(done_mutex_); }
+  done_cv_.notify_all();
+}
+
+void Engine::notify_idle() {
+  // Only the completer whose decrement took inflight_ to zero notifies; any
+  // earlier completer that observes inflight_ > 0 here knows a later one
+  // exists, and seq_cst ordering guarantees that later completer sees every
+  // all_waiters_ registration this one might have missed.
+  if (all_waiters_.load(std::memory_order_seq_cst) == 0) return;
+  if (inflight_.load(std::memory_order_seq_cst) != 0) return;
+  { std::lock_guard<std::mutex> lock(done_mutex_); }
+  done_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -356,20 +466,81 @@ void Engine::wait_for_all() {
 // ---------------------------------------------------------------------------
 
 void Engine::worker_main(WorkerId id) {
+  t_worker_id = id;
   Worker& worker = *workers_[static_cast<std::size_t>(id)];
-  std::unique_lock<std::mutex> lock(graph_mutex_);
   while (true) {
     TaskPtr task = scheduler_->pop(id);
-    if (task != nullptr) {
-      task->state = TaskState::kRunning;
-      lock.unlock();
-      execute(task, worker);
-      lock.lock();
-      continue;
+    if (task == nullptr) {
+      // Announce intent to park, then re-check the queues: a producer that
+      // pushed before reading the parked flag is seen by this second pop; a
+      // producer that pushed after delivers a wake token (see ParkSlot).
+      worker.slot.announce();
+      task = scheduler_->pop(id);
+      if (task == nullptr) {
+        if (!worker.slot.park([this] {
+              return stopping_.load(std::memory_order_seq_cst);
+            })) {
+          return;  // stopped without a token
+        }
+        continue;  // token consumed — re-check the queues
+      }
+      worker.slot.cancel();
     }
-    if (stopping_) return;
-    work_cv_.wait(lock);
+    task->state.store(TaskState::kRunning, std::memory_order_relaxed);
+    execute(task, worker);
   }
+}
+
+void Engine::dispatch_ready(const TaskPtr& task, bool* self_claim) {
+  // Snapshot the eligible-worker set BEFORE pushing: once queued, the task
+  // may be popped, executed and mutated (excluded_archs) by another worker,
+  // so the wake scan must not touch it.
+  std::uint64_t eligible_mask = 0;
+  const std::size_t n = std::min<std::size_t>(workers_.size(), 64);
+  for (std::size_t w = 0; w < n; ++w) {
+    if (worker_eligible(*task, static_cast<WorkerId>(w))) {
+      eligible_mask |= std::uint64_t{1} << w;
+    }
+  }
+  task->state.store(TaskState::kReady, std::memory_order_relaxed);
+  const WorkerId hint = scheduler_->push(task);
+  wake_workers(eligible_mask, hint, self_claim);
+}
+
+void Engine::wake_workers(std::uint64_t eligible_mask, WorkerId hint,
+                          bool* self_claim) {
+  if (self_claim != nullptr && !*self_claim) {
+    // The dispatching worker re-checks the queues before it parks, so if it
+    // can run this task itself — it sits where this worker pops from and the
+    // worker is eligible — skip the wakeup entirely. One claim per
+    // execution: a second dispatched task could otherwise wait behind the
+    // first instead of running in parallel.
+    const WorkerId self = t_worker_id;
+    if (self >= 0 && self < 64 &&
+        ((eligible_mask >> static_cast<unsigned>(self)) & 1) &&
+        (hint == self || hint == kNoWorkerHint || scheduler_->work_stealing())) {
+      *self_claim = true;
+      return;
+    }
+  }
+  if (hint >= 0) {
+    // The task sits in one worker's own queue: wake that worker. If it is
+    // busy, only a stealing policy lets someone else take the task — then
+    // wake one idle eligible thief; otherwise the owner picks it up when
+    // its current task finishes.
+    if (workers_[static_cast<std::size_t>(hint)]->slot.unpark()) return;
+    if (!scheduler_->work_stealing()) return;
+  }
+  const std::size_t n = workers_.size();
+  const std::size_t start = wake_rr_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t w = (start + k) % n;
+    if (static_cast<WorkerId>(w) == hint) continue;
+    if (w < 64 && !(eligible_mask & (std::uint64_t{1} << w))) continue;
+    if (workers_[w]->slot.unpark()) return;  // woke one parked worker
+  }
+  // Nobody parked: every eligible worker is mid-loop and re-checks the
+  // queues before parking, so the task cannot be stranded.
 }
 
 void Engine::execute(const TaskPtr& task, Worker& worker) {
@@ -378,6 +549,8 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
   sim::FaultInjector* injector = injector_for_node(worker.desc.node);
 
   // The combined-CPU worker needs all cores; per-core workers share them.
+  // Held through completion so combined vs per-core virtual-clock updates
+  // stay mutually ordered.
   std::unique_lock<std::shared_mutex> exclusive_cores;
   std::shared_lock<std::shared_mutex> shared_cores;
   if (worker.desc.is_combined_cpu) {
@@ -388,11 +561,15 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
 
   // Make every operand coherent on this worker's memory node. A transfer
   // fault (injected or real) fails the attempt, not the worker thread; only
-  // the operands actually acquired are released afterwards.
+  // the operands actually acquired are released afterwards. The buffer
+  // tables are per-worker scratch, reused across executions.
   const std::size_t n_ops = task->spec.operands.size();
-  std::vector<void*> buffers(n_ops);
-  std::vector<std::size_t> buffer_bytes(n_ops);
-  std::vector<std::size_t> element_sizes(n_ops);
+  std::vector<void*>& buffers = worker.buffers;
+  std::vector<std::size_t>& buffer_bytes = worker.buffer_bytes;
+  std::vector<std::size_t>& element_sizes = worker.element_sizes;
+  buffers.assign(n_ops, nullptr);
+  buffer_bytes.assign(n_ops, 0);
+  element_sizes.assign(n_ops, 0);
   VirtualTime data_ready = 0.0;
   std::size_t acquired = 0;
   try {
@@ -413,13 +590,19 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
   // write-mode acquire above invalidated every other replica, so a failed
   // kernel would leave the only "valid" copy holding garbage. (kWrite
   // operands are fully overwritten, kRead ones unmodified — no snapshot.)
-  std::vector<std::pair<std::size_t, std::vector<std::byte>>> rw_preimages;
+  // The snapshot buffers are pooled per worker.
+  worker.preimage_ops.clear();
+  std::size_t preimage_count = 0;
   if (!task->failed() && task->retries_left > 0) {
     for (std::size_t i = 0; i < n_ops; ++i) {
       if (task->spec.operands[i].mode != AccessMode::kReadWrite) continue;
+      if (preimage_count == worker.preimage_data.size()) {
+        worker.preimage_data.emplace_back();
+      }
       const auto* p = static_cast<const std::byte*>(buffers[i]);
-      rw_preimages.emplace_back(i,
-                                std::vector<std::byte>(p, p + buffer_bytes[i]));
+      worker.preimage_data[preimage_count].assign(p, p + buffer_bytes[i]);
+      worker.preimage_ops.push_back(i);
+      ++preimage_count;
     }
   }
 
@@ -458,166 +641,185 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
                                                                task->spec.arg.get()));
   }
 
-  const std::uint64_t footprint = task_footprint(*task);
-  const std::size_t total_bytes = task_total_bytes(*task);
-  std::vector<TaskPtr> completed_now;
+  // -- completion (lock-free accounting) ------------------------------------
+  //
+  // The task is owned by this worker until it is re-pushed (retry) or its
+  // kDone state is published, so its fields are written plainly. Clocks,
+  // stats and counters are atomics; only the dependency-graph release at
+  // the end takes graph_mutex_.
+  const int attempt_index = task->attempts;
+  const VirtualTime worker_free = worker_ready_at(worker.desc.id);
+  task->vstart = std::max({worker_free, task->max_pred_end, data_ready});
+  task->vend = task->vstart + exec_seconds;
 
-  // Completion: advance virtual clocks, refresh replica timestamps, record
-  // history, then either re-push the task for a retry or release successors.
-  {
-    std::lock_guard<std::mutex> lock(graph_mutex_);
-    const int attempt_index = task->attempts;
-    VirtualTime worker_free = worker.vtime;
-    if (worker.desc.is_combined_cpu) {
-      worker_free = worker_ready_at_locked(worker.desc.id);
-    }
-    task->vstart = std::max({worker_free, task->max_pred_end, data_ready});
-    task->vend = task->vstart + exec_seconds;
-
-    // A device scheduled to die at virtual time T kills the attempt that
-    // crosses T (its result would never have made it back).
-    if (injector != nullptr && !task->failed() &&
-        injector->plan().die_at_vtime > 0.0 &&
-        task->vend >= injector->plan().die_at_vtime) {
-      try {
-        throw Error(ErrorCode::kIoError,
-                    "device '" + worker.desc.profile.name +
-                        "' died at virtual time " +
-                        std::to_string(injector->plan().die_at_vtime));
-      } catch (...) {
-        task->error = std::current_exception();
-      }
-    }
-
-    task->exec_seconds = exec_seconds;
-    task->executed_on = worker.desc.id;
-    task->executed_arch = impl->arch;
-    task->executed_impl = impl->name;
-
-    worker.vtime = task->vend;
-    if (worker.desc.is_combined_cpu) {
-      for (auto& other : workers_) {
-        if (!other->desc.is_combined_cpu && other->desc.node == kHostNode &&
-            other->desc.archs.front() == Arch::kCpu) {
-          other->vtime = std::max(other->vtime, task->vend);
-        }
-      }
-    }
-    if (task->failed()) {
-      worker.stats.failed_attempts++;
-      fault_stats_.failed_attempts++;
-      if (injected_kernel_fault) fault_stats_.injected_kernel_faults++;
-    } else {
-      worker.stats.tasks_executed++;
-      arch_counts_[static_cast<std::size_t>(impl->arch)]++;
-    }
-    worker.stats.busy_vtime += exec_seconds;
-    worker.stats.energy_joules += exec_seconds * worker.desc.profile.busy_watts;
-    makespan_ = std::max(makespan_, task->vend);
-
-    // Device life cycle: successful kernels feed die_after_tasks; a dead
-    // device is blacklisted once and its queued tasks drain back.
-    if (injector != nullptr) {
-      if (!task->failed()) injector->record_kernel_success();
-      if (!blacklisted_[static_cast<std::size_t>(worker.desc.id)] &&
-          injector->death_due(worker.vtime)) {
-        blacklist_worker_locked(worker, completed_now);
-      }
-    }
-
-    // Retry decision: exclude the failing architecture, then re-push if an
-    // eligible variant remains and the retry budget allows.
-    bool retrying = false;
-    if (task->failed()) {
-      if (!task->first_failed_arch) task->first_failed_arch = impl->arch;
-      task->excluded_archs |= arch_bit(impl->arch);
-      ++task->attempts;
-      if (task->retries_left > 0 && has_eligible_worker_locked(*task)) {
-        --task->retries_left;
-        fault_stats_.retries++;
-        retrying = true;
-      }
-    }
-
-    // Restore read-write pre-images before unpinning so the retry attempt
-    // reads the data the failed attempt saw.
-    if (retrying) {
-      for (const auto& [i, preimage] : rw_preimages) {
-        std::memcpy(buffers[i], preimage.data(), preimage.size());
-      }
-    }
-
-    for (std::size_t i = 0; i < acquired; ++i) {
-      const TaskOperand& op = task->spec.operands[i];
-      if (op.mode != AccessMode::kRead) {
-        // For terminally failed tasks the written data is undefined, but
-        // the replica bookkeeping must stay consistent.
-        op.handle->mark_written(worker.desc.node, task->vend);
-      }
-      // Unpin: the replica stays resident (§IV-H) but becomes evictable.
-      op.handle->release(worker.desc.node);
-    }
-
-    if (!task->failed()) {
-      perf_.record(task->spec.codelet->name(), impl->arch, footprint,
-                   total_bytes, exec_seconds);
-    }
-
-    if (config_.enable_trace) {
-      TaskRecord record;
-      record.sequence = task->sequence;
-      record.name = task->spec.name;
-      record.impl = impl->name;
-      record.arch = impl->arch;
-      record.worker = worker.desc.id;
-      record.vstart = task->vstart;
-      record.vend = task->vend;
-      record.attempt = attempt_index;
-      record.failed = task->failed();
-      tracer_.record(std::move(record));
-    }
-
-    if (retrying) {
-      task->error = nullptr;
-      task->state = TaskState::kReady;
-      scheduler_->push(task);
-    } else {
-      complete_locked(task, completed_now);
+  // A device scheduled to die at virtual time T kills the attempt that
+  // crosses T (its result would never have made it back).
+  if (injector != nullptr && !task->failed() &&
+      injector->plan().die_at_vtime > 0.0 &&
+      task->vend >= injector->plan().die_at_vtime) {
+    try {
+      throw Error(ErrorCode::kIoError,
+                  "device '" + worker.desc.profile.name +
+                      "' died at virtual time " +
+                      std::to_string(injector->plan().die_at_vtime));
+    } catch (...) {
+      task->error = std::current_exception();
     }
   }
-  work_cv_.notify_all();
+
+  task->exec_seconds = exec_seconds;
+  task->executed_on = worker.desc.id;
+  task->executed_arch = impl->arch;
+  task->executed_impl = impl->name;
+
+  worker.vtime.store(task->vend, std::memory_order_relaxed);
+  if (worker.desc.node == kHostNode) {
+    atomic_max(host_group_max_, task->vend);
+  }
+  if (task->failed()) {
+    worker.failed_attempts.fetch_add(1, std::memory_order_relaxed);
+    fault_counters_.failed_attempts.fetch_add(1, std::memory_order_relaxed);
+    if (injected_kernel_fault) {
+      fault_counters_.injected_kernel_faults.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  } else {
+    worker.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+    arch_counts_[static_cast<std::size_t>(impl->arch)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  atomic_add(worker.busy_vtime, exec_seconds);
+  atomic_add(worker.energy_joules,
+             exec_seconds * worker.desc.profile.busy_watts);
+  atomic_max(makespan_, task->vend);
+
+  std::vector<TaskPtr>& completed_now = worker.completed_scratch;
+  std::vector<TaskPtr>& ready_now = worker.ready_scratch;
+  completed_now.clear();
+  ready_now.clear();
+
+  // Device life cycle: successful kernels feed die_after_tasks; a dead
+  // device is blacklisted once (under the graph lock — it re-routes queued
+  // tasks) and its queued tasks drain back. Only this worker observes its
+  // own injector's death, so the double check is belt and braces.
+  if (injector != nullptr) {
+    if (!task->failed()) injector->record_kernel_success();
+    if (!blacklisted_[static_cast<std::size_t>(worker.desc.id)].load(
+            std::memory_order_acquire) &&
+        injector->death_due(worker.vtime.load(std::memory_order_relaxed))) {
+      std::lock_guard<std::mutex> lock(graph_mutex_);
+      if (!blacklisted_[static_cast<std::size_t>(worker.desc.id)].load(
+              std::memory_order_relaxed)) {
+        blacklist_worker_locked(worker, completed_now, ready_now);
+      }
+    }
+  }
+
+  // Retry decision: exclude the failing architecture, then re-push if an
+  // eligible variant remains and the retry budget allows. Lock-free — the
+  // task is still owned by this worker and eligibility reads atomics.
+  bool retrying = false;
+  if (task->failed()) {
+    if (!task->first_failed_arch) task->first_failed_arch = impl->arch;
+    task->excluded_archs |= arch_bit(impl->arch);
+    ++task->attempts;
+    if (task->retries_left > 0 && has_eligible_worker(*task)) {
+      --task->retries_left;
+      fault_counters_.retries.fetch_add(1, std::memory_order_relaxed);
+      retrying = true;
+    }
+  }
+
+  // Restore read-write pre-images before unpinning so the retry attempt
+  // reads the data the failed attempt saw.
+  if (retrying) {
+    for (std::size_t s = 0; s < preimage_count; ++s) {
+      const std::vector<std::byte>& snap = worker.preimage_data[s];
+      std::memcpy(buffers[worker.preimage_ops[s]], snap.data(), snap.size());
+    }
+  }
+
+  for (std::size_t i = 0; i < acquired; ++i) {
+    const TaskOperand& op = task->spec.operands[i];
+    if (op.mode != AccessMode::kRead) {
+      // For terminally failed tasks the written data is undefined, but
+      // the replica bookkeeping must stay consistent.
+      op.handle->mark_written(worker.desc.node, task->vend);
+    }
+    // Unpin: the replica stays resident (§IV-H) but becomes evictable.
+    op.handle->release(worker.desc.node);
+  }
+
+  if (!task->failed() &&
+      (config_.use_history_models || !config_.sampling_dir.empty())) {
+    // Nothing reads the history when neither history scheduling nor sample
+    // persistence is on — skip the registry write on the hot path.
+    perf_.record(task->spec.codelet->name(), impl->arch, task->footprint,
+                 task->total_bytes, exec_seconds);
+  }
+
+  if (config_.enable_trace) {
+    TaskRecord record;
+    record.sequence = task->sequence;
+    record.name = task->spec.name;
+    record.impl = impl->name;
+    record.arch = impl->arch;
+    record.worker = worker.desc.id;
+    record.vstart = task->vstart;
+    record.vend = task->vend;
+    record.attempt = attempt_index;
+    record.failed = task->failed();
+    tracer_.record(std::move(record));
+  }
+
+  bool self_claim = false;
+  if (retrying) {
+    task->error = nullptr;
+    dispatch_ready(task, &self_claim);
+  } else {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    complete_locked(task, completed_now, ready_now);
+  }
+  for (const TaskPtr& ready : ready_now) dispatch_ready(ready, &self_claim);
+  notify_task_done();  // wake wait(task) callers promptly, before callbacks
   for (const TaskPtr& done : completed_now) {
     if (done->spec.on_complete) {
       done->spec.on_complete(*done);
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(graph_mutex_);
-    inflight_ -= completed_now.size();
+  if (!completed_now.empty()) {
+    // inflight_ is decremented only after the completion callbacks ran, so
+    // wait_for_all() implies all callbacks finished.
+    inflight_.fetch_sub(completed_now.size(), std::memory_order_seq_cst);
+    notify_idle();
   }
-  work_cv_.notify_all();
+  completed_now.clear();
+  ready_now.clear();
 }
 
 void Engine::complete_locked(const TaskPtr& task,
-                             std::vector<TaskPtr>& completed) {
-  // Finalizes a finished (or failed) task and releases its successors;
-  // successors of a failed task fail transitively without running.
-  // Caller holds graph_mutex_; completion callbacks of everything appended
-  // to `completed` are the caller's job (they must run outside the lock).
-  std::vector<TaskPtr> finishing{task};
+                             std::vector<TaskPtr>& completed,
+                             std::vector<TaskPtr>& ready) {
+  // Caller holds graph_mutex_. The kDone store (seq_cst) publishes the
+  // task's result fields to lock-free waiters; completion callbacks of
+  // everything appended to `completed` and the dispatch of everything in
+  // `ready` are the caller's job (outside the lock).
+  // Scratch for the transitive-cancellation walk; complete_locked never
+  // nests (it runs under graph_mutex_), so one slot per thread suffices.
+  thread_local std::vector<TaskPtr> finishing;
+  finishing.clear();
+  finishing.push_back(task);
   while (!finishing.empty()) {
     TaskPtr current = std::move(finishing.back());
     finishing.pop_back();
-    current->state = TaskState::kDone;
+    current->state.store(TaskState::kDone, std::memory_order_seq_cst);
     completed.push_back(current);
     if (current->failed()) {
-      fault_stats_.tasks_failed++;
+      fault_counters_.tasks_failed.fetch_add(1, std::memory_order_relaxed);
     } else if (current->attempts > 0 && current->first_failed_arch &&
                current->executed_arch != *current->first_failed_arch) {
-      fault_stats_.fallbacks++;
+      fault_counters_.fallbacks.fetch_add(1, std::memory_order_relaxed);
     }
-    // inflight_ is decremented by the caller only after the completion
-    // callbacks ran, so wait_for_all() implies all callbacks finished.
     for (const auto& successor : current->successors) {
       successor->max_pred_end =
           std::max(successor->max_pred_end, current->vend);
@@ -630,10 +832,11 @@ void Engine::complete_locked(const TaskPtr& task,
         }
       }
       if (--successor->unmet_dependencies == 0 &&
-          successor->state == TaskState::kBlocked) {
+          successor->state.load(std::memory_order_relaxed) ==
+              TaskState::kBlocked) {
         if (successor->failed()) {
           finishing.push_back(successor);  // cancel: complete without running
-        } else if (!has_eligible_worker_locked(*successor)) {
+        } else if (!has_eligible_worker(*successor)) {
           // A device death since submission can strand a ready successor
           // (e.g. forced to the dead worker); fail it instead of pushing a
           // task no one may pop.
@@ -646,8 +849,7 @@ void Engine::complete_locked(const TaskPtr& task,
           }
           finishing.push_back(successor);
         } else {
-          successor->state = TaskState::kReady;
-          scheduler_->push(successor);
+          ready.push_back(successor);
         }
       }
     }
@@ -668,32 +870,26 @@ const Implementation* Engine::select_impl(const Task& task,
     // Architectures whose variant already failed this task are never
     // retried (the retry policy walks down the remaining variants).
     if (task.excluded_archs & arch_bit(arch)) continue;
-    for (const Implementation& impl : task.spec.codelet->impls()) {
-      if (!impl.enabled || impl.arch != arch) continue;
-      if (impl.selectable) {
-        // Call-context selectability (§II): parameter-range constraints.
-        std::vector<std::size_t> bytes;
-        bytes.reserve(task.spec.operands.size());
-        for (const auto& op : task.spec.operands) {
-          bytes.push_back(op.handle->bytes());
-        }
-        if (!impl.selectable(bytes, task.spec.arg.get())) continue;
-      }
-      return &impl;
+    if (const Implementation* impl =
+            task.impl_for_arch[static_cast<std::size_t>(arch)]) {
+      return impl;
     }
   }
   return nullptr;
 }
 
 bool Engine::worker_eligible(const Task& task, WorkerId id) const {
-  if (blacklisted_[static_cast<std::size_t>(id)]) return false;
+  if (blacklisted_[static_cast<std::size_t>(id)].load(
+          std::memory_order_acquire)) {
+    return false;
+  }
   if (task.spec.forced_worker.has_value() && *task.spec.forced_worker != id) {
     return false;
   }
   return select_impl(task, descs_[static_cast<std::size_t>(id)]) != nullptr;
 }
 
-bool Engine::has_eligible_worker_locked(const Task& task) const {
+bool Engine::has_eligible_worker(const Task& task) const {
   for (const auto& desc : descs_) {
     if (worker_eligible(task, desc.id)) return true;
   }
@@ -708,8 +904,8 @@ sim::FaultInjector* Engine::injector_for_node(MemoryNodeId node) const {
 
 void Engine::on_transfer_attempt(MemoryNodeId from, MemoryNodeId to,
                                  std::size_t bytes) {
-  // Called under the handle's mutex: graph_mutex_ is off limits here (the
-  // completion path locks them in the opposite order), hence the atomic.
+  // Called under the handle's mutex, outside every engine lock, hence the
+  // dedicated atomic counter.
   for (MemoryNodeId node : {from, to}) {
     sim::FaultInjector* injector = injector_for_node(node);
     if (injector != nullptr && injector->next_transfer_fails()) {
@@ -723,14 +919,16 @@ void Engine::on_transfer_attempt(MemoryNodeId from, MemoryNodeId to,
 }
 
 void Engine::blacklist_worker_locked(Worker& worker,
-                                     std::vector<TaskPtr>& completed) {
-  blacklisted_[static_cast<std::size_t>(worker.desc.id)] = 1;
-  fault_stats_.workers_blacklisted++;
+                                     std::vector<TaskPtr>& completed,
+                                     std::vector<TaskPtr>& ready) {
+  blacklisted_[static_cast<std::size_t>(worker.desc.id)].store(
+      true, std::memory_order_seq_cst);
+  fault_counters_.workers_blacklisted.fetch_add(1, std::memory_order_relaxed);
   log::warn("runtime", "worker {} ('{}') died; blacklisting and draining",
             worker.desc.id, worker.desc.profile.name);
   for (const TaskPtr& orphan : scheduler_->drain(worker.desc.id)) {
-    if (has_eligible_worker_locked(*orphan)) {
-      scheduler_->push(orphan);
+    if (has_eligible_worker(*orphan)) {
+      ready.push_back(orphan);  // caller re-dispatches outside the lock
     } else {
       try {
         throw Error(ErrorCode::kUnsupported,
@@ -740,24 +938,22 @@ void Engine::blacklist_worker_locked(Worker& worker,
       } catch (...) {
         orphan->error = std::current_exception();
       }
-      complete_locked(orphan, completed);
+      complete_locked(orphan, completed, ready);
     }
   }
 }
 
-VirtualTime Engine::worker_ready_at_locked(WorkerId id) const {
+VirtualTime Engine::worker_ready_at(WorkerId id) const {
   const Worker& worker = *workers_[static_cast<std::size_t>(id)];
-  VirtualTime ready = worker.vtime;
+  VirtualTime ready = worker.vtime.load(std::memory_order_relaxed);
   if (worker.desc.is_combined_cpu) {
-    // The combined worker also waits for every per-core CPU worker.
-    for (const auto& other : workers_) {
-      if (other->desc.node == kHostNode) ready = std::max(ready, other->vtime);
-    }
-  } else if (worker.desc.node == kHostNode) {
+    // The combined worker also waits for every per-core CPU worker — the
+    // maintained host-group clock replaces the former per-query scan.
+    ready = std::max(ready, host_group_max_.load(std::memory_order_relaxed));
+  } else if (worker.desc.node == kHostNode && combined_index_ >= 0) {
     // Per-core workers wait for any combined-CPU execution.
-    for (const auto& other : workers_) {
-      if (other->desc.is_combined_cpu) ready = std::max(ready, other->vtime);
-    }
+    ready = std::max(ready, workers_[static_cast<std::size_t>(combined_index_)]
+                                ->vtime.load(std::memory_order_relaxed));
   }
   return ready;
 }
@@ -766,24 +962,21 @@ double Engine::estimate_exec_seconds(const Task& task, const WorkerDesc& worker,
                                      const Implementation& impl) const {
   const std::string& codelet = task.spec.codelet->name();
   if (config_.use_history_models) {
-    const std::uint64_t footprint = task_footprint(task);
-    if (perf_.sample_count(codelet, impl.arch, footprint) >=
+    if (perf_.sample_count(codelet, impl.arch, task.footprint) >=
         static_cast<std::uint64_t>(config_.calibration_samples)) {
-      if (auto expected = perf_.expected(codelet, impl.arch, footprint)) {
+      if (auto expected = perf_.expected(codelet, impl.arch, task.footprint)) {
         return *expected;
       }
     }
     if (auto regressed =
-            perf_.regression_estimate(codelet, impl.arch, task_total_bytes(task))) {
+            perf_.regression_estimate(codelet, impl.arch, task.total_bytes)) {
       return *regressed;
     }
   }
   if (impl.cost) {
-    std::vector<std::size_t> bytes;
-    bytes.reserve(task.spec.operands.size());
-    for (const auto& op : task.spec.operands) bytes.push_back(op.handle->bytes());
     return sim::execution_seconds(worker.profile,
-                                  impl.cost(bytes, task.spec.arg.get()));
+                                  impl.cost(task.operand_bytes,
+                                            task.spec.arg.get()));
   }
   return 1e-3;  // nothing known: a neutral guess
 }
@@ -807,8 +1000,7 @@ double Engine::estimate_completion(const Task& task, WorkerId id) const {
   // The task cannot start before its predecessors finished, no matter how
   // idle a worker is — without this bound, tightly chained task graphs
   // ping-pong to whichever worker's clock lags behind.
-  const double start =
-      std::max(worker_ready_at_locked(id), task.max_pred_end);
+  const double start = std::max(worker_ready_at(id), task.max_pred_end);
   return start + fetch + exec;
 }
 
@@ -837,25 +1029,12 @@ std::uint64_t Engine::exploration_sample_count(const Task& task, WorkerId id) co
   const std::string& codelet = task.spec.codelet->name();
   // A variant with a usable regression fit does not need per-size
   // recalibration.
-  if (perf_.regression_estimate(codelet, impl->arch, task_total_bytes(task))) {
+  if (perf_.regression_estimate(codelet, impl->arch, task.total_bytes)) {
     const std::uint64_t exact =
-        perf_.sample_count(codelet, impl->arch, task_footprint(task));
+        perf_.sample_count(codelet, impl->arch, task.footprint);
     if (exact == 0) return kNoExploration;
   }
-  return perf_.sample_count(codelet, impl->arch, task_footprint(task));
-}
-
-std::uint64_t Engine::task_footprint(const Task& task) {
-  std::vector<std::size_t> bytes;
-  bytes.reserve(task.spec.operands.size());
-  for (const auto& op : task.spec.operands) bytes.push_back(op.handle->bytes());
-  return footprint_of(bytes);
-}
-
-std::size_t Engine::task_total_bytes(const Task& task) {
-  std::size_t total = 0;
-  for (const auto& op : task.spec.operands) total += op.handle->bytes();
-  return total;
+  return perf_.sample_count(codelet, impl->arch, task.footprint);
 }
 
 // ---------------------------------------------------------------------------
@@ -863,102 +1042,126 @@ std::size_t Engine::task_total_bytes(const Task& task) {
 // ---------------------------------------------------------------------------
 
 VirtualTime Engine::virtual_makespan() const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
-  return makespan_;
+  return makespan_.load(std::memory_order_relaxed);
 }
 
 double Engine::energy_joules() const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
   double total = 0.0;
-  for (const auto& worker : workers_) total += worker->stats.energy_joules;
+  for (const auto& worker : workers_) {
+    total += worker->energy_joules.load(std::memory_order_relaxed);
+  }
   return total;
 }
 
 void Engine::reset_virtual_time() {
-  std::unique_lock<std::mutex> lock(graph_mutex_);
   // Quiesce first: resetting clocks under running tasks would corrupt the
   // timeline. (Completion bookkeeping may lag wait() by a callback, so
   // draining here instead of throwing keeps the API race-free.)
-  work_cv_.wait(lock, [&] { return inflight_ == 0; });
-  for (auto& worker : workers_) worker->vtime = 0.0;
-  makespan_ = 0.0;
+  wait_for_all();
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  for (auto& worker : workers_) {
+    worker->vtime.store(0.0, std::memory_order_relaxed);
+  }
+  host_group_max_.store(0.0, std::memory_order_relaxed);
+  makespan_.store(0.0, std::memory_order_relaxed);
   data_.reset_virtual_time();
 }
 
 WorkerStats Engine::worker_stats(WorkerId id) const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
   check(id >= 0 && id < static_cast<WorkerId>(workers_.size()),
         "worker_stats: bad worker id");
-  return workers_[static_cast<std::size_t>(id)]->stats;
+  const Worker& worker = *workers_[static_cast<std::size_t>(id)];
+  WorkerStats stats;
+  stats.tasks_executed = worker.tasks_executed.load(std::memory_order_relaxed);
+  stats.failed_attempts =
+      worker.failed_attempts.load(std::memory_order_relaxed);
+  stats.busy_vtime = worker.busy_vtime.load(std::memory_order_relaxed);
+  stats.energy_joules = worker.energy_joules.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::array<std::uint64_t, kArchCount> Engine::arch_task_counts() const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
-  return arch_counts_;
+  std::array<std::uint64_t, kArchCount> counts{};
+  for (int a = 0; a < kArchCount; ++a) {
+    counts[static_cast<std::size_t>(a)] =
+        arch_counts_[static_cast<std::size_t>(a)].load(
+            std::memory_order_relaxed);
+  }
+  return counts;
 }
 
 std::uint64_t Engine::tasks_submitted() const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
-  return next_sequence_;
+  return next_sequence_.load(std::memory_order_relaxed);
 }
 
 FaultStats Engine::fault_stats() const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
-  FaultStats stats = fault_stats_;
+  FaultStats stats;
+  stats.injected_kernel_faults =
+      fault_counters_.injected_kernel_faults.load(std::memory_order_relaxed);
   stats.injected_transfer_faults =
       injected_transfer_faults_.load(std::memory_order_relaxed);
+  stats.failed_attempts =
+      fault_counters_.failed_attempts.load(std::memory_order_relaxed);
+  stats.retries = fault_counters_.retries.load(std::memory_order_relaxed);
+  stats.fallbacks = fault_counters_.fallbacks.load(std::memory_order_relaxed);
+  stats.tasks_failed =
+      fault_counters_.tasks_failed.load(std::memory_order_relaxed);
+  stats.workers_blacklisted =
+      fault_counters_.workers_blacklisted.load(std::memory_order_relaxed);
   return stats;
 }
 
 bool Engine::worker_blacklisted(WorkerId id) const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
-  check(id >= 0 && id < static_cast<WorkerId>(blacklisted_.size()),
+  check(id >= 0 && id < static_cast<WorkerId>(workers_.size()),
         "worker_blacklisted: bad worker id");
-  return blacklisted_[static_cast<std::size_t>(id)] != 0;
+  return blacklisted_[static_cast<std::size_t>(id)].load(
+      std::memory_order_acquire);
 }
 
 std::string Engine::summary() const {
-  std::lock_guard<std::mutex> lock(graph_mutex_);
   std::ostringstream out;
   out.precision(6);
+  const VirtualTime makespan = makespan_.load(std::memory_order_relaxed);
   out << "machine '" << config_.machine.name << "', scheduler '"
-      << config_.scheduler << "', " << next_sequence_ << " tasks, makespan "
-      << makespan_ << " s virtual\n";
+      << config_.scheduler << "', "
+      << next_sequence_.load(std::memory_order_relaxed)
+      << " tasks, makespan " << makespan << " s virtual\n";
   for (const auto& worker : workers_) {
-    const double busy = worker->stats.busy_vtime;
-    const double utilisation = makespan_ > 0.0 ? 100.0 * busy / makespan_ : 0.0;
+    const WorkerStats stats = worker_stats(worker->desc.id);
+    const double utilisation =
+        makespan > 0.0 ? 100.0 * stats.busy_vtime / makespan : 0.0;
     out << "  worker " << worker->desc.id << " (" << worker->desc.profile.name
         << (worker->desc.is_combined_cpu ? ", combined" : "")
-        << (blacklisted_[static_cast<std::size_t>(worker->desc.id)] ? ", dead"
-                                                                    : "")
-        << "): " << worker->stats.tasks_executed << " tasks, " << busy
+        << (worker_blacklisted(worker->desc.id) ? ", dead" : "")
+        << "): " << stats.tasks_executed << " tasks, " << stats.busy_vtime
         << " s busy (" << static_cast<int>(utilisation) << "%)";
-    if (worker->stats.failed_attempts > 0) {
-      out << ", " << worker->stats.failed_attempts << " failed attempts";
+    if (stats.failed_attempts > 0) {
+      out << ", " << stats.failed_attempts << " failed attempts";
     }
     out << "\n";
   }
   out << "  tasks by architecture:";
+  const auto counts = arch_task_counts();
   for (int a = 0; a < kArchCount; ++a) {
     out << " " << to_string(static_cast<Arch>(a)) << "="
-        << arch_counts_[static_cast<std::size_t>(a)];
+        << counts[static_cast<std::size_t>(a)];
   }
   const TransferStats transfers = data_.stats();
   out << "\n  PCIe: " << transfers.host_to_device_count << " h2d ("
       << transfers.host_to_device_bytes << " B), "
       << transfers.device_to_host_count << " d2h ("
       << transfers.device_to_host_bytes << " B)";
-  out << "\n  faults: " << fault_stats_.injected_kernel_faults
-      << " injected kernel, "
-      << injected_transfer_faults_.load(std::memory_order_relaxed)
-      << " injected transfer; " << fault_stats_.failed_attempts
-      << " failed attempts, " << fault_stats_.retries << " retries, "
-      << fault_stats_.fallbacks << " fallbacks, " << fault_stats_.tasks_failed
-      << " tasks failed, " << fault_stats_.workers_blacklisted
+  const FaultStats faults = fault_stats();
+  out << "\n  faults: " << faults.injected_kernel_faults
+      << " injected kernel, " << faults.injected_transfer_faults
+      << " injected transfer; " << faults.failed_attempts
+      << " failed attempts, " << faults.retries << " retries, "
+      << faults.fallbacks << " fallbacks, " << faults.tasks_failed
+      << " tasks failed, " << faults.workers_blacklisted
       << " workers blacklisted";
-  double energy = 0.0;
-  for (const auto& worker : workers_) energy += worker->stats.energy_joules;
-  out << "\n  energy: " << energy << " J (virtual)\n";
+  // Energy is routed through the same accessor the public API exposes so
+  // the two can never drift apart.
+  out << "\n  energy: " << energy_joules() << " J (virtual)\n";
   return std::move(out).str();
 }
 

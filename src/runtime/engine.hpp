@@ -15,11 +15,23 @@
 // the engine additionally advances *virtual* clocks using the sim cost
 // models, and all performance accounting (history models, scheduling
 // estimates, makespan) is in virtual time. See DESIGN.md §5.
+//
+// Concurrency architecture (see docs/runtime.md "Concurrency architecture &
+// overhead"): the task hot path — pop, execute, account, release successors
+// — runs without the engine-wide lock. graph_mutex_ guards only the
+// dependency graph (Task::successors/unmet_dependencies/max_pred_end and
+// DataHandle::last_writer/readers_since_last_write) and is taken at submit
+// and completion. Scheduler queues carry their own per-worker locks; each
+// worker sleeps on its own ParkSlot and is woken individually. Clocks,
+// counters and stats are atomics. Lock hierarchy (outer to inner):
+// graph_mutex_ → scheduler queue locks → ParkSlot/done_mutex_ → handle
+// mutexes are taken on their own, never under graph_mutex_.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -37,6 +49,7 @@
 #include "runtime/trace.hpp"
 #include "runtime/types.hpp"
 #include "sim/device.hpp"
+#include "support/queues.hpp"
 #include "support/rng.hpp"
 
 namespace peppher::rt {
@@ -150,7 +163,9 @@ class Engine {
 
   /// Submits a task. Asynchronous unless spec.synchronous; returns the task
   /// for wait()/inspection. Throws if the codelet has no enabled variant
-  /// runnable on this machine.
+  /// runnable on this machine. Thread-safe: tasks may be submitted
+  /// concurrently from several threads (each submitter's per-handle
+  /// dependency order follows the graph-lock acquisition order).
   TaskPtr submit(TaskSpec spec);
 
   /// Blocks until `task` completes. If the task's implementation threw (or
@@ -175,7 +190,8 @@ class Engine {
   /// Resets all virtual clocks and the makespan, draining any in-flight
   /// tasks first. Freshly registered handles start at virtual time zero,
   /// so benchmarks should re-register data after the reset. Must not be
-  /// called from a task body or completion callback.
+  /// called from a task body or completion callback, nor concurrently with
+  /// submissions.
   void reset_virtual_time();
 
   TransferStats transfer_stats() const { return data_.stats(); }
@@ -217,13 +233,77 @@ class Engine {
   struct Worker {
     WorkerDesc desc;
     std::thread thread;
-    VirtualTime vtime = 0.0;  ///< guarded by graph_mutex_
-    WorkerStats stats;        ///< guarded by graph_mutex_
+
+    /// Targeted-wakeup parking spot (replaces the old engine-wide
+    /// condition variable broadcast on every submit/complete).
+    ParkSlot slot;
+
+    /// Virtual clock and execution counters. Atomics so schedulers and
+    /// introspection read them without any engine lock; written only by
+    /// the owning worker thread (and reset_virtual_time, which quiesces
+    /// first).
+    std::atomic<VirtualTime> vtime{0.0};
+    std::atomic<std::uint64_t> tasks_executed{0};
+    std::atomic<std::uint64_t> failed_attempts{0};
+    std::atomic<double> busy_vtime{0.0};
+    std::atomic<double> energy_joules{0.0};
+
+    // Per-worker scratch reused across executions so the task hot path is
+    // allocation-free in steady state. Touched only by the owning thread.
+    std::vector<void*> buffers;
+    std::vector<std::size_t> buffer_bytes;
+    std::vector<std::size_t> element_sizes;
+    std::vector<std::size_t> preimage_ops;              ///< operand indices
+    std::vector<std::vector<std::byte>> preimage_data;  ///< pooled snapshots
+    std::vector<TaskPtr> completed_scratch;
+    std::vector<TaskPtr> ready_scratch;
+  };
+
+  /// Internal atomic counterpart of FaultStats (transfer faults live in
+  /// injected_transfer_faults_).
+  struct FaultCounters {
+    std::atomic<std::uint64_t> injected_kernel_faults{0};
+    std::atomic<std::uint64_t> failed_attempts{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> tasks_failed{0};
+    std::atomic<std::uint64_t> workers_blacklisted{0};
   };
 
   void worker_main(WorkerId id);
   void execute(const TaskPtr& task, Worker& worker);
-  void complete_locked(const TaskPtr& task, std::vector<TaskPtr>& completed);
+
+  /// Marks a dependency-free task ready, hands it to the scheduler and
+  /// wakes a worker that can run it. Caller must own the task (it must not
+  /// be visible to any queue yet). When called from a worker thread,
+  /// `self_claim` (false on entry) lets that worker claim ONE dispatched
+  /// task for itself instead of waking anyone: it re-checks the queues
+  /// before parking, so a chained successor runs without a condition-
+  /// variable round-trip.
+  void dispatch_ready(const TaskPtr& task, bool* self_claim = nullptr);
+
+  /// Wakes one parked worker out of `eligible_mask` (bit per WorkerId,
+  /// computed before the task was pushed), preferring `hint` — the queue
+  /// the scheduler chose. No-op when every candidate is already awake:
+  /// an awake worker re-checks its work sources before parking.
+  void wake_workers(std::uint64_t eligible_mask, WorkerId hint,
+                    bool* self_claim);
+
+  /// Wakes threads blocked in wait(task) if any are registered (Dekker
+  /// handshake on task_waiters_; see wait()).
+  void notify_task_done();
+  /// Wakes threads blocked in wait_for_all() — only when inflight_ has
+  /// actually reached zero, so a draining pipeline doesn't wake the waiter
+  /// once per completed task.
+  void notify_idle();
+
+  /// Finalizes a finished (or failed) task and releases its successors;
+  /// successors of a failed task fail transitively without running.
+  /// Caller holds graph_mutex_. Completed tasks are appended to
+  /// `completed` (their callbacks run outside the lock), tasks that became
+  /// ready to `ready` (dispatched outside the lock).
+  void complete_locked(const TaskPtr& task, std::vector<TaskPtr>& completed,
+                       std::vector<TaskPtr>& ready);
 
   /// Injector of the accelerator backing `node`, or nullptr (host node,
   /// no fault plan).
@@ -235,28 +315,34 @@ class Engine {
   void on_transfer_attempt(MemoryNodeId from, MemoryNodeId to,
                            std::size_t bytes);
 
-  bool has_eligible_worker_locked(const Task& task) const;
+  bool has_eligible_worker(const Task& task) const;
 
-  /// Marks `worker` dead, drains its scheduler queue and re-pushes what can
-  /// still run elsewhere; tasks with no eligible worker left complete as
-  /// failed (appended to `completed` for the caller's callbacks).
-  void blacklist_worker_locked(Worker& worker, std::vector<TaskPtr>& completed);
+  /// Marks `worker` dead, drains its scheduler queue and collects what can
+  /// still run elsewhere into `ready`; tasks with no eligible worker left
+  /// complete as failed (appended to `completed`). Caller holds
+  /// graph_mutex_.
+  void blacklist_worker_locked(Worker& worker, std::vector<TaskPtr>& completed,
+                               std::vector<TaskPtr>& ready);
 
   /// Enabled implementation the worker would run for this task (respecting
-  /// forced_arch), or nullptr.
+  /// forced_arch and the task's excluded architectures); nullptr if none.
+  /// Constant time: variants were resolved into Task::impl_for_arch at
+  /// submission.
   const Implementation* select_impl(const Task& task,
                                     const WorkerDesc& worker) const;
 
   bool worker_eligible(const Task& task, WorkerId id) const;
-  VirtualTime worker_ready_at_locked(WorkerId id) const;
+
+  /// Virtual time at which the worker becomes free. Lock-free: own clock
+  /// for accelerators; host workers additionally observe the combined-CPU
+  /// clock (per-core) or the host-group maximum (combined worker).
+  VirtualTime worker_ready_at(WorkerId id) const;
+
   double estimate_exec_seconds(const Task& task, const WorkerDesc& worker,
                                const Implementation& impl) const;
   double estimate_completion(const Task& task, WorkerId id) const;
   double estimate_work(const Task& task, WorkerId id) const;
   std::uint64_t exploration_sample_count(const Task& task, WorkerId id) const;
-
-  static std::uint64_t task_footprint(const Task& task);
-  static std::size_t task_total_bytes(const Task& task);
 
   EngineConfig config_;
   int cpu_count_;
@@ -267,31 +353,54 @@ class Engine {
 
   std::vector<WorkerDesc> descs_;  ///< immutable after construction
   std::vector<std::unique_ptr<Worker>> workers_;
+  int combined_index_ = -1;  ///< index of the combined-CPU worker, -1 if none
 
   /// One fault injector per accelerator (nullptr = fault-free device).
   /// Immutable after construction; the injectors themselves are thread safe.
   std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
 
-  /// Transfer faults are counted here instead of fault_stats_ because the
-  /// transfer hook runs under handle mutexes, where graph_mutex_ is off
-  /// limits (lock order).
+  /// Transfer faults are counted here instead of fault_counters_ because
+  /// the transfer hook runs under handle mutexes, outside every engine
+  /// lock.
   std::atomic<std::uint64_t> injected_transfer_faults_{0};
 
   /// Serialises real execution of the combined-CPU worker against the
   /// per-core CPU workers (they share the same physical cores).
   std::shared_mutex cpu_group_mutex_;
 
-  /// Protects the task graph, scheduler, worker vtimes/stats and makespan.
+  /// Protects ONLY the dependency graph: Task::successors /
+  /// unmet_dependencies / max_pred_end, DataHandle::last_writer /
+  /// readers_since_last_write, and the blacklist transition. Taken at
+  /// submit and completion — never while popping or executing.
   mutable std::mutex graph_mutex_;
-  std::condition_variable work_cv_;
+
   std::unique_ptr<Scheduler> scheduler_;
-  bool stopping_ = false;
-  std::uint64_t next_sequence_ = 0;
-  std::uint64_t inflight_ = 0;
-  VirtualTime makespan_ = 0.0;
-  std::array<std::uint64_t, kArchCount> arch_counts_{};
-  std::vector<char> blacklisted_;  ///< per worker; guarded by graph_mutex_
-  FaultStats fault_stats_;  ///< guarded by graph_mutex_ (transfer faults aside)
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_sequence_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<VirtualTime> makespan_{0.0};
+
+  /// Maintained host-group clock: max vtime over all host-node workers
+  /// (CAS-max on completion), replacing the former O(workers) scan per
+  /// ready-time query.
+  std::atomic<VirtualTime> host_group_max_{0.0};
+
+  std::array<std::atomic<std::uint64_t>, kArchCount> arch_counts_{};
+  std::unique_ptr<std::atomic<bool>[]> blacklisted_;  ///< per worker
+  FaultCounters fault_counters_;
+  std::atomic<std::size_t> wake_rr_{0};  ///< round-robin wake start point
+
+  // Waiter protocol for wait()/wait_for_all(): waiters register in the
+  // matching counter before sleeping on done_cv_; completers skip the cv
+  // entirely when nobody is registered. The counters are split so that a
+  // wait_for_all() caller is only woken when inflight_ actually reaches
+  // zero — with one shared counter, every completion of a long task drain
+  // would futex-wake the waiter just for it to re-check and sleep again
+  // (two context switches per task). See notify_task_done()/notify_idle().
+  mutable std::mutex done_mutex_;
+  mutable std::condition_variable done_cv_;
+  mutable std::atomic<std::uint64_t> task_waiters_{0};  ///< wait(task)
+  mutable std::atomic<std::uint64_t> all_waiters_{0};   ///< wait_for_all()
 };
 
 }  // namespace peppher::rt

@@ -167,14 +167,14 @@ void HistoryModel::deserialize(std::string_view text) {
 void PerfRegistry::record(const std::string& codelet, Arch arch,
                           std::uint64_t footprint, std::size_t total_bytes,
                           double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   models_[{codelet, static_cast<int>(arch)}].record(footprint, total_bytes,
                                                     seconds);
 }
 
 std::optional<double> PerfRegistry::expected(const std::string& codelet, Arch arch,
                                              std::uint64_t footprint) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = models_.find({codelet, static_cast<int>(arch)});
   if (it == models_.end()) return std::nullopt;
   return it->second.expected(footprint);
@@ -182,21 +182,21 @@ std::optional<double> PerfRegistry::expected(const std::string& codelet, Arch ar
 
 std::uint64_t PerfRegistry::sample_count(const std::string& codelet, Arch arch,
                                          std::uint64_t footprint) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = models_.find({codelet, static_cast<int>(arch)});
   return it == models_.end() ? 0 : it->second.sample_count(footprint);
 }
 
 std::optional<double> PerfRegistry::regression_estimate(
     const std::string& codelet, Arch arch, std::size_t total_bytes) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = models_.find({codelet, static_cast<int>(arch)});
   if (it == models_.end()) return std::nullopt;
   return it->second.regression_estimate(total_bytes);
 }
 
 void PerfRegistry::save(const std::filesystem::path& dir) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   fs::make_dirs(dir);
   for (const auto& [key, model] : models_) {
     const std::string filename =
@@ -206,7 +206,7 @@ void PerfRegistry::save(const std::filesystem::path& dir) const {
 }
 
 void PerfRegistry::load(const std::filesystem::path& dir) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   for (const auto& path : fs::list_files(dir, ".model")) {
     const std::string stem = path.stem().string();  // "<codelet>.<arch>"
     const std::size_t dot = stem.rfind('.');
@@ -223,12 +223,12 @@ void PerfRegistry::load(const std::filesystem::path& dir) {
 }
 
 void PerfRegistry::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   models_.clear();
 }
 
 std::vector<PerfRegistry::ModelInfo> PerfRegistry::list() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<ModelInfo> out;
   out.reserve(models_.size());
   for (const auto& [key, model] : models_) {

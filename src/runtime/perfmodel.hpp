@@ -16,6 +16,7 @@
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -82,7 +83,10 @@ class HistoryModel {
 };
 
 /// Thread-safe registry of history models keyed by codelet name and
-/// architecture. One per Engine.
+/// architecture. One per Engine. Lookups (expected / sample_count /
+/// regression_estimate) take a shared lock so concurrent scheduling
+/// estimates from many workers never serialize against each other; only
+/// record/load/clear take the lock exclusively.
 class PerfRegistry {
  public:
   void record(const std::string& codelet, Arch arch, std::uint64_t footprint,
@@ -121,7 +125,7 @@ class PerfRegistry {
 
  private:
   using Key = std::pair<std::string, int>;
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   std::map<Key, HistoryModel> models_;
 };
 

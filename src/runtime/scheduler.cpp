@@ -1,8 +1,10 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "support/error.hpp"
 
@@ -11,24 +13,82 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Base with the common queue-per-worker plumbing.
+/// Lock-free accumulate for std::atomic<double> (fetch_add on floating
+/// atomics is C++20 but not universally lowered well; the CAS loop is
+/// portable and these counters are uncontended in practice).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Subtract with a floor of zero (pending-work accounting must not go
+/// negative from estimate asymmetries).
+void atomic_sub_clamped(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, std::max(0.0, cur - delta),
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// One worker's ready queue: its own lock plus an approximate size counter
+/// readable without the lock (queue-length scans during push decisions).
+struct LockedDeque {
+  mutable std::mutex mutex;
+  std::deque<TaskPtr> items;
+  std::atomic<std::size_t> approx_size{0};
+};
+
+/// Base with the common per-worker-queue plumbing.
 class PerWorkerQueues {
  protected:
   explicit PerWorkerQueues(std::size_t worker_count) : queues_(worker_count) {}
 
-  std::vector<std::deque<TaskPtr>> queues_;
+  std::vector<LockedDeque> queues_;
 
   std::size_t total_queued() const {
     std::size_t n = 0;
-    for (const auto& q : queues_) n += q.size();
+    for (const auto& q : queues_) {
+      n += q.approx_size.load(std::memory_order_relaxed);
+    }
     return n;
+  }
+
+  void enqueue_back(WorkerId worker, const TaskPtr& task) {
+    auto& q = queues_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    q.items.push_back(task);
+    q.approx_size.store(q.items.size(), std::memory_order_relaxed);
+  }
+
+  std::optional<TaskPtr> take_back(WorkerId worker) {
+    auto& q = queues_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.items.empty()) return std::nullopt;
+    TaskPtr task = std::move(q.items.back());
+    q.items.pop_back();
+    q.approx_size.store(q.items.size(), std::memory_order_relaxed);
+    return task;
+  }
+
+  std::optional<TaskPtr> take_front(WorkerId worker) {
+    auto& q = queues_[static_cast<std::size_t>(worker)];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.items.empty()) return std::nullopt;
+    TaskPtr task = std::move(q.items.front());
+    q.items.pop_front();
+    q.approx_size.store(q.items.size(), std::memory_order_relaxed);
+    return task;
   }
 
   /// Empties one worker's queue (drain() of the per-worker-queue policies).
   std::vector<TaskPtr> take_queue(WorkerId worker) {
     auto& q = queues_[static_cast<std::size_t>(worker)];
-    std::vector<TaskPtr> out(q.begin(), q.end());
-    q.clear();
+    std::lock_guard<std::mutex> lock(q.mutex);
+    std::vector<TaskPtr> out(q.items.begin(), q.items.end());
+    q.items.clear();
+    q.approx_size.store(0, std::memory_order_relaxed);
     return out;
   }
 };
@@ -41,9 +101,14 @@ class EagerScheduler final : public Scheduler {
  public:
   explicit EagerScheduler(SchedEnv env) : env_(std::move(env)) {}
 
-  void push(const TaskPtr& task) override { queue_.push_back(task); }
+  WorkerId push(const TaskPtr& task) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(task);
+    return kNoWorkerHint;
+  }
 
   TaskPtr pop(WorkerId worker) override {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto best = queue_.end();
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (!env_.eligible(**it, worker)) continue;
@@ -61,6 +126,7 @@ class EagerScheduler final : public Scheduler {
   std::vector<TaskPtr> drain(WorkerId) override {
     // Central queue: nothing is bound to the dead worker, but tasks that
     // just lost their only capable worker would otherwise sit forever.
+    std::lock_guard<std::mutex> lock(mutex_);
     std::vector<TaskPtr> out;
     for (auto it = queue_.begin(); it != queue_.end();) {
       bool runnable = false;
@@ -80,11 +146,15 @@ class EagerScheduler final : public Scheduler {
     return out;
   }
 
-  std::size_t queued() const override { return queue_.size(); }
+  std::size_t queued() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
   const std::string& name() const override { return name_; }
 
  private:
   SchedEnv env_;
+  mutable std::mutex mutex_;
   std::deque<TaskPtr> queue_;
   std::string name_ = "eager";
 };
@@ -99,36 +169,37 @@ class RandomScheduler final : public Scheduler,
   explicit RandomScheduler(SchedEnv env)
       : PerWorkerQueues(env.workers->size()), env_(std::move(env)) {}
 
-  void push(const TaskPtr& task) override {
+  WorkerId push(const TaskPtr& task) override {
     double total_weight = 0.0;
     for (const auto& w : *env_.workers) {
       if (env_.eligible(*task, w.id)) total_weight += w.profile.peak_gflops;
     }
     check(total_weight > 0.0, "task has no eligible worker");
-    double pick = env_.rng->uniform(0.0, total_weight);
+    double pick;
+    {
+      std::lock_guard<std::mutex> lock(rng_mutex_);
+      pick = env_.rng->uniform(0.0, total_weight);
+    }
     for (const auto& w : *env_.workers) {
       if (!env_.eligible(*task, w.id)) continue;
       pick -= w.profile.peak_gflops;
       if (pick <= 0.0) {
-        queues_[static_cast<std::size_t>(w.id)].push_back(task);
-        return;
+        enqueue_back(w.id, task);
+        return w.id;
       }
     }
     // Floating-point tail: put it on the last eligible worker.
     for (auto it = env_.workers->rbegin(); it != env_.workers->rend(); ++it) {
       if (env_.eligible(*task, it->id)) {
-        queues_[static_cast<std::size_t>(it->id)].push_back(task);
-        return;
+        enqueue_back(it->id, task);
+        return it->id;
       }
     }
+    return kNoWorkerHint;  // unreachable: total_weight > 0 above
   }
 
   TaskPtr pop(WorkerId worker) override {
-    auto& q = queues_[static_cast<std::size_t>(worker)];
-    if (q.empty()) return nullptr;
-    TaskPtr task = q.front();
-    q.pop_front();
-    return task;
+    return take_front(worker).value_or(nullptr);
   }
 
   std::vector<TaskPtr> drain(WorkerId dead_worker) override {
@@ -140,6 +211,7 @@ class RandomScheduler final : public Scheduler,
 
  private:
   SchedEnv env_;
+  std::mutex rng_mutex_;  ///< the Rng is stateful; draws must serialize
   std::string name_ = "random";
 };
 
@@ -153,51 +225,55 @@ class WorkStealingScheduler final : public Scheduler,
   explicit WorkStealingScheduler(SchedEnv env)
       : PerWorkerQueues(env.workers->size()), env_(std::move(env)) {}
 
-  void push(const TaskPtr& task) override {
+  WorkerId push(const TaskPtr& task) override {
     WorkerId target = -1;
     std::size_t best_len = 0;
     for (const auto& w : *env_.workers) {
       if (!env_.eligible(*task, w.id)) continue;
-      const std::size_t len = queues_[static_cast<std::size_t>(w.id)].size();
+      const std::size_t len = queues_[static_cast<std::size_t>(w.id)]
+                                  .approx_size.load(std::memory_order_relaxed);
       if (target < 0 || len < best_len) {
         target = w.id;
         best_len = len;
       }
     }
     check(target >= 0, "task has no eligible worker");
-    queues_[static_cast<std::size_t>(target)].push_back(task);
+    enqueue_back(target, task);
+    return target;
   }
 
   TaskPtr pop(WorkerId worker) override {
-    auto& own = queues_[static_cast<std::size_t>(worker)];
-    if (!own.empty()) {
-      TaskPtr task = own.back();
-      own.pop_back();
-      return task;
-    }
+    if (auto own = take_back(worker)) return *own;
     // Steal: scan victims from the longest queue down, taking the oldest
     // task the thief can actually execute.
     std::vector<std::size_t> victims;
     for (std::size_t v = 0; v < queues_.size(); ++v) {
-      if (static_cast<WorkerId>(v) != worker && !queues_[v].empty()) {
+      if (static_cast<WorkerId>(v) != worker &&
+          queues_[v].approx_size.load(std::memory_order_relaxed) > 0) {
         victims.push_back(v);
       }
     }
-    std::sort(victims.begin(), victims.end(), [this](std::size_t a, std::size_t b) {
-      return queues_[a].size() > queues_[b].size();
-    });
+    std::sort(victims.begin(), victims.end(),
+              [this](std::size_t a, std::size_t b) {
+                return queues_[a].approx_size.load(std::memory_order_relaxed) >
+                       queues_[b].approx_size.load(std::memory_order_relaxed);
+              });
     for (std::size_t v : victims) {
       auto& q = queues_[v];
-      for (auto it = q.begin(); it != q.end(); ++it) {
+      std::lock_guard<std::mutex> lock(q.mutex);
+      for (auto it = q.items.begin(); it != q.items.end(); ++it) {
         if (env_.eligible(**it, worker)) {
           TaskPtr task = *it;
-          q.erase(it);
+          q.items.erase(it);
+          q.approx_size.store(q.items.size(), std::memory_order_relaxed);
           return task;
         }
       }
     }
     return nullptr;
   }
+
+  bool work_stealing() const override { return true; }
 
   std::vector<TaskPtr> drain(WorkerId dead_worker) override {
     return take_queue(dead_worker);
@@ -219,9 +295,9 @@ class DmdaScheduler final : public Scheduler {
   explicit DmdaScheduler(SchedEnv env)
       : env_(std::move(env)),
         queues_(env_.workers->size()),
-        pending_work_(env_.workers->size(), 0.0) {}
+        pending_work_(env_.workers->size()) {}
 
-  void push(const TaskPtr& task) override {
+  WorkerId push(const TaskPtr& task) override {
     // Calibration phase: while any eligible variant has fewer than
     // calibration_min recorded samples for this footprint, force it to run
     // so the history model learns about it (StarPU does the same).
@@ -237,19 +313,21 @@ class DmdaScheduler final : public Scheduler {
     }
     if (explore >= 0) {
       enqueue(explore, task);
-      return;
+      return explore;
     }
 
     // Steady state: minimise predicted completion time, counting both the
     // worker's virtual-clock readiness and the expected duration of tasks
     // already queued on it but not yet started (StarPU dmda's expected-end
-    // accounting).
+    // accounting). Two concurrent pushes may both pick the same best
+    // worker — a benign near-tie; the pending-work term self-corrects.
     WorkerId best = -1;
     double best_completion = kInf;
     for (const auto& w : *env_.workers) {
       const double completion =
           env_.estimate_completion(*task, w.id) +
-          pending_work_[static_cast<std::size_t>(w.id)];
+          pending_work_[static_cast<std::size_t>(w.id)].load(
+              std::memory_order_relaxed);
       if (completion < best_completion) {
         best = w.id;
         best_completion = completion;
@@ -257,31 +335,44 @@ class DmdaScheduler final : public Scheduler {
     }
     check(best >= 0, "task has no eligible worker");
     enqueue(best, task);
+    return best;
   }
 
   TaskPtr pop(WorkerId worker) override {
     auto& q = queues_[static_cast<std::size_t>(worker)];
-    if (q.empty()) return nullptr;
-    Entry entry = q.front();
-    q.pop_front();
-    pending_work_[static_cast<std::size_t>(worker)] =
-        std::max(0.0, pending_work_[static_cast<std::size_t>(worker)] - entry.work);
+    Entry entry;
+    {
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.items.empty()) return nullptr;
+      entry = std::move(q.items.front());
+      q.items.pop_front();
+      q.approx_size.store(q.items.size(), std::memory_order_relaxed);
+    }
+    atomic_sub_clamped(pending_work_[static_cast<std::size_t>(worker)],
+                       entry.work);
     return entry.task;
   }
 
   std::vector<TaskPtr> drain(WorkerId dead_worker) override {
     auto& q = queues_[static_cast<std::size_t>(dead_worker)];
     std::vector<TaskPtr> out;
-    out.reserve(q.size());
-    for (auto& entry : q) out.push_back(std::move(entry.task));
-    q.clear();
-    pending_work_[static_cast<std::size_t>(dead_worker)] = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(q.mutex);
+      out.reserve(q.items.size());
+      for (auto& entry : q.items) out.push_back(std::move(entry.task));
+      q.items.clear();
+      q.approx_size.store(0, std::memory_order_relaxed);
+    }
+    pending_work_[static_cast<std::size_t>(dead_worker)].store(
+        0.0, std::memory_order_relaxed);
     return out;
   }
 
   std::size_t queued() const override {
     std::size_t n = 0;
-    for (const auto& q : queues_) n += q.size();
+    for (const auto& q : queues_) {
+      n += q.approx_size.load(std::memory_order_relaxed);
+    }
     return n;
   }
   const std::string& name() const override { return name_; }
@@ -292,23 +383,33 @@ class DmdaScheduler final : public Scheduler {
     double work = 0.0;
   };
 
+  struct EntryQueue {
+    mutable std::mutex mutex;
+    std::deque<Entry> items;
+    std::atomic<std::size_t> approx_size{0};
+  };
+
   void enqueue(WorkerId worker, const TaskPtr& task) {
     double work = env_.estimate_work(*task, worker);
     if (!std::isfinite(work)) work = 0.0;
     auto& q = queues_[static_cast<std::size_t>(worker)];
-    // Priority-ordered insertion (stable: FIFO among equal priorities).
-    auto it = q.end();
-    while (it != q.begin() &&
-           std::prev(it)->task->spec.priority < task->spec.priority) {
-      --it;
+    {
+      std::lock_guard<std::mutex> lock(q.mutex);
+      // Priority-ordered insertion (stable: FIFO among equal priorities).
+      auto it = q.items.end();
+      while (it != q.items.begin() &&
+             std::prev(it)->task->spec.priority < task->spec.priority) {
+        --it;
+      }
+      q.items.insert(it, Entry{task, work});
+      q.approx_size.store(q.items.size(), std::memory_order_relaxed);
     }
-    q.insert(it, Entry{task, work});
-    pending_work_[static_cast<std::size_t>(worker)] += work;
+    atomic_add(pending_work_[static_cast<std::size_t>(worker)], work);
   }
 
   SchedEnv env_;
-  std::vector<std::deque<Entry>> queues_;
-  std::vector<double> pending_work_;
+  std::vector<EntryQueue> queues_;
+  std::vector<std::atomic<double>> pending_work_;
   std::string name_ = "dmda";
 };
 

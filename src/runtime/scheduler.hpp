@@ -6,8 +6,15 @@
 // models, and falls back to forced exploration while a variant is
 // uncalibrated.
 //
-// All scheduler methods are invoked by the Engine under its graph mutex, so
-// implementations need no internal locking.
+// Concurrency contract: schedulers are internally synchronized with
+// per-worker queue locks — push/pop/drain/queued may be called from any
+// thread with NO engine lock held. This keeps the task hot path off the
+// engine's dependency-graph lock: workers pop from their own queue under
+// that queue's lock only, and submitters race nothing but the one target
+// queue. The SchedEnv callbacks the policies consult (eligibility, ready
+// times, completion estimates, sample counts) are therefore required to be
+// thread-safe as well; the Engine implements them over atomics, memoized
+// per-task caches and the reader-writer performance registry.
 #pragma once
 
 #include <cstdint>
@@ -62,16 +69,27 @@ struct SchedEnv {
   Rng* rng = nullptr;
 };
 
-/// Scheduler interface (no locking needed; see file comment).
+/// Returned by Scheduler::push when the task went to a central queue any
+/// eligible worker may pop from (rather than one worker's own queue).
+inline constexpr WorkerId kNoWorkerHint = -1;
+
+/// Scheduler interface (internally synchronized; see file comment).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   /// Accepts a task that has become ready (dependencies satisfied).
-  virtual void push(const TaskPtr& task) = 0;
+  /// Returns the worker whose queue received it — the engine's wakeup
+  /// target — or kNoWorkerHint for centrally queued policies.
+  virtual WorkerId push(const TaskPtr& task) = 0;
 
   /// Next task for `worker`, or nullptr if none available to it.
   virtual TaskPtr pop(WorkerId worker) = 0;
+
+  /// True if pop(w) may return tasks queued on other workers (work
+  /// stealing): the engine then also wakes an idle thief when the pushed
+  /// task's own worker is busy.
+  virtual bool work_stealing() const { return false; }
 
   /// Removes and returns the tasks stranded by the death of `dead_worker`:
   /// everything queued on that worker plus (for centrally queued policies)

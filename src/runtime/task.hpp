@@ -3,6 +3,7 @@
 // the data they operate on is carried by DataHandles.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -74,12 +75,37 @@ class Task {
   TaskSpec spec;
   const std::uint64_t sequence;  ///< submission order, for determinism
 
+  // -- hot-path caches (computed once in Engine::submit, immutable after) ---
+  //
+  // Operand sizes, their footprint hash and the per-architecture variant
+  // resolution are consulted by every scheduling estimate for every
+  // candidate worker; caching them here keeps the (task, worker) inner loop
+  // allocation-free. The implementation cache snapshots the codelet's
+  // enabled variants and evaluates selectability predicates against the
+  // operand sizes at submission time — toggling a variant while the task is
+  // in flight no longer affects it (it never affected a queued decision
+  // deterministically before either).
+  std::vector<std::size_t> operand_bytes;
+  std::uint64_t footprint = 0;     ///< footprint_of(operand_bytes)
+  std::size_t total_bytes = 0;     ///< sum of operand_bytes
+  std::array<const Implementation*, kArchCount> impl_for_arch{};
+
   // -- dependency bookkeeping (all guarded by the Engine's graph mutex) -----
   int unmet_dependencies = 0;
   std::vector<std::shared_ptr<Task>> successors;
   VirtualTime max_pred_end = 0.0;  ///< latest vend among finished predecessors
 
-  // -- retry bookkeeping (guarded by the Engine's graph mutex) --------------
+  /// Sequence number of the successor task currently being linked against
+  /// this one — O(1) duplicate-edge detection during submission without a
+  /// per-submit hash set (sequence numbers are never reused, unlike task
+  /// addresses).
+  std::uint64_t linking_successor = ~std::uint64_t{0};
+
+  // -- retry bookkeeping ----------------------------------------------------
+  //
+  // Written only by the worker currently executing the task (which owns it
+  // until it re-pushes or completes it); the scheduler-queue locks and the
+  // kDone publication order those writes for every later reader.
 
   /// Retries still allowed after a failed attempt (initialised from the
   /// spec/engine policy at submission).
@@ -93,7 +119,11 @@ class Task {
   std::optional<Arch> first_failed_arch;
 
   // -- execution results ----------------------------------------------------
-  TaskState state = TaskState::kBlocked;
+
+  /// Lifecycle state. Atomic because waiters poll it outside the engine's
+  /// graph lock; the kDone store (made after all result fields are written)
+  /// is what publishes the results below to waiters.
+  std::atomic<TaskState> state{TaskState::kBlocked};
 
   /// Set if the implementation threw or a predecessor failed; rethrown by
   /// Engine::wait(). Failed tasks complete (waiters wake) but their

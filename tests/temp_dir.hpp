@@ -1,0 +1,27 @@
+// Per-test-process unique temp directories. ctest registers every gtest
+// case as its own test, so under `ctest -j` several processes of the same
+// binary run concurrently — fixtures that share one fixed
+// /tmp/peppher_*_test path race each other's SetUp/TearDown remove_all.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+namespace peppher::testing {
+
+/// A fresh, empty directory under the system temp dir, unique to this
+/// process (pid + call counter). The caller owns cleanup.
+inline std::filesystem::path unique_temp_dir(const std::string& prefix) {
+  static std::atomic<unsigned> counter{0};
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (prefix + "_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace peppher::testing

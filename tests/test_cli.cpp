@@ -11,15 +11,15 @@
 #include "runtime/engine.hpp"
 #include "support/fs.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher {
 namespace {
 
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "peppher_cli_test";
-    std::filesystem::remove_all(dir_);
-    fs::make_dirs(dir_);
+    dir_ = peppher::testing::unique_temp_dir("peppher_cli_test");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 

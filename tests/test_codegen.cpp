@@ -12,6 +12,8 @@
 #include "support/error.hpp"
 #include "support/fs.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher::compose {
 namespace {
 
@@ -222,8 +224,7 @@ TEST(Codegen, GenerateProducesAllFiles) {
 
 TEST(Codegen, WriteFilesCreatesTree) {
   ComponentTree tree = build_tree(raw_pointer_repo(), Recipe{});
-  const auto dir = std::filesystem::temp_directory_path() / "peppher_gen_test";
-  std::filesystem::remove_all(dir);
+  const auto dir = peppher::testing::unique_temp_dir("peppher_gen_test");
   write_files(generate(tree), dir);
   EXPECT_TRUE(std::filesystem::exists(dir / "spmv_wrapper.cpp"));
   EXPECT_TRUE(std::filesystem::exists(dir / "peppher.h"));
@@ -261,9 +262,8 @@ TEST(Codegen, GeneratedWrapperCompiles) {
   for (bool containers : {false, true}) {
     ComponentTree tree =
         build_tree(containers ? container_repo() : raw_pointer_repo(), Recipe{});
-    const auto dir = std::filesystem::temp_directory_path() /
-                     (containers ? "peppher_cc_cont" : "peppher_cc_raw");
-    std::filesystem::remove_all(dir);
+    const auto dir = peppher::testing::unique_temp_dir(
+        containers ? "peppher_cc_cont" : "peppher_cc_raw");
     write_files(generate(tree), dir);
     const std::string src_root = std::string(PEPPHER_SOURCE_ROOT) + "/src";
     const std::string command = "g++ -std=c++20 -fsyntax-only -I" + dir.string() +

@@ -9,6 +9,8 @@
 #include "support/fs.hpp"
 #include "xml/xml.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher::desc {
 namespace {
 
@@ -200,8 +202,7 @@ TEST(Repository, LoadAndQuery) {
 }
 
 TEST(Repository, ScanDirectoryTree) {
-  const auto dir = std::filesystem::temp_directory_path() / "peppher_repo_test";
-  std::filesystem::remove_all(dir);
+  const auto dir = peppher::testing::unique_temp_dir("peppher_repo_test");
   fs::write_file(dir / "spmv" / "spmv.xml", kSpmvInterface);
   fs::write_file(dir / "spmv" / "cpu" / "spmv_cpu.xml", kCpuImpl);
   fs::write_file(dir / "spmv" / "cuda" / "spmv_cusp.xml", kCudaImpl);

@@ -17,15 +17,15 @@
 #include "support/fs.hpp"
 #include "support/strings.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher {
 namespace {
 
 class FullBuild : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "peppher_full_build";
-    std::filesystem::remove_all(dir_);
-    fs::make_dirs(dir_);
+    dir_ = peppher::testing::unique_temp_dir("peppher_full_build");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 

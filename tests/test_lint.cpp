@@ -18,6 +18,8 @@
 #include "support/strings.hpp"
 #include "xml/xml.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher {
 namespace {
 
@@ -59,9 +61,7 @@ constexpr const char* kAxpyMain =
 class LintTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "peppher_lint_test";
-    std::filesystem::remove_all(dir_);
-    fs::make_dirs(dir_);
+    dir_ = peppher::testing::unique_temp_dir("peppher_lint_test");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 

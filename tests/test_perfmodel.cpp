@@ -9,6 +9,8 @@
 #include "support/error.hpp"
 #include "support/fs.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher::rt {
 namespace {
 
@@ -100,8 +102,7 @@ TEST(PerfRegistry, RecordsPerCodeletAndArch) {
 }
 
 TEST(PerfRegistry, SaveLoadRoundTrip) {
-  const auto dir = std::filesystem::temp_directory_path() / "peppher_models";
-  std::filesystem::remove_all(dir);
+  const auto dir = peppher::testing::unique_temp_dir("peppher_models");
 
   PerfRegistry registry;
   registry.record("spmv", Arch::kCpu, 11, 100, 2.0);

@@ -11,6 +11,8 @@
 #include "support/fs.hpp"
 #include "xml/xml.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher::compose {
 namespace {
 
@@ -139,8 +141,7 @@ TEST(Skeleton, EmptyHeaderThrows) {
 }
 
 TEST(Skeleton, WritesFilesToDisk) {
-  const auto dir = std::filesystem::temp_directory_path() / "peppher_skel_test";
-  std::filesystem::remove_all(dir);
+  const auto dir = peppher::testing::unique_temp_dir("peppher_skel_test");
   fs::write_file(dir / "spmv.h", kSpmvHeader);
   generate_skeleton_from_file(dir / "spmv.h", dir);
   EXPECT_TRUE(std::filesystem::exists(dir / "spmv" / "spmv.xml"));

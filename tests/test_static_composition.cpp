@@ -19,6 +19,8 @@
 #include "core/peppher.hpp"
 #include "runtime/engine.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher {
 namespace {
 
@@ -119,9 +121,7 @@ TEST(StaticComposition, NarrowedCompositionStaysCorrect) {
 }
 
 TEST(StaticComposition, PerformanceModelsPersistAcrossEngines) {
-  const auto dir =
-      std::filesystem::temp_directory_path() / "peppher_sampling_test";
-  std::filesystem::remove_all(dir);
+  const auto dir = peppher::testing::unique_temp_dir("peppher_sampling_test");
 
   // First "tool invocation": train and persist.
   {

@@ -13,6 +13,8 @@
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher {
 namespace {
 
@@ -135,7 +137,7 @@ TEST(Rng, NormalRoughlyCentred) {
 // ---------------------------------------------------------------------------
 
 TEST(Fs, WriteReadRoundTrip) {
-  const auto dir = std::filesystem::temp_directory_path() / "peppher_fs_test";
+  const auto dir = peppher::testing::unique_temp_dir("peppher_fs_test");
   const auto file = dir / "sub" / "data.txt";
   fs::write_file(file, "hello\nworld");
   EXPECT_EQ(fs::read_file(file), "hello\nworld");
@@ -147,7 +149,7 @@ TEST(Fs, ReadMissingFileThrows) {
 }
 
 TEST(Fs, ListFilesFiltersAndSorts) {
-  const auto dir = std::filesystem::temp_directory_path() / "peppher_ls_test";
+  const auto dir = peppher::testing::unique_temp_dir("peppher_ls_test");
   fs::write_file(dir / "b.xml", "x");
   fs::write_file(dir / "a.xml", "x");
   fs::write_file(dir / "c.txt", "x");
@@ -160,7 +162,7 @@ TEST(Fs, ListFilesFiltersAndSorts) {
 }
 
 TEST(Fs, CountSourceLinesIgnoresBlanks) {
-  const auto dir = std::filesystem::temp_directory_path() / "peppher_loc_test";
+  const auto dir = peppher::testing::unique_temp_dir("peppher_loc_test");
   fs::write_file(dir / "f.cpp", "int x;\n\n  \nint y;\n");
   EXPECT_EQ(fs::count_source_lines(dir / "f.cpp"), 2u);
   std::filesystem::remove_all(dir);

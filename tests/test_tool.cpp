@@ -9,6 +9,8 @@
 #include "support/error.hpp"
 #include "support/fs.hpp"
 
+#include "temp_dir.hpp"
+
 namespace peppher::compose {
 namespace {
 
@@ -56,9 +58,7 @@ TEST(ToolArgs, RejectsBadInput) {
 class ToolEndToEnd : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "peppher_tool_e2e";
-    std::filesystem::remove_all(dir_);
-    fs::make_dirs(dir_);
+    dir_ = peppher::testing::unique_temp_dir("peppher_tool_e2e");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 

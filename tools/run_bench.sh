@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Runs the runtime-overhead benchmarks and records machine-readable results.
+#
+#   tools/run_bench.sh [BUILD_DIR]          full run; writes
+#                                           BENCH_task_overhead.json and
+#                                           BENCH_fig7_ode_overhead.json at
+#                                           the repo root
+#   tools/run_bench.sh --smoke [BUILD_DIR]  tiny iteration counts into a
+#                                           temp dir, JSON validity checked
+#                                           (the `bench-smoke` ctest)
+#
+# BENCH_task_overhead.json carries before/after numbers: "baseline" is the
+# committed pre-optimisation run (bench/baseline_task_overhead.json, taken
+# before the lock-light concurrency rework), "current" is this run, and
+# "speedup" is baseline/current per benchmark (wall real_time).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SMOKE=0
+BUILD_DIR="$ROOT/build"
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    -h|--help) sed -n '2,15p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+TASK_BENCH="$BUILD_DIR/bench/bench_task_overhead"
+FIG7_BENCH="$BUILD_DIR/bench/bench_fig7_ode_overhead"
+for bin in "$TASK_BENCH" "$FIG7_BENCH"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+
+if [[ "$SMOKE" == 1 ]]; then
+  OUT_DIR="$(mktemp -d)"
+  trap 'rm -rf "$OUT_DIR"' EXIT
+  MIN_TIME=0.01
+  FIG7_ARGS=(--smoke)
+else
+  OUT_DIR="$ROOT"
+  MIN_TIME=0.5
+  FIG7_ARGS=()
+fi
+
+RAW="$OUT_DIR/bench_task_overhead_raw.json"
+"$TASK_BENCH" "--benchmark_min_time=$MIN_TIME" \
+  "--benchmark_out=$RAW" --benchmark_out_format=json
+"$FIG7_BENCH" "${FIG7_ARGS[@]}" "--json=$OUT_DIR/BENCH_fig7_ode_overhead.json"
+
+# Merge the committed baseline with this run into the before/after document.
+python3 - "$ROOT/bench/baseline_task_overhead.json" "$RAW" \
+  "$OUT_DIR/BENCH_task_overhead.json" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path, out_path = sys.argv[1:4]
+
+def rows(path):
+    doc = json.load(open(path))
+    out = {}
+    for b in doc.get("benchmarks", []):
+        out[b["name"]] = {
+            "real_time_us": b["real_time"],
+            "cpu_time_us": b["cpu_time"],
+            "items_per_second": b.get("items_per_second"),
+        }
+    return doc, out
+
+baseline_doc, baseline = rows(baseline_path)
+current_doc, current = rows(current_path)
+speedup = {
+    name: baseline[name]["real_time_us"] / current[name]["real_time_us"]
+    for name in baseline
+    if name in current and current[name]["real_time_us"] > 0
+}
+json.dump(
+    {
+        "description": "per-task overhead, before/after the lock-light "
+                       "concurrency rework (µs wall time per benchmark "
+                       "iteration; Pipelined/Independent iterate 256-task "
+                       "batches)",
+        "baseline_context": baseline_doc.get("context", {}),
+        "current_context": current_doc.get("context", {}),
+        "baseline": baseline,
+        "current": current,
+        "speedup": speedup,
+    },
+    open(out_path, "w"),
+    indent=2,
+)
+print(f"wrote {out_path}")
+for name, s in sorted(speedup.items()):
+    print(f"  {name}: {s:.2f}x vs baseline")
+EOF
+
+rm -f "$OUT_DIR/bench_task_overhead_raw.json"
+
+if [[ "$SMOKE" == 1 ]]; then
+  # Validity gate: both documents must parse.
+  python3 -c "
+import json, sys
+json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))
+print('bench smoke OK: JSON outputs parse')
+" "$OUT_DIR/BENCH_task_overhead.json" "$OUT_DIR/BENCH_fig7_ode_overhead.json"
+fi

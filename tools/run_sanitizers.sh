@@ -9,9 +9,15 @@
 #   tools/run_sanitizers.sh                      # all three, build-<san> trees
 #   tools/run_sanitizers.sh thread               # TSan only (== run_tsan.sh)
 #   tools/run_sanitizers.sh address,undefined    # ASan then UBSan
-#   tools/run_sanitizers.sh all -- -R 'Chaos|FaultInjection'
-#                                                # chaos + fault-injection
-#                                                # suites under each sanitizer
+#   tools/run_sanitizers.sh all -- -R 'Chaos|FaultInjection|EngineStress'
+#                                                # concurrency suites (chaos,
+#                                                # fault injection, and the
+#                                                # multi-producer engine
+#                                                # stress tests) under each
+#                                                # sanitizer; the TSan pass
+#                                                # over EngineStress is what
+#                                                # validates the lock-light
+#                                                # hot path's memory ordering
 #
 # A custom build-dir only makes sense with a single sanitizer; with several,
 # each gets its own build-<sanitizer> tree next to the repo root.
