@@ -605,6 +605,118 @@ void check_hazards(const desc::Repository& repo, DiagnosticBag& bag) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// PL052 — cross-architecture read ping-pong (defeats prefetch)
+// ---------------------------------------------------------------------------
+
+/// Which side of the PCIe link a call is pinned to by its viable
+/// implementation variants.
+enum class NodeClass { kHost, kDevice, kAny };
+
+const char* node_class_name(NodeClass node_class) {
+  return node_class == NodeClass::kHost ? "host" : "accelerator";
+}
+
+NodeClass call_node_class(const desc::Repository& repo,
+                          const LintOptions& options,
+                          const desc::CallDesc& call) {
+  const desc::InterfaceDescriptor* iface =
+      repo.find_interface(call.interface_name);
+  if (iface == nullptr) return NodeClass::kAny;
+  bool host = false;
+  bool device = false;
+  for (const desc::ImplementationDescriptor* impl :
+       repo.implementations_of(iface->name)) {
+    if (is_disabled(*impl, repo, options)) continue;
+    try {
+      const rt::Arch arch = impl->arch();
+      if (arch == rt::Arch::kCuda || arch == rt::Arch::kOpenCl) {
+        device = true;
+      } else {
+        host = true;
+      }
+    } catch (const Error&) {
+      return NodeClass::kAny;  // unknown backend: placement unconstrained
+    }
+  }
+  if (host == device) return NodeClass::kAny;
+  return host ? NodeClass::kHost : NodeClass::kDevice;
+}
+
+/// A <calls> sequence where one side writes a container, the other side
+/// reads it and the first side then writes again bounces the replica across
+/// the PCIe link on every iteration: the cross-side read pays a fresh
+/// transfer each time and the runtime's prefetch can never hide it (the
+/// warmed replica is invalidated before it is reused). This is a placement
+/// smell the static descriptors already reveal — the fix is a variant on
+/// the reader's side (or the writer's), not a bigger prefetch window.
+void check_prefetch_pingpong(const desc::Repository& repo,
+                             const LintOptions& options, DiagnosticBag& bag) {
+  const desc::MainDescriptor* main = repo.main_module();
+  if (main == nullptr || main->calls.empty()) return;
+
+  struct PlacedAccess {
+    std::size_t call_index = 0;
+    const desc::CallDesc* call = nullptr;
+    rt::AccessMode mode = rt::AccessMode::kRead;
+    NodeClass node = NodeClass::kAny;
+  };
+  std::map<std::string, std::vector<PlacedAccess>> accesses;  // per data name
+  for (std::size_t call_index = 0; call_index < main->calls.size();
+       ++call_index) {
+    const desc::CallDesc& call = main->calls[call_index];
+    const desc::InterfaceDescriptor* iface =
+        repo.find_interface(call.interface_name);
+    if (iface == nullptr) continue;  // PL034 already reported
+    const NodeClass node = call_node_class(repo, options, call);
+    for (const desc::CallArgDesc& arg : call.args) {
+      for (const desc::ParamDesc& p : iface->params) {
+        if (p.name != arg.param || !p.is_operand()) continue;
+        accesses[arg.data].push_back(
+            PlacedAccess{call_index, &call, p.access, node});
+      }
+    }
+  }
+
+  for (const auto& [data, list] : accesses) {
+    const PlacedAccess* last_writer = nullptr;
+    const PlacedAccess* cross_read = nullptr;
+    bool warned = false;
+    for (const PlacedAccess& access : list) {
+      if (access.mode == rt::AccessMode::kRead) {
+        if (last_writer != nullptr && cross_read == nullptr &&
+            access.node != NodeClass::kAny &&
+            access.node != last_writer->node) {
+          cross_read = &access;
+        }
+        continue;
+      }
+      if (!warned && last_writer != nullptr && cross_read != nullptr &&
+          access.node == last_writer->node) {
+        bag.add(
+            "PL052", Severity::kWarning,
+            "container '" + data + "' ping-pongs across the PCIe link: call #" +
+                std::to_string(last_writer->call_index + 1) + " (" +
+                last_writer->call->interface_name + ") writes it on the " +
+                node_class_name(last_writer->node) + " side, call #" +
+                std::to_string(cross_read->call_index + 1) + " (" +
+                cross_read->call->interface_name + ") reads it on the " +
+                node_class_name(cross_read->node) + " side, and call #" +
+                std::to_string(access.call_index + 1) + " (" +
+                access.call->interface_name +
+                ") writes it back — every round trip re-invalidates the "
+                "read-side replica, so prefetching this operand is always "
+                "wasted; provide a variant on both sides or co-locate the "
+                "reader with the writers",
+            cross_read->call->loc);
+        warned = true;
+      }
+      last_writer = access.node == NodeClass::kAny ? nullptr : &access;
+      cross_read = nullptr;
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -665,6 +777,7 @@ diag::DiagnosticBag run_lint(const desc::Repository& repo,
   check_feasibility(repo, options, bag);
   check_dispatch(repo, options, bag);
   check_hazards(repo, bag);
+  check_prefetch_pingpong(repo, options, bag);
   bag.sort();
   return bag;
 }

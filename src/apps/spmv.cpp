@@ -183,6 +183,15 @@ RunResult run_hybrid(rt::Engine& engine, const Problem& problem, int chunks) {
                                     problem.x.size() * sizeof(float),
                                     sizeof(float));
 
+  // Every chunk on every device reads the same x: warm each accelerator's
+  // replica up front so no chunk pays the x upload on its critical path.
+  // In shared-bus mode this is neutral (same total link time, same clock).
+  const int accelerators =
+      static_cast<int>(engine.config().machine.accelerators.size());
+  for (int a = 0; a < accelerators; ++a) {
+    engine.prefetch(h_x, static_cast<rt::MemoryNodeId>(1 + a));
+  }
+
   // Per-chunk rebased row pointers must stay alive for the whole run.
   std::vector<std::vector<std::uint32_t>> chunk_rowptrs;
   std::vector<rt::DataHandlePtr> y_handles;

@@ -68,6 +68,13 @@ class ManagedStorage {
     }
   }
 
+  /// Warms a replica on `node` ahead of the calls that will read it
+  /// (Engine::prefetch). Returns false when unmanaged or the prefetch was
+  /// skipped; a prefetch is only a hint, never an error.
+  bool prefetch(rt::MemoryNodeId node) {
+    return engine_ != nullptr && engine_->prefetch(handle(), node);
+  }
+
   T* data() noexcept { return storage_.data(); }
   const T* data() const noexcept { return storage_.data(); }
 
@@ -163,6 +170,9 @@ class Vector {
   /// Runtime handle for passing the vector to component calls.
   const rt::DataHandlePtr& handle() { return storage_.handle(); }
 
+  /// Warms a device replica ahead of reads (see Engine::prefetch).
+  bool prefetch(rt::MemoryNodeId node) { return storage_.prefetch(node); }
+
   /// Partitions the vector into `parts` contiguous element blocks for
   /// hybrid execution (§IV-F); the whole-vector handle is unusable until
   /// unpartition().
@@ -226,6 +236,9 @@ class Matrix {
 
   const rt::DataHandlePtr& handle() { return storage_.handle(); }
 
+  /// Warms a device replica ahead of reads (see Engine::prefetch).
+  bool prefetch(rt::MemoryNodeId node) { return storage_.prefetch(node); }
+
   /// Partitions the matrix into `parts` row blocks for hybrid execution
   /// (§IV-F); element granularity is one row so blocks never split a row.
   std::vector<rt::DataHandlePtr> partition_rows(std::size_t parts) {
@@ -285,6 +298,9 @@ class Scalar {
   }
 
   const rt::DataHandlePtr& handle() { return storage_.handle(); }
+
+  /// Warms a device replica ahead of reads (see Engine::prefetch).
+  bool prefetch(rt::MemoryNodeId node) { return storage_.prefetch(node); }
 
   bool managed() const noexcept { return storage_.managed(); }
 

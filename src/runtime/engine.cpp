@@ -157,6 +157,16 @@ Engine::Engine(EngineConfig config)
     const WorkerId id = worker->desc.id;
     worker->thread = std::thread([this, id] { worker_main(id); });
   }
+
+  // Automatic prefetch rides a dedicated background transfer thread. Fault
+  // plans disable it: a background path would consume the per-device
+  // transfer-fault draws in a nondeterministic order, breaking replayable
+  // chaos runs.
+  prefetch_enabled_ = config_.enable_prefetch && !any_faults &&
+                      !config_.machine.accelerators.empty();
+  if (prefetch_enabled_) {
+    prefetch_thread_ = std::thread([this] { prefetch_main(); });
+  }
   log::debug("runtime", "engine started: {} workers on '{}', scheduler '{}'",
              descs_.size(), config_.machine.name, config_.scheduler);
 }
@@ -167,6 +177,10 @@ Engine::~Engine() {
   } catch (...) {
     // Destructor must not throw; drain what we can.
   }
+  // Stop the prefetch thread before the workers: after wait_for_all no task
+  // dispatch can enqueue new requests, and the thread drains its queue
+  // (clearing the pending flags) on the way out.
+  stop_prefetch_thread();
   stopping_.store(true, std::memory_order_seq_cst);
   for (auto& worker : workers_) worker->slot.poke();
   for (auto& worker : workers_) {
@@ -207,6 +221,12 @@ void Engine::acquire_host(const DataHandlePtr& handle, AccessMode mode) {
   }
   for (const auto& task : pending) wait(task);
 
+  // A write-mode caller will mutate the host memory raw once this returns;
+  // a straggling background prefetch still copying from the host replica
+  // would race it. Quiesce the prefetch path first (reads are fine: a
+  // concurrent prefetch only makes an extra coherent copy).
+  if (mode != AccessMode::kRead) drain_prefetches();
+
   VirtualTime ready = 0.0;
   handle->acquire(kHostNode, mode, &ready);
   if (mode != AccessMode::kRead) {
@@ -234,6 +254,111 @@ bool Engine::prefetch(const DataHandlePtr& handle, MemoryNodeId node) {
   handle->acquire(node, AccessMode::kRead, nullptr);
   handle->release(node);  // a prefetch warms the replica but does not pin it
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// automatic (scheduler-driven) prefetch
+// ---------------------------------------------------------------------------
+
+void Engine::enqueue_prefetches(const Task& task, WorkerId hint) {
+  if (hint < 0) return;  // central queue: no committed destination yet
+  const MemoryNodeId node = descs_[static_cast<std::size_t>(hint)].node;
+  if (node == kHostNode) return;  // host replicas are valid by construction
+  std::size_t queued = 0;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mutex_);
+    if (prefetch_stop_.load(std::memory_order_relaxed)) return;
+    for (const TaskOperand& op : task.spec.operands) {
+      if (op.mode != AccessMode::kRead) continue;
+      if (op.handle->replica_state(node) != ReplicaState::kInvalid) continue;
+      // Flag first, then queue: every scheduling estimate issued after this
+      // point sees the transfer as already in flight. The push that chose
+      // `hint` has already run, so its own estimate charged the fetch.
+      op.handle->note_prefetch_queued(node);
+      prefetch_queue_.push_back(PrefetchRequest{op.handle, node});
+      ++queued;
+    }
+  }
+  if (queued == 0) return;
+  prefetch_enqueued_.fetch_add(queued, std::memory_order_relaxed);
+  prefetch_cv_.notify_one();
+}
+
+void Engine::prefetch_main() {
+  std::unique_lock<std::mutex> lock(prefetch_mutex_);
+  while (true) {
+    prefetch_cv_.wait(lock, [&] {
+      return prefetch_stop_.load(std::memory_order_relaxed) ||
+             !prefetch_queue_.empty();
+    });
+    if (prefetch_queue_.empty()) return;  // stopping, nothing left to clear
+    PrefetchRequest request = std::move(prefetch_queue_.front());
+    prefetch_queue_.pop_front();
+    ++prefetch_busy_;
+    lock.unlock();
+
+    // On shutdown the remaining requests are only drained for their flags.
+    const bool fetched = !prefetch_stop_.load(std::memory_order_relaxed) &&
+                         service_prefetch(request);
+    request.handle->note_prefetch_done(request.node);
+    (fetched ? prefetch_completed_ : prefetch_skipped_)
+        .fetch_add(1, std::memory_order_relaxed);
+
+    lock.lock();
+    --prefetch_busy_;
+    if (prefetch_queue_.empty() && prefetch_busy_ == 0) {
+      prefetch_idle_cv_.notify_all();
+    }
+  }
+}
+
+bool Engine::service_prefetch(const PrefetchRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    if (request.handle->last_writer != nullptr &&
+        request.handle->last_writer->state != TaskState::kDone) {
+      // Raced by a later-submitted writer: the data this prefetch wanted is
+      // being (or about to be) overwritten. Leave the replica invalid — the
+      // writer's own invalidation must not be resurrected by a stale copy.
+      return false;
+    }
+  }
+  if (request.handle->is_partitioned() || request.handle->detached()) {
+    return false;
+  }
+  try {
+    request.handle->acquire(request.node, AccessMode::kRead, nullptr);
+    request.handle->release(request.node);  // warm but unpinned: evictable
+  } catch (...) {
+    return false;  // a failed prefetch is a lost hint, never an error
+  }
+  return true;
+}
+
+void Engine::drain_prefetches() {
+  if (!prefetch_thread_.joinable()) return;
+  std::unique_lock<std::mutex> lock(prefetch_mutex_);
+  prefetch_idle_cv_.wait(lock, [&] {
+    return prefetch_queue_.empty() && prefetch_busy_ == 0;
+  });
+}
+
+void Engine::stop_prefetch_thread() {
+  if (!prefetch_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mutex_);
+    prefetch_stop_.store(true, std::memory_order_relaxed);
+  }
+  prefetch_cv_.notify_all();
+  prefetch_thread_.join();
+}
+
+Engine::PrefetchStats Engine::prefetch_stats() const {
+  PrefetchStats stats;
+  stats.enqueued = prefetch_enqueued_.load(std::memory_order_relaxed);
+  stats.completed = prefetch_completed_.load(std::memory_order_relaxed);
+  stats.skipped = prefetch_skipped_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 // ---------------------------------------------------------------------------
@@ -504,6 +629,9 @@ void Engine::dispatch_ready(const TaskPtr& task, bool* self_claim) {
   }
   task->state.store(TaskState::kReady, std::memory_order_relaxed);
   const WorkerId hint = scheduler_->push(task);
+  // The scheduler has committed the task to a worker: warm its read
+  // operands on that worker's node while the task waits in the queue.
+  if (prefetch_enabled_) enqueue_prefetches(*task, hint);
   wake_workers(eligible_mask, hint, self_claim);
 }
 
@@ -1056,8 +1184,11 @@ double Engine::energy_joules() const {
 void Engine::reset_virtual_time() {
   // Quiesce first: resetting clocks under running tasks would corrupt the
   // timeline. (Completion bookkeeping may lag wait() by a callback, so
-  // draining here instead of throwing keeps the API race-free.)
+  // draining here instead of throwing keeps the API race-free.) In-flight
+  // prefetches must also finish — a straggler would charge a lane after
+  // the reset.
   wait_for_all();
+  drain_prefetches();
   std::lock_guard<std::mutex> lock(graph_mutex_);
   for (auto& worker : workers_) {
     worker->vtime.store(0.0, std::memory_order_relaxed);
@@ -1150,7 +1281,12 @@ std::string Engine::summary() const {
   out << "\n  PCIe: " << transfers.host_to_device_count << " h2d ("
       << transfers.host_to_device_bytes << " B), "
       << transfers.device_to_host_count << " d2h ("
-      << transfers.device_to_host_bytes << " B)";
+      << transfers.device_to_host_bytes << " B), "
+      << transfers.coalesced_transfers << " coalesced";
+  const PrefetchStats prefetches = prefetch_stats();
+  out << "\n  prefetch: " << prefetches.enqueued << " enqueued, "
+      << prefetches.completed << " completed, " << prefetches.skipped
+      << " skipped";
   const FaultStats faults = fault_stats();
   out << "\n  faults: " << faults.injected_kernel_faults
       << " injected kernel, " << faults.injected_transfer_faults

@@ -33,6 +33,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -105,6 +106,16 @@ struct EngineConfig {
   /// remains. 0 disables retries: the first failure is terminal, which is
   /// the pre-fault-tolerance behavior.
   int max_retries = 2;
+
+  /// Scheduler-driven automatic prefetch (StarPU's prefetch-on-commit,
+  /// §IV-H): when the scheduler commits a queued task to a device worker,
+  /// the engine enqueues asynchronous prefetches of the task's read
+  /// operands to that worker's memory node on a background transfer
+  /// thread, so the replica is typically resident by the time the task
+  /// pops. Automatically disabled when any fault plan is active — a
+  /// background transfer path would consume per-device fault draws
+  /// nondeterministically — and on machines without accelerators.
+  bool enable_prefetch = true;
 
   /// Debug counterpart of the static lint check PL030: submit() rejects a
   /// task that binds the same data handle through several operands when any
@@ -206,6 +217,24 @@ class Engine {
   /// replica is valid on the node afterwards.
   bool prefetch(const DataHandlePtr& handle, MemoryNodeId node);
 
+  /// Counters of the automatic (scheduler-driven) prefetch path.
+  struct PrefetchStats {
+    std::uint64_t enqueued = 0;   ///< operands queued at dispatch time
+    std::uint64_t completed = 0;  ///< prefetches that warmed a replica
+    std::uint64_t skipped = 0;    ///< raced by a write / stale / failed
+  };
+  PrefetchStats prefetch_stats() const;
+
+  /// Blocks until the automatic-prefetch queue is empty and idle. Useful
+  /// for deterministic transfer-stat assertions in tests and benchmarks.
+  void drain_prefetches();
+
+  /// Overrides a device node's memory capacity (testing hook; capacities
+  /// normally come from the device profiles).
+  void set_node_capacity(MemoryNodeId node, std::size_t bytes) {
+    data_.set_node_capacity(node, bytes);
+  }
+
   // -- introspection ----------------------------------------------------------
 
   const EngineConfig& config() const noexcept { return config_; }
@@ -272,6 +301,29 @@ class Engine {
 
   void worker_main(WorkerId id);
   void execute(const TaskPtr& task, Worker& worker);
+
+  /// One queued automatic prefetch: warm `handle` on `node`.
+  struct PrefetchRequest {
+    DataHandlePtr handle;
+    MemoryNodeId node = kHostNode;
+  };
+
+  /// Queues background prefetches of `task`'s read operands to the node of
+  /// the worker the scheduler committed it to (`hint`); no-op for central
+  /// queues (hint < 0) and host workers. Called from dispatch_ready after
+  /// the scheduler's push so the committing push's own estimate still saw
+  /// the full fetch cost, while every later push sees it in flight.
+  void enqueue_prefetches(const Task& task, WorkerId hint);
+
+  /// Background-prefetch thread body: pops requests and warms replicas.
+  void prefetch_main();
+
+  /// Services one request outside the queue lock. Returns false when the
+  /// prefetch was skipped (in-flight writer, partitioned handle, transfer
+  /// failure) — a prefetch is only a hint, never an error.
+  bool service_prefetch(const PrefetchRequest& request);
+
+  void stop_prefetch_thread();
 
   /// Marks a dependency-free task ready, hands it to the scheduler and
   /// wakes a worker that can run it. Caller must own the task (it must not
@@ -376,6 +428,21 @@ class Engine {
 
   std::unique_ptr<Scheduler> scheduler_;
   std::atomic<bool> stopping_{false};
+
+  /// Automatic-prefetch state. The thread exists only when prefetch is
+  /// effectively enabled (config flag, no fault plans, has accelerators).
+  bool prefetch_enabled_ = false;
+  std::thread prefetch_thread_;
+  std::mutex prefetch_mutex_;
+  std::condition_variable prefetch_cv_;       ///< work available / stopping
+  std::condition_variable prefetch_idle_cv_;  ///< queue drained
+  std::deque<PrefetchRequest> prefetch_queue_;  ///< guarded by prefetch_mutex_
+  int prefetch_busy_ = 0;                       ///< guarded by prefetch_mutex_
+  std::atomic<bool> prefetch_stop_{false};
+  std::atomic<std::uint64_t> prefetch_enqueued_{0};
+  std::atomic<std::uint64_t> prefetch_completed_{0};
+  std::atomic<std::uint64_t> prefetch_skipped_{0};
+
   std::atomic<std::uint64_t> next_sequence_{0};
   std::atomic<std::uint64_t> inflight_{0};
   std::atomic<VirtualTime> makespan_{0.0};

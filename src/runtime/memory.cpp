@@ -94,7 +94,10 @@ VirtualTime DataHandle::copy_replica(MemoryNodeId from, MemoryNodeId to) {
   Replica& dst = replicas_[static_cast<std::size_t>(to)];
   std::memcpy(dst.ptr, src.ptr, bytes_);
   manager_->record_transfer(from, to, bytes_);
-  dst.valid_at = manager_->charge_link(bytes_, src.valid_at);
+  // The host-side address identifies contiguous bursts for coalescing:
+  // source for an upload, destination for a flush home.
+  const void* host_side = (from == kHostNode) ? src.ptr : dst.ptr;
+  dst.valid_at = manager_->charge_link(from, to, bytes_, src.valid_at, host_side);
   return dst.valid_at;
 }
 
@@ -204,6 +207,10 @@ double DataHandle::estimate_fetch_seconds(MemoryNodeId node,
   std::lock_guard<std::mutex> lock(mutex_);
   const Replica& replica = replicas_[static_cast<std::size_t>(node)];
   if (replica.state != ReplicaState::kInvalid) return 0.0;
+  // A queued background prefetch is already paying for this transfer on
+  // the lane: charging it again would double-bill every task scheduled
+  // after the dispatch that triggered the prefetch.
+  if (replica.prefetch_pending > 0) return 0.0;
   // Device destination with only a device source needs two hops.
   bool host_valid = replicas_[kHostNode].state != ReplicaState::kInvalid;
   int hops = (node != kHostNode && !host_valid) ? 2
@@ -242,6 +249,19 @@ MemoryNodeId DataHandle::preferred_source() const {
 ReplicaState DataHandle::replica_state(MemoryNodeId node) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return replicas_[static_cast<std::size_t>(node)].state;
+}
+
+void DataHandle::note_prefetch_queued(MemoryNodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++replicas_[static_cast<std::size_t>(node)].prefetch_pending;
+}
+
+void DataHandle::note_prefetch_done(MemoryNodeId node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Replica& replica = replicas_[static_cast<std::size_t>(node)];
+  check(replica.prefetch_pending > 0,
+        "note_prefetch_done without matching note_prefetch_queued");
+  --replica.prefetch_pending;
 }
 
 std::vector<DataHandlePtr> DataHandle::partition(std::size_t parts) {
@@ -330,6 +350,23 @@ DataManager::DataManager(int node_count, sim::LinkProfile link)
       capacities_(static_cast<std::size_t>(node_count), 0),
       allocated_(static_cast<std::size_t>(node_count), 0) {
   check(node_count >= 1, "need at least the host memory node");
+  const std::size_t lane_count =
+      (link_.shared_bus || node_count <= 1)
+          ? 1
+          : 2 * static_cast<std::size_t>(node_count - 1);
+  lanes_.reserve(lane_count);
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+DataManager::Lane& DataManager::lane_for(MemoryNodeId from, MemoryNodeId to) {
+  if (lanes_.size() == 1) return *lanes_[0];  // shared bus (or no devices)
+  const MemoryNodeId device = (from == kHostNode) ? to : from;
+  check(device > 0 && device < node_count_, "charge_link: bad device node");
+  const std::size_t index = 2 * static_cast<std::size_t>(device - 1) +
+                            (to == kHostNode ? 1 : 0);
+  return *lanes_[index];
 }
 
 void DataManager::set_node_capacity(MemoryNodeId node, std::size_t bytes) {
@@ -351,9 +388,7 @@ void DataManager::on_allocate(MemoryNodeId node, std::size_t bytes,
     std::lock_guard<std::mutex> lock(mutex_);
     const auto n = static_cast<std::size_t>(node);
     allocated_[n] += bytes;
-    // Opportunistic cleanup of expired entries.
-    std::erase_if(resident_handles_,
-                  [](const std::weak_ptr<DataHandle>& w) { return w.expired(); });
+    compact_residents_locked();
     resident_handles_.push_back(owner);
     capacity = capacities_[n];
     if (capacity == 0 || allocated_[n] <= capacity) return;
@@ -384,6 +419,17 @@ void DataManager::on_free(MemoryNodeId node, std::size_t bytes) {
   auto& allocated = allocated_[static_cast<std::size_t>(node)];
   check(allocated >= bytes, "device allocation accounting underflow");
   allocated -= bytes;
+  compact_residents_locked();
+}
+
+void DataManager::compact_residents_locked() {
+  // Amortised: scan only when the list has doubled since the last compaction,
+  // so free-heavy and allocate-heavy workloads both pay O(1) per event while
+  // the dead-entry tail stays bounded by the live-entry count.
+  if (resident_handles_.size() < compact_at_) return;
+  std::erase_if(resident_handles_,
+                [](const std::weak_ptr<DataHandle>& w) { return w.expired(); });
+  compact_at_ = std::max<std::size_t>(16, resident_handles_.size() * 2);
 }
 
 void DataManager::record_eviction() {
@@ -397,11 +443,44 @@ DataHandlePtr DataManager::register_buffer(void* host_ptr, std::size_t bytes,
   return DataHandlePtr(new DataHandle(this, host_ptr, bytes, element_size));
 }
 
-VirtualTime DataManager::charge_link(std::size_t bytes, VirtualTime ready) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const VirtualTime start = std::max(link_free_at_, ready);
-  link_free_at_ = start + sim::transfer_seconds(link_, bytes);
-  return link_free_at_;
+VirtualTime DataManager::charge_link(MemoryNodeId from, MemoryNodeId to,
+                                     std::size_t bytes, VirtualTime ready,
+                                     const void* host_ptr) {
+  Lane& lane = lane_for(from, to);
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  const VirtualTime start = std::max(lane.free_at, ready);
+
+  // Burst coalescing: if this transfer's host-side address continues a
+  // still-open contiguous burst on this lane, it joins the burst and pays
+  // only the bandwidth term (one DMA setup for N sibling chunks).
+  Lane::Stream* stream = nullptr;
+  bool coalesced = false;
+  if (link_.coalescing && !link_.shared_bus && host_ptr != nullptr) {
+    const double window = link_.coalesce_window_us * 1e-6;
+    for (Lane::Stream& candidate : lane.streams) {
+      if (candidate.next != nullptr && candidate.next == host_ptr &&
+          start - candidate.end <= window) {
+        stream = &candidate;
+        coalesced = true;
+        break;
+      }
+    }
+  }
+
+  const double seconds = coalesced ? sim::burst_transfer_seconds(link_, bytes)
+                                   : sim::transfer_seconds(link_, bytes);
+  lane.free_at = start + seconds;
+
+  if (host_ptr != nullptr) {
+    if (stream == nullptr) {
+      stream = &lane.streams[lane.next_stream];
+      lane.next_stream = (lane.next_stream + 1) % lane.streams.size();
+    }
+    stream->next = static_cast<const std::byte*>(host_ptr) + bytes;
+    stream->end = lane.free_at;
+  }
+  if (coalesced) coalesced_.fetch_add(1, std::memory_order_relaxed);
+  return lane.free_at;
 }
 
 double DataManager::estimate_link_seconds(std::size_t bytes) const {
@@ -410,7 +489,9 @@ double DataManager::estimate_link_seconds(std::size_t bytes) const {
 
 TransferStats DataManager::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  TransferStats out = stats_;
+  out.coalesced_transfers = coalesced_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void DataManager::record_transfer(MemoryNodeId from, MemoryNodeId to,
@@ -428,11 +509,16 @@ void DataManager::record_transfer(MemoryNodeId from, MemoryNodeId to,
 void DataManager::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_ = TransferStats{};
+  coalesced_.store(0, std::memory_order_relaxed);
 }
 
 void DataManager::reset_virtual_time() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  link_free_at_ = 0.0;
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mutex);
+    lane->free_at = 0.0;
+    lane->streams.fill(Lane::Stream{});
+    lane->next_stream = 0;
+  }
 }
 
 }  // namespace peppher::rt

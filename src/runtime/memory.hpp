@@ -9,6 +9,8 @@
 // copies are invalidated, not discarded, on writes elsewhere.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -42,6 +44,8 @@ struct TransferStats {
   std::uint64_t device_to_host_bytes = 0;
   std::uint64_t evictions = 0;    ///< device replicas dropped under pressure
   std::uint64_t overcommits = 0;  ///< allocations exceeding device capacity
+  std::uint64_t coalesced_transfers = 0;  ///< charges that joined an open burst
+                                          ///< (paid no link latency)
 
   std::uint64_t total_count() const noexcept {
     return host_to_device_count + device_to_host_count;
@@ -119,6 +123,15 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
 
   ReplicaState replica_state(MemoryNodeId node) const;
 
+  // -- prefetch accounting (scheduler-driven prefetch, §IV-H) ---------------
+
+  /// Marks a background prefetch of this handle to `node` as queued. Until
+  /// the matching note_prefetch_done(), estimate_fetch_seconds(node, read)
+  /// reports 0 for an invalid replica — the transfer is already paid for by
+  /// the prefetch path, so dmda must not double-charge it.
+  void note_prefetch_queued(MemoryNodeId node);
+  void note_prefetch_done(MemoryNodeId node);
+
   // -- partitioning (hybrid execution, §IV-F) -------------------------------
 
   /// Splits the handle into `parts` contiguous element-aligned children that
@@ -146,6 +159,7 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
     void* ptr = nullptr;
     VirtualTime valid_at = 0.0;
     int pins = 0;  ///< active acquires; pinned replicas are not evictable
+    int prefetch_pending = 0;  ///< queued background prefetches targeting here
   };
 
   /// Copies `bytes_` from the replica on `from` to the one on `to`;
@@ -174,8 +188,15 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
 
 using DataHandlePtr = std::shared_ptr<DataHandle>;
 
-/// Owns the memory-node table, the PCIe link clock and the transfer
+/// Owns the memory-node table, the PCIe link lanes and the transfer
 /// statistics. One per Engine.
+///
+/// Link contention model: unless LinkProfile::shared_bus is set, every
+/// device node gets two independent *lanes* — host-to-device and
+/// device-to-host — each with its own mutex and virtual clock, so
+/// concurrent transfers to different devices (or in opposite directions)
+/// never contend, in code or in virtual time. shared_bus collapses all
+/// traffic onto one lane: the legacy half-duplex model.
 class DataManager {
  public:
   /// @param node_count host + one per accelerator.
@@ -206,9 +227,15 @@ class DataManager {
 
   const sim::LinkProfile& link() const noexcept { return link_; }
 
-  /// Advances the shared link clock by a transfer of `bytes` starting no
-  /// earlier than `ready`; returns completion vtime.
-  VirtualTime charge_link(std::size_t bytes, VirtualTime ready);
+  /// Advances the `from`→`to` lane clock by a transfer of `bytes` starting
+  /// no earlier than `ready`; returns completion vtime. `host_ptr` is the
+  /// host-side address of the data (source for H2D, destination for D2H);
+  /// when coalescing is enabled, a transfer that continues a still-open
+  /// contiguous burst on the same lane joins it and pays only the bandwidth
+  /// term — the hybrid chunk-upload pattern.
+  VirtualTime charge_link(MemoryNodeId from, MemoryNodeId to,
+                          std::size_t bytes, VirtualTime ready,
+                          const void* host_ptr = nullptr);
 
   /// Estimate of the same, without advancing the clock.
   double estimate_link_seconds(std::size_t bytes) const;
@@ -231,16 +258,42 @@ class DataManager {
     if (transfer_hook_) transfer_hook_(from, to, bytes);
   }
 
-  /// Resets the link virtual clock (benchmark repetition).
+  /// Resets the link lane clocks and open bursts (benchmark repetition).
   void reset_virtual_time();
 
  private:
+  /// One directed transfer lane: its own clock, plus a small ring of open
+  /// burst streams for coalescing (several interleaved contiguous uploads
+  /// can each continue their own burst).
+  struct Lane {
+    std::mutex mutex;
+    VirtualTime free_at = 0.0;
+    struct Stream {
+      const std::byte* next = nullptr;  ///< host address one past the burst end
+      VirtualTime end = 0.0;            ///< vtime the burst's last chunk lands
+    };
+    std::array<Stream, 4> streams{};
+    std::size_t next_stream = 0;  ///< round-robin replacement cursor
+  };
+
+  Lane& lane_for(MemoryNodeId from, MemoryNodeId to);
+
   int node_count_;
   sim::LinkProfile link_;
   TransferHook transfer_hook_;  ///< immutable once workers run
 
+  /// Lane table, fixed at construction: index 0 in shared-bus mode, else
+  /// 2*(device-1) for H2D and 2*(device-1)+1 for D2H. unique_ptr because a
+  /// mutex is immovable.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::uint64_t> coalesced_{0};
+
+  /// Amortised compaction of resident_handles_: compact when the list
+  /// reaches this size, then re-arm at 2x the surviving entries.
+  std::size_t compact_at_ = 16;  ///< guarded by mutex_
+  void compact_residents_locked();
+
   mutable std::mutex mutex_;
-  VirtualTime link_free_at_ = 0.0;
   TransferStats stats_;
   std::vector<std::size_t> capacities_;  ///< per node; 0 = unlimited
   std::vector<std::size_t> allocated_;   ///< per node

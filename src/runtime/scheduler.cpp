@@ -321,6 +321,10 @@ class DmdaScheduler final : public Scheduler {
     // already queued on it but not yet started (StarPU dmda's expected-end
     // accounting). Two concurrent pushes may both pick the same best
     // worker — a benign near-tie; the pending-work term self-corrects.
+    // The completion estimate here still charges this task's own fetch in
+    // full: the engine only marks the operands as prefetch-in-flight after
+    // this push returns, so the discount applies to *later* tasks reusing
+    // the same operands, never to the task that pays for the transfer.
     WorkerId best = -1;
     double best_completion = kInf;
     for (const auto& w : *env_.workers) {

@@ -80,7 +80,10 @@ class Scheduler {
 
   /// Accepts a task that has become ready (dependencies satisfied).
   /// Returns the worker whose queue received it — the engine's wakeup
-  /// target — or kNoWorkerHint for centrally queued policies.
+  /// target — or kNoWorkerHint for centrally queued policies. A concrete
+  /// worker id is also the engine's prefetch commit signal: the task's
+  /// read operands are warmed on that worker's memory node while the task
+  /// waits in the queue (see EngineConfig::enable_prefetch).
   virtual WorkerId push(const TaskPtr& task) = 0;
 
   /// Next task for `worker`, or nullptr if none available to it.

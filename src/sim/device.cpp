@@ -131,11 +131,26 @@ bool FaultInjector::death_due(double device_vtime) const {
   return plan_.die_at_vtime > 0.0 && device_vtime >= plan_.die_at_vtime;
 }
 
-LinkProfile LinkProfile::pcie2_x16() { return LinkProfile{10.0, 8.0}; }
+LinkProfile LinkProfile::pcie2_x16() {
+  LinkProfile link;
+  link.latency_us = 10.0;
+  link.bandwidth_gbs = 8.0;
+  return link;
+}
+
+LinkProfile LinkProfile::pcie2_x16_shared() {
+  LinkProfile link = pcie2_x16();
+  link.shared_bus = true;
+  link.coalescing = false;
+  return link;
+}
 
 double transfer_seconds(const LinkProfile& link, std::size_t bytes) {
-  return link.latency_us * 1e-6 +
-         static_cast<double>(bytes) / (link.bandwidth_gbs * 1e9);
+  return link.latency_us * 1e-6 + burst_transfer_seconds(link, bytes);
+}
+
+double burst_transfer_seconds(const LinkProfile& link, std::size_t bytes) {
+  return static_cast<double>(bytes) / (link.bandwidth_gbs * 1e9);
 }
 
 MachineConfig MachineConfig::platform_c2050() {

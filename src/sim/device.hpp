@@ -78,16 +78,44 @@ struct KernelCost {
 double execution_seconds(const DeviceProfile& device, const KernelCost& cost);
 
 /// An interconnect between two memory spaces (PCIe in this reproduction).
+///
+/// The contention model has two shapes. By default every device gets two
+/// independent *lanes* — one host-to-device, one device-to-host — so
+/// concurrent transfers to different devices (or in different directions)
+/// never queue behind each other, matching PCIe's full-duplex point-to-point
+/// links. `shared_bus` restores the legacy model: one half-duplex bus with a
+/// single clock shared by all devices and both directions (used by the
+/// Figure 5 reproduction's compatibility runs and by tests that pin down the
+/// serialized contention behavior).
 struct LinkProfile {
   double latency_us = 10.0;
   double bandwidth_gbs = 8.0;
 
-  /// PCIe 2.0 x16 as on the paper's evaluation hosts.
+  /// Legacy contention model: one half-duplex bus shared by every device.
+  bool shared_bus = false;
+
+  /// Burst coalescing (lane mode only): a transfer whose host-side address
+  /// continues a still-open burst on the same lane joins it and pays only
+  /// the bandwidth term — one link latency for N contiguous chunks, the
+  /// hybrid chunk-upload pattern of Figure 5.
+  bool coalescing = true;
+
+  /// Maximum idle gap (µs of virtual time) between two transfers that may
+  /// still coalesce into one burst.
+  double coalesce_window_us = 50.0;
+
+  /// PCIe 2.0 x16 as on the paper's evaluation hosts (duplex lanes).
   static LinkProfile pcie2_x16();
+  /// Same link with the legacy shared-bus contention model.
+  static LinkProfile pcie2_x16_shared();
 };
 
 /// Time to move `bytes` across `link`, in (virtual) seconds.
 double transfer_seconds(const LinkProfile& link, std::size_t bytes);
+
+/// Bandwidth-only cost of `bytes` on `link` — the marginal cost of a
+/// transfer that coalesced into an already-open burst (no latency term).
+double burst_transfer_seconds(const LinkProfile& link, std::size_t bytes);
 
 /// Seeded, deterministic fault specification for one simulated device.
 /// Attached per accelerator via EngineConfig::accelerator_faults; the engine

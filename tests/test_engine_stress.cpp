@@ -8,6 +8,7 @@
 // docs/runtime.md.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -255,6 +256,112 @@ TEST_P(EngineStress, MixedReadersWritersPrefetchAndWaitForAll) {
       EXPECT_GE(pos, last_pos) << "reader " << p << " went back in time at "
                                << i;
       last_pos = pos;
+    }
+  }
+}
+
+// The automatic-prefetch path under churn: a dual-GPU machine where dmda's
+// commit hints fire background prefetches of the shared input while (a) a
+// writer chain keeps invalidating it — racing the in-flight-writer check in
+// the prefetch service thread — (b) a separate thread sprays explicit
+// prefetch hints at both devices, and (c) device memories are tight enough
+// that warmed replicas keep getting evicted. Bitwise trajectory checks prove
+// no reader ever saw a stale resurrected replica.
+TEST_P(EngineStress, PrefetchChurnOnDualGpuWithTinyMemory) {
+  EngineConfig config = stress_config(GetParam());
+  config.machine = sim::MachineConfig::platform_dual_c2050();
+  config.machine.cpu_cores = 2;
+  Engine engine(config);
+  engine.set_node_capacity(1, 512);
+  engine.set_node_capacity(2, 512);
+
+  const Codelet affine = make_affine_codelet();
+  auto observe_body = [](ExecContext& ctx) {
+    const auto* in = ctx.buffer_as<const std::uint64_t>(0);
+    auto* log = ctx.buffer_as<std::uint64_t>(1);
+    log[ctx.arg<int>()] = in[0];
+  };
+  auto observe_cost = [](const std::vector<std::size_t>& bytes, const void*) {
+    return sim::KernelCost{8.0, static_cast<double>(bytes[0] + bytes[1]), 1.0};
+  };
+  Codelet observe("observe");
+  observe.add_impl(
+      Implementation(Arch::kCpu, "observe_cpu", observe_body, observe_cost));
+  observe.add_impl(
+      Implementation(Arch::kCuda, "observe_cuda", observe_body, observe_cost));
+
+  std::vector<std::uint64_t> shared(8, 1);
+  auto shared_handle = engine.register_buffer(
+      shared.data(), shared.size() * sizeof(std::uint64_t),
+      sizeof(std::uint64_t));
+  std::vector<std::vector<std::uint64_t>> logs(
+      kProducers, std::vector<std::uint64_t>(kTasksPerProducer, 1));
+  std::vector<DataHandlePtr> log_handles;
+  for (auto& log : logs) {
+    log_handles.push_back(engine.register_buffer(
+        log.data(), log.size() * sizeof(std::uint64_t),
+        sizeof(std::uint64_t)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread hinter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      engine.prefetch(shared_handle, MemoryNodeId{1});
+      engine.prefetch(shared_handle, MemoryNodeId{2});
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        TaskSpec spec;
+        if (p == 0) {  // the writer chain racing the prefetches
+          spec.codelet = &affine;
+          spec.operands = {{shared_handle, AccessMode::kReadWrite}};
+        } else {
+          spec.codelet = &observe;
+          spec.operands = {{shared_handle, AccessMode::kRead},
+                           {log_handles[static_cast<std::size_t>(p)],
+                            AccessMode::kReadWrite}};
+          spec.arg = std::make_shared<int>(i);
+        }
+        engine.submit(std::move(spec));
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+  engine.wait_for_all();
+  stop.store(true, std::memory_order_relaxed);
+  hinter.join();
+  engine.drain_prefetches();
+
+  EXPECT_EQ(engine.tasks_submitted(),
+            static_cast<std::uint64_t>(kProducers) * kTasksPerProducer);
+  // Every queued automatic prefetch was accounted for exactly once.
+  const Engine::PrefetchStats prefetches = engine.prefetch_stats();
+  EXPECT_EQ(prefetches.completed + prefetches.skipped, prefetches.enqueued);
+
+  // Every observation is a bitwise-exact point of the writer trajectory:
+  // an eviction-resurrected or prefetch-raced stale replica would produce a
+  // value that is not on it.
+  engine.acquire_host(shared_handle, AccessMode::kRead);
+  EXPECT_EQ(shared[0], affine_applied(1, kTasksPerProducer));
+  std::vector<std::uint64_t> trajectory{1};
+  for (int k = 0; k < kTasksPerProducer; ++k) {
+    trajectory.push_back(3 * trajectory.back() + 1);
+  }
+  for (int p = 1; p < kProducers; ++p) {
+    engine.acquire_host(log_handles[static_cast<std::size_t>(p)],
+                        AccessMode::kRead);
+    for (int i = 0; i < kTasksPerProducer; ++i) {
+      const std::uint64_t seen =
+          logs[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)];
+      ASSERT_NE(std::find(trajectory.begin(), trajectory.end(), seen),
+                trajectory.end())
+          << "reader " << p << " observation " << i
+          << " is not on the writer trajectory: " << seen;
     }
   }
 }

@@ -515,6 +515,151 @@ TEST_F(LintTest, UndeclaredSizeExpressionParameterIsPL051) {
   EXPECT_NE(d->message.find("'count'"), std::string::npos);
 }
 
+TEST_F(LintTest, CrossArchReadPingPongIsPL052) {
+  // D is produced on the accelerator (step has only a CUDA variant), read on
+  // the host (observe has only a CPU variant), then written on the
+  // accelerator again: the host replica is re-invalidated every iteration,
+  // so prefetching it is always wasted.
+  write("step.xml",
+        "<peppher-interface name=\"step\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"d\" type=\"float*\" accessMode=\"readwrite\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("step_cuda.xml",
+        "<peppher-implementation name=\"step_cuda\" interface=\"step\">\n"
+        "  <platform language=\"cuda\"/>\n"
+        "  <sources><source file=\"step_cuda.cpp\"/></sources>\n"
+        "</peppher-implementation>\n");
+  write("step_cuda.cpp", "void step_cuda(float* d);\n");
+  write("observe.xml",
+        "<peppher-interface name=\"observe\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"d\" type=\"const float*\" accessMode=\"read\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("observe_cpu.xml",
+        "<peppher-implementation name=\"observe_cpu\" interface=\"observe\">\n"
+        "  <platform language=\"cpu\"/>\n"
+        "  <sources><source file=\"observe_cpu.cpp\"/></sources>\n"
+        "</peppher-implementation>\n");
+  write("observe_cpu.cpp", "void observe_cpu(const float* d);\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"step\"/>\n"
+        "  <uses interface=\"observe\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"step\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "    <call interface=\"observe\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "    <call interface=\"step\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL052");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("ping-pongs across the PCIe link"),
+            std::string::npos);
+  EXPECT_NE(d->message.find("container 'D'"), std::string::npos);
+  EXPECT_EQ(d->location.line, 6);  // anchored at the cross-side read
+}
+
+TEST_F(LintTest, ReadWithAVariantOnBothSidesIsNotPL052) {
+  // Same sequence, but observe also ships a CUDA variant: the runtime can
+  // co-locate the read with the writer, so there is nothing to warn about.
+  write("step.xml",
+        "<peppher-interface name=\"step\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"d\" type=\"float*\" accessMode=\"readwrite\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("step_cuda.xml",
+        "<peppher-implementation name=\"step_cuda\" interface=\"step\">\n"
+        "  <platform language=\"cuda\"/>\n"
+        "  <sources><source file=\"step_cuda.cpp\"/></sources>\n"
+        "</peppher-implementation>\n");
+  write("step_cuda.cpp", "void step_cuda(float* d);\n");
+  write("observe.xml",
+        "<peppher-interface name=\"observe\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"d\" type=\"const float*\" accessMode=\"read\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("observe_cpu.xml",
+        "<peppher-implementation name=\"observe_cpu\" interface=\"observe\">\n"
+        "  <platform language=\"cpu\"/>\n"
+        "  <sources><source file=\"observe_cpu.cpp\"/></sources>\n"
+        "</peppher-implementation>\n");
+  write("observe_cpu.cpp", "void observe_cpu(const float* d);\n");
+  write("observe_cuda.xml",
+        "<peppher-implementation name=\"observe_cuda\" interface=\"observe\">\n"
+        "  <platform language=\"cuda\"/>\n"
+        "  <sources><source file=\"observe_cuda.cpp\"/></sources>\n"
+        "</peppher-implementation>\n");
+  write("observe_cuda.cpp", "void observe_cuda(const float* d);\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"step\"/>\n"
+        "  <uses interface=\"observe\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"step\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "    <call interface=\"observe\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "    <call interface=\"step\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  EXPECT_EQ(find(bag, "PL052"), nullptr) << bag.format_text();
+}
+
+TEST_F(LintTest, DisablingTheBalancingVariantRevealsPL052) {
+  // -disableImpls can turn the clean both-sides repository into a
+  // ping-pong: with observe_cuda disabled the read is host-pinned again.
+  write("step.xml",
+        "<peppher-interface name=\"step\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"d\" type=\"float*\" accessMode=\"readwrite\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("step_cuda.xml",
+        "<peppher-implementation name=\"step_cuda\" interface=\"step\">\n"
+        "  <platform language=\"cuda\"/>\n"
+        "  <sources><source file=\"step_cuda.cpp\"/></sources>\n"
+        "</peppher-implementation>\n");
+  write("step_cuda.cpp", "void step_cuda(float* d);\n");
+  write("observe.xml",
+        "<peppher-interface name=\"observe\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"d\" type=\"const float*\" accessMode=\"read\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("observe_cpu.xml",
+        "<peppher-implementation name=\"observe_cpu\" interface=\"observe\">\n"
+        "  <platform language=\"cpu\"/>\n"
+        "  <sources><source file=\"observe_cpu.cpp\"/></sources>\n"
+        "</peppher-implementation>\n");
+  write("observe_cpu.cpp", "void observe_cpu(const float* d);\n");
+  write("observe_cuda.xml",
+        "<peppher-implementation name=\"observe_cuda\" interface=\"observe\">\n"
+        "  <platform language=\"cuda\"/>\n"
+        "  <sources><source file=\"observe_cuda.cpp\"/></sources>\n"
+        "</peppher-implementation>\n");
+  write("observe_cuda.cpp", "void observe_cuda(const float* d);\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <uses interface=\"step\"/>\n"
+        "  <uses interface=\"observe\"/>\n"
+        "  <calls>\n"
+        "    <call interface=\"step\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "    <call interface=\"observe\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "    <call interface=\"step\"><arg param=\"d\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  LintOptions options;
+  options.disable_impls = {"observe_cuda"};
+  const DiagnosticBag bag = lint(options);
+  EXPECT_NE(find(bag, "PL052"), nullptr) << bag.format_text();
+}
+
 // ---------------------------------------------------------------------------
 // Output formats.
 // ---------------------------------------------------------------------------

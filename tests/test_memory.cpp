@@ -3,8 +3,10 @@
 // operations instead of 7 thanks to lazy smart-container coherence).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <numeric>
+#include <thread>
 
 #include "runtime/engine.hpp"
 #include "runtime/memory.hpp"
@@ -152,10 +154,77 @@ TEST_F(MemoryTest, FetchEstimateMatchesLinkModel) {
 }
 
 TEST_F(MemoryTest, LinkContentionSerialisesTransfers) {
-  const VirtualTime end1 = manager_.charge_link(8 << 20, 0.0);
-  const VirtualTime end2 = manager_.charge_link(8 << 20, 0.0);
+  // Same direction, same device: the two transfers queue on one lane.
+  const VirtualTime end1 = manager_.charge_link(kHostNode, 1, 8 << 20, 0.0);
+  const VirtualTime end2 = manager_.charge_link(kHostNode, 1, 8 << 20, 0.0);
   EXPECT_GT(end2, end1);
   EXPECT_NEAR(end2, 2.0 * end1, end1 * 0.01 + 2e-5);
+}
+
+TEST_F(MemoryTest, DuplexLanesDoNotContend) {
+  // Different devices and different directions each get their own lane, so
+  // the four transfers all start at vtime 0 and finish together.
+  const VirtualTime up1 = manager_.charge_link(kHostNode, 1, 8 << 20, 0.0);
+  const VirtualTime up2 = manager_.charge_link(kHostNode, 2, 8 << 20, 0.0);
+  const VirtualTime down1 = manager_.charge_link(1, kHostNode, 8 << 20, 0.0);
+  const VirtualTime down2 = manager_.charge_link(2, kHostNode, 8 << 20, 0.0);
+  EXPECT_DOUBLE_EQ(up1, up2);
+  EXPECT_DOUBLE_EQ(up1, down1);
+  EXPECT_DOUBLE_EQ(up1, down2);
+  EXPECT_NEAR(up1, manager_.estimate_link_seconds(8 << 20), 1e-12);
+}
+
+TEST_F(MemoryTest, SharedBusModeKeepsOneClockForEverything) {
+  DataManager shared(3, sim::LinkProfile::pcie2_x16_shared());
+  const VirtualTime end1 = shared.charge_link(kHostNode, 1, 8 << 20, 0.0);
+  const VirtualTime end2 = shared.charge_link(2, kHostNode, 8 << 20, 0.0);
+  EXPECT_GT(end2, end1);  // opposite direction, other device: still queued
+  EXPECT_NEAR(end2, 2.0 * end1, end1 * 0.01 + 2e-5);
+}
+
+TEST_F(MemoryTest, ContiguousChunksCoalesceIntoOneBurst) {
+  // Two contiguous 1 MiB chunks of one host array moving to the same device:
+  // the second charge continues the burst and pays no link latency.
+  std::vector<float> data(1 << 19, 0.0f);  // 2 MiB
+  const auto* base = reinterpret_cast<const std::byte*>(data.data());
+  const std::size_t half = (1 << 20);
+  const VirtualTime end1 = manager_.charge_link(kHostNode, 1, half, 0.0, base);
+  const VirtualTime end2 =
+      manager_.charge_link(kHostNode, 1, half, 0.0, base + half);
+  const double latency = manager_.estimate_link_seconds(0);
+  const double bandwidth_part = manager_.estimate_link_seconds(half) - latency;
+  EXPECT_NEAR(end2 - end1, bandwidth_part, 1e-12);  // no second latency
+  EXPECT_EQ(manager_.stats().coalesced_transfers, 1u);
+
+  // A non-contiguous follow-up starts a fresh burst and pays latency again.
+  const VirtualTime end3 = manager_.charge_link(kHostNode, 1, half, 0.0, base);
+  EXPECT_NEAR(end3 - end2, latency + bandwidth_part, 1e-12);
+  EXPECT_EQ(manager_.stats().coalesced_transfers, 1u);
+}
+
+TEST_F(MemoryTest, CoalescingRespectsTheIdleWindow) {
+  std::vector<float> data(1 << 19, 0.0f);
+  const auto* base = reinterpret_cast<const std::byte*>(data.data());
+  const std::size_t half = (1 << 20);
+  const VirtualTime end1 = manager_.charge_link(kHostNode, 1, half, 0.0, base);
+  // Ready long after the burst went idle: the DMA engine has moved on.
+  const double gap = manager_.link().coalesce_window_us * 1e-6 * 10.0;
+  manager_.charge_link(kHostNode, 1, half, end1 + gap, base + half);
+  EXPECT_EQ(manager_.stats().coalesced_transfers, 0u);
+}
+
+TEST_F(MemoryTest, PendingPrefetchZeroesTheFetchEstimate) {
+  std::vector<float> data(1 << 20, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  ASSERT_GT(h->estimate_fetch_seconds(1, AccessMode::kRead), 0.0);
+  h->note_prefetch_queued(1);
+  // In-flight prefetch: the transfer is already being paid for.
+  EXPECT_DOUBLE_EQ(h->estimate_fetch_seconds(1, AccessMode::kRead), 0.0);
+  // Other nodes still charge normally.
+  EXPECT_GT(h->estimate_fetch_seconds(2, AccessMode::kRead), 0.0);
+  h->note_prefetch_done(1);
+  EXPECT_GT(h->estimate_fetch_seconds(1, AccessMode::kRead), 0.0);
 }
 
 // -- partitioning ---------------------------------------------------------------
@@ -344,6 +413,192 @@ TEST_F(MemoryTest, StatsTrackBytes) {
   EXPECT_EQ(manager_.stats().host_to_device_bytes, 1024u);
   manager_.reset_stats();
   EXPECT_EQ(manager_.stats().total_count(), 0u);
+}
+
+// -- partition/unpartition transfer accounting (hybrid SpMV chunk pattern) ----
+
+// The hybrid SpMV upload: contiguous sibling chunks stream to one device.
+// Exact counts — every chunk is still one transfer, but all but the first
+// coalesce into the running burst (one link latency for the whole upload).
+TEST_F(MemoryTest, PartitionedChunkUploadsCoalesceExactly) {
+  std::vector<float> data(4096, 1.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto children = h->partition(4);
+  for (auto& child : children) {
+    child->acquire(1, AccessMode::kRead, nullptr);
+    child->release(1);
+  }
+  EXPECT_EQ(manager_.stats().host_to_device_count, 4u);
+  EXPECT_EQ(manager_.stats().coalesced_transfers, 3u);
+  EXPECT_EQ(manager_.stats().device_to_host_count, 0u);
+  // Read-shared children leave the host copy valid: gathering needs no
+  // transfers at all.
+  h->unpartition();
+  EXPECT_EQ(manager_.stats().device_to_host_count, 0u);
+}
+
+// Same pattern on the legacy shared bus: the single half-duplex clock still
+// serialises everything and never merges bursts.
+TEST(SharedBusAccounting, ChunkUploadsNeverCoalesce) {
+  DataManager manager(2, sim::LinkProfile::pcie2_x16_shared());
+  std::vector<float> data(4096, 1.0f);
+  auto h = manager.register_buffer(data.data(), data.size() * sizeof(float),
+                                   sizeof(float));
+  auto children = h->partition(4);
+  for (auto& child : children) {
+    child->acquire(1, AccessMode::kRead, nullptr);
+    child->release(1);
+  }
+  EXPECT_EQ(manager.stats().host_to_device_count, 4u);
+  EXPECT_EQ(manager.stats().coalesced_transfers, 0u);
+}
+
+// Device-written chunks gathered by unpartition(): one download per chunk,
+// and the downloads land on contiguous host addresses so they coalesce on
+// the D2H lane too.
+TEST_F(MemoryTest, UnpartitionWritebackCountsExactly) {
+  std::vector<float> data(1024, 0.0f);
+  auto h = manager_.register_buffer(data.data(), data.size() * sizeof(float),
+                                    sizeof(float));
+  auto children = h->partition(4);
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    auto* p = static_cast<float*>(
+        children[c]->acquire(1, AccessMode::kWrite, nullptr));
+    for (std::size_t i = 0; i < children[c]->elements(); ++i) {
+      p[i] = static_cast<float>(c);
+    }
+    children[c]->mark_written(1, 1.0);
+    children[c]->release(1);
+  }
+  EXPECT_EQ(manager_.stats().host_to_device_count, 0u);  // kWrite fetches nothing
+  h->unpartition();
+  EXPECT_EQ(manager_.stats().device_to_host_count, 4u);
+  EXPECT_EQ(manager_.stats().coalesced_transfers, 3u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_FLOAT_EQ(data[i], static_cast<float>(i / 256));
+  }
+}
+
+// -- prefetch semantics (engine-level) ----------------------------------------
+
+EngineConfig prefetch_engine_config() {
+  EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.use_history_models = false;
+  return config;
+}
+
+// A prefetch warms a replica but must not pin it: warmed data is the first
+// thing to go under memory pressure.
+TEST(PrefetchSemantics, PrefetchedReplicaIsEvictableNotPinned) {
+  Engine engine(prefetch_engine_config());
+  engine.set_node_capacity(1, 1024);
+  std::vector<float> a_data(128, 1.0f), b_data(128, 2.0f), c_data(128, 3.0f);
+  auto a = engine.register_buffer(a_data.data(), 512, sizeof(float));
+  auto b = engine.register_buffer(b_data.data(), 512, sizeof(float));
+  auto c = engine.register_buffer(c_data.data(), 512, sizeof(float));
+  EXPECT_TRUE(engine.prefetch(a, 1));
+  EXPECT_TRUE(engine.prefetch(b, 1));  // device now exactly full
+  // The third prefetch must evict the oldest warmed replica (a), not
+  // overcommit as it would for pinned operands.
+  EXPECT_TRUE(engine.prefetch(c, 1));
+  EXPECT_EQ(a->replica_state(1), ReplicaState::kInvalid);
+  EXPECT_EQ(b->replica_state(1), ReplicaState::kShared);
+  EXPECT_EQ(c->replica_state(1), ReplicaState::kShared);
+  EXPECT_EQ(engine.transfer_stats().evictions, 1u);
+  EXPECT_EQ(engine.transfer_stats().overcommits, 0u);
+}
+
+// A prefetch racing an in-flight writer is dropped, and the write leaves the
+// device replica invalid — never resurrected with stale bits.
+TEST(PrefetchSemantics, PrefetchRacedByWriterIsSkippedNotResurrected) {
+  Engine engine(prefetch_engine_config());
+  std::vector<float> data(64, 1.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> gate{false};
+  Codelet codelet("gated_double");
+  Implementation impl;
+  impl.arch = Arch::kCpu;
+  impl.name = "gated_double_cpu";
+  impl.fn = [&](ExecContext& ctx) {
+    started.store(true, std::memory_order_release);
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    auto* d = ctx.buffer_as<float>(0);
+    for (std::size_t i = 0; i < ctx.elements(0); ++i) d[i] *= 2.0f;
+  };
+  impl.cost = [](const std::vector<std::size_t>& bytes, const void*) {
+    return sim::KernelCost{static_cast<double>(bytes[0]),
+                           static_cast<double>(bytes[0]), 1.0};
+  };
+  codelet.add_impl(std::move(impl));
+
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  engine.submit(std::move(spec));
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  EXPECT_FALSE(engine.prefetch(handle, 1));  // writer in flight: dropped
+  EXPECT_EQ(handle->replica_state(1), ReplicaState::kInvalid);
+  gate.store(true, std::memory_order_release);
+  engine.wait_for_all();
+  // The dropped prefetch stays dropped: no stale device replica appears.
+  EXPECT_EQ(handle->replica_state(1), ReplicaState::kInvalid);
+  // A fresh prefetch now sees the written data.
+  EXPECT_TRUE(engine.prefetch(handle, 1));
+  EXPECT_EQ(handle->replica_state(1), ReplicaState::kShared);
+}
+
+// Prefetch under capacity pressure must overcommit rather than evict the
+// pinned operand of a task that is executing right now.
+TEST(PrefetchSemantics, PrefetchPressureNeverEvictsPinnedOperandOfRunningTask) {
+  Engine engine(prefetch_engine_config());
+  engine.set_node_capacity(1, 1024);
+  std::vector<float> a_data(192, 1.0f);  // 768 B: pinned while the task runs
+  std::vector<float> b_data(128, 2.0f);  // 512 B: prefetch does not fit
+  auto a = engine.register_buffer(a_data.data(), 768, sizeof(float));
+  auto b = engine.register_buffer(b_data.data(), 512, sizeof(float));
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> gate{false};
+  Codelet codelet("gated_double");
+  Implementation impl;
+  impl.arch = Arch::kCuda;
+  impl.name = "gated_double_cuda";
+  impl.fn = [&](ExecContext& ctx) {
+    started.store(true, std::memory_order_release);
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    auto* d = ctx.buffer_as<float>(0);
+    for (std::size_t i = 0; i < ctx.elements(0); ++i) d[i] *= 2.0f;
+  };
+  impl.cost = [](const std::vector<std::size_t>& bytes, const void*) {
+    return sim::KernelCost{static_cast<double>(bytes[0]),
+                           static_cast<double>(bytes[0]), 1.0};
+  };
+  codelet.add_impl(std::move(impl));
+
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{a, AccessMode::kReadWrite}};
+  spec.forced_arch = Arch::kCuda;
+  engine.submit(std::move(spec));
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // a is pinned on node 1 by the running task; warming b must not touch it.
+  engine.prefetch(b, 1);
+  EXPECT_NE(a->replica_state(1), ReplicaState::kInvalid);
+  EXPECT_EQ(engine.transfer_stats().evictions, 0u);
+  EXPECT_GE(engine.transfer_stats().overcommits, 1u);
+
+  gate.store(true, std::memory_order_release);
+  engine.wait_for_all();
+  engine.acquire_host(a, AccessMode::kRead);
+  for (const float v : a_data) ASSERT_FLOAT_EQ(v, 2.0f);
 }
 
 }  // namespace

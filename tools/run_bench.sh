@@ -2,9 +2,11 @@
 # Runs the runtime-overhead benchmarks and records machine-readable results.
 #
 #   tools/run_bench.sh [BUILD_DIR]          full run; writes
-#                                           BENCH_task_overhead.json and
-#                                           BENCH_fig7_ode_overhead.json at
-#                                           the repo root
+#                                           BENCH_task_overhead.json,
+#                                           BENCH_fig7_ode_overhead.json,
+#                                           BENCH_fig5_spmv_hybrid.json and
+#                                           BENCH_memory_overlap.json at the
+#                                           repo root
 #   tools/run_bench.sh --smoke [BUILD_DIR]  tiny iteration counts into a
 #                                           temp dir, JSON validity checked
 #                                           (the `bench-smoke` ctest)
@@ -28,7 +30,9 @@ done
 
 TASK_BENCH="$BUILD_DIR/bench/bench_task_overhead"
 FIG7_BENCH="$BUILD_DIR/bench/bench_fig7_ode_overhead"
-for bin in "$TASK_BENCH" "$FIG7_BENCH"; do
+FIG5_BENCH="$BUILD_DIR/bench/bench_fig5_spmv_hybrid"
+OVERLAP_BENCH="$BUILD_DIR/bench/bench_memory_overlap"
+for bin in "$TASK_BENCH" "$FIG7_BENCH" "$FIG5_BENCH" "$OVERLAP_BENCH"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -39,17 +43,19 @@ if [[ "$SMOKE" == 1 ]]; then
   OUT_DIR="$(mktemp -d)"
   trap 'rm -rf "$OUT_DIR"' EXIT
   MIN_TIME=0.01
-  FIG7_ARGS=(--smoke)
+  SMOKE_ARGS=(--smoke)
 else
   OUT_DIR="$ROOT"
   MIN_TIME=0.5
-  FIG7_ARGS=()
+  SMOKE_ARGS=()
 fi
 
 RAW="$OUT_DIR/bench_task_overhead_raw.json"
 "$TASK_BENCH" "--benchmark_min_time=$MIN_TIME" \
   "--benchmark_out=$RAW" --benchmark_out_format=json
-"$FIG7_BENCH" "${FIG7_ARGS[@]}" "--json=$OUT_DIR/BENCH_fig7_ode_overhead.json"
+"$FIG7_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_fig7_ode_overhead.json"
+"$FIG5_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_fig5_spmv_hybrid.json"
+"$OVERLAP_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_memory_overlap.json"
 
 # Merge the committed baseline with this run into the before/after document.
 python3 - "$ROOT/bench/baseline_task_overhead.json" "$RAW" \
@@ -100,10 +106,12 @@ EOF
 rm -f "$OUT_DIR/bench_task_overhead_raw.json"
 
 if [[ "$SMOKE" == 1 ]]; then
-  # Validity gate: both documents must parse.
+  # Validity gate: every document must parse.
   python3 -c "
 import json, sys
-json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))
+for path in sys.argv[1:]:
+    json.load(open(path))
 print('bench smoke OK: JSON outputs parse')
-" "$OUT_DIR/BENCH_task_overhead.json" "$OUT_DIR/BENCH_fig7_ode_overhead.json"
+" "$OUT_DIR/BENCH_task_overhead.json" "$OUT_DIR/BENCH_fig7_ode_overhead.json" \
+  "$OUT_DIR/BENCH_fig5_spmv_hybrid.json" "$OUT_DIR/BENCH_memory_overlap.json"
 fi
