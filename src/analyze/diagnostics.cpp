@@ -162,54 +162,197 @@ std::string DiagnosticBag::format_sarif() const {
 
 const std::vector<CodeInfo>& all_codes() {
   static const std::vector<CodeInfo> kCodes = {
-      {"PL000", "descriptor file failed to parse"},
-      {"PL001", "implementation signature arity differs from the interface"},
-      {"PL002", "implementation parameter type differs from the interface"},
-      {"PL003", "implementation is const-qualified against a written operand"},
-      {"PL004", "access mode declares a write through a const type"},
-      {"PL005", "operand declared read-only but typed mutable"},
-      {"PL006", "no declaration of the variant found in its sources"},
-      {"PL007", "implementation source file not found"},
-      {"PL008", "non-operand (value) parameter declared writable"},
-      {"PL010", "implementation language conflicts with its target platform kind"},
-      {"PL011", "no platform descriptor provides the variant's backend"},
-      {"PL012", "component has no viable implementation variant left"},
-      {"PL013", "main module targets an unknown platform"},
-      {"PL020", "dispatch table selects an unknown implementation variant"},
-      {"PL021", "dispatch table selects a variant of another interface"},
-      {"PL022", "dispatch entry unreachable (non-ascending upper bound)"},
-      {"PL023", "dispatch table not compacted (adjacent equal choices)"},
-      {"PL024", "dispatch entry architecture disagrees with the variant"},
-      {"PL025", "dispatch table matches no interface in the repository"},
-      {"PL026", "dispatch table selects a disabled variant"},
-      {"PL027", "dispatch table is empty (training produced no data)"},
-      {"PL030", "one call binds the same data twice with a write (aliasing)"},
-      {"PL031", "read/write race: concurrent reads hide a mutable access"},
-      {"PL032", "write/write race: concurrent reads both hide writes"},
-      {"PL033", "container overwritten before any read (dead write)"},
-      {"PL034", "call names an unknown interface"},
-      {"PL035", "call argument names an unknown parameter"},
-      {"PL036", "call leaves an operand parameter unbound"},
-      {"PL040", "implementation name defined more than once"},
-      {"PL041", "implementation provides an unknown interface"},
-      {"PL042", "implementation requires an unknown interface"},
-      {"PL043", "implementation targets an unknown platform"},
-      {"PL044", "constraint references an undeclared parameter"},
-      {"PL045", "interface has no implementation variants"},
-      {"PL046", "interface requests an unsupported performance metric"},
-      {"PL047", "main module uses an unknown interface"},
-      {"PL048", "disableImpls names neither an implementation nor an architecture"},
-      {"PL050", "interface declares duplicate parameter names"},
-      {"PL051", "size expression references an undeclared parameter"},
+      {"PL000", Severity::kError, "descriptor file failed to parse",
+       "Fix the XML syntax error at the reported line/column; the rest of the "
+       "file is not analysed until it parses."},
+      {"PL001", Severity::kError,
+       "implementation signature arity differs from the interface",
+       "Match the variant's C signature to the interface's lowered form "
+       "(smart containers lower to element pointer + extent parameters); the "
+       "message spells out the expected signature."},
+      {"PL002", Severity::kError,
+       "implementation parameter type differs from the interface",
+       "Change the variant's parameter type to the interface's declared type "
+       "(or fix the interface descriptor if the variant is right)."},
+      {"PL003", Severity::kError,
+       "implementation is const-qualified against a written operand",
+       "Drop the const qualifier from the variant's parameter, or change the "
+       "interface's access mode to 'read' if the operand is never written."},
+      {"PL004", Severity::kError,
+       "access mode declares a write through a const type",
+       "Make the parameter type mutable or change the declared access mode "
+       "to 'read'; a write through a const type cannot reach the data."},
+      {"PL005", Severity::kWarning, "operand declared read-only but typed mutable",
+       "Add const to the parameter type so the compiler enforces the declared "
+       "'read' access mode; a hidden write would race with concurrent readers."},
+      {"PL006", Severity::kWarning,
+       "no declaration of the variant found in its sources",
+       "Declare the variant's entry function (named after the implementation "
+       "or the interface) in one of its listed source files."},
+      {"PL007", Severity::kWarning, "implementation source file not found",
+       "Fix the <source file=...> path, relative to the descriptor's "
+       "directory."},
+      {"PL008", Severity::kWarning, "non-operand (value) parameter declared writable",
+       "Declare value parameters 'read': they are packed into the task's "
+       "argument blob, so writes are lost. Pass an operand (pointer or smart "
+       "container) if the component must produce output there."},
+      {"PL010", Severity::kError,
+       "implementation language conflicts with its target platform kind",
+       "Align the variant's language with its target platform's kind (a CUDA "
+       "variant cannot target a cpu platform), or fix the target attribute."},
+      {"PL011", Severity::kWarning,
+       "no platform descriptor provides the variant's backend",
+       "Add a platform descriptor of the matching kind (or pass a --machine "
+       "that provides it); until then the variant is dead weight."},
+      {"PL012", Severity::kError,
+       "component has no viable implementation variant left",
+       "Re-enable a disabled variant or add one for a provided backend; a "
+       "component with zero viable variants fails composition."},
+      {"PL013", Severity::kWarning, "main module targets an unknown platform",
+       "Point <target platform=...> at a declared platform descriptor, or "
+       "add the missing platform descriptor."},
+      {"PL020", Severity::kError,
+       "dispatch table selects an unknown implementation variant",
+       "Retrain the dispatch table, or fix the variant name; stale tables "
+       "select variants that no longer exist."},
+      {"PL021", Severity::kError,
+       "dispatch table selects a variant of another interface",
+       "The table's file name must match the interface its variants belong "
+       "to; rename the file or retrain."},
+      {"PL022", Severity::kError,
+       "dispatch entry unreachable (non-ascending upper bound)",
+       "Sort entries by strictly ascending upper bound; a bound that does "
+       "not ascend past its predecessor can never be selected."},
+      {"PL023", Severity::kWarning,
+       "dispatch table not compacted (adjacent equal choices)",
+       "Merge adjacent intervals that select the same variant into one "
+       "entry."},
+      {"PL024", Severity::kError,
+       "dispatch entry architecture disagrees with the variant",
+       "Retrain the table: the recorded architecture no longer matches the "
+       "variant's descriptor, so the training data is stale."},
+      {"PL025", Severity::kWarning,
+       "dispatch table matches no interface in the repository",
+       "Name the .dispatch file after an interface, or delete the orphaned "
+       "table."},
+      {"PL026", Severity::kWarning, "dispatch table selects a disabled variant",
+       "Re-enable the variant or retrain without it; the branch is "
+       "unreachable under the current disableImpls narrowing."},
+      {"PL027", Severity::kWarning,
+       "dispatch table is empty (training produced no data)",
+       "Run the training workflow for this interface; an empty table gives "
+       "the dispatcher nothing to select with."},
+      {"PL030", Severity::kError,
+       "one call binds the same data twice with a write (aliasing)",
+       "Bind distinct containers, or merge the parameters: the runtime "
+       "orders tasks per handle, not operands within one task, so aliased "
+       "write bindings race."},
+      {"PL031", Severity::kError,
+       "read/write race: concurrent reads hide a mutable access",
+       "Declare the mutable access 'readwrite' (or make its type const): "
+       "declared reads run concurrently, so a hidden write races with every "
+       "reader in the window."},
+      {"PL032", Severity::kError,
+       "write/write race: concurrent reads both hide writes",
+       "Declare both hidden-mutable accesses 'readwrite' (or const their "
+       "types): two hidden writes in one read window race with each other."},
+      {"PL033", Severity::kWarning, "container overwritten before any read (dead write)",
+       "Read the written value before the next write, or drop the first "
+       "write; an unread write is either dead or a missing dependency."},
+      {"PL034", Severity::kError, "call names an unknown interface",
+       "Fix the interface name in the <call> element or add the missing "
+       "interface descriptor."},
+      {"PL035", Severity::kError, "call argument names an unknown parameter",
+       "Fix the <arg param=...> name; it must match a parameter of the "
+       "called interface."},
+      {"PL036", Severity::kWarning, "call leaves an operand parameter unbound",
+       "Bind every operand parameter of the interface with an <arg> element "
+       "so the hazard analysis sees the call's full data footprint."},
+      {"PL040", Severity::kWarning, "implementation name defined more than once",
+       "Rename one of the variants; the later definition silently wins."},
+      {"PL041", Severity::kError, "implementation provides an unknown interface",
+       "Fix the implementation's interface attribute or add the missing "
+       "interface descriptor."},
+      {"PL042", Severity::kError, "implementation requires an unknown interface",
+       "Fix the <requires><interface name=...> reference or add the missing "
+       "interface descriptor."},
+      {"PL043", Severity::kError, "implementation targets an unknown platform",
+       "Fix the <platform target=...> name or add the missing platform "
+       "descriptor."},
+      {"PL044", Severity::kError, "constraint references an undeclared parameter",
+       "Declare the context parameter in the interface's <contextParams>, or "
+       "fix the constraint's param attribute."},
+      {"PL045", Severity::kWarning, "interface has no implementation variants",
+       "Add at least one implementation descriptor providing this "
+       "interface."},
+      {"PL046", Severity::kWarning,
+       "interface requests an unsupported performance metric",
+       "Use a supported metric (see docs/descriptors.md) in "
+       "<performanceMetrics>."},
+      {"PL047", Severity::kError, "main module uses an unknown interface",
+       "Fix the <uses interface=...> name or add the missing interface "
+       "descriptor."},
+      {"PL048", Severity::kWarning,
+       "disableImpls names neither an implementation nor an architecture",
+       "Fix the disableImpls token: it must name an implementation variant "
+       "or an architecture (cpu, openmp, cuda, opencl)."},
+      {"PL050", Severity::kError, "interface declares duplicate parameter names",
+       "Rename the clashing parameters; bindings and size expressions "
+       "resolve parameters by name."},
+      {"PL051", Severity::kError, "size expression references an undeclared parameter",
+       "Reference only the interface's own integer parameters in "
+       "sizeExpr."},
+      {"PL052", Severity::kWarning,
+       "container ping-pongs across the PCIe link (defeats prefetch)",
+       "Provide a variant of the cross-side reader on the writer's side (or "
+       "vice versa); every write/read/write round trip re-invalidates the "
+       "read-side replica, so prefetching that operand is always wasted."},
+      {"PL060", Severity::kWarning,
+       "container initialised on only some paths before a read",
+       "Initialise the container on every path (or on none, leaving it to "
+       "the application) before the reading call: on the uninitialised path "
+       "the read consumes whatever the application left in memory."},
+      {"PL061", Severity::kNote, "prefetch of data already valid at the target",
+       "Drop the <prefetch> statement: on every execution path a valid "
+       "replica already exists at the target, so the prefetch transfers "
+       "nothing."},
+      {"PL062", Severity::kWarning, "write overwritten on every path before any read",
+       "Read the written value before it is overwritten, or drop the write; "
+       "the verifier proved no path between the two writes reads it."},
+      {"PL063", Severity::kWarning, "partition without matching unpartition on some path",
+       "Add an <unpartition> on every path leaving the <partition>: a still-"
+       "partitioned container cannot be accessed, and its children alias "
+       "the parent's memory."},
+      {"PL064", Severity::kWarning, "loop-carried ping-pong across the PCIe link",
+       "Co-locate the loop's writer and reader (provide a variant on the "
+       "other side): each iteration's cross-side read re-fetches the data "
+       "the same side's next write re-invalidates."},
+      {"PL065", Severity::kError, "branch-divergent access makes a race path-dependent",
+       "Declare the hidden-mutable access 'readwrite' (or const its type): "
+       "on at least one control-flow path it shares a concurrent read "
+       "window with another access to the same container."},
+      {"PL066", Severity::kError, "partition protocol violation on some path",
+       "Order the partition lifecycle correctly: no access to a partitioned "
+       "container before its <unpartition>, no double <partition>, no "
+       "<unpartition> without a preceding <partition>."},
+      {"PL069", Severity::kError, "verifier failed to reach a fixpoint",
+       "Internal limit of the coherence verifier (the abstract state kept "
+       "growing); simplify the <calls> section or report a bug with the "
+       "descriptor attached."},
   };
   return kCodes;
 }
 
-std::string_view code_summary(std::string_view code) {
+const CodeInfo* find_code(std::string_view code) {
   for (const CodeInfo& info : all_codes()) {
-    if (info.code == code) return info.summary;
+    if (info.code == code) return &info;
   }
-  return "";
+  return nullptr;
+}
+
+std::string_view code_summary(std::string_view code) {
+  const CodeInfo* info = find_code(code);
+  return info != nullptr ? info->summary : std::string_view{};
 }
 
 std::string json_escape(std::string_view raw) {

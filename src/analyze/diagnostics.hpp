@@ -12,7 +12,9 @@
 //   PL010..PL019  platform feasibility
 //   PL020..PL029  dispatch-table coverage
 //   PL030..PL039  task-graph hazards
-//   PL040..PL059  repository structure (Repository::diagnose)
+//   PL040..PL051  repository structure (Repository::diagnose)
+//   PL052..PL059  placement / transfer smells
+//   PL060..PL069  coherence verification (peppher-verify, docs/verify.md)
 #pragma once
 
 #include <cstddef>
@@ -93,14 +95,22 @@ class DiagnosticBag {
   std::vector<Diagnostic> diagnostics_;
 };
 
-/// Registry entry for one stable diagnostic code.
+/// Registry entry for one stable diagnostic code. This table is the single
+/// source of truth for code metadata: the SARIF renderer's rules section,
+/// `peppher-lint --explain`, and the tables in docs/lint.md all derive from
+/// it (a test checks the docs against the registry).
 struct CodeInfo {
   std::string_view code;
-  std::string_view summary;  ///< one-line description (docs, SARIF rules)
+  Severity severity = Severity::kWarning;  ///< severity the checks emit
+  std::string_view summary;      ///< one-line description (docs, SARIF rules)
+  std::string_view remediation;  ///< how to fix it (--explain)
 };
 
 /// All registered PL0xx codes, ascending.
 const std::vector<CodeInfo>& all_codes();
+
+/// Registry entry for `code`, or nullptr if the code is unknown.
+const CodeInfo* find_code(std::string_view code);
 
 /// Summary for `code`, or "" if the code is unknown.
 std::string_view code_summary(std::string_view code);

@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "analyze/verify.hpp"
+
 #include "cdecl/cdecl.hpp"
 #include "support/error.hpp"
 #include "support/fs.hpp"
@@ -544,7 +546,10 @@ void check_hazards(const desc::Repository& repo, DiagnosticBag& bag) {
   // Cross-call hazards per container: declared writes serialise (sequential
   // consistency per handle), declared reads run concurrently. Within each
   // window of consecutive declared reads, a hidden write races with every
-  // other member.
+  // other member. The window walk assumes the flattened call list is *the*
+  // execution order, which stops being true once <loop>/<if> appear — the
+  // path-sensitive verifier (PL062/PL065) covers those programs instead.
+  if (main->has_control_flow) return;
   for (const auto& [data, list] : accesses) {
     std::vector<const SymbolicAccess*> read_window;
     const SymbolicAccess* previous_writer = nullptr;
@@ -599,7 +604,10 @@ void check_hazards(const desc::Repository& repo, DiagnosticBag& bag) {
                 access.call->loc);
       }
       previous_writer = &access;
-      written_value_read = access.mode == rt::AccessMode::kReadWrite;
+      // A readwrite consumes the previous value but its *own* written value
+      // is just as unread as a pure write's — [write, readwrite, write]
+      // still overwrites the readwrite's result before anything reads it.
+      written_value_read = false;
     }
     flush_window();
   }
@@ -609,38 +617,8 @@ void check_hazards(const desc::Repository& repo, DiagnosticBag& bag) {
 // PL052 — cross-architecture read ping-pong (defeats prefetch)
 // ---------------------------------------------------------------------------
 
-/// Which side of the PCIe link a call is pinned to by its viable
-/// implementation variants.
-enum class NodeClass { kHost, kDevice, kAny };
-
-const char* node_class_name(NodeClass node_class) {
-  return node_class == NodeClass::kHost ? "host" : "accelerator";
-}
-
-NodeClass call_node_class(const desc::Repository& repo,
-                          const LintOptions& options,
-                          const desc::CallDesc& call) {
-  const desc::InterfaceDescriptor* iface =
-      repo.find_interface(call.interface_name);
-  if (iface == nullptr) return NodeClass::kAny;
-  bool host = false;
-  bool device = false;
-  for (const desc::ImplementationDescriptor* impl :
-       repo.implementations_of(iface->name)) {
-    if (is_disabled(*impl, repo, options)) continue;
-    try {
-      const rt::Arch arch = impl->arch();
-      if (arch == rt::Arch::kCuda || arch == rt::Arch::kOpenCl) {
-        device = true;
-      } else {
-        host = true;
-      }
-    } catch (const Error&) {
-      return NodeClass::kAny;  // unknown backend: placement unconstrained
-    }
-  }
-  if (host == device) return NodeClass::kAny;
-  return host ? NodeClass::kHost : NodeClass::kDevice;
+const char* node_class_name(CallPlacement node_class) {
+  return node_class == CallPlacement::kHost ? "host" : "accelerator";
 }
 
 /// A <calls> sequence where one side writes a container, the other side
@@ -654,12 +632,16 @@ void check_prefetch_pingpong(const desc::Repository& repo,
                              const LintOptions& options, DiagnosticBag& bag) {
   const desc::MainDescriptor* main = repo.main_module();
   if (main == nullptr || main->calls.empty()) return;
+  // Like the read windows above, the linear writer/reader/writer walk is
+  // only meaningful for straight-line call sequences; PL064 is the
+  // control-flow-aware formulation of this check.
+  if (main->has_control_flow) return;
 
   struct PlacedAccess {
     std::size_t call_index = 0;
     const desc::CallDesc* call = nullptr;
     rt::AccessMode mode = rt::AccessMode::kRead;
-    NodeClass node = NodeClass::kAny;
+    CallPlacement node = CallPlacement::kAny;
   };
   std::map<std::string, std::vector<PlacedAccess>> accesses;  // per data name
   for (std::size_t call_index = 0; call_index < main->calls.size();
@@ -668,7 +650,7 @@ void check_prefetch_pingpong(const desc::Repository& repo,
     const desc::InterfaceDescriptor* iface =
         repo.find_interface(call.interface_name);
     if (iface == nullptr) continue;  // PL034 already reported
-    const NodeClass node = call_node_class(repo, options, call);
+    const CallPlacement node = call_placement(repo, options, call);
     for (const desc::CallArgDesc& arg : call.args) {
       for (const desc::ParamDesc& p : iface->params) {
         if (p.name != arg.param || !p.is_operand()) continue;
@@ -685,7 +667,7 @@ void check_prefetch_pingpong(const desc::Repository& repo,
     for (const PlacedAccess& access : list) {
       if (access.mode == rt::AccessMode::kRead) {
         if (last_writer != nullptr && cross_read == nullptr &&
-            access.node != NodeClass::kAny &&
+            access.node != CallPlacement::kAny &&
             access.node != last_writer->node) {
           cross_read = &access;
         }
@@ -711,7 +693,7 @@ void check_prefetch_pingpong(const desc::Repository& repo,
             cross_read->call->loc);
         warned = true;
       }
-      last_writer = access.node == NodeClass::kAny ? nullptr : &access;
+      last_writer = access.node == CallPlacement::kAny ? nullptr : &access;
       cross_read = nullptr;
     }
   }
@@ -722,6 +704,32 @@ void check_prefetch_pingpong(const desc::Repository& repo,
 // ---------------------------------------------------------------------------
 // Public entry points
 // ---------------------------------------------------------------------------
+
+CallPlacement call_placement(const desc::Repository& repo,
+                             const LintOptions& options,
+                             const desc::CallDesc& call) {
+  const desc::InterfaceDescriptor* iface =
+      repo.find_interface(call.interface_name);
+  if (iface == nullptr) return CallPlacement::kAny;
+  bool host = false;
+  bool device = false;
+  for (const desc::ImplementationDescriptor* impl :
+       repo.implementations_of(iface->name)) {
+    if (is_disabled(*impl, repo, options)) continue;
+    try {
+      const rt::Arch arch = impl->arch();
+      if (arch == rt::Arch::kCuda || arch == rt::Arch::kOpenCl) {
+        device = true;
+      } else {
+        host = true;
+      }
+    } catch (const Error&) {
+      return CallPlacement::kAny;  // unknown backend: placement unconstrained
+    }
+  }
+  if (host == device) return CallPlacement::kAny;
+  return host ? CallPlacement::kHost : CallPlacement::kDevice;
+}
 
 std::string expected_impl_signature(const desc::InterfaceDescriptor& iface,
                                     const std::string& function_name) {
@@ -778,6 +786,10 @@ diag::DiagnosticBag run_lint(const desc::Repository& repo,
   check_dispatch(repo, options, bag);
   check_hazards(repo, bag);
   check_prefetch_pingpong(repo, options, bag);
+  const desc::MainDescriptor* main = repo.main_module();
+  if (options.verify || (main != nullptr && main->has_control_flow)) {
+    bag.merge(verify_main(repo, options).bag.diagnostics());
+  }
   bag.sort();
   return bag;
 }
@@ -796,6 +808,9 @@ diag::DiagnosticBag lint_path(const std::filesystem::path& path,
        fs::list_files_recursive(root, ".xml")) {
     try {
       repo.load_file(file);
+    } catch (const ParseError& e) {
+      bag.add("PL000", Severity::kError, e.what(),
+              SourceLocation{file.string(), e.line(), e.column()});
     } catch (const Error& e) {
       bag.add("PL000", Severity::kError, e.what(),
               SourceLocation{file.string(), 0, 0});

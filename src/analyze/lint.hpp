@@ -53,7 +53,28 @@ struct LintOptions {
   /// Directory scanned for "<interface>.dispatch" files (set by lint_path;
   /// empty skips the dispatch checks).
   std::filesystem::path root;
+
+  /// Run the coherence verifier (analyze/verify.hpp, PL060..PL069) even for
+  /// straight-line call sequences. When the main module uses control flow
+  /// (<loop>/<if>) the verifier always runs — the straight-line window
+  /// checks stand down there and the verifier is what covers the paths.
+  bool verify = false;
+
+  /// Iteration budget of the verifier's worklist fixpoint, per container
+  /// (0 = built-in default). Exceeding it emits PL069; only tests lower it.
+  int verify_max_steps = 0;
 };
+
+/// Which side of the PCIe link a call is pinned to by its viable
+/// implementation variants: every enabled variant of the interface targets
+/// an accelerator (kDevice), the host (kHost), or the call is free to run
+/// on either side (kAny). Shared by the PL052 placement check and the
+/// coherence verifier.
+enum class CallPlacement { kHost, kDevice, kAny };
+
+CallPlacement call_placement(const desc::Repository& repo,
+                             const LintOptions& options,
+                             const desc::CallDesc& call);
 
 /// Runs every check over an already-loaded repository. The result is sorted
 /// by location (DiagnosticBag::sort).

@@ -1,0 +1,723 @@
+#include "analyze/verify.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <tuple>
+
+#include "runtime/memory.hpp"
+#include "runtime/msi.hpp"
+
+namespace peppher::analyze {
+
+namespace {
+
+using diag::DiagnosticBag;
+using diag::Severity;
+using diag::SourceLocation;
+
+constexpr int kHostSide = 0;
+constexpr int kDeviceSide = 1;
+constexpr int kDefaultMaxSteps = 100000;  // per container; PL069 beyond
+
+bool mode_reads(rt::AccessMode mode) {
+  return mode == rt::AccessMode::kRead || mode == rt::AccessMode::kReadWrite;
+}
+
+bool mode_writes(rt::AccessMode mode) {
+  return mode == rt::AccessMode::kWrite || mode == rt::AccessMode::kReadWrite;
+}
+
+bool valid(rt::ReplicaState state) {
+  return state != rt::ReplicaState::kInvalid;
+}
+
+const char* side_name(int side) {
+  return side == kHostSide ? "host" : "accelerator";
+}
+
+// ---------------------------------------------------------------------------
+// CFG lowering
+// ---------------------------------------------------------------------------
+
+/// One access of a call statement to the container under analysis (a call
+/// may bind the same container to several parameters).
+struct Access {
+  rt::AccessMode mode = rt::AccessMode::kRead;
+  bool hidden_write = false;  ///< declared read through a mutable type
+};
+
+/// One CFG node: a single statement (or a structural no-op for loop heads
+/// and the entry/exit points). Successor edges only; the worklist pushes
+/// forward.
+struct Stmt {
+  enum class Kind { kNop, kCall, kPartition, kUnpartition, kPrefetch };
+  Kind kind = Kind::kNop;
+  const desc::CallNode* node = nullptr;  ///< null for structural no-ops
+  int call_index = -1;  ///< flattened index into MainDescriptor::calls
+  int loop_depth = 0;   ///< nesting depth of enclosing <loop> statements
+  CallPlacement placement = CallPlacement::kAny;
+  std::vector<int> succs;
+};
+
+struct Cfg {
+  std::vector<Stmt> stmts;
+  int entry = -1;
+  int exit = -1;
+};
+
+class Lowering {
+ public:
+  Lowering(const desc::Repository& repo, const LintOptions& options)
+      : repo_(repo), options_(options) {}
+
+  Cfg lower(const std::vector<desc::CallNode>& tree) {
+    Cfg cfg;
+    const int entry = add(Stmt{});
+    std::vector<int> frontier = lower_block(tree, {entry}, 0);
+    const int exit = add(Stmt{});
+    wire(frontier, exit);
+    cfg.stmts = std::move(stmts_);
+    cfg.entry = entry;
+    cfg.exit = exit;
+    return cfg;
+  }
+
+ private:
+  int add(Stmt stmt) {
+    stmts_.push_back(std::move(stmt));
+    return static_cast<int>(stmts_.size()) - 1;
+  }
+
+  void wire(const std::vector<int>& from, int to) {
+    for (int s : from) stmts_[s].succs.push_back(to);
+  }
+
+  /// Lowers a statement list entered from `frontier`; returns the frontier
+  /// leaving it. Visits kCall nodes in document order so `call_index_`
+  /// counts exactly like MainDescriptor::calls (the flattened view).
+  std::vector<int> lower_block(const std::vector<desc::CallNode>& block,
+                               std::vector<int> frontier, int loop_depth) {
+    for (const desc::CallNode& node : block) {
+      switch (node.kind) {
+        case desc::CallNode::Kind::kCall: {
+          Stmt stmt;
+          stmt.kind = Stmt::Kind::kCall;
+          stmt.node = &node;
+          stmt.call_index = call_index_++;
+          stmt.loop_depth = loop_depth;
+          stmt.placement = call_placement(repo_, options_, node.call);
+          const int id = add(std::move(stmt));
+          wire(frontier, id);
+          frontier = {id};
+          break;
+        }
+        case desc::CallNode::Kind::kPartition:
+        case desc::CallNode::Kind::kUnpartition:
+        case desc::CallNode::Kind::kPrefetch: {
+          Stmt stmt;
+          stmt.kind = node.kind == desc::CallNode::Kind::kPartition
+                          ? Stmt::Kind::kPartition
+                      : node.kind == desc::CallNode::Kind::kUnpartition
+                          ? Stmt::Kind::kUnpartition
+                          : Stmt::Kind::kPrefetch;
+          stmt.node = &node;
+          stmt.loop_depth = loop_depth;
+          const int id = add(std::move(stmt));
+          wire(frontier, id);
+          frontier = {id};
+          break;
+        }
+        case desc::CallNode::Kind::kLoop: {
+          // The declared trip count is >= 1, so the body executes at least
+          // once: entry flows into the head, the body's exit both loops back
+          // to the head (unless the count is exactly 1) and leaves the loop.
+          Stmt head;
+          head.loop_depth = loop_depth;
+          const int head_id = add(std::move(head));
+          wire(frontier, head_id);
+          std::vector<int> body_exit =
+              lower_block(node.body, {head_id}, loop_depth + 1);
+          if (node.loop_count != 1) wire(body_exit, head_id);
+          frontier = std::move(body_exit);
+          break;
+        }
+        case desc::CallNode::Kind::kIf: {
+          std::vector<int> then_exit =
+              lower_block(node.body, frontier, loop_depth);
+          std::vector<int> else_exit =
+              node.else_body.empty()
+                  ? frontier  // fall through around the branch
+                  : lower_block(node.else_body, frontier, loop_depth);
+          then_exit.insert(then_exit.end(), else_exit.begin(),
+                           else_exit.end());
+          frontier = std::move(then_exit);
+          break;
+        }
+      }
+    }
+    return frontier;
+  }
+
+  const desc::Repository& repo_;
+  const LintOptions& options_;
+  std::vector<Stmt> stmts_;
+  int call_index_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Abstract domain: per container, a set of worlds
+// ---------------------------------------------------------------------------
+
+/// One feasible execution history of a single container, collapsed to the
+/// facts the checks need. The replica states are the runtime's own
+/// (runtime/msi.hpp drives the transitions), over the abstract two-node
+/// machine: index 0 the host, index 1 the accelerator side.
+struct World {
+  std::vector<rt::ReplicaState> state{rt::ReplicaState::kOwned,
+                                      rt::ReplicaState::kInvalid};
+  bool initialized = false;   ///< a program write reached this point
+  int partition_stmt = -1;    ///< stmt of the open <partition>, -1 if none
+  int pending_write = -1;     ///< stmt of the last write nothing read yet
+  int last_writer = -1;       ///< side of the last pinned write, -1 unknown
+  bool cross_read = false;    ///< a pinned cross-side read since that write
+  bool window_hidden = false; ///< open read window holds a hidden write
+  bool window_read = false;   ///< open read window holds a declared read
+
+  bool partitioned() const { return partition_stmt >= 0; }
+
+  bool operator<(const World& other) const {
+    return std::tie(state, initialized, partition_stmt, pending_write,
+                    last_writer, cross_read, window_hidden, window_read) <
+           std::tie(other.state, other.initialized, other.partition_stmt,
+                    other.pending_write, other.last_writer, other.cross_read,
+                    other.window_hidden, other.window_read);
+  }
+};
+
+using Worlds = std::set<World>;
+
+/// The call's accesses to the container under analysis, in binding order.
+std::vector<Access> call_accesses(const desc::Repository& repo,
+                                  const desc::CallDesc& call,
+                                  const std::string& data) {
+  std::vector<Access> out;
+  const desc::InterfaceDescriptor* iface =
+      repo.find_interface(call.interface_name);
+  if (iface == nullptr) return out;  // PL034's problem, not ours
+  for (const desc::CallArgDesc& arg : call.args) {
+    if (arg.data != data) continue;
+    for (const desc::ParamDesc& p : iface->params) {
+      if (p.name != arg.param || !p.is_operand()) continue;
+      Access access;
+      access.mode = p.access;
+      access.hidden_write = p.access == rt::AccessMode::kRead &&
+                            p.type.find("const") == std::string::npos;
+      out.push_back(access);
+    }
+  }
+  return out;
+}
+
+/// Applies one call's accesses to a world, pinned to `side`. `live`, when
+/// non-null, collects liveness facts for the dead-write analysis (which
+/// pending writes got read) — the transfer itself is reporting-free.
+void apply_call(World& w, int stmt_id, const Stmt& stmt,
+                const std::vector<Access>& accesses, int side,
+                std::set<int>* live) {
+  const bool pinned = stmt.placement != CallPlacement::kAny;
+  for (const Access& access : accesses) {
+    rt::msi::apply_acquire(w.state, side, access.mode);
+    if (mode_reads(access.mode)) {
+      if (w.pending_write >= 0 && live != nullptr) {
+        live->insert(w.pending_write);
+      }
+      w.pending_write = -1;
+      if (pinned && w.last_writer >= 0 && side != w.last_writer) {
+        w.cross_read = true;
+      }
+    }
+    if (access.mode == rt::AccessMode::kRead) {
+      if (access.hidden_write) {
+        w.window_hidden = true;
+      } else {
+        w.window_read = true;
+      }
+    }
+    if (mode_writes(access.mode)) {
+      w.initialized = true;
+      w.pending_write = stmt_id;
+      w.last_writer = pinned ? side : -1;
+      w.cross_read = false;
+      w.window_hidden = false;
+      w.window_read = false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The verifier
+// ---------------------------------------------------------------------------
+
+class Verifier {
+ public:
+  Verifier(const desc::Repository& repo, const LintOptions& options,
+           const desc::MainDescriptor& main)
+      : repo_(repo),
+        options_(options),
+        main_(main),
+        max_steps_(options.verify_max_steps > 0 ? options.verify_max_steps
+                                                : kDefaultMaxSteps) {}
+
+  VerifyResult run() {
+    VerifyResult result;
+    Lowering lowering(repo_, options_);
+    cfg_ = lowering.lower(main_.call_tree);
+
+    for (const std::string& data : containers()) {
+      analyze_container(data, result);
+      if (!result.fixpoint_reached) break;
+    }
+    result.bag.sort();
+    return result;
+  }
+
+ private:
+  /// Every container the statement tree touches, in first-appearance order.
+  std::vector<std::string> containers() const {
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    auto remember = [&](const std::string& data) {
+      if (!data.empty() && seen.insert(data).second) out.push_back(data);
+    };
+    for (const Stmt& stmt : cfg_.stmts) {
+      if (stmt.node == nullptr) continue;
+      remember(stmt.node->data);
+      if (stmt.kind == Stmt::Kind::kCall) {
+        for (const desc::CallArgDesc& arg : stmt.node->call.args) {
+          remember(arg.data);
+        }
+      }
+    }
+    return out;
+  }
+
+  SourceLocation loc_of(int stmt_id) const {
+    const Stmt& stmt = cfg_.stmts[stmt_id];
+    return stmt.node != nullptr ? stmt.node->loc : main_.loc;
+  }
+
+  /// Forward transfer of one statement over one world, for container
+  /// `data`. Appends the (possibly forked) successor worlds to `out`.
+  void transfer(int stmt_id, const std::string& data, const World& in,
+                Worlds& out, std::set<int>* live) {
+    const Stmt& stmt = cfg_.stmts[stmt_id];
+    switch (stmt.kind) {
+      case Stmt::Kind::kNop:
+        out.insert(in);
+        return;
+      case Stmt::Kind::kPartition:
+        if (stmt.node->data == data) {
+          World w = in;
+          w.partition_stmt = stmt_id;
+          rt::msi::apply_host_reclaim(w.state);
+          out.insert(std::move(w));
+          return;
+        }
+        out.insert(in);
+        return;
+      case Stmt::Kind::kUnpartition:
+        if (stmt.node->data == data) {
+          World w = in;
+          w.partition_stmt = -1;
+          rt::msi::apply_host_reclaim(w.state);
+          out.insert(std::move(w));
+          return;
+        }
+        out.insert(in);
+        return;
+      case Stmt::Kind::kPrefetch:
+        if (stmt.node->data == data) {
+          World w = in;
+          rt::msi::apply_acquire(
+              w.state, stmt.node->prefetch_to_device ? kDeviceSide : kHostSide,
+              rt::AccessMode::kRead);
+          out.insert(std::move(w));
+          return;
+        }
+        out.insert(in);
+        return;
+      case Stmt::Kind::kCall: {
+        const std::vector<Access> accesses =
+            call_accesses(repo_, stmt.node->call, data);
+        if (accesses.empty()) {
+          out.insert(in);
+          return;
+        }
+        if (stmt.placement == CallPlacement::kAny) {
+          // Placement is the scheduler's choice: both sides are feasible.
+          for (int side : {kHostSide, kDeviceSide}) {
+            World w = in;
+            apply_call(w, stmt_id, stmt, accesses, side, live);
+            out.insert(std::move(w));
+          }
+        } else {
+          World w = in;
+          apply_call(w, stmt_id, stmt, accesses,
+                     stmt.placement == CallPlacement::kHost ? kHostSide
+                                                            : kDeviceSide,
+                     live);
+          out.insert(std::move(w));
+        }
+        return;
+      }
+    }
+  }
+
+  void analyze_container(const std::string& data, VerifyResult& result) {
+    // Worklist fixpoint: IN[entry] = {fresh world} (the data manager
+    // registers every container host-Owned), IN[s] accumulates the join
+    // (set union) of predecessor OUT sets until nothing changes.
+    std::vector<Worlds> in(cfg_.stmts.size());
+    std::vector<char> queued(cfg_.stmts.size(), 0);
+    std::deque<int> worklist;
+    in[cfg_.entry].insert(World{});
+    worklist.push_back(cfg_.entry);
+    queued[cfg_.entry] = 1;
+
+    int steps = 0;
+    while (!worklist.empty()) {
+      if (++steps > max_steps_) {
+        result.fixpoint_reached = false;
+        result.bag.add(
+            "PL069", Severity::kError,
+            "coherence verifier exhausted its iteration budget (" +
+                std::to_string(max_steps_) + " steps) on container '" + data +
+                "' without reaching a fixpoint — the abstract state kept "
+                "growing; simplify the <calls> section or report a bug",
+            main_.loc);
+        result.steps += steps;
+        return;
+      }
+      const int stmt_id = worklist.front();
+      worklist.pop_front();
+      queued[stmt_id] = 0;
+
+      Worlds out;
+      for (const World& w : in[stmt_id]) {
+        transfer(stmt_id, data, w, out, nullptr);
+      }
+      for (int succ : cfg_.stmts[stmt_id].succs) {
+        bool grew = false;
+        for (const World& w : out) {
+          if (in[succ].insert(w).second) grew = true;
+        }
+        if (grew && !queued[succ]) {
+          worklist.push_back(succ);
+          queued[succ] = 1;
+        }
+      }
+    }
+    result.steps += steps;
+
+    report(data, in, result);
+  }
+
+  /// Walks every statement once over its converged IN set and emits the
+  /// diagnostics. Separated from the fixpoint so nothing is reported twice
+  /// and every report sees the final (all-paths) state.
+  void report(const std::string& data, const std::vector<Worlds>& in,
+              VerifyResult& result) {
+    DiagnosticBag& bag = result.bag;
+    std::set<int> live;        ///< pending writes some path reads
+    std::set<int> escaped;     ///< pending writes reaching program end
+    std::set<int> candidates;  ///< every write statement
+
+    // PL060 only makes sense for containers the program itself defines
+    // (some pure write exists): a container only ever read or accumulated
+    // into (readwrite) is application-initialised by design, and its
+    // first-iteration "unwritten" world is not a bug.
+    bool program_defined = false;
+    for (const Stmt& stmt : cfg_.stmts) {
+      if (stmt.kind != Stmt::Kind::kCall) continue;
+      for (const Access& access : call_accesses(repo_, stmt.node->call, data)) {
+        if (access.mode == rt::AccessMode::kWrite) program_defined = true;
+      }
+    }
+    program_defined_ = program_defined;
+
+    for (std::size_t stmt_id = 0; stmt_id < cfg_.stmts.size(); ++stmt_id) {
+      const Stmt& stmt = cfg_.stmts[stmt_id];
+      const Worlds& worlds = in[stmt_id];
+      if (worlds.empty()) continue;  // unreachable
+
+      switch (stmt.kind) {
+        case Stmt::Kind::kNop:
+          break;
+        case Stmt::Kind::kPartition: {
+          if (stmt.node->data != data) break;
+          for (const World& w : worlds) {
+            if (w.partitioned()) {
+              bag.add("PL066", Severity::kError,
+                      "container '" + data +
+                          "' is partitioned again while the partition at " +
+                          loc_of(w.partition_stmt).to_string() +
+                          " is still open on some path",
+                      loc_of(static_cast<int>(stmt_id)));
+              break;
+            }
+          }
+          break;
+        }
+        case Stmt::Kind::kUnpartition: {
+          if (stmt.node->data != data) break;
+          for (const World& w : worlds) {
+            if (!w.partitioned()) {
+              bag.add("PL066", Severity::kError,
+                      "container '" + data +
+                          "' is unpartitioned without an open partition on "
+                          "some path",
+                      loc_of(static_cast<int>(stmt_id)));
+              break;
+            }
+          }
+          break;
+        }
+        case Stmt::Kind::kPrefetch: {
+          if (stmt.node->data != data) break;
+          report_partitioned_access(data, worlds, static_cast<int>(stmt_id),
+                                    bag);
+          const int side =
+              stmt.node->prefetch_to_device ? kDeviceSide : kHostSide;
+          const bool always_valid =
+              std::all_of(worlds.begin(), worlds.end(), [&](const World& w) {
+                return valid(w.state[side]);
+              });
+          if (always_valid) {
+            bag.add("PL061", Severity::kNote,
+                    "prefetch of container '" + data + "' to the " +
+                        side_name(side) +
+                        " is redundant: a valid replica already exists "
+                        "there on every path",
+                    loc_of(static_cast<int>(stmt_id)));
+          }
+          break;
+        }
+        case Stmt::Kind::kCall: {
+          const std::vector<Access> accesses =
+              call_accesses(repo_, stmt.node->call, data);
+          if (accesses.empty()) break;
+          // Publish the converged pre-state of this program point for the
+          // verify_shadow cross-validation (VerifyResult::admits).
+          std::vector<AbstractWorld>& published =
+              result.states[stmt.call_index][data];
+          std::set<std::tuple<rt::ReplicaState, rt::ReplicaState, bool, bool>>
+              seen;
+          for (const World& w : worlds) {
+            if (seen.insert({w.state[kHostSide], w.state[kDeviceSide],
+                             w.initialized, w.partitioned()})
+                    .second) {
+              published.push_back({w.state[kHostSide], w.state[kDeviceSide],
+                                   w.initialized, w.partitioned()});
+            }
+          }
+          report_partitioned_access(data, worlds, static_cast<int>(stmt_id),
+                                    bag);
+          report_call(data, stmt, static_cast<int>(stmt_id), accesses, worlds,
+                      bag, live, candidates);
+          break;
+        }
+      }
+    }
+
+    for (const World& w : in[cfg_.exit]) {
+      if (w.pending_write >= 0) escaped.insert(w.pending_write);
+      if (w.partitioned()) {
+        bag.add("PL063", Severity::kWarning,
+                "container '" + data +
+                    "' is still partitioned when the program ends on some "
+                    "path — no <unpartition> matches this <partition>",
+                loc_of(w.partition_stmt));
+      }
+    }
+
+    // A write is dead when no path reads it and no path carries it to the
+    // program end (program outputs legitimately escape unread): every path
+    // overwrites it first.
+    for (int write_stmt : candidates) {
+      if (live.count(write_stmt) || escaped.count(write_stmt)) continue;
+      bag.add("PL062", Severity::kWarning,
+              "the value written to container '" + data +
+                  "' here is overwritten on every path before any read "
+                  "(dead write or missing dependency)",
+              loc_of(write_stmt));
+    }
+  }
+
+  void report_partitioned_access(const std::string& data, const Worlds& worlds,
+                                 int stmt_id, DiagnosticBag& bag) {
+    for (const World& w : worlds) {
+      if (w.partitioned()) {
+        bag.add("PL066", Severity::kError,
+                "container '" + data +
+                    "' is accessed while the partition at " +
+                    loc_of(w.partition_stmt).to_string() +
+                    " is still open on some path — partitioned data is only "
+                    "reachable through its children",
+                loc_of(stmt_id));
+        return;
+      }
+    }
+  }
+
+  void report_call(const std::string& data, const Stmt& stmt, int stmt_id,
+                   const std::vector<Access>& accesses, const Worlds& worlds,
+                   DiagnosticBag& bag, std::set<int>& live,
+                   std::set<int>& candidates) {
+    bool mixed_init = false;
+    bool any_init = false, any_uninit = false;
+    for (const World& w : worlds) {
+      (w.initialized ? any_init : any_uninit) = true;
+    }
+    mixed_init = any_init && any_uninit;
+
+    const bool reads = std::any_of(
+        accesses.begin(), accesses.end(),
+        [](const Access& a) { return mode_reads(a.mode); });
+    const bool writes = std::any_of(
+        accesses.begin(), accesses.end(),
+        [](const Access& a) { return mode_writes(a.mode); });
+    if (writes) candidates.insert(stmt_id);
+
+    if (reads && mixed_init && program_defined_) {
+      bag.add("PL060", Severity::kWarning,
+              "call #" + std::to_string(stmt.call_index + 1) + " (" +
+                  stmt.node->call.interface_name + ") reads container '" +
+                  data +
+                  "' which is written on some control-flow paths but not "
+                  "on all of them — on the unwritten paths the read "
+                  "consumes uninitialised data",
+              loc_of(stmt_id));
+    }
+
+    // Liveness, read-window races and loop-carried ping-pong are simulated
+    // per world so the facts stay path-accurate.
+    const bool control_flow = main_.has_control_flow;
+    bool race_reported = false;
+    bool pingpong_reported = false;
+    for (const World& w : worlds) {
+      // Liveness for the dead-write analysis.
+      {
+        World scratch = w;
+        Worlds discard;
+        transfer(stmt_id, data, scratch, discard, &live);
+      }
+      if (!control_flow) continue;  // PL031..PL033/PL052 own straight lines
+
+      // PL065: an access joining an open read window that already hides a
+      // write (or a hidden write joining any open window) races.
+      if (!race_reported) {
+        bool wh = w.window_hidden;
+        bool wr = w.window_read;
+        for (const Access& access : accesses) {
+          if (access.mode == rt::AccessMode::kRead) {
+            const bool races =
+                access.hidden_write ? (wh || wr) : wh;
+            if (races) {
+              bag.add(
+                  "PL065", Severity::kError,
+                  "read/write race on container '" + data + "': call #" +
+                      std::to_string(stmt.call_index + 1) + " (" +
+                      stmt.node->call.interface_name +
+                      ") joins a concurrent read window that hides a write "
+                      "through a mutable parameter on at least one "
+                      "control-flow path — the runtime schedules the window "
+                      "concurrently",
+                  loc_of(stmt_id));
+              race_reported = true;
+              break;
+            }
+            (access.hidden_write ? wh : wr) = true;
+          } else {
+            wh = wr = false;
+          }
+        }
+      }
+
+      // PL064: this pinned write follows a cross-side read of its own last
+      // write, inside a loop — every iteration bounces the replica.
+      if (!pingpong_reported && stmt.loop_depth > 0 && writes &&
+          stmt.placement != CallPlacement::kAny) {
+        const int side =
+            stmt.placement == CallPlacement::kHost ? kHostSide : kDeviceSide;
+        if (w.last_writer == side && w.cross_read) {
+          bag.add(
+              "PL064", Severity::kWarning,
+              "container '" + data +
+                  "' ping-pongs across the PCIe link on every loop "
+                  "iteration: call #" +
+                  std::to_string(stmt.call_index + 1) + " (" +
+                  stmt.node->call.interface_name + ") writes it on the " +
+                  side_name(side) +
+                  " side after a cross-side read of the previous " +
+                  side_name(side) +
+                  "-side write — provide a variant on both sides or "
+                  "co-locate the reader with the writers",
+              loc_of(stmt_id));
+          pingpong_reported = true;
+        }
+      }
+    }
+  }
+
+  const desc::Repository& repo_;
+  const LintOptions& options_;
+  const desc::MainDescriptor& main_;
+  const int max_steps_;
+  Cfg cfg_;
+  bool program_defined_ = false;  ///< current container has a pure write
+};
+
+}  // namespace
+
+bool VerifyResult::admits(int verify_point, const std::string& data, int node,
+                          rt::ReplicaState observed) const {
+  const auto point = states.find(verify_point);
+  if (point == states.end()) return false;
+  const auto worlds = point->second.find(data);
+  if (worlds == point->second.end()) return false;
+  for (const AbstractWorld& w : worlds->second) {
+    const rt::ReplicaState abstract = node == 0 ? w.host : w.device;
+    if (abstract == observed) return true;
+  }
+  return false;
+}
+
+VerifyResult verify_main(const desc::Repository& repo,
+                         const LintOptions& options) {
+  const desc::MainDescriptor* main = repo.main_module();
+  if (main == nullptr || (main->call_tree.empty() && main->calls.empty())) {
+    return {};
+  }
+
+  // Programmatic descriptors fill only the flattened view; synthesise the
+  // straight-line tree the lowering expects.
+  desc::MainDescriptor synthesized;
+  const desc::MainDescriptor* subject = main;
+  if (main->call_tree.empty()) {
+    synthesized = *main;
+    for (const desc::CallDesc& call : main->calls) {
+      desc::CallNode node;
+      node.kind = desc::CallNode::Kind::kCall;
+      node.call = call;
+      node.loc = call.loc;
+      synthesized.call_tree.push_back(std::move(node));
+    }
+    subject = &synthesized;
+  }
+
+  Verifier verifier(repo, options, *subject);
+  return verifier.run();
+}
+
+}  // namespace peppher::analyze

@@ -1,0 +1,89 @@
+// peppher-verify: fixpoint coherence verification of the composition graph
+// (docs/verify.md).
+//
+// The main module's <calls> section — including the <loop>, <if>,
+// <partition>, <unpartition> and <prefetch> statements — is lowered into a
+// small control-flow graph, and a worklist fixpoint propagates an abstract
+// MSI coherence state through it: per container, a *set of worlds*, each
+// world one feasible (host replica, device replica) pair plus a few path
+// facts (initialised, partitioned, unread pending write, last writer side,
+// open read window). The transition rules are the runtime's own
+// (runtime/msi.hpp) — the same functions the verify_shadow runtime checker
+// applies to its concrete shadow state — so the verifier's abstract states
+// and the runtime's observed states are comparable point for point.
+//
+// Checks emitted (PL060..PL069, catalogued in docs/lint.md):
+//
+//   PL060  a read reached with the container initialised on only some paths
+//   PL061  <prefetch> whose target already holds a valid replica on every path
+//   PL062  a write overwritten on every path before any read (dead write)
+//   PL063  <partition> with no <unpartition> on some path to program end
+//   PL064  loop-carried cross-architecture ping-pong (path-sensitive PL052)
+//   PL065  branch-divergent access modes make a hidden-write race (the
+//          path-sensitive generalisation of PL031/PL032)
+//   PL066  partition protocol violation (access while partitioned, double
+//          partition, unpartition without partition)
+//   PL069  the fixpoint iteration budget was exhausted (internal)
+//
+// The straight-line window checks (PL031..PL033, PL052) stand down when the
+// main module uses control flow; run_lint then runs this verifier instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/lint.hpp"
+
+namespace peppher::rt {
+enum class ReplicaState : std::uint8_t;  // defined in runtime/memory.hpp
+}
+
+namespace peppher::analyze {
+
+/// One feasible coherence state of a container at a program point: the
+/// replica states of the abstract two-node machine (node 0 = host, node 1 =
+/// the accelerator side).
+struct AbstractWorld {
+  rt::ReplicaState host;
+  rt::ReplicaState device;
+  bool initialized = false;  ///< some program write reached this point
+  bool partitioned = false;
+};
+
+/// Outcome of one verification run.
+struct VerifyResult {
+  diag::DiagnosticBag bag;  ///< PL060..PL069 findings, sorted
+
+  /// False when the iteration budget was exhausted (PL069 in the bag).
+  bool fixpoint_reached = true;
+  /// Worklist steps actually taken (all containers summed).
+  int steps = 0;
+
+  /// Converged abstract state *before* each component call: for the call at
+  /// flattened index `i` of MainDescriptor::calls (== TaskSpec::verify_point
+  /// of the task the generated wrapper submits for it), the feasible worlds
+  /// of every container the call binds. This is what the verify_shadow
+  /// observation log is cross-validated against.
+  std::map<int, std::map<std::string, std::vector<AbstractWorld>>> states;
+
+  /// True when the concrete replica state `observed` of container `data` on
+  /// memory node `node` (0 = host, any other = that accelerator), recorded
+  /// at the start of the task for program point `verify_point`, is admitted
+  /// by some abstract world at that point. The abstract states
+  /// over-approximate every execution path, so a sound run admits every
+  /// observation; a `false` means the runtime and the model disagree.
+  bool admits(int verify_point, const std::string& data, int node,
+              rt::ReplicaState observed) const;
+};
+
+/// Verifies the repository's main module. Returns an empty result (no
+/// diagnostics, no states) when there is no main module or it declares no
+/// calls. `options` supplies the same variant narrowing as the lint checks
+/// (placement of a call follows its viable variants) plus the iteration
+/// budget override.
+VerifyResult verify_main(const desc::Repository& repo,
+                         const LintOptions& options = {});
+
+}  // namespace peppher::analyze

@@ -63,6 +63,7 @@ std::string usage() {
          "  -outdir=<dir>\n"
          "  -backends=<cpu,openmp,cuda>\n"
          "  -lint\n"
+         "  -verify\n"
          "  -werror\n"
          "  -verbose\n";
 }
@@ -114,6 +115,8 @@ ToolOptions parse_arguments(const std::vector<std::string>& args) {
       options.recipe.expand_tunables = true;
     } else if (arg == "-lint" || arg == "--lint") {
       options.lint_only = true;
+    } else if (arg == "-verify" || arg == "--verify") {
+      options.verify = true;
     } else if (arg == "-werror" || arg == "--werror") {
       options.werror = true;
     } else if (arg == "-dumpIR" || arg == "--dumpIR") {
@@ -177,6 +180,7 @@ int run_tool(const ToolOptions& options, std::ostream& out, std::ostream& err) {
     lint_options.root = main_path.parent_path().empty()
                             ? std::filesystem::path(".")
                             : main_path.parent_path();
+    lint_options.verify = options.verify;
     const diag::DiagnosticBag lint = analyze::run_lint(repo, lint_options);
     if (!lint.empty()) err << lint.format_text();
     if (lint.fails(options.werror)) {

@@ -13,6 +13,8 @@
 //   -outdir=<dir>                     output directory for generated files
 //   -backends=<cpu,openmp,cuda>       utility mode: backends to scaffold
 //   -lint                             run the static checks, skip codegen
+//   -verify                           coherence-verify (PL060..PL069) even
+//                                     straight-line call sequences
 //   -werror                           lint warnings abort composition too
 //   -verbose                          print per-step reports
 //
@@ -43,6 +45,7 @@ struct ToolOptions {
   bool dump_ir = false;    ///< print the component tree after the IR passes
   bool lint_only = false;  ///< -lint: stop after the static checks
   bool werror = false;     ///< -werror: warnings abort composition too
+  bool verify = false;     ///< -verify: coherence-verify straight lines too
 };
 
 /// Parses argv-style arguments (without argv[0]). Throws

@@ -30,6 +30,184 @@ diag::SourceLocation loc_of(const xml::Element& element) {
   return diag::SourceLocation{"", element.line(), element.column()};
 }
 
+[[nodiscard]] ParseError schema_error(const xml::Element& element,
+                                      const std::string& message) {
+  return ParseError(message, element.line(), element.column());
+}
+
+CallDesc parse_call(const xml::Element& element) {
+  CallDesc c;
+  c.interface_name = element.required_attribute("interface");
+  c.loc = loc_of(element);
+  for (const xml::Element* arg : element.children("arg")) {
+    CallArgDesc a;
+    a.param = arg->required_attribute("param");
+    a.data = arg->required_attribute("data");
+    a.loc = loc_of(*arg);
+    c.args.push_back(std::move(a));
+  }
+  return c;
+}
+
+int required_int_attribute(const xml::Element& element, std::string_view key) {
+  const std::string raw = element.required_attribute(key);
+  const std::optional<double> value = strings::to_double(raw);
+  if (!value || *value != static_cast<double>(static_cast<long long>(*value))) {
+    throw schema_error(element, "<" + element.name() + "> attribute '" +
+                                    std::string(key) + "' must be an integer, "
+                                    "got '" + raw + "'");
+  }
+  return static_cast<int>(*value);
+}
+
+/// Parses the statement children of <calls>, <loop> or <if> recursively.
+/// `inside_if` allows a trailing <else>, consumed into `else_out`.
+std::vector<CallNode> parse_statements(const xml::Element& parent,
+                                       bool inside_if,
+                                       std::vector<CallNode>* else_out) {
+  std::vector<CallNode> out;
+  bool saw_else = false;
+  for (const std::unique_ptr<xml::Element>& stmt_owner : parent.all_children()) {
+    const xml::Element* stmt = stmt_owner.get();
+    if (saw_else) {
+      throw schema_error(*stmt, "<else> must be the last child of <if>, "
+                                "found <" + stmt->name() + "> after it");
+    }
+    CallNode node;
+    node.loc = loc_of(*stmt);
+    if (stmt->name() == "call") {
+      node.kind = CallNode::Kind::kCall;
+      node.call = parse_call(*stmt);
+    } else if (stmt->name() == "loop") {
+      node.kind = CallNode::Kind::kLoop;
+      node.loop_count = required_int_attribute(*stmt, "count");
+      if (node.loop_count < 1) {
+        throw schema_error(*stmt,
+                           "<loop> count must be at least 1, got " +
+                               std::to_string(node.loop_count));
+      }
+      node.body = parse_statements(*stmt, /*inside_if=*/false, nullptr);
+    } else if (stmt->name() == "if") {
+      node.kind = CallNode::Kind::kIf;
+      node.body = parse_statements(*stmt, /*inside_if=*/true, &node.else_body);
+    } else if (stmt->name() == "else") {
+      if (!inside_if) {
+        throw schema_error(*stmt, "<else> outside <if>");
+      }
+      saw_else = true;
+      *else_out = parse_statements(*stmt, /*inside_if=*/false, nullptr);
+      continue;
+    } else if (stmt->name() == "partition") {
+      node.kind = CallNode::Kind::kPartition;
+      node.data = stmt->required_attribute("data");
+      node.parts = required_int_attribute(*stmt, "parts");
+      if (node.parts < 1) {
+        throw schema_error(*stmt, "<partition> parts must be at least 1, got " +
+                                      std::to_string(node.parts));
+      }
+    } else if (stmt->name() == "unpartition") {
+      node.kind = CallNode::Kind::kUnpartition;
+      node.data = stmt->required_attribute("data");
+    } else if (stmt->name() == "prefetch") {
+      node.kind = CallNode::Kind::kPrefetch;
+      node.data = stmt->required_attribute("data");
+      const std::string on = stmt->attribute("on").value_or("device");
+      if (on != "host" && on != "device") {
+        throw schema_error(*stmt, "<prefetch> attribute 'on' must be 'host' "
+                                  "or 'device', got '" + on + "'");
+      }
+      node.prefetch_to_device = on == "device";
+    } else {
+      throw schema_error(*stmt, "unknown element <" + stmt->name() +
+                                    "> in the <calls> section");
+    }
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+void flatten_calls(const std::vector<CallNode>& nodes,
+                   std::vector<CallDesc>* calls, bool* has_control_flow) {
+  for (const CallNode& node : nodes) {
+    switch (node.kind) {
+      case CallNode::Kind::kCall:
+        calls->push_back(node.call);
+        break;
+      case CallNode::Kind::kLoop:
+        *has_control_flow = true;
+        flatten_calls(node.body, calls, has_control_flow);
+        break;
+      case CallNode::Kind::kIf:
+        *has_control_flow = true;
+        flatten_calls(node.body, calls, has_control_flow);
+        flatten_calls(node.else_body, calls, has_control_flow);
+        break;
+      case CallNode::Kind::kPartition:
+      case CallNode::Kind::kUnpartition:
+      case CallNode::Kind::kPrefetch:
+        break;
+    }
+  }
+}
+
+void serialize_statements(const std::vector<CallNode>& nodes,
+                          xml::Element& parent) {
+  for (const CallNode& node : nodes) {
+    switch (node.kind) {
+      case CallNode::Kind::kCall: {
+        xml::Element& call = parent.append_child("call");
+        call.set_attribute("interface", node.call.interface_name);
+        for (const CallArgDesc& a : node.call.args) {
+          xml::Element& arg = call.append_child("arg");
+          arg.set_attribute("param", a.param);
+          arg.set_attribute("data", a.data);
+        }
+        break;
+      }
+      case CallNode::Kind::kLoop: {
+        xml::Element& loop = parent.append_child("loop");
+        loop.set_attribute("count", std::to_string(node.loop_count));
+        serialize_statements(node.body, loop);
+        break;
+      }
+      case CallNode::Kind::kIf: {
+        xml::Element& branch = parent.append_child("if");
+        serialize_statements(node.body, branch);
+        if (!node.else_body.empty()) {
+          serialize_statements(node.else_body, branch.append_child("else"));
+        }
+        break;
+      }
+      case CallNode::Kind::kPartition: {
+        xml::Element& stmt = parent.append_child("partition");
+        stmt.set_attribute("data", node.data);
+        stmt.set_attribute("parts", std::to_string(node.parts));
+        break;
+      }
+      case CallNode::Kind::kUnpartition:
+        parent.append_child("unpartition").set_attribute("data", node.data);
+        break;
+      case CallNode::Kind::kPrefetch: {
+        xml::Element& stmt = parent.append_child("prefetch");
+        stmt.set_attribute("data", node.data);
+        stmt.set_attribute("on", node.prefetch_to_device ? "device" : "host");
+        break;
+      }
+    }
+  }
+}
+
+void set_statement_files(std::vector<CallNode>& nodes,
+                         const std::string& source_file) {
+  for (CallNode& node : nodes) {
+    node.loc.file = source_file;
+    node.call.loc.file = source_file;
+    for (CallArgDesc& a : node.call.args) a.loc.file = source_file;
+    set_statement_files(node.body, source_file);
+    set_statement_files(node.else_body, source_file);
+  }
+}
+
 /// C-like identifiers appearing in a size expression ("nrows*ncols" ->
 /// {"nrows","ncols"}); "sizeof" is not reported.
 std::vector<std::string> identifiers_in(std::string_view expr) {
@@ -364,19 +542,8 @@ MainDescriptor MainDescriptor::from_xml(const xml::Element& element) {
     out.uses.push_back(uses->required_attribute("interface"));
   }
   if (const xml::Element* calls = element.child("calls")) {
-    for (const xml::Element* call : calls->children("call")) {
-      CallDesc c;
-      c.interface_name = call->required_attribute("interface");
-      c.loc = loc_of(*call);
-      for (const xml::Element* arg : call->children("arg")) {
-        CallArgDesc a;
-        a.param = arg->required_attribute("param");
-        a.data = arg->required_attribute("data");
-        a.loc = loc_of(*arg);
-        c.args.push_back(std::move(a));
-      }
-      out.calls.push_back(std::move(c));
-    }
+    out.call_tree = parse_statements(*calls, /*inside_if=*/false, nullptr);
+    flatten_calls(out.call_tree, &out.calls, &out.has_control_flow);
   }
   if (const xml::Element* composition = element.child("composition")) {
     out.use_history_models = parse_bool(
@@ -400,7 +567,10 @@ std::unique_ptr<xml::Element> MainDescriptor::to_xml() const {
   for (const std::string& iface : uses) {
     root->append_child("uses").set_attribute("interface", iface);
   }
-  if (!calls.empty()) {
+  if (!call_tree.empty()) {
+    serialize_statements(call_tree, root->append_child("calls"));
+  } else if (!calls.empty()) {
+    // Programmatically built descriptor with only the flattened view.
     xml::Element& calls_elem = root->append_child("calls");
     for (const CallDesc& c : calls) {
       xml::Element& call = calls_elem.append_child("call");
@@ -465,6 +635,7 @@ void Repository::load_text(std::string_view text,
       c.loc.file = source_file;
       for (CallArgDesc& a : c.args) a.loc.file = source_file;
     }
+    set_statement_files(d.call_tree, source_file);
     origins_[d.name] = origin;
     add(std::move(d));
   }

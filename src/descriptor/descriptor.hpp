@@ -191,6 +191,49 @@ struct CallDesc {
   diag::SourceLocation loc;  ///< the <call> element
 };
 
+/// One statement of the main module's declared call sequence. Besides plain
+/// component calls, the sequence may declare structured control flow and
+/// data-management operations, so the static verifier (peppher-verify) can
+/// reason about every execution path:
+///
+///   <calls>
+///     <partition data="x" parts="4"/>
+///     <loop count="100">
+///       <call interface="spmv"> ... </call>
+///       <if>
+///         <call interface="norm"> ... </call>
+///         <else> <call interface="norm_cpu"> ... </call> </else>
+///       </if>
+///     </loop>
+///     <unpartition data="x"/>
+///     <prefetch data="x" on="device"/>
+///   </calls>
+///
+/// `<loop count>` declares the trip count (>= 1; the verifier only needs
+/// "executes at least once and may repeat"). `<if>` children form the then
+/// branch; an optional `<else>` — which must be the last child — holds the
+/// alternative. The branch condition itself is runtime data the descriptor
+/// does not model: the verifier explores both paths.
+struct CallNode {
+  enum class Kind {
+    kCall,         ///< component call
+    kLoop,         ///< <loop count="N"> body </loop>
+    kIf,           ///< <if> then... <else> else... </else> </if>
+    kPartition,    ///< <partition data="x" parts="N"/>
+    kUnpartition,  ///< <unpartition data="x"/>
+    kPrefetch,     ///< <prefetch data="x" on="host|device"/>
+  };
+  Kind kind = Kind::kCall;
+  CallDesc call;                    ///< kCall
+  int loop_count = 0;               ///< kLoop: declared trip count (>= 1)
+  std::string data;                 ///< kPartition/kUnpartition/kPrefetch
+  int parts = 0;                    ///< kPartition
+  bool prefetch_to_device = true;   ///< kPrefetch: on="device" (default)
+  std::vector<CallNode> body;       ///< kLoop body / kIf then branch
+  std::vector<CallNode> else_body;  ///< kIf else branch (may be empty)
+  diag::SourceLocation loc;         ///< the statement element
+};
+
 /// The application main-module descriptor.
 struct MainDescriptor {
   std::string name;
@@ -199,7 +242,20 @@ struct MainDescriptor {
   std::string target_platform;  ///< machine name, e.g. "xeon-e5520+c2050"
   std::string optimization_goal = "exec_time";
   std::vector<std::string> uses;  ///< interfaces invoked from main
-  std::vector<CallDesc> calls;    ///< declared call sequence (may be empty)
+
+  /// The declared call sequence as written: a statement tree with control
+  /// flow (see CallNode). Empty when the main module declares no <calls>.
+  std::vector<CallNode> call_tree;
+
+  /// Every component call of `call_tree`, flattened in document order (loop
+  /// bodies and both branches of an <if> appear once). The straight-line
+  /// hazard checks consume this view; path-sensitive checks walk the tree.
+  std::vector<CallDesc> calls;
+
+  /// True when `call_tree` contains a <loop> or <if>: the straight-line
+  /// window checks (PL031–PL033, PL052) stand down in favour of the
+  /// path-sensitive verifier, which models the actual paths.
+  bool has_control_flow = false;
   bool use_history_models = true;
   std::string scheduler = "dmda";
   std::vector<std::string> disabled_impls;  ///< user-guided static narrowing

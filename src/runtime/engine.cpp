@@ -70,6 +70,9 @@ Engine::Engine(EngineConfig config)
   check(cpu_count_ > 0 || !config_.machine.accelerators.empty(),
         "machine has no execution units");
 
+  // Shadow coherence checking must be armed before any handle registration.
+  if (config_.verify_shadow) data_.enable_shadow_checking();
+
   WorkerId next_id = 0;
   for (int c = 0; c < cpu_count_; ++c) {
     WorkerDesc desc;
@@ -114,6 +117,12 @@ Engine::Engine(EngineConfig config)
     }
   }
   if (any_faults) {
+    if (config_.verify_shadow) {
+      throw Error(ErrorCode::kUnsupported,
+                  "verify_shadow cannot be combined with fault injection: a "
+                  "transfer failing mid-route leaves a half-updated "
+                  "coherence state the shadow model does not track");
+    }
     data_.set_transfer_fault_hook(
         [this](MemoryNodeId from, MemoryNodeId to, std::size_t bytes) {
           on_transfer_attempt(from, to, bytes);
@@ -692,6 +701,27 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
   // the operands actually acquired are released afterwards. The buffer
   // tables are per-worker scratch, reused across executions.
   const std::size_t n_ops = task->spec.operands.size();
+
+  // Shadow checker: record each operand's concrete coherence state on this
+  // node before the task's own acquire mutates it. The lock ordering is
+  // safe: shadow_mutex_ is a leaf, taken under no other engine lock.
+  if (config_.verify_shadow && n_ops > 0) {
+    std::lock_guard<std::mutex> lock(shadow_mutex_);
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      const TaskOperand& op = task->spec.operands[i];
+      ShadowRecord record;
+      record.sequence = task->sequence;
+      record.task_name = task->spec.name;
+      record.verify_point = task->spec.verify_point;
+      record.handle = op.handle.get();
+      record.operand = i;
+      record.node = worker.desc.node;
+      record.mode = op.mode;
+      record.state = op.handle->replica_state(worker.desc.node);
+      shadow_log_.push_back(std::move(record));
+    }
+  }
+
   std::vector<void*>& buffers = worker.buffers;
   std::vector<std::size_t>& buffer_bytes = worker.buffer_bytes;
   std::vector<std::size_t>& element_sizes = worker.element_sizes;
@@ -1247,6 +1277,11 @@ bool Engine::worker_blacklisted(WorkerId id) const {
         "worker_blacklisted: bad worker id");
   return blacklisted_[static_cast<std::size_t>(id)].load(
       std::memory_order_acquire);
+}
+
+std::vector<ShadowRecord> Engine::shadow_log() const {
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
+  return shadow_log_;
 }
 
 std::string Engine::summary() const {

@@ -123,6 +123,19 @@ struct EngineConfig {
   /// operands within one task, so such aliasing is a data race. Off by
   /// default (matches StarPU, which leaves intra-task aliasing undefined).
   bool hazard_checks = false;
+
+  /// Debug shadow checker of the MSI coherence protocol (the dynamic half
+  /// of peppher-verify, see docs/verify.md): every data handle keeps an
+  /// independent shadow state vector advanced through the pure transition
+  /// rules of runtime/msi.hpp and cross-checked against the actual replica
+  /// states after each coherence event; the engine additionally records the
+  /// concrete replica state of every operand at task start (shadow_log())
+  /// so tests can cross-validate runs against the static verifier's
+  /// abstract per-program-point states. A divergence throws
+  /// Error(kInternal) from the offending event. Incompatible with fault
+  /// injection (a transfer that fails mid-route leaves a half-updated
+  /// state the model does not track); the constructor rejects the combo.
+  bool verify_shadow = false;
 };
 
 /// Aggregate per-worker execution counters.
@@ -131,6 +144,23 @@ struct WorkerStats {
   std::uint64_t failed_attempts = 0;  ///< executions that ended in an error
   double busy_vtime = 0.0;      ///< virtual seconds spent executing
   double energy_joules = 0.0;   ///< busy time x the device's power draw
+};
+
+/// One observation of the shadow checker (EngineConfig::verify_shadow): the
+/// concrete coherence state of one task operand at task start, *before* the
+/// task's own acquire ran. TaskSpec::verify_point links the observation back
+/// to a program point of the main module's declared call sequence, which is
+/// what lets tests check the observation against the static verifier's
+/// abstract state for the same point.
+struct ShadowRecord {
+  std::uint64_t sequence = 0;  ///< task submission sequence
+  std::string task_name;
+  int verify_point = -1;  ///< TaskSpec::verify_point (-1 = untagged)
+  const DataHandle* handle = nullptr;
+  std::size_t operand = 0;  ///< operand index within the task
+  MemoryNodeId node = kHostNode;  ///< executing worker's memory node
+  AccessMode mode = AccessMode::kRead;
+  ReplicaState state = ReplicaState::kInvalid;  ///< state before the acquire
 };
 
 /// Engine-wide fault-tolerance counters (see docs/runtime.md).
@@ -252,6 +282,13 @@ class Engine {
 
   /// True once `id` was blacklisted after its simulated device died.
   bool worker_blacklisted(WorkerId id) const;
+
+  /// Shadow-checker observations in task execution order (empty unless
+  /// config.verify_shadow). Take after wait_for_all() for a stable view.
+  std::vector<ShadowRecord> shadow_log() const;
+
+  /// Coherence events cross-checked against the shadow model so far.
+  std::uint64_t shadow_checks() const noexcept { return data_.shadow_checks(); }
 
   /// Human-readable execution summary: per-worker task counts and busy
   /// virtual time (utilisation against the makespan), per-architecture task
@@ -464,6 +501,11 @@ class Engine {
   // zero — with one shared counter, every completion of a long task drain
   // would futex-wake the waiter just for it to re-check and sleep again
   // (two context switches per task). See notify_task_done()/notify_idle().
+  /// Shadow-checker observation log (config_.verify_shadow only); appended
+  /// by workers at task start, outside every other engine lock.
+  mutable std::mutex shadow_mutex_;
+  std::vector<ShadowRecord> shadow_log_;
+
   mutable std::mutex done_mutex_;
   mutable std::condition_variable done_cv_;
   mutable std::atomic<std::uint64_t> task_waiters_{0};  ///< wait(task)

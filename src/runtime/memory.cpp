@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "runtime/msi.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 
@@ -33,6 +34,31 @@ DataHandle::DataHandle(DataManager* manager, void* host_ptr, std::size_t bytes,
         "buffer size must be a multiple of the element size");
   replicas_[kHostNode].ptr = host_ptr_;
   replicas_[kHostNode].state = ReplicaState::kOwned;
+  if (manager->shadow_checking()) {
+    shadow_.assign(replicas_.size(), ReplicaState::kInvalid);
+    shadow_[kHostNode] = ReplicaState::kOwned;
+  }
+}
+
+void DataHandle::shadow_transition_locked(const char* event, MemoryNodeId node,
+                                          AccessMode mode) {
+  if (shadow_.empty()) return;
+  msi::apply_acquire(shadow_, node, mode);
+  shadow_check_locked(event);
+}
+
+void DataHandle::shadow_check_locked(const char* event) {
+  if (shadow_.empty()) return;
+  manager_->record_shadow_check();
+  for (std::size_t n = 0; n < replicas_.size(); ++n) {
+    if (replicas_[n].state == shadow_[n]) continue;
+    throw Error(ErrorCode::kInternal,
+                "verify_shadow: coherence divergence after " +
+                    std::string(event) + " on memory node " +
+                    std::to_string(n) + ": model predicts '" +
+                    to_string(shadow_[n]) + "' but the replica is '" +
+                    to_string(replicas_[n].state) + "'");
+  }
 }
 
 DataHandle::~DataHandle() {
@@ -155,6 +181,8 @@ void* DataHandle::acquire(MemoryNodeId node, AccessMode mode,
     ++read_uses_;
   }
 
+  shadow_transition_locked("acquire", node, mode);
+
   if (node != kHostNode) ++replica.pins;  // released by release(node)
   if (data_ready != nullptr) *data_ready = ready;
   return replica.ptr;
@@ -188,6 +216,10 @@ bool DataHandle::try_evict(MemoryNodeId node) {
   replica.state = ReplicaState::kInvalid;
   replica.storage.reset();
   replica.ptr = nullptr;
+  if (!shadow_.empty() && !detached_) {
+    msi::apply_evict(shadow_, node);
+    shadow_check_locked("evict");
+  }
   manager_->on_free(node, bytes_);
   manager_->record_eviction();
   return true;
@@ -199,6 +231,7 @@ void DataHandle::mark_written(MemoryNodeId node, VirtualTime vend) {
   check(replica.state == ReplicaState::kOwned,
         "mark_written on a non-owned replica");
   replica.valid_at = vend;
+  shadow_check_locked("mark_written");  // no transition: states must agree
 }
 
 double DataHandle::estimate_fetch_seconds(MemoryNodeId node,
@@ -296,6 +329,10 @@ std::vector<DataHandlePtr> DataHandle::partition(std::size_t parts) {
     replicas_[n].state = ReplicaState::kInvalid;
   }
   replicas_[kHostNode].state = ReplicaState::kOwned;
+  if (!shadow_.empty()) {
+    msi::apply_host_reclaim(shadow_);
+    shadow_check_locked("partition");
+  }
 
   std::vector<DataHandlePtr> out;
   children_.clear();
@@ -338,6 +375,10 @@ void DataHandle::unpartition() {
     replicas_[n].state = ReplicaState::kInvalid;
   }
   replicas_[kHostNode].state = ReplicaState::kOwned;
+  if (!shadow_.empty()) {
+    msi::apply_host_reclaim(shadow_);
+    shadow_check_locked("unpartition");
+  }
 }
 
 // ---------------------------------------------------------------------------

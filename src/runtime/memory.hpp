@@ -170,6 +170,17 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
   void* replica_ptr(MemoryNodeId node);
   void ensure_allocated(MemoryNodeId node);
 
+  /// Shadow coherence checking (EngineConfig::verify_shadow): `shadow_` is
+  /// an independent state vector advanced through the pure transition rules
+  /// of runtime/msi.hpp at every coherence event, then compared against the
+  /// actual replica states. A mismatch throws Error(kInternal): either the
+  /// coherence machinery or the shared model (which the static verifier also
+  /// runs on) is wrong. Empty unless the manager has shadow checking on.
+  /// Caller holds mutex_.
+  void shadow_transition_locked(const char* event, MemoryNodeId node,
+                                AccessMode mode);
+  void shadow_check_locked(const char* event);
+
   DataManager* manager_;
   void* host_ptr_;
   std::size_t bytes_;
@@ -177,6 +188,7 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
 
   mutable std::mutex mutex_;
   std::vector<Replica> replicas_;  ///< indexed by MemoryNodeId
+  std::vector<ReplicaState> shadow_;  ///< empty unless shadow checking
 
   std::uint64_t read_uses_ = 0;  ///< guarded by mutex_
 
@@ -261,6 +273,21 @@ class DataManager {
   /// Resets the link lane clocks and open bursts (benchmark repetition).
   void reset_virtual_time();
 
+  // -- shadow coherence checking (EngineConfig::verify_shadow) --------------
+
+  /// Turns on per-handle shadow state vectors for handles registered from
+  /// now on. Set once by the Engine before worker threads start.
+  void enable_shadow_checking() noexcept { shadow_checking_ = true; }
+  bool shadow_checking() const noexcept { return shadow_checking_; }
+
+  /// Number of coherence events cross-checked against the shadow model.
+  std::uint64_t shadow_checks() const noexcept {
+    return shadow_checks_.load(std::memory_order_relaxed);
+  }
+  void record_shadow_check() noexcept {
+    shadow_checks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   /// One directed transfer lane: its own clock, plus a small ring of open
   /// burst streams for coalescing (several interleaved contiguous uploads
@@ -281,6 +308,8 @@ class DataManager {
   int node_count_;
   sim::LinkProfile link_;
   TransferHook transfer_hook_;  ///< immutable once workers run
+  bool shadow_checking_ = false;  ///< immutable once workers run
+  std::atomic<std::uint64_t> shadow_checks_{0};
 
   /// Lane table, fixed at construction: index 0 in shared-bus mode, else
   /// 2*(device-1) for H2D and 2*(device-1)+1 for D2H. unique_ptr because a

@@ -1,0 +1,63 @@
+#include "runtime/msi.hpp"
+
+#include "runtime/memory.hpp"
+#include "support/error.hpp"
+
+namespace peppher::rt::msi {
+
+int pick_source(const std::vector<ReplicaState>& states) {
+  if (!states.empty() && states[kHostNode] != ReplicaState::kInvalid) {
+    return kHostNode;
+  }
+  for (std::size_t n = 0; n < states.size(); ++n) {
+    if (states[n] != ReplicaState::kInvalid) return static_cast<int>(n);
+  }
+  return -1;
+}
+
+void apply_acquire(std::vector<ReplicaState>& states, int node,
+                   AccessMode mode) {
+  check(node >= 0 && node < static_cast<int>(states.size()),
+        "msi::apply_acquire: bad memory node");
+  auto& replica = states[static_cast<std::size_t>(node)];
+
+  const bool needs_fetch = mode != AccessMode::kWrite;
+  if (needs_fetch && replica == ReplicaState::kInvalid) {
+    const int source = pick_source(states);
+    check(source >= 0, "msi::apply_acquire: no valid replica anywhere");
+    if (node != kHostNode && source != kHostNode) {
+      // Device-to-device routes through the host (copy_replica's via hop),
+      // leaving a Shared host copy behind.
+      states[kHostNode] = ReplicaState::kShared;
+    }
+    replica = ReplicaState::kShared;
+    auto& src = states[static_cast<std::size_t>(source)];
+    if (src == ReplicaState::kOwned) src = ReplicaState::kShared;
+  }
+
+  if (mode == AccessMode::kWrite || mode == AccessMode::kReadWrite) {
+    for (std::size_t n = 0; n < states.size(); ++n) {
+      if (static_cast<int>(n) != node) states[n] = ReplicaState::kInvalid;
+    }
+    replica = ReplicaState::kOwned;
+  }
+}
+
+void apply_evict(std::vector<ReplicaState>& states, int node) {
+  check(node > 0 && node < static_cast<int>(states.size()),
+        "msi::apply_evict: bad device node");
+  auto& replica = states[static_cast<std::size_t>(node)];
+  if (replica == ReplicaState::kOwned) {
+    states[kHostNode] = ReplicaState::kOwned;
+  }
+  replica = ReplicaState::kInvalid;
+}
+
+void apply_host_reclaim(std::vector<ReplicaState>& states) {
+  for (std::size_t n = 1; n < states.size(); ++n) {
+    states[n] = ReplicaState::kInvalid;
+  }
+  states[kHostNode] = ReplicaState::kOwned;
+}
+
+}  // namespace peppher::rt::msi

@@ -1,0 +1,54 @@
+// The MSI coherence transition rules of the data manager, factored out as
+// pure functions over a per-node ReplicaState vector.
+//
+// Two independent clients apply the exact same rules:
+//
+//   * DataHandle (memory.cpp) — the real coherence machinery, which under
+//     EngineConfig::verify_shadow additionally keeps a *shadow* state vector
+//     updated through these functions and cross-checks it against the actual
+//     replica states after every event;
+//   * the static verifier (src/analyze/verify.cpp) — which runs the same
+//     transitions over an abstract two-node (host/device) vector inside a
+//     worklist fixpoint over the main module's control-flow graph.
+//
+// Keeping the rules here, next to the implementation they model, is what
+// makes a shadow/verifier disagreement meaningful: it is a bug in either the
+// runtime or the model, never a drift between two copies of the rules.
+#pragma once
+
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace peppher::rt {
+
+enum class ReplicaState : std::uint8_t;  // defined in runtime/memory.hpp
+
+namespace msi {
+
+/// Source node a fetch copies from: the host when it holds a valid replica,
+/// else the first valid node; -1 when no valid replica exists (coherence
+/// broken). Mirrors DataHandle::acquire's source selection and
+/// DataHandle::preferred_source.
+int pick_source(const std::vector<ReplicaState>& states);
+
+/// State transition of DataHandle::acquire(node, mode): a read or readwrite
+/// of an invalid replica fetches (demoting an Owned source to Shared; a
+/// device-to-device fetch routes through the host and leaves a Shared host
+/// copy behind); a write or readwrite then invalidates every other replica
+/// and owns `node`. No-op fetch when the replica is already valid.
+void apply_acquire(std::vector<ReplicaState>& states, int node,
+                   AccessMode mode);
+
+/// State transition of a successful DataHandle::try_evict(node): an Owned
+/// device replica is flushed home first (host becomes Owned), then the
+/// node's replica is dropped to Invalid.
+void apply_evict(std::vector<ReplicaState>& states, int node);
+
+/// State transition of DataHandle::partition() / unpartition() on the
+/// parent handle: the host copy is made authoritative (Owned) and every
+/// device replica is invalidated.
+void apply_host_reclaim(std::vector<ReplicaState>& states);
+
+}  // namespace msi
+}  // namespace peppher::rt

@@ -59,6 +59,12 @@ struct TaskSpec {
   /// 0 = fail fast on the first failed attempt).
   int max_retries = -1;
 
+  /// Program point of the main module's declared call sequence this task
+  /// corresponds to (-1 = untagged). Only consumed by the verify_shadow
+  /// observation log, which uses it to match concrete coherence states
+  /// against the static verifier's abstract state for the same point.
+  int verify_point = -1;
+
   /// Invoked once after the task completes (successfully or failed), from
   /// the completing worker thread, outside engine locks. Must not block on
   /// other tasks of the same engine.

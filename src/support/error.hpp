@@ -47,6 +47,32 @@ class ParseError : public Error {
   ParseError(const std::string& message, const std::string& where = {})
       : Error(ErrorCode::kParseError,
               where.empty() ? message : message + " (" + where + ")") {}
+
+  /// Location-carrying form: the structured 1-based line/column survive
+  /// rethrows, so diagnostics (PL000) can point at the offending character
+  /// instead of just the file. 0 means unknown.
+  ParseError(const std::string& message, int line, int column)
+      : Error(ErrorCode::kParseError,
+              message + " (line " + std::to_string(line) + ", column " +
+                  std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  /// Rethrow form: adds `where` to the text while carrying over an already
+  /// known structured line/column unchanged.
+  ParseError(const std::string& message, const std::string& where, int line,
+             int column)
+      : Error(ErrorCode::kParseError,
+              where.empty() ? message : message + " (" + where + ")"),
+        line_(line),
+        column_(column) {}
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_ = 0;
+  int column_ = 0;
 };
 
 /// Throws Error(kInternal) when `condition` is false. Used for internal

@@ -23,9 +23,9 @@ const std::string& Element::required_attribute(std::string_view key) const {
   for (const auto& [k, v] : attributes_) {
     if (k == key) return v;
   }
-  throw Error(ErrorCode::kNotFound,
-              "element <" + name_ + "> lacks required attribute '" +
-                  std::string(key) + "'");
+  throw ParseError("element <" + name_ + "> lacks required attribute '" +
+                       std::string(key) + "'",
+                   line_, column_);
 }
 
 void Element::set_attribute(std::string_view key, std::string_view value) {
@@ -66,9 +66,9 @@ Element* Element::child(std::string_view name) noexcept {
 const Element& Element::required_child(std::string_view name) const {
   const Element* c = child(name);
   if (c == nullptr) {
-    throw Error(ErrorCode::kNotFound, "element <" + name_ +
-                                          "> lacks required child <" +
-                                          std::string(name) + ">");
+    throw ParseError("element <" + name_ + "> lacks required child <" +
+                         std::string(name) + ">",
+                     line_, column_);
   }
   return *c;
 }
@@ -131,8 +131,7 @@ class Parser {
   int column() const noexcept { return static_cast<int>(pos_ - line_start_) + 1; }
 
   [[nodiscard]] ParseError err(const std::string& message) const {
-    return ParseError(message, "line " + std::to_string(line_) + ", column " +
-                                   std::to_string(column()));
+    return ParseError(message, line_, column());
   }
 
   bool at_end() const noexcept { return pos_ >= text_.size(); }
@@ -383,7 +382,8 @@ Document parse_file(const std::string& path) {
   try {
     return parse(fs::read_file(path));
   } catch (const ParseError& e) {
-    throw ParseError(std::string(e.what()), path);
+    // Add the path to the text but keep the structured line/column.
+    throw ParseError(std::string(e.what()), path, e.line(), e.column());
   }
 }
 

@@ -49,7 +49,8 @@ class Element {
   /// Value of attribute `key`, or nullopt.
   std::optional<std::string> attribute(std::string_view key) const;
 
-  /// Value of attribute `key`; throws Error(kNotFound) if absent.
+  /// Value of attribute `key`; throws ParseError (carrying this element's
+  /// line/column) if absent.
   const std::string& required_attribute(std::string_view key) const;
 
   /// Sets (or overwrites) an attribute.
@@ -72,7 +73,8 @@ class Element {
   const Element* child(std::string_view name) const noexcept;
   Element* child(std::string_view name) noexcept;
 
-  /// First child with the given name; throws Error(kNotFound) if absent.
+  /// First child with the given name; throws ParseError (carrying this
+  /// element's line/column) if absent.
   const Element& required_child(std::string_view name) const;
 
   /// All children with the given name, in document order.

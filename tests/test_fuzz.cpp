@@ -168,6 +168,98 @@ TEST(MalformedDescriptors, InvalidArchStringsAreRejectedAtLoad) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Malformed control flow in the <calls> section: every fixture must raise a
+// ParseError carrying the offending element's line/column — never crash,
+// and never leave a half-registered main module behind.
+// ---------------------------------------------------------------------------
+
+std::string main_with(const std::string& calls) {
+  return "<peppher-main name=\"app\" source=\"main.cpp\">\n<calls>\n" + calls +
+         "\n</calls>\n</peppher-main>\n";
+}
+
+TEST(MalformedControlFlow, BadStatementsRaiseLocatedParseErrors) {
+  struct Fixture {
+    const char* label;
+    std::string xml;
+  };
+  const Fixture fixtures[] = {
+      {"zero trip count", main_with("<loop count=\"0\"/>")},
+      {"negative trip count",
+       main_with("<loop count=\"-3\"><call interface=\"f\"/></loop>")},
+      {"non-integer trip count", main_with("<loop count=\"2.5\"/>")},
+      {"non-numeric trip count", main_with("<loop count=\"many\"/>")},
+      {"missing trip count", main_with("<loop><call interface=\"f\"/></loop>")},
+      {"else outside if", main_with("<else><call interface=\"f\"/></else>")},
+      {"else not last",
+       main_with("<if><else/><call interface=\"f\"/></if>")},
+      {"else inside loop",
+       main_with("<loop count=\"2\"><else/></loop>")},
+      {"zero partition parts", main_with("<partition data=\"d\" parts=\"0\"/>")},
+      {"partition without data", main_with("<partition parts=\"2\"/>")},
+      {"unpartition without data", main_with("<unpartition/>")},
+      {"bad prefetch target",
+       main_with("<prefetch data=\"d\" on=\"gpu2\"/>")},
+      {"unknown statement", main_with("<while count=\"2\"/>")},
+  };
+  for (const Fixture& fixture : fixtures) {
+    desc::Repository repo;
+    try {
+      repo.load_text(fixture.xml, {}, "main.xml");
+      FAIL() << fixture.label << ": expected a ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_GT(e.line(), 1) << fixture.label;  // inside <calls>, not line 1
+      EXPECT_GT(e.column(), 0) << fixture.label;
+    }
+    EXPECT_EQ(repo.main_module(), nullptr) << fixture.label;
+  }
+}
+
+TEST(MalformedControlFlow, UnclosedAndMisNestedElementsRaiseParseErrors) {
+  const std::string fixtures[] = {
+      // Unclosed <loop>: the document ends inside the statement list.
+      "<peppher-main name=\"a\" source=\"m.cpp\">\n<calls>\n"
+      "<loop count=\"2\">\n<call interface=\"f\"/>\n",
+      // </if> closes <loop>: mis-nested close tags.
+      main_with("<loop count=\"2\"><call interface=\"f\"/></if>"),
+      // <else> opened but never closed before </calls>.
+      "<peppher-main name=\"a\" source=\"m.cpp\">\n<calls>\n"
+      "<if><call interface=\"f\"/><else>\n</calls>\n</peppher-main>\n",
+  };
+  for (const std::string& xml : fixtures) {
+    desc::Repository repo;
+    EXPECT_THROW(repo.load_text(xml), ParseError) << xml;
+    EXPECT_EQ(repo.main_module(), nullptr) << xml;
+  }
+}
+
+TEST_P(FuzzSeed, ControlFlowMainNeverCrashesUnderMutation) {
+  const std::string seed = main_with(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<loop count=\"4\">\n"
+      "  <if>\n"
+      "    <call interface=\"axpy\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "  <else>\n"
+      "    <prefetch data=\"v\" on=\"device\"/>\n"
+      "  </else>\n"
+      "  </if>\n"
+      "  <partition data=\"v\" parts=\"2\"/>\n"
+      "  <unpartition data=\"v\"/>\n"
+      "</loop>\n");
+  Rng rng(GetParam() * 17);
+  for (int round = 0; round < 300; ++round) {
+    const std::string mutated =
+        mutate(seed, rng, 1 + static_cast<int>(rng.next_below(8)));
+    desc::Repository repo;
+    try {
+      repo.load_text(mutated);
+    } catch (const Error&) {
+      // ParseError and schema errors are fine; crashing or hanging is not.
+    }
+  }
+}
+
 TEST_P(FuzzSeed, PerfModelDeserializeRejectsMutations) {
   Rng rng(GetParam() * 131);
   rt::HistoryModel seed_model;

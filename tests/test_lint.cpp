@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analyze/lint.hpp"
@@ -853,6 +855,141 @@ TEST(EngineHazardChecks, AllowsAliasedReadsAndStaysOffByDefault) {
     engine.wait(task);
     EXPECT_EQ(task->state, rt::TaskState::kDone);
   }
+}
+
+// ---------------------------------------------------------------------------
+// PL033 precision: a readwrite between two writes reads the first write, but
+// its own written value can still die against the second write.
+// ---------------------------------------------------------------------------
+
+TEST_F(LintTest, WriteFollowedByReadWriteIsNotPL033) {
+  write("init.xml",
+        "<peppher-interface name=\"init\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"o\" type=\"float*\" accessMode=\"write\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("bump.xml",
+        "<peppher-interface name=\"bump\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"o\" type=\"float*\" accessMode=\"readwrite\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <calls>\n"
+        "    <call interface=\"init\"><arg param=\"o\" data=\"D\"/></call>\n"
+        "    <call interface=\"bump\"><arg param=\"o\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  EXPECT_EQ(find(bag, "PL033"), nullptr) << bag.format_text();
+}
+
+TEST_F(LintTest, ReadWriteResultOverwrittenIsPL033) {
+  write("init.xml",
+        "<peppher-interface name=\"init\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"o\" type=\"float*\" accessMode=\"write\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("bump.xml",
+        "<peppher-interface name=\"bump\">\n"
+        "  <function returnType=\"void\">\n"
+        "    <param name=\"o\" type=\"float*\" accessMode=\"readwrite\" size=\"1\"/>\n"
+        "  </function>\n"
+        "</peppher-interface>\n");
+  write("main.xml",
+        "<peppher-main name=\"app\" source=\"main.cpp\">\n"
+        "  <calls>\n"
+        "    <call interface=\"init\"><arg param=\"o\" data=\"D\"/></call>\n"
+        "    <call interface=\"bump\"><arg param=\"o\" data=\"D\"/></call>\n"
+        "    <call interface=\"init\"><arg param=\"o\" data=\"D\"/></call>\n"
+        "  </calls>\n"
+        "</peppher-main>\n");
+  const DiagnosticBag bag = lint();
+  const Diagnostic* d = find(bag, "PL033");
+  ASSERT_NE(d, nullptr) << bag.format_text();
+  EXPECT_EQ(d->location.line, 5);  // the final overwriting <call>
+}
+
+// ---------------------------------------------------------------------------
+// The code registry is the single source of truth: docs/lint.md's tables
+// and the SARIF rules section must stay in sync with it.
+// ---------------------------------------------------------------------------
+
+TEST(CodeRegistry, DocsTablesMatchTheRegistry) {
+  const std::string docs =
+      fs::read_file(std::filesystem::path(PEPPHER_SOURCE_ROOT) / "docs" /
+                    "lint.md");
+  // Collect "| PLxxx | severity | meaning |" rows.
+  std::map<std::string, std::pair<std::string, std::string>> rows;
+  std::istringstream stream(docs);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!strings::starts_with(line, "| PL")) continue;
+    const std::vector<std::string> cells = strings::split(line, '|');
+    ASSERT_GE(cells.size(), 4u) << "malformed table row: " << line;
+    const std::string code(strings::trim(cells[1]));
+    EXPECT_TRUE(rows.emplace(code, std::make_pair(
+                                       std::string(strings::trim(cells[2])),
+                                       std::string(strings::trim(cells[3]))))
+                    .second)
+        << code << " documented twice";
+  }
+  for (const diag::CodeInfo& info : diag::all_codes()) {
+    const auto it = rows.find(std::string(info.code));
+    ASSERT_NE(it, rows.end()) << info.code << " missing from docs/lint.md";
+    EXPECT_EQ(it->second.first, diag::to_string(info.severity))
+        << info.code << " severity diverges from the registry";
+    // The coherence-verification family documents the registry summary
+    // verbatim (older rows carry hand-written prose).
+    if (info.code >= "PL060") {
+      EXPECT_EQ(it->second.second, info.summary)
+          << info.code << " summary diverges from the registry";
+    }
+  }
+  for (const auto& [code, row] : rows) {
+    EXPECT_NE(diag::find_code(code), nullptr)
+        << code << " documented but not registered";
+  }
+}
+
+TEST(CodeRegistry, ExplainMetadataIsComplete) {
+  for (const diag::CodeInfo& info : diag::all_codes()) {
+    EXPECT_FALSE(info.summary.empty()) << info.code;
+    EXPECT_FALSE(info.remediation.empty()) << info.code;
+  }
+  EXPECT_NE(diag::find_code("PL060"), nullptr);
+  EXPECT_EQ(diag::find_code("PL059"), nullptr);
+  EXPECT_EQ(diag::find_code(""), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF golden file: the renderer's exact output is pinned so accidental
+// format drift (field renames, escaping changes) shows up as a diff.
+// ---------------------------------------------------------------------------
+
+TEST(SarifGolden, RendererOutputIsPinned) {
+  DiagnosticBag bag;
+  bag.add("PL002", Severity::kError,
+          "implementation 'axpy_cpu' parameter 2 ('x') has type 'double*' "
+          "but interface 'axpy' expects 'const float*'",
+          {"components/axpy/axpy_cpu.xml", 4, 5});
+  bag.add("PL033", Severity::kWarning,
+          "container 'D' written here is a dead write: overwritten before "
+          "any read",
+          {"main.xml", 5, 5});
+  bag.add("PL061", Severity::kNote,
+          "prefetch of 'v' to host is redundant: a valid replica already "
+          "exists there on every path");
+  bag.sort();
+  const std::string expected = fs::read_file(
+      std::filesystem::path(PEPPHER_SOURCE_ROOT) / "tests" / "golden" /
+      "lint.sarif");
+  EXPECT_EQ(bag.format_sarif(), expected)
+      << "SARIF renderer output drifted; if intentional, regenerate "
+         "tests/golden/lint.sarif";
 }
 
 }  // namespace

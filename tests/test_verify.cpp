@@ -1,0 +1,611 @@
+// Coherence verifier tests (analyze/verify.hpp): CFG lowering + fixpoint
+// behaviour, one positive and one negative case per PL060..PL069 code, and
+// the cross-validation of the runtime's verify_shadow observation log
+// against the verifier's abstract per-program-point states.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analyze/lint.hpp"
+#include "analyze/verify.hpp"
+#include "descriptor/descriptor.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/memory.hpp"
+#include "sim/device.hpp"
+#include "support/error.hpp"
+
+namespace peppher {
+namespace {
+
+using analyze::LintOptions;
+using analyze::VerifyResult;
+using analyze::verify_main;
+
+// ---------------------------------------------------------------------------
+// Fixture: a repository assembled from inline descriptor strings
+// ---------------------------------------------------------------------------
+
+// init(y): pure producer. axpy(x, y): consumer/accumulator. consume(x):
+// pure reader. sneaky(x): declared read through a mutable type (the hidden
+// write the PL065 check hunts).
+constexpr const char* kProducer =
+    "<peppher-interface name=\"init\">\n"
+    "  <function returnType=\"void\">\n"
+    "    <param name=\"n\" type=\"int\" accessMode=\"read\"/>\n"
+    "    <param name=\"y\" type=\"float*\" accessMode=\"write\" size=\"n\"/>\n"
+    "  </function>\n"
+    "</peppher-interface>\n";
+
+constexpr const char* kAxpy =
+    "<peppher-interface name=\"axpy\">\n"
+    "  <function returnType=\"void\">\n"
+    "    <param name=\"n\" type=\"int\" accessMode=\"read\"/>\n"
+    "    <param name=\"x\" type=\"const float*\" accessMode=\"read\" size=\"n\"/>\n"
+    "    <param name=\"y\" type=\"float*\" accessMode=\"readwrite\" size=\"n\"/>\n"
+    "  </function>\n"
+    "</peppher-interface>\n";
+
+constexpr const char* kConsumer =
+    "<peppher-interface name=\"consume\">\n"
+    "  <function returnType=\"void\">\n"
+    "    <param name=\"n\" type=\"int\" accessMode=\"read\"/>\n"
+    "    <param name=\"x\" type=\"const float*\" accessMode=\"read\" size=\"n\"/>\n"
+    "  </function>\n"
+    "</peppher-interface>\n";
+
+constexpr const char* kSneaky =
+    "<peppher-interface name=\"sneaky\">\n"
+    "  <function returnType=\"void\">\n"
+    "    <param name=\"n\" type=\"int\" accessMode=\"read\"/>\n"
+    "    <param name=\"x\" type=\"float*\" accessMode=\"read\" size=\"n\"/>\n"
+    "  </function>\n"
+    "</peppher-interface>\n";
+
+std::string impl_xml(const std::string& name, const std::string& iface,
+                     const std::string& language) {
+  return "<peppher-implementation name=\"" + name + "\" interface=\"" + iface +
+         "\">\n  <platform language=\"" + language +
+         "\"/>\n</peppher-implementation>\n";
+}
+
+/// Repository with all four interfaces, each with a host (cpu) variant
+/// unless remapped: `device_ifaces` get a cuda variant *instead*.
+desc::Repository make_repo(const std::string& main_xml,
+                           const std::vector<std::string>& device_ifaces = {}) {
+  desc::Repository repo;
+  repo.load_text(kProducer);
+  repo.load_text(kAxpy);
+  repo.load_text(kConsumer);
+  repo.load_text(kSneaky);
+  for (const char* iface : {"init", "axpy", "consume", "sneaky"}) {
+    const bool device = std::find(device_ifaces.begin(), device_ifaces.end(),
+                                  iface) != device_ifaces.end();
+    repo.load_text(impl_xml(std::string(iface) + (device ? "_cuda" : "_cpu"),
+                            iface, device ? "cuda" : "cpu"));
+  }
+  repo.load_text(main_xml, {}, "main.xml");
+  return repo;
+}
+
+std::string main_with_calls(const std::string& calls) {
+  return "<peppher-main name=\"app\" source=\"main.cpp\">\n<calls>\n" + calls +
+         "</calls>\n</peppher-main>\n";
+}
+
+int count_code(const VerifyResult& result, const std::string& code) {
+  int n = 0;
+  for (const diag::Diagnostic& d : result.bag.diagnostics()) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+VerifyResult verify(const std::string& calls,
+                    const std::vector<std::string>& device_ifaces = {}) {
+  const desc::Repository repo = make_repo(main_with_calls(calls), device_ifaces);
+  return verify_main(repo);
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint behaviour
+// ---------------------------------------------------------------------------
+
+TEST(Verify, EmptyRepositoryVerifiesClean) {
+  desc::Repository repo;
+  const VerifyResult result = verify_main(repo);
+  EXPECT_TRUE(result.bag.empty());
+  EXPECT_TRUE(result.fixpoint_reached);
+}
+
+TEST(Verify, StraightLineProgramVerifiesClean) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<call interface=\"axpy\"><arg param=\"x\" data=\"v\"/>"
+      "<arg param=\"y\" data=\"out\"/></call>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"out\"/></call>\n");
+  EXPECT_TRUE(result.bag.empty()) << result.bag.format_text();
+  EXPECT_TRUE(result.fixpoint_reached);
+  EXPECT_GT(result.steps, 0);
+}
+
+TEST(Verify, NestedControlFlowReachesFixpointClean) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<loop count=\"8\">\n"
+      "  <if>\n"
+      "    <call interface=\"axpy\"><arg param=\"x\" data=\"v\"/>"
+      "<arg param=\"y\" data=\"acc\"/></call>\n"
+      "  <else>\n"
+      "    <loop count=\"2\">\n"
+      "      <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "    </loop>\n"
+      "  </else>\n"
+      "  </if>\n"
+      "</loop>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_TRUE(result.bag.empty()) << result.bag.format_text();
+  EXPECT_TRUE(result.fixpoint_reached);
+}
+
+TEST(Verify, MixedPlacementForksWorldsAndStaysClean) {
+  // consume has only a cuda variant: the read forces a device fetch; the
+  // host-pinned producer then writes again. Straight-line, correct, and the
+  // abstract state must cover both the fetched and re-invalidated worlds.
+  const VerifyResult result =
+      verify("<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+             "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+             "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+             "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n",
+             {"consume"});
+  EXPECT_TRUE(result.bag.empty()) << result.bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PL060 — branch-divergent initialisation
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PL060FlagsReadOfBranchDependentInit) {
+  const VerifyResult result = verify(
+      "<if>\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "</if>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL060"), 1) << result.bag.format_text();
+}
+
+TEST(Verify, PL060SilentWhenBothBranchesInitialise) {
+  const VerifyResult result = verify(
+      "<if>\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<else>\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "</else>\n"
+      "</if>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL060"), 0) << result.bag.format_text();
+}
+
+TEST(Verify, PL060SilentForAppInitialisedAccumulator) {
+  // No pure write ever touches 'acc': the application initialises it, and
+  // the loop's readwrite accumulation is the intended pattern.
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<loop count=\"4\">\n"
+      "  <call interface=\"axpy\"><arg param=\"x\" data=\"v\"/>"
+      "<arg param=\"y\" data=\"acc\"/></call>\n"
+      "</loop>\n");
+  EXPECT_EQ(count_code(result, "PL060"), 0) << result.bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PL061 — redundant prefetch
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PL061FlagsPrefetchOfAlreadyValidReplica) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<prefetch data=\"v\" on=\"host\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL061"), 1) << result.bag.format_text();
+}
+
+TEST(Verify, PL061SilentForUsefulPrefetch) {
+  // The host-side producer leaves the device replica invalid; warming it
+  // ahead of the device-only consumer is exactly what <prefetch> is for.
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<prefetch data=\"v\" on=\"device\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n",
+      {"consume"});
+  EXPECT_EQ(count_code(result, "PL061"), 0) << result.bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PL062 — dead write on every path
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PL062FlagsWriteOverwrittenOnEveryPath) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<if>\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<else>\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "</else>\n"
+      "</if>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL062"), 1) << result.bag.format_text();
+}
+
+TEST(Verify, PL062SilentWhenSomePathReadsTheWrite) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<if>\n"
+      "  <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "</if>\n"
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL062"), 0) << result.bag.format_text();
+}
+
+TEST(Verify, PL062SilentForFinalOutputWrite) {
+  // The last write of a program is its output; unread is not dead.
+  const VerifyResult result = verify(
+      "<loop count=\"2\">\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "  <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "</loop>\n"
+      "<call interface=\"init\"><arg param=\"y\" data=\"out\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL062"), 0) << result.bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PL063 — partition without unpartition
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PL063FlagsUnclosedPartitionOnSomePath) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<partition data=\"v\" parts=\"4\"/>\n"
+      "<if>\n"
+      "  <unpartition data=\"v\"/>\n"
+      "</if>\n");
+  EXPECT_EQ(count_code(result, "PL063"), 1) << result.bag.format_text();
+}
+
+TEST(Verify, PL063SilentForBalancedPartition) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<partition data=\"v\" parts=\"4\"/>\n"
+      "<unpartition data=\"v\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL063"), 0) << result.bag.format_text();
+  EXPECT_EQ(count_code(result, "PL066"), 0) << result.bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PL064 — loop-carried cross-architecture ping-pong
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PL064FlagsLoopCarriedPingPong) {
+  // Host-pinned producer, device-pinned consumer, every iteration: the
+  // replica bounces across the link and prefetch can never hide it.
+  const VerifyResult result = verify(
+      "<loop count=\"10\">\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "  <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "</loop>\n",
+      {"consume"});
+  EXPECT_EQ(count_code(result, "PL064"), 1) << result.bag.format_text();
+}
+
+TEST(Verify, PL064SilentWhenCoLocated) {
+  const VerifyResult result = verify(
+      "<loop count=\"10\">\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "  <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "</loop>\n");
+  EXPECT_EQ(count_code(result, "PL064"), 0) << result.bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PL065 — path-dependent hidden-write race
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PL065FlagsHiddenWriteJoiningReadWindow) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<if>\n"
+      "  <call interface=\"sneaky\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "</if>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL065"), 1) << result.bag.format_text();
+}
+
+TEST(Verify, PL065SilentWithoutHiddenWrites) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<if>\n"
+      "  <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "</if>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL065"), 0) << result.bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PL066 — partition protocol violations
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PL066FlagsAccessWhilePartitioned) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<partition data=\"v\" parts=\"2\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "<unpartition data=\"v\"/>\n");
+  EXPECT_EQ(count_code(result, "PL066"), 1) << result.bag.format_text();
+}
+
+TEST(Verify, PL066FlagsDoublePartitionAndStrayUnpartition) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<partition data=\"v\" parts=\"2\"/>\n"
+      "<partition data=\"v\" parts=\"2\"/>\n"
+      "<unpartition data=\"v\"/>\n"
+      "<unpartition data=\"v\"/>\n"
+      "<unpartition data=\"v\"/>\n");
+  EXPECT_GE(count_code(result, "PL066"), 2) << result.bag.format_text();
+}
+
+TEST(Verify, PL066SilentForProperLifecycle) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<partition data=\"v\" parts=\"2\"/>\n"
+      "<unpartition data=\"v\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL066"), 0) << result.bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PL069 — fixpoint budget
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PL069FiresWhenBudgetExhausted) {
+  const desc::Repository repo = make_repo(main_with_calls(
+      "<loop count=\"4\">\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "  <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "</loop>\n"));
+  LintOptions options;
+  options.verify_max_steps = 1;
+  const VerifyResult result = verify_main(repo, options);
+  EXPECT_EQ(count_code(result, "PL069"), 1) << result.bag.format_text();
+  EXPECT_FALSE(result.fixpoint_reached);
+}
+
+TEST(Verify, PL069SilentUnderTheDefaultBudget) {
+  const VerifyResult result = verify(
+      "<loop count=\"4\">\n"
+      "  <loop count=\"4\">\n"
+      "    <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "    <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+      "  </loop>\n"
+      "</loop>\n");
+  EXPECT_EQ(count_code(result, "PL069"), 0) << result.bag.format_text();
+  EXPECT_TRUE(result.fixpoint_reached);
+}
+
+// ---------------------------------------------------------------------------
+// run_lint integration: opt-in for straight lines, automatic for control flow
+// ---------------------------------------------------------------------------
+
+TEST(Verify, RunLintRunsVerifierAutomaticallyForControlFlow) {
+  const desc::Repository repo = make_repo(main_with_calls(
+      "<if>\n"
+      "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "</if>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"));
+  LintOptions options;
+  options.check_sources = false;
+  const diag::DiagnosticBag bag = analyze::run_lint(repo, options);
+  int pl060 = 0;
+  for (const diag::Diagnostic& d : bag.diagnostics()) {
+    if (d.code == "PL060") ++pl060;
+  }
+  EXPECT_EQ(pl060, 1) << bag.format_text();
+}
+
+TEST(Verify, RunLintNeedsOptInForStraightLine) {
+  const desc::Repository repo = make_repo(main_with_calls(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<prefetch data=\"v\" on=\"host\"/>\n"));
+  LintOptions options;
+  options.check_sources = false;
+  // Wait — a <prefetch> is a statement, not control flow; the descriptor
+  // stays straight-line and the verifier must not run un-asked.
+  diag::DiagnosticBag bag = analyze::run_lint(repo, options);
+  EXPECT_TRUE(std::none_of(
+      bag.diagnostics().begin(), bag.diagnostics().end(),
+      [](const diag::Diagnostic& d) { return d.code == "PL061"; }))
+      << bag.format_text();
+  options.verify = true;
+  bag = analyze::run_lint(repo, options);
+  EXPECT_TRUE(std::any_of(
+      bag.diagnostics().begin(), bag.diagnostics().end(),
+      [](const diag::Diagnostic& d) { return d.code == "PL061"; }))
+      << bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// Abstract states and the verify_shadow cross-validation
+// ---------------------------------------------------------------------------
+
+TEST(Verify, PublishesAbstractStatesPerCallPoint) {
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  ASSERT_TRUE(result.states.count(0));
+  ASSERT_TRUE(result.states.count(1));
+  // Before the first call every container sits host-Owned (registration).
+  EXPECT_TRUE(result.admits(0, "v", 0, rt::ReplicaState::kOwned));
+  EXPECT_FALSE(result.admits(0, "v", 0, rt::ReplicaState::kInvalid));
+  // After the host-side producer the device replica is still invalid.
+  EXPECT_TRUE(result.admits(1, "v", 1, rt::ReplicaState::kInvalid));
+  // Unknown points and containers are never admitted.
+  EXPECT_FALSE(result.admits(7, "v", 0, rt::ReplicaState::kOwned));
+  EXPECT_FALSE(result.admits(0, "nope", 0, rt::ReplicaState::kOwned));
+}
+
+/// Builds the runtime counterpart of the two-call descriptor program and
+/// checks every verify_shadow observation is admitted by the verifier's
+/// abstract state for the same program point. Synchronous submission keeps
+/// the concrete execution in program order, matching the CFG.
+void cross_validate(rt::Arch arch, const std::vector<std::string>& device) {
+  const desc::Repository repo = make_repo(main_with_calls(
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<call interface=\"axpy\"><arg param=\"x\" data=\"v\"/>"
+      "<arg param=\"y\" data=\"acc\"/></call>\n"),
+      device);
+  const VerifyResult abstract = verify_main(repo);
+  ASSERT_TRUE(abstract.fixpoint_reached);
+
+  rt::EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.use_history_models = false;
+  config.verify_shadow = true;
+  rt::Engine engine(config);
+
+  std::vector<float> v(32, 0.0f), acc(32, 1.0f);
+  auto hv = engine.register_buffer(v.data(), v.size() * sizeof(float),
+                                   sizeof(float));
+  auto hacc = engine.register_buffer(acc.data(), acc.size() * sizeof(float),
+                                     sizeof(float));
+
+  rt::Codelet init("init");
+  {
+    rt::Implementation impl;
+    impl.arch = arch;
+    impl.name = "init_" + rt::to_string(arch);
+    impl.fn = [](rt::ExecContext& ctx) {
+      auto* y = ctx.buffer_as<float>(0);
+      for (std::size_t i = 0; i < ctx.elements(0); ++i) y[i] = 2.0f;
+    };
+    init.add_impl(std::move(impl));
+  }
+  rt::Codelet axpy("axpy");
+  {
+    rt::Implementation impl;
+    impl.arch = arch;
+    impl.name = "axpy_" + rt::to_string(arch);
+    impl.fn = [](rt::ExecContext& ctx) {
+      const auto* x = ctx.buffer_as<const float>(0);
+      auto* y = ctx.buffer_as<float>(1);
+      for (std::size_t i = 0; i < ctx.elements(1); ++i) y[i] += x[i];
+    };
+    axpy.add_impl(std::move(impl));
+  }
+
+  rt::TaskSpec s0;
+  s0.codelet = &init;
+  s0.operands = {{hv, rt::AccessMode::kWrite}};
+  s0.synchronous = true;
+  s0.verify_point = 0;
+  engine.submit(std::move(s0));
+
+  rt::TaskSpec s1;
+  s1.codelet = &axpy;
+  s1.operands = {{hv, rt::AccessMode::kRead},
+                 {hacc, rt::AccessMode::kReadWrite}};
+  s1.synchronous = true;
+  s1.verify_point = 1;
+  engine.submit(std::move(s1));
+  engine.wait_for_all();
+
+  EXPECT_GT(engine.shadow_checks(), 0u);
+  const std::vector<rt::ShadowRecord> log = engine.shadow_log();
+  ASSERT_EQ(log.size(), 3u);  // one record per operand per task
+  const char* const operand_names[2][2] = {{"v", nullptr}, {"v", "acc"}};
+  for (const rt::ShadowRecord& record : log) {
+    ASSERT_GE(record.verify_point, 0);
+    ASSERT_LE(record.verify_point, 1);
+    ASSERT_LT(record.operand, 2u);
+    const char* data = operand_names[record.verify_point][record.operand];
+    ASSERT_NE(data, nullptr);
+    const int abstract_node = record.node == rt::kHostNode ? 0 : 1;
+    EXPECT_TRUE(
+        abstract.admits(record.verify_point, data, abstract_node, record.state))
+        << "task " << record.task_name << " operand " << record.operand
+        << " on node " << record.node << " observed '"
+        << rt::to_string(record.state)
+        << "' which no abstract world at point " << record.verify_point
+        << " admits";
+  }
+}
+
+TEST(Verify, ShadowLogMatchesAbstractStatesOnTheHost) {
+  cross_validate(rt::Arch::kCpu, {});
+}
+
+TEST(Verify, ShadowLogMatchesAbstractStatesOnTheDevice) {
+  cross_validate(rt::Arch::kCuda, {"init", "axpy"});
+}
+
+// ---------------------------------------------------------------------------
+// verify_shadow runtime behaviour
+// ---------------------------------------------------------------------------
+
+TEST(VerifyShadow, CleanPipelineRunsWithoutDivergence) {
+  rt::EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.use_history_models = false;
+  config.verify_shadow = true;
+  rt::Engine engine(config);
+
+  std::vector<float> data(64, 1.0f);
+  auto handle = engine.register_buffer(data.data(), data.size() * sizeof(float),
+                                       sizeof(float));
+  rt::Codelet codelet("scale");
+  for (rt::Arch arch : {rt::Arch::kCpu, rt::Arch::kCuda}) {
+    rt::Implementation impl;
+    impl.arch = arch;
+    impl.name = "scale_" + rt::to_string(arch);
+    impl.fn = [](rt::ExecContext& ctx) {
+      auto* d = ctx.buffer_as<float>(0);
+      for (std::size_t i = 0; i < ctx.elements(0); ++i) d[i] *= 2.0f;
+    };
+    codelet.add_impl(std::move(impl));
+  }
+  for (int i = 0; i < 8; ++i) {
+    rt::TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, rt::AccessMode::kReadWrite}};
+    spec.forced_arch = i % 2 == 0 ? rt::Arch::kCpu : rt::Arch::kCuda;
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  engine.acquire_host(handle, rt::AccessMode::kRead);
+  for (float vv : data) EXPECT_FLOAT_EQ(vv, 256.0f);  // 2^8
+  EXPECT_GT(engine.shadow_checks(), 0u);
+}
+
+TEST(VerifyShadow, RejectsFaultInjectionCombination) {
+  rt::EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.use_history_models = false;
+  config.verify_shadow = true;
+  sim::FaultPlan plan;
+  plan.transfer_failure_rate = 0.5;
+  config.accelerator_faults = {plan};
+  try {
+    rt::Engine engine(config);
+    FAIL() << "verify_shadow + fault injection must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupported);
+  }
+}
+
+}  // namespace
+}  // namespace peppher

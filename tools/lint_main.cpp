@@ -14,9 +14,14 @@
 //                              same narrowing switch the compose tool takes
 //   --no-sources               skip parsing implementation sources (descriptor
 //                              and hazard checks only)
+//   --verify                   run the coherence verifier (PL060..PL069) even
+//                              for straight-line call sequences; main modules
+//                              with <loop>/<if> are always verified
+//   --explain=PLxxx            print the code's severity, summary and
+//                              remediation from the registry, then exit
 //
 // Exit status: 0 clean (or findings below the failure threshold), 1 fatal
-// findings, 2 usage error.
+// findings, 2 usage error (or unknown --explain code).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -36,8 +41,26 @@ int usage(std::ostream& out) {
          "  --werror\n"
          "  --machine=<c2050|c1060|opencl|cpu>\n"
          "  --disableImpls=<name|arch>[,...]\n"
-         "  --no-sources\n";
+         "  --no-sources\n"
+         "  --verify\n"
+         "  --explain=PLxxx\n";
   return 2;
+}
+
+/// `peppher-lint --explain PL031`: the registry is the single source of
+/// truth for code metadata, so this prints exactly what docs/lint.md
+/// documents (a test keeps the two in sync).
+int explain(const std::string& code) {
+  const diag::CodeInfo* info = diag::find_code(code);
+  if (info == nullptr) {
+    std::cerr << "peppher-lint: unknown diagnostic code '" << code
+              << "' (codes are PL000..PL069; see docs/lint.md)\n";
+    return 2;
+  }
+  std::cout << info->code << " (" << diag::to_string(info->severity)
+            << "): " << info->summary << "\n\n"
+            << info->remediation << "\n";
+  return 0;
 }
 
 bool match_switch(const std::string& arg, std::string_view key,
@@ -84,6 +107,11 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "-no-sources" || arg == "--no-sources") {
       options.check_sources = false;
+    } else if (arg == "-verify" || arg == "--verify") {
+      options.verify = true;
+    } else if (match_switch(arg, "explain", &value)) {
+      if (value.empty() && i + 1 < argc) value = argv[++i];
+      return explain(value);
     } else if (match_switch(arg, "format", &value)) {
       if (value != "text" && value != "json" && value != "sarif") {
         std::cerr << "peppher-lint: unknown format '" << value << "'\n";

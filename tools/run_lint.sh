@@ -6,7 +6,10 @@
 #   2. seeds a signature fault into the generated sources and checks the
 #      lint catches it (stable code PL002, non-zero exit);
 #   3. checks the JSON and SARIF renderers emit parseable output;
-#   4. if clang-tidy is installed and the build exported
+#   4. runs the coherence verifier (peppher-verify) over a control-flow
+#      main module: a correct one must pass `--verify --werror`, and a
+#      seeded branch-divergent initialisation must be caught as PL060;
+#   5. if clang-tidy is installed and the build exported
 #      compile_commands.json, runs it over src/analyze with the repo's
 #      .clang-tidy configuration (advisory: failures are reported but do
 #      not fail the smoke run, since the installed clang-tidy version
@@ -61,6 +64,71 @@ else
   grep -q "PL002" "${workdir}/out.json"
   grep -q "2.1.0" "${workdir}/out.sarif"
 fi
+
+echo "== coherence verifier: clean control-flow main must pass --verify --werror"
+verifydir="${workdir}/verify"
+mkdir -p "${verifydir}"
+cat > "${verifydir}/init.xml" <<'EOF'
+<peppher-interface name="init">
+  <function returnType="void">
+    <param name="n" type="int" accessMode="read"/>
+    <param name="y" type="float*" accessMode="write" size="n"/>
+  </function>
+</peppher-interface>
+EOF
+cat > "${verifydir}/consume.xml" <<'EOF'
+<peppher-interface name="consume">
+  <function returnType="void">
+    <param name="n" type="int" accessMode="read"/>
+    <param name="x" type="const float*" accessMode="read" size="n"/>
+  </function>
+</peppher-interface>
+EOF
+cat > "${verifydir}/init_cpu.xml" <<'EOF'
+<peppher-implementation name="init_cpu" interface="init">
+  <platform language="cpu"/>
+</peppher-implementation>
+EOF
+cat > "${verifydir}/consume_cpu.xml" <<'EOF'
+<peppher-implementation name="consume_cpu" interface="consume">
+  <platform language="cpu"/>
+</peppher-implementation>
+EOF
+cat > "${verifydir}/main.xml" <<'EOF'
+<peppher-main name="verify_smoke" source="main.cpp">
+  <calls>
+    <call interface="init"><arg param="y" data="v"/></call>
+    <loop count="4">
+      <if>
+        <call interface="consume"><arg param="x" data="v"/></call>
+      <else>
+        <call interface="consume"><arg param="x" data="v"/></call>
+      </else>
+      </if>
+    </loop>
+  </calls>
+</peppher-main>
+EOF
+"${lint_bin}" --verify --werror --no-sources "${verifydir}"
+
+echo "== seeded branch-divergent initialisation must be caught as PL060"
+cat > "${verifydir}/main.xml" <<'EOF'
+<peppher-main name="verify_smoke" source="main.cpp">
+  <calls>
+    <if>
+      <call interface="init"><arg param="y" data="v"/></call>
+    </if>
+    <call interface="consume"><arg param="x" data="v"/></call>
+  </calls>
+</peppher-main>
+EOF
+if "${lint_bin}" --werror --no-sources "${verifydir}" \
+    > "${workdir}/verify_findings.txt"; then
+  echo "run_lint.sh: verifier accepted a branch-divergent initialisation" >&2
+  cat "${workdir}/verify_findings.txt" >&2
+  exit 1
+fi
+grep -q "PL060" "${workdir}/verify_findings.txt"
 
 if command -v clang-tidy > /dev/null; then
   compile_db=""
