@@ -71,6 +71,35 @@ void BM_TaskOverheadPipelined(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskOverheadPipelined)->Arg(256)->Unit(benchmark::kMicrosecond);
 
+/// Same pipeline with full tracing on: the trace hot path must stay within
+/// a few percent of the traced-off baseline above.
+void BM_TaskOverheadPipelinedTraced(benchmark::State& state) {
+  rt::EngineConfig config = cpu_config();
+  config.enable_trace = true;
+  rt::Engine engine(config);
+  float payload = 0.0f;
+  auto handle = engine.register_buffer(&payload, sizeof(float), sizeof(float));
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      rt::TaskSpec spec;
+      spec.codelet = &empty_codelet();
+      spec.operands = {{handle, rt::AccessMode::kReadWrite}};
+      engine.submit(std::move(spec));
+    }
+    engine.wait_for_all();
+    // Benchmark hygiene, not steady-state tracing cost: a real run keeps
+    // its records until export. Reset outside the timed region.
+    state.PauseTiming();
+    engine.trace().clear();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TaskOverheadPipelinedTraced)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
 /// Independent tasks (no shared operand): dependency-free scheduling cost.
 void BM_TaskOverheadIndependent(benchmark::State& state) {
   rt::Engine engine(cpu_config("ws"));

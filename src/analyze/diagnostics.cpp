@@ -339,6 +339,36 @@ const std::vector<CodeInfo>& all_codes() {
        "Internal limit of the coherence verifier (the abstract state kept "
        "growing); simplify the <calls> section or report a bug with the "
        "descriptor attached."},
+      // Runtime-trace analyses (peppher-perf, docs/perf.md). These operate
+      // on recorded executions rather than descriptors, so their
+      // "location" is a program point named in the message.
+      {"PF001", Severity::kWarning, "device imbalance inside a worker class",
+       "One worker of a class of equivalent devices carries almost all of "
+       "the class's busy time while a peer idles. Break serial task chains "
+       "at the dominant program point, raise parallelism, or shrink the "
+       "machine profile to match the schedule."},
+      {"PF002", Severity::kWarning, "transfer-bound phase",
+       "A phase spends more virtual time on interconnect lanes than on "
+       "compute. Keep data resident across the phase, batch transfers so "
+       "they coalesce, or overlap movement with kernels via prefetching."},
+      {"PF003", Severity::kNote, "prefetcher mostly missing",
+       "Most enqueued prefetches were skipped before completing; hints go "
+       "stale before the copy engine reaches them. Check that placements "
+       "are stable (history models calibrated) or disable prefetching."},
+      {"PF004", Severity::kNote, "prefetches skipped stale under a writer",
+       "Prefetches found an in-flight writer on the datum and backed off. "
+       "Harmless for correctness, but the schedule hints reads while the "
+       "producing task still runs; widen the dependency or hint later."},
+      {"PF005", Severity::kWarning, "scheduler cost-model misprediction",
+       "Predicted completion times diverge from observed ones for a large "
+       "share of placements, so dmda-style decisions are built on sand. "
+       "Calibrate history models on this machine, or fix the cost "
+       "functions of the worst program point named in the message."},
+      {"PF006", Severity::kWarning, "runtime loop-carried ping-pong",
+       "A datum's executing memory node alternated many times, paying a "
+       "bus round trip per bounce — the dynamic twin of PL052/PL064. Pin "
+       "the datum to one side, provide a missing variant, or fuse the "
+       "alternating program points."},
   };
   return kCodes;
 }

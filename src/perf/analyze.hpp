@@ -1,0 +1,60 @@
+// Bottleneck analysis over a parsed runtime trace (the peppher-perf tool).
+//
+// analyze_trace builds a performance abstraction of the run — per-worker
+// busy time grouped by peer class, per-phase compute vs transfer budgets,
+// prefetch outcomes, predicted vs observed completion times, and
+// per-datum placement histories keyed by the descriptor/verify program
+// points the static layer uses — and reports findings through the same
+// diag::DiagnosticBag engine as peppher-lint, under the PF0xx code range
+// (catalogued in docs/perf.md):
+//   PF001  device imbalance inside a class of equivalent workers
+//   PF002  transfer-bound phase (PCIe busy exceeds compute busy)
+//   PF003  prefetcher mostly missing (skip ratio)
+//   PF004  prefetches skipped stale under in-flight writers
+//   PF005  scheduler cost-model misprediction (estimated vs actual)
+//   PF006  loop-carried ping-pong observed at runtime (dynamic twin of
+//          the static PL052/PL064 placement checks)
+#pragma once
+
+#include "analyze/diagnostics.hpp"
+#include "perf/trace.hpp"
+
+namespace peppher::perf {
+
+/// Tunable thresholds of the analyses. The defaults are deliberately
+/// conservative: a diagnosis should mean "worth a look", not "noise".
+struct AnalysisOptions {
+  /// PF001 fires when one worker holds at least this share of its class's
+  /// busy time while the least-loaded peer holds at most `idle_share`.
+  double dominant_share = 0.70;
+  double idle_share = 0.15;
+
+  /// PF002 fires when transfer busy-seconds exceed compute busy-seconds
+  /// by this factor within a phase.
+  double transfer_bound_ratio = 1.0;
+
+  /// PF003 fires when at least `min_prefetches` were enqueued and more
+  /// than `miss_ratio` of them were skipped.
+  int min_prefetches = 8;
+  double miss_ratio = 0.5;
+
+  /// PF005 counts a decision as mispredicted when the relative error
+  /// exceeds `mispredict_rel` AND the absolute error exceeds
+  /// `mispredict_abs` seconds; it fires when at least `mispredict_share`
+  /// of (non-exploration) decisions mispredict, with a minimum sample.
+  double mispredict_rel = 0.5;
+  double mispredict_abs = 1e-3;
+  double mispredict_share = 0.25;
+  int min_decisions = 4;
+
+  /// PF006 fires when one datum's executing memory node alternates at
+  /// least this many times across the (sequence-ordered) tasks using it.
+  int min_alternations = 4;
+};
+
+/// Runs every analysis over `trace` and returns the findings, sorted in
+/// the bag's stable order. Never throws on a structurally valid trace.
+diag::DiagnosticBag analyze_trace(const Trace& trace,
+                                  const AnalysisOptions& options = {});
+
+}  // namespace peppher::perf

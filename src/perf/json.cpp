@@ -1,0 +1,283 @@
+#include "perf/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace peppher::perf {
+namespace {
+
+/// Recursive-descent parser over a string_view, tracking 1-based
+/// line/column so every error (and every value) is located.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  // Fuzzed inputs can nest arbitrarily deep; bound recursion well below
+  // any real stack limit so "[[[[..." is a ParseError, not a crash.
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, line_, column_);
+  }
+
+  [[noreturn]] static void fail_at(const std::string& message,
+                                   const JsonValue& value) {
+    throw ParseError(message, value.line, value.column);
+  }
+
+  bool at_end() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  void expect(char wanted, const char* in_what) {
+    if (at_end()) fail(std::string("unexpected end of input in ") + in_what);
+    const char c = advance();
+    if (c != wanted) {
+      fail(std::string("expected '") + wanted + "' in " + in_what);
+    }
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("JSON nesting too deep");
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input, expected a value");
+    JsonValue value;
+    value.line = line_;
+    value.column = column_;
+    switch (peek()) {
+      case '{':
+        parse_object(value, depth);
+        return value;
+      case '[':
+        parse_array(value, depth);
+        return value;
+      case '"':
+        value.kind = JsonValue::Kind::kString;
+        value.string = parse_string();
+        return value;
+      case 't':
+        parse_literal("true");
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = true;
+        return value;
+      case 'f':
+        parse_literal("false");
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = false;
+        return value;
+      case 'n':
+        parse_literal("null");
+        value.kind = JsonValue::Kind::kNull;
+        return value;
+      default:
+        value.kind = JsonValue::Kind::kNumber;
+        value.number = parse_number();
+        return value;
+    }
+  }
+
+  void parse_literal(std::string_view word) {
+    for (const char wanted : word) {
+      if (at_end() || peek() != wanted) {
+        fail("unrecognised literal, expected '" + std::string(word) + "'");
+      }
+      advance();
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') advance();
+    bool saw_digit = false;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      advance();
+      saw_digit = true;
+    }
+    if (!at_end() && peek() == '.') {
+      advance();
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        advance();
+        saw_digit = true;
+      }
+    }
+    if (!saw_digit) fail("malformed number");
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) advance();
+      bool exp_digit = false;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        advance();
+        exp_digit = true;
+      }
+      if (!exp_digit) fail("malformed number exponent");
+    }
+    // The slice was validated character by character above, so strtod
+    // cannot read past it; the copy keeps it NUL-terminated.
+    const std::string slice(text_.substr(start, pos_ - start));
+    return std::strtod(slice.c_str(), nullptr);
+  }
+
+  std::string parse_string() {
+    expect('"', "string");
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) fail("unterminated escape sequence");
+      const char esc = advance();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) fail("unterminated \\u escape");
+      const char c = advance();
+      code <<= 4U;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("non-hex digit in \\u escape");
+      }
+    }
+    // UTF-8 encode. Lone surrogates are replaced rather than rejected:
+    // the trace producer never emits them and ingestion must not crash.
+    if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0U | (code >> 6U)));
+      out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+    } else {
+      out.push_back(static_cast<char>(0xE0U | (code >> 12U)));
+      out.push_back(static_cast<char>(0x80U | ((code >> 6U) & 0x3FU)));
+      out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+    }
+  }
+
+  void parse_array(JsonValue& value, int depth) {
+    value.kind = JsonValue::Kind::kArray;
+    expect('[', "array");
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      advance();
+      return;
+    }
+    while (true) {
+      value.array.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array");
+      const char c = advance();
+      if (c == ']') return;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  void parse_object(JsonValue& value, int depth) {
+    value.kind = JsonValue::Kind::kObject;
+    expect('{', "object");
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      advance();
+      return;
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':', "object member");
+      value.object.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated object");
+      const char c = advance();
+      if (c == '}') return;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  for (const auto& [name, member] : object) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+std::string_view JsonValue::kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace peppher::perf

@@ -1,0 +1,63 @@
+// Minimal JSON reader for the peppher-perf trace ingestion path.
+//
+// The runtime writes traces (Engine::trace_json, docs/perf.md) and this
+// subsystem reads them back — possibly after a trip through disk, CI
+// artifacts or a foreign producer — so the parser is written defensively:
+// every value carries the 1-based line/column where it started, and all
+// failures throw peppher::ParseError with that location instead of
+// crashing or silently truncating. A fuzz suite (tests/test_fuzz.cpp)
+// exercises exactly this contract.
+//
+// Deliberately small: objects are ordered vectors (traces are read once,
+// not queried repeatedly), numbers are doubles (the schema's integers fit
+// in the 53-bit mantissa), and there is no writer — the runtime already
+// owns serialisation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace peppher::perf {
+
+/// One parsed JSON value. Exactly one of the payload members is
+/// meaningful, selected by `kind`; the others stay default-initialised.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered members; duplicate keys are kept (first one wins
+  /// in find()) so validation can flag them if it cares.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// 1-based position of the value's first character in the source text;
+  /// validation errors reuse it so they point at the offending value.
+  int line = 1;
+  int column = 1;
+
+  /// First member named `key`, or nullptr. Only meaningful for objects.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Human-readable kind name ("object", "number", ...), for error text.
+  static std::string_view kind_name(Kind kind) noexcept;
+};
+
+/// Parses a complete JSON document. Trailing non-whitespace, unterminated
+/// strings/containers, bad escapes, bad numbers and over-deep nesting all
+/// throw ParseError carrying the 1-based line/column of the problem.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace peppher::perf

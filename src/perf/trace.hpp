@@ -1,0 +1,102 @@
+// In-memory model of a peppher-trace document (schema v1, docs/perf.md)
+// plus the validating reader that turns Engine::trace_json output — or any
+// foreign producer of the schema — back into structs the analyses consume.
+//
+// parse_trace is strict: wrong schema tag, unsupported version, unknown
+// sections or enum values, type mismatches and non-monotonic timelines are
+// all located ParseErrors (1-based line/column of the offending value),
+// never crashes or silent best-effort repairs. Its structs mirror the JSON
+// field-for-field so docs/perf.md stays the single description of both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace peppher::perf {
+
+/// One engine worker row ("workers" section).
+struct TraceWorker {
+  int id = -1;
+  std::string name;  ///< device profile name, e.g. "tesla-c2050"
+  std::string arch;  ///< "cpu", "cpu_omp", "cuda", "opencl"
+  int node = 0;      ///< memory node the worker executes against
+  bool combined = false;  ///< the all-CPU-cores fork-join worker
+};
+
+/// One task execution attempt ("tasks" section).
+struct TraceTask {
+  std::uint64_t sequence = 0;
+  std::string name;
+  std::string impl;
+  std::string arch;
+  int worker = -1;
+  double vstart = 0.0;
+  double vend = 0.0;
+  double exec = 0.0;  ///< kernel seconds, excludes queueing
+  int attempt = 0;
+  bool failed = false;
+  int point = -1;  ///< descriptor/verify program point, -1 when untagged
+  std::vector<std::uint64_t> data;  ///< operand data ids
+};
+
+/// One PCIe hop ("transfers" section).
+struct TraceTransfer {
+  int lane = 0;
+  std::uint64_t order = 0;  ///< per-lane sequence number
+  int from = 0;
+  int to = 0;
+  std::uint64_t bytes = 0;
+  double vstart = 0.0;
+  double vend = 0.0;
+  bool coalesced = false;
+  std::uint64_t burst = 0;  ///< coalesced-burst id, 0 = unattributed
+  std::uint64_t data = 0;
+};
+
+/// One prefetch lifecycle event ("prefetches" section).
+struct TracePrefetch {
+  std::string event;   ///< "enqueued" | "completed" | "skipped"
+  std::string reason;  ///< skip reason, "none" unless event == "skipped"
+  std::uint64_t task = 0;
+  int node = 0;
+  std::uint64_t data = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One scheduler placement decision ("decisions" section).
+struct TraceDecision {
+  std::uint64_t task = 0;
+  int worker = -1;
+  bool explored = false;  ///< calibration placement, estimates meaningless
+  double estimate = -1.0;  ///< predicted completion vtime of the choice
+  /// Best predicted completion per architecture that had a candidate.
+  std::vector<std::pair<std::string, double>> arch_estimate;
+};
+
+/// One application phase marker ("phases" section).
+struct TracePhase {
+  std::string label;
+  double vtime = 0.0;
+};
+
+/// A full parsed trace document.
+struct Trace {
+  int version = 0;
+  std::string machine;
+  std::string scheduler;
+  double makespan = 0.0;
+  std::vector<TraceWorker> workers;
+  std::vector<TraceTask> tasks;
+  std::vector<TraceTransfer> transfers;
+  std::vector<TracePrefetch> prefetches;
+  std::vector<TraceDecision> decisions;
+  std::vector<TracePhase> phases;
+};
+
+/// Parses and validates a trace document; see the header comment for the
+/// failure contract. `text` is the full JSON document.
+Trace parse_trace(const std::string& text);
+
+}  // namespace peppher::perf

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/strings.hpp"
 
 namespace peppher::rt {
 namespace {
@@ -72,6 +74,9 @@ Engine::Engine(EngineConfig config)
 
   // Shadow coherence checking must be armed before any handle registration.
   if (config_.verify_shadow) data_.enable_shadow_checking();
+
+  // Transfer tracing hooks in before any worker (or transfer) exists.
+  if (config_.enable_trace) data_.set_tracer(&tracer_);
 
   WorkerId next_id = 0;
   for (int c = 0; c < cpu_count_; ++c) {
@@ -284,8 +289,17 @@ void Engine::enqueue_prefetches(const Task& task, WorkerId hint) {
       // point sees the transfer as already in flight. The push that chose
       // `hint` has already run, so its own estimate charged the fetch.
       op.handle->note_prefetch_queued(node);
-      prefetch_queue_.push_back(PrefetchRequest{op.handle, node});
+      prefetch_queue_.push_back(PrefetchRequest{op.handle, node, task.sequence});
       ++queued;
+      if (config_.enable_trace) {
+        PrefetchRecord record;
+        record.event = PrefetchEvent::kEnqueued;
+        record.task_sequence = task.sequence;
+        record.node = node;
+        record.data = op.handle->id();
+        record.bytes = op.handle->bytes();
+        tracer_.record_prefetch(record);
+      }
     }
   }
   if (queued == 0) return;
@@ -307,11 +321,25 @@ void Engine::prefetch_main() {
     lock.unlock();
 
     // On shutdown the remaining requests are only drained for their flags.
-    const bool fetched = !prefetch_stop_.load(std::memory_order_relaxed) &&
-                         service_prefetch(request);
+    const PrefetchSkipReason outcome =
+        prefetch_stop_.load(std::memory_order_relaxed)
+            ? PrefetchSkipReason::kShutdown
+            : service_prefetch(request);
     request.handle->note_prefetch_done(request.node);
+    const bool fetched = outcome == PrefetchSkipReason::kNone;
     (fetched ? prefetch_completed_ : prefetch_skipped_)
         .fetch_add(1, std::memory_order_relaxed);
+    if (config_.enable_trace) {
+      PrefetchRecord record;
+      record.event =
+          fetched ? PrefetchEvent::kCompleted : PrefetchEvent::kSkipped;
+      record.reason = outcome;
+      record.task_sequence = request.task_sequence;
+      record.node = request.node;
+      record.data = request.handle->id();
+      record.bytes = request.handle->bytes();
+      tracer_.record_prefetch(record);
+    }
 
     lock.lock();
     --prefetch_busy_;
@@ -321,7 +349,7 @@ void Engine::prefetch_main() {
   }
 }
 
-bool Engine::service_prefetch(const PrefetchRequest& request) {
+PrefetchSkipReason Engine::service_prefetch(const PrefetchRequest& request) {
   {
     std::lock_guard<std::mutex> lock(graph_mutex_);
     if (request.handle->last_writer != nullptr &&
@@ -329,19 +357,19 @@ bool Engine::service_prefetch(const PrefetchRequest& request) {
       // Raced by a later-submitted writer: the data this prefetch wanted is
       // being (or about to be) overwritten. Leave the replica invalid — the
       // writer's own invalidation must not be resurrected by a stale copy.
-      return false;
+      return PrefetchSkipReason::kWriterRace;
     }
   }
-  if (request.handle->is_partitioned() || request.handle->detached()) {
-    return false;
-  }
+  if (request.handle->is_partitioned()) return PrefetchSkipReason::kPartitioned;
+  if (request.handle->detached()) return PrefetchSkipReason::kDetached;
   try {
     request.handle->acquire(request.node, AccessMode::kRead, nullptr);
     request.handle->release(request.node);  // warm but unpinned: evictable
   } catch (...) {
-    return false;  // a failed prefetch is a lost hint, never an error
+    // A failed prefetch is a lost hint, never an error.
+    return PrefetchSkipReason::kTransferFailed;
   }
-  return true;
+  return PrefetchSkipReason::kNone;
 }
 
 void Engine::drain_prefetches() {
@@ -637,7 +665,19 @@ void Engine::dispatch_ready(const TaskPtr& task, bool* self_claim) {
     }
   }
   task->state.store(TaskState::kReady, std::memory_order_relaxed);
-  const WorkerId hint = scheduler_->push(task);
+  SchedDecision decision;
+  const WorkerId hint =
+      scheduler_->push(task, config_.enable_trace ? &decision : nullptr);
+  if (config_.enable_trace && hint != kNoWorkerHint) {
+    // Central queues (eager) place nothing at push time: no decision event.
+    DecisionRecord record;
+    record.task_sequence = task->sequence;
+    record.chosen = hint;
+    record.explored = decision.explored;
+    record.chosen_estimate = decision.chosen_estimate;
+    record.arch_estimate = decision.arch_estimate;
+    tracer_.record_decision(record);
+  }
   // The scheduler has committed the task to a worker: warm its read
   // operands on that worker's node while the task waits in the queue.
   if (prefetch_enabled_) enqueue_prefetches(*task, hint);
@@ -917,17 +957,10 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
   }
 
   if (config_.enable_trace) {
-    TaskRecord record;
-    record.sequence = task->sequence;
-    record.name = task->spec.name;
-    record.impl = impl->name;
-    record.arch = impl->arch;
-    record.worker = worker.desc.id;
-    record.vstart = task->vstart;
-    record.vend = task->vend;
-    record.attempt = attempt_index;
-    record.failed = task->failed();
-    tracer_.record(std::move(record));
+    // Allocation-free: snapshots the timing fields and keeps the TaskPtr /
+    // Implementation pointer; strings materialise only on trace export.
+    tracer_.record_task(task, impl, worker.desc.id, attempt_index,
+                        task->failed());
   }
 
   bool self_claim = false;
@@ -1333,6 +1366,136 @@ std::string Engine::summary() const {
   // Energy is routed through the same accessor the public API exposes so
   // the two can never drift apart.
   out << "\n  energy: " << energy_joules() << " J (virtual)\n";
+  return std::move(out).str();
+}
+
+// ---------------------------------------------------------------------------
+// machine-readable trace export (the peppher-perf schema, docs/perf.md)
+// ---------------------------------------------------------------------------
+
+void Engine::trace_phase(std::string label) {
+  if (!config_.enable_trace) return;
+  tracer_.record_phase(std::move(label),
+                       makespan_.load(std::memory_order_relaxed));
+}
+
+namespace {
+
+/// Minimal JSON string sanitiser, matching the Chrome exporter's idiom:
+/// names here are identifiers; quotes become apostrophes rather than
+/// escapes so both exporters agree.
+std::string json_name(const std::string& text) {
+  std::string out = strings::replace_all(text, "\\", "/");
+  return strings::replace_all(out, "\"", "'");
+}
+
+}  // namespace
+
+std::string Engine::trace_json() const {
+  // Stable order (sequence / lane order / recording order) so equal runs
+  // render byte-identical documents.
+  std::vector<TaskRecord> tasks = tracer_.records();
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const TaskRecord& a, const TaskRecord& b) {
+                     if (a.sequence != b.sequence) return a.sequence < b.sequence;
+                     return a.attempt < b.attempt;
+                   });
+  std::vector<TransferRecord> moves = tracer_.transfers();
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const TransferRecord& a, const TransferRecord& b) {
+                     if (a.lane != b.lane) return a.lane < b.lane;
+                     return a.lane_sequence < b.lane_sequence;
+                   });
+
+  std::ostringstream out;
+  out.precision(17);  // round-trippable doubles
+  out << "{\n"
+      << "  \"schema\": \"peppher-trace\",\n"
+      << "  \"version\": 1,\n"
+      << "  \"machine\": \"" << json_name(config_.machine.name) << "\",\n"
+      << "  \"scheduler\": \"" << json_name(config_.scheduler) << "\",\n"
+      << "  \"makespan\": " << virtual_makespan() << ",\n";
+
+  out << "  \"workers\": [";
+  for (std::size_t i = 0; i < descs_.size(); ++i) {
+    const WorkerDesc& desc = descs_[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"id\": " << desc.id
+        << ", \"name\": \"" << json_name(desc.profile.name) << "\", \"arch\": \""
+        << to_string(desc.archs.empty() ? Arch::kCpu : desc.archs.front())
+        << "\", \"node\": " << desc.node << ", \"combined\": "
+        << (desc.is_combined_cpu ? "true" : "false") << "}";
+  }
+  out << "\n  ],\n";
+
+  out << "  \"tasks\": [";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskRecord& r = tasks[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"sequence\": " << r.sequence
+        << ", \"name\": \"" << json_name(r.name) << "\", \"impl\": \""
+        << json_name(r.impl) << "\", \"arch\": \"" << to_string(r.arch)
+        << "\", \"worker\": " << r.worker << ", \"vstart\": " << r.vstart
+        << ", \"vend\": " << r.vend << ", \"exec\": " << r.exec_seconds
+        << ", \"attempt\": " << r.attempt << ", \"failed\": "
+        << (r.failed ? "true" : "false") << ", \"point\": " << r.verify_point
+        << ", \"data\": [";
+    for (std::size_t d = 0; d < r.data.size(); ++d) {
+      out << (d == 0 ? "" : ", ") << r.data[d];
+    }
+    out << "]}";
+  }
+  out << "\n  ],\n";
+
+  out << "  \"transfers\": [";
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const TransferRecord& t = moves[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"lane\": " << t.lane
+        << ", \"order\": " << t.lane_sequence << ", \"from\": " << t.from
+        << ", \"to\": " << t.to << ", \"bytes\": " << t.bytes
+        << ", \"vstart\": " << t.vstart << ", \"vend\": " << t.vend
+        << ", \"coalesced\": " << (t.coalesced ? "true" : "false")
+        << ", \"burst\": " << t.burst << ", \"data\": " << t.data << "}";
+  }
+  out << "\n  ],\n";
+
+  const std::vector<PrefetchRecord> prefetches = tracer_.prefetches();
+  out << "  \"prefetches\": [";
+  for (std::size_t i = 0; i < prefetches.size(); ++i) {
+    const PrefetchRecord& p = prefetches[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"event\": \"" << to_string(p.event)
+        << "\", \"reason\": \"" << to_string(p.reason) << "\", \"task\": "
+        << p.task_sequence << ", \"node\": " << p.node << ", \"data\": "
+        << p.data << ", \"bytes\": " << p.bytes << "}";
+  }
+  out << "\n  ],\n";
+
+  const std::vector<DecisionRecord> decisions = tracer_.decisions();
+  out << "  \"decisions\": [";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    const DecisionRecord& d = decisions[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"task\": " << d.task_sequence
+        << ", \"worker\": " << d.chosen << ", \"explored\": "
+        << (d.explored ? "true" : "false") << ", \"estimate\": "
+        << d.chosen_estimate << ", \"arch_estimate\": {";
+    bool first_arch = true;
+    for (int a = 0; a < kArchCount; ++a) {
+      const double estimate = d.arch_estimate[static_cast<std::size_t>(a)];
+      if (!std::isfinite(estimate)) continue;  // infinity is not JSON
+      out << (first_arch ? "" : ", ") << "\""
+          << to_string(static_cast<Arch>(a)) << "\": " << estimate;
+      first_arch = false;
+    }
+    out << "}}";
+  }
+  out << "\n  ],\n";
+
+  const std::vector<PhaseRecord> phases = tracer_.phases();
+  out << "  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {\"label\": \""
+        << json_name(phases[i].label) << "\", \"vtime\": " << phases[i].vtime
+        << "}";
+  }
+  out << "\n  ]\n}\n";
   return std::move(out).str();
 }
 

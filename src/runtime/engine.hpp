@@ -241,6 +241,16 @@ class Engine {
   /// The execution trace (empty unless config.enable_trace).
   Tracer& trace() noexcept { return tracer_; }
 
+  /// Records a named engine phase marker at the current virtual makespan
+  /// (no-op unless config.enable_trace). Phases group the trace into
+  /// application stages for the peppher-perf per-phase analyses.
+  void trace_phase(std::string label);
+
+  /// Renders the whole trace in the versioned machine-readable schema the
+  /// peppher-perf analyzer ingests (see docs/perf.md): machine, scheduler,
+  /// worker table, task / transfer / prefetch / decision / phase events.
+  std::string trace_json() const;
+
   /// Hint: make `handle` valid on `node` ahead of time so a task scheduled
   /// there finds its data resident (StarPU's data prefetch). Skipped
   /// silently if the handle still has in-flight writers. Returns true if a
@@ -343,6 +353,7 @@ class Engine {
   struct PrefetchRequest {
     DataHandlePtr handle;
     MemoryNodeId node = kHostNode;
+    std::uint64_t task_sequence = 0;  ///< committing task (trace records)
   };
 
   /// Queues background prefetches of `task`'s read operands to the node of
@@ -355,10 +366,11 @@ class Engine {
   /// Background-prefetch thread body: pops requests and warms replicas.
   void prefetch_main();
 
-  /// Services one request outside the queue lock. Returns false when the
-  /// prefetch was skipped (in-flight writer, partitioned handle, transfer
-  /// failure) — a prefetch is only a hint, never an error.
-  bool service_prefetch(const PrefetchRequest& request);
+  /// Services one request outside the queue lock. Returns kNone when the
+  /// prefetch warmed a replica, else why it was skipped (in-flight writer,
+  /// partitioned handle, transfer failure) — a prefetch is only a hint,
+  /// never an error.
+  PrefetchSkipReason service_prefetch(const PrefetchRequest& request);
 
   void stop_prefetch_thread();
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "runtime/msi.hpp"
+#include "runtime/trace.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 
@@ -28,6 +29,7 @@ DataHandle::DataHandle(DataManager* manager, void* host_ptr, std::size_t bytes,
       host_ptr_(host_ptr),
       bytes_(bytes),
       element_size_(element_size),
+      id_(manager->allocate_data_id()),
       replicas_(static_cast<std::size_t>(manager->node_count())) {
   check(bytes > 0, "cannot register an empty buffer");
   check(element_size > 0 && bytes % element_size == 0,
@@ -123,7 +125,8 @@ VirtualTime DataHandle::copy_replica(MemoryNodeId from, MemoryNodeId to) {
   // The host-side address identifies contiguous bursts for coalescing:
   // source for an upload, destination for a flush home.
   const void* host_side = (from == kHostNode) ? src.ptr : dst.ptr;
-  dst.valid_at = manager_->charge_link(from, to, bytes_, src.valid_at, host_side);
+  dst.valid_at =
+      manager_->charge_link(from, to, bytes_, src.valid_at, host_side, id_);
   return dst.valid_at;
 }
 
@@ -401,13 +404,15 @@ DataManager::DataManager(int node_count, sim::LinkProfile link)
   }
 }
 
-DataManager::Lane& DataManager::lane_for(MemoryNodeId from, MemoryNodeId to) {
-  if (lanes_.size() == 1) return *lanes_[0];  // shared bus (or no devices)
+std::size_t DataManager::lane_index(MemoryNodeId from, MemoryNodeId to) const {
+  if (lanes_.size() == 1) return 0;  // shared bus (or no devices)
   const MemoryNodeId device = (from == kHostNode) ? to : from;
   check(device > 0 && device < node_count_, "charge_link: bad device node");
-  const std::size_t index = 2 * static_cast<std::size_t>(device - 1) +
-                            (to == kHostNode ? 1 : 0);
-  return *lanes_[index];
+  return 2 * static_cast<std::size_t>(device - 1) + (to == kHostNode ? 1 : 0);
+}
+
+DataManager::Lane& DataManager::lane_for(MemoryNodeId from, MemoryNodeId to) {
+  return *lanes_[lane_index(from, to)];
 }
 
 void DataManager::set_node_capacity(MemoryNodeId node, std::size_t bytes) {
@@ -486,7 +491,8 @@ DataHandlePtr DataManager::register_buffer(void* host_ptr, std::size_t bytes,
 
 VirtualTime DataManager::charge_link(MemoryNodeId from, MemoryNodeId to,
                                      std::size_t bytes, VirtualTime ready,
-                                     const void* host_ptr) {
+                                     const void* host_ptr,
+                                     std::uint64_t data_id) {
   Lane& lane = lane_for(from, to);
   std::lock_guard<std::mutex> lock(lane.mutex);
   const VirtualTime start = std::max(lane.free_at, ready);
@@ -516,11 +522,27 @@ VirtualTime DataManager::charge_link(MemoryNodeId from, MemoryNodeId to,
     if (stream == nullptr) {
       stream = &lane.streams[lane.next_stream];
       lane.next_stream = (lane.next_stream + 1) % lane.streams.size();
+      stream->burst = ++lane.next_burst;  // new burst; joiners inherit the id
     }
     stream->next = static_cast<const std::byte*>(host_ptr) + bytes;
     stream->end = lane.free_at;
   }
   if (coalesced) coalesced_.fetch_add(1, std::memory_order_relaxed);
+
+  if (tracer_ != nullptr) {
+    TransferRecord record;
+    record.lane = static_cast<int>(lane_index(from, to));
+    record.lane_sequence = lane.next_seq++;  // still under the lane mutex
+    record.from = from;
+    record.to = to;
+    record.bytes = bytes;
+    record.vstart = start;
+    record.vend = lane.free_at;
+    record.coalesced = coalesced;
+    record.burst = (stream != nullptr) ? stream->burst : 0;
+    record.data = data_id;
+    tracer_->record_transfer(record);
+  }
   return lane.free_at;
 }
 

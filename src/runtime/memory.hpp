@@ -25,6 +25,7 @@ namespace peppher::rt {
 
 class Task;
 class DataManager;
+class Tracer;
 
 /// Coherence state of one replica of a handle's data on one memory node.
 enum class ReplicaState : std::uint8_t {
@@ -68,6 +69,9 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
   std::size_t bytes() const noexcept { return bytes_; }
   std::size_t element_size() const noexcept { return element_size_; }
   std::size_t elements() const noexcept { return bytes_ / element_size_; }
+
+  /// Stable per-manager id (children get their own); keys trace events.
+  std::uint64_t id() const noexcept { return id_; }
 
   /// True for a sub-handle created by partition().
   bool is_child() const noexcept { return parent_ != nullptr; }
@@ -185,6 +189,7 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
   void* host_ptr_;
   std::size_t bytes_;
   std::size_t element_size_;
+  std::uint64_t id_ = 0;
 
   mutable std::mutex mutex_;
   std::vector<Replica> replicas_;  ///< indexed by MemoryNodeId
@@ -237,6 +242,11 @@ class DataManager {
   void on_free(MemoryNodeId node, std::size_t bytes);
   void record_eviction();
 
+  /// Next DataHandle::id (monotonic per manager, starts at 1).
+  std::uint64_t allocate_data_id() noexcept {
+    return next_data_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const sim::LinkProfile& link() const noexcept { return link_; }
 
   /// Advances the `from`→`to` lane clock by a transfer of `bytes` starting
@@ -245,9 +255,12 @@ class DataManager {
   /// when coalescing is enabled, a transfer that continues a still-open
   /// contiguous burst on the same lane joins it and pays only the bandwidth
   /// term — the hybrid chunk-upload pattern.
+  /// `data_id` identifies the transferred handle in trace records
+  /// (0 = untracked).
   VirtualTime charge_link(MemoryNodeId from, MemoryNodeId to,
                           std::size_t bytes, VirtualTime ready,
-                          const void* host_ptr = nullptr);
+                          const void* host_ptr = nullptr,
+                          std::uint64_t data_id = 0);
 
   /// Estimate of the same, without advancing the clock.
   double estimate_link_seconds(std::size_t bytes) const;
@@ -271,7 +284,16 @@ class DataManager {
   }
 
   /// Resets the link lane clocks and open bursts (benchmark repetition).
+  /// Lane sequence and burst counters stay monotonic across resets.
   void reset_virtual_time();
+
+  /// Attaches a tracer: every charge_link emits one TransferRecord. Set
+  /// once by the Engine before worker threads start (like the fault hook).
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Lane-table index for a `from`→`to` transfer (the `lane` field of
+  /// TransferRecord and the per-lane rows of the Chrome export).
+  std::size_t lane_index(MemoryNodeId from, MemoryNodeId to) const;
 
   // -- shadow coherence checking (EngineConfig::verify_shadow) --------------
 
@@ -298,9 +320,12 @@ class DataManager {
     struct Stream {
       const std::byte* next = nullptr;  ///< host address one past the burst end
       VirtualTime end = 0.0;            ///< vtime the burst's last chunk lands
+      std::uint64_t burst = 0;          ///< burst id carried by joiners
     };
     std::array<Stream, 4> streams{};
     std::size_t next_stream = 0;  ///< round-robin replacement cursor
+    std::uint64_t next_seq = 0;    ///< per-lane trace-record order
+    std::uint64_t next_burst = 0;  ///< burst-id allocator
   };
 
   Lane& lane_for(MemoryNodeId from, MemoryNodeId to);
@@ -308,8 +333,10 @@ class DataManager {
   int node_count_;
   sim::LinkProfile link_;
   TransferHook transfer_hook_;  ///< immutable once workers run
+  Tracer* tracer_ = nullptr;      ///< immutable once workers run
   bool shadow_checking_ = false;  ///< immutable once workers run
   std::atomic<std::uint64_t> shadow_checks_{0};
+  std::atomic<std::uint64_t> next_data_id_{1};  ///< DataHandle::id allocator
 
   /// Lane table, fixed at construction: index 0 in shared-bus mode, else
   /// 2*(device-1) for H2D and 2*(device-1)+1 for D2H. unique_ptr because a

@@ -101,7 +101,7 @@ class EagerScheduler final : public Scheduler {
  public:
   explicit EagerScheduler(SchedEnv env) : env_(std::move(env)) {}
 
-  WorkerId push(const TaskPtr& task) override {
+  WorkerId push(const TaskPtr& task, SchedDecision*) override {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(task);
     return kNoWorkerHint;
@@ -169,7 +169,7 @@ class RandomScheduler final : public Scheduler,
   explicit RandomScheduler(SchedEnv env)
       : PerWorkerQueues(env.workers->size()), env_(std::move(env)) {}
 
-  WorkerId push(const TaskPtr& task) override {
+  WorkerId push(const TaskPtr& task, SchedDecision*) override {
     double total_weight = 0.0;
     for (const auto& w : *env_.workers) {
       if (env_.eligible(*task, w.id)) total_weight += w.profile.peak_gflops;
@@ -225,7 +225,7 @@ class WorkStealingScheduler final : public Scheduler,
   explicit WorkStealingScheduler(SchedEnv env)
       : PerWorkerQueues(env.workers->size()), env_(std::move(env)) {}
 
-  WorkerId push(const TaskPtr& task) override {
+  WorkerId push(const TaskPtr& task, SchedDecision*) override {
     WorkerId target = -1;
     std::size_t best_len = 0;
     for (const auto& w : *env_.workers) {
@@ -297,7 +297,7 @@ class DmdaScheduler final : public Scheduler {
         queues_(env_.workers->size()),
         pending_work_(env_.workers->size()) {}
 
-  WorkerId push(const TaskPtr& task) override {
+  WorkerId push(const TaskPtr& task, SchedDecision* decision) override {
     // Calibration phase: while any eligible variant has fewer than
     // calibration_min recorded samples for this footprint, force it to run
     // so the history model learns about it (StarPU does the same).
@@ -312,6 +312,7 @@ class DmdaScheduler final : public Scheduler {
       }
     }
     if (explore >= 0) {
+      if (decision != nullptr) decision->explored = true;
       enqueue(explore, task);
       return explore;
     }
@@ -327,17 +328,24 @@ class DmdaScheduler final : public Scheduler {
     // the same operands, never to the task that pays for the transfer.
     WorkerId best = -1;
     double best_completion = kInf;
+    if (decision != nullptr) decision->arch_estimate.fill(kInf);
     for (const auto& w : *env_.workers) {
       const double completion =
           env_.estimate_completion(*task, w.id) +
           pending_work_[static_cast<std::size_t>(w.id)].load(
               std::memory_order_relaxed);
+      if (decision != nullptr && !w.archs.empty()) {
+        double& slot =
+            decision->arch_estimate[static_cast<std::size_t>(w.archs.front())];
+        slot = std::min(slot, completion);
+      }
       if (completion < best_completion) {
         best = w.id;
         best_completion = completion;
       }
     }
     check(best >= 0, "task has no eligible worker");
+    if (decision != nullptr) decision->chosen_estimate = best_completion;
     enqueue(best, task);
     return best;
   }

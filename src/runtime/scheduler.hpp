@@ -17,6 +17,7 @@
 // per-task caches and the reader-writer performance registry.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -73,6 +74,18 @@ struct SchedEnv {
 /// eligible worker may pop from (rather than one worker's own queue).
 inline constexpr WorkerId kNoWorkerHint = -1;
 
+/// Optional out-parameter of Scheduler::push: how the placement was made.
+/// Model-based policies (dmda) fill in their candidate completion estimates
+/// so the tracer can record predicted-vs-actual for the peppher-perf
+/// misprediction analysis; other policies leave the defaults.
+struct SchedDecision {
+  bool explored = false;          ///< calibration placement, not model-based
+  double chosen_estimate = -1.0;  ///< predicted completion vtime (<0 = none)
+  /// Best predicted completion vtime per architecture (+infinity where no
+  /// eligible worker of that architecture exists).
+  std::array<double, kArchCount> arch_estimate{};
+};
+
 /// Scheduler interface (internally synchronized; see file comment).
 class Scheduler {
  public:
@@ -83,8 +96,11 @@ class Scheduler {
   /// target — or kNoWorkerHint for centrally queued policies. A concrete
   /// worker id is also the engine's prefetch commit signal: the task's
   /// read operands are warmed on that worker's memory node while the task
-  /// waits in the queue (see EngineConfig::enable_prefetch).
-  virtual WorkerId push(const TaskPtr& task) = 0;
+  /// waits in the queue (see EngineConfig::enable_prefetch). When
+  /// `decision` is non-null (tracing enabled), the policy reports how the
+  /// placement was made (see SchedDecision).
+  virtual WorkerId push(const TaskPtr& task,
+                        SchedDecision* decision = nullptr) = 0;
 
   /// Next task for `worker`, or nullptr if none available to it.
   virtual TaskPtr pop(WorkerId worker) = 0;

@@ -3,7 +3,9 @@
 // numerics, and the summary counters must agree with the trace records.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -120,6 +122,98 @@ TEST_P(ChaosUnderFaults, DependentChainsCompleteCorrectly) {
   EXPECT_NE(summary.find("retries"), std::string::npos);
   EXPECT_NE(summary.find(std::to_string(stats.retries) + " retries"),
             std::string::npos);
+
+  // Retry bookkeeping, per task: every failed attempt must be matched by a
+  // later record for the same task (its retry), attempts numbered
+  // contiguously, and exactly one successful record closes the story.
+  std::map<std::uint64_t, std::vector<TaskRecord>> by_sequence;
+  for (const auto& record : engine.trace().records()) {
+    by_sequence[record.sequence].push_back(record);
+  }
+  EXPECT_EQ(by_sequence.size(), kTotalTasks);
+  for (auto& [sequence, records] : by_sequence) {
+    std::sort(records.begin(), records.end(),
+              [](const TaskRecord& a, const TaskRecord& b) {
+                return a.attempt < b.attempt;
+              });
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i].attempt, static_cast<int>(i))
+          << "task " << sequence << " has a gap in its attempt numbering";
+      EXPECT_EQ(records[i].failed, i + 1 < records.size())
+          << "task " << sequence
+          << ": every failed attempt needs a matching retry record and "
+             "only the last attempt may succeed";
+    }
+  }
+}
+
+// A device that dies after N successes must go silent: its trace records
+// stop at exactly N (no failed attempt — die_after_tasks blacklists after
+// the Nth success), and the drained tasks complete elsewhere.
+TEST(ChaosBlacklist, DeadDeviceEmitsNoEventsAfterDrain) {
+  constexpr std::uint64_t kDeathAfter = 5;
+  sim::FaultPlan plan;
+  plan.die_after_tasks = kDeathAfter;
+
+  EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.scheduler = "dmda";  // routes by cost: the GPU reliably gets work
+  config.use_history_models = false;
+  config.enable_trace = true;
+  config.max_retries = 4;
+  config.accelerator_faults = {plan};
+  Engine engine(config);
+  Codelet codelet = make_chaos_codelet();
+
+  std::vector<std::vector<float>> buffers(kChains,
+                                          std::vector<float>(32, 0.0f));
+  std::vector<DataHandlePtr> handles;
+  for (auto& buffer : buffers) {
+    handles.push_back(engine.register_buffer(
+        buffer.data(), buffer.size() * sizeof(float), sizeof(float)));
+  }
+  for (int step = 0; step < kChainLength; ++step) {
+    for (int chain = 0; chain < kChains; ++chain) {
+      TaskSpec spec;
+      spec.codelet = &codelet;
+      spec.operands = {{handles[chain], AccessMode::kReadWrite}};
+      spec.name = "c" + std::to_string(chain) + "s" + std::to_string(step);
+      engine.submit(std::move(spec));
+    }
+  }
+  engine.wait_for_all();
+
+  WorkerId cuda_worker = -1;
+  for (const auto& desc : engine.workers()) {
+    if (!desc.archs.empty() && desc.archs.front() == Arch::kCuda) {
+      cuda_worker = desc.id;
+    }
+  }
+  ASSERT_GE(cuda_worker, 0);
+  ASSERT_TRUE(engine.worker_blacklisted(cuda_worker));
+  EXPECT_EQ(engine.fault_stats().workers_blacklisted, 1u);
+  EXPECT_EQ(engine.fault_stats().tasks_failed, 0u);
+
+  std::uint64_t device_successes = 0;
+  for (const auto& record : engine.trace().records()) {
+    if (record.worker != cuda_worker) continue;
+    EXPECT_FALSE(record.failed)
+        << "die_after_tasks blacklists after a success; no attempt fails";
+    ++device_successes;
+  }
+  EXPECT_EQ(device_successes, kDeathAfter);
+  EXPECT_EQ(engine.worker_stats(cuda_worker).tasks_executed, kDeathAfter);
+
+  // Everything else completed on the surviving workers, and correctly.
+  for (const auto& handle : handles) {
+    engine.acquire_host(handle, AccessMode::kRead);
+  }
+  for (const auto& buffer : buffers) {
+    for (float v : buffer) {
+      EXPECT_FLOAT_EQ(v, static_cast<float>(kChainLength));
+    }
+  }
 }
 
 }  // namespace

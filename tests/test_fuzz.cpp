@@ -7,6 +7,7 @@
 
 #include "cdecl/cdecl.hpp"
 #include "descriptor/descriptor.hpp"
+#include "perf/trace.hpp"
 #include "runtime/perfmodel.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -256,6 +257,133 @@ TEST_P(FuzzSeed, ControlFlowMainNeverCrashesUnderMutation) {
       repo.load_text(mutated);
     } catch (const Error&) {
       // ParseError and schema errors are fine; crashing or hanging is not.
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace ingestion (peppher-perf, docs/perf.md): truncated documents,
+// unknown event types / sections, schema-version mismatches and
+// non-monotonic timelines must all raise located ParseErrors — the
+// analyzer never crashes on a damaged trace.
+// ---------------------------------------------------------------------------
+
+const char* const kSeedTrace = R"({
+  "schema": "peppher-trace",
+  "version": 1,
+  "machine": "unit",
+  "scheduler": "dmda",
+  "makespan": 1.0,
+  "workers": [
+    {"id": 0, "name": "core", "arch": "cpu", "node": 0, "combined": false},
+    {"id": 1, "name": "gpu", "arch": "cuda", "node": 1, "combined": false}
+  ],
+  "tasks": [
+    {"sequence": 0, "name": "a", "impl": "a_cpu", "arch": "cpu", "worker": 0,
+     "vstart": 0, "vend": 0.5, "exec": 0.5, "attempt": 0, "failed": false,
+     "point": 3, "data": [1]},
+    {"sequence": 1, "name": "b", "impl": "b_cuda", "arch": "cuda", "worker": 1,
+     "vstart": 0.5, "vend": 0.9, "exec": 0.4, "attempt": 0, "failed": false,
+     "point": -1, "data": [1, 2]}
+  ],
+  "transfers": [
+    {"lane": 0, "order": 0, "from": 0, "to": 1, "bytes": 4096, "vstart": 0.1,
+     "vend": 0.2, "coalesced": false, "burst": 1, "data": 1},
+    {"lane": 0, "order": 1, "from": 0, "to": 1, "bytes": 512, "vstart": 0.2,
+     "vend": 0.3, "coalesced": true, "burst": 1, "data": 2}
+  ],
+  "prefetches": [
+    {"event": "enqueued", "reason": "none", "task": 1, "node": 1, "data": 2,
+     "bytes": 512},
+    {"event": "skipped", "reason": "writer_race", "task": 1, "node": 1,
+     "data": 2, "bytes": 512}
+  ],
+  "decisions": [
+    {"task": 1, "worker": 1, "explored": false, "estimate": 0.9,
+     "arch_estimate": {"cpu": 1.4, "cuda": 0.9}}
+  ],
+  "phases": [
+    {"label": "run", "vtime": 0}
+  ]
+})";
+
+TEST(MalformedTraces, SeedTraceItselfParses) {
+  const perf::Trace trace = perf::parse_trace(kSeedTrace);
+  EXPECT_EQ(trace.tasks.size(), 2u);
+  EXPECT_EQ(trace.transfers.size(), 2u);
+  EXPECT_EQ(trace.tasks[0].point, 3);
+}
+
+TEST(MalformedTraces, TruncatedTraceRaisesLocatedErrors) {
+  const std::string seed = kSeedTrace;
+  // Every prefix, including ones that cut a string or number in half.
+  for (std::size_t len = 0; len < seed.size(); ++len) {
+    try {
+      (void)perf::parse_trace(seed.substr(0, len));
+      // A prefix that happens to parse as a complete document would be a
+      // parser bug: the seed has no nested complete sub-document.
+      FAIL() << "prefix of length " << len << " parsed as a full trace";
+    } catch (const ParseError& e) {
+      EXPECT_GT(e.line(), 0) << "prefix length " << len;
+      EXPECT_GT(e.column(), 0) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(MalformedTraces, TargetedCorruptionsRaiseLocatedParseErrors) {
+  struct Fixture {
+    const char* label;
+    const char* needle;       // substring of the seed to replace...
+    const char* replacement;  // ...with this
+  };
+  const Fixture fixtures[] = {
+      {"wrong schema tag", "\"peppher-trace\"", "\"chrome-trace\""},
+      {"future schema version", "\"version\": 1", "\"version\": 2"},
+      {"unknown top-level section", "\"phases\"", "\"spans\""},
+      {"unknown prefetch event", "\"enqueued\"", "\"requested\""},
+      {"unknown skip reason", "\"writer_race\"", "\"cosmic_ray\""},
+      {"non-monotonic task interval", "\"vend\": 0.5", "\"vend\": -0.5"},
+      {"non-monotonic lane order", "\"order\": 1", "\"order\": 0"},
+      {"type mismatch", "\"worker\": 0", "\"worker\": \"zero\""},
+      {"fractional integer", "\"sequence\": 0", "\"sequence\": 0.25"},
+      {"missing required field", "\"lane\": 0, ", ""},
+  };
+  for (const Fixture& fixture : fixtures) {
+    std::string text = kSeedTrace;
+    const std::size_t pos = text.find(fixture.needle);
+    ASSERT_NE(pos, std::string::npos) << fixture.label;
+    text.replace(pos, std::string(fixture.needle).size(), fixture.replacement);
+    try {
+      (void)perf::parse_trace(text);
+      FAIL() << fixture.label << ": expected a ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_GT(e.line(), 0) << fixture.label;
+      EXPECT_GT(e.column(), 0) << fixture.label;
+    }
+  }
+}
+
+TEST(MalformedTraces, TrailingGarbageAndWrongRootAreRejected) {
+  EXPECT_THROW((void)perf::parse_trace(std::string(kSeedTrace) + " []"),
+               ParseError);
+  EXPECT_THROW((void)perf::parse_trace("[]"), ParseError);
+  EXPECT_THROW((void)perf::parse_trace(""), ParseError);
+  EXPECT_THROW((void)perf::parse_trace("{\"schema\": \"peppher-trace\"}"),
+               ParseError);
+  // Deep nesting must be a located error, not a stack overflow.
+  EXPECT_THROW((void)perf::parse_trace(std::string(5000, '[')), ParseError);
+}
+
+TEST_P(FuzzSeed, TraceParserNeverCrashesOnMutatedTraces) {
+  Rng rng(GetParam() * 193);
+  for (int round = 0; round < 200; ++round) {
+    const std::string mutated =
+        mutate(kSeedTrace, rng, 1 + static_cast<int>(rng.next_below(10)));
+    try {
+      (void)perf::parse_trace(mutated);
+      // Some mutations (e.g. inside a string literal) stay valid traces.
+    } catch (const ParseError&) {
+      // Expected for most mutations.
     }
   }
 }

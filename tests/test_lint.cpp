@@ -919,15 +919,22 @@ TEST_F(LintTest, ReadWriteResultOverwrittenIsPL033) {
 // ---------------------------------------------------------------------------
 
 TEST(CodeRegistry, DocsTablesMatchTheRegistry) {
+  // The lint codes live in docs/lint.md, the runtime-trace analyses in
+  // docs/perf.md; together they must document the whole registry.
   const std::string docs =
       fs::read_file(std::filesystem::path(PEPPHER_SOURCE_ROOT) / "docs" /
-                    "lint.md");
-  // Collect "| PLxxx | severity | meaning |" rows.
+                    "lint.md") +
+      fs::read_file(std::filesystem::path(PEPPHER_SOURCE_ROOT) / "docs" /
+                    "perf.md");
+  // Collect "| PLxxx | severity | meaning |" / "| PFxxx | ... |" rows.
   std::map<std::string, std::pair<std::string, std::string>> rows;
   std::istringstream stream(docs);
   std::string line;
   while (std::getline(stream, line)) {
-    if (!strings::starts_with(line, "| PL")) continue;
+    if (!strings::starts_with(line, "| PL") &&
+        !strings::starts_with(line, "| PF")) {
+      continue;
+    }
     const std::vector<std::string> cells = strings::split(line, '|');
     ASSERT_GE(cells.size(), 4u) << "malformed table row: " << line;
     const std::string code(strings::trim(cells[1]));
@@ -939,12 +946,12 @@ TEST(CodeRegistry, DocsTablesMatchTheRegistry) {
   }
   for (const diag::CodeInfo& info : diag::all_codes()) {
     const auto it = rows.find(std::string(info.code));
-    ASSERT_NE(it, rows.end()) << info.code << " missing from docs/lint.md";
+    ASSERT_NE(it, rows.end()) << info.code << " missing from the docs";
     EXPECT_EQ(it->second.first, diag::to_string(info.severity))
         << info.code << " severity diverges from the registry";
-    // The coherence-verification family documents the registry summary
-    // verbatim (older rows carry hand-written prose).
-    if (info.code >= "PL060") {
+    // The coherence-verification and trace-analysis families document the
+    // registry summary verbatim (older rows carry hand-written prose).
+    if (info.code >= "PL060" || strings::starts_with(info.code, "PF")) {
       EXPECT_EQ(it->second.second, info.summary)
           << info.code << " summary diverges from the registry";
     }

@@ -1,0 +1,460 @@
+// Tests of the full-runtime tracing path and the peppher-perf analyses:
+//
+//  - a golden chrome://tracing export pinned byte-for-byte (like the SARIF
+//    golden), so format drift is a visible diff;
+//  - a differential harness: for every scheduler, totals derived purely
+//    from the trace must EXACTLY equal the engine's own counters
+//    (WorkerStats, TransferStats, PrefetchStats, FaultStats) — the trace
+//    is a second bookkeeping system and the two must never diverge;
+//  - round-trip of the machine-readable schema through the src/perf
+//    parser;
+//  - the PF0xx analyses, both end-to-end (a deliberately mis-sized
+//    machine must yield a device-imbalance diagnosis naming the hot
+//    program point) and unit-level on hand-built traces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/ode.hpp"
+#include "perf/analyze.hpp"
+#include "perf/trace.hpp"
+#include "runtime/engine.hpp"
+#include "sim/device.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+
+namespace peppher {
+namespace {
+
+using rt::AccessMode;
+using rt::Arch;
+using rt::Codelet;
+using rt::DataHandlePtr;
+using rt::Engine;
+using rt::EngineConfig;
+using rt::TaskSpec;
+
+Codelet make_chain_codelet() {
+  Codelet codelet("chain_add");
+  const auto body = [](rt::ExecContext& ctx) {
+    auto* data = ctx.buffer_as<float>(0);
+    for (std::size_t i = 0; i < ctx.elements(0); ++i) data[i] += 1.0f;
+  };
+  const auto cost = [](const std::vector<std::size_t>&, const void*) {
+    return sim::KernelCost{5e7, 1e5, 1.0};
+  };
+  codelet.add_impl({Arch::kCpu, "chain_cpu", body, cost});
+  codelet.add_impl({Arch::kCpuOmp, "chain_omp", body, cost});
+  codelet.add_impl({Arch::kCuda, "chain_cuda", body, cost});
+  return codelet;
+}
+
+/// Submits `chains` x `length` dependent RW chains (the chaos-test shape:
+/// dependencies within a chain, parallelism across chains).
+void run_chains(Engine& engine, Codelet& codelet, int chains, int length) {
+  std::vector<std::vector<float>> buffers(chains, std::vector<float>(64, 0.f));
+  std::vector<DataHandlePtr> handles;
+  for (auto& buffer : buffers) {
+    handles.push_back(engine.register_buffer(
+        buffer.data(), buffer.size() * sizeof(float), sizeof(float)));
+  }
+  for (int step = 0; step < length; ++step) {
+    for (int chain = 0; chain < chains; ++chain) {
+      TaskSpec spec;
+      spec.codelet = &codelet;
+      spec.operands = {{handles[chain], AccessMode::kReadWrite}};
+      spec.name = "c" + std::to_string(chain) + "s" + std::to_string(step);
+      engine.submit(std::move(spec));
+    }
+  }
+  engine.wait_for_all();
+  engine.drain_prefetches();
+}
+
+// ---------------------------------------------------------------------------
+// Golden chrome://tracing export
+// ---------------------------------------------------------------------------
+//
+// A single-eligible-worker configuration (forced CUDA, no prefetcher, no
+// history models) makes the whole run — placements, virtual times, lane
+// sequences — a pure function of the inputs, so the export is pinned
+// byte-for-byte. Regenerate with PEPPHER_REGENERATE_GOLDEN=1 after an
+// intentional format change.
+TEST(TraceGolden, ChromeExportIsPinned) {
+  EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.scheduler = "eager";
+  config.enable_trace = true;
+  config.enable_prefetch = false;
+  config.use_history_models = false;
+
+  apps::ode::register_components();
+  Engine engine(config);
+  const apps::ode::Problem problem = apps::ode::make_problem(32, 3);
+  apps::ode::run_tool(engine, problem, Arch::kCuda);
+
+  const std::string json = engine.trace().to_chrome_json();
+  const std::filesystem::path golden =
+      std::filesystem::path(PEPPHER_SOURCE_ROOT) / "tests" / "golden" /
+      "trace.json";
+  if (std::getenv("PEPPHER_REGENERATE_GOLDEN") != nullptr) {
+    fs::write_file(golden, json);
+    SUCCEED() << "regenerated " << golden;
+    return;
+  }
+  EXPECT_EQ(json, fs::read_file(golden))
+      << "chrome trace export drifted; if intentional, regenerate with "
+         "PEPPHER_REGENERATE_GOLDEN=1";
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: trace totals == engine counters, exactly
+// ---------------------------------------------------------------------------
+
+class TraceDifferential : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, TraceDifferential,
+                         ::testing::Values("eager", "random", "ws", "dmda"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(TraceDifferential, CountersMatchTraceExactly) {
+  EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.scheduler = GetParam();
+  config.use_history_models = false;
+  config.enable_trace = true;
+  Engine engine(config);
+  Codelet codelet = make_chain_codelet();
+  run_chains(engine, codelet, /*chains=*/6, /*length=*/30);
+
+  // Per-worker busy time: the worker accumulates exec_seconds in execution
+  // order, and its records land in the trace in that same order, so the
+  // re-summed doubles must be BITWISE equal — any tolerance would hide a
+  // dropped or double-counted record.
+  std::map<int, double> busy;
+  std::map<int, std::uint64_t> executed;
+  std::map<int, std::uint64_t> failed;
+  for (const rt::TaskRecord& r : engine.trace().records()) {
+    busy[r.worker] += r.exec_seconds;
+    ++(r.failed ? failed : executed)[r.worker];
+  }
+  for (const rt::WorkerDesc& desc : engine.workers()) {
+    const rt::WorkerStats stats = engine.worker_stats(desc.id);
+    EXPECT_EQ(busy[desc.id], stats.busy_vtime) << "worker " << desc.id;
+    EXPECT_EQ(executed[desc.id], stats.tasks_executed) << "worker " << desc.id;
+    EXPECT_EQ(failed[desc.id], stats.failed_attempts) << "worker " << desc.id;
+  }
+
+  // Transfers: every DataManager hop emits exactly one record, so counts,
+  // bytes and coalesced joins re-derived from the trace must equal
+  // TransferStats to the last byte.
+  rt::TransferStats observed;
+  for (const rt::TransferRecord& t : engine.trace().transfers()) {
+    if (t.from == rt::kHostNode) {
+      ++observed.host_to_device_count;
+      observed.host_to_device_bytes += t.bytes;
+    } else {
+      ++observed.device_to_host_count;
+      observed.device_to_host_bytes += t.bytes;
+    }
+    if (t.coalesced) ++observed.coalesced_transfers;
+  }
+  const rt::TransferStats stats = engine.transfer_stats();
+  EXPECT_EQ(observed.host_to_device_count, stats.host_to_device_count);
+  EXPECT_EQ(observed.device_to_host_count, stats.device_to_host_count);
+  EXPECT_EQ(observed.host_to_device_bytes, stats.host_to_device_bytes);
+  EXPECT_EQ(observed.device_to_host_bytes, stats.device_to_host_bytes);
+  EXPECT_EQ(observed.coalesced_transfers, stats.coalesced_transfers);
+
+  // Prefetch lifecycle: one enqueued record per queued operand, one
+  // completed/skipped record per serviced request.
+  std::uint64_t enqueued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t skipped = 0;
+  for (const rt::PrefetchRecord& p : engine.trace().prefetches()) {
+    switch (p.event) {
+      case rt::PrefetchEvent::kEnqueued: ++enqueued; break;
+      case rt::PrefetchEvent::kCompleted: ++completed; break;
+      case rt::PrefetchEvent::kSkipped: ++skipped; break;
+    }
+  }
+  const Engine::PrefetchStats prefetch = engine.prefetch_stats();
+  EXPECT_EQ(enqueued, prefetch.enqueued);
+  EXPECT_EQ(completed, prefetch.completed);
+  EXPECT_EQ(skipped, prefetch.skipped);
+
+  // Scheduler decisions: one record per hinted placement; the chosen
+  // worker must exist and dmda's steady-state decisions carry estimates.
+  for (const rt::DecisionRecord& d : engine.trace().decisions()) {
+    ASSERT_GE(d.chosen, 0);
+    ASSERT_LT(d.chosen, static_cast<int>(engine.workers().size()));
+    if (GetParam() == "dmda" && !d.explored) {
+      EXPECT_GE(d.chosen_estimate, 0.0);
+    }
+  }
+  if (GetParam() != "eager") {  // central FIFO places nothing at push time
+    EXPECT_FALSE(engine.trace().decisions().empty());
+  }
+}
+
+TEST_P(TraceDifferential, FaultedCountersMatchTraceExactly) {
+  sim::FaultPlan plan;
+  plan.kernel_failure_rate = 0.25;
+  plan.seed = 99;
+
+  EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.scheduler = GetParam();
+  config.use_history_models = false;
+  config.enable_trace = true;
+  config.max_retries = 4;
+  config.accelerator_faults = {plan};
+  Engine engine(config);
+  Codelet codelet = make_chain_codelet();
+  run_chains(engine, codelet, /*chains=*/6, /*length=*/30);
+
+  const rt::FaultStats faults = engine.fault_stats();
+  std::uint64_t success_records = 0;
+  std::uint64_t failed_records = 0;
+  std::map<int, double> busy;
+  for (const rt::TaskRecord& r : engine.trace().records()) {
+    busy[r.worker] += r.exec_seconds;
+    ++(r.failed ? failed_records : success_records);
+  }
+  EXPECT_EQ(success_records, 6u * 30u);
+  EXPECT_EQ(failed_records, faults.failed_attempts);
+
+  // Busy time stays exact under retries too: the failed attempt burned
+  // the worker's virtual time and the trace must account for it.
+  for (const rt::WorkerDesc& desc : engine.workers()) {
+    EXPECT_EQ(busy[desc.id], engine.worker_stats(desc.id).busy_vtime)
+        << "worker " << desc.id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable schema round trip
+// ---------------------------------------------------------------------------
+
+TEST(TraceSchema, RoundTripsThroughTheParser) {
+  EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.scheduler = "dmda";
+  config.use_history_models = false;
+  config.enable_trace = true;
+  Engine engine(config);
+  engine.trace_phase("build");
+  Codelet codelet = make_chain_codelet();
+  run_chains(engine, codelet, /*chains=*/4, /*length=*/10);
+  engine.trace_phase("done");
+
+  const perf::Trace trace = perf::parse_trace(engine.trace_json());
+  EXPECT_EQ(trace.version, 1);
+  EXPECT_EQ(trace.machine, config.machine.name);
+  EXPECT_EQ(trace.scheduler, "dmda");
+  EXPECT_EQ(trace.workers.size(), engine.workers().size());
+  EXPECT_EQ(trace.tasks.size(), engine.trace().records().size());
+  EXPECT_EQ(trace.transfers.size(), engine.trace().transfers().size());
+  EXPECT_EQ(trace.prefetches.size(), engine.trace().prefetches().size());
+  EXPECT_EQ(trace.decisions.size(), engine.trace().decisions().size());
+  ASSERT_EQ(trace.phases.size(), 2u);
+  EXPECT_EQ(trace.phases[0].label, "build");
+  EXPECT_EQ(trace.phases[1].label, "done");
+  EXPECT_EQ(trace.makespan, engine.virtual_makespan());
+
+  // Doubles survive the round trip bit-for-bit (the writer emits 17
+  // significant digits).
+  ASSERT_FALSE(trace.tasks.empty());
+  double trace_busy = 0.0;
+  for (const perf::TraceTask& t : trace.tasks) trace_busy += t.exec;
+  double engine_busy = 0.0;
+  for (const rt::TaskRecord& r : engine.trace().records()) {
+    engine_busy += r.exec_seconds;
+  }
+  EXPECT_DOUBLE_EQ(trace_busy, engine_busy);
+}
+
+TEST(TraceSchema, TracingDisabledRecordsNothing) {
+  EngineConfig config;
+  config.machine = sim::MachineConfig::cpu_only(2);
+  Engine engine(config);
+  engine.trace_phase("ignored");
+  Codelet codelet = make_chain_codelet();
+  run_chains(engine, codelet, /*chains=*/2, /*length=*/4);
+  EXPECT_EQ(engine.trace().size(), 0u);
+  EXPECT_TRUE(engine.trace().transfers().empty());
+  EXPECT_TRUE(engine.trace().prefetches().empty());
+  EXPECT_TRUE(engine.trace().decisions().empty());
+  EXPECT_TRUE(engine.trace().phases().empty());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end analysis: the ISSUE's acceptance scenario
+// ---------------------------------------------------------------------------
+//
+// An 8-core host profile fed a serial ODE chain pinned to the CPU: seven
+// cores can never get work. The analyzer must call out the imbalance and
+// name the dominant program point (the O(n^2) right-hand side).
+TEST(PerfAnalysis, MisSizedMachineReportsImbalanceAtTheHotPoint) {
+  EngineConfig config;
+  config.machine = sim::MachineConfig::cpu_only(8);
+  config.scheduler = "dmda";
+  config.use_history_models = false;
+  config.enable_trace = true;
+
+  apps::ode::register_components();
+  Engine engine(config);
+  const apps::ode::Problem problem = apps::ode::make_problem(64, 8);
+  apps::ode::run_tool(engine, problem, Arch::kCpu);
+
+  const perf::Trace trace = perf::parse_trace(engine.trace_json());
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  const diag::Diagnostic* imbalance = nullptr;
+  for (const diag::Diagnostic& d : bag.diagnostics()) {
+    if (d.code == "PF001") imbalance = &d;
+  }
+  ASSERT_NE(imbalance, nullptr) << bag.format_text();
+  EXPECT_EQ(imbalance->severity, diag::Severity::kWarning);
+  EXPECT_NE(imbalance->message.find("ode_rhs"), std::string::npos)
+      << imbalance->message;
+}
+
+// ---------------------------------------------------------------------------
+// Unit-level analyses on hand-built traces
+// ---------------------------------------------------------------------------
+
+perf::Trace balanced_base() {
+  perf::Trace trace;
+  trace.version = 1;
+  trace.machine = "unit";
+  trace.scheduler = "dmda";
+  trace.makespan = 1.0;
+  trace.workers = {{0, "core", "cpu", 0, false},
+                   {1, "core", "cpu", 0, false},
+                   {2, "gpu", "cuda", 1, false}};
+  return trace;
+}
+
+perf::TraceTask unit_task(std::uint64_t sequence, const std::string& name,
+                          int worker, double start, double exec,
+                          std::vector<std::uint64_t> data = {}) {
+  perf::TraceTask t;
+  t.sequence = sequence;
+  t.name = name;
+  t.impl = name + "_impl";
+  t.arch = "cpu";
+  t.worker = worker;
+  t.vstart = start;
+  t.vend = start + exec;
+  t.exec = exec;
+  t.data = std::move(data);
+  return t;
+}
+
+TEST(PerfAnalysis, BalancedTraceIsClean) {
+  perf::Trace trace = balanced_base();
+  trace.tasks = {unit_task(0, "a", 0, 0.0, 0.5),
+                 unit_task(1, "a", 1, 0.0, 0.5)};
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  EXPECT_TRUE(bag.empty()) << bag.format_text();
+}
+
+TEST(PerfAnalysis, TransferBoundPhaseIsReported) {
+  perf::Trace trace = balanced_base();
+  trace.tasks = {unit_task(0, "a", 0, 0.0, 0.1),
+                 unit_task(1, "a", 1, 0.0, 0.1)};
+  perf::TraceTransfer move;
+  move.lane = 0;
+  move.order = 0;
+  move.from = 0;
+  move.to = 1;
+  move.bytes = 1 << 20;
+  move.vstart = 0.0;
+  move.vend = 0.9;
+  trace.transfers = {move};
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  ASSERT_EQ(bag.diagnostics().size(), 1u) << bag.format_text();
+  EXPECT_EQ(bag.diagnostics()[0].code, "PF002");
+}
+
+TEST(PerfAnalysis, PrefetchMissesAndStaleSkipsAreReported) {
+  perf::Trace trace = balanced_base();
+  trace.tasks = {unit_task(0, "a", 0, 0.0, 0.5),
+                 unit_task(1, "a", 1, 0.0, 0.5)};
+  for (int i = 0; i < 10; ++i) {
+    perf::TracePrefetch enqueue;
+    enqueue.event = "enqueued";
+    enqueue.reason = "none";
+    enqueue.task = static_cast<std::uint64_t>(i);
+    trace.prefetches.push_back(enqueue);
+    perf::TracePrefetch outcome;
+    outcome.event = "skipped";
+    outcome.reason = i == 0 ? "writer_race" : "transfer_failed";
+    outcome.task = static_cast<std::uint64_t>(i);
+    trace.prefetches.push_back(outcome);
+  }
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  bool saw_misses = false;
+  bool saw_stale = false;
+  for (const diag::Diagnostic& d : bag.diagnostics()) {
+    if (d.code == "PF003") saw_misses = true;
+    if (d.code == "PF004") saw_stale = true;
+  }
+  EXPECT_TRUE(saw_misses) << bag.format_text();
+  EXPECT_TRUE(saw_stale) << bag.format_text();
+}
+
+TEST(PerfAnalysis, SystematicMispredictionsAreReported) {
+  perf::Trace trace = balanced_base();
+  for (int i = 0; i < 8; ++i) {
+    trace.tasks.push_back(
+        unit_task(static_cast<std::uint64_t>(i), "hot", i % 2, 0.1 * i, 0.1));
+    perf::TraceDecision d;
+    d.task = static_cast<std::uint64_t>(i);
+    d.worker = i % 2;
+    d.estimate = trace.tasks.back().vend * 4.0;  // 300% off, > 1ms absolute
+    trace.decisions.push_back(d);
+  }
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  bool saw = false;
+  for (const diag::Diagnostic& d : bag.diagnostics()) {
+    if (d.code == "PF005") {
+      saw = true;
+      EXPECT_NE(d.message.find("hot"), std::string::npos) << d.message;
+    }
+  }
+  EXPECT_TRUE(saw) << bag.format_text();
+}
+
+TEST(PerfAnalysis, RuntimePingPongIsReported) {
+  perf::Trace trace = balanced_base();
+  for (int i = 0; i < 10; ++i) {
+    // Datum 7 alternates between a host worker and the device worker.
+    trace.tasks.push_back(unit_task(static_cast<std::uint64_t>(i),
+                                    i % 2 == 0 ? "produce" : "consume",
+                                    i % 2 == 0 ? 0 : 2, 0.05 * i, 0.05, {7}));
+  }
+  // Keep the CPU class balanced so only the ping-pong fires.
+  trace.tasks.push_back(unit_task(100, "other", 1, 0.0, 0.25));
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  bool saw = false;
+  for (const diag::Diagnostic& d : bag.diagnostics()) {
+    if (d.code == "PF006") {
+      saw = true;
+      EXPECT_NE(d.message.find("data 7"), std::string::npos) << d.message;
+      EXPECT_NE(d.message.find("produce"), std::string::npos) << d.message;
+    }
+  }
+  EXPECT_TRUE(saw) << bag.format_text();
+}
+
+}  // namespace
+}  // namespace peppher

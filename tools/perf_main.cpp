@@ -1,0 +1,266 @@
+// peppher-perf: runtime-trace recorder and bottleneck analyzer (src/perf).
+//
+// Analyze mode (default) ingests a peppher-trace JSON document (schema v1,
+// docs/perf.md) and reports PF0xx findings through the same diagnostics
+// engine peppher-lint uses:
+//
+//   peppher-perf <trace.json> [switches]
+//
+// Record mode runs the ODE solver example through the runtime with tracing
+// on and writes the trace (optionally also the chrome://tracing view):
+//
+//   peppher-perf --record=ode --out=trace.json [switches]
+//
+// Switches:
+//   --format=text|json|sarif   output renderer (default text, to stdout)
+//   --werror                   warnings fail the run too
+//   --explain=PFxxx            print the code's severity, summary and
+//                              remediation from the registry, then exit
+//   --record=ode               record instead of analyze
+//   --out=<path>               where record mode writes the trace
+//   --chrome=<path>            also write the chrome://tracing JSON
+//   --machine=<c2050|c1060|opencl|cpu|cpuN>
+//                              machine preset to record on (cpuN = N cores)
+//   --scheduler=<eager|random|ws|dmda>
+//   --force=<cpu|cuda|opencl>  pin every task to one architecture
+//   --n=<size> --steps=<count> ODE problem size (defaults 96 / 24)
+//
+// Exit status: 0 clean (or findings below the failure threshold), 1 fatal
+// findings, 2 usage error / unreadable or malformed trace.
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "apps/ode.hpp"
+#include "perf/analyze.hpp"
+#include "perf/trace.hpp"
+#include "runtime/engine.hpp"
+#include "sim/device.hpp"
+#include "support/error.hpp"
+#include "support/fs.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace peppher;
+
+int usage(std::ostream& out) {
+  out << "usage: peppher-perf <trace.json> [switches]\n"
+         "       peppher-perf --record=ode --out=trace.json [switches]\n"
+         "  --format=text|json|sarif\n"
+         "  --werror\n"
+         "  --explain=PFxxx\n"
+         "  --chrome=<path>\n"
+         "  --machine=<c2050|c1060|opencl|cpu|cpuN>\n"
+         "  --scheduler=<eager|random|ws|dmda>\n"
+         "  --force=<cpu|cuda|opencl>\n"
+         "  --n=<size> --steps=<count>\n";
+  return 2;
+}
+
+/// `peppher-perf --explain PF001`: same registry the linter explains from,
+/// so the PF range is documented in one place (docs/perf.md, kept in sync
+/// by a test).
+int explain(const std::string& code) {
+  const diag::CodeInfo* info = diag::find_code(code);
+  if (info == nullptr) {
+    std::cerr << "peppher-perf: unknown diagnostic code '" << code
+              << "' (trace analyses are PF001..PF006; see docs/perf.md)\n";
+    return 2;
+  }
+  std::cout << info->code << " (" << diag::to_string(info->severity)
+            << "): " << info->summary << "\n\n"
+            << info->remediation << "\n";
+  return 0;
+}
+
+bool match_switch(const std::string& arg, std::string_view key,
+                  std::string* value) {
+  std::string_view body(arg);
+  if (!strings::starts_with(body, "-")) return false;
+  body.remove_prefix(1);
+  if (strings::starts_with(body, "-")) body.remove_prefix(1);
+  if (!strings::starts_with(body, key)) return false;
+  body.remove_prefix(key.size());
+  if (body.empty()) {
+    value->clear();
+    return true;
+  }
+  if (body.front() != '=') return false;
+  *value = std::string(body.substr(1));
+  return true;
+}
+
+/// Same presets the other drivers take, plus "cpuN" (e.g. cpu8) so a
+/// deliberately mis-sized host can be recorded for imbalance analysis.
+sim::MachineConfig machine_preset(const std::string& name) {
+  if (name == "c2050") return sim::MachineConfig::platform_c2050();
+  if (name == "c1060") return sim::MachineConfig::platform_c1060();
+  if (name == "opencl") return sim::MachineConfig::platform_opencl();
+  if (name == "cpu") return sim::MachineConfig::cpu_only();
+  if (strings::starts_with(name, "cpu")) {
+    const auto cores = strings::to_int(name.substr(3));
+    if (cores && *cores > 0 && *cores <= 256) {
+      return sim::MachineConfig::cpu_only(static_cast<int>(*cores));
+    }
+  }
+  throw Error(ErrorCode::kInvalidArgument, "unknown machine preset '" + name +
+                                               "' (c2050|c1060|opencl|cpu|cpuN)");
+}
+
+std::optional<rt::Arch> force_arch(const std::string& name) {
+  if (name == "cpu") return rt::Arch::kCpu;
+  if (name == "cuda") return rt::Arch::kCuda;
+  if (name == "opencl") return rt::Arch::kOpenCl;
+  throw Error(ErrorCode::kInvalidArgument,
+              "unknown --force arch '" + name + "' (cpu|cuda|opencl)");
+}
+
+struct RecordOptions {
+  std::string out;
+  std::string chrome;
+  sim::MachineConfig machine = sim::MachineConfig::platform_c2050();
+  std::string scheduler = "dmda";
+  std::optional<rt::Arch> force;
+  std::uint32_t n = 96;
+  int steps = 24;
+};
+
+/// Runs the ODE pipeline with tracing on and writes the trace document.
+int record_ode(const RecordOptions& options) {
+  rt::EngineConfig config;
+  config.machine = options.machine;
+  config.scheduler = options.scheduler;
+  config.enable_trace = true;
+  // Cost hints only: recorded history would make the trace depend on the
+  // sampling directory's state, and recordings should be reproducible.
+  config.use_history_models = false;
+
+  apps::ode::register_components();
+  rt::Engine engine(config);
+  engine.trace_phase("ode:init");
+  const apps::ode::Problem problem =
+      apps::ode::make_problem(options.n, options.steps);
+  const apps::ode::RunResult result =
+      apps::ode::run_tool(engine, problem, options.force);
+  engine.trace_phase("ode:done");
+
+  fs::write_file(options.out, engine.trace_json());
+  if (!options.chrome.empty()) {
+    fs::write_file(options.chrome, engine.trace().to_chrome_json());
+  }
+  std::cout << "peppher-perf: recorded " << result.invocations
+            << " invocations (" << result.virtual_seconds
+            << " s virtual) to " << options.out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string format = "text";
+  bool werror = false;
+  std::string record;
+  RecordOptions record_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "-h" || arg == "-help" || arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "-werror" || arg == "--werror") {
+      werror = true;
+    } else if (match_switch(arg, "explain", &value)) {
+      if (value.empty() && i + 1 < argc) value = argv[++i];
+      return explain(value);
+    } else if (match_switch(arg, "format", &value)) {
+      if (value != "text" && value != "json" && value != "sarif") {
+        std::cerr << "peppher-perf: unknown format '" << value << "'\n";
+        return usage(std::cerr);
+      }
+      format = value;
+    } else if (match_switch(arg, "record", &value)) {
+      if (value != "ode") {
+        std::cerr << "peppher-perf: unknown recording '" << value
+                  << "' (only 'ode')\n";
+        return usage(std::cerr);
+      }
+      record = value;
+    } else if (match_switch(arg, "out", &value)) {
+      record_options.out = value;
+    } else if (match_switch(arg, "chrome", &value)) {
+      record_options.chrome = value;
+    } else if (match_switch(arg, "machine", &value)) {
+      try {
+        record_options.machine = machine_preset(value);
+      } catch (const Error& e) {
+        std::cerr << "peppher-perf: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (match_switch(arg, "scheduler", &value)) {
+      record_options.scheduler = value;
+    } else if (match_switch(arg, "force", &value)) {
+      try {
+        record_options.force = force_arch(value);
+      } catch (const Error& e) {
+        std::cerr << "peppher-perf: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (match_switch(arg, "n", &value)) {
+      const auto n = strings::to_int(value);
+      if (!n || *n <= 0) return usage(std::cerr);
+      record_options.n = static_cast<std::uint32_t>(*n);
+    } else if (match_switch(arg, "steps", &value)) {
+      const auto steps = strings::to_int(value);
+      if (!steps || *steps <= 0) return usage(std::cerr);
+      record_options.steps = static_cast<int>(*steps);
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "peppher-perf: unknown switch '" << arg << "'\n";
+      return usage(std::cerr);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (!record.empty()) {
+    if (record_options.out.empty()) {
+      std::cerr << "peppher-perf: --record needs --out=<path>\n";
+      return usage(std::cerr);
+    }
+    try {
+      return record_ode(record_options);
+    } catch (const Error& e) {
+      std::cerr << "peppher-perf: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (paths.size() != 1) return usage(std::cerr);
+  const std::string& path = paths.front();
+  diag::DiagnosticBag bag;
+  try {
+    const perf::Trace trace = perf::parse_trace(fs::read_file(path));
+    bag = perf::analyze_trace(trace);
+  } catch (const ParseError& e) {
+    // Malformed input is a usage-level failure with a precise location,
+    // not a finding: the analyses never ran.
+    std::cerr << path << ":" << e.line() << ":" << e.column() << ": "
+              << e.what() << "\n";
+    return 2;
+  } catch (const Error& e) {
+    std::cerr << "peppher-perf: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (format == "json") {
+    std::cout << bag.format_json() << "\n";
+  } else if (format == "sarif") {
+    std::cout << bag.format_sarif() << "\n";
+  } else if (!bag.empty()) {
+    std::cout << bag.format_text();
+  }
+  return bag.fails(werror) ? 1 : 0;
+}

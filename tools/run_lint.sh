@@ -9,21 +9,27 @@
 #   4. runs the coherence verifier (peppher-verify) over a control-flow
 #      main module: a correct one must pass `--verify --werror`, and a
 #      seeded branch-divergent initialisation must be caught as PL060;
-#   5. if clang-tidy is installed and the build exported
+#   5. runs the trace analyzer (peppher-perf): a well-sized recording must
+#      analyze clean, a deliberately mis-sized one must fail --werror with
+#      a PF001 device-imbalance finding, --explain must know the code, and
+#      a truncated trace must be rejected with a located parse error;
+#   6. if clang-tidy is installed and the build exported
 #      compile_commands.json, runs it over src/analyze with the repo's
 #      .clang-tidy configuration (advisory: failures are reported but do
 #      not fail the smoke run, since the installed clang-tidy version
 #      varies).
 #
-# Usage: tools/run_lint.sh [compose-binary] [peppher-lint-binary]
-# Defaults assume the standard build tree: build/tools/{compose,peppher-lint}.
+# Usage: tools/run_lint.sh [compose-binary] [peppher-lint-binary] [perf-binary]
+# Defaults assume the standard build tree:
+# build/tools/{compose,peppher-lint,peppher-perf}.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 compose_bin="${1:-${repo_root}/build/tools/compose}"
 lint_bin="${2:-${repo_root}/build/tools/peppher-lint}"
+perf_bin="${3:-${repo_root}/build/tools/peppher-perf}"
 
-for bin in "${compose_bin}" "${lint_bin}"; do
+for bin in "${compose_bin}" "${lint_bin}" "${perf_bin}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "run_lint.sh: missing binary '${bin}' (build the project first)" >&2
     exit 1
@@ -129,6 +135,33 @@ if "${lint_bin}" --werror --no-sources "${verifydir}" \
   exit 1
 fi
 grep -q "PL060" "${workdir}/verify_findings.txt"
+
+echo "== trace analyzer: a well-sized recording must analyze clean"
+"${perf_bin}" --record=ode "--out=${workdir}/trace.json" > /dev/null
+"${perf_bin}" "${workdir}/trace.json" > /dev/null
+
+echo "== mis-sized recording must fail --werror with PF001"
+"${perf_bin}" --record=ode --machine=cpu8 --force=cpu --scheduler=dmda \
+  "--out=${workdir}/bad_trace.json" > /dev/null
+if "${perf_bin}" --werror "${workdir}/bad_trace.json" \
+    > "${workdir}/perf_findings.txt"; then
+  echo "run_lint.sh: analyzer accepted a mis-sized machine profile" >&2
+  cat "${workdir}/perf_findings.txt" >&2
+  exit 1
+fi
+grep -q "PF001" "${workdir}/perf_findings.txt"
+
+echo "== --explain must know the PF codes"
+"${perf_bin}" --explain=PF001 | grep -q "PF001"
+
+echo "== truncated trace must be rejected with a located parse error"
+head -c 200 "${workdir}/trace.json" > "${workdir}/truncated.json"
+if "${perf_bin}" "${workdir}/truncated.json" \
+    > "${workdir}/perf_parse.txt" 2>&1; then
+  echo "run_lint.sh: analyzer accepted a truncated trace" >&2
+  exit 1
+fi
+grep -Eq "truncated.json:[0-9]+:[0-9]+" "${workdir}/perf_parse.txt"
 
 if command -v clang-tidy > /dev/null; then
   compile_db=""
