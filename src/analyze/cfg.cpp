@@ -1,0 +1,204 @@
+#include "analyze/cfg.hpp"
+
+#include <tuple>
+
+#include "runtime/msi.hpp"
+
+namespace peppher::analyze {
+
+bool mode_reads(rt::AccessMode mode) {
+  return mode == rt::AccessMode::kRead || mode == rt::AccessMode::kReadWrite;
+}
+
+bool mode_writes(rt::AccessMode mode) {
+  return mode == rt::AccessMode::kWrite || mode == rt::AccessMode::kReadWrite;
+}
+
+bool replica_valid(rt::ReplicaState state) {
+  return state != rt::ReplicaState::kInvalid;
+}
+
+const char* side_name(int side) {
+  return side == kHostSide ? "host" : "accelerator";
+}
+
+// ---------------------------------------------------------------------------
+// CFG lowering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Lowering {
+ public:
+  Lowering(const desc::Repository& repo, const LintOptions& options)
+      : repo_(repo), options_(options) {}
+
+  Cfg lower(const std::vector<desc::CallNode>& tree) {
+    Cfg cfg;
+    const int entry = add(Stmt{});
+    std::vector<int> frontier = lower_block(tree, {entry}, 0);
+    const int exit = add(Stmt{});
+    wire(frontier, exit);
+    cfg.stmts = std::move(stmts_);
+    cfg.entry = entry;
+    cfg.exit = exit;
+    return cfg;
+  }
+
+ private:
+  int add(Stmt stmt) {
+    stmts_.push_back(std::move(stmt));
+    return static_cast<int>(stmts_.size()) - 1;
+  }
+
+  void wire(const std::vector<int>& from, int to) {
+    for (int s : from) stmts_[s].succs.push_back(to);
+  }
+
+  /// Lowers a statement list entered from `frontier`; returns the frontier
+  /// leaving it. Visits kCall nodes in document order so `call_index_`
+  /// counts exactly like MainDescriptor::calls (the flattened view).
+  std::vector<int> lower_block(const std::vector<desc::CallNode>& block,
+                               std::vector<int> frontier, int loop_depth) {
+    for (const desc::CallNode& node : block) {
+      switch (node.kind) {
+        case desc::CallNode::Kind::kCall: {
+          Stmt stmt;
+          stmt.kind = Stmt::Kind::kCall;
+          stmt.node = &node;
+          stmt.call_index = call_index_++;
+          stmt.loop_depth = loop_depth;
+          stmt.placement = call_placement(repo_, options_, node.call);
+          const int id = add(std::move(stmt));
+          wire(frontier, id);
+          frontier = {id};
+          break;
+        }
+        case desc::CallNode::Kind::kPartition:
+        case desc::CallNode::Kind::kUnpartition:
+        case desc::CallNode::Kind::kPrefetch: {
+          Stmt stmt;
+          stmt.kind = node.kind == desc::CallNode::Kind::kPartition
+                          ? Stmt::Kind::kPartition
+                      : node.kind == desc::CallNode::Kind::kUnpartition
+                          ? Stmt::Kind::kUnpartition
+                          : Stmt::Kind::kPrefetch;
+          stmt.node = &node;
+          stmt.loop_depth = loop_depth;
+          const int id = add(std::move(stmt));
+          wire(frontier, id);
+          frontier = {id};
+          break;
+        }
+        case desc::CallNode::Kind::kLoop: {
+          // The declared trip count is >= 1, so the body executes at least
+          // once: entry flows into the head, the body's exit both loops back
+          // to the head (unless the count is exactly 1) and leaves the loop.
+          Stmt head;
+          head.loop_depth = loop_depth;
+          const int head_id = add(std::move(head));
+          wire(frontier, head_id);
+          std::vector<int> body_exit =
+              lower_block(node.body, {head_id}, loop_depth + 1);
+          if (node.loop_count != 1) wire(body_exit, head_id);
+          frontier = std::move(body_exit);
+          break;
+        }
+        case desc::CallNode::Kind::kIf: {
+          std::vector<int> then_exit =
+              lower_block(node.body, frontier, loop_depth);
+          std::vector<int> else_exit =
+              node.else_body.empty()
+                  ? frontier  // fall through around the branch
+                  : lower_block(node.else_body, frontier, loop_depth);
+          then_exit.insert(then_exit.end(), else_exit.begin(),
+                           else_exit.end());
+          frontier = std::move(then_exit);
+          break;
+        }
+      }
+    }
+    return frontier;
+  }
+
+  const desc::Repository& repo_;
+  const LintOptions& options_;
+  std::vector<Stmt> stmts_;
+  int call_index_ = 0;
+};
+
+}  // namespace
+
+Cfg lower_call_tree(const desc::Repository& repo, const LintOptions& options,
+                    const std::vector<desc::CallNode>& tree) {
+  Lowering lowering(repo, options);
+  return lowering.lower(tree);
+}
+
+// ---------------------------------------------------------------------------
+// Abstract domain: per container, a set of worlds
+// ---------------------------------------------------------------------------
+
+bool World::operator<(const World& other) const {
+  return std::tie(state, initialized, partition_stmt, pending_write,
+                  last_writer, cross_read, window_hidden, window_read) <
+         std::tie(other.state, other.initialized, other.partition_stmt,
+                  other.pending_write, other.last_writer, other.cross_read,
+                  other.window_hidden, other.window_read);
+}
+
+std::vector<Access> call_accesses(const desc::Repository& repo,
+                                  const desc::CallDesc& call,
+                                  const std::string& data) {
+  std::vector<Access> out;
+  const desc::InterfaceDescriptor* iface =
+      repo.find_interface(call.interface_name);
+  if (iface == nullptr) return out;  // PL034's problem, not ours
+  for (const desc::CallArgDesc& arg : call.args) {
+    if (arg.data != data) continue;
+    for (const desc::ParamDesc& p : iface->params) {
+      if (p.name != arg.param || !p.is_operand()) continue;
+      Access access;
+      access.mode = p.access;
+      access.hidden_write = p.access == rt::AccessMode::kRead &&
+                            p.type.find("const") == std::string::npos;
+      out.push_back(access);
+    }
+  }
+  return out;
+}
+
+void apply_call(World& w, int stmt_id, const Stmt& stmt,
+                const std::vector<Access>& accesses, int side,
+                std::set<int>* live) {
+  const bool pinned = stmt.placement != CallPlacement::kAny;
+  for (const Access& access : accesses) {
+    rt::msi::apply_acquire(w.state, side, access.mode);
+    if (mode_reads(access.mode)) {
+      if (w.pending_write >= 0 && live != nullptr) {
+        live->insert(w.pending_write);
+      }
+      w.pending_write = -1;
+      if (pinned && w.last_writer >= 0 && side != w.last_writer) {
+        w.cross_read = true;
+      }
+    }
+    if (access.mode == rt::AccessMode::kRead) {
+      if (access.hidden_write) {
+        w.window_hidden = true;
+      } else {
+        w.window_read = true;
+      }
+    }
+    if (mode_writes(access.mode)) {
+      w.initialized = true;
+      w.pending_write = stmt_id;
+      w.last_writer = pinned ? side : -1;
+      w.cross_read = false;
+      w.window_hidden = false;
+      w.window_read = false;
+    }
+  }
+}
+
+}  // namespace peppher::analyze

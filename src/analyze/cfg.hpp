@@ -1,0 +1,108 @@
+// Shared control-flow and abstract-coherence machinery of the static
+// analyses: peppher-verify (analyze/verify.cpp) runs its MSI fixpoint over
+// this CFG, and peppher-predict (analyze/predict.cpp) interprets the same
+// lowered program with a cost domain layered on top. Keeping the lowering
+// and the World transition rules in one place guarantees both tools agree
+// on where the abstract coherence state forces a transfer.
+//
+// The abstract machine is two-sided: index 0 is the host, index 1 the
+// accelerator side. The replica-state transitions are the runtime's own
+// (runtime/msi.hpp drives them), so the static worlds evolve exactly like
+// DataHandle replicas do online.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/lint.hpp"
+#include "descriptor/descriptor.hpp"
+#include "runtime/memory.hpp"
+#include "runtime/types.hpp"
+
+namespace peppher::analyze {
+
+inline constexpr int kHostSide = 0;
+inline constexpr int kDeviceSide = 1;
+
+/// True for kRead / kReadWrite.
+bool mode_reads(rt::AccessMode mode);
+
+/// True for kWrite / kReadWrite.
+bool mode_writes(rt::AccessMode mode);
+
+/// True when a replica in `state` can be read without a transfer.
+bool replica_valid(rt::ReplicaState state);
+
+/// "host" or "accelerator".
+const char* side_name(int side);
+
+/// One access of a call statement to the container under analysis (a call
+/// may bind the same container to several parameters).
+struct Access {
+  rt::AccessMode mode = rt::AccessMode::kRead;
+  bool hidden_write = false;  ///< declared read through a mutable type
+};
+
+/// One CFG node: a single statement (or a structural no-op for loop heads
+/// and the entry/exit points). Successor edges only; the worklist pushes
+/// forward.
+struct Stmt {
+  enum class Kind { kNop, kCall, kPartition, kUnpartition, kPrefetch };
+  Kind kind = Kind::kNop;
+  const desc::CallNode* node = nullptr;  ///< null for structural no-ops
+  int call_index = -1;  ///< flattened index into MainDescriptor::calls
+  int loop_depth = 0;   ///< nesting depth of enclosing <loop> statements
+  CallPlacement placement = CallPlacement::kAny;
+  std::vector<int> succs;
+};
+
+struct Cfg {
+  std::vector<Stmt> stmts;
+  int entry = -1;
+  int exit = -1;
+};
+
+/// Lowers a <calls> statement tree to the statement CFG. Call statements
+/// are numbered in document order, exactly like MainDescriptor::calls (the
+/// flattened view). Loop bodies execute at least once (declared trip count
+/// >= 1): entry flows into the head, the body's exit loops back unless the
+/// count is exactly 1.
+Cfg lower_call_tree(const desc::Repository& repo, const LintOptions& options,
+                    const std::vector<desc::CallNode>& tree);
+
+/// One feasible execution history of a single container, collapsed to the
+/// facts the checks need. The replica states are the runtime's own
+/// (runtime/msi.hpp drives the transitions), over the abstract two-node
+/// machine: index 0 the host, index 1 the accelerator side.
+struct World {
+  std::vector<rt::ReplicaState> state{rt::ReplicaState::kOwned,
+                                      rt::ReplicaState::kInvalid};
+  bool initialized = false;   ///< a program write reached this point
+  int partition_stmt = -1;    ///< stmt of the open <partition>, -1 if none
+  int pending_write = -1;     ///< stmt of the last write nothing read yet
+  int last_writer = -1;       ///< side of the last pinned write, -1 unknown
+  bool cross_read = false;    ///< a pinned cross-side read since that write
+  bool window_hidden = false; ///< open read window holds a hidden write
+  bool window_read = false;   ///< open read window holds a declared read
+
+  bool partitioned() const { return partition_stmt >= 0; }
+
+  bool operator<(const World& other) const;
+};
+
+using Worlds = std::set<World>;
+
+/// The call's accesses to the container under analysis, in binding order.
+std::vector<Access> call_accesses(const desc::Repository& repo,
+                                  const desc::CallDesc& call,
+                                  const std::string& data);
+
+/// Applies one call's accesses to a world, pinned to `side`. `live`, when
+/// non-null, collects liveness facts for the dead-write analysis (which
+/// pending writes got read) — the transfer itself is reporting-free.
+void apply_call(World& w, int stmt_id, const Stmt& stmt,
+                const std::vector<Access>& accesses, int side,
+                std::set<int>* live);
+
+}  // namespace peppher::analyze

@@ -339,6 +339,48 @@ const std::vector<CodeInfo>& all_codes() {
        "Internal limit of the coherence verifier (the abstract state kept "
        "growing); simplify the <calls> section or report a bug with the "
        "descriptor attached."},
+      // Static cost prediction (peppher-predict, docs/predict.md).
+      {"PL070", Severity::kWarning, "dead variant under the analysed machine",
+       "An implementation variant targets an architecture the analysed "
+       "machine does not provide, so no reachable path can ever select it. "
+       "Analyse against a machine that has the device, or drop the variant "
+       "from the deployment."},
+      {"PL071", Severity::kWarning,
+       "no performance model for a selectable variant",
+       "A (component, architecture) pair the schedule may choose has no "
+       "execution history, so the prediction falls back to a neutral guess. "
+       "Record models first (peppher-perf --record with --models-out, or an "
+       "engine run with a sampling directory) and pass them via --models."},
+      {"PL072", Severity::kNote, "model confidence too low at this size",
+       "The queried size lies far outside the observed byte range of the "
+       "fitted model, or the cross-validated fit error is high; the "
+       "prediction is an extrapolation. Record samples nearer the queried "
+       "size to tighten the model."},
+      {"PL073", Severity::kWarning, "statically transfer-bound loop",
+       "The coherence states force more predicted PCIe time than compute "
+       "time in every steady-state iteration of this loop. Keep the data "
+       "resident on one side across iterations, provide a same-side "
+       "variant for the consumer, or batch the transfers."},
+      {"PL074", Severity::kError, "predicted device-capacity overflow",
+       "The set of containers the schedule keeps resident on the "
+       "accelerator exceeds its memory at some program point. Partition "
+       "the data, unpartition/evict between phases, or analyse against a "
+       "device with more memory."},
+      {"PL075", Severity::kNote,
+       "accelerator variant predicted unprofitable at the analysed sizes",
+       "Every call of this component is predicted faster on the host once "
+       "forced transfers are charged; the accelerator variant would only "
+       "pay off at larger sizes. Raise the problem size or keep the "
+       "producer chain on the accelerator to amortise the copies."},
+      {"PL076", Severity::kWarning, "what-if throughput target unreachable",
+       "No device count within the search cap reaches the requested "
+       "throughput: the host-side or transfer share of the makespan "
+       "dominates (Amdahl bound). Move more of the pipeline onto the "
+       "accelerator side or relax the target."},
+      {"PL077", Severity::kError, "prediction budget exhausted",
+       "Internal limit of the static cost interpreter (the program "
+       "evaluation exceeded its statement budget); raise --max-steps or "
+       "simplify the <calls> section."},
       // Runtime-trace analyses (peppher-perf, docs/perf.md). These operate
       // on recorded executions rather than descriptors, so their
       // "location" is a program point named in the message.

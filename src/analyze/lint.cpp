@@ -705,6 +705,11 @@ void check_prefetch_pingpong(const desc::Repository& repo,
 // Public entry points
 // ---------------------------------------------------------------------------
 
+bool impl_disabled(const desc::ImplementationDescriptor& impl,
+                   const desc::Repository& repo, const LintOptions& options) {
+  return is_disabled(impl, repo, options);
+}
+
 CallPlacement call_placement(const desc::Repository& repo,
                              const LintOptions& options,
                              const desc::CallDesc& call) {

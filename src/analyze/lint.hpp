@@ -76,6 +76,12 @@ CallPlacement call_placement(const desc::Repository& repo,
                              const LintOptions& options,
                              const desc::CallDesc& call);
 
+/// True when a -disableImpls token (from the options or the main module)
+/// disables this variant, matched by implementation name or architecture.
+/// Shared with peppher-predict so both agree on the viable variant set.
+bool impl_disabled(const desc::ImplementationDescriptor& impl,
+                   const desc::Repository& repo, const LintOptions& options);
+
 /// Runs every check over an already-loaded repository. The result is sorted
 /// by location (DiagnosticBag::sort).
 diag::DiagnosticBag run_lint(const desc::Repository& repo,

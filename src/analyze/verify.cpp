@@ -5,6 +5,7 @@
 #include <set>
 #include <tuple>
 
+#include "analyze/cfg.hpp"
 #include "runtime/memory.hpp"
 #include "runtime/msi.hpp"
 
@@ -16,244 +17,7 @@ using diag::DiagnosticBag;
 using diag::Severity;
 using diag::SourceLocation;
 
-constexpr int kHostSide = 0;
-constexpr int kDeviceSide = 1;
 constexpr int kDefaultMaxSteps = 100000;  // per container; PL069 beyond
-
-bool mode_reads(rt::AccessMode mode) {
-  return mode == rt::AccessMode::kRead || mode == rt::AccessMode::kReadWrite;
-}
-
-bool mode_writes(rt::AccessMode mode) {
-  return mode == rt::AccessMode::kWrite || mode == rt::AccessMode::kReadWrite;
-}
-
-bool valid(rt::ReplicaState state) {
-  return state != rt::ReplicaState::kInvalid;
-}
-
-const char* side_name(int side) {
-  return side == kHostSide ? "host" : "accelerator";
-}
-
-// ---------------------------------------------------------------------------
-// CFG lowering
-// ---------------------------------------------------------------------------
-
-/// One access of a call statement to the container under analysis (a call
-/// may bind the same container to several parameters).
-struct Access {
-  rt::AccessMode mode = rt::AccessMode::kRead;
-  bool hidden_write = false;  ///< declared read through a mutable type
-};
-
-/// One CFG node: a single statement (or a structural no-op for loop heads
-/// and the entry/exit points). Successor edges only; the worklist pushes
-/// forward.
-struct Stmt {
-  enum class Kind { kNop, kCall, kPartition, kUnpartition, kPrefetch };
-  Kind kind = Kind::kNop;
-  const desc::CallNode* node = nullptr;  ///< null for structural no-ops
-  int call_index = -1;  ///< flattened index into MainDescriptor::calls
-  int loop_depth = 0;   ///< nesting depth of enclosing <loop> statements
-  CallPlacement placement = CallPlacement::kAny;
-  std::vector<int> succs;
-};
-
-struct Cfg {
-  std::vector<Stmt> stmts;
-  int entry = -1;
-  int exit = -1;
-};
-
-class Lowering {
- public:
-  Lowering(const desc::Repository& repo, const LintOptions& options)
-      : repo_(repo), options_(options) {}
-
-  Cfg lower(const std::vector<desc::CallNode>& tree) {
-    Cfg cfg;
-    const int entry = add(Stmt{});
-    std::vector<int> frontier = lower_block(tree, {entry}, 0);
-    const int exit = add(Stmt{});
-    wire(frontier, exit);
-    cfg.stmts = std::move(stmts_);
-    cfg.entry = entry;
-    cfg.exit = exit;
-    return cfg;
-  }
-
- private:
-  int add(Stmt stmt) {
-    stmts_.push_back(std::move(stmt));
-    return static_cast<int>(stmts_.size()) - 1;
-  }
-
-  void wire(const std::vector<int>& from, int to) {
-    for (int s : from) stmts_[s].succs.push_back(to);
-  }
-
-  /// Lowers a statement list entered from `frontier`; returns the frontier
-  /// leaving it. Visits kCall nodes in document order so `call_index_`
-  /// counts exactly like MainDescriptor::calls (the flattened view).
-  std::vector<int> lower_block(const std::vector<desc::CallNode>& block,
-                               std::vector<int> frontier, int loop_depth) {
-    for (const desc::CallNode& node : block) {
-      switch (node.kind) {
-        case desc::CallNode::Kind::kCall: {
-          Stmt stmt;
-          stmt.kind = Stmt::Kind::kCall;
-          stmt.node = &node;
-          stmt.call_index = call_index_++;
-          stmt.loop_depth = loop_depth;
-          stmt.placement = call_placement(repo_, options_, node.call);
-          const int id = add(std::move(stmt));
-          wire(frontier, id);
-          frontier = {id};
-          break;
-        }
-        case desc::CallNode::Kind::kPartition:
-        case desc::CallNode::Kind::kUnpartition:
-        case desc::CallNode::Kind::kPrefetch: {
-          Stmt stmt;
-          stmt.kind = node.kind == desc::CallNode::Kind::kPartition
-                          ? Stmt::Kind::kPartition
-                      : node.kind == desc::CallNode::Kind::kUnpartition
-                          ? Stmt::Kind::kUnpartition
-                          : Stmt::Kind::kPrefetch;
-          stmt.node = &node;
-          stmt.loop_depth = loop_depth;
-          const int id = add(std::move(stmt));
-          wire(frontier, id);
-          frontier = {id};
-          break;
-        }
-        case desc::CallNode::Kind::kLoop: {
-          // The declared trip count is >= 1, so the body executes at least
-          // once: entry flows into the head, the body's exit both loops back
-          // to the head (unless the count is exactly 1) and leaves the loop.
-          Stmt head;
-          head.loop_depth = loop_depth;
-          const int head_id = add(std::move(head));
-          wire(frontier, head_id);
-          std::vector<int> body_exit =
-              lower_block(node.body, {head_id}, loop_depth + 1);
-          if (node.loop_count != 1) wire(body_exit, head_id);
-          frontier = std::move(body_exit);
-          break;
-        }
-        case desc::CallNode::Kind::kIf: {
-          std::vector<int> then_exit =
-              lower_block(node.body, frontier, loop_depth);
-          std::vector<int> else_exit =
-              node.else_body.empty()
-                  ? frontier  // fall through around the branch
-                  : lower_block(node.else_body, frontier, loop_depth);
-          then_exit.insert(then_exit.end(), else_exit.begin(),
-                           else_exit.end());
-          frontier = std::move(then_exit);
-          break;
-        }
-      }
-    }
-    return frontier;
-  }
-
-  const desc::Repository& repo_;
-  const LintOptions& options_;
-  std::vector<Stmt> stmts_;
-  int call_index_ = 0;
-};
-
-// ---------------------------------------------------------------------------
-// Abstract domain: per container, a set of worlds
-// ---------------------------------------------------------------------------
-
-/// One feasible execution history of a single container, collapsed to the
-/// facts the checks need. The replica states are the runtime's own
-/// (runtime/msi.hpp drives the transitions), over the abstract two-node
-/// machine: index 0 the host, index 1 the accelerator side.
-struct World {
-  std::vector<rt::ReplicaState> state{rt::ReplicaState::kOwned,
-                                      rt::ReplicaState::kInvalid};
-  bool initialized = false;   ///< a program write reached this point
-  int partition_stmt = -1;    ///< stmt of the open <partition>, -1 if none
-  int pending_write = -1;     ///< stmt of the last write nothing read yet
-  int last_writer = -1;       ///< side of the last pinned write, -1 unknown
-  bool cross_read = false;    ///< a pinned cross-side read since that write
-  bool window_hidden = false; ///< open read window holds a hidden write
-  bool window_read = false;   ///< open read window holds a declared read
-
-  bool partitioned() const { return partition_stmt >= 0; }
-
-  bool operator<(const World& other) const {
-    return std::tie(state, initialized, partition_stmt, pending_write,
-                    last_writer, cross_read, window_hidden, window_read) <
-           std::tie(other.state, other.initialized, other.partition_stmt,
-                    other.pending_write, other.last_writer, other.cross_read,
-                    other.window_hidden, other.window_read);
-  }
-};
-
-using Worlds = std::set<World>;
-
-/// The call's accesses to the container under analysis, in binding order.
-std::vector<Access> call_accesses(const desc::Repository& repo,
-                                  const desc::CallDesc& call,
-                                  const std::string& data) {
-  std::vector<Access> out;
-  const desc::InterfaceDescriptor* iface =
-      repo.find_interface(call.interface_name);
-  if (iface == nullptr) return out;  // PL034's problem, not ours
-  for (const desc::CallArgDesc& arg : call.args) {
-    if (arg.data != data) continue;
-    for (const desc::ParamDesc& p : iface->params) {
-      if (p.name != arg.param || !p.is_operand()) continue;
-      Access access;
-      access.mode = p.access;
-      access.hidden_write = p.access == rt::AccessMode::kRead &&
-                            p.type.find("const") == std::string::npos;
-      out.push_back(access);
-    }
-  }
-  return out;
-}
-
-/// Applies one call's accesses to a world, pinned to `side`. `live`, when
-/// non-null, collects liveness facts for the dead-write analysis (which
-/// pending writes got read) — the transfer itself is reporting-free.
-void apply_call(World& w, int stmt_id, const Stmt& stmt,
-                const std::vector<Access>& accesses, int side,
-                std::set<int>* live) {
-  const bool pinned = stmt.placement != CallPlacement::kAny;
-  for (const Access& access : accesses) {
-    rt::msi::apply_acquire(w.state, side, access.mode);
-    if (mode_reads(access.mode)) {
-      if (w.pending_write >= 0 && live != nullptr) {
-        live->insert(w.pending_write);
-      }
-      w.pending_write = -1;
-      if (pinned && w.last_writer >= 0 && side != w.last_writer) {
-        w.cross_read = true;
-      }
-    }
-    if (access.mode == rt::AccessMode::kRead) {
-      if (access.hidden_write) {
-        w.window_hidden = true;
-      } else {
-        w.window_read = true;
-      }
-    }
-    if (mode_writes(access.mode)) {
-      w.initialized = true;
-      w.pending_write = stmt_id;
-      w.last_writer = pinned ? side : -1;
-      w.cross_read = false;
-      w.window_hidden = false;
-      w.window_read = false;
-    }
-  }
-}
 
 // ---------------------------------------------------------------------------
 // The verifier
@@ -271,8 +35,7 @@ class Verifier {
 
   VerifyResult run() {
     VerifyResult result;
-    Lowering lowering(repo_, options_);
-    cfg_ = lowering.lower(main_.call_tree);
+    cfg_ = lower_call_tree(repo_, options_, main_.call_tree);
 
     for (const std::string& data : containers()) {
       analyze_container(data, result);
@@ -491,7 +254,7 @@ class Verifier {
               stmt.node->prefetch_to_device ? kDeviceSide : kHostSide;
           const bool always_valid =
               std::all_of(worlds.begin(), worlds.end(), [&](const World& w) {
-                return valid(w.state[side]);
+                return replica_valid(w.state[side]);
               });
           if (always_valid) {
             bag.add("PL061", Severity::kNote,

@@ -1153,15 +1153,12 @@ double Engine::estimate_exec_seconds(const Task& task, const WorkerDesc& worker,
                                      const Implementation& impl) const {
   const std::string& codelet = task.spec.codelet->name();
   if (config_.use_history_models) {
-    if (perf_.sample_count(codelet, impl.arch, task.footprint) >=
-        static_cast<std::uint64_t>(config_.calibration_samples)) {
-      if (auto expected = perf_.expected(codelet, impl.arch, task.footprint)) {
-        return *expected;
-      }
-    }
-    if (auto regressed =
-            perf_.regression_estimate(codelet, impl.arch, task.total_bytes)) {
-      return *regressed;
+    // Shared with peppher-predict (PerfRegistry::estimate_exec) so static
+    // per-task estimates agree with the scheduler's to round-off.
+    if (auto history = perf_.estimate_exec(
+            codelet, impl.arch, task.footprint, task.total_bytes,
+            static_cast<std::uint64_t>(config_.calibration_samples))) {
+      return *history;
     }
   }
   if (impl.cost) {

@@ -1,7 +1,9 @@
 #include "runtime/perfmodel.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -50,6 +52,144 @@ std::uint64_t footprint_of(const std::vector<std::size_t>& operand_bytes) noexce
 }
 
 // ---------------------------------------------------------------------------
+// Multi-term model (Extra-P style)
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(TermBasis basis) noexcept {
+  switch (basis) {
+    case TermBasis::kConst: return "1";
+    case TermBasis::kLog: return "log";
+    case TermBasis::kLinear: return "n";
+    case TermBasis::kNLogN: return "nlogn";
+    case TermBasis::kQuadratic: return "n2";
+  }
+  return "1";
+}
+
+std::optional<TermBasis> parse_term_basis(std::string_view text) noexcept {
+  if (text == "1") return TermBasis::kConst;
+  if (text == "log") return TermBasis::kLog;
+  if (text == "n") return TermBasis::kLinear;
+  if (text == "nlogn") return TermBasis::kNLogN;
+  if (text == "n2") return TermBasis::kQuadratic;
+  return std::nullopt;
+}
+
+double term_value(TermBasis basis, double n) noexcept {
+  n = std::max(n, 1.0);
+  switch (basis) {
+    case TermBasis::kConst: return 1.0;
+    case TermBasis::kLog: return std::log2(n);
+    case TermBasis::kLinear: return n;
+    case TermBasis::kNLogN: return n * std::log2(n);
+    case TermBasis::kQuadratic: return n * n;
+  }
+  return 1.0;
+}
+
+double MultiTermModel::evaluate(double bytes) const noexcept {
+  double sum = 0.0;
+  for (const ModelTerm& term : terms) {
+    sum += term.coefficient * term_value(term.basis, bytes);
+  }
+  return std::max(sum, 0.0);
+}
+
+bool MultiTermModel::extrapolates(double bytes, double slack) const noexcept {
+  if (min_bytes == 0 && max_bytes == 0) return true;
+  return bytes < static_cast<double>(min_bytes) / slack ||
+         bytes > static_cast<double>(max_bytes) * slack;
+}
+
+namespace {
+
+struct FitPoint {
+  double n = 0.0;       // total operand bytes
+  double y = 0.0;       // mean seconds
+  double weight = 0.0;  // 1/y² — minimises *relative* squared error
+};
+
+/// Weighted least squares over the chosen bases: solves the k×k normal
+/// equations (XᵀWX)c = XᵀWy by Gaussian elimination with partial pivoting.
+/// Returns false when the system is (near-)singular.
+bool solve_least_squares(const std::vector<FitPoint>& points,
+                         const std::vector<TermBasis>& bases,
+                         std::size_t skip_index,
+                         std::vector<double>* coefficients) {
+  const std::size_t k = bases.size();
+  std::vector<double> a(k * k, 0.0);
+  std::vector<double> b(k, 0.0);
+  std::vector<double> x(k, 0.0);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (p == skip_index) continue;
+    const FitPoint& pt = points[p];
+    for (std::size_t i = 0; i < k; ++i) x[i] = term_value(bases[i], pt.n);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) a[i * k + j] += pt.weight * x[i] * x[j];
+      b[i] += pt.weight * x[i] * pt.y;
+    }
+  }
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < k; ++row) {
+      if (std::abs(a[row * k + col]) > std::abs(a[pivot * k + col])) pivot = row;
+    }
+    if (std::abs(a[pivot * k + col]) < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < k; ++j) std::swap(a[col * k + j], a[pivot * k + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < k; ++row) {
+      const double factor = a[row * k + col] / a[col * k + col];
+      for (std::size_t j = col; j < k; ++j) a[row * k + j] -= factor * a[col * k + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  coefficients->assign(k, 0.0);
+  for (std::size_t row = k; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t j = row + 1; j < k; ++j) sum -= a[row * k + j] * (*coefficients)[j];
+    (*coefficients)[row] = sum / a[row * k + row];
+  }
+  for (double c : (*coefficients)) {
+    if (!std::isfinite(c)) return false;
+  }
+  return true;
+}
+
+double evaluate_terms(const std::vector<TermBasis>& bases,
+                      const std::vector<double>& coefficients, double n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    sum += coefficients[i] * term_value(bases[i], n);
+  }
+  return sum;
+}
+
+/// All 1- and 2-term subsets of the candidate bases, singles first so that
+/// on cross-validation ties the simpler hypothesis wins.
+const std::vector<std::vector<TermBasis>>& term_candidates() {
+  static const std::vector<std::vector<TermBasis>> candidates = [] {
+    std::vector<std::vector<TermBasis>> out;
+    for (int i = 0; i < kTermBasisCount; ++i) {
+      out.push_back({static_cast<TermBasis>(i)});
+    }
+    for (int i = 0; i < kTermBasisCount; ++i) {
+      for (int j = i + 1; j < kTermBasisCount; ++j) {
+        out.push_back({static_cast<TermBasis>(i), static_cast<TermBasis>(j)});
+      }
+    }
+    return out;
+  }();
+  return candidates;
+}
+
+constexpr std::size_t kNoSkip = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // HistoryModel
 // ---------------------------------------------------------------------------
 
@@ -58,6 +198,7 @@ void HistoryModel::record(std::uint64_t footprint, std::size_t total_bytes,
   Entry& entry = entries_[footprint];
   entry.total_bytes = total_bytes;
   entry.stats.add(seconds);
+  fit_valid_ = false;
 }
 
 std::optional<double> HistoryModel::expected(std::uint64_t footprint) const {
@@ -101,6 +242,82 @@ std::optional<double> HistoryModel::regression_estimate(
   return std::exp(log_a + b * std::log(static_cast<double>(total_bytes)));
 }
 
+std::optional<MultiTermModel> HistoryModel::multi_term_fit() const {
+  if (fit_valid_) {
+    if (!fit_.usable()) return std::nullopt;
+    return fit_;
+  }
+  fit_valid_ = true;
+  fit_ = MultiTermModel{};
+  std::map<std::size_t, double> by_bytes;
+  for (const auto& [footprint, entry] : entries_) {
+    (void)footprint;
+    if (entry.total_bytes > 0 && entry.stats.mean > 0.0) {
+      by_bytes[entry.total_bytes] = entry.stats.mean;
+    }
+  }
+  if (by_bytes.size() < 4) return std::nullopt;
+  std::vector<FitPoint> points;
+  points.reserve(by_bytes.size());
+  for (const auto& [bytes, mean] : by_bytes) {
+    points.push_back({static_cast<double>(bytes), mean, 1.0 / (mean * mean)});
+  }
+
+  double best_cv = std::numeric_limits<double>::infinity();
+  std::vector<TermBasis> best_bases;
+  std::vector<double> best_coefficients;
+  std::vector<double> coefficients;
+  std::vector<double> loo;
+  for (const std::vector<TermBasis>& bases : term_candidates()) {
+    if (bases.size() + 2 > points.size()) continue;
+    if (!solve_least_squares(points, bases, kNoSkip, &coefficients)) continue;
+    // A time model must predict positive time over the observed range.
+    bool positive = true;
+    for (const FitPoint& pt : points) {
+      if (evaluate_terms(bases, coefficients, pt.n) <= 0.0) {
+        positive = false;
+        break;
+      }
+    }
+    if (!positive) continue;
+    // Leave-one-out cross-validation on relative error.
+    double squared = 0.0;
+    bool cv_ok = true;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (!solve_least_squares(points, bases, i, &loo)) {
+        cv_ok = false;
+        break;
+      }
+      const double predicted = evaluate_terms(bases, loo, points[i].n);
+      const double relative = (predicted - points[i].y) / points[i].y;
+      squared += relative * relative;
+    }
+    if (!cv_ok) continue;
+    const double cv = std::sqrt(squared / static_cast<double>(points.size()));
+    if (cv < best_cv) {
+      best_cv = cv;
+      best_bases = bases;
+      best_coefficients = coefficients;
+    }
+  }
+  if (best_bases.empty()) return std::nullopt;
+  for (std::size_t i = 0; i < best_bases.size(); ++i) {
+    fit_.terms.push_back({best_bases[i], best_coefficients[i]});
+  }
+  fit_.cv_error = best_cv;
+  fit_.points = points.size();
+  fit_.min_bytes = static_cast<std::size_t>(points.front().n);
+  fit_.max_bytes = static_cast<std::size_t>(points.back().n);
+  return fit_;
+}
+
+std::optional<double> HistoryModel::multi_term_estimate(
+    std::size_t total_bytes) const {
+  const std::optional<MultiTermModel> model = multi_term_fit();
+  if (!model) return std::nullopt;
+  return model->evaluate(static_cast<double>(total_bytes));
+}
+
 std::pair<std::size_t, std::size_t> HistoryModel::bytes_range() const {
   std::pair<std::size_t, std::size_t> range{0, 0};
   bool first = true;
@@ -129,33 +346,193 @@ std::uint64_t HistoryModel::total_samples() const {
 std::string HistoryModel::serialize() const {
   std::ostringstream out;
   out.precision(17);
+  out << "peppher-model v2\n";
   for (const auto& [footprint, entry] : entries_) {
     out << footprint << ' ' << entry.total_bytes << ' ' << entry.stats.count
         << ' ' << entry.stats.mean << ' ' << entry.stats.m2 << ' '
         << entry.stats.min << ' ' << entry.stats.max << '\n';
   }
+  if (const std::optional<MultiTermModel> fit = multi_term_fit()) {
+    out << "fit " << fit->cv_error << ' ' << fit->points << ' '
+        << fit->min_bytes << ' ' << fit->max_bytes << ' ' << fit->terms.size();
+    for (const ModelTerm& term : fit->terms) {
+      out << ' ' << to_string(term.basis) << ' ' << term.coefficient;
+    }
+    out << '\n';
+  }
   return std::move(out).str();
 }
 
+namespace {
+
+/// One whitespace-separated token of a model line plus its 1-based column,
+/// so parse errors can point at the offending field.
+struct Token {
+  std::string_view text;
+  int column = 1;
+};
+
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    out.push_back({line.substr(start, i - start), static_cast<int>(start) + 1});
+  }
+  return out;
+}
+
+[[noreturn]] void fail_at(const std::string& message, int line, int column) {
+  throw ParseError(message, line, column);
+}
+
+/// Full-width unsigned parse: footprints are 64-bit hashes that routinely
+/// exceed LLONG_MAX, so strings::to_int (signed) is not usable here.
+std::uint64_t parse_u64_field(const Token& token, std::string_view field,
+                              int line) {
+  unsigned long long value = 0;
+  const char* begin = token.text.data();
+  const char* end = begin + token.text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    fail_at("model field '" + std::string(field) +
+                "' is not an unsigned integer: '" + std::string(token.text) +
+                "'",
+            line, token.column);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+double parse_time_field(const Token& token, std::string_view field, int line,
+                        bool require_non_negative) {
+  const std::optional<double> value = strings::to_double(token.text);
+  if (!value || !std::isfinite(*value)) {
+    fail_at("model field '" + std::string(field) +
+                "' is not a finite number: '" + std::string(token.text) + "'",
+            line, token.column);
+  }
+  if (require_non_negative && *value < 0.0) {
+    fail_at("model field '" + std::string(field) + "' is negative: '" +
+                std::string(token.text) + "'",
+            line, token.column);
+  }
+  return *value;
+}
+
+}  // namespace
+
 void HistoryModel::deserialize(std::string_view text) {
   entries_.clear();
-  for (const std::string& line : strings::split(text, '\n')) {
-    const auto fields = strings::split_whitespace(line);
+  fit_valid_ = false;
+  fit_ = MultiTermModel{};
+
+  const std::vector<std::string> lines = strings::split(text, '\n');
+  bool v2 = false;
+  bool saw_fit = false;
+  for (std::size_t index = 0; index < lines.size(); ++index) {
+    const int line_no = static_cast<int>(index) + 1;
+    const std::vector<Token> fields = tokenize(lines[index]);
     if (fields.empty()) continue;
+
+    if (fields[0].text == "peppher-model") {
+      if (index != 0) {
+        fail_at("model header must be the first line", line_no,
+                fields[0].column);
+      }
+      if (fields.size() != 2 || fields[1].text != "v2") {
+        fail_at("unsupported model format version (expected 'peppher-model v2')",
+                line_no, fields.size() > 1 ? fields[1].column : fields[0].column);
+      }
+      v2 = true;
+      continue;
+    }
+
+    if (fields[0].text == "fit") {
+      if (!v2) {
+        fail_at("'fit' line requires a 'peppher-model v2' header", line_no,
+                fields[0].column);
+      }
+      if (saw_fit) {
+        fail_at("duplicate 'fit' line", line_no, fields[0].column);
+      }
+      saw_fit = true;
+      if (fields.size() < 6) {
+        fail_at("'fit' line needs at least 6 fields "
+                "(fit cv points min max k ...)",
+                line_no, fields[0].column);
+      }
+      MultiTermModel fit;
+      fit.cv_error = parse_time_field(fields[1], "cv_error", line_no, true);
+      fit.points =
+          static_cast<std::size_t>(parse_u64_field(fields[2], "points", line_no));
+      fit.min_bytes = static_cast<std::size_t>(
+          parse_u64_field(fields[3], "min_bytes", line_no));
+      fit.max_bytes = static_cast<std::size_t>(
+          parse_u64_field(fields[4], "max_bytes", line_no));
+      if (fit.min_bytes > fit.max_bytes) {
+        fail_at("'fit' line has min_bytes > max_bytes", line_no,
+                fields[3].column);
+      }
+      const std::uint64_t k = parse_u64_field(fields[5], "term_count", line_no);
+      if (k == 0 || k > static_cast<std::uint64_t>(kTermBasisCount)) {
+        fail_at("'fit' term count out of range", line_no, fields[5].column);
+      }
+      if (fields.size() != 6 + 2 * static_cast<std::size_t>(k)) {
+        fail_at("'fit' line field count does not match its term count",
+                line_no, fields[0].column);
+      }
+      for (std::uint64_t i = 0; i < k; ++i) {
+        const Token& basis_token = fields[6 + 2 * i];
+        const std::optional<TermBasis> basis = parse_term_basis(basis_token.text);
+        if (!basis) {
+          fail_at("unknown model term basis '" + std::string(basis_token.text) +
+                      "'",
+                  line_no, basis_token.column);
+        }
+        const double coefficient = parse_time_field(
+            fields[7 + 2 * i], "coefficient", line_no, false);
+        fit.terms.push_back({*basis, coefficient});
+      }
+      fit_ = fit;
+      fit_valid_ = true;
+      continue;
+    }
+
     if (fields.size() != 7) {
-      throw ParseError("bad performance-model line: '" + line + "'");
+      fail_at("bad performance-model line: expected 7 fields "
+              "(footprint bytes count mean m2 min max), got " +
+                  std::to_string(fields.size()),
+              line_no, fields[0].column);
+    }
+    const std::uint64_t footprint =
+        parse_u64_field(fields[0], "footprint", line_no);
+    if (entries_.count(footprint) != 0) {
+      fail_at("duplicate footprint key '" + std::string(fields[0].text) + "'",
+              line_no, fields[0].column);
     }
     Entry entry;
-    std::uint64_t footprint =
-        static_cast<std::uint64_t>(strings::to_int(fields[0]).value_or(-1));
     entry.total_bytes =
-        static_cast<std::size_t>(strings::to_int(fields[1]).value_or(0));
-    entry.stats.count =
-        static_cast<std::uint64_t>(strings::to_int(fields[2]).value_or(0));
-    entry.stats.mean = strings::to_double(fields[3]).value_or(0.0);
-    entry.stats.m2 = strings::to_double(fields[4]).value_or(0.0);
-    entry.stats.min = strings::to_double(fields[5]).value_or(0.0);
-    entry.stats.max = strings::to_double(fields[6]).value_or(0.0);
+        static_cast<std::size_t>(parse_u64_field(fields[1], "bytes", line_no));
+    entry.stats.count = parse_u64_field(fields[2], "count", line_no);
+    if (entry.stats.count == 0) {
+      fail_at("model entry has a zero sample count", line_no, fields[2].column);
+    }
+    entry.stats.mean = parse_time_field(fields[3], "mean", line_no, true);
+    entry.stats.m2 = parse_time_field(fields[4], "m2", line_no, true);
+    entry.stats.min = parse_time_field(fields[5], "min", line_no, true);
+    entry.stats.max = parse_time_field(fields[6], "max", line_no, true);
+    if (entry.stats.min > entry.stats.max) {
+      fail_at("model entry has min > max", line_no, fields[5].column);
+    }
     entries_[footprint] = entry;
   }
 }
@@ -195,8 +572,38 @@ std::optional<double> PerfRegistry::regression_estimate(
   return it->second.regression_estimate(total_bytes);
 }
 
-void PerfRegistry::save(const std::filesystem::path& dir) const {
+std::optional<double> PerfRegistry::estimate_exec(
+    const std::string& codelet, Arch arch, std::uint64_t footprint,
+    std::size_t total_bytes, std::uint64_t calibration_min) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = models_.find({codelet, static_cast<int>(arch)});
+  if (it == models_.end()) return std::nullopt;
+  const HistoryModel& model = it->second;
+  if (model.sample_count(footprint) >= calibration_min) {
+    if (const std::optional<double> expected = model.expected(footprint)) {
+      return expected;
+    }
+  }
+  return model.regression_estimate(total_bytes);
+}
+
+std::optional<MultiTermModel> PerfRegistry::multi_term_fit(
+    const std::string& codelet, Arch arch) const {
+  // Exclusive: the fit is computed lazily and cached inside the model.
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  auto it = models_.find({codelet, static_cast<int>(arch)});
+  if (it == models_.end()) return std::nullopt;
+  return it->second.multi_term_fit();
+}
+
+bool PerfRegistry::has_model(const std::string& codelet, Arch arch) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return models_.count({codelet, static_cast<int>(arch)}) != 0;
+}
+
+void PerfRegistry::save(const std::filesystem::path& dir) const {
+  // Exclusive: serialisation computes (and caches) the multi-term fit.
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   fs::make_dirs(dir);
   for (const auto& [key, model] : models_) {
     const std::string filename =
@@ -218,7 +625,18 @@ void PerfRegistry::load(const std::filesystem::path& dir) {
     } catch (const Error&) {
       continue;  // not one of ours
     }
-    models_[{codelet, static_cast<int>(arch)}].deserialize(fs::read_file(path));
+    const Key key{codelet, static_cast<int>(arch)};
+    try {
+      models_[key].deserialize(fs::read_file(path));
+    } catch (const ParseError& e) {
+      models_.erase(key);  // never keep a half-parsed model
+      std::string message = e.what();
+      const std::string prefix(to_string(ErrorCode::kParseError));
+      if (strings::starts_with(message, prefix + ": ")) {
+        message = message.substr(prefix.size() + 2);
+      }
+      throw ParseError(message, path.string(), e.line(), e.column());
+    }
   }
 }
 

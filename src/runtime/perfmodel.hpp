@@ -10,6 +10,13 @@
 // "uncalibrated", which the scheduler resolves by forced exploration.
 // Models persist to a sampling directory between runs, like StarPU's
 // ~/.starpu/sampling.
+//
+// On top of the online path, each history can produce an Extra-P-style
+// multi-term model (Calotoiu et al.): time(n) = Σ cᵢ·fᵢ(n) over candidate
+// basis terms {1, log n, n, n·log n, n²}, with the term subset chosen by
+// leave-one-out cross-validation. The static analyser (peppher-predict)
+// uses these to evaluate component cost at sizes the history never
+// observed; the scheduler's online estimate is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +49,61 @@ struct SampleStats {
 /// history-table key.
 std::uint64_t footprint_of(const std::vector<std::size_t>& operand_bytes) noexcept;
 
+/// One candidate basis function of a multi-term model, evaluated over the
+/// task's total operand byte count n.
+enum class TermBasis : std::uint8_t {
+  kConst,      ///< 1
+  kLog,        ///< log2(n)
+  kLinear,     ///< n
+  kNLogN,      ///< n·log2(n)
+  kQuadratic,  ///< n²
+};
+
+inline constexpr int kTermBasisCount = 5;
+
+/// Serialisation name of a basis ("1", "log", "n", "nlogn", "n2").
+std::string_view to_string(TermBasis basis) noexcept;
+
+/// Inverse of to_string(TermBasis); nullopt for unknown names.
+std::optional<TermBasis> parse_term_basis(std::string_view text) noexcept;
+
+/// Value of one basis function at n bytes (n clamped to >= 1).
+double term_value(TermBasis basis, double n) noexcept;
+
+/// One fitted term: coefficient · basis(n).
+struct ModelTerm {
+  TermBasis basis = TermBasis::kConst;
+  double coefficient = 0.0;
+};
+
+/// Extra-P-style multi-term performance model of one (codelet, arch)
+/// history: time(n) = Σ coefficientᵢ · basisᵢ(n), fitted by weighted least
+/// squares and selected by leave-one-out cross-validation over the model
+/// candidates. Unlike the power-law regression it can express additive
+/// behaviour (constant launch overhead + linear traffic, n·log n sorts)
+/// and is meant for *design-time* evaluation at unobserved sizes.
+struct MultiTermModel {
+  std::vector<ModelTerm> terms;
+  /// Leave-one-out cross-validation error: RMS of the relative prediction
+  /// errors. Infinity when no candidate fitted.
+  double cv_error = 0.0;
+  /// Number of distinct (bytes, mean) points the fit used.
+  std::size_t points = 0;
+  /// Observed byte range of the fit; evaluating far outside it is
+  /// extrapolation and should lower the caller's confidence.
+  std::size_t min_bytes = 0;
+  std::size_t max_bytes = 0;
+
+  bool usable() const noexcept { return !terms.empty(); }
+
+  /// Predicted seconds at `bytes` (clamped to >= 0).
+  double evaluate(double bytes) const noexcept;
+
+  /// True when `bytes` lies outside the observed [min_bytes, max_bytes]
+  /// range by more than `slack` (a factor; 1.0 means strictly outside).
+  bool extrapolates(double bytes, double slack = 1.0) const noexcept;
+};
+
 /// Execution-time history of one (codelet, architecture) pair.
 class HistoryModel {
  public:
@@ -59,6 +121,15 @@ class HistoryModel {
   /// otherwise.
   std::optional<double> regression_estimate(std::size_t total_bytes) const;
 
+  /// Best multi-term model over the recorded (bytes, mean) points, chosen
+  /// from all 1- and 2-term subsets of the candidate bases by leave-one-out
+  /// cross-validation. Requires >= 4 distinct sizes; nullopt otherwise.
+  /// The fit is cached until the next record()/deserialize().
+  std::optional<MultiTermModel> multi_term_fit() const;
+
+  /// multi_term_fit() evaluated at `total_bytes`; nullopt when unfittable.
+  std::optional<double> multi_term_estimate(std::size_t total_bytes) const;
+
   /// Number of distinct footprints recorded.
   std::size_t entry_count() const { return entries_.size(); }
 
@@ -69,9 +140,19 @@ class HistoryModel {
   /// Total samples across all footprints.
   std::uint64_t total_samples() const;
 
-  /// Plain-text serialisation: one "footprint bytes count mean m2 min max"
-  /// line per entry.
+  /// Plain-text serialisation, format v2:
+  ///   peppher-model v2
+  ///   <footprint> <bytes> <count> <mean> <m2> <min> <max>   (per entry)
+  ///   fit <cv_error> <points> <min_bytes> <max_bytes> <k> {<basis> <coeff>}
+  /// The `fit` line persists the cross-validated multi-term model (when one
+  /// is fittable) so design-time consumers need not refit.
   std::string serialize() const;
+
+  /// Parses v2 text as well as headerless v1 (entry lines only). Malformed
+  /// input throws ParseError carrying the 1-based line/column of the
+  /// offending token: wrong field counts, non-numeric or non-finite
+  /// values, negative times, min > max, zero sample counts and duplicate
+  /// footprint keys are all rejected rather than silently coerced.
   void deserialize(std::string_view text);
 
  private:
@@ -80,13 +161,17 @@ class HistoryModel {
     SampleStats stats;
   };
   std::map<std::uint64_t, Entry> entries_;
+  // Cached / persisted multi-term fit; invalidated by record() and rebuilt
+  // lazily. fit_.usable() == false means "computed, nothing fittable".
+  mutable bool fit_valid_ = false;
+  mutable MultiTermModel fit_;
 };
 
 /// Thread-safe registry of history models keyed by codelet name and
 /// architecture. One per Engine. Lookups (expected / sample_count /
 /// regression_estimate) take a shared lock so concurrent scheduling
 /// estimates from many workers never serialize against each other; only
-/// record/load/clear take the lock exclusively.
+/// record/load/clear/fit take the lock exclusively.
 class PerfRegistry {
  public:
   void record(const std::string& codelet, Arch arch, std::uint64_t footprint,
@@ -101,10 +186,30 @@ class PerfRegistry {
   std::optional<double> regression_estimate(const std::string& codelet, Arch arch,
                                             std::size_t total_bytes) const;
 
+  /// The dmda scheduler's history estimate, shared with peppher-predict so
+  /// static and online per-task estimates agree by construction: the
+  /// calibrated per-footprint mean when at least `calibration_min` samples
+  /// exist for the exact footprint, otherwise the power-law regression over
+  /// recorded sizes. nullopt when the model is missing or uncalibrated.
+  std::optional<double> estimate_exec(const std::string& codelet, Arch arch,
+                                      std::uint64_t footprint,
+                                      std::size_t total_bytes,
+                                      std::uint64_t calibration_min) const;
+
+  /// Cross-validated multi-term model of one history (design-time use).
+  /// Takes the exclusive lock: the underlying fit is computed lazily.
+  std::optional<MultiTermModel> multi_term_fit(const std::string& codelet,
+                                               Arch arch) const;
+
+  /// True when any history exists for (codelet, arch).
+  bool has_model(const std::string& codelet, Arch arch) const;
+
   /// Writes one "<codelet>.<arch>.model" file per model under `dir`.
   void save(const std::filesystem::path& dir) const;
 
   /// Loads every model file under `dir` (missing dir is fine: cold start).
+  /// A malformed file throws ParseError whose text names the file and
+  /// whose structured line/column point at the offending token.
   void load(const std::filesystem::path& dir);
 
   /// Drops all recorded history (benchmark isolation).

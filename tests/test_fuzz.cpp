@@ -3,6 +3,7 @@
 // arbitrary mutated input — never crash, hang or corrupt memory.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 
 #include "cdecl/cdecl.hpp"
@@ -10,6 +11,7 @@
 #include "perf/trace.hpp"
 #include "runtime/perfmodel.hpp"
 #include "support/error.hpp"
+#include "support/fs.hpp"
 #include "support/rng.hpp"
 #include "xml/xml.hpp"
 
@@ -386,6 +388,82 @@ TEST_P(FuzzSeed, TraceParserNeverCrashesOnMutatedTraces) {
       // Expected for most mutations.
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted malformed .model files (peppher-predict --models input): each
+// fixture must raise a located ParseError — never crash and never load a
+// half-parsed model. PerfRegistry::load additionally names the file.
+// ---------------------------------------------------------------------------
+
+TEST(MalformedModels, TruncatedFilesRaiseLocatedParseErrors) {
+  rt::HistoryModel seed_model;
+  for (const std::size_t bytes : {1000, 2000, 4000, 8000, 16000}) {
+    seed_model.record(rt::footprint_of({bytes}), bytes,
+                      1e-9 * static_cast<double>(bytes));
+  }
+  ASSERT_TRUE(seed_model.multi_term_fit().has_value());
+  const std::string serialized = seed_model.serialize();
+  // Every proper prefix that cuts a line in half must be rejected; prefixes
+  // ending on a line boundary are legitimately shorter files.
+  for (std::size_t cut = 1; cut < serialized.size(); ++cut) {
+    const std::string prefix = serialized.substr(0, cut);
+    if (prefix.back() == '\n') continue;
+    rt::HistoryModel model;
+    try {
+      model.deserialize(prefix);
+      // A cut inside the final digits of a number can still parse.
+    } catch (const ParseError& e) {
+      EXPECT_GT(e.line(), 0) << prefix;
+    }
+  }
+}
+
+TEST(MalformedModels, NonFiniteAndNegativeTimesAreRejected) {
+  const char* const fixtures[] = {
+      "1 4096 2 nan 0.0 0.4 0.6\n",     // NaN mean
+      "1 4096 2 inf 0.0 0.4 0.6\n",     // infinite mean
+      "1 4096 2 -0.5 0.0 0.4 0.6\n",    // negative mean
+      "1 4096 2 0.5 -1.0 0.4 0.6\n",    // negative variance accumulator
+      "1 4096 2 0.5 0.0 -0.4 0.6\n",    // negative minimum
+      "1 4096 2 0.5 0.0 0.6 0.4\n",     // min > max
+      "1 4096 0 0.5 0.0 0.4 0.6\n",     // zero sample count
+  };
+  for (const char* text : fixtures) {
+    rt::HistoryModel model;
+    EXPECT_THROW(model.deserialize(text), ParseError) << text;
+    EXPECT_EQ(model.entry_count(), 0u) << text;
+  }
+}
+
+TEST(MalformedModels, DuplicateFootprintKeysAreRejected) {
+  rt::HistoryModel model;
+  try {
+    model.deserialize(
+        "peppher-model v2\n"
+        "1 4096 2 0.5 0.0 0.4 0.6\n"
+        "1 8192 3 0.7 0.0 0.6 0.8\n");
+    FAIL() << "duplicate key accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(MalformedModels, RegistryLoadNamesTheOffendingFile) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "peppher_bad_models";
+  std::filesystem::create_directories(dir);
+  fs::write_file(dir / "spmv.cpu.model", "1 4096 2 0.5 0.0 0.4 garbage\n");
+  rt::PerfRegistry registry;
+  try {
+    registry.load(dir);
+    FAIL() << "malformed model file accepted";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("spmv.cpu.model"), std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.line(), 1);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST_P(FuzzSeed, PerfModelDeserializeRejectsMutations) {

@@ -914,52 +914,63 @@ TEST_F(LintTest, ReadWriteResultOverwrittenIsPL033) {
 }
 
 // ---------------------------------------------------------------------------
-// The code registry is the single source of truth: docs/lint.md's tables
-// and the SARIF rules section must stay in sync with it.
+// The code registry is the single source of truth: the docs tables and the
+// SARIF rules section must stay in sync with it.
 // ---------------------------------------------------------------------------
 
 TEST(CodeRegistry, DocsTablesMatchTheRegistry) {
-  // The lint codes live in docs/lint.md, the runtime-trace analyses in
-  // docs/perf.md; together they must document the whole registry.
-  const std::string docs =
-      fs::read_file(std::filesystem::path(PEPPHER_SOURCE_ROOT) / "docs" /
-                    "lint.md") +
-      fs::read_file(std::filesystem::path(PEPPHER_SOURCE_ROOT) / "docs" /
-                    "perf.md");
-  // Collect "| PLxxx | severity | meaning |" / "| PFxxx | ... |" rows.
-  std::map<std::string, std::pair<std::string, std::string>> rows;
-  std::istringstream stream(docs);
-  std::string line;
-  while (std::getline(stream, line)) {
-    if (!strings::starts_with(line, "| PL") &&
-        !strings::starts_with(line, "| PF")) {
-      continue;
+  // The families split across four files: structural lint codes in
+  // docs/lint.md, coherence verification (PL060..PL069) in docs/verify.md,
+  // trace analyses (PF0xx) in docs/perf.md, static cost prediction
+  // (PL070..PL077) in docs/predict.md. Every registered code must appear in
+  // exactly ONE of them — the tool-specific guide owns its codes, the
+  // others point at it.
+  struct Row {
+    std::string file;
+    std::string severity;
+    std::string meaning;
+  };
+  std::map<std::string, Row> rows;
+  for (const char* name : {"lint.md", "verify.md", "perf.md", "predict.md"}) {
+    const std::string docs = fs::read_file(
+        std::filesystem::path(PEPPHER_SOURCE_ROOT) / "docs" / name);
+    std::istringstream stream(docs);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (!strings::starts_with(line, "| PL") &&
+          !strings::starts_with(line, "| PF")) {
+        continue;
+      }
+      const std::vector<std::string> cells = strings::split(line, '|');
+      ASSERT_GE(cells.size(), 4u) << "malformed table row: " << line;
+      const std::string code(strings::trim(cells[1]));
+      const auto [it, inserted] = rows.emplace(
+          code, Row{name, std::string(strings::trim(cells[2])),
+                    std::string(strings::trim(cells[3]))});
+      EXPECT_TRUE(inserted) << code << " documented in both "
+                            << it->second.file << " and " << name;
     }
-    const std::vector<std::string> cells = strings::split(line, '|');
-    ASSERT_GE(cells.size(), 4u) << "malformed table row: " << line;
-    const std::string code(strings::trim(cells[1]));
-    EXPECT_TRUE(rows.emplace(code, std::make_pair(
-                                       std::string(strings::trim(cells[2])),
-                                       std::string(strings::trim(cells[3]))))
-                    .second)
-        << code << " documented twice";
   }
   for (const diag::CodeInfo& info : diag::all_codes()) {
     const auto it = rows.find(std::string(info.code));
     ASSERT_NE(it, rows.end()) << info.code << " missing from the docs";
-    EXPECT_EQ(it->second.first, diag::to_string(info.severity))
+    EXPECT_EQ(it->second.severity, diag::to_string(info.severity))
         << info.code << " severity diverges from the registry";
-    // The coherence-verification and trace-analysis families document the
-    // registry summary verbatim (older rows carry hand-written prose).
+    // The verification, prediction and trace-analysis families document
+    // the registry summary verbatim (older rows carry hand-written prose).
     if (info.code >= "PL060" || strings::starts_with(info.code, "PF")) {
-      EXPECT_EQ(it->second.second, info.summary)
+      EXPECT_EQ(it->second.meaning, info.summary)
           << info.code << " summary diverges from the registry";
     }
   }
   for (const auto& [code, row] : rows) {
     EXPECT_NE(diag::find_code(code), nullptr)
-        << code << " documented but not registered";
+        << code << " documented in " << row.file << " but not registered";
   }
+  // Spot-check the family split itself.
+  EXPECT_EQ(rows.at("PL060").file, "verify.md");
+  EXPECT_EQ(rows.at("PL070").file, "predict.md");
+  EXPECT_EQ(rows.at("PF001").file, "perf.md");
 }
 
 TEST(CodeRegistry, ExplainMetadataIsComplete) {

@@ -43,18 +43,26 @@ int usage(std::ostream& out) {
          "  --disableImpls=<name|arch>[,...]\n"
          "  --no-sources\n"
          "  --verify\n"
-         "  --explain=PLxxx\n";
+         "  --explain=PLxxx|all\n";
   return 2;
 }
 
 /// `peppher-lint --explain PL031`: the registry is the single source of
 /// truth for code metadata, so this prints exactly what docs/lint.md
-/// documents (a test keeps the two in sync).
+/// documents (a test keeps the two in sync). `--explain=all` catalogues
+/// every registered code (PL and PF) with severity and summary.
 int explain(const std::string& code) {
+  if (code == "all") {
+    for (const diag::CodeInfo& info : diag::all_codes()) {
+      std::cout << info.code << " (" << diag::to_string(info.severity)
+                << "): " << info.summary << "\n";
+    }
+    return 0;
+  }
   const diag::CodeInfo* info = diag::find_code(code);
   if (info == nullptr) {
     std::cerr << "peppher-lint: unknown diagnostic code '" << code
-              << "' (codes are PL000..PL069; see docs/lint.md)\n";
+              << "' (or 'all'; see docs/lint.md)\n";
     return 2;
   }
   std::cout << info->code << " (" << diag::to_string(info->severity)

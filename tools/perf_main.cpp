@@ -19,6 +19,8 @@
 //   --record=ode               record instead of analyze
 //   --out=<path>               where record mode writes the trace
 //   --chrome=<path>            also write the chrome://tracing JSON
+//   --models-out=<dir>         also sample execution times and persist the
+//                              .model files there (peppher-predict input)
 //   --machine=<c2050|c1060|opencl|cpu|cpuN>
 //                              machine preset to record on (cpuN = N cores)
 //   --scheduler=<eager|random|ws|dmda>
@@ -52,6 +54,7 @@ int usage(std::ostream& out) {
          "  --werror\n"
          "  --explain=PFxxx\n"
          "  --chrome=<path>\n"
+         "  --models-out=<dir>\n"
          "  --machine=<c2050|c1060|opencl|cpu|cpuN>\n"
          "  --scheduler=<eager|random|ws|dmda>\n"
          "  --force=<cpu|cuda|opencl>\n"
@@ -120,6 +123,7 @@ std::optional<rt::Arch> force_arch(const std::string& name) {
 struct RecordOptions {
   std::string out;
   std::string chrome;
+  std::string models_out;
   sim::MachineConfig machine = sim::MachineConfig::platform_c2050();
   std::string scheduler = "dmda";
   std::optional<rt::Arch> force;
@@ -136,23 +140,32 @@ int record_ode(const RecordOptions& options) {
   // Cost hints only: recorded history would make the trace depend on the
   // sampling directory's state, and recordings should be reproducible.
   config.use_history_models = false;
+  // A non-empty sampling dir turns on execution-time sampling; the engine
+  // persists the .model files there at shutdown (peppher-predict input).
+  config.sampling_dir = options.models_out;
 
   apps::ode::register_components();
-  rt::Engine engine(config);
-  engine.trace_phase("ode:init");
-  const apps::ode::Problem problem =
-      apps::ode::make_problem(options.n, options.steps);
-  const apps::ode::RunResult result =
-      apps::ode::run_tool(engine, problem, options.force);
-  engine.trace_phase("ode:done");
+  {
+    rt::Engine engine(config);
+    engine.trace_phase("ode:init");
+    const apps::ode::Problem problem =
+        apps::ode::make_problem(options.n, options.steps);
+    const apps::ode::RunResult result =
+        apps::ode::run_tool(engine, problem, options.force);
+    engine.trace_phase("ode:done");
 
-  fs::write_file(options.out, engine.trace_json());
-  if (!options.chrome.empty()) {
-    fs::write_file(options.chrome, engine.trace().to_chrome_json());
+    fs::write_file(options.out, engine.trace_json());
+    if (!options.chrome.empty()) {
+      fs::write_file(options.chrome, engine.trace().to_chrome_json());
+    }
+    std::cout << "peppher-perf: recorded " << result.invocations
+              << " invocations (" << result.virtual_seconds
+              << " s virtual) to " << options.out << "\n";
+  }  // engine shutdown flushes the models
+  if (!options.models_out.empty()) {
+    std::cout << "peppher-perf: performance models written to "
+              << options.models_out << "\n";
   }
-  std::cout << "peppher-perf: recorded " << result.invocations
-            << " invocations (" << result.virtual_seconds
-            << " s virtual) to " << options.out << "\n";
   return 0;
 }
 
@@ -193,6 +206,8 @@ int main(int argc, char** argv) {
       record_options.out = value;
     } else if (match_switch(arg, "chrome", &value)) {
       record_options.chrome = value;
+    } else if (match_switch(arg, "models-out", &value)) {
+      record_options.models_out = value;
     } else if (match_switch(arg, "machine", &value)) {
       try {
         record_options.machine = machine_preset(value);

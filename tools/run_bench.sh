@@ -4,9 +4,10 @@
 #   tools/run_bench.sh [BUILD_DIR]          full run; writes
 #                                           BENCH_task_overhead.json,
 #                                           BENCH_fig7_ode_overhead.json,
-#                                           BENCH_fig5_spmv_hybrid.json and
-#                                           BENCH_memory_overlap.json at the
-#                                           repo root
+#                                           BENCH_fig5_spmv_hybrid.json,
+#                                           BENCH_memory_overlap.json and
+#                                           BENCH_predict_accuracy.json at
+#                                           the repo root
 #   tools/run_bench.sh --smoke [BUILD_DIR]  tiny iteration counts into a
 #                                           temp dir, JSON validity checked
 #                                           (the `bench-smoke` ctest)
@@ -32,7 +33,9 @@ TASK_BENCH="$BUILD_DIR/bench/bench_task_overhead"
 FIG7_BENCH="$BUILD_DIR/bench/bench_fig7_ode_overhead"
 FIG5_BENCH="$BUILD_DIR/bench/bench_fig5_spmv_hybrid"
 OVERLAP_BENCH="$BUILD_DIR/bench/bench_memory_overlap"
-for bin in "$TASK_BENCH" "$FIG7_BENCH" "$FIG5_BENCH" "$OVERLAP_BENCH"; do
+PREDICT_BENCH="$BUILD_DIR/bench/bench_predict_accuracy"
+for bin in "$TASK_BENCH" "$FIG7_BENCH" "$FIG5_BENCH" "$OVERLAP_BENCH" \
+           "$PREDICT_BENCH"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -56,6 +59,9 @@ RAW="$OUT_DIR/bench_task_overhead_raw.json"
 "$FIG7_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_fig7_ode_overhead.json"
 "$FIG5_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_fig5_spmv_hybrid.json"
 "$OVERLAP_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_memory_overlap.json"
+# Exits non-zero on a full run when a predicted/simulated ratio leaves the
+# ±30% band (docs/predict.md "Accuracy"); --smoke only checks the pipeline.
+"$PREDICT_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_predict_accuracy.json"
 
 # Merge the committed baseline with this run into the before/after document.
 python3 - "$ROOT/bench/baseline_task_overhead.json" "$RAW" \
@@ -105,6 +111,37 @@ EOF
 
 rm -f "$OUT_DIR/bench_task_overhead_raw.json"
 
+if [[ "$SMOKE" != 1 ]]; then
+  # Drift check: compare this run's prediction ratios against the committed
+  # baseline (bench/baseline_predict_accuracy.json). A drift above 10
+  # percentage points means either the models, the scheduler, or the
+  # predictor changed behaviour — flagged, not fatal (the ±30% band above
+  # already gates correctness).
+  python3 - "$ROOT/bench/baseline_predict_accuracy.json" \
+    "$OUT_DIR/BENCH_predict_accuracy.json" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path = sys.argv[1:3]
+def ratios(path):
+    doc = json.load(open(path))
+    return {(r["app"], r["machine"]): r["ratio"] for r in doc["rows"]}
+baseline, current = ratios(baseline_path), ratios(current_path)
+drifted = False
+for key in sorted(baseline):
+    if key not in current:
+        continue
+    drift = abs(current[key] - baseline[key])
+    marker = " <-- drift" if drift > 0.10 else ""
+    drifted |= drift > 0.10
+    print(f"  predict accuracy {key[0]}/{key[1]}: ratio "
+          f"{current[key]:.3f} (baseline {baseline[key]:.3f}){marker}")
+if drifted:
+    print("warning: prediction-accuracy ratios drifted >0.10 from the "
+          "committed baseline", file=sys.stderr)
+EOF
+fi
+
 if [[ "$SMOKE" == 1 ]]; then
   # Validity gate: every document must parse.
   python3 -c "
@@ -113,5 +150,6 @@ for path in sys.argv[1:]:
     json.load(open(path))
 print('bench smoke OK: JSON outputs parse')
 " "$OUT_DIR/BENCH_task_overhead.json" "$OUT_DIR/BENCH_fig7_ode_overhead.json" \
-  "$OUT_DIR/BENCH_fig5_spmv_hybrid.json" "$OUT_DIR/BENCH_memory_overlap.json"
+  "$OUT_DIR/BENCH_fig5_spmv_hybrid.json" "$OUT_DIR/BENCH_memory_overlap.json" \
+  "$OUT_DIR/BENCH_predict_accuracy.json"
 fi

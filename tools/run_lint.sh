@@ -13,23 +13,29 @@
 #      analyze clean, a deliberately mis-sized one must fail --werror with
 #      a PF001 device-imbalance finding, --explain must know the code, and
 #      a truncated trace must be rejected with a located parse error;
-#   6. if clang-tidy is installed and the build exported
+#   6. runs the static cost predictor (peppher-predict): models recorded
+#      from short ODE runs must predict a fixture repository clean under
+#      --werror, a seeded dead variant must be caught as PL070, and a
+#      corrupted .model file must be rejected with a located parse error;
+#   7. if clang-tidy is installed and the build exported
 #      compile_commands.json, runs it over src/analyze with the repo's
 #      .clang-tidy configuration (advisory: failures are reported but do
 #      not fail the smoke run, since the installed clang-tidy version
 #      varies).
 #
-# Usage: tools/run_lint.sh [compose-binary] [peppher-lint-binary] [perf-binary]
+# Usage: tools/run_lint.sh [compose-binary] [peppher-lint-binary] \
+#                          [perf-binary] [predict-binary]
 # Defaults assume the standard build tree:
-# build/tools/{compose,peppher-lint,peppher-perf}.
+# build/tools/{compose,peppher-lint,peppher-perf,peppher-predict}.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 compose_bin="${1:-${repo_root}/build/tools/compose}"
 lint_bin="${2:-${repo_root}/build/tools/peppher-lint}"
 perf_bin="${3:-${repo_root}/build/tools/peppher-perf}"
+predict_bin="${4:-${repo_root}/build/tools/peppher-predict}"
 
-for bin in "${compose_bin}" "${lint_bin}" "${perf_bin}"; do
+for bin in "${compose_bin}" "${lint_bin}" "${perf_bin}" "${predict_bin}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "run_lint.sh: missing binary '${bin}' (build the project first)" >&2
     exit 1
@@ -162,6 +168,117 @@ if "${perf_bin}" "${workdir}/truncated.json" \
   exit 1
 fi
 grep -Eq "truncated.json:[0-9]+:[0-9]+" "${workdir}/perf_parse.txt"
+
+echo "== static predictor: record models from short ODE runs"
+modelsdir="${workdir}/models"
+mkdir -p "${modelsdir}"
+for n in 64 96 128 160; do
+  for arch in cpu cuda; do
+    "${perf_bin}" --record=ode --machine=c2050 "--force=${arch}" "--n=${n}" \
+      --steps=6 "--models-out=${modelsdir}" \
+      "--out=${workdir}/predict_trace.json" > /dev/null
+  done
+done
+
+predictdir="${workdir}/predict"
+mkdir -p "${predictdir}"
+cat > "${predictdir}/ode_rhs.xml" <<'EOF'
+<peppher-interface name="ode_rhs">
+  <function returnType="void">
+    <param name="J" type="const float*" accessMode="read" size="n*n"/>
+    <param name="y" type="const float*" accessMode="read" size="n"/>
+    <param name="k1" type="float*" accessMode="write" size="n"/>
+    <param name="n" type="int" accessMode="read"/>
+  </function>
+</peppher-interface>
+EOF
+cat > "${predictdir}/ode_combine.xml" <<'EOF'
+<peppher-interface name="ode_combine">
+  <function returnType="void">
+    <param name="y" type="float*" accessMode="readwrite" size="n"/>
+    <param name="k1" type="const float*" accessMode="read" size="n"/>
+    <param name="k2" type="const float*" accessMode="read" size="n"/>
+    <param name="k3" type="const float*" accessMode="read" size="n"/>
+    <param name="k4" type="const float*" accessMode="read" size="n"/>
+    <param name="n" type="int" accessMode="read"/>
+  </function>
+</peppher-interface>
+EOF
+for iface in ode_rhs ode_combine; do
+  for arch in cpu cuda; do
+    cat > "${predictdir}/${iface}_${arch}.xml" <<EOF
+<peppher-implementation name="${iface}_${arch}" interface="${iface}">
+  <platform language="${arch}"/>
+</peppher-implementation>
+EOF
+  done
+done
+cat > "${predictdir}/main.xml" <<'EOF'
+<peppher-main name="predict_smoke" source="main.cpp">
+  <calls>
+    <call interface="ode_rhs">
+      <arg param="J" data="J"/>
+      <arg param="y" data="y"/>
+      <arg param="k1" data="k1"/>
+    </call>
+    <call interface="ode_combine">
+      <arg param="y" data="y"/>
+      <arg param="k1" data="k1"/>
+      <arg param="k2" data="k2"/>
+      <arg param="k3" data="k3"/>
+      <arg param="k4" data="k4"/>
+    </call>
+  </calls>
+</peppher-main>
+EOF
+# Sizes of the n=96 recording: vectors 96*4 bytes, Jacobian 96*96*4 bytes.
+predict_sizes=(--size=J=36864 --size=y=384 --size=k1=384
+               --size=k2=384 --size=k3=384 --size=k4=384)
+
+echo "== recorded models must predict the fixture clean under --werror"
+"${predict_bin}" analyze --werror --machine=c2050 "--models=${modelsdir}" \
+  "${predict_sizes[@]}" "${predictdir}" > "${workdir}/predict_report.txt"
+grep -q "predicted makespan" "${workdir}/predict_report.txt"
+
+echo "== what-if query must answer with a device count"
+"${predict_bin}" whatif --machine=c2050 "--models=${modelsdir}" \
+  --target=0.001 "${predict_sizes[@]}" "${predictdir}" \
+  | grep -q "device(s)"
+
+echo "== seeded dead variant must be caught as PL070"
+cat > "${predictdir}/ode_rhs_opencl.xml" <<'EOF'
+<peppher-implementation name="ode_rhs_opencl" interface="ode_rhs">
+  <platform language="opencl"/>
+</peppher-implementation>
+EOF
+if "${predict_bin}" analyze --werror --machine=c2050 \
+    "--models=${modelsdir}" "${predict_sizes[@]}" "${predictdir}" \
+    > "${workdir}/predict_findings.txt"; then
+  echo "run_lint.sh: predictor accepted a dead variant under --werror" >&2
+  cat "${workdir}/predict_findings.txt" >&2
+  exit 1
+fi
+grep -q "PL070" "${workdir}/predict_findings.txt"
+rm -f "${predictdir}/ode_rhs_opencl.xml"
+
+echo "== corrupted .model file must be rejected with a located parse error"
+badmodels="${workdir}/bad_models"
+mkdir -p "${badmodels}"
+cp "${modelsdir}"/*.model "${badmodels}/" 2> /dev/null || true
+first_model="$(ls "${badmodels}"/*.model | head -n 1)"
+echo "1 2 garbage" >> "${first_model}"
+if "${predict_bin}" analyze --machine=c2050 "--models=${badmodels}" \
+    "${predictdir}" > "${workdir}/predict_parse.txt" 2>&1; then
+  echo "run_lint.sh: predictor accepted a corrupted .model file" >&2
+  exit 1
+fi
+grep -Eq "line [0-9]+" "${workdir}/predict_parse.txt"
+
+echo "== --explain must know the PL07x codes, and --explain=all must list them"
+"${predict_bin}" --explain=PL074 | grep -q "PL074"
+"${lint_bin}" --explain=all > "${workdir}/explain_all.txt"
+grep -q "PL070" "${workdir}/explain_all.txt"
+grep -q "PF001" "${workdir}/explain_all.txt"
 
 if command -v clang-tidy > /dev/null; then
   compile_db=""
