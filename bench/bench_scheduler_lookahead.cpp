@@ -1,0 +1,370 @@
+// Windowed lookahead scheduler benchmark: joint (bulk) variant selection
+// over task-DAG windows versus dmda's greedy per-task placement, plus the
+// static-composition replay overhead (docs/runtime.md "lookahead").
+//
+// Four rows:
+//   adversarial     A ping-pong DAG built to defeat per-task greedy
+//                   placement: every round a host producer writes a fresh
+//                   large matrix, then a wide batch of GPU-friendly readers
+//                   becomes ready at once. At push time the matrix has no
+//                   device replica and no reuse history, so dmda charges
+//                   every reader the full host-to-device fetch and spills
+//                   most of the batch onto the slow CPU cores; the window
+//                   planner simulates replicas across the batch, prices the
+//                   fetch once, and consolidates the readers on the GPU.
+//   fig5_parity     hybrid SpMV (Figure 5 workload): lookahead must never
+//                   be worse than dmda beyond noise.
+//   fig7_parity     ODE solver chain (Figure 7 workload): tight sequential
+//                   dependencies keep every window at size one, where
+//                   lookahead degenerates to dmda by construction.
+//   replay_overhead wall-clock per-task cost of a pipelined run replaying
+//                   a trained ".dispatch" table, against the eager
+//                   scheduler's per-task cost (the zero-model-evaluation
+//                   claim: replay must stay within a few percent).
+//
+// Flags:
+//   --json[=FILE]  additionally emit a machine-readable JSON document (to
+//                  FILE, or stdout when no file is given) — consumed by
+//                  tools/run_bench.sh
+//   --smoke        fewer rounds / smaller problems; exercises every path
+//                  quickly (the bench-smoke ctest)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/ode.hpp"
+#include "apps/sparse.hpp"
+#include "apps/spmv.hpp"
+#include "runtime/engine.hpp"
+
+using namespace peppher;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::string unit;
+  double baseline = 0.0;   ///< dmda (or eager for replay_overhead)
+  double lookahead = 0.0;
+  double ratio = 0.0;      ///< baseline / lookahead (>1 = lookahead wins)
+};
+
+/// flops such that a pure-compute kernel takes `seconds` on `device`.
+double flops_for(const sim::DeviceProfile& device, double seconds) {
+  const double compute = seconds - device.launch_overhead_us * 1e-6;
+  if (compute <= 0.0) return 0.0;
+  return compute * device.peak_gflops * device.compute_efficiency * 1e9;
+}
+
+// -- adversarial ping-pong DAG ----------------------------------------------
+
+constexpr int kReadersPerRound = 10;
+constexpr std::size_t kMatrixBytes = std::size_t{8} << 20;  // ~1.06 ms fetch
+
+/// 2 slow CPU cores + 1 Tesla C2050: little host capacity, so spilling the
+/// reader batch onto the CPUs is the wrong call the planner must avoid.
+sim::MachineConfig pingpong_machine() {
+  sim::MachineConfig machine;
+  machine.name = "pingpong-2core-c2050";
+  machine.cpu_cores = 2;
+  machine.accelerators = {sim::DeviceProfile::tesla_c2050()};
+  return machine;
+}
+
+double run_pingpong(const std::string& scheduler, int rounds) {
+  const sim::MachineConfig machine = pingpong_machine();
+  rt::EngineConfig config;
+  config.machine = machine;
+  config.scheduler = scheduler;
+  config.use_history_models = false;  // cost hints only: isolate the policy
+  config.enable_prefetch = false;     // prefetch would hide the fetch race
+  config.window_size = kReadersPerRound;
+
+  // Per-implementation cost declarations: the reader kernel is clearly
+  // GPU-friendly (0.05 ms vs 0.6 ms), but one full matrix fetch (~1.06 ms)
+  // looks more expensive than a CPU run — unless it is amortised over the
+  // whole batch.
+  const double cpu_flops = flops_for(machine.cpu_core, 0.6e-3);
+  const double gpu_flops = flops_for(machine.accelerators[0], 0.05e-3);
+  rt::Codelet reader("pingpong_reader");
+  reader.add_impl({rt::Arch::kCpu, "reader_cpu", [](rt::ExecContext&) {},
+                   [cpu_flops](const std::vector<std::size_t>&, const void*) {
+                     return sim::KernelCost{cpu_flops, 0.0, 1.0};
+                   }});
+  reader.add_impl({rt::Arch::kCuda, "reader_cuda", [](rt::ExecContext&) {},
+                   [gpu_flops](const std::vector<std::size_t>&, const void*) {
+                     return sim::KernelCost{gpu_flops, 0.0, 1.0};
+                   }});
+  const double producer_flops = flops_for(machine.cpu_core, 0.01e-3);
+  rt::Codelet producer("pingpong_producer");
+  producer.add_impl(
+      {rt::Arch::kCpu, "producer_cpu", [](rt::ExecContext&) {},
+       [producer_flops](const std::vector<std::size_t>&, const void*) {
+         return sim::KernelCost{producer_flops, 0.0, 1.0};
+       }});
+
+  rt::Engine engine(config);
+  float token = 0.0f;
+  const auto token_handle =
+      engine.register_buffer(&token, sizeof(float), sizeof(float));
+  std::vector<float> outs(kReadersPerRound, 0.0f);
+  std::vector<rt::DataHandlePtr> out_handles;
+  for (float& out : outs) {
+    out_handles.push_back(
+        engine.register_buffer(&out, sizeof(float), sizeof(float)));
+  }
+  // One fresh matrix per round: no reuse history, no surviving replica —
+  // every round replays the cold-start mispricing.
+  std::vector<std::unique_ptr<std::vector<float>>> matrices;
+  for (int round = 0; round < rounds; ++round) {
+    matrices.push_back(
+        std::make_unique<std::vector<float>>(kMatrixBytes / sizeof(float)));
+    const auto matrix = engine.register_buffer(
+        matrices.back()->data(), kMatrixBytes, sizeof(float));
+    rt::TaskSpec produce;
+    produce.codelet = &producer;
+    produce.operands = {{matrix, rt::AccessMode::kWrite},
+                        {token_handle, rt::AccessMode::kWrite}};
+    produce.forced_arch = rt::Arch::kCpu;
+    engine.submit(std::move(produce));
+    for (int i = 0; i < kReadersPerRound; ++i) {
+      rt::TaskSpec read;
+      read.codelet = &reader;
+      read.operands = {{token_handle, rt::AccessMode::kRead},
+                       {matrix, rt::AccessMode::kRead},
+                       {out_handles[static_cast<std::size_t>(i)],
+                        rt::AccessMode::kWrite}};
+      engine.submit(std::move(read));
+    }
+  }
+  engine.wait_for_all();
+  return engine.virtual_makespan();
+}
+
+// -- paper-workload parity ---------------------------------------------------
+
+double run_spmv(const std::string& scheduler, double scale) {
+  rt::EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.scheduler = scheduler;
+  config.use_history_models = false;
+  rt::Engine engine(config);
+  const auto problem =
+      apps::spmv::make_problem(apps::sparse::MatrixClass::kNetwork, scale);
+  double total = 0.0;
+  for (int round = 0; round < 2; ++round) {
+    total += apps::spmv::run_hybrid(engine, problem, 6).virtual_seconds;
+  }
+  return total;
+}
+
+double run_ode(const std::string& scheduler, std::uint32_t n, int steps) {
+  rt::EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.scheduler = scheduler;
+  config.use_history_models = false;
+  rt::Engine engine(config);
+  const auto problem = apps::ode::make_problem(n, steps);
+  return apps::ode::run_tool(engine, problem, std::nullopt).virtual_seconds;
+}
+
+// -- static-composition replay overhead --------------------------------------
+
+rt::Codelet& overhead_codelet() {
+  static rt::Codelet codelet = [] {
+    rt::Codelet c("lookahead_noop");
+    c.add_impl({rt::Arch::kCpu, "noop_cpu", [](rt::ExecContext&) {}});
+    return c;
+  }();
+  return codelet;
+}
+
+/// Pipelined empty-task batch (the bench_task_overhead convention): returns
+/// wall-clock microseconds per task.
+double run_overhead(const rt::EngineConfig& base, int tasks) {
+  rt::EngineConfig config = base;
+  config.machine = sim::MachineConfig::cpu_only(2);
+  config.use_history_models = false;
+  rt::Engine engine(config);
+  float payload = 0.0f;
+  const auto handle =
+      engine.register_buffer(&payload, sizeof(float), sizeof(float));
+  // Warm-up batch: thread pool spun up, queues touched, table probed.
+  for (int i = 0; i < 64; ++i) {
+    rt::TaskSpec spec;
+    spec.codelet = &overhead_codelet();
+    spec.operands = {{handle, rt::AccessMode::kReadWrite}};
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < tasks; ++i) {
+    rt::TaskSpec spec;
+    spec.codelet = &overhead_codelet();
+    spec.operands = {{handle, rt::AccessMode::kReadWrite}};
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         static_cast<double>(tasks);
+}
+
+Row replay_overhead_row(int tasks) {
+  const std::filesystem::path table =
+      std::filesystem::temp_directory_path() / "peppher_bench_lookahead.dispatch";
+  {  // training run: record the winning placements into the table
+    rt::EngineConfig train;
+    train.scheduler = "lookahead";
+    train.dispatch_out = table;
+    run_overhead(train, tasks / 4);
+  }
+  rt::EngineConfig eager;
+  eager.scheduler = "eager";
+  rt::EngineConfig replay;
+  replay.scheduler = "lookahead";
+  replay.dispatch_table = table;
+  // Wall-clock per-task numbers at the sub-µs scale drift with machine
+  // load on whole-seconds epochs, so ratios of minima across the run are
+  // fragile. Instead pair each eager measurement with the replay
+  // measurement taken right next to it in time and keep the median of the
+  // per-pair ratios (and the median absolute values for the columns).
+  std::vector<double> eager_us, replay_us, ratios;
+  for (int rep = 0; rep < 7; ++rep) {
+    eager_us.push_back(run_overhead(eager, tasks));
+    replay_us.push_back(run_overhead(replay, tasks));
+    ratios.push_back(eager_us.back() / replay_us.back());
+  }
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  std::filesystem::remove(table);
+  Row row;
+  row.name = "replay_overhead";
+  row.unit = "us/task";
+  row.baseline = median(eager_us);
+  row.lookahead = median(replay_us);
+  row.ratio = median(ratios);
+  return row;
+}
+
+void write_json(std::FILE* out, const std::vector<Row>& rows) {
+  std::fprintf(out, "{\n  \"benchmark\": \"scheduler_lookahead\",\n");
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"case\": \"%s\", \"unit\": \"%s\", "
+                 "\"baseline\": %.6f, \"lookahead\": %.6f, "
+                 "\"ratio\": %.4f}%s\n",
+                 r.name.c_str(), r.unit.c_str(), r.baseline, r.lookahead,
+                 r.ratio, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  std::string json_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_file = arg.substr(std::strlen("--json="));
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=FILE]] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("Lookahead scheduler: windowed joint placement vs dmda\n\n");
+  std::vector<Row> rows;
+
+  // Virtual makespans are deterministic given a schedule, but the schedule
+  // itself races real worker threads (partial windows close when a worker
+  // runs dry): median-of-3 screens out the rare degenerate interleaving.
+  const auto median3 = [](const std::function<double()>& run) {
+    std::vector<double> v = {run(), run(), run()};
+    std::sort(v.begin(), v.end());
+    return v[1];
+  };
+
+  {
+    const int rounds = smoke ? 4 : 16;
+    Row row;
+    row.name = "adversarial";
+    row.unit = "virtual seconds";
+    row.baseline = run_pingpong("dmda", rounds);
+    row.lookahead = run_pingpong("lookahead", rounds);
+    row.ratio = row.baseline / row.lookahead;
+    std::printf("  %-16s dmda %10.4f s   lookahead %10.4f s   %.2fx\n",
+                row.name.c_str(), row.baseline, row.lookahead, row.ratio);
+    rows.push_back(row);
+  }
+  {
+    Row row;
+    row.name = "fig5_parity";
+    row.unit = "virtual seconds";
+    const double scale = smoke ? 0.05 : 0.1;
+    row.baseline = median3([&] { return run_spmv("dmda", scale); });
+    row.lookahead = median3([&] { return run_spmv("lookahead", scale); });
+    row.ratio = row.baseline / row.lookahead;
+    std::printf("  %-16s dmda %10.4f s   lookahead %10.4f s   %.2fx\n",
+                row.name.c_str(), row.baseline, row.lookahead, row.ratio);
+    rows.push_back(row);
+  }
+  {
+    Row row;
+    row.name = "fig7_parity";
+    row.unit = "virtual seconds";
+    const unsigned n = smoke ? 64u : 250u;
+    const int steps = smoke ? 24 : 200;
+    row.baseline = median3([&] { return run_ode("dmda", n, steps); });
+    row.lookahead = median3([&] { return run_ode("lookahead", n, steps); });
+    row.ratio = row.baseline / row.lookahead;
+    std::printf("  %-16s dmda %10.4f s   lookahead %10.4f s   %.2fx\n",
+                row.name.c_str(), row.baseline, row.lookahead, row.ratio);
+    rows.push_back(row);
+  }
+  {
+    Row row = replay_overhead_row(smoke ? 4096 : 8192);
+    std::printf("  %-16s eager %8.3f us/task   replay %8.3f us/task   %.2fx\n",
+                row.name.c_str(), row.baseline, row.lookahead, row.ratio);
+    rows.push_back(row);
+  }
+
+  std::printf(
+      "\nExpected shape: adversarial >= 1.15x (the window planner prices\n"
+      "the shared fetch once and consolidates the batch on the GPU); the\n"
+      "parity rows stay within noise of dmda; replay per-task cost stays\n"
+      "within a few percent of the eager scheduler.\n");
+
+  if (json) {
+    if (json_file.empty()) {
+      write_json(stdout, rows);
+    } else {
+      std::FILE* out = std::fopen(json_file.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", json_file.c_str());
+        return 1;
+      }
+      write_json(out, rows);
+      std::fclose(out);
+    }
+  }
+  return 0;
+}

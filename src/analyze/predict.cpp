@@ -840,4 +840,20 @@ WhatIfResult whatif(const desc::Repository& repo,
   return out;
 }
 
+rt::DispatchTable export_dispatch(const PredictResult& result,
+                                  const std::string& machine) {
+  rt::DispatchTable table;
+  table.set_machine(machine);
+  for (const PointCost& point : result.points) {
+    // Footprint 0 = any footprint: static sizes are configured bindings,
+    // not the runtime's exact operand-hash footprints, so only the
+    // program-point dimension carries over. The vote weight is the point's
+    // predicted execution count, mirroring how a training run would vote.
+    table.train(point.interface_name, 0, point.call_index, point.chosen,
+                std::max<std::uint64_t>(1, point.executions));
+  }
+  table.finalize();
+  return table;
+}
+
 }  // namespace peppher::analyze

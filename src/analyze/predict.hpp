@@ -90,6 +90,16 @@ struct PredictResult {
 /// Predicts the cost of the repository's main module on options.machine,
 /// using the given performance models. Descriptor-structure problems are
 /// the linter's job; a missing or empty main module predicts zero cost.
+/// Exports the prediction's per-point greedy placements as a runtime
+/// dispatch table — the static prior the lookahead scheduler replays
+/// (EngineConfig::dispatch_table). Each program point becomes a
+/// footprint-wildcard entry (interface name, footprint 0, call index)
+/// weighted by its predicted execution count; finalize() then also
+/// derives the per-interface majority fallbacks. `machine` names the
+/// machine the costs were predicted for (stored in the table header).
+rt::DispatchTable export_dispatch(const PredictResult& result,
+                                  const std::string& machine);
+
 PredictResult predict_main(const desc::Repository& repo,
                            const rt::PerfRegistry& models,
                            const PredictOptions& options);

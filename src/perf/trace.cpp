@@ -178,6 +178,32 @@ TraceDecision parse_decision(const JsonValue& value) {
   return d;
 }
 
+TraceWindow parse_window(const JsonValue& value) {
+  expect_kind(value, JsonValue::Kind::kObject, "window");
+  TraceWindow w;
+  w.id = get_u64(value, "id", "window");
+  w.size = get_int(value, "size", "window");
+  if (w.size < 0) {
+    fail_at("window size must be non-negative",
+            require(value, "size", "window"));
+  }
+  w.estimate = get_number(value, "estimate", "window");
+  w.improved = get_bool(value, "improved", "window");
+  w.explored = get_u64(value, "explored", "window");
+  const JsonValue& tasks = expect_kind(require(value, "tasks", "window"),
+                                       JsonValue::Kind::kArray, "window.tasks");
+  for (const JsonValue& task : tasks.array) {
+    expect_kind(task, JsonValue::Kind::kNumber, "window.tasks");
+    if (task.number < 0) fail_at("window task sequence is negative", task);
+    w.tasks.push_back(static_cast<std::uint64_t>(task.number));
+  }
+  if (w.tasks.size() != static_cast<std::size_t>(w.size)) {
+    fail_at("window task list does not match its size field",
+            require(value, "tasks", "window"));
+  }
+  return w;
+}
+
 TracePhase parse_phase(const JsonValue& value) {
   expect_kind(value, JsonValue::Kind::kObject, "phase");
   TracePhase p;
@@ -264,6 +290,11 @@ Trace parse_trace(const std::string& text) {
       expect_kind(value, JsonValue::Kind::kArray, "decisions");
       for (const JsonValue& row : value.array) {
         trace.decisions.push_back(parse_decision(row));
+      }
+    } else if (key == "windows") {
+      expect_kind(value, JsonValue::Kind::kArray, "windows");
+      for (const JsonValue& row : value.array) {
+        trace.windows.push_back(parse_window(row));
       }
     } else if (key == "phases") {
       expect_kind(value, JsonValue::Kind::kArray, "phases");

@@ -75,6 +75,19 @@ struct TraceDecision {
   std::vector<std::pair<std::string, double>> arch_estimate;
 };
 
+/// One lookahead window-planning event ("windows" section; empty for the
+/// per-task policies — the section itself is always present in schema v1
+/// documents written since the lookahead scheduler landed, and absent in
+/// older documents, both of which parse).
+struct TraceWindow {
+  std::uint64_t id = 0;
+  int size = 0;             ///< tasks planned jointly in this window
+  double estimate = 0.0;    ///< predicted window makespan (vtime)
+  bool improved = false;    ///< branch-and-bound beat the greedy incumbent
+  std::uint64_t explored = 0;  ///< search nodes expanded
+  std::vector<std::uint64_t> tasks;  ///< task sequences in plan order
+};
+
 /// One application phase marker ("phases" section).
 struct TracePhase {
   std::string label;
@@ -92,6 +105,7 @@ struct Trace {
   std::vector<TraceTransfer> transfers;
   std::vector<TracePrefetch> prefetches;
   std::vector<TraceDecision> decisions;
+  std::vector<TraceWindow> windows;
   std::vector<TracePhase> phases;
 };
 

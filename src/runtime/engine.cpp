@@ -149,6 +149,27 @@ Engine::Engine(EngineConfig config)
   };
   env.calibration_min = config_.calibration_samples;
   env.rng = &rng_;
+  env.window_size = std::max(1, config_.window_size);
+  env.estimate_exec = [this](const Task& t, WorkerId id) {
+    return estimate_exec_only(t, id);
+  };
+  env.link_seconds = [this](std::size_t bytes) {
+    return data_.estimate_link_seconds(bytes);
+  };
+  env.commit = [this](const TaskPtr& t, WorkerId id,
+                      const SchedDecision& decision) {
+    commit_window_task(t, id, decision);
+  };
+  if (config_.enable_trace) {
+    env.record_window = [this](const WindowRecord& record) {
+      tracer_.record_window(record);
+    };
+  }
+  if (!config_.dispatch_table.empty()) {
+    dispatch_replay_.load(config_.dispatch_table);  // loads + finalizes
+    dispatch_replay_active_ = true;
+    env.dispatch = &dispatch_replay_;
+  }
   scheduler_ = make_scheduler(config_.scheduler, std::move(env));
 
   // Device memory capacities from the profiles (§IV-D eviction).
@@ -205,6 +226,14 @@ Engine::~Engine() {
       perf_.save(config_.sampling_dir);
     } catch (const Error& e) {
       log::warn("runtime", "could not persist performance models: {}", e.what());
+    }
+  }
+  if (!config_.dispatch_out.empty()) {
+    try {
+      dispatch_train_.set_machine(config_.machine.name);
+      dispatch_train_.save(config_.dispatch_out);
+    } catch (const Error& e) {
+      log::warn("runtime", "could not persist dispatch table: {}", e.what());
     }
   }
 }
@@ -495,6 +524,27 @@ TaskPtr Engine::submit(TaskSpec spec) {
   task->footprint = footprint_of(task->operand_bytes);
   task->total_bytes = total_bytes;
   task->impl_for_arch = impls;
+  if (dispatch_replay_active_) {
+    // Precompute the replay probe keys (most to least specific) here, off
+    // the scheduler's hot path; the lookup itself then does no hashing.
+    const std::uint64_t prefix =
+        DispatchTable::key_prefix(task->spec.codelet->name());
+    const int point = task->spec.verify_point;
+    task->dispatch_keys = {
+        DispatchTable::key_from_prefix(prefix, task->footprint, point),
+        DispatchTable::key_from_prefix(prefix, task->footprint, -1),
+        DispatchTable::key_from_prefix(prefix, 0, point),
+        DispatchTable::key_from_prefix(prefix, 0, -1)};
+    task->has_dispatch_keys = true;
+    // Resolve the placement here too: the submitting thread pays for the
+    // table probes, the worker-side push only maps arch -> worker.
+    for (const std::uint64_t key : task->dispatch_keys) {
+      if (const auto arch = dispatch_replay_.lookup(key)) {
+        task->replay_arch = static_cast<int>(*arch);
+        break;
+      }
+    }
+  }
 
   bool dispatch = false;
   std::vector<TaskPtr> cancelled_at_submit;
@@ -665,6 +715,7 @@ void Engine::dispatch_ready(const TaskPtr& task, bool* self_claim) {
     }
   }
   task->state.store(TaskState::kReady, std::memory_order_relaxed);
+  task->ready_eligible_mask = eligible_mask;
   SchedDecision decision;
   const WorkerId hint =
       scheduler_->push(task, config_.enable_trace ? &decision : nullptr);
@@ -956,6 +1007,13 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
                  task->total_bytes, exec_seconds);
   }
 
+  if (!task->failed() && !config_.dispatch_out.empty()) {
+    // Static-composition training: the placement that actually ran is the
+    // per-program-point winner this run votes for (majority on finalize).
+    dispatch_train_.train(task->spec.codelet->name(), task->footprint,
+                          task->spec.verify_point, impl->arch);
+  }
+
   if (config_.enable_trace) {
     // Allocation-free: snapshots the timing fields and keeps the TaskPtr /
     // Implementation pointer; strings materialise only on trace export.
@@ -1206,6 +1264,41 @@ double Engine::estimate_work(const Task& task, WorkerId id) const {
     return exec * worker.profile.busy_watts + fetch * 10.0;
   }
   return fetch + exec;
+}
+
+double Engine::estimate_exec_only(const Task& task, WorkerId id) const {
+  if (!worker_eligible(task, id)) return kInf;
+  const WorkerDesc& worker = descs_[static_cast<std::size_t>(id)];
+  const Implementation* impl = select_impl(task, worker);
+  check(impl != nullptr, "eligible worker without implementation");
+  const double exec = estimate_exec_seconds(task, worker, *impl);
+  if (config_.objective == Objective::kEnergy) {
+    // The window planner minimises its makespan objective; under the
+    // energy goal score execution the same way estimate_work does (the
+    // planner's transfer term then adds the link-side joules implicitly).
+    return exec * worker.profile.busy_watts;
+  }
+  return exec;
+}
+
+void Engine::commit_window_task(const TaskPtr& task, WorkerId worker,
+                                const SchedDecision& decision) {
+  if (config_.enable_trace) {
+    DecisionRecord record;
+    record.task_sequence = task->sequence;
+    record.chosen = worker;
+    record.explored = decision.explored;
+    record.chosen_estimate = decision.chosen_estimate;
+    record.arch_estimate = decision.arch_estimate;
+    tracer_.record_decision(record);
+  }
+  if (prefetch_enabled_) enqueue_prefetches(*task, worker);
+  // The planning thread may be the very worker the task landed on (a pop
+  // that closed a partial window); it re-checks its queue before parking,
+  // so waking it would be a wasted syscall.
+  if (worker != t_worker_id) {
+    workers_[static_cast<std::size_t>(worker)]->slot.unpark();
+  }
 }
 
 std::uint64_t Engine::exploration_sample_count(const Task& task, WorkerId id) const {
@@ -1482,6 +1575,21 @@ std::string Engine::trace_json() const {
       first_arch = false;
     }
     out << "}}";
+  }
+  out << "\n  ],\n";
+
+  const std::vector<WindowRecord> windows = tracer_.windows();
+  out << "  \"windows\": [";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const WindowRecord& w = windows[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"id\": " << w.id
+        << ", \"size\": " << w.size << ", \"estimate\": " << w.estimate
+        << ", \"improved\": " << (w.improved ? "true" : "false")
+        << ", \"explored\": " << w.explored << ", \"tasks\": [";
+    for (std::size_t t = 0; t < w.tasks.size(); ++t) {
+      out << (t == 0 ? "" : ", ") << w.tasks[t];
+    }
+    out << "]}";
   }
   out << "\n  ],\n";
 

@@ -67,8 +67,9 @@ struct EngineConfig {
   /// Machine to run on (CPU cores + simulated accelerators).
   sim::MachineConfig machine = sim::MachineConfig::platform_c2050();
 
-  /// Scheduling policy: "eager", "random", "ws" or "dmda" (default; the
-  /// performance-aware policy the paper's TGPA code uses).
+  /// Scheduling policy: "eager", "random", "ws", "dmda" (default; the
+  /// performance-aware policy the paper's TGPA code uses) or "lookahead"
+  /// (windowed joint placement + static-composition replay).
   std::string scheduler = "dmda";
 
   /// The paper's useHistoryModels flag: when true the dmda scheduler uses
@@ -136,6 +137,24 @@ struct EngineConfig {
   /// injection (a transfer that fails mid-route leaves a half-updated
   /// state the model does not track); the constructor rejects the combo.
   bool verify_shadow = false;
+
+  /// Ready-task batch size of the "lookahead" scheduler: how many ready
+  /// tasks it stages before planning their placements jointly. 1 makes
+  /// lookahead behave exactly like dmda; other policies ignore it.
+  int window_size = 8;
+
+  /// Static-composition replay: path to a ".dispatch" table recorded by a
+  /// training run (see dispatch_out). Loaded at construction (malformed
+  /// files throw located ParseErrors); the lookahead scheduler then serves
+  /// placements from the table with one precomputed-key hash probe — no
+  /// model evaluation on the hot path. Empty disables replay.
+  std::filesystem::path dispatch_table;
+
+  /// Static-composition training: when non-empty, every successful task
+  /// execution records its (codelet, footprint, program point) ->
+  /// architecture outcome, and the table is persisted to this ".dispatch"
+  /// file at engine shutdown.
+  std::filesystem::path dispatch_out;
 };
 
 /// Aggregate per-worker execution counters.
@@ -443,12 +462,26 @@ class Engine {
                                const Implementation& impl) const;
   double estimate_completion(const Task& task, WorkerId id) const;
   double estimate_work(const Task& task, WorkerId id) const;
+
+  /// Execution-only estimate for the lookahead window planner (no fetch,
+  /// no readiness; the planner prices transfers itself).
+  double estimate_exec_only(const Task& task, WorkerId id) const;
+
+  /// SchedEnv::commit — the lookahead scheduler announces each planned
+  /// task it placed on a worker other than the push/pop trigger: trace the
+  /// decision, warm the operands on the worker's node, wake the worker.
+  void commit_window_task(const TaskPtr& task, WorkerId worker,
+                          const SchedDecision& decision);
+
   std::uint64_t exploration_sample_count(const Task& task, WorkerId id) const;
 
   EngineConfig config_;
   int cpu_count_;
   DataManager data_;
   PerfRegistry perf_;
+  DispatchTable dispatch_replay_;  ///< finalized at construction, then const
+  DispatchTable dispatch_train_;   ///< filled by execute(), saved at shutdown
+  bool dispatch_replay_active_ = false;
   Rng rng_;
   Tracer tracer_;
 

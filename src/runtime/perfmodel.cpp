@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -659,6 +660,231 @@ std::vector<PerfRegistry::ModelInfo> PerfRegistry::list() const {
     out.push_back(std::move(info));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// DispatchTable
+// ---------------------------------------------------------------------------
+
+std::uint64_t DispatchTable::key_prefix(std::string_view codelet) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  for (char c : codelet) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t DispatchTable::key_from_prefix(std::uint64_t prefix,
+                                             std::uint64_t footprint,
+                                             int point) noexcept {
+  std::uint64_t hash = prefix;
+  auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (i * 8)) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(footprint);
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(point)));
+  return hash;
+}
+
+std::uint64_t DispatchTable::key(std::string_view codelet,
+                                 std::uint64_t footprint, int point) noexcept {
+  return key_from_prefix(key_prefix(codelet), footprint, point);
+}
+
+void DispatchTable::train(const std::string& codelet, std::uint64_t footprint,
+                          int point, Arch arch, std::uint64_t count) {
+  if (count == 0) return;
+  std::lock_guard<std::mutex> lock(train_mutex_);
+  counts_[CountKey{codelet, footprint, point}]
+         [static_cast<std::size_t>(arch)] += count;
+}
+
+namespace {
+
+std::optional<Arch> majority_arch(
+    const std::array<std::uint64_t, kArchCount>& counts) {
+  std::uint64_t best = 0;
+  int arch = -1;
+  for (int i = 0; i < kArchCount; ++i) {
+    if (counts[static_cast<std::size_t>(i)] > best) {
+      best = counts[static_cast<std::size_t>(i)];
+      arch = i;
+    }
+  }
+  if (arch < 0) return std::nullopt;
+  return static_cast<Arch>(arch);
+}
+
+}  // namespace
+
+void DispatchTable::finalize() {
+  std::lock_guard<std::mutex> lock(train_mutex_);
+  resolved_.clear();
+  // Wildcard aggregates: collapse footprint, point, and both, so replay
+  // still resolves when the exact (footprint, point) pair never trained.
+  std::map<CountKey, ArchCounts> by_point;      // footprint collapsed to 0
+  std::map<CountKey, ArchCounts> by_footprint;  // point collapsed to -1
+  std::map<CountKey, ArchCounts> by_codelet;    // both collapsed
+  for (const auto& [ck, counts] : counts_) {
+    auto add = [&counts](ArchCounts& into) {
+      for (int i = 0; i < kArchCount; ++i) {
+        into[static_cast<std::size_t>(i)] += counts[static_cast<std::size_t>(i)];
+      }
+    };
+    add(by_point[CountKey{ck.codelet, 0, ck.point}]);
+    add(by_footprint[CountKey{ck.codelet, ck.footprint, -1}]);
+    add(by_codelet[CountKey{ck.codelet, 0, -1}]);
+  }
+  auto resolve = [this](const std::map<CountKey, ArchCounts>& groups) {
+    for (const auto& [ck, counts] : groups) {
+      if (const std::optional<Arch> arch = majority_arch(counts)) {
+        resolved_[key(ck.codelet, ck.footprint, ck.point)] = *arch;
+      }
+    }
+  };
+  resolve(counts_);
+  resolve(by_point);
+  resolve(by_footprint);
+  resolve(by_codelet);
+}
+
+std::optional<Arch> DispatchTable::lookup(
+    std::uint64_t probe_key) const noexcept {
+  const auto it = resolved_.find(probe_key);
+  if (it == resolved_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DispatchTable::empty() const {
+  std::lock_guard<std::mutex> lock(train_mutex_);
+  return counts_.empty();
+}
+
+std::vector<DispatchTable::Entry> DispatchTable::entries() const {
+  std::lock_guard<std::mutex> lock(train_mutex_);
+  std::vector<Entry> out;
+  for (const auto& [ck, counts] : counts_) {
+    for (int i = 0; i < kArchCount; ++i) {
+      const std::uint64_t count = counts[static_cast<std::size_t>(i)];
+      if (count == 0) continue;
+      out.push_back(Entry{ck.codelet, ck.footprint, ck.point,
+                          static_cast<Arch>(i), count});
+    }
+  }
+  return out;
+}
+
+std::string DispatchTable::serialize() const {
+  std::ostringstream out;
+  out << "peppher-dispatch v1 " << machine_ << '\n';
+  for (const Entry& entry : entries()) {
+    out << entry.codelet << ' ' << entry.footprint << ' ' << entry.point
+        << ' ' << to_string(entry.arch) << ' ' << entry.count << '\n';
+  }
+  return std::move(out).str();
+}
+
+void DispatchTable::deserialize(std::string_view text) {
+  {
+    std::lock_guard<std::mutex> lock(train_mutex_);
+    counts_.clear();
+    resolved_.clear();
+  }
+  const std::vector<std::string> lines = strings::split(text, '\n');
+  bool saw_header = false;
+  std::set<std::tuple<std::string, std::uint64_t, int, int>> seen;
+  for (std::size_t index = 0; index < lines.size(); ++index) {
+    const int line_no = static_cast<int>(index) + 1;
+    const std::vector<Token> fields = tokenize(lines[index]);
+    if (fields.empty()) continue;
+
+    if (!saw_header) {
+      if (fields[0].text != "peppher-dispatch") {
+        fail_at("dispatch table must start with a 'peppher-dispatch v1' "
+                "header",
+                line_no, fields[0].column);
+      }
+      if (fields.size() < 2 || fields[1].text != "v1") {
+        fail_at("unsupported dispatch-table version (expected "
+                "'peppher-dispatch v1')",
+                line_no,
+                fields.size() > 1 ? fields[1].column : fields[0].column);
+      }
+      if (fields.size() > 3) {
+        fail_at("dispatch header has trailing fields after the machine name",
+                line_no, fields[3].column);
+      }
+      machine_ = fields.size() == 3 ? std::string(fields[2].text) : "unknown";
+      saw_header = true;
+      continue;
+    }
+
+    if (fields.size() != 5) {
+      fail_at("bad dispatch line: expected 5 fields "
+              "(codelet footprint point arch count), got " +
+                  std::to_string(fields.size()),
+              line_no, fields[0].column);
+    }
+    const std::string codelet(fields[0].text);
+    const std::uint64_t footprint =
+        parse_u64_field(fields[1], "footprint", line_no);
+    const std::optional<long long> point = strings::to_int(fields[2].text);
+    if (!point || *point < -1 ||
+        *point > std::numeric_limits<int>::max()) {
+      fail_at("dispatch field 'point' is not a program point (integer >= "
+              "-1): '" +
+                  std::string(fields[2].text) + "'",
+              line_no, fields[2].column);
+    }
+    Arch arch;
+    try {
+      arch = parse_arch(fields[3].text);
+    } catch (const Error&) {
+      fail_at("unknown dispatch architecture '" + std::string(fields[3].text) +
+                  "'",
+              line_no, fields[3].column);
+    }
+    const std::uint64_t count = parse_u64_field(fields[4], "count", line_no);
+    if (count == 0) {
+      fail_at("dispatch field 'count' must be positive", line_no,
+              fields[4].column);
+    }
+    const auto seen_key = std::make_tuple(codelet, footprint,
+                                          static_cast<int>(*point),
+                                          static_cast<int>(arch));
+    if (!seen.insert(seen_key).second) {
+      fail_at("duplicate dispatch entry for (codelet, footprint, point, "
+              "arch)",
+              line_no, fields[0].column);
+    }
+    train(codelet, footprint, static_cast<int>(*point), arch, count);
+  }
+  if (!saw_header) {
+    fail_at("dispatch table must start with a 'peppher-dispatch v1' header",
+            1, 1);
+  }
+}
+
+void DispatchTable::save(const std::filesystem::path& file) const {
+  fs::write_file(file, serialize());
+}
+
+void DispatchTable::load(const std::filesystem::path& file) {
+  try {
+    deserialize(fs::read_file(file));
+  } catch (const ParseError& e) {
+    std::string message = e.what();
+    const std::string prefix(to_string(ErrorCode::kParseError));
+    if (strings::starts_with(message, prefix + ": ")) {
+      message = message.substr(prefix.size() + 2);
+    }
+    throw ParseError(message, file.string(), e.line(), e.column());
+  }
+  finalize();
 }
 
 }  // namespace peppher::rt

@@ -19,6 +19,7 @@
 // observed; the scheduler's online estimate is unchanged.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -26,6 +27,9 @@
 #include <shared_mutex>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/types.hpp"
@@ -232,6 +236,118 @@ class PerfRegistry {
   using Key = std::pair<std::string, int>;
   mutable std::shared_mutex mutex_;
   std::map<Key, HistoryModel> models_;
+};
+
+/// Static-composition dispatch table: per-program-point winning placements
+/// recorded during a training run and replayed with an O(1) hash lookup —
+/// the "offline composition" half of the lookahead scheduler (Kessler &
+/// Dastgeer's optimized composition, amortising selection cost to zero).
+///
+/// Training accumulates observation counts per (codelet, footprint,
+/// program point, architecture); finalize() resolves each key to its
+/// majority architecture and additionally synthesises wildcard entries
+/// (footprint 0 = any footprint, point -1 = any point) by aggregating over
+/// the collapsed dimension, so replay still hits when input sizes or call
+/// sites differ slightly from the training run. After finalize() the
+/// resolved map is immutable and lookup() is lock-free; probe keys are
+/// precomputed at task-submit time (Task::dispatch_keys), so the replay
+/// hot path does no hashing, no model evaluation and takes no lock.
+///
+/// Persisted as a versioned ".dispatch" text artifact next to the ".model"
+/// files; malformed input throws located ParseErrors (line/column), same
+/// contract as HistoryModel::deserialize.
+class DispatchTable {
+ public:
+  /// One raw training observation group (exact key, per-arch count).
+  struct Entry {
+    std::string codelet;
+    std::uint64_t footprint = 0;  ///< 0 = wildcard (any footprint)
+    int point = -1;               ///< program point; -1 = wildcard (any)
+    Arch arch = Arch::kCpu;
+    std::uint64_t count = 0;      ///< training observations behind the entry
+  };
+
+  DispatchTable() = default;
+  /// Movable (the training mutex does not travel — a moved table is a
+  /// value being handed off, e.g. peppher-predict's export); not copyable.
+  DispatchTable(DispatchTable&& other)
+      : counts_(std::move(other.counts_)),
+        resolved_(std::move(other.resolved_)),
+        machine_(std::move(other.machine_)) {}
+  DispatchTable& operator=(DispatchTable&& other) {
+    counts_ = std::move(other.counts_);
+    resolved_ = std::move(other.resolved_);
+    machine_ = std::move(other.machine_);
+    return *this;
+  }
+
+  /// Probe key: FNV-1a over the codelet name mixed with footprint and
+  /// point. Collision-free in practice (64-bit over a handful of codelets).
+  static std::uint64_t key(std::string_view codelet, std::uint64_t footprint,
+                           int point) noexcept;
+
+  /// Two-stage variant for callers that derive several keys from one name
+  /// (the submit path computes four probe keys per task): hash the name
+  /// once, then extend the prefix per (footprint, point) combination.
+  /// key_from_prefix(key_prefix(c), f, p) == key(c, f, p).
+  static std::uint64_t key_prefix(std::string_view codelet) noexcept;
+  static std::uint64_t key_from_prefix(std::uint64_t prefix,
+                                       std::uint64_t footprint,
+                                       int point) noexcept;
+
+  /// Records `count` winning-placement observations (training path;
+  /// mutex-guarded, called from worker threads).
+  void train(const std::string& codelet, std::uint64_t footprint, int point,
+             Arch arch, std::uint64_t count = 1);
+
+  /// Resolves majority placements (exact keys + wildcard aggregates) into
+  /// the lock-free lookup map. Call once, before replay lookups.
+  void finalize();
+
+  /// Replay lookup by precomputed probe key. Lock-free; only valid after
+  /// finalize(). nullopt = no entry (caller falls back to dynamic choice).
+  std::optional<Arch> lookup(std::uint64_t probe_key) const noexcept;
+
+  /// True when no training observations have been recorded/loaded.
+  bool empty() const;
+
+  /// Raw entries sorted by (codelet, footprint, point, arch) — reporting
+  /// and the serialised line order.
+  std::vector<Entry> entries() const;
+
+  const std::string& machine() const { return machine_; }
+  void set_machine(std::string name) { machine_ = std::move(name); }
+
+  /// "peppher-dispatch v1 <machine>" header + one counted observation line
+  /// per (codelet, footprint, point, arch).
+  std::string serialize() const;
+
+  /// Parses serialize() output; throws located ParseError on malformed
+  /// input (bad header/version, field count, non-numeric fields, unknown
+  /// architecture, duplicate keys). Does not finalize().
+  void deserialize(std::string_view text);
+
+  void save(const std::filesystem::path& file) const;
+
+  /// Loads + finalizes one ".dispatch" file; ParseError names the file.
+  void load(const std::filesystem::path& file);
+
+ private:
+  struct CountKey {
+    std::string codelet;
+    std::uint64_t footprint = 0;
+    int point = -1;
+    bool operator<(const CountKey& other) const {
+      return std::tie(codelet, footprint, point) <
+             std::tie(other.codelet, other.footprint, other.point);
+    }
+  };
+  using ArchCounts = std::array<std::uint64_t, kArchCount>;
+
+  mutable std::mutex train_mutex_;
+  std::map<CountKey, ArchCounts> counts_;
+  std::unordered_map<std::uint64_t, Arch> resolved_;
+  std::string machine_ = "unknown";
 };
 
 }  // namespace peppher::rt

@@ -26,11 +26,15 @@
 #include <vector>
 
 #include "runtime/task.hpp"
+#include "runtime/trace.hpp"
 #include "runtime/types.hpp"
 #include "sim/device.hpp"
 #include "support/rng.hpp"
 
 namespace peppher::rt {
+
+class DispatchTable;
+struct SchedDecision;
 
 /// Static description of one worker, visible to schedulers.
 struct WorkerDesc {
@@ -68,6 +72,34 @@ struct SchedEnv {
 
   int calibration_min = 2;  ///< samples needed before a variant is trusted
   Rng* rng = nullptr;
+
+  // --- lookahead-policy services (unset for the other policies) ---
+
+  /// Expected execution time alone (no transfer, no readiness); +infinity
+  /// if ineligible. The lookahead window planner prices transfers itself
+  /// from the replica states it tracks across the window, so it must not
+  /// use estimate_work (which double-charges fetches the window already
+  /// planned). Unset = planner falls back to estimate_work.
+  std::function<double(const Task&, WorkerId)> estimate_exec;
+
+  /// Seconds to move `bytes` across one interconnect hop (the machine's
+  /// PCIe link profile, latency + bytes/bandwidth).
+  std::function<double(std::size_t)> link_seconds;
+
+  /// Window-commit notification for every planned task except the one
+  /// whose push/pop triggered the planning: the engine traces the
+  /// decision, enqueues prefetches toward the chosen worker and wakes it.
+  std::function<void(const TaskPtr&, WorkerId, const SchedDecision&)> commit;
+
+  /// Window-planning trace hook (unset = no window tracing).
+  std::function<void(const WindowRecord&)> record_window;
+
+  /// Ready-task batch size of the "lookahead" policy (>= 1; 1 degenerates
+  /// to dmda placements exactly).
+  int window_size = 8;
+
+  /// Static-composition replay table (finalized); nullptr = no replay.
+  const DispatchTable* dispatch = nullptr;
 };
 
 /// Returned by Scheduler::push when the task went to a central queue any
@@ -124,8 +156,9 @@ class Scheduler {
 };
 
 /// Creates a scheduler by policy name: "eager", "random", "ws"
-/// (work-stealing) or "dmda". Throws Error(kInvalidArgument) on unknown
-/// names.
+/// (work-stealing), "dmda" or "lookahead" (windowed joint placement +
+/// static-composition replay). Throws Error(kInvalidArgument) listing the
+/// valid policies on unknown names.
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name, SchedEnv env);
 
 /// Names accepted by make_scheduler, for help text and parameter sweeps.

@@ -96,6 +96,29 @@ class Task {
   std::size_t total_bytes = 0;     ///< sum of operand_bytes
   std::array<const Implementation*, kArchCount> impl_for_arch{};
 
+  /// Static-composition replay: probe keys into the dispatch table, from
+  /// most to least specific — (codelet, footprint, point), (codelet,
+  /// footprint, any), (codelet, any, point), (codelet, any, any). Computed
+  /// once at submit when a replay table is loaded, so the scheduler's
+  /// hot-path lookup does no hashing. Empty (has_dispatch_keys = false)
+  /// when replay is off.
+  std::array<std::uint64_t, 4> dispatch_keys{};
+  bool has_dispatch_keys = false;
+
+  /// The table's answer for the most specific matching key, resolved once
+  /// at submit (the replay table is immutable after load). -1 when no key
+  /// matches. The scheduler's replay fast path reads this instead of
+  /// probing the table; the key chain above remains the slow-path fallback
+  /// when the resolved architecture has no eligible worker (blacklist).
+  int replay_arch = -1;
+
+  /// Eligible-worker bitmask snapshotted by the engine immediately before
+  /// each scheduler push (bit w = worker w may run this task, workers 0-63).
+  /// 0 = not snapshotted (direct scheduler unit tests): callers fall back
+  /// to the SchedEnv eligibility callback. Refreshed on every re-push, so a
+  /// post-blacklist re-dispatch never sees the dead worker's bit.
+  std::uint64_t ready_eligible_mask = 0;
+
   // -- dependency bookkeeping (all guarded by the Engine's graph mutex) -----
   int unmet_dependencies = 0;
   std::vector<std::shared_ptr<Task>> successors;

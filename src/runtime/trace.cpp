@@ -91,6 +91,10 @@ void Tracer::record_decision(const DecisionRecord& record) {
   decisions_.append(record);
 }
 
+void Tracer::record_window(WindowRecord record) {
+  windows_.append(std::move(record));
+}
+
 void Tracer::record_phase(std::string label, VirtualTime vtime) {
   PhaseRecord record;
   record.label = std::move(label);
@@ -140,6 +144,10 @@ std::vector<DecisionRecord> Tracer::decisions() const {
   return decisions_.snapshot();
 }
 
+std::vector<WindowRecord> Tracer::windows() const {
+  return windows_.snapshot();
+}
+
 std::vector<PhaseRecord> Tracer::phases() const { return phases_.snapshot(); }
 
 void Tracer::clear() {
@@ -147,6 +155,7 @@ void Tracer::clear() {
   transfers_.clear();
   prefetches_.clear();
   decisions_.clear();
+  windows_.clear();
   phases_.clear();
 }
 

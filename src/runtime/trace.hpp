@@ -117,6 +117,19 @@ struct PhaseRecord {
   VirtualTime vtime = 0.0;
 };
 
+/// One lookahead window-planning decision: which ready tasks were batched
+/// and what the joint plan predicted for them, so peppher-perf can
+/// diagnose mispredicted windows the same way PF005 checks per-task
+/// estimates. Other policies emit none.
+struct WindowRecord {
+  std::uint64_t id = 0;            ///< monotonic window index
+  int size = 0;                    ///< tasks planned in this window
+  double estimate = 0.0;           ///< predicted window makespan (vtime)
+  bool improved = false;           ///< branch-and-bound beat the greedy plan
+  std::uint64_t explored = 0;      ///< search nodes expanded
+  std::vector<std::uint64_t> tasks;  ///< task sequences, plan order
+};
+
 /// Thread-safe trace collector (attached to an Engine when
 /// EngineConfig::enable_trace is set).
 class Tracer {
@@ -133,6 +146,7 @@ class Tracer {
   void record_transfer(const TransferRecord& record);
   void record_prefetch(const PrefetchRecord& record);
   void record_decision(const DecisionRecord& record);
+  void record_window(WindowRecord record);
   void record_phase(std::string label, VirtualTime vtime);
 
   /// Snapshot of all task records so far, in completion order.
@@ -142,6 +156,7 @@ class Tracer {
   std::vector<TransferRecord> transfers() const;
   std::vector<PrefetchRecord> prefetches() const;
   std::vector<DecisionRecord> decisions() const;
+  std::vector<WindowRecord> windows() const;
   std::vector<PhaseRecord> phases() const;
 
   /// Drops all records (benchmark repetition). Quiescent use only: no
@@ -297,6 +312,7 @@ class Tracer {
   ChunkedLog<TransferRecord> transfers_;
   ChunkedLog<PrefetchRecord> prefetches_;
   ChunkedLog<DecisionRecord> decisions_;
+  ChunkedLog<WindowRecord> windows_;
   ChunkedLog<PhaseRecord> phases_;
 };
 

@@ -37,7 +37,8 @@ Codelet make_chaos_codelet() {
 class ChaosUnderFaults : public ::testing::TestWithParam<std::string> {};
 
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, ChaosUnderFaults,
-                         ::testing::Values("eager", "random", "ws", "dmda"),
+                         ::testing::Values("eager", "random", "ws", "dmda",
+                                           "lookahead"),
                          [](const auto& info) { return info.param; });
 
 TEST_P(ChaosUnderFaults, DependentChainsCompleteCorrectly) {
@@ -86,8 +87,9 @@ TEST_P(ChaosUnderFaults, DependentChainsCompleteCorrectly) {
   constexpr std::uint64_t kTotalTasks = kChains * kChainLength;
   const FaultStats stats = engine.fault_stats();
   EXPECT_EQ(stats.tasks_failed, 0u);
-  if (GetParam() == "dmda" || GetParam() == "random") {
-    // These two route by cost estimates / seeded draws, so the GPU
+  if (GetParam() == "dmda" || GetParam() == "random" ||
+      GetParam() == "lookahead") {
+    // These route by cost estimates / seeded draws, so the GPU
     // deterministically receives work and draws faults. eager and ws race
     // real worker threads for tasks: the GPU may legitimately get none.
     EXPECT_GT(stats.injected_kernel_faults, 0u);
@@ -206,6 +208,72 @@ TEST(ChaosBlacklist, DeadDeviceEmitsNoEventsAfterDrain) {
   EXPECT_EQ(engine.worker_stats(cuda_worker).tasks_executed, kDeathAfter);
 
   // Everything else completed on the surviving workers, and correctly.
+  for (const auto& handle : handles) {
+    engine.acquire_host(handle, AccessMode::kRead);
+  }
+  for (const auto& buffer : buffers) {
+    for (float v : buffer) {
+      EXPECT_FLOAT_EQ(v, static_cast<float>(kChainLength));
+    }
+  }
+}
+
+// Device death mid-run under the windowed scheduler: tasks staged for a
+// joint window or already planned onto the dying GPU must be re-planned
+// onto the survivors — nothing lost, nothing failed, numerics exact.
+TEST(ChaosBlacklist, LookaheadReplansWindowAfterDeviceDeath) {
+  constexpr std::uint64_t kDeathAfter = 5;
+  sim::FaultPlan plan;
+  plan.die_after_tasks = kDeathAfter;
+
+  EngineConfig config;
+  config.machine = sim::MachineConfig::platform_c2050();
+  config.machine.cpu_cores = 2;
+  config.scheduler = "lookahead";  // windows over the 8 parallel chains
+  config.use_history_models = false;
+  config.enable_trace = true;
+  config.max_retries = 4;
+  config.accelerator_faults = {plan};
+  Engine engine(config);
+  Codelet codelet = make_chaos_codelet();
+
+  std::vector<std::vector<float>> buffers(kChains,
+                                          std::vector<float>(32, 0.0f));
+  std::vector<DataHandlePtr> handles;
+  for (auto& buffer : buffers) {
+    handles.push_back(engine.register_buffer(
+        buffer.data(), buffer.size() * sizeof(float), sizeof(float)));
+  }
+  for (int step = 0; step < kChainLength; ++step) {
+    for (int chain = 0; chain < kChains; ++chain) {
+      TaskSpec spec;
+      spec.codelet = &codelet;
+      spec.operands = {{handles[chain], AccessMode::kReadWrite}};
+      spec.name = "c" + std::to_string(chain) + "s" + std::to_string(step);
+      engine.submit(std::move(spec));
+    }
+  }
+  engine.wait_for_all();
+
+  WorkerId cuda_worker = -1;
+  for (const auto& desc : engine.workers()) {
+    if (!desc.archs.empty() && desc.archs.front() == Arch::kCuda) {
+      cuda_worker = desc.id;
+    }
+  }
+  ASSERT_GE(cuda_worker, 0);
+  ASSERT_TRUE(engine.worker_blacklisted(cuda_worker));
+  EXPECT_EQ(engine.fault_stats().workers_blacklisted, 1u);
+  EXPECT_EQ(engine.fault_stats().tasks_failed, 0u);
+  EXPECT_EQ(engine.worker_stats(cuda_worker).tasks_executed, kDeathAfter);
+
+  // Every task completed exactly once, none on the dead device after the
+  // blacklist, and the chains' numerics survived the mid-window re-plan.
+  std::uint64_t executed = 0;
+  for (const auto& desc : engine.workers()) {
+    executed += engine.worker_stats(desc.id).tasks_executed;
+  }
+  EXPECT_EQ(executed, static_cast<std::uint64_t>(kChains * kChainLength));
   for (const auto& handle : handles) {
     engine.acquire_host(handle, AccessMode::kRead);
   }

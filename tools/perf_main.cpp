@@ -23,7 +23,12 @@
 //                              .model files there (peppher-predict input)
 //   --machine=<c2050|c1060|opencl|cpu|cpuN>
 //                              machine preset to record on (cpuN = N cores)
-//   --scheduler=<eager|random|ws|dmda>
+//   --scheduler=<eager|random|ws|dmda|lookahead>
+//   --window=<N>               lookahead window size (default 8)
+//   --dispatch-out=<path>      train a static-composition dispatch table
+//                              and write it here at shutdown
+//   --dispatch=<path>          replay placements from a trained table
+//                              (lookahead scheduler required)
 //   --force=<cpu|cuda|opencl>  pin every task to one architecture
 //   --n=<size> --steps=<count> ODE problem size (defaults 96 / 24)
 //
@@ -56,7 +61,9 @@ int usage(std::ostream& out) {
          "  --chrome=<path>\n"
          "  --models-out=<dir>\n"
          "  --machine=<c2050|c1060|opencl|cpu|cpuN>\n"
-         "  --scheduler=<eager|random|ws|dmda>\n"
+         "  --scheduler=<eager|random|ws|dmda|lookahead>\n"
+         "  --window=<N>\n"
+         "  --dispatch-out=<path> --dispatch=<path>\n"
          "  --force=<cpu|cuda|opencl>\n"
          "  --n=<size> --steps=<count>\n";
   return 2;
@@ -129,6 +136,9 @@ struct RecordOptions {
   std::optional<rt::Arch> force;
   std::uint32_t n = 96;
   int steps = 24;
+  int window = 8;
+  std::string dispatch_out;  ///< train + persist a dispatch table
+  std::string dispatch;      ///< replay placements from a trained table
 };
 
 /// Runs the ODE pipeline with tracing on and writes the trace document.
@@ -143,6 +153,9 @@ int record_ode(const RecordOptions& options) {
   // A non-empty sampling dir turns on execution-time sampling; the engine
   // persists the .model files there at shutdown (peppher-predict input).
   config.sampling_dir = options.models_out;
+  config.window_size = options.window;
+  config.dispatch_out = options.dispatch_out;
+  config.dispatch_table = options.dispatch;
 
   apps::ode::register_components();
   {
@@ -217,6 +230,17 @@ int main(int argc, char** argv) {
       }
     } else if (match_switch(arg, "scheduler", &value)) {
       record_options.scheduler = value;
+    } else if (match_switch(arg, "window", &value)) {
+      const auto window = strings::to_int(value);
+      if (!window || *window <= 0 || *window > 1024) {
+        std::cerr << "peppher-perf: --window needs an integer in [1, 1024]\n";
+        return usage(std::cerr);
+      }
+      record_options.window = static_cast<int>(*window);
+    } else if (match_switch(arg, "dispatch-out", &value)) {
+      record_options.dispatch_out = value;
+    } else if (match_switch(arg, "dispatch", &value)) {
+      record_options.dispatch = value;
     } else if (match_switch(arg, "force", &value)) {
       try {
         record_options.force = force_arch(value);

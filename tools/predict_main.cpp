@@ -18,6 +18,10 @@
 //   --max-steps=<N>            statement-evaluation budget (PL077 beyond)
 //   --target=<tasks/s>         whatif: throughput target
 //   --max-devices=<N>          whatif: largest device count tried (default 64)
+//   --dispatch-out=<path>      analyze: also export the per-point greedy
+//                              placements as a runtime dispatch table (the
+//                              static prior EngineConfig::dispatch_table
+//                              replays; docs/runtime.md)
 //   --format=text|json|sarif   output renderer (default text, to stdout)
 //   --werror                   warnings fail the run too
 //   --explain=PLxxx|all        print registry metadata, then exit
@@ -53,6 +57,7 @@ int usage(std::ostream& out) {
          "  --calibration=<N>\n"
          "  --max-steps=<N>\n"
          "  --target=<tasks/s> --max-devices=<N>\n"
+         "  --dispatch-out=<path>\n"
          "  --format=text|json|sarif\n"
          "  --werror\n"
          "  --explain=PLxxx|all\n";
@@ -162,6 +167,7 @@ int main(int argc, char** argv) {
   double target = 0.0;
   bool have_target = false;
   int max_devices = 64;
+  std::string dispatch_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -226,6 +232,8 @@ int main(int argc, char** argv) {
         return usage(std::cerr);
       }
       have_target = true;
+    } else if (match_switch(arg, "dispatch-out", &value)) {
+      dispatch_out = value;
     } else if (match_switch(arg, "disableImpls", &value)) {
       for (std::string& name : strings::split(value, ',')) {
         std::string trimmed(strings::trim(name));
@@ -264,6 +272,15 @@ int main(int argc, char** argv) {
 
   if (mode == "analyze") {
     analyze::PredictResult result = analyze::predict_main(repo, models, options);
+    if (!dispatch_out.empty()) {
+      try {
+        analyze::export_dispatch(result, options.machine.name)
+            .save(dispatch_out);
+      } catch (const Error& e) {
+        std::cerr << "peppher-predict: " << e.what() << "\n";
+        return 2;
+      }
+    }
     bag.merge(result.bag.diagnostics());
     bag.sort();
     if (format == "json") {

@@ -5,8 +5,10 @@
 #                                           BENCH_task_overhead.json,
 #                                           BENCH_fig7_ode_overhead.json,
 #                                           BENCH_fig5_spmv_hybrid.json,
-#                                           BENCH_memory_overlap.json and
-#                                           BENCH_predict_accuracy.json at
+#                                           BENCH_fig6_dynamic_selection.json,
+#                                           BENCH_memory_overlap.json,
+#                                           BENCH_predict_accuracy.json and
+#                                           BENCH_scheduler_lookahead.json at
 #                                           the repo root
 #   tools/run_bench.sh --smoke [BUILD_DIR]  tiny iteration counts into a
 #                                           temp dir, JSON validity checked
@@ -32,10 +34,12 @@ done
 TASK_BENCH="$BUILD_DIR/bench/bench_task_overhead"
 FIG7_BENCH="$BUILD_DIR/bench/bench_fig7_ode_overhead"
 FIG5_BENCH="$BUILD_DIR/bench/bench_fig5_spmv_hybrid"
+FIG6_BENCH="$BUILD_DIR/bench/bench_fig6_dynamic_selection"
 OVERLAP_BENCH="$BUILD_DIR/bench/bench_memory_overlap"
 PREDICT_BENCH="$BUILD_DIR/bench/bench_predict_accuracy"
-for bin in "$TASK_BENCH" "$FIG7_BENCH" "$FIG5_BENCH" "$OVERLAP_BENCH" \
-           "$PREDICT_BENCH"; do
+LOOKAHEAD_BENCH="$BUILD_DIR/bench/bench_scheduler_lookahead"
+for bin in "$TASK_BENCH" "$FIG7_BENCH" "$FIG5_BENCH" "$FIG6_BENCH" \
+           "$OVERLAP_BENCH" "$PREDICT_BENCH" "$LOOKAHEAD_BENCH"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -58,7 +62,11 @@ RAW="$OUT_DIR/bench_task_overhead_raw.json"
   "--benchmark_out=$RAW" --benchmark_out_format=json
 "$FIG7_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_fig7_ode_overhead.json"
 "$FIG5_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_fig5_spmv_hybrid.json"
+"$FIG6_BENCH" "${SMOKE_ARGS[@]}" \
+  "--json=$OUT_DIR/BENCH_fig6_dynamic_selection.json"
 "$OVERLAP_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_memory_overlap.json"
+"$LOOKAHEAD_BENCH" "${SMOKE_ARGS[@]}" \
+  "--json=$OUT_DIR/BENCH_scheduler_lookahead.json"
 # Exits non-zero on a full run when a predicted/simulated ratio leaves the
 # ±30% band (docs/predict.md "Accuracy"); --smoke only checks the pipeline.
 "$PREDICT_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_predict_accuracy.json"
@@ -140,6 +148,45 @@ if drifted:
     print("warning: prediction-accuracy ratios drifted >0.10 from the "
           "committed baseline", file=sys.stderr)
 EOF
+
+  # Scheduler-lookahead gates (docs/runtime.md "lookahead"): the adversarial
+  # DAG must keep its >= 1.15x win over dmda, the paper-workload parity rows
+  # must not regress below dmda beyond noise, and replay must stay within a
+  # few percent of the eager scheduler's per-task cost. Ratios are also
+  # diffed against the committed baseline
+  # (bench/baseline_scheduler_lookahead.json) to flag behavioural drift.
+  python3 - "$ROOT/bench/baseline_scheduler_lookahead.json" \
+    "$OUT_DIR/BENCH_scheduler_lookahead.json" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path = sys.argv[1:3]
+def ratios(path):
+    doc = json.load(open(path))
+    return {r["case"]: r["ratio"] for r in doc["rows"]}
+baseline, current = ratios(baseline_path), ratios(current_path)
+gates = {
+    "adversarial": 1.15,      # lookahead must beat dmda here
+    "fig5_parity": 0.90,      # parity rows: not worse beyond noise
+    "fig7_parity": 0.90,
+    "replay_overhead": 0.90,  # replay within a few percent of eager
+}
+failed = False
+for case in sorted(current):
+    ratio = current[case]
+    floor = gates.get(case)
+    base = baseline.get(case)
+    drift = f" (baseline {base:.2f}x)" if base is not None else ""
+    marker = ""
+    if floor is not None and ratio < floor:
+        marker = f" <-- below gate {floor:.2f}x"
+        failed = True
+    print(f"  scheduler lookahead {case}: {ratio:.2f}x{drift}{marker}")
+if failed:
+    print("error: scheduler-lookahead ratios fell below their gates",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
 fi
 
 if [[ "$SMOKE" == 1 ]]; then
@@ -150,6 +197,9 @@ for path in sys.argv[1:]:
     json.load(open(path))
 print('bench smoke OK: JSON outputs parse')
 " "$OUT_DIR/BENCH_task_overhead.json" "$OUT_DIR/BENCH_fig7_ode_overhead.json" \
-  "$OUT_DIR/BENCH_fig5_spmv_hybrid.json" "$OUT_DIR/BENCH_memory_overlap.json" \
-  "$OUT_DIR/BENCH_predict_accuracy.json"
+  "$OUT_DIR/BENCH_fig5_spmv_hybrid.json" \
+  "$OUT_DIR/BENCH_fig6_dynamic_selection.json" \
+  "$OUT_DIR/BENCH_memory_overlap.json" \
+  "$OUT_DIR/BENCH_predict_accuracy.json" \
+  "$OUT_DIR/BENCH_scheduler_lookahead.json"
 fi

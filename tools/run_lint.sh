@@ -13,11 +13,16 @@
 #      analyze clean, a deliberately mis-sized one must fail --werror with
 #      a PF001 device-imbalance finding, --explain must know the code, and
 #      a truncated trace must be rejected with a located parse error;
-#   6. runs the static cost predictor (peppher-predict): models recorded
+#   6. checks static composition end to end: a lookahead training run must
+#      write a loadable dispatch table, and replaying it (while training a
+#      second table) must reproduce the trained per-key majority placements
+#      with at most 5% divergence — a replay that drifts from its own table
+#      means the table is being ignored;
+#   7. runs the static cost predictor (peppher-predict): models recorded
 #      from short ODE runs must predict a fixture repository clean under
 #      --werror, a seeded dead variant must be caught as PL070, and a
 #      corrupted .model file must be rejected with a located parse error;
-#   7. if clang-tidy is installed and the build exported
+#   8. if clang-tidy is installed and the build exported
 #      compile_commands.json, runs it over src/analyze with the repo's
 #      .clang-tidy configuration (advisory: failures are reported but do
 #      not fail the smoke run, since the installed clang-tidy version
@@ -168,6 +173,56 @@ if "${perf_bin}" "${workdir}/truncated.json" \
   exit 1
 fi
 grep -Eq "truncated.json:[0-9]+:[0-9]+" "${workdir}/perf_parse.txt"
+
+echo "== static composition: lookahead training must write a dispatch table"
+"${perf_bin}" --record=ode --scheduler=lookahead \
+  "--dispatch-out=${workdir}/train.dispatch" \
+  "--out=${workdir}/train_trace.json" > /dev/null
+grep -q "^peppher-dispatch v1" "${workdir}/train.dispatch"
+
+echo "== replaying the table must reproduce its placements (<=5% divergence)"
+"${perf_bin}" --record=ode --scheduler=lookahead \
+  "--dispatch=${workdir}/train.dispatch" \
+  "--dispatch-out=${workdir}/replay.dispatch" \
+  "--out=${workdir}/replay_trace.json" > /dev/null
+if command -v python3 > /dev/null; then
+  python3 - "${workdir}/train.dispatch" "${workdir}/replay.dispatch" <<'EOF'
+import sys
+from collections import defaultdict
+
+def majorities(path):
+    votes = defaultdict(lambda: defaultdict(int))
+    with open(path) as handle:
+        header = handle.readline()
+        if not header.startswith("peppher-dispatch v1"):
+            sys.exit(f"{path}: missing peppher-dispatch header")
+        for line in handle:
+            fields = line.split()
+            if len(fields) != 5:
+                continue
+            codelet, footprint, point, arch, count = fields
+            votes[(codelet, footprint, point)][arch] += int(count)
+    return {key: max(arches, key=arches.get)
+            for key, arches in votes.items()}
+
+train = majorities(sys.argv[1])
+replay = majorities(sys.argv[2])
+shared = sorted(set(train) & set(replay))
+if not shared:
+    sys.exit("no shared keys between trained and replayed dispatch tables")
+diverged = [key for key in shared if train[key] != replay[key]]
+fraction = len(diverged) / len(shared)
+print(f"  {len(shared)} shared dispatch keys, "
+      f"{len(diverged)} diverged ({fraction:.0%})")
+if fraction > 0.05:
+    for key in diverged[:10]:
+        print(f"  diverged {key}: trained {train[key]}, "
+              f"replayed {replay[key]}", file=sys.stderr)
+    sys.exit("replay diverged from its dispatch table beyond 5%")
+EOF
+else
+  grep -q "^peppher-dispatch v1" "${workdir}/replay.dispatch"
+fi
 
 echo "== static predictor: record models from short ODE runs"
 modelsdir="${workdir}/models"
