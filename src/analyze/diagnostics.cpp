@@ -411,6 +411,14 @@ const std::vector<CodeInfo>& all_codes() {
        "bus round trip per bounce — the dynamic twin of PL052/PL064. Pin "
        "the datum to one side, provide a missing variant, or fuse the "
        "alternating program points."},
+      {"PF007", Severity::kWarning, "node-link-bound phase / halo imbalance",
+       "Cluster traces only. Either a phase's inter-node lanes are busy a "
+       "large share of its compute time (the halo exchange is not hidden "
+       "behind interior work — widen the overlap window, exchange less "
+       "often, or grow the per-node block), or one inter-node link moves "
+       "far more bytes than the least-loaded active link (a lopsided "
+       "partitioning whose heaviest link paces every step — rebalance the "
+       "partition sizes)."},
   };
   return kCodes;
 }

@@ -16,7 +16,7 @@
 //   PL052..PL059  placement / transfer smells
 //   PL060..PL069  coherence verification (peppher-verify, docs/verify.md)
 //   PL070..PL077  static cost prediction (peppher-predict, docs/predict.md)
-//   PF001..PF006  runtime-trace analyses (peppher-perf, docs/perf.md)
+//   PF001..PF007  runtime-trace analyses (peppher-perf, docs/perf.md)
 #pragma once
 
 #include <cstddef>

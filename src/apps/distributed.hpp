@@ -1,0 +1,64 @@
+// Distributed workloads over simulated cluster nodes: a 2-D Jacobi stencil
+// with halo exchange, and a row-partitioned sparse matrix-vector product
+// with the dense vector replicated per node.
+//
+// The Jacobi grid is row-block partitioned (cont::Partitioning) across the
+// engine's simulated nodes. Each partition keeps three per-buffer region
+// handles — the top `halo` rows, the interior, the bottom `halo` rows —
+// plus ghost-row buffers with their own storage. Every iteration, halo
+// exchange tasks pull the neighbours' boundary rows across the inter-node
+// links into the ghosts while the interior task (which depends only on
+// node-local data) already runs: the exchange overlaps interior compute.
+// `JacobiConfig::overlap = false` is the ablation: the interior task also
+// reads the ghost handles, serialising every step behind the exchange.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/spmv.hpp"
+#include "runtime/engine.hpp"
+
+namespace peppher::apps::dist {
+
+/// Registers the "jacobi_band" and "halo_copy" codelets. Idempotent.
+void register_components();
+
+/// Preferred compute worker of one simulated node: its first accelerator,
+/// else its combined-CPU worker, else its first CPU core.
+rt::WorkerId compute_worker(const rt::Engine& engine, int sim_node);
+
+/// Worker the halo-exchange copies run on: distinct from compute_worker
+/// whenever the node has more than one worker, so exchange and interior
+/// compute proceed on independent virtual clocks.
+rt::WorkerId exchange_worker(const rt::Engine& engine, int sim_node);
+
+struct JacobiConfig {
+  std::size_t rows = 64;
+  std::size_t cols = 64;
+  int iterations = 4;
+  std::size_t halo = 1;  ///< ghost rows exchanged per side, >= 1
+  bool overlap = true;   ///< false = blocking-exchange ablation
+};
+
+struct JacobiResult {
+  std::vector<float> grid;  ///< final field, row-major rows x cols
+  double virtual_seconds = 0.0;
+  rt::TransferStats transfers;
+};
+
+/// Runs `config.iterations` Jacobi sweeps distributed over the engine's
+/// simulated nodes (row blocks, one partition per node). Numerics are
+/// bitwise-identical to jacobi_reference.
+JacobiResult run_jacobi(rt::Engine& engine, const JacobiConfig& config);
+
+/// Serial single-buffer-pair reference of the same sweep count.
+std::vector<float> jacobi_reference(const JacobiConfig& config);
+
+/// Distributed SpMV: rows are block-partitioned over the simulated nodes
+/// (one task per node, forced onto its compute worker); x is a single
+/// handle whose replicas fan out across the inter-node links on first use.
+spmv::RunResult run_distributed_spmv(rt::Engine& engine,
+                                     const spmv::Problem& problem);
+
+}  // namespace peppher::apps::dist

@@ -308,6 +308,99 @@ void check_ping_pong(const Trace& trace, const AnalysisOptions& options,
   }
 }
 
+// ---------------------------------------------------------------------------
+// PF007: node-link-bound phase / lopsided halo exchange (cluster traces)
+// ---------------------------------------------------------------------------
+//
+// Only cluster traces have transfers with from_node != to_node; on a
+// single-host trace every hop is intra-node and the check is silent. Two
+// distinct smells share the code because they share the evidence:
+//
+//  (a) a phase whose inter-node lanes are busy a large fraction of its
+//      compute time is latency/bandwidth-bound on the cluster fabric —
+//      the halo exchange is not hidden behind interior compute;
+//  (b) one directed node pair carrying far more bytes than the
+//      least-loaded active pair means a lopsided partitioning: the heavy
+//      link paces every bulk-synchronous step.
+void check_node_link(const Trace& trace, const AnalysisOptions& options,
+                     diag::DiagnosticBag& bag) {
+  std::vector<const TraceTransfer*> internode;
+  for (const TraceTransfer& t : trace.transfers) {
+    if (t.from_node != t.to_node) internode.push_back(&t);
+  }
+  if (static_cast<int>(internode.size()) < options.min_node_transfers) return;
+
+  // (a) per-phase inter-node busy vs compute busy — PF002's phase framing.
+  struct Phase {
+    std::string label;
+    double begin;
+    double end;
+  };
+  std::vector<Phase> phases;
+  if (trace.phases.size() >= 2) {
+    for (std::size_t i = 0; i + 1 < trace.phases.size(); ++i) {
+      phases.push_back({trace.phases[i].label, trace.phases[i].vtime,
+                        trace.phases[i + 1].vtime});
+    }
+  } else {
+    phases.push_back({"run", 0.0, trace.makespan});
+  }
+  for (const Phase& phase : phases) {
+    if (phase.end <= phase.begin) continue;
+    double compute = 0.0;
+    for (const TraceTask& t : trace.tasks) {
+      if (!t.failed) {
+        compute += overlap(t.vstart, t.vend, phase.begin, phase.end);
+      }
+    }
+    double link = 0.0;
+    int hops = 0;
+    for (const TraceTransfer* t : internode) {
+      const double busy = overlap(t->vstart, t->vend, phase.begin, phase.end);
+      if (busy > 0.0) ++hops;
+      link += busy;
+    }
+    if (hops < options.min_node_transfers || compute <= 0.0 ||
+        link < options.node_link_share * compute) {
+      continue;
+    }
+    add(bag, "PF007",
+        "phase '" + phase.label + "' is node-link-bound: " + seconds(link) +
+            " busy on inter-node lanes vs " + seconds(compute) +
+            " compute (" + std::to_string(hops) +
+            " hops); widen the halo overlap or exchange less often");
+  }
+
+  // (b) per-directed-pair byte imbalance across the whole trace.
+  std::map<std::pair<int, int>, std::uint64_t> pair_bytes;
+  for (const TraceTransfer* t : internode) {
+    pair_bytes[{t->from_node, t->to_node}] += t->bytes;
+  }
+  if (pair_bytes.size() < 2) return;
+  auto heaviest = pair_bytes.begin();
+  auto lightest = pair_bytes.begin();
+  for (auto it = pair_bytes.begin(); it != pair_bytes.end(); ++it) {
+    if (it->second > heaviest->second) heaviest = it;
+    if (it->second < lightest->second) lightest = it;
+  }
+  if (lightest->second == 0 ||
+      static_cast<double>(heaviest->second) <=
+          options.node_imbalance_ratio *
+              static_cast<double>(lightest->second)) {
+    return;
+  }
+  add(bag, "PF007",
+      "lopsided halo exchange: link " +
+          std::to_string(heaviest->first.first) + "->" +
+          std::to_string(heaviest->first.second) + " carried " +
+          std::to_string(heaviest->second) + " B while link " +
+          std::to_string(lightest->first.first) + "->" +
+          std::to_string(lightest->first.second) + " carried " +
+          std::to_string(lightest->second) +
+          " B; rebalance the partitioning so every inter-node link moves "
+          "similar halo volume");
+}
+
 }  // namespace
 
 diag::DiagnosticBag analyze_trace(const Trace& trace,
@@ -318,6 +411,7 @@ diag::DiagnosticBag analyze_trace(const Trace& trace,
   check_prefetches(trace, options, bag);
   check_mispredictions(trace, options, bag);
   check_ping_pong(trace, options, bag);
+  check_node_link(trace, options, bag);
   bag.sort();
   return bag;
 }

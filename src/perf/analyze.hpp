@@ -14,6 +14,7 @@
 //   PF005  scheduler cost-model misprediction (estimated vs actual)
 //   PF006  loop-carried ping-pong observed at runtime (dynamic twin of
 //          the static PL052/PL064 placement checks)
+//   PF007  node-link-bound phase / lopsided halo exchange (cluster traces)
 #pragma once
 
 #include "analyze/diagnostics.hpp"
@@ -50,6 +51,17 @@ struct AnalysisOptions {
   /// PF006 fires when one datum's executing memory node alternates at
   /// least this many times across the (sequence-ordered) tasks using it.
   int min_alternations = 4;
+
+  /// PF007 (cluster traces only — transfers carrying from_node/to_node)
+  /// fires when, within a phase, busy seconds on inter-node hops reach
+  /// `node_link_share` of compute busy seconds; or when one directed node
+  /// pair carries more than `node_imbalance_ratio` times the bytes of the
+  /// least-loaded active pair (lopsided halo exchange). Both signals need
+  /// at least `min_node_transfers` inter-node hops to rule out warm-up
+  /// noise.
+  double node_link_share = 0.5;
+  double node_imbalance_ratio = 2.0;
+  int min_node_transfers = 4;
 };
 
 /// Runs every analysis over `trace` and returns the findings, sorted in

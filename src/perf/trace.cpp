@@ -64,6 +64,20 @@ int get_int(const JsonValue& object, const std::string& key,
   return static_cast<int>(number);
 }
 
+/// Schema-v1 additive fields: absent in older documents (default applies),
+/// but when present they must be well-formed non-negative integers — the
+/// reader validates what it is given, it never guesses.
+int get_node_id_or(const JsonValue& object, const std::string& key,
+                   const std::string& what, int fallback) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return fallback;
+  expect_kind(*value, JsonValue::Kind::kNumber, what + "." + key);
+  if (value->number < 0 || value->number != std::floor(value->number)) {
+    fail_at(what + "." + key + " must be a non-negative integer", *value);
+  }
+  return static_cast<int>(value->number);
+}
+
 std::uint64_t get_u64(const JsonValue& object, const std::string& key,
                       const std::string& what) {
   const JsonValue& value = require(object, key, what);
@@ -89,6 +103,7 @@ TraceWorker parse_worker(const JsonValue& value) {
   w.name = get_string(value, "name", "worker");
   w.arch = get_string(value, "arch", "worker");
   w.node = get_int(value, "node", "worker");
+  w.sim_node = get_node_id_or(value, "sim_node", "worker", 0);
   w.combined = get_bool(value, "combined", "worker");
   return w;
 }
@@ -127,6 +142,8 @@ TraceTransfer parse_transfer(const JsonValue& value) {
   t.order = get_u64(value, "order", "transfer");
   t.from = get_int(value, "from", "transfer");
   t.to = get_int(value, "to", "transfer");
+  t.from_node = get_node_id_or(value, "from_node", "transfer", 0);
+  t.to_node = get_node_id_or(value, "to_node", "transfer", 0);
   t.bytes = get_u64(value, "bytes", "transfer");
   t.vstart = get_number(value, "vstart", "transfer");
   t.vend = get_number(value, "vend", "transfer");
@@ -155,6 +172,7 @@ TracePrefetch parse_prefetch(const JsonValue& value) {
   }
   p.task = get_u64(value, "task", "prefetch");
   p.node = get_int(value, "node", "prefetch");
+  p.sim_node = get_node_id_or(value, "sim_node", "prefetch", 0);
   p.data = get_u64(value, "data", "prefetch");
   p.bytes = get_u64(value, "bytes", "prefetch");
   return p;

@@ -22,6 +22,7 @@ struct TraceWorker {
   std::string name;  ///< device profile name, e.g. "tesla-c2050"
   std::string arch;  ///< "cpu", "cpu_omp", "cuda", "opencl"
   int node = 0;      ///< memory node the worker executes against
+  int sim_node = 0;  ///< simulated cluster node (0 on single-host traces)
   bool combined = false;  ///< the all-CPU-cores fork-join worker
 };
 
@@ -41,12 +42,15 @@ struct TraceTask {
   std::vector<std::uint64_t> data;  ///< operand data ids
 };
 
-/// One PCIe hop ("transfers" section).
+/// One interconnect hop ("transfers" section): a PCIe copy, or — on
+/// cluster traces — an inter-node hop (from_node != to_node).
 struct TraceTransfer {
   int lane = 0;
   std::uint64_t order = 0;  ///< per-lane sequence number
   int from = 0;
   int to = 0;
+  int from_node = 0;  ///< simulated cluster node of `from` (v1 additive)
+  int to_node = 0;    ///< simulated cluster node of `to` (v1 additive)
   std::uint64_t bytes = 0;
   double vstart = 0.0;
   double vend = 0.0;
@@ -61,6 +65,7 @@ struct TracePrefetch {
   std::string reason;  ///< skip reason, "none" unless event == "skipped"
   std::uint64_t task = 0;
   int node = 0;
+  int sim_node = 0;  ///< simulated cluster node of `node` (v1 additive)
   std::uint64_t data = 0;
   std::uint64_t bytes = 0;
 };

@@ -56,6 +56,22 @@ void atomic_add(std::atomic<double>& target, double delta) {
 /// pick the task up (see Engine::wake_workers).
 thread_local WorkerId t_worker_id = -1;
 
+/// The cluster the engine actually runs: the configured one, or a
+/// synthesized one-node cluster wrapping the configured machine.
+sim::ClusterConfig resolve_cluster(const EngineConfig& config) {
+  if (!config.cluster.empty()) return config.cluster;
+  return sim::ClusterConfig::single(config.machine);
+}
+
+int total_cpu_cores(const sim::ClusterConfig& cluster) {
+  int total = 0;
+  for (const sim::NodeConfig& node : cluster.nodes) {
+    check(node.machine.cpu_cores >= 0, "negative CPU core count");
+    total += node.machine.cpu_cores;
+  }
+  return total;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -64,12 +80,15 @@ thread_local WorkerId t_worker_id = -1;
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)),
-      cpu_count_(config_.machine.cpu_cores),
-      data_(1 + static_cast<int>(config_.machine.accelerators.size()),
-            config_.machine.link),
+      cluster_(resolve_cluster(config_)),
+      cpu_count_(total_cpu_cores(cluster_)),
+      data_(MemTopology::of_cluster(cluster_),
+            cluster_.nodes.front().machine.link, cluster_.internode),
       rng_(config_.seed) {
-  check(cpu_count_ >= 0, "negative CPU core count");
-  check(cpu_count_ > 0 || !config_.machine.accelerators.empty(),
+  const MemTopology& topo = data_.topo();
+  machine_name_ = topo.multi_node() ? cluster_.name
+                                    : cluster_.nodes.front().machine.name;
+  check(cpu_count_ > 0 || topo.device_count() > 0,
         "machine has no execution units");
 
   // Shadow coherence checking must be armed before any handle registration.
@@ -78,48 +97,85 @@ Engine::Engine(EngineConfig config)
   // Transfer tracing hooks in before any worker (or transfer) exists.
   if (config_.enable_trace) data_.set_tracer(&tracer_);
 
+  // Workers, per simulated node: the node's per-core CPU workers, its
+  // combined all-cores worker, then its accelerators (global device
+  // ordinals run in node order). On one node this is exactly the historical
+  // worker table.
+  injectors_.resize(static_cast<std::size_t>(topo.device_count()));
+  bool any_faults = false;
   WorkerId next_id = 0;
-  for (int c = 0; c < cpu_count_; ++c) {
-    WorkerDesc desc;
-    desc.id = next_id++;
-    desc.archs = {Arch::kCpu};
-    desc.node = kHostNode;
-    desc.profile = config_.machine.cpu_core;
-    descs_.push_back(desc);
-  }
-  if (cpu_count_ > 0) {
-    WorkerDesc desc;
-    desc.id = next_id++;
-    desc.archs = {Arch::kCpuOmp};
-    desc.node = kHostNode;
-    desc.profile = combined_cpu_profile(config_.machine.cpu_core, cpu_count_);
-    desc.is_combined_cpu = true;
-    combined_index_ = static_cast<int>(descs_.size());
-    descs_.push_back(desc);
-  }
-  for (std::size_t a = 0; a < config_.machine.accelerators.size(); ++a) {
-    WorkerDesc desc;
-    desc.id = next_id++;
-    desc.archs = {accelerator_arch(config_.machine.accelerators[a])};
-    desc.node = static_cast<MemoryNodeId>(1 + a);
-    desc.profile = config_.machine.accelerators[a];
-    descs_.push_back(desc);
+  int ordinal = 0;
+  for (int k = 0; k < static_cast<int>(cluster_.nodes.size()); ++k) {
+    const sim::MachineConfig& machine = cluster_.nodes[k].machine;
+    const MemoryNodeId host = topo.host_of(k);
+    auto node_rt = std::make_unique<NodeRuntime>();
+    for (int c = 0; c < machine.cpu_cores; ++c) {
+      WorkerDesc desc;
+      desc.id = next_id++;
+      desc.archs = {Arch::kCpu};
+      desc.node = host;
+      desc.sim_node = k;
+      desc.profile = machine.cpu_core;
+      descs_.push_back(desc);
+    }
+    if (machine.cpu_cores > 0) {
+      WorkerDesc desc;
+      desc.id = next_id++;
+      desc.archs = {Arch::kCpuOmp};
+      desc.node = host;
+      desc.sim_node = k;
+      desc.profile = combined_cpu_profile(machine.cpu_core, machine.cpu_cores);
+      desc.is_combined_cpu = true;
+      node_rt->combined_index = static_cast<int>(descs_.size());
+      descs_.push_back(desc);
+    }
+    for (std::size_t a = 0; a < machine.accelerators.size(); ++a, ++ordinal) {
+      WorkerDesc desc;
+      desc.id = next_id++;
+      desc.archs = {accelerator_arch(machine.accelerators[a])};
+      desc.node = topo.device_node(ordinal);
+      desc.sim_node = k;
+      desc.profile = machine.accelerators[a];
+      descs_.push_back(desc);
+      // Device memory capacity from the profile (§IV-D eviction) and the
+      // device's fault injector (accelerator_faults is aligned with the
+      // global ordinals).
+      data_.set_node_capacity(
+          desc.node,
+          static_cast<std::size_t>(machine.accelerators[a].memory_mb * 1024.0 *
+                                   1024.0));
+      if (static_cast<std::size_t>(ordinal) <
+              config_.accelerator_faults.size() &&
+          config_.accelerator_faults[static_cast<std::size_t>(ordinal)].any()) {
+        injectors_[static_cast<std::size_t>(ordinal)] =
+            std::make_unique<sim::FaultInjector>(
+                config_.accelerator_faults[static_cast<std::size_t>(ordinal)],
+                config_.seed ^
+                    (0x9E3779B97F4A7C15ULL *
+                     (static_cast<std::uint64_t>(ordinal) + 1)));
+        any_faults = true;
+      }
+    }
+    node_rt_.push_back(std::move(node_rt));
   }
 
   blacklisted_ = std::make_unique<std::atomic<bool>[]>(descs_.size());
 
-  // Fault injectors (one per accelerator with a non-empty plan). The
-  // transfer hook must be in place before worker threads exist.
-  injectors_.resize(config_.machine.accelerators.size());
-  bool any_faults = false;
-  for (std::size_t a = 0; a < config_.machine.accelerators.size(); ++a) {
-    if (a < config_.accelerator_faults.size() &&
-        config_.accelerator_faults[a].any()) {
-      injectors_[a] = std::make_unique<sim::FaultInjector>(
-          config_.accelerator_faults[a],
-          config_.seed ^ (0x9E3779B97F4A7C15ULL * (a + 1)));
+  // Whole-node death plans and the inter-node link plan. The transfer hook
+  // must be in place before worker threads exist.
+  node_injectors_.resize(cluster_.nodes.size());
+  for (std::size_t k = 0; k < cluster_.nodes.size(); ++k) {
+    if (k < config_.node_faults.size() && config_.node_faults[k].any()) {
+      node_injectors_[k] = std::make_unique<sim::FaultInjector>(
+          config_.node_faults[k],
+          config_.seed ^ (0xD1B54A32D192ED03ULL * (k + 1)));
       any_faults = true;
     }
+  }
+  if (config_.internode_fault.any()) {
+    internode_injector_ = std::make_unique<sim::FaultInjector>(
+        config_.internode_fault, config_.seed ^ 0x94D049BB133111EBULL);
+    any_faults = true;
   }
   if (any_faults) {
     if (config_.verify_shadow) {
@@ -172,14 +228,6 @@ Engine::Engine(EngineConfig config)
   }
   scheduler_ = make_scheduler(config_.scheduler, std::move(env));
 
-  // Device memory capacities from the profiles (§IV-D eviction).
-  for (std::size_t a = 0; a < config_.machine.accelerators.size(); ++a) {
-    data_.set_node_capacity(
-        static_cast<MemoryNodeId>(1 + a),
-        static_cast<std::size_t>(config_.machine.accelerators[a].memory_mb *
-                                 1024.0 * 1024.0));
-  }
-
   if (!config_.sampling_dir.empty()) perf_.load(config_.sampling_dir);
 
   workers_.reserve(descs_.size());
@@ -196,14 +244,16 @@ Engine::Engine(EngineConfig config)
   // Automatic prefetch rides a dedicated background transfer thread. Fault
   // plans disable it: a background path would consume the per-device
   // transfer-fault draws in a nondeterministic order, breaking replayable
-  // chaos runs.
+  // chaos runs. On a cluster the thread also warms remote-host replicas
+  // (halo slices travel the inter-node lanes while interior tasks run), so
+  // it exists whenever there is any non-primary memory node to warm.
   prefetch_enabled_ = config_.enable_prefetch && !any_faults &&
-                      !config_.machine.accelerators.empty();
+                      (topo.device_count() > 0 || topo.multi_node());
   if (prefetch_enabled_) {
     prefetch_thread_ = std::thread([this] { prefetch_main(); });
   }
   log::debug("runtime", "engine started: {} workers on '{}', scheduler '{}'",
-             descs_.size(), config_.machine.name, config_.scheduler);
+             descs_.size(), machine_name_, config_.scheduler);
 }
 
 Engine::~Engine() {
@@ -230,7 +280,7 @@ Engine::~Engine() {
   }
   if (!config_.dispatch_out.empty()) {
     try {
-      dispatch_train_.set_machine(config_.machine.name);
+      dispatch_train_.set_machine(machine_name_);
       dispatch_train_.save(config_.dispatch_out);
     } catch (const Error& e) {
       log::warn("runtime", "could not persist dispatch table: {}", e.what());
@@ -325,6 +375,7 @@ void Engine::enqueue_prefetches(const Task& task, WorkerId hint) {
         record.event = PrefetchEvent::kEnqueued;
         record.task_sequence = task.sequence;
         record.node = node;
+        record.sim_node = data_.topo().sim_node(node);
         record.data = op.handle->id();
         record.bytes = op.handle->bytes();
         tracer_.record_prefetch(record);
@@ -365,6 +416,7 @@ void Engine::prefetch_main() {
       record.reason = outcome;
       record.task_sequence = request.task_sequence;
       record.node = request.node;
+      record.sim_node = data_.topo().sim_node(request.node);
       record.data = request.handle->id();
       record.bytes = request.handle->bytes();
       tracer_.record_prefetch(record);
@@ -512,7 +564,7 @@ TaskPtr Engine::submit(TaskSpec spec) {
   }
   if (!runnable) {
     throw Error(ErrorCode::kUnsupported,
-                "no worker on machine '" + config_.machine.name +
+                "no worker on machine '" + machine_name_ +
                     "' can execute codelet '" + spec.codelet->name() + "'");
   }
 
@@ -775,16 +827,19 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
   const Implementation* impl = select_impl(*task, worker.desc);
   check(impl != nullptr, "scheduler routed a task to an incapable worker");
   sim::FaultInjector* injector = injector_for_node(worker.desc.node);
+  NodeRuntime& node_rt =
+      *node_rt_[static_cast<std::size_t>(worker.desc.sim_node)];
 
-  // The combined-CPU worker needs all cores; per-core workers share them.
-  // Held through completion so combined vs per-core virtual-clock updates
-  // stay mutually ordered.
+  // The combined-CPU worker needs all of its node's cores; the node's
+  // per-core workers share them. Held through completion so combined vs
+  // per-core virtual-clock updates stay mutually ordered.
   std::unique_lock<std::shared_mutex> exclusive_cores;
   std::shared_lock<std::shared_mutex> shared_cores;
   if (worker.desc.is_combined_cpu) {
-    exclusive_cores = std::unique_lock<std::shared_mutex>(cpu_group_mutex_);
-  } else if (worker.desc.node == kHostNode) {
-    shared_cores = std::shared_lock<std::shared_mutex>(cpu_group_mutex_);
+    exclusive_cores =
+        std::unique_lock<std::shared_mutex>(node_rt.cpu_group_mutex);
+  } else if (data_.topo().is_host(worker.desc.node)) {
+    shared_cores = std::shared_lock<std::shared_mutex>(node_rt.cpu_group_mutex);
   }
 
   // Make every operand coherent on this worker's memory node. A transfer
@@ -860,8 +915,11 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
   bool injected_kernel_fault = false;
   double wall_seconds = 0.0;
   if (!task->failed()) {
+    const int node_cores =
+        cluster_.nodes[static_cast<std::size_t>(worker.desc.sim_node)]
+            .machine.cpu_cores;
     ExecContext ctx(impl->arch, worker.desc.id,
-                    worker.desc.is_combined_cpu ? cpu_count_ : 1, buffers,
+                    worker.desc.is_combined_cpu ? node_cores : 1, buffers,
                     buffer_bytes, element_sizes, task->spec.arg.get());
     const auto wall_start = std::chrono::steady_clock::now();
     try {
@@ -922,8 +980,8 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
   task->executed_impl = impl->name;
 
   worker.vtime.store(task->vend, std::memory_order_relaxed);
-  if (worker.desc.node == kHostNode) {
-    atomic_max(host_group_max_, task->vend);
+  if (data_.topo().is_host(worker.desc.node)) {
+    atomic_max(node_rt.host_group_max, task->vend);
   }
   if (task->failed()) {
     worker.failed_attempts.fetch_add(1, std::memory_order_relaxed);
@@ -960,6 +1018,40 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
       if (!blacklisted_[static_cast<std::size_t>(worker.desc.id)].load(
               std::memory_order_relaxed)) {
         blacklist_worker_locked(worker, completed_now, ready_now);
+      }
+    }
+  }
+
+  // Whole-node life cycle (EngineConfig::node_faults): kernel successes on
+  // any of the node's workers feed the node's death condition; when it
+  // fires, every worker of the node is blacklisted at once and their queues
+  // drain to survivors.
+  if (sim::FaultInjector* node_injector =
+          node_injectors_[static_cast<std::size_t>(worker.desc.sim_node)]
+              .get();
+      node_injector != nullptr) {
+    if (!task->failed()) node_injector->record_kernel_success();
+    if (!node_rt.dead.load(std::memory_order_acquire) &&
+        node_injector->death_due(
+            worker.vtime.load(std::memory_order_relaxed))) {
+      std::lock_guard<std::mutex> lock(graph_mutex_);
+      if (!node_rt.dead.load(std::memory_order_relaxed)) {
+        node_rt.dead.store(true, std::memory_order_release);
+        log::warn("runtime", "simulated node {} died; blacklisting {} workers",
+                  worker.desc.sim_node,
+                  std::count_if(workers_.begin(), workers_.end(),
+                                [&](const std::unique_ptr<Worker>& w) {
+                                  return w->desc.sim_node ==
+                                         worker.desc.sim_node;
+                                }));
+        for (auto& w : workers_) {
+          if (w->desc.sim_node != worker.desc.sim_node) continue;
+          if (blacklisted_[static_cast<std::size_t>(w->desc.id)].load(
+                  std::memory_order_relaxed)) {
+            continue;
+          }
+          blacklist_worker_locked(*w, completed_now, ready_now);
+        }
       }
     }
   }
@@ -1146,8 +1238,9 @@ bool Engine::has_eligible_worker(const Task& task) const {
 }
 
 sim::FaultInjector* Engine::injector_for_node(MemoryNodeId node) const {
-  if (node <= kHostNode) return nullptr;
-  const auto idx = static_cast<std::size_t>(node - 1);
+  if (node <= kHostNode || data_.topo().is_host(node)) return nullptr;
+  const auto idx =
+      static_cast<std::size_t>(data_.topo().device_ordinal(node));
   return idx < injectors_.size() ? injectors_[idx].get() : nullptr;
 }
 
@@ -1155,6 +1248,15 @@ void Engine::on_transfer_attempt(MemoryNodeId from, MemoryNodeId to,
                                  std::size_t bytes) {
   // Called under the handle's mutex, outside every engine lock, hence the
   // dedicated atomic counter.
+  if (internode_injector_ != nullptr &&
+      data_.topo().sim_node(from) != data_.topo().sim_node(to) &&
+      internode_injector_->next_transfer_fails()) {
+    injected_transfer_faults_.fetch_add(1, std::memory_order_relaxed);
+    throw Error(ErrorCode::kIoError,
+                "injected inter-node link fault on hop " +
+                    std::to_string(from) + "->" + std::to_string(to) + " (" +
+                    std::to_string(bytes) + " B)");
+  }
   for (MemoryNodeId node : {from, to}) {
     sim::FaultInjector* injector = injector_for_node(node);
     if (injector != nullptr && injector->next_transfer_fails()) {
@@ -1195,14 +1297,20 @@ void Engine::blacklist_worker_locked(Worker& worker,
 VirtualTime Engine::worker_ready_at(WorkerId id) const {
   const Worker& worker = *workers_[static_cast<std::size_t>(id)];
   VirtualTime ready = worker.vtime.load(std::memory_order_relaxed);
+  const NodeRuntime& node_rt =
+      *node_rt_[static_cast<std::size_t>(worker.desc.sim_node)];
   if (worker.desc.is_combined_cpu) {
-    // The combined worker also waits for every per-core CPU worker — the
-    // maintained host-group clock replaces the former per-query scan.
-    ready = std::max(ready, host_group_max_.load(std::memory_order_relaxed));
-  } else if (worker.desc.node == kHostNode && combined_index_ >= 0) {
-    // Per-core workers wait for any combined-CPU execution.
-    ready = std::max(ready, workers_[static_cast<std::size_t>(combined_index_)]
-                                ->vtime.load(std::memory_order_relaxed));
+    // The combined worker also waits for every per-core CPU worker of its
+    // own node — the maintained host-group clock replaces the former
+    // per-query scan.
+    ready = std::max(ready,
+                     node_rt.host_group_max.load(std::memory_order_relaxed));
+  } else if (data_.topo().is_host(worker.desc.node) &&
+             node_rt.combined_index >= 0) {
+    // Per-core workers wait for any combined-CPU execution on their node.
+    ready = std::max(
+        ready, workers_[static_cast<std::size_t>(node_rt.combined_index)]
+                   ->vtime.load(std::memory_order_relaxed));
   }
   return ready;
 }
@@ -1346,7 +1454,9 @@ void Engine::reset_virtual_time() {
   for (auto& worker : workers_) {
     worker->vtime.store(0.0, std::memory_order_relaxed);
   }
-  host_group_max_.store(0.0, std::memory_order_relaxed);
+  for (auto& node_rt : node_rt_) {
+    node_rt->host_group_max.store(0.0, std::memory_order_relaxed);
+  }
   makespan_.store(0.0, std::memory_order_relaxed);
   data_.reset_virtual_time();
 }
@@ -1411,7 +1521,7 @@ std::string Engine::summary() const {
   std::ostringstream out;
   out.precision(6);
   const VirtualTime makespan = makespan_.load(std::memory_order_relaxed);
-  out << "machine '" << config_.machine.name << "', scheduler '"
+  out << "machine '" << machine_name_ << "', scheduler '"
       << config_.scheduler << "', "
       << next_sequence_.load(std::memory_order_relaxed)
       << " tasks, makespan " << makespan << " s virtual\n";
@@ -1441,6 +1551,10 @@ std::string Engine::summary() const {
       << transfers.device_to_host_count << " d2h ("
       << transfers.device_to_host_bytes << " B), "
       << transfers.coalesced_transfers << " coalesced";
+  if (data_.topo().multi_node()) {
+    out << "\n  inter-node: " << transfers.internode_count << " hops ("
+        << transfers.internode_bytes << " B)";
+  }
   const PrefetchStats prefetches = prefetch_stats();
   out << "\n  prefetch: " << prefetches.enqueued << " enqueued, "
       << prefetches.completed << " completed, " << prefetches.skipped
@@ -1502,7 +1616,7 @@ std::string Engine::trace_json() const {
   out << "{\n"
       << "  \"schema\": \"peppher-trace\",\n"
       << "  \"version\": 1,\n"
-      << "  \"machine\": \"" << json_name(config_.machine.name) << "\",\n"
+      << "  \"machine\": \"" << json_name(machine_name_) << "\",\n"
       << "  \"scheduler\": \"" << json_name(config_.scheduler) << "\",\n"
       << "  \"makespan\": " << virtual_makespan() << ",\n";
 
@@ -1512,7 +1626,8 @@ std::string Engine::trace_json() const {
     out << (i == 0 ? "\n" : ",\n") << "    {\"id\": " << desc.id
         << ", \"name\": \"" << json_name(desc.profile.name) << "\", \"arch\": \""
         << to_string(desc.archs.empty() ? Arch::kCpu : desc.archs.front())
-        << "\", \"node\": " << desc.node << ", \"combined\": "
+        << "\", \"node\": " << desc.node << ", \"sim_node\": "
+        << desc.sim_node << ", \"combined\": "
         << (desc.is_combined_cpu ? "true" : "false") << "}";
   }
   out << "\n  ],\n";
@@ -1540,7 +1655,8 @@ std::string Engine::trace_json() const {
     const TransferRecord& t = moves[i];
     out << (i == 0 ? "\n" : ",\n") << "    {\"lane\": " << t.lane
         << ", \"order\": " << t.lane_sequence << ", \"from\": " << t.from
-        << ", \"to\": " << t.to << ", \"bytes\": " << t.bytes
+        << ", \"to\": " << t.to << ", \"from_node\": " << t.from_node
+        << ", \"to_node\": " << t.to_node << ", \"bytes\": " << t.bytes
         << ", \"vstart\": " << t.vstart << ", \"vend\": " << t.vend
         << ", \"coalesced\": " << (t.coalesced ? "true" : "false")
         << ", \"burst\": " << t.burst << ", \"data\": " << t.data << "}";
@@ -1553,8 +1669,9 @@ std::string Engine::trace_json() const {
     const PrefetchRecord& p = prefetches[i];
     out << (i == 0 ? "\n" : ",\n") << "    {\"event\": \"" << to_string(p.event)
         << "\", \"reason\": \"" << to_string(p.reason) << "\", \"task\": "
-        << p.task_sequence << ", \"node\": " << p.node << ", \"data\": "
-        << p.data << ", \"bytes\": " << p.bytes << "}";
+        << p.task_sequence << ", \"node\": " << p.node << ", \"sim_node\": "
+        << p.sim_node << ", \"data\": " << p.data << ", \"bytes\": " << p.bytes
+        << "}";
   }
   out << "\n  ],\n";
 

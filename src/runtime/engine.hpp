@@ -64,8 +64,28 @@ enum class Objective {
 
 /// Engine construction parameters.
 struct EngineConfig {
-  /// Machine to run on (CPU cores + simulated accelerators).
+  /// Machine to run on (CPU cores + simulated accelerators). Ignored when
+  /// `cluster` is non-empty.
   sim::MachineConfig machine = sim::MachineConfig::platform_c2050();
+
+  /// Simulated cluster to run on instead of `machine`: the engine spans
+  /// every node's CPU cores and accelerators, gives each node its own host
+  /// memory, and prices host(i) <-> host(j) traffic on duplex inter-node
+  /// link lanes (sim::ClusterConfig::internode). A one-node cluster is
+  /// bitwise-identical to running on its machine alone — the differential
+  /// tests pin stats and per-worker clocks against the single-host engine.
+  sim::ClusterConfig cluster;
+
+  /// Whole-node fault plans, index-aligned with cluster.nodes (missing or
+  /// all-zero entries mean that node never fails). When a node's death
+  /// condition fires (die_after_tasks successful kernels on the node, or
+  /// die_at_vtime), every worker on it is blacklisted at once and its
+  /// queued tasks drain to survivors (CPU last resort on a live node).
+  std::vector<sim::FaultPlan> node_faults;
+
+  /// Fault plan of the inter-node link itself: transfer_failure_rate draws
+  /// one decision per host(i) -> host(j) hop (other fields are ignored).
+  sim::FaultPlan internode_fault;
 
   /// Scheduling policy: "eager", "random", "ws", "dmda" (default; the
   /// performance-aware policy the paper's TGPA code uses) or "lookahead"
@@ -299,9 +319,13 @@ class Engine {
   const EngineConfig& config() const noexcept { return config_; }
   const std::vector<WorkerDesc>& workers() const noexcept { return descs_; }
   int cpu_worker_count() const noexcept { return cpu_count_; }
-  int accelerator_count() const noexcept {
-    return static_cast<int>(config_.machine.accelerators.size());
-  }
+  int accelerator_count() const noexcept { return data_.topo().device_count(); }
+
+  /// The resolved cluster (a synthesized one-node cluster when the engine
+  /// was configured with a plain machine).
+  const sim::ClusterConfig& cluster() const noexcept { return cluster_; }
+  /// Memory-hierarchy map: hosts, devices, sim-node ownership, routes.
+  const MemTopology& topo() const noexcept { return data_.topo(); }
   WorkerStats worker_stats(WorkerId id) const;
   std::array<std::uint64_t, kArchCount> arch_task_counts() const;
   std::uint64_t tasks_submitted() const;
@@ -476,7 +500,14 @@ class Engine {
   std::uint64_t exploration_sample_count(const Task& task, WorkerId id) const;
 
   EngineConfig config_;
-  int cpu_count_;
+  /// Resolved cluster: config_.cluster, or a synthesized one-node cluster
+  /// wrapping config_.machine. Everything downstream (memory topology,
+  /// workers, capacities) derives from this, never from config_.machine.
+  sim::ClusterConfig cluster_;
+  /// Display name for errors / summaries: the machine name on one node,
+  /// the cluster name otherwise.
+  std::string machine_name_;
+  int cpu_count_;  ///< per-core CPU workers, summed over all nodes
   DataManager data_;
   PerfRegistry perf_;
   DispatchTable dispatch_replay_;  ///< finalized at construction, then const
@@ -487,20 +518,40 @@ class Engine {
 
   std::vector<WorkerDesc> descs_;  ///< immutable after construction
   std::vector<std::unique_ptr<Worker>> workers_;
-  int combined_index_ = -1;  ///< index of the combined-CPU worker, -1 if none
 
-  /// One fault injector per accelerator (nullptr = fault-free device).
-  /// Immutable after construction; the injectors themselves are thread safe.
+  /// Per-simulated-node shared state: the per-node CPU-group lock (the
+  /// combined worker of node k only contends with node k's cores), the
+  /// node's host-group clock, and the node's combined-CPU worker index.
+  /// On one node this is exactly the former engine-wide singleton state.
+  struct NodeRuntime {
+    /// Serialises real execution of the node's combined-CPU worker against
+    /// its per-core CPU workers (they share the same physical cores).
+    std::shared_mutex cpu_group_mutex;
+    /// Maintained host-group clock: max vtime over the node's host workers
+    /// (CAS-max on completion).
+    std::atomic<VirtualTime> host_group_max{0.0};
+    int combined_index = -1;  ///< node's combined-CPU worker, -1 if none
+    std::atomic<bool> dead{false};  ///< whole-node death already handled
+  };
+  std::vector<std::unique_ptr<NodeRuntime>> node_rt_;  ///< per sim node
+
+  /// One fault injector per accelerator, index-aligned with the global
+  /// device ordinals (nullptr = fault-free device). Immutable after
+  /// construction; the injectors themselves are thread safe.
   std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
+
+  /// Whole-node fault injectors (EngineConfig::node_faults), per sim node;
+  /// fed by kernel successes on any of the node's workers.
+  std::vector<std::unique_ptr<sim::FaultInjector>> node_injectors_;
+
+  /// Inter-node link fault injector (EngineConfig::internode_fault), drawn
+  /// once per host(i) -> host(j) hop; nullptr when the plan is empty.
+  std::unique_ptr<sim::FaultInjector> internode_injector_;
 
   /// Transfer faults are counted here instead of fault_counters_ because
   /// the transfer hook runs under handle mutexes, outside every engine
   /// lock.
   std::atomic<std::uint64_t> injected_transfer_faults_{0};
-
-  /// Serialises real execution of the combined-CPU worker against the
-  /// per-core CPU workers (they share the same physical cores).
-  std::shared_mutex cpu_group_mutex_;
 
   /// Protects ONLY the dependency graph: Task::successors /
   /// unmet_dependencies / max_pred_end, DataHandle::last_writer /
@@ -528,11 +579,6 @@ class Engine {
   std::atomic<std::uint64_t> next_sequence_{0};
   std::atomic<std::uint64_t> inflight_{0};
   std::atomic<VirtualTime> makespan_{0.0};
-
-  /// Maintained host-group clock: max vtime over all host-node workers
-  /// (CAS-max on completion), replacing the former O(workers) scan per
-  /// ready-time query.
-  std::atomic<VirtualTime> host_group_max_{0.0};
 
   std::array<std::atomic<std::uint64_t>, kArchCount> arch_counts_{};
   std::unique_ptr<std::atomic<bool>[]> blacklisted_;  ///< per worker

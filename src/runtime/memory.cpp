@@ -45,7 +45,7 @@ DataHandle::DataHandle(DataManager* manager, void* host_ptr, std::size_t bytes,
 void DataHandle::shadow_transition_locked(const char* event, MemoryNodeId node,
                                           AccessMode mode) {
   if (shadow_.empty()) return;
-  msi::apply_acquire(shadow_, node, mode);
+  msi::apply_acquire(shadow_, node, mode, manager_->topo());
   shadow_check_locked(event);
 }
 
@@ -104,14 +104,17 @@ VirtualTime DataHandle::copy_replica(MemoryNodeId from, MemoryNodeId to) {
   Replica& src = replicas_[static_cast<std::size_t>(from)];
   check(src.state != ReplicaState::kInvalid, "copy_replica: invalid source");
 
-  // Device-to-device goes through the host (classic pre-peer-to-peer PCIe),
-  // leaving a shared host copy behind.
-  if (from != kHostNode && to != kHostNode) {
-    VirtualTime via = copy_replica(from, kHostNode);
-    Replica& host = replicas_[kHostNode];
-    host.state = ReplicaState::kShared;
-    host.valid_at = via;
-    return copy_replica(kHostNode, to);
+  // Multi-hop routes recurse through the canonical intermediate (a device
+  // drains to its own host first — classic pre-peer-to-peer PCIe — and a
+  // remote destination is reached via its host over the inter-node link),
+  // leaving a shared copy behind at every hop.
+  const MemoryNodeId via = manager_->topo().route_via(from, to);
+  if (via >= 0) {
+    VirtualTime at = copy_replica(from, via);
+    Replica& hop = replicas_[static_cast<std::size_t>(via)];
+    hop.state = ReplicaState::kShared;
+    hop.valid_at = at;
+    return copy_replica(via, to);
   }
 
   // Fault injection: a failing hop aborts before any state changes, so the
@@ -124,10 +127,33 @@ VirtualTime DataHandle::copy_replica(MemoryNodeId from, MemoryNodeId to) {
   manager_->record_transfer(from, to, bytes_);
   // The host-side address identifies contiguous bursts for coalescing:
   // source for an upload, destination for a flush home.
-  const void* host_side = (from == kHostNode) ? src.ptr : dst.ptr;
+  const void* host_side = manager_->topo().is_host(from) ? src.ptr : dst.ptr;
   dst.valid_at =
       manager_->charge_link(from, to, bytes_, src.valid_at, host_side, id_);
   return dst.valid_at;
+}
+
+MemoryNodeId DataHandle::pick_source_locked(MemoryNodeId node) const {
+  const MemTopology& topo = manager_->topo();
+  const int count = static_cast<int>(replicas_.size());
+  const auto valid = [&](int n) {
+    return replicas_[static_cast<std::size_t>(n)].state !=
+           ReplicaState::kInvalid;
+  };
+  const MemoryNodeId home = topo.home_host(node);
+  if (home != node && valid(home)) return home;
+  for (int n = 0; n < count; ++n) {
+    if (n != node && topo.sim_node(n) == topo.sim_node(node) && valid(n)) {
+      return n;
+    }
+  }
+  for (int n = 0; n < count; ++n) {
+    if (n != node && topo.is_host(n) && valid(n)) return n;
+  }
+  for (int n = 0; n < count; ++n) {
+    if (n != node && valid(n)) return n;
+  }
+  return -1;
 }
 
 void* DataHandle::acquire(MemoryNodeId node, AccessMode mode,
@@ -150,18 +176,9 @@ void* DataHandle::acquire(MemoryNodeId node, AccessMode mode,
 
   const bool needs_fetch = mode != AccessMode::kWrite;
   if (needs_fetch && replica.state == ReplicaState::kInvalid) {
-    // Find a source: prefer host, else first valid node.
-    MemoryNodeId source = -1;
-    if (replicas_[kHostNode].state != ReplicaState::kInvalid) {
-      source = kHostNode;
-    } else {
-      for (std::size_t n = 0; n < replicas_.size(); ++n) {
-        if (replicas_[n].state != ReplicaState::kInvalid) {
-          source = static_cast<MemoryNodeId>(n);
-          break;
-        }
-      }
-    }
+    // Nearest valid replica first (msi::pick_source ordering); on a single
+    // host this degenerates to host-first-else-first-valid.
+    const MemoryNodeId source = pick_source_locked(node);
     check(source >= 0, "no valid replica anywhere (coherence broken)");
     ready = copy_replica(source, node);
     replica.state = ReplicaState::kShared;
@@ -200,7 +217,7 @@ void DataHandle::release(MemoryNodeId node) {
 }
 
 bool DataHandle::try_evict(MemoryNodeId node) {
-  if (node == kHostNode) return false;
+  if (manager_->topo().is_host(node)) return false;  // hosts are never evicted
   // try_lock breaks the symmetric-eviction deadlock: two handles allocating
   // concurrently can never wait on each other.
   std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
@@ -211,16 +228,18 @@ bool DataHandle::try_evict(MemoryNodeId node) {
     if (!weak_child.expired()) return false;  // parent blocked by partition
   }
   if (replica.state == ReplicaState::kOwned && !detached_) {
-    // Sole valid copy: flush it home before dropping it (§IV-D: future use
-    // "would require re-allocation" — and a fresh transfer).
-    copy_replica(node, kHostNode);
-    replicas_[kHostNode].state = ReplicaState::kOwned;
+    // Sole valid copy: flush it to its own node's host before dropping it
+    // (§IV-D: future use "would require re-allocation" — and a fresh
+    // transfer).
+    const MemoryNodeId home = manager_->topo().home_host(node);
+    copy_replica(node, home);
+    replicas_[static_cast<std::size_t>(home)].state = ReplicaState::kOwned;
   }
   replica.state = ReplicaState::kInvalid;
   replica.storage.reset();
   replica.ptr = nullptr;
   if (!shadow_.empty() && !detached_) {
-    msi::apply_evict(shadow_, node);
+    msi::apply_evict(shadow_, node, manager_->topo());
     shadow_check_locked("evict");
   }
   manager_->on_free(node, bytes_);
@@ -237,6 +256,11 @@ void DataHandle::mark_written(MemoryNodeId node, VirtualTime vend) {
   shadow_check_locked("mark_written");  // no transition: states must agree
 }
 
+void DataHandle::reset_virtual_time() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Replica& replica : replicas_) replica.valid_at = 0.0;
+}
+
 double DataHandle::estimate_fetch_seconds(MemoryNodeId node,
                                           AccessMode mode) const {
   if (mode == AccessMode::kWrite) return 0.0;
@@ -247,23 +271,32 @@ double DataHandle::estimate_fetch_seconds(MemoryNodeId node,
   // the lane: charging it again would double-bill every task scheduled
   // after the dispatch that triggered the prefetch.
   if (replica.prefetch_pending > 0) return 0.0;
-  // Device destination with only a device source needs two hops.
-  bool host_valid = replicas_[kHostNode].state != ReplicaState::kInvalid;
-  int hops = (node != kHostNode && !host_valid) ? 2
-             : (node == kHostNode && host_valid) ? 0
-                                                 : 1;
-  if (node == kHostNode && !host_valid) hops = 1;
-  const double latency = manager_->estimate_link_seconds(0);
-  double bandwidth_part =
-      manager_->estimate_link_seconds(bytes_) - latency;
-  if (mode == AccessMode::kRead && read_uses_ > 1) {
-    // Amortise a reusable read-only transfer's *volume* over its observed
-    // reuse (see the header comment); the per-transfer link latency is
-    // always paid in full — otherwise chained fine-grained tasks would
-    // rate a ping-pong placement as free.
-    bandwidth_part /= static_cast<double>(std::min<std::uint64_t>(read_uses_, 64));
+  // Amortise a reusable read-only transfer's *volume* over its observed
+  // reuse (see the header comment); the per-transfer link latency is
+  // always paid in full — otherwise chained fine-grained tasks would
+  // rate a ping-pong placement as free.
+  const double reuse =
+      (mode == AccessMode::kRead && read_uses_ > 1)
+          ? static_cast<double>(std::min<std::uint64_t>(read_uses_, 64))
+          : 1.0;
+  // Sum the per-hop cost along the canonical route from the nearest valid
+  // source; each hop is priced by its own link (PCIe within a node, the
+  // inter-node profile for host-to-host hops across nodes).
+  const MemoryNodeId source = pick_source_locked(node);
+  MemoryNodeId cur = source >= 0 ? source : kHostNode;
+  const MemTopology& topo = manager_->topo();
+  double total = 0.0;
+  while (cur != node) {
+    const MemoryNodeId via = topo.route_via(cur, node);
+    const MemoryNodeId hop_to = via >= 0 ? via : node;
+    const sim::LinkProfile& profile = manager_->hop_profile(cur, hop_to);
+    const double latency = sim::transfer_seconds(profile, 0);
+    const double bandwidth_part =
+        (sim::transfer_seconds(profile, bytes_) - latency) / reuse;
+    total += latency + bandwidth_part;
+    cur = hop_to;
   }
-  return static_cast<double>(hops) * (latency + bandwidth_part);
+  return total;
 }
 
 std::uint64_t DataHandle::read_uses() const {
@@ -351,6 +384,7 @@ std::vector<DataHandlePtr> DataHandle::partition(std::size_t parts) {
     child->parent_ = this;
     child->parent_offset_bytes_ = offset_bytes;
     children_.push_back(child);
+    manager_->note_handle(child);
     out.push_back(std::move(child));
     offset_elems += count;
   }
@@ -389,15 +423,26 @@ void DataHandle::unpartition() {
 // ---------------------------------------------------------------------------
 
 DataManager::DataManager(int node_count, sim::LinkProfile link)
-    : node_count_(node_count),
+    : DataManager(MemTopology::single_host(node_count), link, link) {}
+
+DataManager::DataManager(MemTopology topo, sim::LinkProfile link,
+                         sim::LinkProfile internode)
+    : topo_(std::move(topo)),
+      node_count_(topo_.node_count()),
       link_(link),
-      capacities_(static_cast<std::size_t>(node_count), 0),
-      allocated_(static_cast<std::size_t>(node_count), 0) {
-  check(node_count >= 1, "need at least the host memory node");
-  const std::size_t lane_count =
-      (link_.shared_bus || node_count <= 1)
+      internode_(internode),
+      capacities_(static_cast<std::size_t>(node_count_), 0),
+      allocated_(static_cast<std::size_t>(node_count_), 0) {
+  check(node_count_ >= 1, "need at least the host memory node");
+  intra_lane_count_ =
+      (link_.shared_bus || topo_.device_count() == 0)
           ? 1
-          : 2 * static_cast<std::size_t>(node_count - 1);
+          : 2 * static_cast<std::size_t>(topo_.device_count());
+  // Two directed inter-node lanes per unordered pair of simulated nodes
+  // (duplex, like the per-device PCIe lanes), appended after the intra
+  // lanes.
+  const std::size_t sims = static_cast<std::size_t>(topo_.sim_node_count());
+  const std::size_t lane_count = intra_lane_count_ + sims * (sims - 1);
   lanes_.reserve(lane_count);
   for (std::size_t i = 0; i < lane_count; ++i) {
     lanes_.push_back(std::make_unique<Lane>());
@@ -405,10 +450,26 @@ DataManager::DataManager(int node_count, sim::LinkProfile link)
 }
 
 std::size_t DataManager::lane_index(MemoryNodeId from, MemoryNodeId to) const {
-  if (lanes_.size() == 1) return 0;  // shared bus (or no devices)
-  const MemoryNodeId device = (from == kHostNode) ? to : from;
-  check(device > 0 && device < node_count_, "charge_link: bad device node");
-  return 2 * static_cast<std::size_t>(device - 1) + (to == kHostNode ? 1 : 0);
+  const int from_sim = topo_.sim_node(from);
+  const int to_sim = topo_.sim_node(to);
+  if (from_sim == to_sim) {
+    if (intra_lane_count_ == 1) return 0;  // shared bus (or no devices)
+    const MemoryNodeId device = topo_.is_host(from) ? to : from;
+    const int ordinal = topo_.device_ordinal(device);
+    check(ordinal >= 0, "charge_link: bad device node");
+    return 2 * static_cast<std::size_t>(ordinal) +
+           (topo_.is_host(to) ? 1 : 0);
+  }
+  // Inter-node hops are host-to-host only (route_via splits everything
+  // else). Unordered pair (i, j), i < j, in lexicographic order; the i->j
+  // direction gets the even lane of the pair.
+  check(topo_.is_host(from) && topo_.is_host(to),
+        "charge_link: inter-node hop must be host to host");
+  const std::size_t i = static_cast<std::size_t>(std::min(from_sim, to_sim));
+  const std::size_t j = static_cast<std::size_t>(std::max(from_sim, to_sim));
+  const std::size_t sims = static_cast<std::size_t>(topo_.sim_node_count());
+  const std::size_t pair = i * (2 * sims - i - 1) / 2 + (j - i - 1);
+  return intra_lane_count_ + 2 * pair + (from_sim < to_sim ? 0 : 1);
 }
 
 DataManager::Lane& DataManager::lane_for(MemoryNodeId from, MemoryNodeId to) {
@@ -486,14 +547,29 @@ void DataManager::record_eviction() {
 DataHandlePtr DataManager::register_buffer(void* host_ptr, std::size_t bytes,
                                            std::size_t element_size) {
   check(host_ptr != nullptr, "register_buffer: null pointer");
-  return DataHandlePtr(new DataHandle(this, host_ptr, bytes, element_size));
+  DataHandlePtr handle(new DataHandle(this, host_ptr, bytes, element_size));
+  note_handle(handle);
+  return handle;
+}
+
+void DataManager::note_handle(const DataHandlePtr& handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (all_handles_.size() >= handles_compact_at_) {
+    std::erase_if(all_handles_, [](const std::weak_ptr<DataHandle>& w) {
+      return w.expired();
+    });
+    handles_compact_at_ = std::max<std::size_t>(16, all_handles_.size() * 2);
+  }
+  all_handles_.push_back(handle);
 }
 
 VirtualTime DataManager::charge_link(MemoryNodeId from, MemoryNodeId to,
                                      std::size_t bytes, VirtualTime ready,
                                      const void* host_ptr,
                                      std::uint64_t data_id) {
-  Lane& lane = lane_for(from, to);
+  const std::size_t lane_idx = lane_index(from, to);
+  const sim::LinkProfile& profile = lane_profile(lane_idx);
+  Lane& lane = *lanes_[lane_idx];
   std::lock_guard<std::mutex> lock(lane.mutex);
   const VirtualTime start = std::max(lane.free_at, ready);
 
@@ -502,8 +578,8 @@ VirtualTime DataManager::charge_link(MemoryNodeId from, MemoryNodeId to,
   // only the bandwidth term (one DMA setup for N sibling chunks).
   Lane::Stream* stream = nullptr;
   bool coalesced = false;
-  if (link_.coalescing && !link_.shared_bus && host_ptr != nullptr) {
-    const double window = link_.coalesce_window_us * 1e-6;
+  if (profile.coalescing && !profile.shared_bus && host_ptr != nullptr) {
+    const double window = profile.coalesce_window_us * 1e-6;
     for (Lane::Stream& candidate : lane.streams) {
       if (candidate.next != nullptr && candidate.next == host_ptr &&
           start - candidate.end <= window) {
@@ -514,8 +590,9 @@ VirtualTime DataManager::charge_link(MemoryNodeId from, MemoryNodeId to,
     }
   }
 
-  const double seconds = coalesced ? sim::burst_transfer_seconds(link_, bytes)
-                                   : sim::transfer_seconds(link_, bytes);
+  const double seconds = coalesced
+                             ? sim::burst_transfer_seconds(profile, bytes)
+                             : sim::transfer_seconds(profile, bytes);
   lane.free_at = start + seconds;
 
   if (host_ptr != nullptr) {
@@ -531,10 +608,12 @@ VirtualTime DataManager::charge_link(MemoryNodeId from, MemoryNodeId to,
 
   if (tracer_ != nullptr) {
     TransferRecord record;
-    record.lane = static_cast<int>(lane_index(from, to));
+    record.lane = static_cast<int>(lane_idx);
     record.lane_sequence = lane.next_seq++;  // still under the lane mutex
     record.from = from;
     record.to = to;
+    record.from_node = topo_.sim_node(from);
+    record.to_node = topo_.sim_node(to);
     record.bytes = bytes;
     record.vstart = start;
     record.vend = lane.free_at;
@@ -560,10 +639,13 @@ TransferStats DataManager::stats() const {
 void DataManager::record_transfer(MemoryNodeId from, MemoryNodeId to,
                                   std::size_t bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (from == kHostNode && to != kHostNode) {
+  if (topo_.sim_node(from) != topo_.sim_node(to)) {
+    ++stats_.internode_count;
+    stats_.internode_bytes += bytes;
+  } else if (topo_.is_host(from) && !topo_.is_host(to)) {
     ++stats_.host_to_device_count;
     stats_.host_to_device_bytes += bytes;
-  } else if (from != kHostNode && to == kHostNode) {
+  } else if (!topo_.is_host(from) && topo_.is_host(to)) {
     ++stats_.device_to_host_count;
     stats_.device_to_host_bytes += bytes;
   }
@@ -582,6 +664,20 @@ void DataManager::reset_virtual_time() {
     lane->streams.fill(Lane::Stream{});
     lane->next_stream = 0;
   }
+  // Replica validity timestamps are virtual times too: a replica staged
+  // before the reset would otherwise appear to arrive at its stale (now
+  // future) vtime and stall its first post-reset consumer. Collect the
+  // live handles under the manager lock, then sweep them outside it —
+  // handle mutexes are taken before the manager's on the allocation path,
+  // never the other way around.
+  std::vector<DataHandlePtr> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& weak : all_handles_) {
+      if (DataHandlePtr handle = weak.lock()) live.push_back(std::move(handle));
+    }
+  }
+  for (const DataHandlePtr& handle : live) handle->reset_virtual_time();
 }
 
 }  // namespace peppher::rt

@@ -18,8 +18,10 @@
 #include <mutex>
 #include <vector>
 
+#include "runtime/topology.hpp"
 #include "runtime/types.hpp"
 #include "sim/device.hpp"
+#include "sim/topology.hpp"
 
 namespace peppher::rt {
 
@@ -47,6 +49,8 @@ struct TransferStats {
   std::uint64_t overcommits = 0;  ///< allocations exceeding device capacity
   std::uint64_t coalesced_transfers = 0;  ///< charges that joined an open burst
                                           ///< (paid no link latency)
+  std::uint64_t internode_count = 0;  ///< host(i) -> host(j) hops (clusters)
+  std::uint64_t internode_bytes = 0;
 
   std::uint64_t total_count() const noexcept {
     return host_to_device_count + device_to_host_count;
@@ -105,6 +109,11 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
   /// Records that a task finished writing this handle on `node` at virtual
   /// time `vend` (refreshes the replica's validity timestamp).
   void mark_written(MemoryNodeId node, VirtualTime vend);
+
+  /// Zeroes every replica's validity timestamp. Called by the manager's
+  /// reset_virtual_time(): `valid_at` is a virtual time, so pre-staged data
+  /// must not appear to arrive *after* the reset epoch.
+  void reset_virtual_time();
 
   /// Estimated seconds of transfer needed to make the data valid on `node`
   /// for `mode`, *without* changing any state. Used by the dmda scheduler.
@@ -171,6 +180,11 @@ class DataHandle : public std::enable_shared_from_this<DataHandle> {
   /// Caller holds mutex_. Returns the vtime at which the copy is complete.
   VirtualTime copy_replica(MemoryNodeId from, MemoryNodeId to);
 
+  /// Nearest-first fetch source for `node` (the exact ordering of
+  /// msi::pick_source with the manager's topology; host-first on a single
+  /// host). Caller holds mutex_; -1 when no valid replica exists.
+  MemoryNodeId pick_source_locked(MemoryNodeId node) const;
+
   void* replica_ptr(MemoryNodeId node);
   void ensure_allocated(MemoryNodeId node);
 
@@ -216,8 +230,16 @@ using DataHandlePtr = std::shared_ptr<DataHandle>;
 /// traffic onto one lane: the legacy half-duplex model.
 class DataManager {
  public:
-  /// @param node_count host + one per accelerator.
+  /// Single-host manager: @param node_count host + one per accelerator.
   DataManager(int node_count, sim::LinkProfile link);
+
+  /// Cluster manager: `topo` lays out the memory nodes (hosts + devices of
+  /// every simulated node), `link` prices intra-node (PCIe) hops and
+  /// `internode` prices host(i) <-> host(j) hops. Each direction of each
+  /// node pair gets its own inter-node lane clock (duplex, like PCIe). A
+  /// single-node topology is identical to the single-host constructor.
+  DataManager(MemTopology topo, sim::LinkProfile link,
+              sim::LinkProfile internode);
 
   /// Registers application memory of `bytes` bytes (element granularity
   /// `element_size`, used by partitioning). The host replica starts Owned:
@@ -248,6 +270,19 @@ class DataManager {
   }
 
   const sim::LinkProfile& link() const noexcept { return link_; }
+  const sim::LinkProfile& internode_link() const noexcept {
+    return internode_;
+  }
+
+  /// The memory-hierarchy map (hosts, devices, routes).
+  const MemTopology& topo() const noexcept { return topo_; }
+
+  /// Link profile pricing the direct hop from -> to (PCIe for intra-node
+  /// hops, the inter-node profile for host <-> host hops across nodes).
+  const sim::LinkProfile& hop_profile(MemoryNodeId from,
+                                      MemoryNodeId to) const noexcept {
+    return topo_.sim_node(from) != topo_.sim_node(to) ? internode_ : link_;
+  }
 
   /// Advances the `from`→`to` lane clock by a transfer of `bytes` starting
   /// no earlier than `ready`; returns completion vtime. `host_ptr` is the
@@ -283,9 +318,16 @@ class DataManager {
     if (transfer_hook_) transfer_hook_(from, to, bytes);
   }
 
-  /// Resets the link lane clocks and open bursts (benchmark repetition).
-  /// Lane sequence and burst counters stay monotonic across resets.
+  /// Resets the link lane clocks, open bursts, and every live handle's
+  /// replica validity timestamps (benchmark repetition: measured sweeps
+  /// start at vtime 0 even when their inputs were pre-staged before the
+  /// reset). Lane sequence and burst counters stay monotonic across resets.
   void reset_virtual_time();
+
+  /// Tracks a live handle for whole-manager sweeps such as
+  /// reset_virtual_time(). Called on registration and for partition
+  /// children; entries are weak and compacted amortised.
+  void note_handle(const DataHandlePtr& handle);
 
   /// Attaches a tracer: every charge_link emits one TransferRecord. Set
   /// once by the Engine before worker threads start (like the fault hook).
@@ -330,8 +372,17 @@ class DataManager {
 
   Lane& lane_for(MemoryNodeId from, MemoryNodeId to);
 
+  /// Link profile of a lane-table entry: intra lanes price PCIe, appended
+  /// inter-node lanes price the cluster link.
+  const sim::LinkProfile& lane_profile(std::size_t lane) const noexcept {
+    return lane < intra_lane_count_ ? link_ : internode_;
+  }
+
+  MemTopology topo_;
   int node_count_;
   sim::LinkProfile link_;
+  sim::LinkProfile internode_;
+  std::size_t intra_lane_count_ = 1;
   TransferHook transfer_hook_;  ///< immutable once workers run
   Tracer* tracer_ = nullptr;      ///< immutable once workers run
   bool shadow_checking_ = false;  ///< immutable once workers run
@@ -339,8 +390,10 @@ class DataManager {
   std::atomic<std::uint64_t> next_data_id_{1};  ///< DataHandle::id allocator
 
   /// Lane table, fixed at construction: index 0 in shared-bus mode, else
-  /// 2*(device-1) for H2D and 2*(device-1)+1 for D2H. unique_ptr because a
-  /// mutex is immovable.
+  /// 2*ordinal for H2D and 2*ordinal+1 for D2H of the device with that
+  /// global ordinal (= node-1 on a single host). Clusters append two
+  /// directed inter-node lanes per node pair after the intra lanes.
+  /// unique_ptr because a mutex is immovable.
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::atomic<std::uint64_t> coalesced_{0};
 
@@ -357,6 +410,10 @@ class DataManager {
   /// eviction scan order — oldest allocations are tried first). Weak: a
   /// dying handle frees its allocations itself.
   std::vector<std::weak_ptr<DataHandle>> resident_handles_;
+  /// Every live handle (parents and partition children), for whole-manager
+  /// sweeps. Weak, compacted amortised like resident_handles_.
+  std::vector<std::weak_ptr<DataHandle>> all_handles_;
+  std::size_t handles_compact_at_ = 16;  ///< guarded by mutex_
 };
 
 }  // namespace peppher::rt

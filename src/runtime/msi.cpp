@@ -15,24 +15,56 @@ int pick_source(const std::vector<ReplicaState>& states) {
   return -1;
 }
 
+int pick_source(const std::vector<ReplicaState>& states,
+                const MemTopology& topo, int dest) {
+  const int count = static_cast<int>(states.size());
+  check(dest >= 0 && dest < count, "msi::pick_source: bad memory node");
+  const auto valid = [&](int n) {
+    return states[static_cast<std::size_t>(n)] != ReplicaState::kInvalid;
+  };
+  const int home = topo.home_host(dest);
+  if (home != dest && valid(home)) return home;
+  for (int n = 0; n < count; ++n) {
+    if (n != dest && topo.sim_node(n) == topo.sim_node(dest) && valid(n)) {
+      return n;
+    }
+  }
+  for (int n = 0; n < count; ++n) {
+    if (n != dest && topo.is_host(n) && valid(n)) return n;
+  }
+  for (int n = 0; n < count; ++n) {
+    if (n != dest && valid(n)) return n;
+  }
+  return -1;
+}
+
 void apply_acquire(std::vector<ReplicaState>& states, int node,
                    AccessMode mode) {
+  apply_acquire(states, node, mode,
+                MemTopology::single_host(static_cast<int>(states.size())));
+}
+
+void apply_acquire(std::vector<ReplicaState>& states, int node,
+                   AccessMode mode, const MemTopology& topo) {
   check(node >= 0 && node < static_cast<int>(states.size()),
         "msi::apply_acquire: bad memory node");
   auto& replica = states[static_cast<std::size_t>(node)];
 
   const bool needs_fetch = mode != AccessMode::kWrite;
   if (needs_fetch && replica == ReplicaState::kInvalid) {
-    const int source = pick_source(states);
+    const int source = pick_source(states, topo, node);
     check(source >= 0, "msi::apply_acquire: no valid replica anywhere");
-    if (node != kHostNode && source != kHostNode) {
-      // Device-to-device routes through the host (copy_replica's via hop),
-      // leaving a Shared host copy behind.
-      states[kHostNode] = ReplicaState::kShared;
-    }
-    replica = ReplicaState::kShared;
     auto& src = states[static_cast<std::size_t>(source)];
     if (src == ReplicaState::kOwned) src = ReplicaState::kShared;
+    // Walk the canonical route, leaving a Shared copy at every hop the
+    // data crosses (intermediate hosts) and at the destination itself.
+    int cur = source;
+    while (cur != node) {
+      const MemoryNodeId via = topo.route_via(cur, node);
+      const int hop_to = via >= 0 ? via : node;
+      states[static_cast<std::size_t>(hop_to)] = ReplicaState::kShared;
+      cur = hop_to;
+    }
   }
 
   if (mode == AccessMode::kWrite || mode == AccessMode::kReadWrite) {
@@ -44,11 +76,19 @@ void apply_acquire(std::vector<ReplicaState>& states, int node,
 }
 
 void apply_evict(std::vector<ReplicaState>& states, int node) {
-  check(node > 0 && node < static_cast<int>(states.size()),
+  apply_evict(states, node,
+              MemTopology::single_host(static_cast<int>(states.size())));
+}
+
+void apply_evict(std::vector<ReplicaState>& states, int node,
+                 const MemTopology& topo) {
+  check(node > 0 && node < static_cast<int>(states.size()) &&
+            !topo.is_host(node),
         "msi::apply_evict: bad device node");
   auto& replica = states[static_cast<std::size_t>(node)];
   if (replica == ReplicaState::kOwned) {
-    states[kHostNode] = ReplicaState::kOwned;
+    states[static_cast<std::size_t>(topo.home_host(node))] =
+        ReplicaState::kOwned;
   }
   replica = ReplicaState::kInvalid;
 }

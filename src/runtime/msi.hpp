@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "runtime/topology.hpp"
 #include "runtime/types.hpp"
 
 namespace peppher::rt {
@@ -32,6 +33,14 @@ namespace msi {
 /// DataHandle::preferred_source.
 int pick_source(const std::vector<ReplicaState>& states);
 
+/// Topology-aware source selection (nearest valid replica first): the
+/// destination's own host, then a replica on the same simulated node, then
+/// any valid host, then any valid replica — lowest memory node on ties.
+/// On a single-host topology this degenerates to the host-first rule
+/// above, which the differential tests pin.
+int pick_source(const std::vector<ReplicaState>& states,
+                const MemTopology& topo, int dest);
+
 /// State transition of DataHandle::acquire(node, mode): a read or readwrite
 /// of an invalid replica fetches (demoting an Owned source to Shared; a
 /// device-to-device fetch routes through the host and leaves a Shared host
@@ -40,10 +49,22 @@ int pick_source(const std::vector<ReplicaState>& states);
 void apply_acquire(std::vector<ReplicaState>& states, int node,
                    AccessMode mode);
 
+/// Topology-aware acquire: the fetch walks the canonical route from the
+/// picked source (MemTopology::route_via), leaving a Shared copy on every
+/// intermediate host it crosses — on a cluster a dev(i) -> dev(j) fetch
+/// marks host(i) and host(j) Shared, generalizing the two-node rule.
+void apply_acquire(std::vector<ReplicaState>& states, int node,
+                   AccessMode mode, const MemTopology& topo);
+
 /// State transition of a successful DataHandle::try_evict(node): an Owned
 /// device replica is flushed home first (host becomes Owned), then the
 /// node's replica is dropped to Invalid.
 void apply_evict(std::vector<ReplicaState>& states, int node);
+
+/// Topology-aware evict: an Owned device replica flushes to its *own*
+/// node's host (not necessarily memory node 0).
+void apply_evict(std::vector<ReplicaState>& states, int node,
+                 const MemTopology& topo);
 
 /// State transition of DataHandle::partition() / unpartition() on the
 /// parent handle: the host copy is made authoritative (Owned) and every

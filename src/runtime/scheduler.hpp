@@ -41,6 +41,7 @@ struct WorkerDesc {
   WorkerId id = -1;
   std::vector<Arch> archs;   ///< architectures this worker can execute
   MemoryNodeId node = kHostNode;
+  int sim_node = 0;          ///< simulated cluster node this worker lives on
   sim::DeviceProfile profile;
   bool is_combined_cpu = false;  ///< the all-CPU-cores parallel worker
 };

@@ -196,7 +196,12 @@ std::string Tracer::to_chrome_json() const {
     if (!first) out << ",\n";
     first = false;
     // Transfers render as their own process (pid 2), one row per link lane.
-    out << "  {\"name\": \"" << (t.to == kHostNode ? "d2h" : "h2d")
+    // Inter-node hops ("n2n") are distinguished from the PCIe directions;
+    // on a single host from_node == to_node always and the labels are the
+    // historical ones.
+    out << "  {\"name\": \""
+        << (t.from_node != t.to_node ? "n2n"
+                                     : (t.to == kHostNode ? "d2h" : "h2d"))
         << "\", \"cat\": \"transfer\", \"ph\": \"X\", \"ts\": "
         << t.vstart * 1e6 << ", \"dur\": " << (t.vend - t.vstart) * 1e6
         << ", \"pid\": 2, \"tid\": " << t.lane << ", \"args\": {\"from\": "

@@ -70,6 +70,8 @@ struct TransferRecord {
   bool coalesced = false;  ///< joined an in-flight burst on this lane
   std::uint64_t burst = 0; ///< coalesced-burst id (0 = simulated, no host ptr)
   std::uint64_t data = 0;  ///< data-handle id
+  int from_node = 0;       ///< simulated cluster node of `from`
+  int to_node = 0;         ///< simulated cluster node of `to`
 };
 
 enum class PrefetchEvent : std::uint8_t { kEnqueued, kCompleted, kSkipped };
@@ -93,6 +95,7 @@ struct PrefetchRecord {
   PrefetchSkipReason reason = PrefetchSkipReason::kNone;
   std::uint64_t task_sequence = 0;  ///< task whose placement committed it
   MemoryNodeId node = kHostNode;    ///< destination memory node
+  int sim_node = 0;                 ///< simulated cluster node of `node`
   std::uint64_t data = 0;           ///< data-handle id
   std::uint64_t bytes = 0;
 };

@@ -145,6 +145,14 @@ LinkProfile LinkProfile::pcie2_x16_shared() {
   return link;
 }
 
+LinkProfile LinkProfile::cluster_10gbe() {
+  LinkProfile link;
+  link.latency_us = 50.0;
+  link.bandwidth_gbs = 1.25;
+  link.coalescing = false;
+  return link;
+}
+
 double transfer_seconds(const LinkProfile& link, std::size_t bytes) {
   return link.latency_us * 1e-6 + burst_transfer_seconds(link, bytes);
 }

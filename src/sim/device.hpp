@@ -108,6 +108,10 @@ struct LinkProfile {
   static LinkProfile pcie2_x16();
   /// Same link with the legacy shared-bus contention model.
   static LinkProfile pcie2_x16_shared();
+  /// 10GbE-class inter-node link: ~5x the PCIe latency and a fraction of
+  /// its bandwidth, the default sim::ClusterConfig internode profile.
+  /// No burst coalescing — every message pays the wire latency.
+  static LinkProfile cluster_10gbe();
 };
 
 /// Time to move `bytes` across `link`, in (virtual) seconds.

@@ -284,5 +284,160 @@ TEST(ChaosBlacklist, LookaheadReplansWindowAfterDeviceDeath) {
   }
 }
 
+/// First accelerator worker living on simulated node `sim_node`.
+WorkerId accelerator_on(const Engine& engine, int sim_node) {
+  for (const auto& desc : engine.workers()) {
+    if (desc.sim_node != sim_node || desc.archs.empty()) continue;
+    if (desc.archs.front() == Arch::kCuda ||
+        desc.archs.front() == Arch::kOpenCl) {
+      return desc.id;
+    }
+  }
+  return -1;
+}
+
+// A hard-failing inter-node link: a task pinned to a remote accelerator
+// can never fetch its operand across the link, so its attempt fails with
+// the injected I/O error — but the engine survives and keeps running work
+// that stays off the broken link.
+TEST(ChaosInterNode, LinkFaultFailsRemoteFetchButEngineSurvives) {
+  EngineConfig config;
+  config.cluster = sim::ClusterConfig::uniform(
+      2, sim::MachineConfig::platform_c2050());
+  config.scheduler = "eager";
+  config.use_history_models = false;
+  config.max_retries = 0;  // first failure is terminal
+  config.internode_fault.transfer_failure_rate = 1.0;
+  Engine engine(config);
+  Codelet codelet = make_chaos_codelet();
+
+  std::vector<float> data(32, 1.0f);
+  auto handle = engine.register_buffer(data.data(),
+                                       data.size() * sizeof(float),
+                                       sizeof(float));
+  const WorkerId remote = accelerator_on(engine, 1);
+  ASSERT_GE(remote, 0);
+
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  spec.forced_worker = remote;
+  auto task = engine.submit(std::move(spec));
+  EXPECT_THROW(engine.wait(task), Error);
+
+  const FaultStats stats = engine.fault_stats();
+  EXPECT_GE(stats.injected_transfer_faults, 1u);
+  EXPECT_EQ(stats.tasks_failed, 1u);
+
+  // The failed fetch left the host replica untouched and the engine alive:
+  // node-0 work (which never touches the link) still completes.
+  engine.acquire_host(handle, AccessMode::kRead);
+  for (float v : data) EXPECT_FLOAT_EQ(v, 1.0f);
+
+  std::vector<float> local(32, 0.0f);
+  auto local_handle = engine.register_buffer(
+      local.data(), local.size() * sizeof(float), sizeof(float));
+  TaskSpec local_spec;
+  local_spec.codelet = &codelet;
+  local_spec.operands = {{local_handle, AccessMode::kReadWrite}};
+  local_spec.forced_worker = accelerator_on(engine, 0);
+  engine.wait(engine.submit(std::move(local_spec)));
+  engine.acquire_host(local_handle, AccessMode::kRead);
+  for (float v : local) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+// Whole-node death: after N successful kernels anywhere on the node, every
+// one of its workers is blacklisted at once, and all later work lands on
+// the surviving node with exact numerics.
+TEST(ChaosNodeDeath, WholeNodeBlacklistsAllItsWorkers) {
+  constexpr std::uint64_t kDeathAfter = 3;
+  sim::FaultPlan plan;
+  plan.die_after_tasks = kDeathAfter;
+
+  EngineConfig config;
+  config.cluster = sim::ClusterConfig::uniform(
+      2, sim::MachineConfig::platform_c2050());
+  config.scheduler = "dmda";
+  config.use_history_models = false;
+  config.max_retries = 4;
+  config.node_faults = {sim::FaultPlan{}, plan};  // only node 1 dies
+  Engine engine(config);
+  Codelet codelet = make_chaos_codelet();
+
+  // Phase 1: a serialised trigger chain pinned to node 1's accelerator
+  // reaches the death count exactly; the node dies on the last success,
+  // so the trigger chain itself still completes.
+  std::vector<float> trigger(32, 0.0f);
+  auto trigger_handle = engine.register_buffer(
+      trigger.data(), trigger.size() * sizeof(float), sizeof(float));
+  const WorkerId remote = accelerator_on(engine, 1);
+  ASSERT_GE(remote, 0);
+  TaskPtr last;
+  for (std::uint64_t i = 0; i < kDeathAfter; ++i) {
+    TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{trigger_handle, AccessMode::kReadWrite}};
+    spec.forced_worker = remote;
+    last = engine.submit(std::move(spec));
+  }
+  engine.wait(last);
+
+  // Every worker of node 1 — CPU cores, combined worker, accelerator — is
+  // now blacklisted; node 0's workers are untouched.
+  std::uint64_t node1_workers = 0;
+  for (const auto& desc : engine.workers()) {
+    if (desc.sim_node == 1) {
+      EXPECT_TRUE(engine.worker_blacklisted(desc.id)) << "worker " << desc.id;
+      ++node1_workers;
+    } else {
+      EXPECT_FALSE(engine.worker_blacklisted(desc.id)) << "worker " << desc.id;
+    }
+  }
+  EXPECT_GT(node1_workers, 1u);
+  EXPECT_EQ(engine.fault_stats().workers_blacklisted, node1_workers);
+
+  // Phase 2: the regular chain load now runs entirely on the survivor.
+  std::vector<std::vector<float>> buffers(kChains,
+                                          std::vector<float>(32, 0.0f));
+  std::vector<DataHandlePtr> handles;
+  for (auto& buffer : buffers) {
+    handles.push_back(engine.register_buffer(
+        buffer.data(), buffer.size() * sizeof(float), sizeof(float)));
+  }
+  for (int step = 0; step < kChainLength; ++step) {
+    for (int chain = 0; chain < kChains; ++chain) {
+      TaskSpec spec;
+      spec.codelet = &codelet;
+      spec.operands = {{handles[chain], AccessMode::kReadWrite}};
+      engine.submit(std::move(spec));
+    }
+  }
+  engine.wait_for_all();
+
+  EXPECT_EQ(engine.fault_stats().tasks_failed, 0u);
+  std::uint64_t node1_executed = 0;
+  std::uint64_t executed = 0;
+  for (const auto& desc : engine.workers()) {
+    executed += engine.worker_stats(desc.id).tasks_executed;
+    if (desc.sim_node == 1) {
+      node1_executed += engine.worker_stats(desc.id).tasks_executed;
+    }
+  }
+  EXPECT_EQ(node1_executed, kDeathAfter);  // nothing ran there after death
+  EXPECT_EQ(executed,
+            kDeathAfter + static_cast<std::uint64_t>(kChains * kChainLength));
+
+  engine.acquire_host(trigger_handle, AccessMode::kRead);
+  for (float v : trigger) EXPECT_FLOAT_EQ(v, static_cast<float>(kDeathAfter));
+  for (const auto& handle : handles) {
+    engine.acquire_host(handle, AccessMode::kRead);
+  }
+  for (const auto& buffer : buffers) {
+    for (float v : buffer) {
+      EXPECT_FLOAT_EQ(v, static_cast<float>(kChainLength));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace peppher::rt

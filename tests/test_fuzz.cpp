@@ -10,6 +10,7 @@
 #include "descriptor/descriptor.hpp"
 #include "perf/trace.hpp"
 #include "runtime/perfmodel.hpp"
+#include "sim/topology.hpp"
 #include "support/error.hpp"
 #include "support/fs.hpp"
 #include "support/rng.hpp"
@@ -384,6 +385,145 @@ TEST_P(FuzzSeed, TraceParserNeverCrashesOnMutatedTraces) {
     try {
       (void)perf::parse_trace(mutated);
       // Some mutations (e.g. inside a string literal) stay valid traces.
+    } catch (const ParseError&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST(MalformedTraces, NodeFieldsParseAndRejectCorruption) {
+  // The v1-additive node ids on transfer / worker / prefetch rows: absent
+  // means single-host (0), present must be a non-negative integer.
+  std::string text = kSeedTrace;
+  const std::size_t pos = text.find("\"from\": 0,");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "\"from_node\": 1, \"to_node\": 0, ");
+  const perf::Trace trace = perf::parse_trace(text);
+  EXPECT_EQ(trace.transfers[0].from_node, 1);
+  EXPECT_EQ(trace.transfers[0].to_node, 0);
+  EXPECT_EQ(trace.transfers[1].from_node, 0);  // absent -> 0
+  EXPECT_EQ(trace.workers[0].sim_node, 0);
+  EXPECT_EQ(trace.prefetches[0].sim_node, 0);
+
+  const struct {
+    const char* label;
+    const char* inject;
+  } fixtures[] = {
+      {"negative from_node", "\"from_node\": -1, "},
+      {"fractional to_node", "\"to_node\": 0.5, "},
+      {"non-numeric from_node", "\"from_node\": \"zero\", "},
+  };
+  for (const auto& fixture : fixtures) {
+    std::string bad = kSeedTrace;
+    bad.insert(bad.find("\"from\": 0,"), fixture.inject);
+    try {
+      (void)perf::parse_trace(bad);
+      FAIL() << fixture.label << ": expected a ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_GT(e.line(), 0) << fixture.label;
+      EXPECT_GT(e.column(), 0) << fixture.label;
+    }
+  }
+  // The same contract on the worker table's sim_node.
+  std::string bad_worker = kSeedTrace;
+  bad_worker.insert(bad_worker.find("\"id\": 0,"), "\"sim_node\": -2, ");
+  EXPECT_THROW((void)perf::parse_trace(bad_worker), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed cluster topology profiles (peppher-cluster v1, sim/topology.hpp):
+// negative bandwidth, duplicate node ids, truncation and friends must all
+// raise located ParseErrors — the reader never crashes or half-loads.
+// ---------------------------------------------------------------------------
+
+const char* const kSeedCluster =
+    "peppher-cluster v1\n"
+    "name testbed\n"
+    "internode latency_us 50 bandwidth_gbs 1.25\n"
+    "node 0 machine c2050 cpu_cores 4\n"
+    "node 1 machine cpu_only cpu_cores 8\n"
+    "end\n";
+
+TEST(MalformedClusters, SeedClusterItselfParses) {
+  const sim::ClusterConfig cluster = sim::parse_cluster(kSeedCluster);
+  EXPECT_EQ(cluster.name, "testbed");
+  ASSERT_EQ(cluster.nodes.size(), 2u);
+  EXPECT_EQ(cluster.internode.bandwidth_gbs, 1.25);
+}
+
+TEST(MalformedClusters, TruncationRaisesLocatedParseErrors) {
+  const std::string seed = kSeedCluster;
+  // Until the final 'end' token is complete, every prefix is a truncated
+  // document (or cuts a keyword/number in half) and must be rejected with
+  // a located error; once 'end' is complete, the document is whole.
+  const std::size_t end_complete = seed.rfind("end") + 3;
+  for (std::size_t len = 0; len <= seed.size(); ++len) {
+    try {
+      (void)sim::parse_cluster(seed.substr(0, len));
+      EXPECT_GE(len, end_complete) << "prefix of length " << len
+                                   << " parsed as a full cluster";
+    } catch (const ParseError& e) {
+      EXPECT_LT(len, end_complete) << "full document rejected at " << len;
+      EXPECT_GT(e.line(), 0) << "prefix length " << len;
+      EXPECT_GT(e.column(), 0) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(MalformedClusters, TargetedCorruptionsRaiseLocatedParseErrors) {
+  struct Fixture {
+    const char* label;
+    const char* needle;
+    const char* replacement;
+  };
+  const Fixture fixtures[] = {
+      {"wrong document tag", "peppher-cluster", "peppher-machine"},
+      {"future version", "v1", "v2"},
+      {"negative bandwidth", "bandwidth_gbs 1.25", "bandwidth_gbs -1.25"},
+      {"zero bandwidth", "bandwidth_gbs 1.25", "bandwidth_gbs 0"},
+      {"negative latency", "latency_us 50", "latency_us -50"},
+      {"non-numeric latency", "latency_us 50", "latency_us fast"},
+      {"unknown link field", "latency_us 50", "jitter_us 50"},
+      {"duplicate node id", "node 1", "node 0"},
+      {"non-dense node ids", "node 1", "node 7"},
+      {"negative node id", "node 1", "node -1"},
+      {"unknown machine preset", "machine c2050", "machine k80"},
+      {"unknown node field", "cpu_cores 4", "gpu_cores 4"},
+      {"missing keyword value", "cpu_cores 8\n", "cpu_cores\n"},
+      {"non-integer cpu_cores", "cpu_cores 4", "cpu_cores 4.5"},
+      {"negative cpu_cores", "cpu_cores 4", "cpu_cores -4"},
+      {"unknown keyword", "name testbed", "rack testbed"},
+      {"content after end", "end\n", "end\nnode 2\n"},
+      {"trailing tokens after end", "end\n", "end now\n"},
+  };
+  for (const Fixture& fixture : fixtures) {
+    std::string text = kSeedCluster;
+    const std::size_t pos = text.find(fixture.needle);
+    ASSERT_NE(pos, std::string::npos) << fixture.label;
+    text.replace(pos, std::string(fixture.needle).size(), fixture.replacement);
+    try {
+      (void)sim::parse_cluster(text);
+      FAIL() << fixture.label << ": expected a ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_GT(e.line(), 0) << fixture.label;
+      EXPECT_GT(e.column(), 0) << fixture.label;
+    }
+  }
+  EXPECT_THROW((void)sim::parse_cluster(""), ParseError);
+  EXPECT_THROW((void)sim::parse_cluster("peppher-cluster v1\nend\n"),
+               ParseError);  // no nodes
+}
+
+TEST_P(FuzzSeed, ClusterParserNeverCrashesOnMutatedProfiles) {
+  Rng rng(GetParam() * 211);
+  for (int round = 0; round < 300; ++round) {
+    const std::string mutated =
+        mutate(kSeedCluster, rng, 1 + static_cast<int>(rng.next_below(8)));
+    try {
+      const sim::ClusterConfig cluster = sim::parse_cluster(mutated);
+      // Survivors must round-trip through the writer.
+      EXPECT_NO_THROW((void)sim::parse_cluster(sim::to_text(cluster)))
+          << mutated;
     } catch (const ParseError&) {
       // Expected for most mutations.
     }

@@ -25,6 +25,7 @@
 #include "perf/trace.hpp"
 #include "runtime/engine.hpp"
 #include "sim/device.hpp"
+#include "sim/topology.hpp"
 #include "support/error.hpp"
 #include "support/fs.hpp"
 
@@ -38,6 +39,7 @@ using rt::DataHandlePtr;
 using rt::Engine;
 using rt::EngineConfig;
 using rt::TaskSpec;
+using rt::WorkerId;
 
 Codelet make_chain_codelet() {
   Codelet codelet("chain_add");
@@ -110,6 +112,65 @@ TEST(TraceGolden, ChromeExportIsPinned) {
   EXPECT_EQ(json, fs::read_file(golden))
       << "chrome trace export drifted; if intentional, regenerate with "
          "PEPPHER_REGENERATE_GOLDEN=1";
+}
+
+/// First accelerator worker on `sim_node` (kNoWorkerHint + failure if none).
+WorkerId accelerator_on(const Engine& engine, int sim_node) {
+  for (const rt::WorkerDesc& desc : engine.workers()) {
+    if (desc.sim_node != sim_node || desc.archs.empty()) continue;
+    if (desc.archs.front() == Arch::kCuda ||
+        desc.archs.front() == Arch::kOpenCl) {
+      return desc.id;
+    }
+  }
+  ADD_FAILURE() << "no accelerator on sim node " << sim_node;
+  return rt::kNoWorkerHint;
+}
+
+// A two-node cluster run, forced onto the remote accelerator so every
+// placement and hop is deterministic. Inter-node hops must render as "n2n"
+// rows while the single-host golden above keeps its historical d2h/h2d
+// labels (from_node == to_node there).
+TEST(TraceGolden, ClusterChromeExportIsPinned) {
+  EngineConfig config;
+  config.cluster =
+      sim::ClusterConfig::uniform(2, sim::MachineConfig::platform_c2050());
+  config.scheduler = "eager";
+  config.enable_trace = true;
+  config.enable_prefetch = false;
+  config.use_history_models = false;
+  Engine engine(config);
+
+  Codelet codelet = make_chain_codelet();
+  std::vector<float> data(64, 0.f);
+  auto handle = engine.register_buffer(
+      data.data(), data.size() * sizeof(float), sizeof(float));
+  for (int step = 0; step < 3; ++step) {
+    TaskSpec spec;
+    spec.codelet = &codelet;
+    spec.operands = {{handle, AccessMode::kReadWrite}};
+    spec.name = "hop" + std::to_string(step);
+    // Ping-pong between the two nodes' accelerators: each step crosses the
+    // inter-node link.
+    spec.forced_worker = accelerator_on(engine, step % 2);
+    engine.submit(std::move(spec));
+  }
+  engine.wait_for_all();
+  engine.acquire_host(handle, AccessMode::kRead);
+
+  const std::string json = engine.trace().to_chrome_json();
+  EXPECT_NE(json.find("\"n2n\""), std::string::npos);
+  const std::filesystem::path golden =
+      std::filesystem::path(PEPPHER_SOURCE_ROOT) / "tests" / "golden" /
+      "trace_cluster.json";
+  if (std::getenv("PEPPHER_REGENERATE_GOLDEN") != nullptr) {
+    fs::write_file(golden, json);
+    SUCCEED() << "regenerated " << golden;
+    return;
+  }
+  EXPECT_EQ(json, fs::read_file(golden))
+      << "cluster chrome trace export drifted; if intentional, regenerate "
+         "with PEPPHER_REGENERATE_GOLDEN=1";
 }
 
 // ---------------------------------------------------------------------------
@@ -280,6 +341,51 @@ TEST(TraceSchema, RoundTripsThroughTheParser) {
     engine_busy += r.exec_seconds;
   }
   EXPECT_DOUBLE_EQ(trace_busy, engine_busy);
+}
+
+// Schema v1 additive node fields: workers carry sim_node, transfers carry
+// from_node/to_node, and they survive engine.trace_json() -> parse_trace.
+TEST(TraceSchema, ClusterRunStampsNodeIds) {
+  EngineConfig config;
+  config.cluster =
+      sim::ClusterConfig::uniform(2, sim::MachineConfig::platform_c2050());
+  config.scheduler = "eager";
+  config.use_history_models = false;
+  config.enable_prefetch = false;
+  config.enable_trace = true;
+  Engine engine(config);
+
+  Codelet codelet = make_chain_codelet();
+  std::vector<float> data(64, 0.f);
+  auto handle = engine.register_buffer(
+      data.data(), data.size() * sizeof(float), sizeof(float));
+  TaskSpec spec;
+  spec.codelet = &codelet;
+  spec.operands = {{handle, AccessMode::kReadWrite}};
+  spec.forced_worker = accelerator_on(engine, 1);
+  engine.submit(std::move(spec));
+  engine.wait_for_all();
+  engine.acquire_host(handle, AccessMode::kRead);
+
+  const perf::Trace trace = perf::parse_trace(engine.trace_json());
+  ASSERT_EQ(trace.workers.size(), engine.workers().size());
+  bool saw_node1_worker = false;
+  for (std::size_t i = 0; i < trace.workers.size(); ++i) {
+    EXPECT_EQ(trace.workers[i].sim_node, engine.workers()[i].sim_node);
+    if (trace.workers[i].sim_node == 1) saw_node1_worker = true;
+  }
+  EXPECT_TRUE(saw_node1_worker);
+
+  int internode = 0;
+  for (const perf::TraceTransfer& t : trace.transfers) {
+    EXPECT_GE(t.from_node, 0);
+    EXPECT_GE(t.to_node, 0);
+    if (t.from_node != t.to_node) ++internode;
+  }
+  // One hop out (host0 -> host1) and one home (host1 -> host0).
+  EXPECT_EQ(internode, 2);
+  EXPECT_EQ(static_cast<std::uint64_t>(internode),
+            engine.transfer_stats().internode_count);
 }
 
 TEST(TraceSchema, TracingDisabledRecordsNothing) {
@@ -454,6 +560,121 @@ TEST(PerfAnalysis, RuntimePingPongIsReported) {
     }
   }
   EXPECT_TRUE(saw) << bag.format_text();
+}
+
+// ---------------------------------------------------------------------------
+// PF007: node-link-bound phases / lopsided halo exchange
+// ---------------------------------------------------------------------------
+
+/// Two one-device nodes: memory layout [host0, dev0, host1, dev1].
+perf::Trace cluster_base() {
+  perf::Trace trace = balanced_base();
+  trace.machine = "2xunit";
+  trace.workers = {{0, "core", "cpu", 0, 0, false},
+                   {1, "gpu", "cuda", 1, 0, false},
+                   {2, "core", "cpu", 2, 1, false},
+                   {3, "gpu", "cuda", 3, 1, false}};
+  return trace;
+}
+
+perf::TraceTransfer node_hop(int from_node, int to_node, std::uint64_t bytes,
+                             double vstart, double vend) {
+  perf::TraceTransfer t;
+  t.lane = 0;
+  t.order = 0;
+  t.from = from_node == 0 ? 0 : 2;  // hosts move inter-node traffic
+  t.to = to_node == 0 ? 0 : 2;
+  t.from_node = from_node;
+  t.to_node = to_node;
+  t.bytes = bytes;
+  t.vstart = vstart;
+  t.vend = vend;
+  return t;
+}
+
+std::vector<const diag::Diagnostic*> find_all(const diag::DiagnosticBag& bag,
+                                              const std::string& code) {
+  std::vector<const diag::Diagnostic*> out;
+  for (const diag::Diagnostic& d : bag.diagnostics()) {
+    if (d.code == code) out.push_back(&d);
+  }
+  return out;
+}
+
+TEST(PerfAnalysis, NodeLinkBoundPhaseIsReported) {
+  perf::Trace trace = cluster_base();
+  // 0.8 s of balanced compute vs 0.6 s of inter-node lane busy (>= 50%),
+  // spread over four hops — the halo exchange is clearly not hidden.
+  trace.tasks = {unit_task(0, "jacobi", 0, 0.0, 0.4),
+                 unit_task(1, "jacobi", 2, 0.0, 0.4)};
+  trace.transfers = {node_hop(0, 1, 4096, 0.00, 0.15),
+                     node_hop(0, 1, 4096, 0.20, 0.35),
+                     node_hop(0, 1, 4096, 0.40, 0.55),
+                     node_hop(0, 1, 4096, 0.60, 0.75)};
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  const auto hits = find_all(bag, "PF007");
+  // Only the phase signal fires: a single directed pair has no imbalance.
+  ASSERT_EQ(hits.size(), 1u) << bag.format_text();
+  EXPECT_EQ(hits[0]->severity, diag::Severity::kWarning);
+  EXPECT_NE(hits[0]->message.find("node-link-bound"), std::string::npos)
+      << hits[0]->message;
+  EXPECT_NE(hits[0]->message.find("4 hops"), std::string::npos)
+      << hits[0]->message;
+}
+
+TEST(PerfAnalysis, LopsidedHaloExchangeIsReported) {
+  perf::Trace trace = cluster_base();
+  trace.tasks = {unit_task(0, "jacobi", 0, 0.0, 0.5),
+                 unit_task(1, "jacobi", 2, 0.0, 0.5)};
+  // Instantaneous hops keep the lanes idle (no phase signal), but link
+  // 0->1 moves 3 MiB while 1->0 moves 4 KiB: the partitioning is lopsided.
+  trace.transfers = {node_hop(0, 1, 1 << 20, 0.1, 0.1),
+                     node_hop(0, 1, 1 << 20, 0.2, 0.2),
+                     node_hop(0, 1, 1 << 20, 0.3, 0.3),
+                     node_hop(1, 0, 4096, 0.4, 0.4)};
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  const auto hits = find_all(bag, "PF007");
+  ASSERT_EQ(hits.size(), 1u) << bag.format_text();
+  EXPECT_NE(hits[0]->message.find("lopsided halo exchange"), std::string::npos)
+      << hits[0]->message;
+  EXPECT_NE(hits[0]->message.find("0->1"), std::string::npos)
+      << hits[0]->message;
+  EXPECT_NE(hits[0]->message.find("4096"), std::string::npos)
+      << hits[0]->message;
+}
+
+TEST(PerfAnalysis, BalancedExchangeStaysQuiet) {
+  perf::Trace trace = cluster_base();
+  trace.tasks = {unit_task(0, "jacobi", 0, 0.0, 0.5),
+                 unit_task(1, "jacobi", 2, 0.0, 0.5)};
+  // Symmetric volumes and lanes busy well under half the compute: hidden.
+  trace.transfers = {node_hop(0, 1, 4096, 0.00, 0.02),
+                     node_hop(1, 0, 4096, 0.10, 0.12),
+                     node_hop(0, 1, 4096, 0.20, 0.22),
+                     node_hop(1, 0, 4096, 0.30, 0.32)};
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  EXPECT_TRUE(find_all(bag, "PF007").empty()) << bag.format_text();
+}
+
+TEST(PerfAnalysis, SingleHostTracesNeverFireNodeLink) {
+  perf::Trace trace = balanced_base();
+  trace.tasks = {unit_task(0, "a", 0, 0.0, 0.1),
+                 unit_task(1, "a", 1, 0.0, 0.1)};
+  // Saturated PCIe lanes on one host (from_node == to_node == 0): PF002
+  // territory, never PF007.
+  for (int i = 0; i < 6; ++i) {
+    perf::TraceTransfer move;
+    move.lane = 0;
+    move.order = i;
+    move.from = 0;
+    move.to = 1;
+    move.bytes = 1 << 20;
+    move.vstart = 0.15 * i;
+    move.vend = 0.15 * i + 0.14;
+    trace.transfers.push_back(move);
+  }
+  const diag::DiagnosticBag bag = perf::analyze_trace(trace);
+  EXPECT_TRUE(find_all(bag, "PF007").empty()) << bag.format_text();
 }
 
 }  // namespace

@@ -76,7 +76,7 @@ int explain(const std::string& code) {
   const diag::CodeInfo* info = diag::find_code(code);
   if (info == nullptr) {
     std::cerr << "peppher-perf: unknown diagnostic code '" << code
-              << "' (trace analyses are PF001..PF006; see docs/perf.md)\n";
+              << "' (trace analyses are PF001..PF007; see docs/perf.md)\n";
     return 2;
   }
   std::cout << info->code << " (" << diag::to_string(info->severity)

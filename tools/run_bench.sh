@@ -7,8 +7,9 @@
 #                                           BENCH_fig5_spmv_hybrid.json,
 #                                           BENCH_fig6_dynamic_selection.json,
 #                                           BENCH_memory_overlap.json,
-#                                           BENCH_predict_accuracy.json and
-#                                           BENCH_scheduler_lookahead.json at
+#                                           BENCH_predict_accuracy.json,
+#                                           BENCH_scheduler_lookahead.json and
+#                                           BENCH_distributed_scaling.json at
 #                                           the repo root
 #   tools/run_bench.sh --smoke [BUILD_DIR]  tiny iteration counts into a
 #                                           temp dir, JSON validity checked
@@ -38,8 +39,10 @@ FIG6_BENCH="$BUILD_DIR/bench/bench_fig6_dynamic_selection"
 OVERLAP_BENCH="$BUILD_DIR/bench/bench_memory_overlap"
 PREDICT_BENCH="$BUILD_DIR/bench/bench_predict_accuracy"
 LOOKAHEAD_BENCH="$BUILD_DIR/bench/bench_scheduler_lookahead"
+DIST_BENCH="$BUILD_DIR/bench/bench_distributed_scaling"
 for bin in "$TASK_BENCH" "$FIG7_BENCH" "$FIG5_BENCH" "$FIG6_BENCH" \
-           "$OVERLAP_BENCH" "$PREDICT_BENCH" "$LOOKAHEAD_BENCH"; do
+           "$OVERLAP_BENCH" "$PREDICT_BENCH" "$LOOKAHEAD_BENCH" \
+           "$DIST_BENCH"; do
   if [[ ! -x "$bin" ]]; then
     echo "error: $bin not built (cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -67,6 +70,8 @@ RAW="$OUT_DIR/bench_task_overhead_raw.json"
 "$OVERLAP_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_memory_overlap.json"
 "$LOOKAHEAD_BENCH" "${SMOKE_ARGS[@]}" \
   "--json=$OUT_DIR/BENCH_scheduler_lookahead.json"
+"$DIST_BENCH" "${SMOKE_ARGS[@]}" \
+  "--json=$OUT_DIR/BENCH_distributed_scaling.json"
 # Exits non-zero on a full run when a predicted/simulated ratio leaves the
 # ±30% band (docs/predict.md "Accuracy"); --smoke only checks the pipeline.
 "$PREDICT_BENCH" "${SMOKE_ARGS[@]}" "--json=$OUT_DIR/BENCH_predict_accuracy.json"
@@ -187,6 +192,45 @@ if failed:
           file=sys.stderr)
     sys.exit(1)
 EOF
+
+  # Distributed-scaling gates (docs/runtime.md "Distributed simulation"):
+  # overlapping the halo exchange with interior compute must keep its
+  # >= 1.3x win over blocking exchange on the 4-node Jacobi run, and the
+  # 4-node weak scaling must stay >= 2.0x of the 1-node run. Headline
+  # numbers are also diffed against the committed baseline
+  # (bench/baseline_distributed_scaling.json) to flag behavioural drift.
+  python3 - "$ROOT/bench/baseline_distributed_scaling.json" \
+    "$OUT_DIR/BENCH_distributed_scaling.json" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path = sys.argv[1:3]
+def headline(path):
+    doc = json.load(open(path))
+    return {k: doc[k] for k in ("overlap_speedup_4node", "weak_scaling_4node")}
+baseline, current = headline(baseline_path), headline(current_path)
+gates = {
+    "overlap_speedup_4node": 1.3,  # overlapped vs blocking exchange
+    "weak_scaling_4node": 2.0,     # 4-node scaled speedup (4.0 = ideal)
+}
+failed = False
+for key in sorted(current):
+    ratio = current[key]
+    floor = gates[key]
+    base = baseline.get(key)
+    drift = f" (baseline {base:.2f}x)" if base is not None else ""
+    marker = ""
+    if ratio < floor:
+        marker = f" <-- below gate {floor:.2f}x"
+        failed = True
+    elif base is not None and abs(ratio - base) > 0.5:
+        marker = " <-- drift"
+    print(f"  distributed scaling {key}: {ratio:.2f}x{drift}{marker}")
+if failed:
+    print("error: distributed-scaling ratios fell below their gates",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
 fi
 
 if [[ "$SMOKE" == 1 ]]; then
@@ -201,5 +245,6 @@ print('bench smoke OK: JSON outputs parse')
   "$OUT_DIR/BENCH_fig6_dynamic_selection.json" \
   "$OUT_DIR/BENCH_memory_overlap.json" \
   "$OUT_DIR/BENCH_predict_accuracy.json" \
-  "$OUT_DIR/BENCH_scheduler_lookahead.json"
+  "$OUT_DIR/BENCH_scheduler_lookahead.json" \
+  "$OUT_DIR/BENCH_distributed_scaling.json"
 fi
