@@ -28,6 +28,27 @@ const char* side_name(int side) {
 
 namespace {
 
+Stmt::Kind statement_kind(desc::CallNode::Kind kind) {
+  switch (kind) {
+    case desc::CallNode::Kind::kPartition:
+      return Stmt::Kind::kPartition;
+    case desc::CallNode::Kind::kUnpartition:
+      return Stmt::Kind::kUnpartition;
+    case desc::CallNode::Kind::kPrefetch:
+      return Stmt::Kind::kPrefetch;
+    case desc::CallNode::Kind::kPartitioned:
+      return Stmt::Kind::kPartitioned;
+    case desc::CallNode::Kind::kExchange:
+      return Stmt::Kind::kExchange;
+    case desc::CallNode::Kind::kRepartition:
+      return Stmt::Kind::kRepartition;
+    case desc::CallNode::Kind::kGather:
+      return Stmt::Kind::kGather;
+    default:
+      return Stmt::Kind::kNop;  // kCall/kLoop/kIf lower elsewhere
+  }
+}
+
 class Lowering {
  public:
   Lowering(const desc::Repository& repo, const LintOptions& options)
@@ -76,13 +97,13 @@ class Lowering {
         }
         case desc::CallNode::Kind::kPartition:
         case desc::CallNode::Kind::kUnpartition:
-        case desc::CallNode::Kind::kPrefetch: {
+        case desc::CallNode::Kind::kPrefetch:
+        case desc::CallNode::Kind::kPartitioned:
+        case desc::CallNode::Kind::kExchange:
+        case desc::CallNode::Kind::kRepartition:
+        case desc::CallNode::Kind::kGather: {
           Stmt stmt;
-          stmt.kind = node.kind == desc::CallNode::Kind::kPartition
-                          ? Stmt::Kind::kPartition
-                      : node.kind == desc::CallNode::Kind::kUnpartition
-                          ? Stmt::Kind::kUnpartition
-                          : Stmt::Kind::kPrefetch;
+          stmt.kind = statement_kind(node.kind);
           stmt.node = &node;
           stmt.loop_depth = loop_depth;
           const int id = add(std::move(stmt));
@@ -141,10 +162,14 @@ Cfg lower_call_tree(const desc::Repository& repo, const LintOptions& options,
 
 bool World::operator<(const World& other) const {
   return std::tie(state, initialized, partition_stmt, pending_write,
-                  last_writer, cross_read, window_hidden, window_read) <
+                  last_writer, cross_read, window_hidden, window_read,
+                  dist_stmt, dist_nodes, halo, exchanged, exchange_open,
+                  cross_node_read) <
          std::tie(other.state, other.initialized, other.partition_stmt,
                   other.pending_write, other.last_writer, other.cross_read,
-                  other.window_hidden, other.window_read);
+                  other.window_hidden, other.window_read, other.dist_stmt,
+                  other.dist_nodes, other.halo, other.exchanged,
+                  other.exchange_open, other.cross_node_read);
 }
 
 std::vector<Access> call_accesses(const desc::Repository& repo,
@@ -169,19 +194,45 @@ std::vector<Access> call_accesses(const desc::Repository& repo,
 }
 
 void apply_call(World& w, int stmt_id, const Stmt& stmt,
-                const std::vector<Access>& accesses, int side,
-                std::set<int>* live) {
+                const std::vector<Access>& accesses, int node,
+                const rt::MemTopology& topo, std::set<int>* live) {
   const bool pinned = stmt.placement != CallPlacement::kAny;
   for (const Access& access : accesses) {
-    rt::msi::apply_acquire(w.state, side, access.mode);
+    if (w.distributed()) {
+      // Per-slice sub-machine: the partitioning scattered each slice to its
+      // owning node's host, so the pinned node's [host, accelerator] pair is
+      // an independent two-level machine; other nodes' slices are separate
+      // data the access never touches.
+      const int host = topo.host_of(topo.sim_node(node));
+      const int dev = host + 1;
+      std::vector<rt::ReplicaState> sub{w.state[static_cast<std::size_t>(host)],
+                                        w.state[static_cast<std::size_t>(dev)]};
+      if (!replica_valid(sub[0]) && !replica_valid(sub[1])) {
+        // A pin outside the owning nodes (PL084 reports it): keep the
+        // sub-machine total so the fixpoint still converges.
+        sub[0] = rt::ReplicaState::kOwned;
+      }
+      rt::msi::apply_acquire(sub, node == host ? kHostSide : kDeviceSide,
+                             access.mode);
+      w.state[static_cast<std::size_t>(host)] = sub[0];
+      w.state[static_cast<std::size_t>(dev)] = sub[1];
+    } else {
+      rt::msi::apply_acquire(w.state, node, access.mode, topo);
+    }
     if (mode_reads(access.mode)) {
       if (w.pending_write >= 0 && live != nullptr) {
         live->insert(w.pending_write);
       }
       w.pending_write = -1;
-      if (pinned && w.last_writer >= 0 && side != w.last_writer) {
-        w.cross_read = true;
+      if (pinned && w.last_writer >= 0 && node != w.last_writer) {
+        if (topo.sim_node(node) == topo.sim_node(w.last_writer)) {
+          w.cross_read = true;
+        } else {
+          w.cross_node_read = true;
+        }
       }
+      // A dependent read forces the asynchronous ghost copies to complete.
+      w.exchange_open = false;
     }
     if (access.mode == rt::AccessMode::kRead) {
       if (access.hidden_write) {
@@ -192,11 +243,19 @@ void apply_call(World& w, int stmt_id, const Stmt& stmt,
     }
     if (mode_writes(access.mode)) {
       w.initialized = true;
-      w.pending_write = stmt_id;
-      w.last_writer = pinned ? side : -1;
+      // Dead-write tracking is a whole-container analysis: while scattered,
+      // per-node writes touch disjoint slices, so a later write on another
+      // node never shadows this one.
+      if (!w.distributed()) w.pending_write = stmt_id;
+      w.last_writer = pinned ? node : -1;
       w.cross_read = false;
+      w.cross_node_read = false;
       w.window_hidden = false;
       w.window_read = false;
+      if (w.distributed()) {
+        w.exchanged = false;  // ghost copies are stale after any write
+        w.exchange_open = false;
+      }
     }
   }
 }

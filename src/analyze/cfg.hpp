@@ -5,10 +5,13 @@
 // and the World transition rules in one place guarantees both tools agree
 // on where the abstract coherence state forces a transfer.
 //
-// The abstract machine is two-sided: index 0 is the host, index 1 the
-// accelerator side. The replica-state transitions are the runtime's own
-// (runtime/msi.hpp drives them), so the static worlds evolve exactly like
-// DataHandle replicas do online.
+// The abstract machine is two-sided per cluster node: each simulated node
+// contributes a host slot and one abstract accelerator slot. Without a
+// cluster profile there is exactly one node and the machine is the
+// historical [host, accelerator] pair (index 0 / index 1). The
+// replica-state transitions are the runtime's own (runtime/msi.hpp drives
+// them), so the static worlds evolve exactly like DataHandle replicas do
+// online.
 #pragma once
 
 #include <set>
@@ -18,6 +21,7 @@
 #include "analyze/lint.hpp"
 #include "descriptor/descriptor.hpp"
 #include "runtime/memory.hpp"
+#include "runtime/topology.hpp"
 #include "runtime/types.hpp"
 
 namespace peppher::analyze {
@@ -48,7 +52,17 @@ struct Access {
 /// and the entry/exit points). Successor edges only; the worklist pushes
 /// forward.
 struct Stmt {
-  enum class Kind { kNop, kCall, kPartition, kUnpartition, kPrefetch };
+  enum class Kind {
+    kNop,
+    kCall,
+    kPartition,
+    kUnpartition,
+    kPrefetch,
+    kPartitioned,  ///< distributed scatter (<partitioned>)
+    kExchange,     ///< ghost-region refresh (<exchange>)
+    kRepartition,  ///< distribution change (<repartition>)
+    kGather,       ///< collect to the primary host (<gather>)
+  };
   Kind kind = Kind::kNop;
   const desc::CallNode* node = nullptr;  ///< null for structural no-ops
   int call_index = -1;  ///< flattened index into MainDescriptor::calls
@@ -73,20 +87,33 @@ Cfg lower_call_tree(const desc::Repository& repo, const LintOptions& options,
 
 /// One feasible execution history of a single container, collapsed to the
 /// facts the checks need. The replica states are the runtime's own
-/// (runtime/msi.hpp drives the transitions), over the abstract two-node
-/// machine: index 0 the host, index 1 the accelerator side.
+/// (runtime/msi.hpp drives the transitions), over the abstract machine:
+/// two slots (host, accelerator) per simulated cluster node, index 0 always
+/// the primary host. While the container is distributed (dist_stmt >= 0)
+/// the vector is read per slice: node k's pair models node k's *owned
+/// slice*, an independent two-level machine the other nodes never touch.
 struct World {
   std::vector<rt::ReplicaState> state{rt::ReplicaState::kOwned,
                                       rt::ReplicaState::kInvalid};
   bool initialized = false;   ///< a program write reached this point
   int partition_stmt = -1;    ///< stmt of the open <partition>, -1 if none
   int pending_write = -1;     ///< stmt of the last write nothing read yet
-  int last_writer = -1;       ///< side of the last pinned write, -1 unknown
-  bool cross_read = false;    ///< a pinned cross-side read since that write
+  int last_writer = -1;       ///< mem node of the last pinned write, -1 unknown
+  bool cross_read = false;    ///< a pinned same-node cross-side read since then
   bool window_hidden = false; ///< open read window holds a hidden write
   bool window_read = false;   ///< open read window holds a declared read
 
+  // Distributed-partitioning facts (all defaults while the container is a
+  // plain single-home allocation).
+  int dist_stmt = -1;   ///< stmt of the open <partitioned>, -1 if none
+  int dist_nodes = 0;   ///< declared owning node count of that partitioning
+  int halo = 0;         ///< declared ghost width of that partitioning
+  bool exchanged = false;      ///< ghosts refreshed since the last write
+  bool exchange_open = false;  ///< an <exchange> is in flight (not quiesced)
+  bool cross_node_read = false;  ///< a pinned remote-node read since the write
+
   bool partitioned() const { return partition_stmt >= 0; }
+  bool distributed() const { return dist_stmt >= 0; }
 
   bool operator<(const World& other) const;
 };
@@ -98,11 +125,16 @@ std::vector<Access> call_accesses(const desc::Repository& repo,
                                   const desc::CallDesc& call,
                                   const std::string& data);
 
-/// Applies one call's accesses to a world, pinned to `side`. `live`, when
-/// non-null, collects liveness facts for the dead-write analysis (which
-/// pending writes got read) — the transfer itself is reporting-free.
+/// Applies one call's accesses to a world, pinned to memory node `node` of
+/// the abstract topology `topo` (the verifier builds it: one host + one
+/// accelerator slot per cluster node; single_host(2) without a profile).
+/// Distributed worlds route the access through the pinned node's per-slice
+/// sub-machine; plain worlds take the full topology-aware MSI transition.
+/// `live`, when non-null, collects liveness facts for the dead-write
+/// analysis (which pending writes got read) — the transfer itself is
+/// reporting-free.
 void apply_call(World& w, int stmt_id, const Stmt& stmt,
-                const std::vector<Access>& accesses, int side,
-                std::set<int>* live);
+                const std::vector<Access>& accesses, int node,
+                const rt::MemTopology& topo, std::set<int>* live);
 
 }  // namespace peppher::analyze

@@ -339,6 +339,46 @@ const std::vector<CodeInfo>& all_codes() {
        "Internal limit of the coherence verifier (the abstract state kept "
        "growing); simplify the <calls> section or report a bug with the "
        "descriptor attached."},
+      // Distributed coherence verification (peppher-verify with a
+      // --cluster profile, docs/verify.md "Distributed verification").
+      {"PL080", Severity::kWarning,
+       "declared halo narrower than a stencil's access radius",
+       "Widen the <partitioned> halo to at least the reading call's declared "
+       "radius (or lower the radius): on some path the stencil reaches past "
+       "the exchanged ghost region and consumes stale neighbour data."},
+      {"PL081", Severity::kError,
+       "stencil read with no dominating halo exchange",
+       "Insert an <exchange> between the last write and this read on every "
+       "path: the ghost copies are stale after any write, and the call's "
+       "declared radius makes it consume them."},
+      {"PL082", Severity::kWarning,
+       "loop-carried internode ping-pong over the cluster link",
+       "Co-locate the loop's writer and reader on one cluster node (or "
+       "partition the container): each iteration bounces the replica across "
+       "the internode link, which is far slower than PCIe."},
+      {"PL083", Severity::kWarning,
+       "repartition forces device replicas off the accelerators",
+       "Repartition while the data is host-resident, or keep the node count "
+       "stable (halo-only repartitions preserve the owned slices): moving "
+       "the slice boundaries flushes every accelerator replica home first."},
+      {"PL084", Severity::kError, "partitioned slice coverage gap or overlap",
+       "Make the declared <slice> ranges tile [0, elements) exactly and keep "
+       "every node reference inside the cluster profile: gaps leave elements "
+       "unowned, overlaps give two nodes the same elements."},
+      {"PL085", Severity::kError,
+       "gather reachable while a halo exchange is in flight",
+       "Quiesce the exchange before gathering (order a call that reads the "
+       "exchanged container between them, or drop the exchange): on some "
+       "path the gather races the asynchronous ghost copies."},
+      {"PL086", Severity::kWarning,
+       "node-divergent abstract worlds at a control-flow join",
+       "Pin the branches' writers to one cluster node (or merge the "
+       "branches): after the join the container's owning node depends on the "
+       "path taken, so every consumer pays a worst-case internode fetch."},
+      {"PL087", Severity::kError, "write races an in-flight halo exchange",
+       "Complete the exchange before writing (order a reading call between "
+       "them): the asynchronous ghost copies and the write race, leaving "
+       "the replicas divergent depending on copy timing."},
       // Static cost prediction (peppher-predict, docs/predict.md).
       {"PL070", Severity::kWarning, "dead variant under the analysed machine",
        "An implementation variant targets an architecture the analysed "

@@ -792,7 +792,8 @@ diag::DiagnosticBag run_lint(const desc::Repository& repo,
   check_hazards(repo, bag);
   check_prefetch_pingpong(repo, options, bag);
   const desc::MainDescriptor* main = repo.main_module();
-  if (options.verify || (main != nullptr && main->has_control_flow)) {
+  if (options.verify ||
+      (main != nullptr && (main->has_control_flow || main->has_distributed))) {
     bag.merge(verify_main(repo, options).bag.diagnostics());
   }
   bag.sort();

@@ -34,6 +34,7 @@
 #include "analyze/diagnostics.hpp"
 #include "descriptor/descriptor.hpp"
 #include "sim/device.hpp"
+#include "sim/topology.hpp"
 
 namespace peppher::analyze {
 
@@ -63,6 +64,14 @@ struct LintOptions {
   /// Iteration budget of the verifier's worklist fixpoint, per container
   /// (0 = built-in default). Exceeding it emits PL069; only tests lower it.
   int verify_max_steps = 0;
+
+  /// Cluster profile the coherence verifier runs against (the peppher-lint
+  /// --cluster=<file> switch, parsed by sim::parse_cluster). Unset or a
+  /// one-node cluster keeps the historical single-host abstract machine —
+  /// the differential tests pin that output byte-identical. A multi-node
+  /// profile gives the abstract worlds a node dimension and arms the
+  /// distributed checks (PL080..PL087).
+  std::optional<sim::ClusterConfig> cluster;
 };
 
 /// Which side of the PCIe link a call is pinned to by its viable

@@ -292,7 +292,14 @@ class Predictor {
           eval_call(node, s);
           break;
         case desc::CallNode::Kind::kPartition:
-        case desc::CallNode::Kind::kUnpartition: {
+        case desc::CallNode::Kind::kUnpartition:
+        // The distributed forms gather/scatter through the hosts; the cost
+        // model stays single-node (the distributed verifier owns the n2n
+        // semantics), so they cost one step and reclaim to the host like a
+        // classic (un)partition.
+        case desc::CallNode::Kind::kPartitioned:
+        case desc::CallNode::Kind::kRepartition:
+        case desc::CallNode::Kind::kGather: {
           if (!charge_step()) return;
           ContainerState& cs = container(s, node.data);
           Worlds next;
@@ -303,6 +310,11 @@ class Predictor {
           cs.worlds = std::move(next);
           break;
         }
+        case desc::CallNode::Kind::kExchange:
+          // Ghost refresh between host-resident slices: no device-visible
+          // state change in the single-node cost model.
+          if (!charge_step()) return;
+          break;
         case desc::CallNode::Kind::kPrefetch:
           eval_prefetch(node, s);
           break;

@@ -22,8 +22,26 @@
 //   PL065  branch-divergent access modes make a hidden-write race (the
 //          path-sensitive generalisation of PL031/PL032)
 //   PL066  partition protocol violation (access while partitioned, double
-//          partition, unpartition without partition)
+//          partition, unpartition without partition, stray distributed form)
 //   PL069  the fixpoint iteration budget was exhausted (internal)
+//
+// With a cluster profile (LintOptions::cluster, the peppher-lint --cluster
+// switch) the abstract machine grows a node dimension — two slots per
+// simulated node, built by the same rt::MemTopology the runtime uses — and
+// the distributed checks over <partitioned>/<exchange>/<repartition>/
+// <gather> arm as well:
+//
+//   PL080  declared halo narrower than a stencil's access radius
+//   PL081  stencil read with no dominating halo exchange
+//   PL082  loop-carried internode ping-pong over the cluster link
+//   PL083  repartition forces device replicas off the accelerators
+//   PL084  partitioned slice coverage gap or overlap
+//   PL085  gather reachable while a halo exchange is in flight
+//   PL086  node-divergent abstract worlds at a control-flow join
+//   PL087  write races an in-flight halo exchange
+//
+// A one-node (or absent) profile keeps the historical two-slot machine,
+// byte-identical output included — the differential tests pin that.
 //
 // The straight-line window checks (PL031..PL033, PL052) stand down when the
 // main module uses control flow; run_lint then runs this verifier instead.
@@ -43,13 +61,18 @@ enum class ReplicaState : std::uint8_t;  // defined in runtime/memory.hpp
 namespace peppher::analyze {
 
 /// One feasible coherence state of a container at a program point: the
-/// replica states of the abstract two-node machine (node 0 = host, node 1 =
-/// the accelerator side).
+/// replica states of the abstract machine (node 0 = host, node 1 = the
+/// accelerator side; under a cluster profile two slots per simulated node,
+/// hosts on the even indices).
 struct AbstractWorld {
   rt::ReplicaState host;
   rt::ReplicaState device;
   bool initialized = false;  ///< some program write reached this point
   bool partitioned = false;
+  /// The full abstract state vector. Single-host runs publish the
+  /// historical two entries, so `host`/`device` always alias
+  /// nodes[0]/nodes[1].
+  std::vector<rt::ReplicaState> nodes;
 };
 
 /// Outcome of one verification run.
@@ -69,8 +92,10 @@ struct VerifyResult {
   std::map<int, std::map<std::string, std::vector<AbstractWorld>>> states;
 
   /// True when the concrete replica state `observed` of container `data` on
-  /// memory node `node` (0 = host, any other = that accelerator), recorded
-  /// at the start of the task for program point `verify_point`, is admitted
+  /// memory node `node` (an index into AbstractWorld::nodes when in range;
+  /// otherwise the legacy mapping 0 = host, any other = the accelerator
+  /// side), recorded at the start of the task for program point
+  /// `verify_point`, is admitted
   /// by some abstract world at that point. The abstract states
   /// over-approximate every execution path, so a sound run admits every
   /// observation; a `false` means the runtime and the model disagree.

@@ -55,15 +55,16 @@ std::string usage() {
          "switches:\n"
          "  -disableImpls=<name|arch>[,...]\n"
          "  -useHistoryModels=<true|false>\n"
-         "  -scheduler=<eager|random|ws|dmda>\n"
+         "  -scheduler=<eager|random|ws|dmda|lookahead>\n"
          "  -machine=<c2050|c1060|opencl|cpu>\n"
          "  -bind=<Param=type[,type...]>\n"
          "  -expandTunables\n"
          "  -dumpIR\n"
          "  -outdir=<dir>\n"
          "  -backends=<cpu,openmp,cuda>\n"
-         "  -lint\n"
-         "  -verify\n"
+         "  -lint    run the static checks (signatures, feasibility,\n"
+         "           dispatch coverage, hazards, coherence) and stop\n"
+         "  -verify  also run the coherence verifier on straight lines\n"
          "  -werror\n"
          "  -verbose\n";
 }

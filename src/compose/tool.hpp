@@ -6,13 +6,15 @@
 // Switches (§IV):
 //   -disableImpls=<name|arch>[,...]   user-guided static narrowing
 //   -useHistoryModels=<true|false>    performance-aware selection flag
-//   -scheduler=<eager|random|ws|dmda> runtime scheduling policy
+//   -scheduler=<eager|random|ws|dmda|lookahead> runtime scheduling policy
 //   -machine=<c2050|c1060|cpu>        target platform preset
 //   -bind=<T=float[,double]>          generic-component expansion bindings
 //   -expandTunables                   variant per tunable-value combination
 //   -outdir=<dir>                     output directory for generated files
 //   -backends=<cpu,openmp,cuda>       utility mode: backends to scaffold
-//   -lint                             run the static checks, skip codegen
+//   -lint                             run the static checks (signatures,
+//                                     feasibility, dispatch coverage,
+//                                     hazards, coherence), skip codegen
 //   -verify                           coherence-verify (PL060..PL069) even
 //                                     straight-line call sequences
 //   -werror                           lint warnings abort composition too

@@ -35,9 +35,36 @@ diag::SourceLocation loc_of(const xml::Element& element) {
   return ParseError(message, element.line(), element.column());
 }
 
+int required_int_attribute(const xml::Element& element, std::string_view key) {
+  const std::string raw = element.required_attribute(key);
+  const std::optional<double> value = strings::to_double(raw);
+  if (!value || *value != static_cast<double>(static_cast<long long>(*value))) {
+    throw schema_error(element, "<" + element.name() + "> attribute '" +
+                                    std::string(key) + "' must be an integer, "
+                                    "got '" + raw + "'");
+  }
+  return static_cast<int>(*value);
+}
+
+/// `key` parsed as a non-negative integer when present, else `fallback`.
+int optional_nonneg_int_attribute(const xml::Element& element,
+                                  std::string_view key, int fallback) {
+  if (!element.attribute(key)) return fallback;
+  const int value = required_int_attribute(element, key);
+  if (value < 0) {
+    throw schema_error(element, "<" + element.name() + "> attribute '" +
+                                    std::string(key) +
+                                    "' must be non-negative, got " +
+                                    std::to_string(value));
+  }
+  return value;
+}
+
 CallDesc parse_call(const xml::Element& element) {
   CallDesc c;
   c.interface_name = element.required_attribute("interface");
+  c.node = optional_nonneg_int_attribute(element, "node", 0);
+  c.radius = optional_nonneg_int_attribute(element, "radius", 0);
   c.loc = loc_of(element);
   for (const xml::Element* arg : element.children("arg")) {
     CallArgDesc a;
@@ -49,15 +76,60 @@ CallDesc parse_call(const xml::Element& element) {
   return c;
 }
 
-int required_int_attribute(const xml::Element& element, std::string_view key) {
-  const std::string raw = element.required_attribute(key);
-  const std::optional<double> value = strings::to_double(raw);
-  if (!value || *value != static_cast<double>(static_cast<long long>(*value))) {
-    throw schema_error(element, "<" + element.name() + "> attribute '" +
-                                    std::string(key) + "' must be an integer, "
-                                    "got '" + raw + "'");
+/// Parses the shared schema of <partitioned> and <repartition>: the owning
+/// node count, halo width, and optional explicit <slice> children (which
+/// require an `elements` extent so coverage is checkable).
+void parse_distribution(const xml::Element& element, CallNode& node) {
+  node.data = element.required_attribute("data");
+  node.nodes = required_int_attribute(element, "nodes");
+  if (node.nodes < 1) {
+    throw schema_error(element, "<" + element.name() +
+                                    "> nodes must be at least 1, got " +
+                                    std::to_string(node.nodes));
   }
-  return static_cast<int>(*value);
+  node.halo = optional_nonneg_int_attribute(element, "halo", 0);
+  for (const xml::Element* slice : element.children("slice")) {
+    SliceDecl decl;
+    decl.node = required_int_attribute(*slice, "node");
+    if (decl.node < 0 || decl.node >= node.nodes) {
+      throw schema_error(*slice,
+                         "<slice> node " + std::to_string(decl.node) +
+                             " is outside the declared partitioning (nodes=" +
+                             std::to_string(node.nodes) + ")");
+    }
+    decl.begin = required_int_attribute(*slice, "begin");
+    decl.end = required_int_attribute(*slice, "end");
+    if (decl.begin < 0 || decl.end <= decl.begin) {
+      throw schema_error(*slice, "<slice> range [" +
+                                     std::to_string(decl.begin) + ", " +
+                                     std::to_string(decl.end) +
+                                     ") is empty or negative");
+    }
+    decl.loc = loc_of(*slice);
+    node.slices.push_back(decl);
+  }
+  if (!node.slices.empty()) {
+    node.elements = required_int_attribute(element, "elements");
+    if (node.elements < 1) {
+      throw schema_error(element, "<" + element.name() +
+                                      "> elements must be at least 1, got " +
+                                      std::to_string(node.elements));
+    }
+    for (const SliceDecl& decl : node.slices) {
+      if (decl.end > node.elements) {
+        throw schema_error(element,
+                           "<slice> range [" + std::to_string(decl.begin) +
+                               ", " + std::to_string(decl.end) +
+                               ") exceeds the declared elements (" +
+                               std::to_string(node.elements) + ")");
+      }
+    }
+  } else if (element.attribute("elements")) {
+    throw schema_error(element, "<" + element.name() +
+                                    "> declares elements but no <slice> "
+                                    "children — drop the attribute or "
+                                    "declare the owned ranges");
+  }
 }
 
 /// Parses the statement children of <calls>, <loop> or <if> recursively.
@@ -117,6 +189,19 @@ std::vector<CallNode> parse_statements(const xml::Element& parent,
                                   "or 'device', got '" + on + "'");
       }
       node.prefetch_to_device = on == "device";
+    } else if (stmt->name() == "partitioned") {
+      node.kind = CallNode::Kind::kPartitioned;
+      parse_distribution(*stmt, node);
+    } else if (stmt->name() == "repartition") {
+      node.kind = CallNode::Kind::kRepartition;
+      parse_distribution(*stmt, node);
+    } else if (stmt->name() == "exchange") {
+      node.kind = CallNode::Kind::kExchange;
+      node.data = stmt->required_attribute("data");
+      node.exchange_width = optional_nonneg_int_attribute(*stmt, "width", -1);
+    } else if (stmt->name() == "gather") {
+      node.kind = CallNode::Kind::kGather;
+      node.data = stmt->required_attribute("data");
     } else {
       throw schema_error(*stmt, "unknown element <" + stmt->name() +
                                     "> in the <calls> section");
@@ -127,7 +212,8 @@ std::vector<CallNode> parse_statements(const xml::Element& parent,
 }
 
 void flatten_calls(const std::vector<CallNode>& nodes,
-                   std::vector<CallDesc>* calls, bool* has_control_flow) {
+                   std::vector<CallDesc>* calls, bool* has_control_flow,
+                   bool* has_distributed) {
   for (const CallNode& node : nodes) {
     switch (node.kind) {
       case CallNode::Kind::kCall:
@@ -135,16 +221,23 @@ void flatten_calls(const std::vector<CallNode>& nodes,
         break;
       case CallNode::Kind::kLoop:
         *has_control_flow = true;
-        flatten_calls(node.body, calls, has_control_flow);
+        flatten_calls(node.body, calls, has_control_flow, has_distributed);
         break;
       case CallNode::Kind::kIf:
         *has_control_flow = true;
-        flatten_calls(node.body, calls, has_control_flow);
-        flatten_calls(node.else_body, calls, has_control_flow);
+        flatten_calls(node.body, calls, has_control_flow, has_distributed);
+        flatten_calls(node.else_body, calls, has_control_flow,
+                      has_distributed);
         break;
       case CallNode::Kind::kPartition:
       case CallNode::Kind::kUnpartition:
       case CallNode::Kind::kPrefetch:
+        break;
+      case CallNode::Kind::kPartitioned:
+      case CallNode::Kind::kExchange:
+      case CallNode::Kind::kRepartition:
+      case CallNode::Kind::kGather:
+        *has_distributed = true;
         break;
     }
   }
@@ -157,6 +250,12 @@ void serialize_statements(const std::vector<CallNode>& nodes,
       case CallNode::Kind::kCall: {
         xml::Element& call = parent.append_child("call");
         call.set_attribute("interface", node.call.interface_name);
+        if (node.call.node != 0) {
+          call.set_attribute("node", std::to_string(node.call.node));
+        }
+        if (node.call.radius != 0) {
+          call.set_attribute("radius", std::to_string(node.call.radius));
+        }
         for (const CallArgDesc& a : node.call.args) {
           xml::Element& arg = call.append_child("arg");
           arg.set_attribute("param", a.param);
@@ -193,6 +292,36 @@ void serialize_statements(const std::vector<CallNode>& nodes,
         stmt.set_attribute("on", node.prefetch_to_device ? "device" : "host");
         break;
       }
+      case CallNode::Kind::kPartitioned:
+      case CallNode::Kind::kRepartition: {
+        xml::Element& stmt = parent.append_child(
+            node.kind == CallNode::Kind::kPartitioned ? "partitioned"
+                                                      : "repartition");
+        stmt.set_attribute("data", node.data);
+        stmt.set_attribute("nodes", std::to_string(node.nodes));
+        stmt.set_attribute("halo", std::to_string(node.halo));
+        if (!node.slices.empty()) {
+          stmt.set_attribute("elements", std::to_string(node.elements));
+          for (const SliceDecl& decl : node.slices) {
+            xml::Element& slice = stmt.append_child("slice");
+            slice.set_attribute("node", std::to_string(decl.node));
+            slice.set_attribute("begin", std::to_string(decl.begin));
+            slice.set_attribute("end", std::to_string(decl.end));
+          }
+        }
+        break;
+      }
+      case CallNode::Kind::kExchange: {
+        xml::Element& stmt = parent.append_child("exchange");
+        stmt.set_attribute("data", node.data);
+        if (node.exchange_width >= 0) {
+          stmt.set_attribute("width", std::to_string(node.exchange_width));
+        }
+        break;
+      }
+      case CallNode::Kind::kGather:
+        parent.append_child("gather").set_attribute("data", node.data);
+        break;
     }
   }
 }
@@ -203,6 +332,7 @@ void set_statement_files(std::vector<CallNode>& nodes,
     node.loc.file = source_file;
     node.call.loc.file = source_file;
     for (CallArgDesc& a : node.call.args) a.loc.file = source_file;
+    for (SliceDecl& decl : node.slices) decl.loc.file = source_file;
     set_statement_files(node.body, source_file);
     set_statement_files(node.else_body, source_file);
   }
@@ -543,7 +673,8 @@ MainDescriptor MainDescriptor::from_xml(const xml::Element& element) {
   }
   if (const xml::Element* calls = element.child("calls")) {
     out.call_tree = parse_statements(*calls, /*inside_if=*/false, nullptr);
-    flatten_calls(out.call_tree, &out.calls, &out.has_control_flow);
+    flatten_calls(out.call_tree, &out.calls, &out.has_control_flow,
+                  &out.has_distributed);
   }
   if (const xml::Element* composition = element.child("composition")) {
     out.use_history_models = parse_bool(

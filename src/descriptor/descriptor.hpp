@@ -188,7 +188,33 @@ struct CallArgDesc {
 struct CallDesc {
   std::string interface_name;
   std::vector<CallArgDesc> args;
+  /// Cluster node the call is pinned to (0 = the primary node). Only
+  /// meaningful when the verifier runs with a multi-node cluster profile;
+  /// the single-host tools ignore it.
+  int node = 0;
+  /// Declared stencil access radius: how many elements past its own slice
+  /// boundary the call reads from a distributed-partitioned operand (0 = no
+  /// ghost accesses). Checked against the partitioning's halo width (PL080)
+  /// and the exchange protocol (PL081).
+  int radius = 0;
   diag::SourceLocation loc;  ///< the <call> element
+};
+
+/// One explicitly declared owned range of a distributed partitioning:
+///
+///   <partitioned data="g" nodes="2" halo="1" elements="100">
+///     <slice node="0" begin="0" end="50"/>
+///     <slice node="1" begin="50" end="100"/>
+///   </partitioned>
+///
+/// When present, the verifier checks the ranges tile [0, elements) exactly
+/// (PL084). Without explicit slices the partitioning is an even block
+/// distribution, which always covers.
+struct SliceDecl {
+  int node = 0;
+  long long begin = 0;
+  long long end = 0;
+  diag::SourceLocation loc;  ///< the <slice> element
 };
 
 /// One statement of the main module's declared call sequence. Besides plain
@@ -214,6 +240,18 @@ struct CallDesc {
 /// branch; an optional `<else>` — which must be the last child — holds the
 /// alternative. The branch condition itself is runtime data the descriptor
 /// does not model: the verifier explores both paths.
+///
+/// Distributed statements (verified against a `peppher-cluster` profile,
+/// docs/verify.md "Distributed verification"):
+///
+///   <partitioned data="g" nodes="2" halo="1"/>     scatter over the cluster
+///   <exchange data="g"/>                           refresh the ghost regions
+///   <repartition data="g" nodes="4" halo="1"/>     change the distribution
+///   <gather data="g"/>                             collect to the primary host
+///
+/// `<partitioned>`/`<repartition>` may declare explicit owned ranges via
+/// `<slice>` children (see SliceDecl); `<exchange>` takes an optional
+/// `width` (defaults to the declared halo).
 struct CallNode {
   enum class Kind {
     kCall,         ///< component call
@@ -222,13 +260,22 @@ struct CallNode {
     kPartition,    ///< <partition data="x" parts="N"/>
     kUnpartition,  ///< <unpartition data="x"/>
     kPrefetch,     ///< <prefetch data="x" on="host|device"/>
+    kPartitioned,  ///< <partitioned data="x" nodes="N" halo="H"/>
+    kExchange,     ///< <exchange data="x" width="W"/>
+    kRepartition,  ///< <repartition data="x" nodes="N" halo="H"/>
+    kGather,       ///< <gather data="x"/>
   };
   Kind kind = Kind::kCall;
   CallDesc call;                    ///< kCall
   int loop_count = 0;               ///< kLoop: declared trip count (>= 1)
-  std::string data;                 ///< kPartition/kUnpartition/kPrefetch
+  std::string data;  ///< kPartition/kUnpartition/kPrefetch/distributed forms
   int parts = 0;                    ///< kPartition
   bool prefetch_to_device = true;   ///< kPrefetch: on="device" (default)
+  int nodes = 0;            ///< kPartitioned/kRepartition: owning node count
+  int halo = 0;             ///< kPartitioned/kRepartition: ghost width
+  int exchange_width = -1;  ///< kExchange: ghost width (-1 = declared halo)
+  long long elements = 0;   ///< kPartitioned/kRepartition: extent, with slices
+  std::vector<SliceDecl> slices;    ///< explicit owned ranges (may be empty)
   std::vector<CallNode> body;       ///< kLoop body / kIf then branch
   std::vector<CallNode> else_body;  ///< kIf else branch (may be empty)
   diag::SourceLocation loc;         ///< the statement element
@@ -256,6 +303,12 @@ struct MainDescriptor {
   /// window checks (PL031–PL033, PL052) stand down in favour of the
   /// path-sensitive verifier, which models the actual paths.
   bool has_control_flow = false;
+
+  /// True when `call_tree` contains a distributed statement (<partitioned>,
+  /// <exchange>, <repartition>, <gather>): run_lint always runs the
+  /// coherence verifier then, since only the verifier models the
+  /// distributed protocol (PL080–PL087).
+  bool has_distributed = false;
   bool use_history_models = true;
   std::string scheduler = "dmda";
   std::vector<std::string> disabled_impls;  ///< user-guided static narrowing

@@ -862,6 +862,7 @@ void Engine::execute(const TaskPtr& task, Worker& worker) {
       record.handle = op.handle.get();
       record.operand = i;
       record.node = worker.desc.node;
+      record.sim_node = data_.topo().sim_node(worker.desc.node);
       record.mode = op.mode;
       record.state = op.handle->replica_state(worker.desc.node);
       shadow_log_.push_back(std::move(record));

@@ -198,6 +198,7 @@ struct ShadowRecord {
   const DataHandle* handle = nullptr;
   std::size_t operand = 0;  ///< operand index within the task
   MemoryNodeId node = kHostNode;  ///< executing worker's memory node
+  int sim_node = 0;  ///< simulated cluster node owning that memory node
   AccessMode mode = AccessMode::kRead;
   ReplicaState state = ReplicaState::kInvalid;  ///< state before the acquire
 };

@@ -220,6 +220,75 @@ TEST(MalformedControlFlow, BadStatementsRaiseLocatedParseErrors) {
   }
 }
 
+TEST(MalformedControlFlow, BadDistributedFormsRaiseLocatedParseErrors) {
+  // Truncated or self-contradictory <partitioned>/<exchange>/<repartition>/
+  // <gather> forms (docs/descriptors.md): each must be rejected with the
+  // offending element's location, and the main module must not half-load.
+  struct Fixture {
+    const char* label;
+    std::string xml;
+  };
+  const Fixture fixtures[] = {
+      {"partitioned without data", main_with("<partitioned nodes=\"2\"/>")},
+      {"partitioned without nodes", main_with("<partitioned data=\"d\"/>")},
+      {"zero partitioned nodes",
+       main_with("<partitioned data=\"d\" nodes=\"0\"/>")},
+      {"negative partitioned nodes",
+       main_with("<partitioned data=\"d\" nodes=\"-2\"/>")},
+      {"non-integer partitioned nodes",
+       main_with("<partitioned data=\"d\" nodes=\"two\"/>")},
+      {"negative halo",
+       main_with("<partitioned data=\"d\" nodes=\"2\" halo=\"-1\"/>")},
+      {"slice node outside the partitioning",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"8\">"
+                 "<slice node=\"2\" begin=\"0\" end=\"8\"/></partitioned>")},
+      {"negative slice node",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"8\">"
+                 "<slice node=\"-1\" begin=\"0\" end=\"8\"/></partitioned>")},
+      {"empty slice range",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"8\">"
+                 "<slice node=\"0\" begin=\"4\" end=\"4\"/></partitioned>")},
+      {"inverted slice range",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"8\">"
+                 "<slice node=\"0\" begin=\"6\" end=\"2\"/></partitioned>")},
+      {"negative slice begin",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"8\">"
+                 "<slice node=\"0\" begin=\"-1\" end=\"4\"/></partitioned>")},
+      {"slice beyond the declared elements",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"8\">"
+                 "<slice node=\"0\" begin=\"0\" end=\"9\"/></partitioned>")},
+      {"slice missing begin",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"8\">"
+                 "<slice node=\"0\" end=\"8\"/></partitioned>")},
+      {"slices without elements",
+       main_with("<partitioned data=\"d\" nodes=\"2\">"
+                 "<slice node=\"0\" begin=\"0\" end=\"8\"/></partitioned>")},
+      {"elements without slices",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"8\"/>")},
+      {"zero elements",
+       main_with("<partitioned data=\"d\" nodes=\"2\" elements=\"0\">"
+                 "<slice node=\"0\" begin=\"0\" end=\"1\"/></partitioned>")},
+      {"exchange without data", main_with("<exchange width=\"1\"/>")},
+      {"negative exchange width",
+       main_with("<exchange data=\"d\" width=\"-1\"/>")},
+      {"repartition without nodes", main_with("<repartition data=\"d\"/>")},
+      {"zero repartition nodes",
+       main_with("<repartition data=\"d\" nodes=\"0\"/>")},
+      {"gather without data", main_with("<gather/>")},
+  };
+  for (const Fixture& fixture : fixtures) {
+    desc::Repository repo;
+    try {
+      repo.load_text(fixture.xml, {}, "main.xml");
+      FAIL() << fixture.label << ": expected a ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_GT(e.line(), 1) << fixture.label;  // inside <calls>, not line 1
+      EXPECT_GT(e.column(), 0) << fixture.label;
+    }
+    EXPECT_EQ(repo.main_module(), nullptr) << fixture.label;
+  }
+}
+
 TEST(MalformedControlFlow, UnclosedAndMisNestedElementsRaiseParseErrors) {
   const std::string fixtures[] = {
       // Unclosed <loop>: the document ends inside the statement list.
@@ -250,7 +319,16 @@ TEST_P(FuzzSeed, ControlFlowMainNeverCrashesUnderMutation) {
       "  </if>\n"
       "  <partition data=\"v\" parts=\"2\"/>\n"
       "  <unpartition data=\"v\"/>\n"
-      "</loop>\n");
+      "</loop>\n"
+      "<partitioned data=\"v\" nodes=\"2\" halo=\"1\" elements=\"8\">\n"
+      "  <slice node=\"0\" begin=\"0\" end=\"4\"/>\n"
+      "  <slice node=\"1\" begin=\"4\" end=\"8\"/>\n"
+      "</partitioned>\n"
+      "<exchange data=\"v\" width=\"1\"/>\n"
+      "<call interface=\"axpy\" node=\"1\" radius=\"1\">"
+      "<arg param=\"x\" data=\"v\"/></call>\n"
+      "<repartition data=\"v\" nodes=\"2\"/>\n"
+      "<gather data=\"v\"/>\n");
   Rng rng(GetParam() * 17);
   for (int round = 0; round < 300; ++round) {
     const std::string mutated =

@@ -14,6 +14,7 @@
 #include "runtime/engine.hpp"
 #include "runtime/memory.hpp"
 #include "sim/device.hpp"
+#include "sim/topology.hpp"
 #include "support/error.hpp"
 
 namespace peppher {
@@ -63,6 +64,17 @@ constexpr const char* kSneaky =
     "  </function>\n"
     "</peppher-interface>\n";
 
+// stencil(x, y): pure producer from a read input — the distributed sweep
+// shape (reads x with a declared radius, writes y).
+constexpr const char* kStencil =
+    "<peppher-interface name=\"stencil\">\n"
+    "  <function returnType=\"void\">\n"
+    "    <param name=\"n\" type=\"int\" accessMode=\"read\"/>\n"
+    "    <param name=\"x\" type=\"const float*\" accessMode=\"read\" size=\"n\"/>\n"
+    "    <param name=\"y\" type=\"float*\" accessMode=\"write\" size=\"n\"/>\n"
+    "  </function>\n"
+    "</peppher-interface>\n";
+
 std::string impl_xml(const std::string& name, const std::string& iface,
                      const std::string& language) {
   return "<peppher-implementation name=\"" + name + "\" interface=\"" + iface +
@@ -79,7 +91,8 @@ desc::Repository make_repo(const std::string& main_xml,
   repo.load_text(kAxpy);
   repo.load_text(kConsumer);
   repo.load_text(kSneaky);
-  for (const char* iface : {"init", "axpy", "consume", "sneaky"}) {
+  repo.load_text(kStencil);
+  for (const char* iface : {"init", "axpy", "consume", "sneaky", "stencil"}) {
     const bool device = std::find(device_ifaces.begin(), device_ifaces.end(),
                                   iface) != device_ifaces.end();
     repo.load_text(impl_xml(std::string(iface) + (device ? "_cuda" : "_cpu"),
@@ -438,6 +451,344 @@ TEST(Verify, RunLintNeedsOptInForStraightLine) {
 }
 
 // ---------------------------------------------------------------------------
+// Distributed verification (PL080..PL087): the abstract machine gains one
+// host + one accelerator slot per cluster node and <partitioned>/<exchange>/
+// <repartition>/<gather> drive per-slice sub-machines.
+// ---------------------------------------------------------------------------
+
+VerifyResult verify_cluster(int nodes, const std::string& calls,
+                            const std::vector<std::string>& device_ifaces = {}) {
+  const desc::Repository repo = make_repo(main_with_calls(calls), device_ifaces);
+  LintOptions options;
+  options.cluster =
+      sim::ClusterConfig::uniform(nodes, sim::MachineConfig::platform_c2050());
+  return verify_main(repo, options);
+}
+
+TEST(VerifyDistributed, PL080FlagsHaloNarrowerThanStencilRadius) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"0\"/>\n"
+      "<exchange data=\"u\"/>\n"
+      "<call interface=\"consume\" radius=\"1\">"
+      "<arg param=\"x\" data=\"u\"/></call>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL080"), 1) << result.bag.format_text();
+  EXPECT_EQ(count_code(result, "PL081"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL080SilentWhenHaloCoversRadius) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<exchange data=\"u\"/>\n"
+      "<call interface=\"consume\" radius=\"1\">"
+      "<arg param=\"x\" data=\"u\"/></call>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL080"), 0) << result.bag.format_text();
+  EXPECT_EQ(count_code(result, "PL081"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL081FlagsStencilReadWithoutExchange) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<call interface=\"consume\" radius=\"1\">"
+      "<arg param=\"x\" data=\"u\"/></call>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL081"), 1) << result.bag.format_text();
+  EXPECT_EQ(count_code(result, "PL080"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL081SilentWhenExchangeDominatesTheRead) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<exchange data=\"u\"/>\n"
+      "<call interface=\"consume\" radius=\"1\">"
+      "<arg param=\"x\" data=\"u\"/></call>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL081"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL081ArmsEvenWithoutAClusterProfile) {
+  // The distributed forms are meaningful on a single host too (the abstract
+  // machine simply has one node); the protocol checks must not need --cluster.
+  const VerifyResult result = verify(
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<call interface=\"consume\" radius=\"1\">"
+      "<arg param=\"x\" data=\"u\"/></call>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL081"), 1) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL082FlagsLoopCarriedInternodePingPong) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<loop count=\"10\">\n"
+      "  <call interface=\"init\" node=\"0\">"
+      "<arg param=\"y\" data=\"v\"/></call>\n"
+      "  <call interface=\"consume\" node=\"1\">"
+      "<arg param=\"x\" data=\"v\"/></call>\n"
+      "</loop>\n");
+  EXPECT_EQ(count_code(result, "PL082"), 1) << result.bag.format_text();
+  // The n2n twin must not double-report as a same-node PCIe ping-pong.
+  EXPECT_EQ(count_code(result, "PL064"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL082SilentWhenCoLocatedOnOneNode) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<loop count=\"10\">\n"
+      "  <call interface=\"init\" node=\"0\">"
+      "<arg param=\"y\" data=\"v\"/></call>\n"
+      "  <call interface=\"consume\" node=\"0\">"
+      "<arg param=\"x\" data=\"v\"/></call>\n"
+      "</loop>\n");
+  EXPECT_EQ(count_code(result, "PL082"), 0) << result.bag.format_text();
+  EXPECT_EQ(count_code(result, "PL064"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL083FlagsRepartitionEvictingDeviceReplicas) {
+  const VerifyResult result = verify_cluster(
+      4,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<call interface=\"consume\" node=\"0\">"
+      "<arg param=\"x\" data=\"u\"/></call>\n"
+      "<repartition data=\"u\" nodes=\"4\" halo=\"1\"/>\n"
+      "<gather data=\"u\"/>\n",
+      {"consume"});
+  EXPECT_EQ(count_code(result, "PL083"), 1) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL083SilentWhenTheShapeIsUnchanged) {
+  const VerifyResult result = verify_cluster(
+      4,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<call interface=\"consume\" node=\"0\">"
+      "<arg param=\"x\" data=\"u\"/></call>\n"
+      "<repartition data=\"u\" nodes=\"2\" halo=\"2\"/>\n"
+      "<gather data=\"u\"/>\n",
+      {"consume"});
+  EXPECT_EQ(count_code(result, "PL083"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL084FlagsSliceCoverageGap) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\" elements=\"100\">\n"
+      "  <slice node=\"0\" begin=\"0\" end=\"40\"/>\n"
+      "  <slice node=\"1\" begin=\"60\" end=\"100\"/>\n"
+      "</partitioned>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_GE(count_code(result, "PL084"), 1) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL084FlagsSliceOverlap) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\" elements=\"100\">\n"
+      "  <slice node=\"0\" begin=\"0\" end=\"60\"/>\n"
+      "  <slice node=\"1\" begin=\"40\" end=\"100\"/>\n"
+      "</partitioned>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_GE(count_code(result, "PL084"), 1) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL084FlagsNodePinOutsideTheProfile) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+      "<call interface=\"consume\" node=\"5\">"
+      "<arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_GE(count_code(result, "PL084"), 1) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL084SilentForExactCoverage) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\" elements=\"100\">\n"
+      "  <slice node=\"0\" begin=\"0\" end=\"50\"/>\n"
+      "  <slice node=\"1\" begin=\"50\" end=\"100\"/>\n"
+      "</partitioned>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL084"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL085FlagsGatherDuringInFlightExchange) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<exchange data=\"u\"/>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL085"), 1) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL085SilentOnceAReadQuiescesTheExchange) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<exchange data=\"u\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"u\"/></call>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL085"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL086FlagsNodeDivergentWorldsAtAJoin) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\" node=\"0\">"
+      "<arg param=\"y\" data=\"v\"/></call>\n"
+      "<if>\n"
+      "  <call interface=\"init\" node=\"1\">"
+      "<arg param=\"y\" data=\"v\"/></call>\n"
+      "</if>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL086"), 1) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL086SilentWhenEveryPathWritesOnOneNode) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\" node=\"0\">"
+      "<arg param=\"y\" data=\"v\"/></call>\n"
+      "<if>\n"
+      "  <call interface=\"init\" node=\"0\">"
+      "<arg param=\"y\" data=\"v\"/></call>\n"
+      "</if>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL086"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL087FlagsWriteRacingAnInFlightExchange) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<exchange data=\"u\"/>\n"
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"u\"/></call>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL087"), 1) << result.bag.format_text();
+  EXPECT_EQ(count_code(result, "PL085"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL087SilentWhenTheExchangeDrainedFirst) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"1\"/>\n"
+      "<exchange data=\"u\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"u\"/></call>\n"
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"u\"/></call>\n"
+      "<gather data=\"u\"/>\n");
+  EXPECT_EQ(count_code(result, "PL087"), 0) << result.bag.format_text();
+}
+
+TEST(VerifyDistributed, PL063FlagsPartitioningWithoutGather) {
+  const VerifyResult result = verify_cluster(
+      2,
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"2\" halo=\"0\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"u\"/></call>\n");
+  EXPECT_EQ(count_code(result, "PL063"), 1) << result.bag.format_text();
+}
+
+/// A canonical double-buffered Jacobi over `nodes` cluster nodes: device
+/// sweeps read u (radius 1) into unew, host copy-back closes the iteration.
+std::string jacobi_calls(int nodes) {
+  const std::string n = std::to_string(nodes);
+  std::string calls =
+      "<call interface=\"init\"><arg param=\"y\" data=\"u\"/></call>\n"
+      "<partitioned data=\"u\" nodes=\"" + n + "\" halo=\"1\"/>\n"
+      "<partitioned data=\"unew\" nodes=\"" + n + "\" halo=\"1\"/>\n"
+      "<loop count=\"3\">\n"
+      "  <exchange data=\"u\"/>\n";
+  for (int k = 0; k < nodes; ++k) {
+    calls += "  <call interface=\"stencil\" node=\"" + std::to_string(k) +
+             "\" radius=\"1\"><arg param=\"x\" data=\"u\"/>"
+             "<arg param=\"y\" data=\"unew\"/></call>\n";
+  }
+  for (int k = 0; k < nodes; ++k) {
+    calls += "  <call interface=\"axpy\" node=\"" + std::to_string(k) +
+             "\"><arg param=\"x\" data=\"unew\"/>"
+             "<arg param=\"y\" data=\"u\"/></call>\n";
+  }
+  calls +=
+      "</loop>\n"
+      "<gather data=\"u\"/>\n"
+      "<gather data=\"unew\"/>\n";
+  return calls;
+}
+
+TEST(VerifyDistributed, CleanJacobiVerifiesCleanOnTwoAndFourNodes) {
+  for (int nodes : {2, 4}) {
+    const VerifyResult result =
+        verify_cluster(nodes, jacobi_calls(nodes), {"stencil"});
+    EXPECT_TRUE(result.bag.empty())
+        << "nodes=" << nodes << "\n" << result.bag.format_text();
+    EXPECT_TRUE(result.fixpoint_reached);
+  }
+}
+
+TEST(VerifyDistributed, OneNodeProfileIsIdenticalToSingleHostVerify) {
+  // The differential guard of the issue: a one-node cluster profile must
+  // take the exact same path as no profile at all — same diagnostics text,
+  // same fixpoint step count — on programs without distributed forms.
+  struct Program {
+    const char* calls;
+    std::vector<std::string> device;
+  };
+  const Program programs[] = {
+      {"<loop count=\"10\">\n"
+       "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+       "  <call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n"
+       "</loop>\n",
+       {"consume"}},
+      {"<if>\n"
+       "  <call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+       "</if>\n"
+       "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n",
+       {}},
+      {"<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+       "<prefetch data=\"v\" on=\"host\"/>\n"
+       "<call interface=\"consume\"><arg param=\"x\" data=\"v\"/></call>\n",
+       {}},
+      {"<call interface=\"init\"><arg param=\"y\" data=\"v\"/></call>\n"
+       "<partition data=\"v\" parts=\"4\"/>\n"
+       "<if>\n"
+       "  <unpartition data=\"v\"/>\n"
+       "</if>\n",
+       {}},
+  };
+  for (const Program& program : programs) {
+    const desc::Repository repo =
+        make_repo(main_with_calls(program.calls), program.device);
+    const VerifyResult plain = verify_main(repo);
+    LintOptions options;
+    options.cluster =
+        sim::ClusterConfig::single(sim::MachineConfig::platform_c2050());
+    const VerifyResult clustered = verify_main(repo, options);
+    EXPECT_EQ(plain.bag.format_text(), clustered.bag.format_text());
+    EXPECT_EQ(plain.steps, clustered.steps);
+    EXPECT_EQ(plain.fixpoint_reached, clustered.fixpoint_reached);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Abstract states and the verify_shadow cross-validation
 // ---------------------------------------------------------------------------
 
@@ -550,6 +901,338 @@ TEST(Verify, ShadowLogMatchesAbstractStatesOnTheHost) {
 
 TEST(Verify, ShadowLogMatchesAbstractStatesOnTheDevice) {
   cross_validate(rt::Arch::kCuda, {"init", "axpy"});
+}
+
+// ---------------------------------------------------------------------------
+// Distributed shadow cross-validation: cluster runs confirm the abstract
+// per-node worlds (the cluster profile has one accelerator per node, so the
+// verifier's abstract topology coincides with the engine's real one).
+// ---------------------------------------------------------------------------
+
+/// First worker on `sim_node` of the requested kind (host CPU or
+/// accelerator); mirrors the abstract host/device split per cluster node.
+rt::WorkerId worker_on(const rt::Engine& engine, int sim_node, bool accel) {
+  for (const auto& desc : engine.workers()) {
+    if (desc.sim_node != sim_node || desc.archs.empty()) continue;
+    const bool is_accel = desc.archs.front() == rt::Arch::kCuda ||
+                          desc.archs.front() == rt::Arch::kOpenCl;
+    if (is_accel == accel) return desc.id;
+  }
+  ADD_FAILURE() << "no " << (accel ? "accelerator" : "cpu")
+                << " worker on sim node " << sim_node;
+  return 0;
+}
+
+/// Checks every tagged verify_shadow observation against the abstract state
+/// for that program point: `names[point][operand]` maps a record back to its
+/// container (nullptr = outside the abstract model, e.g. ghost buffers).
+void check_shadow_log(const rt::Engine& engine,
+                      const analyze::VerifyResult& abstract,
+                      const std::vector<std::vector<const char*>>& names) {
+  const rt::MemTopology& topo = engine.topo();
+  int checked = 0;
+  for (const rt::ShadowRecord& record : engine.shadow_log()) {
+    if (record.verify_point < 0) continue;
+    ASSERT_LT(static_cast<std::size_t>(record.verify_point), names.size());
+    const auto& operands = names[static_cast<std::size_t>(record.verify_point)];
+    ASSERT_LT(record.operand, operands.size());
+    const char* data = operands[record.operand];
+    if (data == nullptr) continue;  // ghost buffers live outside the model
+    const int abstract_node =
+        2 * record.sim_node + (topo.is_host(record.node) ? 0 : 1);
+    EXPECT_TRUE(
+        abstract.admits(record.verify_point, data, abstract_node, record.state))
+        << "task " << record.task_name << " operand " << record.operand
+        << " on node " << record.node << " (sim node " << record.sim_node
+        << ") observed '" << rt::to_string(record.state)
+        << "' which no abstract world at point " << record.verify_point
+        << " admits";
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+/// The runtime counterpart of jacobi_calls(nodes): per-slice handles homed
+/// by a scatter write on their owner, halo exchange through dedicated ghost
+/// buffers, device sweeps and host copy-backs pinned like the descriptor.
+void cross_validate_jacobi(int nodes) {
+  const desc::Repository repo =
+      make_repo(main_with_calls(jacobi_calls(nodes)), {"stencil"});
+  LintOptions options;
+  options.cluster =
+      sim::ClusterConfig::uniform(nodes, sim::MachineConfig::platform_c2050());
+  const analyze::VerifyResult abstract = verify_main(repo, options);
+  ASSERT_TRUE(abstract.fixpoint_reached);
+  ASSERT_TRUE(abstract.bag.empty()) << abstract.bag.format_text();
+
+  rt::EngineConfig config;
+  config.cluster = *options.cluster;
+  config.use_history_models = false;
+  config.enable_prefetch = false;  // the abstract model has no <prefetch>
+  config.verify_shadow = true;
+  rt::Engine engine(config);
+  ASSERT_EQ(engine.topo().sim_node_count(), nodes);
+
+  constexpr std::size_t kSlice = 16;
+  std::vector<std::vector<float>> u(static_cast<std::size_t>(nodes)),
+      unew(static_cast<std::size_t>(nodes)),
+      ghost(static_cast<std::size_t>(nodes));
+  std::vector<rt::DataHandlePtr> hu, hunew, hghost;
+  for (int k = 0; k < nodes; ++k) {
+    u[static_cast<std::size_t>(k)].assign(kSlice, 0.0f);
+    unew[static_cast<std::size_t>(k)].assign(kSlice, 0.0f);
+    ghost[static_cast<std::size_t>(k)].assign(2, 0.0f);
+    auto reg = [&engine](std::vector<float>& buf) {
+      return engine.register_buffer(buf.data(), buf.size() * sizeof(float),
+                                    sizeof(float));
+    };
+    hu.push_back(reg(u[static_cast<std::size_t>(k)]));
+    hunew.push_back(reg(unew[static_cast<std::size_t>(k)]));
+    hghost.push_back(reg(ghost[static_cast<std::size_t>(k)]));
+  }
+
+  auto cpu_impl = [](const char* name, void (*fn)(rt::ExecContext&)) {
+    rt::Implementation impl;
+    impl.arch = rt::Arch::kCpu;
+    impl.name = name;
+    impl.fn = fn;
+    return impl;
+  };
+  rt::Codelet scatter("scatter");
+  scatter.add_impl(cpu_impl("scatter_cpu", [](rt::ExecContext& ctx) {
+    auto* y = ctx.buffer_as<float>(0);
+    for (std::size_t i = 0; i < ctx.elements(0); ++i) y[i] = 1.0f;
+  }));
+  rt::Codelet halo("halo");  // reads the own slice, fills a neighbour ghost
+  halo.add_impl(cpu_impl("halo_cpu", [](rt::ExecContext& ctx) {
+    const auto* x = ctx.buffer_as<const float>(0);
+    auto* g = ctx.buffer_as<float>(1);
+    g[0] = x[0];
+    g[1] = x[ctx.elements(0) - 1];
+  }));
+  rt::Codelet sweep("sweep");  // device: unew[i] = avg(u, ghosts at the rim)
+  {
+    rt::Implementation impl;
+    impl.arch = rt::Arch::kCuda;
+    impl.name = "sweep_cuda";
+    impl.fn = [](rt::ExecContext& ctx) {
+      const auto* x = ctx.buffer_as<const float>(0);
+      const auto* g = ctx.buffer_as<const float>(1);
+      auto* y = ctx.buffer_as<float>(2);
+      const std::size_t n = ctx.elements(0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float left = i == 0 ? g[0] : x[i - 1];
+        const float right = i + 1 == n ? g[1] : x[i + 1];
+        y[i] = (left + x[i] + right) / 3.0f;
+      }
+    };
+    sweep.add_impl(std::move(impl));
+  }
+  rt::Codelet copy("copyback");  // host: u <- relaxation of unew into u
+  copy.add_impl(cpu_impl("copyback_cpu", [](rt::ExecContext& ctx) {
+    const auto* x = ctx.buffer_as<const float>(0);
+    auto* y = ctx.buffer_as<float>(1);
+    for (std::size_t i = 0; i < ctx.elements(1); ++i) {
+      y[i] = 0.5f * y[i] + 0.5f * x[i];
+    }
+  }));
+
+  auto submit = [&engine](const rt::Codelet* codelet,
+                          std::vector<rt::TaskOperand> operands,
+                          rt::WorkerId worker, int point) {
+    rt::TaskSpec spec;
+    spec.codelet = codelet;
+    spec.operands = std::move(operands);
+    spec.forced_worker = worker;
+    spec.synchronous = true;
+    spec.verify_point = point;
+    engine.submit(std::move(spec));
+  };
+
+  // <partitioned>: home each slice on its owner with an untagged write.
+  for (int k = 0; k < nodes; ++k) {
+    const rt::WorkerId host = worker_on(engine, k, false);
+    const std::size_t sk = static_cast<std::size_t>(k);
+    submit(&scatter, {{hu[sk], rt::AccessMode::kWrite}}, host, -1);
+    submit(&scatter, {{hunew[sk], rt::AccessMode::kWrite}}, host, -1);
+  }
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    // <exchange data="u"/>: each owner reads its slice on its own host and
+    // publishes the border into the neighbours' ghost buffers.
+    for (int k = 0; k < nodes; ++k) {
+      const rt::WorkerId host = worker_on(engine, k, false);
+      const std::size_t sk = static_cast<std::size_t>(k);
+      if (k > 0) {
+        submit(&halo,
+               {{hu[sk], rt::AccessMode::kRead},
+                {hghost[sk - 1], rt::AccessMode::kWrite}},
+               host, -1);
+      }
+      if (k + 1 < nodes) {
+        submit(&halo,
+               {{hu[sk], rt::AccessMode::kRead},
+                {hghost[sk + 1], rt::AccessMode::kWrite}},
+               host, -1);
+      }
+    }
+    for (int k = 0; k < nodes; ++k) {  // device sweeps (points 1..nodes)
+      const std::size_t sk = static_cast<std::size_t>(k);
+      submit(&sweep,
+             {{hu[sk], rt::AccessMode::kRead},
+              {hghost[sk], rt::AccessMode::kRead},
+              {hunew[sk], rt::AccessMode::kWrite}},
+             worker_on(engine, k, true), 1 + k);
+    }
+    for (int k = 0; k < nodes; ++k) {  // host copy-backs (points nodes+1..2N)
+      const std::size_t sk = static_cast<std::size_t>(k);
+      submit(&copy,
+             {{hunew[sk], rt::AccessMode::kRead},
+              {hu[sk], rt::AccessMode::kReadWrite}},
+             worker_on(engine, k, false), 1 + nodes + k);
+    }
+  }
+  engine.wait_for_all();
+
+  // point 0 is the init call (no tagged runtime task); then sweeps, copies.
+  std::vector<std::vector<const char*>> names(
+      1 + 2 * static_cast<std::size_t>(nodes));
+  for (int k = 0; k < nodes; ++k) {
+    names[static_cast<std::size_t>(1 + k)] = {"u", nullptr, "unew"};
+    names[static_cast<std::size_t>(1 + nodes + k)] = {"unew", "u"};
+  }
+  EXPECT_GT(engine.shadow_checks(), 0u);
+  check_shadow_log(engine, abstract, names);
+}
+
+TEST(VerifyDistributed, ShadowLogMatchesAbstractWorldsOnTwoNodeJacobi) {
+  cross_validate_jacobi(2);
+}
+
+TEST(VerifyDistributed, ShadowLogMatchesAbstractWorldsOnFourNodeJacobi) {
+  cross_validate_jacobi(4);
+}
+
+TEST(VerifyDistributed, ShadowLogMatchesAbstractWorldsOnDistributedSpmv) {
+  // Distributed SpMV shape: a replicated input vector read by every node's
+  // accelerator, a partitioned result vector gathered back for a host read.
+  const int nodes = 2;
+  std::string calls =
+      "<call interface=\"init\"><arg param=\"y\" data=\"x\"/></call>\n"
+      "<partitioned data=\"y\" nodes=\"2\" halo=\"0\"/>\n";
+  for (int k = 0; k < nodes; ++k) {
+    calls += "<call interface=\"stencil\" node=\"" + std::to_string(k) +
+             "\"><arg param=\"x\" data=\"x\"/>"
+             "<arg param=\"y\" data=\"y\"/></call>\n";
+  }
+  calls +=
+      "<gather data=\"y\"/>\n"
+      "<call interface=\"consume\"><arg param=\"x\" data=\"y\"/></call>\n";
+  const desc::Repository repo = make_repo(main_with_calls(calls), {"stencil"});
+  LintOptions options;
+  options.cluster =
+      sim::ClusterConfig::uniform(nodes, sim::MachineConfig::platform_c2050());
+  const analyze::VerifyResult abstract = verify_main(repo, options);
+  ASSERT_TRUE(abstract.fixpoint_reached);
+  ASSERT_TRUE(abstract.bag.empty()) << abstract.bag.format_text();
+
+  rt::EngineConfig config;
+  config.cluster = *options.cluster;
+  config.use_history_models = false;
+  config.enable_prefetch = false;  // the abstract model has no <prefetch>
+  config.verify_shadow = true;
+  rt::Engine engine(config);
+
+  std::vector<float> x(32, 1.0f);
+  std::vector<std::vector<float>> y(static_cast<std::size_t>(nodes),
+                                    std::vector<float>(16, 0.0f));
+  auto hx =
+      engine.register_buffer(x.data(), x.size() * sizeof(float), sizeof(float));
+  std::vector<rt::DataHandlePtr> hy;
+  for (int k = 0; k < nodes; ++k) {
+    auto& slice = y[static_cast<std::size_t>(k)];
+    hy.push_back(engine.register_buffer(
+        slice.data(), slice.size() * sizeof(float), sizeof(float)));
+  }
+
+  rt::Codelet scatter("scatter");
+  {
+    rt::Implementation impl;
+    impl.arch = rt::Arch::kCpu;
+    impl.name = "scatter_cpu";
+    impl.fn = [](rt::ExecContext& ctx) {
+      auto* out = ctx.buffer_as<float>(0);
+      for (std::size_t i = 0; i < ctx.elements(0); ++i) out[i] = 0.0f;
+    };
+    scatter.add_impl(std::move(impl));
+  }
+  rt::Codelet spmv("spmv_part");
+  {
+    rt::Implementation impl;
+    impl.arch = rt::Arch::kCuda;
+    impl.name = "spmv_cuda";
+    impl.fn = [](rt::ExecContext& ctx) {
+      const auto* vec = ctx.buffer_as<const float>(0);
+      auto* out = ctx.buffer_as<float>(1);
+      for (std::size_t i = 0; i < ctx.elements(1); ++i) out[i] = 2.0f * vec[i];
+    };
+    spmv.add_impl(std::move(impl));
+  }
+  rt::Codelet reduce("reduce");
+  {
+    rt::Implementation impl;
+    impl.arch = rt::Arch::kCpu;
+    impl.name = "reduce_cpu";
+    impl.fn = [](rt::ExecContext& ctx) {
+      float sum = 0.0f;
+      for (std::size_t op = 0; op < 2; ++op) {
+        const auto* part = ctx.buffer_as<const float>(op);
+        for (std::size_t i = 0; i < ctx.elements(op); ++i) sum += part[i];
+      }
+      EXPECT_GT(sum, 0.0f);
+    };
+    reduce.add_impl(std::move(impl));
+  }
+
+  auto submit = [&engine](const rt::Codelet* codelet,
+                          std::vector<rt::TaskOperand> operands,
+                          rt::WorkerId worker, int point) {
+    rt::TaskSpec spec;
+    spec.codelet = codelet;
+    spec.operands = std::move(operands);
+    spec.forced_worker = worker;
+    spec.synchronous = true;
+    spec.verify_point = point;
+    engine.submit(std::move(spec));
+  };
+
+  for (int k = 0; k < nodes; ++k) {  // <partitioned data="y"/>
+    submit(&scatter, {{hy[static_cast<std::size_t>(k)], rt::AccessMode::kWrite}},
+           worker_on(engine, k, false), -1);
+  }
+  for (int k = 0; k < nodes; ++k) {  // per-node partial products
+    submit(&spmv,
+           {{hx, rt::AccessMode::kRead},
+            {hy[static_cast<std::size_t>(k)], rt::AccessMode::kWrite}},
+           worker_on(engine, k, true), 1 + k);
+  }
+  engine.wait_for_all();
+  for (int k = 0; k < nodes; ++k) {  // <gather data="y"/>
+    engine.acquire_host(hy[static_cast<std::size_t>(k)],
+                        rt::AccessMode::kReadWrite);
+  }
+  submit(&reduce,
+         {{hy[0], rt::AccessMode::kRead}, {hy[1], rt::AccessMode::kRead}},
+         worker_on(engine, 0, false), 1 + nodes);
+  engine.wait_for_all();
+
+  std::vector<std::vector<const char*>> names(
+      static_cast<std::size_t>(nodes) + 2);
+  for (int k = 0; k < nodes; ++k) {
+    names[static_cast<std::size_t>(1 + k)] = {"x", "y"};
+  }
+  names[static_cast<std::size_t>(1 + nodes)] = {"y", "y"};
+  EXPECT_GT(engine.shadow_checks(), 0u);
+  check_shadow_log(engine, abstract, names);
 }
 
 // ---------------------------------------------------------------------------

@@ -16,7 +16,14 @@
 //                              and hazard checks only)
 //   --verify                   run the coherence verifier (PL060..PL069) even
 //                              for straight-line call sequences; main modules
-//                              with <loop>/<if> are always verified
+//                              with <loop>/<if> or distributed forms are
+//                              always verified
+//   --cluster=<file>           verify against a peppher-cluster v1 profile:
+//                              the abstract machine gains one host + one
+//                              accelerator slot per cluster node and the
+//                              distributed checks (PL080..PL087) arm; a
+//                              one-node profile is byte-identical to not
+//                              passing the switch
 //   --explain=PLxxx            print the code's severity, summary and
 //                              remediation from the registry, then exit
 //
@@ -28,7 +35,9 @@
 
 #include "analyze/lint.hpp"
 #include "sim/device.hpp"
+#include "sim/topology.hpp"
 #include "support/error.hpp"
+#include "support/fs.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -43,6 +52,7 @@ int usage(std::ostream& out) {
          "  --disableImpls=<name|arch>[,...]\n"
          "  --no-sources\n"
          "  --verify\n"
+         "  --cluster=<peppher-cluster-v1-file>\n"
          "  --explain=PLxxx|all\n";
   return 2;
 }
@@ -131,6 +141,18 @@ int main(int argc, char** argv) {
         options.machine = machine_preset(value);
       } catch (const Error& e) {
         std::cerr << "peppher-lint: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (match_switch(arg, "cluster", &value)) {
+      if (value.empty() && i + 1 < argc) value = argv[++i];
+      try {
+        options.cluster = sim::parse_cluster(fs::read_file(value));
+      } catch (const ParseError& e) {
+        std::cerr << "peppher-lint: --cluster: " << value << ": " << e.what()
+                  << "\n";
+        return 2;
+      } catch (const Error& e) {
+        std::cerr << "peppher-lint: --cluster: " << e.what() << "\n";
         return 2;
       }
     } else if (match_switch(arg, "disableImpls", &value)) {

@@ -14,8 +14,9 @@
 // Switches:
 //   --format=text|json|sarif   output renderer (default text, to stdout)
 //   --werror                   warnings fail the run too
-//   --explain=PFxxx            print the code's severity, summary and
-//                              remediation from the registry, then exit
+//   --explain=PFxxx|all        print the code's severity, summary and
+//                              remediation from the registry (or catalogue
+//                              every registered code), then exit
 //   --record=ode               record instead of analyze
 //   --out=<path>               where record mode writes the trace
 //   --chrome=<path>            also write the chrome://tracing JSON
@@ -57,7 +58,7 @@ int usage(std::ostream& out) {
          "       peppher-perf --record=ode --out=trace.json [switches]\n"
          "  --format=text|json|sarif\n"
          "  --werror\n"
-         "  --explain=PFxxx\n"
+         "  --explain=PFxxx|all\n"
          "  --chrome=<path>\n"
          "  --models-out=<dir>\n"
          "  --machine=<c2050|c1060|opencl|cpu|cpuN>\n"
@@ -71,12 +72,21 @@ int usage(std::ostream& out) {
 
 /// `peppher-perf --explain PF001`: same registry the linter explains from,
 /// so the PF range is documented in one place (docs/perf.md, kept in sync
-/// by a test).
+/// by a test). `--explain=all` catalogues every registered code with
+/// severity and summary, exactly like peppher-lint and peppher-predict.
 int explain(const std::string& code) {
+  if (code == "all") {
+    for (const diag::CodeInfo& info : diag::all_codes()) {
+      std::cout << info.code << " (" << diag::to_string(info.severity)
+                << "): " << info.summary << "\n";
+    }
+    return 0;
+  }
   const diag::CodeInfo* info = diag::find_code(code);
   if (info == nullptr) {
     std::cerr << "peppher-perf: unknown diagnostic code '" << code
-              << "' (trace analyses are PF001..PF007; see docs/perf.md)\n";
+              << "' (or 'all'; trace analyses are PF001..PF007, see "
+                 "docs/perf.md)\n";
     return 2;
   }
   std::cout << info->code << " (" << diag::to_string(info->severity)

@@ -9,20 +9,25 @@
 #   4. runs the coherence verifier (peppher-verify) over a control-flow
 #      main module: a correct one must pass `--verify --werror`, and a
 #      seeded branch-divergent initialisation must be caught as PL060;
-#   5. runs the trace analyzer (peppher-perf): a well-sized recording must
+#   5. runs the distributed coherence verifier over a partitioned
+#      stencil main module against a two-node cluster profile: a correct
+#      exchange/gather protocol must pass `--cluster --werror`, a seeded
+#      too-narrow halo must be caught as PL080, and a malformed cluster
+#      profile must be rejected with a located parse error (exit 2);
+#   6. runs the trace analyzer (peppher-perf): a well-sized recording must
 #      analyze clean, a deliberately mis-sized one must fail --werror with
 #      a PF001 device-imbalance finding, --explain must know the code, and
 #      a truncated trace must be rejected with a located parse error;
-#   6. checks static composition end to end: a lookahead training run must
+#   7. checks static composition end to end: a lookahead training run must
 #      write a loadable dispatch table, and replaying it (while training a
 #      second table) must reproduce the trained per-key majority placements
 #      with at most 5% divergence — a replay that drifts from its own table
 #      means the table is being ignored;
-#   7. runs the static cost predictor (peppher-predict): models recorded
+#   8. runs the static cost predictor (peppher-predict): models recorded
 #      from short ODE runs must predict a fixture repository clean under
 #      --werror, a seeded dead variant must be caught as PL070, and a
 #      corrupted .model file must be rejected with a located parse error;
-#   8. if clang-tidy is installed and the build exported
+#   9. if clang-tidy is installed and the build exported
 #      compile_commands.json, runs it over src/analyze with the repo's
 #      .clang-tidy configuration (advisory: failures are reported but do
 #      not fail the smoke run, since the installed clang-tidy version
@@ -146,6 +151,64 @@ if "${lint_bin}" --werror --no-sources "${verifydir}" \
   exit 1
 fi
 grep -q "PL060" "${workdir}/verify_findings.txt"
+
+echo "== distributed verifier: clean stencil protocol must pass --cluster --werror"
+clusterdir="${workdir}/cluster"
+mkdir -p "${clusterdir}"
+cp "${verifydir}/init.xml" "${verifydir}/consume.xml" \
+   "${verifydir}/init_cpu.xml" "${verifydir}/consume_cpu.xml" "${clusterdir}/"
+cat > "${workdir}/testbed.cluster" <<'EOF'
+peppher-cluster v1
+name smoke
+internode latency_us 50 bandwidth_gbs 1.25
+node 0 machine c2050 cpu_cores 4
+node 1 machine c2050 cpu_cores 4
+end
+EOF
+cat > "${clusterdir}/main.xml" <<'EOF'
+<peppher-main name="cluster_smoke" source="main.cpp">
+  <calls>
+    <call interface="init"><arg param="y" data="u"/></call>
+    <partitioned data="u" nodes="2" halo="1"/>
+    <exchange data="u"/>
+    <call interface="consume" node="0" radius="1">
+      <arg param="x" data="u"/>
+    </call>
+    <call interface="consume" node="1" radius="1">
+      <arg param="x" data="u"/>
+    </call>
+    <gather data="u"/>
+  </calls>
+</peppher-main>
+EOF
+"${lint_bin}" "--cluster=${workdir}/testbed.cluster" --werror --no-sources \
+  "${clusterdir}"
+
+echo "== seeded too-narrow halo must be caught as PL080"
+sed -i 's/halo="1"/halo="0"/' "${clusterdir}/main.xml"
+if "${lint_bin}" "--cluster=${workdir}/testbed.cluster" --werror --no-sources \
+    "${clusterdir}" > "${workdir}/cluster_findings.txt"; then
+  echo "run_lint.sh: verifier accepted a halo narrower than the radius" >&2
+  cat "${workdir}/cluster_findings.txt" >&2
+  exit 1
+fi
+grep -q "PL080" "${workdir}/cluster_findings.txt"
+
+echo "== malformed cluster profile must fail with a located parse error"
+sed 's/bandwidth_gbs 1.25/bandwidth_gbs -1.25/' "${workdir}/testbed.cluster" \
+  > "${workdir}/broken.cluster"
+set +e
+"${lint_bin}" "--cluster=${workdir}/broken.cluster" --no-sources \
+  "${clusterdir}" > "${workdir}/cluster_parse.txt" 2>&1
+cluster_status=$?
+set -e
+if [[ "${cluster_status}" -ne 2 ]]; then
+  echo "run_lint.sh: malformed profile exited ${cluster_status}, expected 2" >&2
+  cat "${workdir}/cluster_parse.txt" >&2
+  exit 1
+fi
+grep -q "broken.cluster" "${workdir}/cluster_parse.txt"
+grep -Eq "line [0-9]+, column [0-9]+" "${workdir}/cluster_parse.txt"
 
 echo "== trace analyzer: a well-sized recording must analyze clean"
 "${perf_bin}" --record=ode "--out=${workdir}/trace.json" > /dev/null
